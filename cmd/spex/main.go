@@ -1,0 +1,162 @@
+// Command spex evaluates a regular path expression with qualifiers against
+// an XML document, streaming: the input is processed in one pass and
+// results are printed progressively.
+//
+// Usage:
+//
+//	spex -q '_*.country[province].name' [flags] [file.xml]
+//	cat doc.xml | spex -q 'a.b'
+//
+// Flags:
+//
+//	-q expr    the query (rpeq syntax; required unless -cq is given)
+//	-xpath     interpret -q as the XPath fragment (//a/b[c])
+//	-cq query  a conjunctive query, e.g. 'q(X3) :- Root(_*.a) X1, X1(b) X2, X1(c) X3'
+//	-count     print only the number of answers
+//	-nodes     print answer positions (index and label) instead of XML
+//	-stats     print evaluation statistics to stderr
+//	-window N  evaluate in windows of N top-level records (see §I of the
+//	           paper on the exactness caveat of windows)
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/core"
+	"repro/internal/cq"
+	"repro/internal/spexnet"
+	"repro/internal/window"
+	"repro/internal/xmlstream"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdin, os.Stdout, os.Stderr); err != nil {
+		fmt.Fprintln(os.Stderr, "spex:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, stdin io.Reader, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("spex", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		query    = fs.String("q", "", "rpeq query, e.g. '_*.a[b].c'")
+		xpath    = fs.Bool("xpath", false, "interpret -q as an XPath-fragment query")
+		conjunct = fs.String("cq", "", "conjunctive query, e.g. 'q(X3) :- Root(_*.a) X1, X1(b) X2, X1(c) X3'")
+		count    = fs.Bool("count", false, "print only the number of answers")
+		nodes    = fs.Bool("nodes", false, "print answer positions instead of XML")
+		stats    = fs.Bool("stats", false, "print evaluation statistics to stderr")
+		windowN  = fs.Int("window", 0, "evaluate in windows of N top-level records (0 = exact whole-stream evaluation)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	plan, err := preparePlan(*query, *xpath, *conjunct)
+	if err != nil {
+		return err
+	}
+
+	in := stdin
+	switch fs.NArg() {
+	case 0:
+	case 1:
+		f, err := os.Open(fs.Arg(0))
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		in = f
+	default:
+		return fmt.Errorf("at most one input file, got %d", fs.NArg())
+	}
+
+	out := bufio.NewWriter(stdout)
+	defer out.Flush()
+
+	if *windowN > 0 {
+		wstats, err := window.Evaluate(plan, xmlstream.NewScanner(in), *windowN,
+			func(widx int, r spexnet.Result) {
+				if !*count {
+					fmt.Fprintf(out, "window %d\t%d\t%s\n", widx, r.Index, r.Name)
+				}
+			})
+		if err != nil {
+			return err
+		}
+		if *count {
+			fmt.Fprintln(out, wstats.Matches)
+		}
+		if *stats {
+			fmt.Fprintf(stderr, "windows=%d records=%d matches=%d\n", wstats.Windows, wstats.Records, wstats.Matches)
+		}
+		return nil
+	}
+
+	mode := spexnet.ModeSerialize
+	if *count {
+		mode = spexnet.ModeCount
+	} else if *nodes {
+		mode = spexnet.ModeNodes
+	}
+	sink := func(r spexnet.Result) {
+		if *nodes {
+			fmt.Fprintf(out, "%d\t%s\n", r.Index, r.Name)
+			return
+		}
+		for _, ev := range r.Events {
+			writeEvent(out, ev)
+		}
+		out.WriteByte('\n')
+	}
+
+	st, err := plan.Evaluate(xmlstream.NewScanner(in), core.EvalOptions{Mode: mode, Sink: sink})
+	if err != nil {
+		return err
+	}
+	if *count {
+		fmt.Fprintln(out, st.Output.Matches)
+	}
+	if *stats {
+		fmt.Fprintf(stderr, "events=%d elements=%d depth=%d transducers=%d maxstack=%d maxformula=%d matches=%d candidates=%d dropped=%d\n",
+			st.Events, st.Elements, st.MaxDepth, st.Transducers, st.MaxStack, st.MaxFormula,
+			st.Output.Matches, st.Output.Candidates, st.Output.Dropped)
+	}
+	return nil
+}
+
+func preparePlan(query string, xpath bool, conjunct string) (*core.Plan, error) {
+	switch {
+	case conjunct != "":
+		q, err := cq.Parse(conjunct)
+		if err != nil {
+			return nil, err
+		}
+		expr, err := q.Translate()
+		if err != nil {
+			return nil, err
+		}
+		return core.FromAST(expr), nil
+	case query == "":
+		return nil, fmt.Errorf("missing query: use -q or -cq")
+	case xpath:
+		return core.PrepareXPath(query)
+	default:
+		return core.Prepare(query)
+	}
+}
+
+func writeEvent(w *bufio.Writer, ev xmlstream.Event) {
+	switch ev.Kind {
+	case xmlstream.StartElement:
+		w.WriteString("<" + ev.Name + ">")
+	case xmlstream.EndElement:
+		w.WriteString("</" + ev.Name + ">")
+	case xmlstream.Text:
+		w.WriteString(xmlstream.EscapeText(ev.Data))
+	}
+}

@@ -1,0 +1,136 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const paperDoc = `<a><a><c/></a><b/><c/></a>`
+
+func runCLI(t *testing.T, args []string, stdin string) (string, string, error) {
+	t.Helper()
+	var out, errBuf bytes.Buffer
+	err := run(args, strings.NewReader(stdin), &out, &errBuf)
+	return out.String(), errBuf.String(), err
+}
+
+func TestCLISerialize(t *testing.T) {
+	out, _, err := runCLI(t, []string{"-q", "_*.a[b].c"}, paperDoc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out != "<c></c>\n" {
+		t.Fatalf("got %q", out)
+	}
+}
+
+func TestCLICount(t *testing.T) {
+	out, _, err := runCLI(t, []string{"-q", "_*.c", "-count"}, paperDoc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.TrimSpace(out) != "2" {
+		t.Fatalf("got %q", out)
+	}
+}
+
+func TestCLINodes(t *testing.T) {
+	out, _, err := runCLI(t, []string{"-q", "_*.c", "-nodes"}, paperDoc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out != "3\tc\n5\tc\n" {
+		t.Fatalf("got %q", out)
+	}
+}
+
+func TestCLIXPath(t *testing.T) {
+	out, _, err := runCLI(t, []string{"-xpath", "-q", "//a[b]/c", "-count"}, paperDoc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.TrimSpace(out) != "1" {
+		t.Fatalf("got %q", out)
+	}
+}
+
+func TestCLIConjunctive(t *testing.T) {
+	out, _, err := runCLI(t, []string{"-cq", "q(X3) :- Root(_*.a) X1, X1(b) X2, X1(c) X3", "-nodes"}, paperDoc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out != "5\tc\n" {
+		t.Fatalf("got %q", out)
+	}
+}
+
+func TestCLIStats(t *testing.T) {
+	_, errOut, err := runCLI(t, []string{"-q", "a", "-count", "-stats"}, paperDoc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(errOut, "elements=5") || !strings.Contains(errOut, "matches=1") {
+		t.Fatalf("stats output: %q", errOut)
+	}
+}
+
+func TestCLIFile(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "doc.xml")
+	if err := os.WriteFile(path, []byte(paperDoc), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out, _, err := runCLI(t, []string{"-q", "a.b", "-nodes", path}, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out != "4\tb\n" {
+		t.Fatalf("got %q", out)
+	}
+}
+
+func TestCLIErrors(t *testing.T) {
+	cases := [][]string{
+		{},                          // no query
+		{"-q", "a..b"},              // bad rpeq
+		{"-xpath", "-q", "//["},     // bad xpath
+		{"-cq", "nonsense"},         // bad cq
+		{"-q", "a", "x.xml", "y"},   // too many args
+		{"-q", "a", "/nonexistent"}, // missing file
+	}
+	for _, args := range cases {
+		if _, _, err := runCLI(t, args, paperDoc); err == nil {
+			t.Errorf("args %v unexpectedly succeeded", args)
+		}
+	}
+}
+
+func TestCLIMalformedInput(t *testing.T) {
+	if _, _, err := runCLI(t, []string{"-q", "a"}, "<a><b></a></b>"); err == nil {
+		t.Error("malformed input should fail")
+	}
+}
+
+func TestCLIWindowed(t *testing.T) {
+	doc := `<feed><msg><sport/></msg><msg><news/></msg><msg><sport/></msg></feed>`
+	out, errOut, err := runCLI(t, []string{"-q", "feed.msg[sport]", "-window", "1", "-count", "-stats"}, doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.TrimSpace(out) != "2" {
+		t.Fatalf("count: %q", out)
+	}
+	if !strings.Contains(errOut, "windows=3") {
+		t.Fatalf("stats: %q", errOut)
+	}
+	out, _, err = runCLI(t, []string{"-q", "feed.msg[sport]", "-window", "2"}, doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "window 0\t") || !strings.Contains(out, "window 1\t") {
+		t.Fatalf("windowed output: %q", out)
+	}
+}

@@ -1,0 +1,52 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// TestFigureTablesSmoke runs the harness at a tiny scale and checks the
+// tables have the right shape (full-scale runs are exercised manually; see
+// EXPERIMENTS.md).
+func TestFigureTablesSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	var out, errBuf bytes.Buffer
+	if err := run([]string{"-fig", "14", "-scale", "0.02"}, &out, &errBuf); err != nil {
+		t.Fatal(err)
+	}
+	text := out.String()
+	for _, want := range []string{"Figure 14 — mondial", "Figure 14 — wordnet", "spex [ms]", "treewalk [ms]", "_*.province.city"} {
+		if !strings.Contains(text, want) {
+			t.Errorf("missing %q in:\n%s", want, text)
+		}
+	}
+
+	out.Reset()
+	if err := run([]string{"-fig", "15", "-scale", "0.002"}, &out, &errBuf); err != nil {
+		t.Fatal(err)
+	}
+	text = out.String()
+	for _, want := range []string{"Figure 15 — dmoz-structure", "OOM", "xscan"} {
+		if !strings.Contains(text, want) {
+			t.Errorf("missing %q in:\n%s", want, text)
+		}
+	}
+
+	out.Reset()
+	if err := run([]string{"-fig", "mem", "-scale", "0.01"}, &out, &errBuf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "never materialized") {
+		t.Errorf("memory table: %q", out.String())
+	}
+}
+
+func TestBadFlag(t *testing.T) {
+	var out, errBuf bytes.Buffer
+	if err := run([]string{"-definitely-not-a-flag"}, &out, &errBuf); err == nil {
+		t.Fatal("bad flag should fail")
+	}
+}

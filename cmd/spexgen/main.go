@@ -1,0 +1,81 @@
+// Command spexgen generates the synthetic evaluation documents (stand-ins
+// for MONDIAL, WordNet and DMOZ; see DESIGN.md §3) to stdout or a file.
+//
+// Usage:
+//
+//	spexgen -dataset mondial -scale 1 > mondial.xml
+//	spexgen -dataset dmoz-structure -scale 1 -o dmoz.xml
+//	spexgen -dataset random -seed 7 -depth 6
+//	spexgen -dataset recursive -depth 500
+//	spexgen -info -dataset wordnet -scale 1
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/bench"
+	"repro/internal/dataset"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout, os.Stderr); err != nil {
+		fmt.Fprintln(os.Stderr, "spexgen:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("spexgen", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		name  = fs.String("dataset", "mondial", "dataset: mondial, wordnet, dmoz-structure, dmoz-content, random, recursive, ladder")
+		scale = fs.Float64("scale", 1, "size multiplier; 1 approximates the paper's document")
+		seed  = fs.Uint64("seed", 1, "seed for -dataset random")
+		depth = fs.Int("depth", 6, "depth for random/recursive/ladder documents")
+		out   = fs.String("o", "", "output file (default stdout)")
+		info  = fs.Bool("info", false, "print element count and depth instead of the document")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	var doc *dataset.Doc
+	switch *name {
+	case "random":
+		doc = dataset.RandomTree(*seed, *depth, 4, nil)
+	case "recursive":
+		doc = dataset.Recursive("a", *depth)
+	case "ladder":
+		doc = dataset.Ladder(*depth)
+	default:
+		doc = bench.Dataset(*name, *scale)
+		if doc == nil {
+			return fmt.Errorf("unknown dataset %q", *name)
+		}
+	}
+
+	if *info {
+		i := doc.Info()
+		fmt.Fprintf(stdout, "dataset=%s scale=%g elements=%d maxdepth=%d events=%d\n",
+			doc.Name, *scale, i.Elements, i.MaxDepth, i.Events)
+		return nil
+	}
+
+	var w io.Writer = stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		bw := bufio.NewWriterSize(f, 1<<20)
+		defer bw.Flush()
+		w = bw
+	}
+	_, err := doc.WriteTo(w)
+	return err
+}

@@ -1,0 +1,51 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/xmlstream"
+)
+
+func TestGenInfo(t *testing.T) {
+	var out, errBuf bytes.Buffer
+	if err := run([]string{"-dataset", "mondial", "-scale", "0.1", "-info"}, &out, &errBuf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "dataset=mondial") || !strings.Contains(out.String(), "maxdepth=5") {
+		t.Fatalf("info output: %q", out.String())
+	}
+}
+
+func TestGenDocumentIsWellFormed(t *testing.T) {
+	for _, name := range []string{"wordnet", "random", "recursive", "ladder"} {
+		var out, errBuf bytes.Buffer
+		args := []string{"-dataset", name, "-scale", "0.005", "-depth", "10"}
+		if err := run(args, &out, &errBuf); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if _, err := xmlstream.Measure(xmlstream.NewScanner(bytes.NewReader(out.Bytes()))); err != nil {
+			t.Errorf("%s output not well formed: %v", name, err)
+		}
+	}
+}
+
+func TestGenUnknownDataset(t *testing.T) {
+	var out, errBuf bytes.Buffer
+	if err := run([]string{"-dataset", "nope"}, &out, &errBuf); err == nil {
+		t.Fatal("unknown dataset should fail")
+	}
+}
+
+func TestGenToFile(t *testing.T) {
+	dir := t.TempDir()
+	path := dir + "/out.xml"
+	var out, errBuf bytes.Buffer
+	if err := run([]string{"-dataset", "recursive", "-depth", "3", "-o", path}, &out, &errBuf); err != nil {
+		t.Fatal(err)
+	}
+	if out.Len() != 0 {
+		t.Fatalf("stdout should be empty when -o is used, got %q", out.String())
+	}
+}

@@ -1,0 +1,62 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func writeTemp(t *testing.T, name, content string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), name)
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+const testDTD = `<!ELEMENT a (b*)> <!ELEMENT b (#PCDATA)>`
+
+func TestValidStream(t *testing.T) {
+	dtdPath := writeTemp(t, "t.dtd", testDTD)
+	var out, errBuf bytes.Buffer
+	err := run([]string{"-dtd", dtdPath}, strings.NewReader(`<a><b>x</b></a>`), &out, &errBuf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "valid") {
+		t.Fatalf("output: %q", out.String())
+	}
+}
+
+func TestInvalidStream(t *testing.T) {
+	dtdPath := writeTemp(t, "t.dtd", testDTD)
+	var out, errBuf bytes.Buffer
+	err := run([]string{"-dtd", dtdPath}, strings.NewReader(`<a><c/></a>`), &out, &errBuf)
+	if err == nil {
+		t.Fatal("expected a violation")
+	}
+}
+
+func TestStrictFlag(t *testing.T) {
+	dtdPath := writeTemp(t, "t.dtd", `<!ELEMENT a ANY>`)
+	var out, errBuf bytes.Buffer
+	if err := run([]string{"-dtd", dtdPath}, strings.NewReader(`<a><u/></a>`), &out, &errBuf); err != nil {
+		t.Fatalf("lenient: %v", err)
+	}
+	if err := run([]string{"-dtd", dtdPath, "-strict"}, strings.NewReader(`<a><u/></a>`), &out, &errBuf); err == nil {
+		t.Fatal("strict must reject undeclared <u>")
+	}
+}
+
+func TestMissingDTD(t *testing.T) {
+	var out, errBuf bytes.Buffer
+	if err := run(nil, strings.NewReader(`<a/>`), &out, &errBuf); err == nil {
+		t.Fatal("missing -dtd must fail")
+	}
+	if err := run([]string{"-dtd", "/nonexistent.dtd"}, strings.NewReader(`<a/>`), &out, &errBuf); err == nil {
+		t.Fatal("unreadable -dtd must fail")
+	}
+}

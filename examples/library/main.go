@@ -1,0 +1,94 @@
+// A library-catalog pipeline combining the repository's subsystems: the
+// incoming stream is first validated against a DTD (streaming, §VIII ref.
+// [21]), then queried with backward axes (§II.2 via "XPath: Looking
+// Forward") and the following axis (§I), with answers delivered
+// progressively fragment by fragment.
+package main
+
+import (
+	"fmt"
+	"log"
+	"strings"
+
+	spex "repro"
+	"repro/internal/dtd"
+)
+
+const catalogDTD = `
+<!ELEMENT library (shelf+)>
+<!ELEMENT shelf (book+)>
+<!ELEMENT book (title, author*, review*)>
+<!ELEMENT title (#PCDATA)>
+<!ELEMENT author (#PCDATA)>
+<!ELEMENT review (#PCDATA)>
+`
+
+const catalog = `<library>
+  <shelf>
+    <book><title>Streams</title><author>A</author><review>good</review></book>
+    <book><title>Trees</title><author>B</author></book>
+  </shelf>
+  <shelf>
+    <book><title>Automata</title><author>C</author><review>fine</review><review>great</review></book>
+  </shelf>
+</library>`
+
+type printer struct{ current strings.Builder }
+
+func (p *printer) ResultStart(m spex.Match) { p.current.Reset() }
+func (p *printer) ResultXML(s string)       { p.current.WriteString(s) }
+func (p *printer) ResultEnd(m spex.Match) {
+	fmt.Printf("  answer #%d: %s\n", m.Index, p.current.String())
+}
+
+func main() {
+	// 1. Validate the stream against the catalog DTD.
+	d, err := dtd.Parse(catalogDTD)
+	if err != nil {
+		log.Fatal(err)
+	}
+	d.Strict = true
+	if err := d.ValidateReader(strings.NewReader(catalog)); err != nil {
+		log.Fatal("catalog invalid: ", err)
+	}
+	fmt.Println("catalog validates against the DTD")
+
+	// 2. Backward axis: the books that have reviews, found by navigating
+	// from the review back to its parent.
+	q, err := spex.CompileXPath("//review/parent::book/title")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\ntitles of reviewed books (//review/parent::book/title):")
+	if _, err := q.StreamResults(strings.NewReader(catalog), &printer{}); err != nil {
+		log.Fatal(err)
+	}
+
+	// 3. Following axis: everything shelved after the book titled by the
+	// first shelf's last book.
+	q2, err := spex.CompileXPath("//book[title]/following::title")
+	if err != nil {
+		log.Fatal(err)
+	}
+	var titles []string
+	if _, err := q2.Matches(strings.NewReader(catalog), func(m spex.Match) {
+		titles = append(titles, fmt.Sprintf("#%d", m.Index))
+	}); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\ntitles following some book: %s\n", strings.Join(titles, " "))
+
+	// 4. Early-stop filtering: does any book have two or more reviews?
+	// (Structurally: a review with a following review in the same book is
+	// not expressible without position; approximate with a book whose
+	// review is followed by a review — document-wide here.)
+	filter, err := spex.Compile("_*.book[review]")
+	if err != nil {
+		log.Fatal(err)
+	}
+	ok, err := filter.MatchesDoc(strings.NewReader(catalog))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\ncatalog contains a reviewed book: %v\n", ok)
+}

@@ -1,0 +1,32 @@
+// The paper's MONDIAL experiment end-to-end (§VI, Figure 14 left): generate
+// the geographic database stand-in, run the four query classes with SPEX
+// and both in-memory baselines, and print times and match counts.
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"repro/internal/bench"
+)
+
+func main() {
+	scale := 1.0
+	doc := bench.Dataset("mondial", scale)
+	data := doc.Bytes()
+	info := doc.Info()
+	fmt.Printf("MONDIAL stand-in at scale %g: %.2f MB, %d elements, depth %d\n",
+		scale, float64(len(data))/(1<<20), info.Elements, info.MaxDepth)
+	fmt.Println("(the paper's original: 1.2 MB, 24,184 elements, depth 5)")
+	fmt.Println()
+
+	ms, err := bench.RunFigure(bench.Fig14Mondial, data, bench.Engines, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	bench.WriteTable(os.Stdout, "Figure 14 (left) — MONDIAL, query classes 1-4", ms)
+
+	fmt.Println("\nquery classes: 1 simple structural, 2 qualifier/future condition,")
+	fmt.Println("3 nested results, 4 qualifier/past condition")
+}

@@ -1,0 +1,47 @@
+// Quickstart: compile a query, evaluate it over an XML document, print the
+// answers. This is the paper's complete example (§III.10): the query
+// _*.a[b].c over the document of Fig. 1 selects the second <c> only — the
+// first one's parent <a> has no <b> child.
+package main
+
+import (
+	"fmt"
+	"log"
+	"strings"
+
+	spex "repro"
+)
+
+const doc = `<a>
+  <a><c>first</c></a>
+  <b/>
+  <c>second</c>
+</a>`
+
+func main() {
+	q, err := spex.Compile("_*.a[b].c")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("query: %s\n", q)
+
+	stats, err := q.Results(strings.NewReader(doc), func(r spex.Result) {
+		fmt.Printf("answer #%d <%s>: %s\n", r.Index, r.Name, r.XML)
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("processed %d events (depth %d) through %d transducers\n",
+		stats.Events, stats.MaxDepth, stats.Transducers)
+
+	// The same query in the XPath fragment.
+	xq, err := spex.CompileXPath("//a[b]/c")
+	if err != nil {
+		log.Fatal(err)
+	}
+	n, err := xq.Count(strings.NewReader(doc))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("XPath //a[b]/c finds %d answer(s)\n", n)
+}

@@ -1,0 +1,177 @@
+package baseline
+
+import (
+	"fmt"
+
+	"repro/internal/dom"
+	"repro/internal/rpeq"
+)
+
+// Automaton evaluates rpeq by compiling it into a Thompson-style NFA over
+// root-to-node label paths and running the NFA top-down over the
+// materialized tree: each tree node carries the set of NFA states its root
+// path reaches, and a node is selected when the set contains the accepting
+// state. Qualifiers become predicates on ε-transitions, decided against the
+// subtree of the node at which the transition fires. This is the
+// algorithmic class of a regular tree-expression engine (the paper's Fxgrep
+// comparator) and of the DFA-based X-Scan operator discussed in §VIII.
+type Automaton struct{}
+
+// Name implements Evaluator.
+func (Automaton) Name() string { return "automaton" }
+
+type epsEdge struct {
+	to   int
+	pred rpeq.Node // qualifier condition; nil = unconditional
+}
+
+type labEdge struct {
+	label string // "_" matches any element label
+	to    int
+}
+
+type pathNFA struct {
+	eps     [][]epsEdge
+	lab     [][]labEdge
+	start   int
+	accept  int
+	nstates int
+}
+
+func (n *pathNFA) newState() int {
+	n.eps = append(n.eps, nil)
+	n.lab = append(n.lab, nil)
+	n.nstates++
+	return n.nstates - 1
+}
+
+func (n *pathNFA) addEps(from, to int, pred rpeq.Node) {
+	n.eps[from] = append(n.eps[from], epsEdge{to: to, pred: pred})
+}
+
+func (n *pathNFA) addLab(from int, label string, to int) {
+	n.lab[from] = append(n.lab[from], labEdge{label: label, to: to})
+}
+
+// compileNFA builds the automaton for expr.
+func compileNFA(expr rpeq.Node) *pathNFA {
+	n := &pathNFA{}
+	in := n.newState()
+	out := n.frag(expr, in)
+	n.start, n.accept = in, out
+	return n
+}
+
+// frag adds the states of expr starting at state in and returns the
+// fragment's exit state.
+func (n *pathNFA) frag(expr rpeq.Node, in int) int {
+	switch e := expr.(type) {
+	case *rpeq.Empty:
+		return in
+	case *rpeq.Label:
+		out := n.newState()
+		n.addLab(in, e.Name, out)
+		return out
+	case *rpeq.Plus:
+		out := n.newState()
+		n.addLab(in, e.Label.Name, out)
+		n.addLab(out, e.Label.Name, out)
+		return out
+	case *rpeq.Star:
+		out := n.newState()
+		n.addEps(in, out, nil)
+		n.addLab(in, e.Label.Name, out)
+		n.addLab(out, e.Label.Name, out)
+		return out
+	case *rpeq.Concat:
+		return n.frag(e.Right, n.frag(e.Left, in))
+	case *rpeq.Union:
+		lout := n.frag(e.Left, in)
+		rout := n.frag(e.Right, in)
+		out := n.newState()
+		n.addEps(lout, out, nil)
+		n.addEps(rout, out, nil)
+		return out
+	case *rpeq.Optional:
+		iout := n.frag(e.Expr, in)
+		out := n.newState()
+		n.addEps(in, out, nil)
+		n.addEps(iout, out, nil)
+		return out
+	case *rpeq.Qualifier:
+		bout := n.frag(e.Base, in)
+		out := n.newState()
+		n.addEps(bout, out, e.Cond)
+		return out
+	default:
+		panic(fmt.Sprintf("baseline: unknown rpeq node %T", expr))
+	}
+}
+
+// eclose extends set with all states reachable by ε-transitions whose
+// predicates hold at node.
+func (n *pathNFA) eclose(set []bool, node *dom.Node) {
+	var stack []int
+	for s, in := range set {
+		if in {
+			stack = append(stack, s)
+		}
+	}
+	for len(stack) > 0 {
+		s := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, e := range n.eps[s] {
+			if set[e.to] {
+				continue
+			}
+			if e.pred != nil && !condHolds(e.pred, node) {
+				continue
+			}
+			set[e.to] = true
+			stack = append(stack, e.to)
+		}
+	}
+}
+
+// move returns the states reachable from set by consuming an element with
+// the given label.
+func (n *pathNFA) move(set []bool, label string) []bool {
+	out := make([]bool, n.nstates)
+	for s, in := range set {
+		if !in {
+			continue
+		}
+		for _, e := range n.lab[s] {
+			if e.label == rpeq.Wildcard || e.label == label {
+				out[e.to] = true
+			}
+		}
+	}
+	return out
+}
+
+// Eval implements Evaluator.
+func (Automaton) Eval(doc *dom.Node, expr rpeq.Node) []*dom.Node {
+	nfa := compileNFA(expr)
+	var results []*dom.Node
+	rootSet := make([]bool, nfa.nstates)
+	rootSet[nfa.start] = true
+	nfa.eclose(rootSet, doc)
+	var descend func(node *dom.Node, set []bool)
+	descend = func(node *dom.Node, set []bool) {
+		node.ElementChildren(func(child *dom.Node) {
+			cs := nfa.move(set, child.Name)
+			nfa.eclose(cs, child)
+			if cs[nfa.accept] {
+				results = append(results, child)
+			}
+			descend(child, cs)
+		})
+	}
+	descend(doc, rootSet)
+	// ε-only expressions can select the document node itself.
+	if rootSet[nfa.accept] {
+		results = append([]*dom.Node{doc}, results...)
+	}
+	return results
+}

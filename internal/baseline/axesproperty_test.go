@@ -1,0 +1,65 @@
+package baseline
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/dataset"
+	"repro/internal/dom"
+	"repro/internal/rpeq"
+)
+
+// randAxisQuery builds a random query containing a following or preceding
+// step: a structural prefix, the axis, and optionally a structural suffix.
+func randAxisQuery(r *rand.Rand, depth int) rpeq.Node {
+	labels := []string{"a", "b", "c", "_"}
+	test := labels[r.Intn(len(labels))]
+	var axis rpeq.Node
+	if r.Intn(2) == 0 {
+		axis = &rpeq.Following{Test: test}
+	} else {
+		axis = &rpeq.Preceding{Test: test}
+	}
+	expr := rpeq.Node(&rpeq.Concat{Left: randQuery(r, depth), Right: axis})
+	if r.Intn(2) == 0 {
+		expr = &rpeq.Concat{Left: expr, Right: randQuery(r, 1)}
+	}
+	return expr
+}
+
+// TestPropertyAxes: SPEX's streaming following/preceding transducers agree
+// with the direct DOM evaluation on random documents and random queries.
+// (The automaton baseline is restricted to the paper's core grammar and
+// sits this one out.)
+func TestPropertyAxes(t *testing.T) {
+	count := 300
+	if testing.Short() {
+		count = 50
+	}
+	prop := func(docSeed uint16, querySeed uint16) bool {
+		doc := dataset.RandomTree(uint64(docSeed)+1, 5, 3, []string{"a", "b", "c"})
+		xml := string(doc.Bytes())
+		r := rand.New(rand.NewSource(int64(querySeed)))
+		expr := randAxisQuery(r, 2)
+
+		tree, err := dom.BuildString(xml)
+		if err != nil {
+			return false
+		}
+		want := indexList(TreeWalk{}.Eval(tree, expr))
+		got, err := spexIndices(expr, xml)
+		if err != nil {
+			t.Logf("spex failed: %s over %s: %v", expr, xml, err)
+			return false
+		}
+		if !equalInt64(got, want) {
+			t.Logf("disagreement:\n query %s\n doc   %s\n walk  %v\n spex  %v", expr, xml, want, got)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: count}); err != nil {
+		t.Fatal(err)
+	}
+}

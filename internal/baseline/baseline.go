@@ -1,0 +1,68 @@
+// Package baseline implements the in-memory comparator processors of the
+// paper's evaluation (§VI). Both first materialize the entire document as a
+// tree — the defining trait of the processors SPEX is compared against —
+// and then evaluate the rpeq over the tree:
+//
+//   - TreeWalk navigates the tree recursively, the algorithmic class of an
+//     XSLT/XPath engine such as Saxon.
+//   - Automaton compiles the rpeq into an NFA over root-to-node label paths
+//     and runs it top-down over the tree, the algorithmic class of a regular
+//     tree-expression engine such as Fxgrep.
+//
+// The two baselines and SPEX must agree on every query and document; the
+// cross-validation tests and the property-based tests enforce this.
+package baseline
+
+import (
+	"io"
+	"sort"
+
+	"repro/internal/dom"
+	"repro/internal/rpeq"
+	"repro/internal/xmlstream"
+)
+
+// Evaluator evaluates an rpeq over a materialized document tree and returns
+// the selected nodes in document order.
+type Evaluator interface {
+	// Name identifies the evaluator in benchmark output.
+	Name() string
+	// Eval returns the nodes of doc selected by expr, in document order,
+	// without duplicates.
+	Eval(doc *dom.Node, expr rpeq.Node) []*dom.Node
+}
+
+// EvalStream runs the full in-memory pipeline: materialize the stream, then
+// evaluate. This is what the paper times for Saxon and Fxgrep, and what
+// exhausts memory on the DMOZ-sized documents of Fig. 15.
+func EvalStream(ev Evaluator, src xmlstream.Source, expr rpeq.Node) ([]*dom.Node, error) {
+	doc, err := dom.Build(src)
+	if err != nil {
+		return nil, err
+	}
+	return ev.Eval(doc, expr), nil
+}
+
+// EvalReader is EvalStream over raw XML bytes.
+func EvalReader(ev Evaluator, r io.Reader, expr rpeq.Node) ([]*dom.Node, error) {
+	return EvalStream(ev, xmlstream.NewScanner(r), expr)
+}
+
+// nodeSet is a set of tree nodes that preserves cheap iteration in document
+// order via sorting on demand.
+type nodeSet map[*dom.Node]bool
+
+func (s nodeSet) add(n *dom.Node) { s[n] = true }
+
+func (s nodeSet) ordered() []*dom.Node {
+	out := make([]*dom.Node, 0, len(s))
+	for n := range s {
+		out = append(out, n)
+	}
+	sortByIndex(out)
+	return out
+}
+
+func sortByIndex(nodes []*dom.Node) {
+	sort.Slice(nodes, func(i, j int) bool { return nodes[i].Index < nodes[j].Index })
+}

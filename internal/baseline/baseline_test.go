@@ -1,0 +1,134 @@
+package baseline
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/dom"
+	"repro/internal/rpeq"
+	"repro/internal/spexnet"
+	"repro/internal/xmlstream"
+)
+
+const paperDoc = `<a><a><c/></a><b/><c/></a>`
+
+var crossQueries = []string{
+	"a", "a.c", "a.a.c", "a+.c+", "_*.c", "_", "_+", "_*._",
+	"a.(b|c)", "(a|b).c", "a?.a", "a.a?.c",
+	"_*.a[b].c", "_*.a[c].c", "a[b]", "a[x]", "a[a.c].b",
+	"a[a[c]]", "a[a[c]].b", "_*.a[_*.c]", "%e", "%e.a", "(a|%e)",
+	"a[b].a", "a[a].c", "_*.a[b]._*.c",
+}
+
+var crossDocs = []string{
+	paperDoc,
+	`<r/>`,
+	`<a><b><a><b/></a></b><c><a><c/></a></c></a>`,
+	`<a><x><a/></x><a><a/></a></a>`,
+	`<x><a><b/><c/></a><a><c/></a><a><b/></a></x>`,
+}
+
+func spexNodes(t *testing.T, expr rpeq.Node, doc string) []int64 {
+	t.Helper()
+	var got []int64
+	net, err := spexnet.Build(expr, spexnet.Options{Mode: spexnet.ModeNodes,
+		Sink: func(r spexnet.Result) { got = append(got, r.Index) }})
+	if err != nil {
+		t.Fatalf("build: %v", err)
+	}
+	if _, err := net.Run(xmlstream.NewScanner(strings.NewReader(doc))); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	return got
+}
+
+func baselineNodes(t *testing.T, ev Evaluator, expr rpeq.Node, doc string) []int64 {
+	t.Helper()
+	tree, err := dom.BuildString(doc)
+	if err != nil {
+		t.Fatalf("dom: %v", err)
+	}
+	nodes := ev.Eval(tree, expr)
+	out := make([]int64, len(nodes))
+	for i, n := range nodes {
+		out[i] = n.Index
+	}
+	return out
+}
+
+// TestCrossValidation checks that SPEX, the tree-walk baseline and the
+// automaton baseline select exactly the same nodes for every query/document
+// combination.
+func TestCrossValidation(t *testing.T) {
+	for _, doc := range crossDocs {
+		for _, q := range crossQueries {
+			expr, err := rpeq.Parse(q)
+			if err != nil {
+				t.Fatalf("parse %q: %v", q, err)
+			}
+			want := spexNodes(t, expr, doc)
+			for _, ev := range []Evaluator{TreeWalk{}, Automaton{}} {
+				got := baselineNodes(t, ev, expr, doc)
+				if !equalInt64(got, want) {
+					t.Errorf("%s disagrees with SPEX on %q over %s:\n  %s: %v\n  spex: %v",
+						ev.Name(), q, doc, ev.Name(), got, want)
+				}
+			}
+		}
+	}
+}
+
+func equalInt64(a, b []int64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestTreeWalkBasics(t *testing.T) {
+	tree, err := dom.BuildString(paperDoc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := TreeWalk{}.Eval(tree, rpeq.MustParse("a.c"))
+	if len(got) != 1 || got[0].Index != 5 {
+		t.Fatalf("a.c: got %v", got)
+	}
+	if n := tree.Count(); n != 5 {
+		t.Fatalf("Count: got %d, want 5", n)
+	}
+	if d := tree.Depth(); d != 3 {
+		t.Fatalf("Depth: got %d, want 3", d)
+	}
+}
+
+func TestAutomatonClosureChains(t *testing.T) {
+	tree, err := dom.BuildString(`<a><x><a/></x><a><a/></a></a>`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := Automaton{}.Eval(tree, rpeq.MustParse("a+"))
+	var idx []int64
+	for _, n := range got {
+		idx = append(idx, n.Index)
+	}
+	want := []int64{1, 4, 5}
+	if !equalInt64(idx, want) {
+		t.Fatalf("a+: got %v, want %v", idx, want)
+	}
+}
+
+func TestEvalReader(t *testing.T) {
+	nodes, err := EvalReader(TreeWalk{}, strings.NewReader(paperDoc), rpeq.MustParse("_*.c"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(nodes) != 2 {
+		t.Fatalf("got %d nodes, want 2", len(nodes))
+	}
+}

@@ -1,0 +1,34 @@
+package baseline
+
+import (
+	"strings"
+
+	"repro/internal/rpeq"
+	"repro/internal/spexnet"
+	"repro/internal/xmlstream"
+)
+
+// buildNet builds a SPEX network that reports answer indices (and, when
+// serialize is non-nil, serialized subtrees).
+func buildNet(expr rpeq.Node, onIndex func(int64), serialize func(int64, string)) (*spexnet.Network, error) {
+	if serialize != nil {
+		return spexnet.Build(expr, spexnet.Options{
+			Mode: spexnet.ModeSerialize,
+			Sink: func(r spexnet.Result) { serialize(r.Index, xmlstream.Serialize(r.Events)) },
+		})
+	}
+	return spexnet.Build(expr, spexnet.Options{
+		Mode: spexnet.ModeNodes,
+		Sink: func(r spexnet.Result) { onIndex(r.Index) },
+	})
+}
+
+// evalSerialize runs expr over doc in serialize mode, invoking fn per
+// answer.
+func evalSerialize(expr rpeq.Node, doc string, fn func(int64, string)) (spexnet.Stats, error) {
+	net, err := buildNet(expr, nil, fn)
+	if err != nil {
+		return spexnet.Stats{}, err
+	}
+	return net.Run(xmlstream.NewScanner(strings.NewReader(doc)))
+}

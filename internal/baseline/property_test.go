@@ -1,0 +1,144 @@
+package baseline
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/dataset"
+	"repro/internal/dom"
+	"repro/internal/rpeq"
+	"repro/internal/xmlstream"
+)
+
+// randQuery builds a random rpeq over a small alphabet. Qualifier nesting
+// and closures are generated with realistic frequency so the generator
+// exercises every transducer kind.
+func randQuery(r *rand.Rand, depth int) rpeq.Node {
+	labels := []string{"a", "b", "c", "_"}
+	label := func() *rpeq.Label { return &rpeq.Label{Name: labels[r.Intn(len(labels))]} }
+	if depth == 0 {
+		switch r.Intn(8) {
+		case 0:
+			return &rpeq.Plus{Label: label()}
+		case 1:
+			return &rpeq.Star{Label: label()}
+		case 2:
+			return &rpeq.Empty{}
+		default:
+			return label()
+		}
+	}
+	switch r.Intn(10) {
+	case 0, 1, 2, 3:
+		return &rpeq.Concat{Left: randQuery(r, depth-1), Right: randQuery(r, depth-1)}
+	case 4, 5:
+		return &rpeq.Union{Left: randQuery(r, depth-1), Right: randQuery(r, depth-1)}
+	case 6:
+		return &rpeq.Optional{Expr: randQuery(r, depth-1)}
+	case 7, 8:
+		return &rpeq.Qualifier{Base: randQuery(r, depth-1), Cond: randQuery(r, depth-1)}
+	default:
+		return randQuery(r, 0)
+	}
+}
+
+// TestPropertySPEXAgreesWithBaselines is the central correctness property:
+// on arbitrary documents and arbitrary queries, the streaming evaluator
+// selects exactly the nodes both in-memory evaluators select.
+func TestPropertySPEXAgreesWithBaselines(t *testing.T) {
+	count := 400
+	if testing.Short() {
+		count = 60
+	}
+	prop := func(docSeed uint16, querySeed uint16) bool {
+		doc := dataset.RandomTree(uint64(docSeed)+1, 5, 3, []string{"a", "b", "c"})
+		xml := string(doc.Bytes())
+		r := rand.New(rand.NewSource(int64(querySeed)))
+		expr := randQuery(r, 3)
+
+		tree, err := dom.BuildString(xml)
+		if err != nil {
+			t.Logf("dom build failed on %q: %v", xml, err)
+			return false
+		}
+		want := indexList(TreeWalk{}.Eval(tree, expr))
+		wantA := indexList(Automaton{}.Eval(tree, expr))
+		got, err := spexIndices(expr, xml)
+		if err != nil {
+			t.Logf("spex failed: query %s doc %q: %v", expr, xml, err)
+			return false
+		}
+		if !equalInt64(want, wantA) || !equalInt64(want, got) {
+			t.Logf("disagreement:\n query %s\n doc   %s\n walk  %v\n auto  %v\n spex  %v",
+				expr, xml, want, wantA, got)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: count}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPropertySerializationMatchesDOM checks that the subtree SPEX
+// serializes for each answer equals the DOM subtree of the selected node.
+func TestPropertySerializationMatchesDOM(t *testing.T) {
+	prop := func(docSeed uint16, querySeed uint16) bool {
+		doc := dataset.RandomTree(uint64(docSeed)+1, 4, 3, []string{"a", "b"})
+		xml := string(doc.Bytes())
+		r := rand.New(rand.NewSource(int64(querySeed)))
+		expr := randQuery(r, 2)
+
+		tree, err := dom.BuildString(xml)
+		if err != nil {
+			return false
+		}
+		nodes := TreeWalk{}.Eval(tree, expr)
+		byIndex := map[int64]*dom.Node{}
+		for _, n := range nodes {
+			byIndex[n.Index] = n
+		}
+		ok := true
+		seen := 0
+		_, err = evalSerialize(expr, xml, func(index int64, xmlOut string) {
+			seen++
+			n := byIndex[index]
+			if n == nil {
+				ok = false
+				return
+			}
+			if xmlstream.Serialize(n.Events()) != xmlOut {
+				t.Logf("serialization mismatch at %d: %q vs %q", index, xmlOut, xmlstream.Serialize(n.Events()))
+				ok = false
+			}
+		})
+		return err == nil && ok && seen == len(nodes)
+	}
+	count := 200
+	if testing.Short() {
+		count = 40
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: count}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func indexList(nodes []*dom.Node) []int64 {
+	out := make([]int64, len(nodes))
+	for i, n := range nodes {
+		out[i] = n.Index
+	}
+	return out
+}
+
+func spexIndices(expr rpeq.Node, doc string) ([]int64, error) {
+	var got []int64
+	net, err := buildNet(expr, func(index int64) { got = append(got, index) }, nil)
+	if err != nil {
+		return nil, err
+	}
+	_, err = net.Run(xmlstream.NewScanner(strings.NewReader(doc)))
+	return got, err
+}

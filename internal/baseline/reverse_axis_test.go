@@ -1,0 +1,128 @@
+package baseline
+
+import (
+	"testing"
+
+	"repro/internal/dataset"
+	"repro/internal/dom"
+	"repro/internal/rpeq"
+)
+
+// These tests validate the reverse-axis rewriting (rpeq/reverse.go, the
+// paper's §II.2 claim that parent and ancestor are expressible in the
+// forward fragment) semantically: the rewritten forward query, evaluated by
+// SPEX, must select exactly the nodes a direct DOM implementation of the
+// axis selects.
+
+// axisCase pairs an XPath using a reverse axis with a direct DOM
+// evaluation: forward prefix (as rpeq) + axis applied on the tree.
+type axisCase struct {
+	xpath  string
+	prefix string // forward rpeq for the part before the reverse step
+	axis   string // "parent", "ancestor", "ancestor-or-self"
+	test   string // node test for the reverse step
+}
+
+var axisCases = []axisCase{
+	{"/a/b/parent::*", "a.b", "parent", "_"},
+	{"//b/parent::a", "_*.b", "parent", "a"},
+	{"//a/parent::*", "_*.a", "parent", "_"},
+	{"//a/..", "_*.a", "parent", "_"},
+	{"/a/b/c/ancestor::*", "a.b.c", "ancestor", "_"},
+	{"//c/ancestor::a", "_*.c", "ancestor", "a"},
+	{"//b/ancestor::*", "_*.b", "ancestor", "_"},
+	{"//a/ancestor-or-self::a", "_*.a", "ancestor-or-self", "a"},
+	{"/a/b[c]/parent::*", "a.b[c]", "parent", "_"},
+	{"//a/b/parent::a", "(_*.a).b", "parent", "a"},
+}
+
+// directAxis applies the reverse axis on the DOM to the prefix's node set.
+func directAxis(doc *dom.Node, prefixExpr rpeq.Node, axis, test string) []int64 {
+	prefixNodes := TreeWalk{}.Eval(doc, prefixExpr)
+	seen := map[*dom.Node]bool{}
+	matches := func(n *dom.Node) bool {
+		if n == nil || n.Kind != dom.Element {
+			return false // the document node carries no label
+		}
+		return test == rpeq.Wildcard || n.Name == test
+	}
+	for _, n := range prefixNodes {
+		switch axis {
+		case "parent":
+			if matches(n.Parent) {
+				seen[n.Parent] = true
+			}
+		case "ancestor", "ancestor-or-self":
+			for p := n.Parent; p != nil; p = p.Parent {
+				if matches(p) {
+					seen[p] = true
+				}
+			}
+			if axis == "ancestor-or-self" && matches(n) {
+				seen[n] = true
+			}
+		}
+	}
+	nodes := make([]*dom.Node, 0, len(seen))
+	for n := range seen {
+		nodes = append(nodes, n)
+	}
+	sortByIndex(nodes)
+	return indexList(nodes)
+}
+
+func TestReverseAxisRewritingAgainstDOM(t *testing.T) {
+	var docs []string
+	// Fixed documents exercising chains, repeats and branching...
+	docs = append(docs,
+		`<a><b><c/></b><b/><a><b><c/></b></a></a>`,
+		`<a><a><a/></a></a>`,
+		`<x><a><b/></a><b><a/></b></x>`,
+	)
+	// ...plus a corpus of random trees.
+	for seed := uint64(1); seed <= 40; seed++ {
+		docs = append(docs, string(dataset.RandomTree(seed, 5, 3, []string{"a", "b", "c"}).Bytes()))
+	}
+	for _, doc := range docs {
+		tree, err := dom.BuildString(doc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, tc := range axisCases {
+			rewritten, err := rpeq.ParseXPath(tc.xpath)
+			if err != nil {
+				t.Fatalf("%s: %v", tc.xpath, err)
+			}
+			got, err := spexIndices(rewritten, doc)
+			if err != nil {
+				t.Fatalf("%s over %s: %v", tc.xpath, doc, err)
+			}
+			want := directAxis(tree, rpeq.MustParse(tc.prefix), tc.axis, tc.test)
+			if !equalInt64(got, want) {
+				t.Errorf("%s over %s:\n rewritten: %v\n direct:    %v\n (rewrite: %s)",
+					tc.xpath, doc, got, want, rpeq.Canonical(rewritten))
+			}
+		}
+	}
+}
+
+// TestReverseAxisDeduplication: rewritten ancestor queries are unions whose
+// branches can overlap; the result must still be duplicate-free (the join
+// transducer's duplicate elimination, §III.7).
+func TestReverseAxisDeduplication(t *testing.T) {
+	// Every ancestor of both b and of c: branches overlap on a-nodes
+	// having both.
+	doc := `<a><a><b/><c/></a></a>`
+	expr, err := rpeq.ParseXPath("//b/ancestor::a | //c/ancestor::a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := spexIndices(expr, doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []int64{1, 2}
+	if !equalInt64(got, want) {
+		t.Fatalf("got %v, want %v", got, want)
+	}
+}

@@ -1,0 +1,74 @@
+package baseline
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/dataset"
+	"repro/internal/dom"
+	"repro/internal/rpeq"
+)
+
+// randTextQuery extends the structural generator with text-test qualifiers
+// over a tiny value alphabet shared with the document generator, so tests
+// hit and miss realistically.
+func randTextQuery(r *rand.Rand, depth int) rpeq.Node {
+	values := []string{"x", "y", "xy", ""}
+	base := randQuery(r, depth)
+	if r.Intn(2) == 0 {
+		return base
+	}
+	op := rpeq.TextEq
+	switch r.Intn(3) {
+	case 1:
+		op = rpeq.TextNeq
+	case 2:
+		op = rpeq.TextContains
+	}
+	return &rpeq.Qualifier{
+		Base: base,
+		Cond: &rpeq.TextTest{
+			Path:  randQuery(r, 1),
+			Op:    op,
+			Value: values[r.Intn(len(values))],
+		},
+	}
+}
+
+// TestPropertyTextQualifiers: SPEX agrees with both in-memory engines on
+// random documents with character data and random queries with text tests.
+func TestPropertyTextQualifiers(t *testing.T) {
+	count := 300
+	if testing.Short() {
+		count = 50
+	}
+	prop := func(docSeed uint16, querySeed uint16) bool {
+		doc := dataset.RandomTreeText(uint64(docSeed)+1, 4, 3,
+			[]string{"a", "b", "c"}, []string{"x", "y"})
+		xml := string(doc.Bytes())
+		r := rand.New(rand.NewSource(int64(querySeed)))
+		expr := randTextQuery(r, 2)
+
+		tree, err := dom.BuildString(xml)
+		if err != nil {
+			return false
+		}
+		want := indexList(TreeWalk{}.Eval(tree, expr))
+		wantA := indexList(Automaton{}.Eval(tree, expr))
+		got, err := spexIndices(expr, xml)
+		if err != nil {
+			t.Logf("spex failed: %s over %s: %v", expr, xml, err)
+			return false
+		}
+		if !equalInt64(got, want) || !equalInt64(want, wantA) {
+			t.Logf("disagreement:\n query %s\n doc   %s\n walk  %v\n auto  %v\n spex  %v",
+				expr, xml, want, wantA, got)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: count}); err != nil {
+		t.Fatal(err)
+	}
+}

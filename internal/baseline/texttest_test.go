@@ -1,0 +1,112 @@
+package baseline
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"repro/internal/dom"
+	"repro/internal/rpeq"
+)
+
+// Text-test qualifiers (a[b = "v"], an extension toward the XPath/XQuery
+// migration of §VII/IX) cross-validated: SPEX vs both in-memory engines.
+
+const textDoc = `<catalog>` +
+	`<book><title>Streams</title><lang>en</lang></book>` +
+	`<book><title>Flüsse</title><lang>de</lang></book>` +
+	`<book><title>Streams</title><lang>de</lang></book>` +
+	`<book><lang>en</lang></book>` +
+	`</catalog>`
+
+func TestTextQualifierCrossValidation(t *testing.T) {
+	queries := []string{
+		`catalog.book[lang = "en"]`,
+		`catalog.book[lang = "de"].title`,
+		`catalog.book[lang != "en"]`,
+		`catalog.book[title = "Streams"][lang = "de"]`,
+		`_*.book[title *= "eam"]`,
+		`catalog.book[title = "nope"]`,
+		`_*._[%e = "en"]`,
+		`catalog[book.lang = "en"].book`,
+	}
+	tree, err := dom.BuildString(textDoc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, q := range queries {
+		expr, err := rpeq.Parse(q)
+		if err != nil {
+			t.Fatalf("parse %q: %v", q, err)
+		}
+		want := indexList(TreeWalk{}.Eval(tree, expr))
+		wantA := indexList(Automaton{}.Eval(tree, expr))
+		got, err := spexIndices(expr, textDoc)
+		if err != nil {
+			t.Fatalf("%s: %v", q, err)
+		}
+		if !equalInt64(got, want) || !equalInt64(got, wantA) {
+			t.Errorf("%s:\n spex %v\n walk %v\n auto %v", q, got, want, wantA)
+		}
+	}
+}
+
+// TestTextQualifierStringValue: the string value concatenates nested text.
+func TestTextQualifierStringValue(t *testing.T) {
+	doc := `<r><p>hello <b>world</b>!</p><p>bye</p></r>`
+	expr := rpeq.MustParse(`r.p[%e = "hello world!"]`)
+	got, err := spexIndices(expr, doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 || got[0] != 2 {
+		t.Fatalf("got %v, want [2]", got)
+	}
+}
+
+// TestTextQualifierXPath: the XPath front end accepts the same tests.
+func TestTextQualifierXPath(t *testing.T) {
+	expr, err := rpeq.ParseXPath(`//book[lang = "en"]/title`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := spexIndices(expr, textDoc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Only book 1 has lang=en AND a title (book 4 has no title).
+	if len(got) != 1 || got[0] != 3 {
+		t.Fatalf("got %v, want [3]", got)
+	}
+	// Single-quoted strings too.
+	if _, err := rpeq.ParseXPath(`//book[lang = 'en']`); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestTextQualifierGenerated sweeps a larger generated document with a mix
+// of values to exercise buffer recycling and many instances.
+func TestTextQualifierGenerated(t *testing.T) {
+	var sb strings.Builder
+	sb.WriteString("<db>")
+	for i := 0; i < 500; i++ {
+		fmt.Fprintf(&sb, "<rec><k>%d</k><tag>t%d</tag></rec>", i%7, i%3)
+	}
+	sb.WriteString("</db>")
+	doc := sb.String()
+	tree, err := dom.BuildString(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, q := range []string{`db.rec[k = "3"]`, `db.rec[k = "3"][tag = "t0"]`, `db.rec[k != "0"].tag`} {
+		expr := rpeq.MustParse(q)
+		want := indexList(TreeWalk{}.Eval(tree, expr))
+		got, err := spexIndices(expr, doc)
+		if err != nil {
+			t.Fatalf("%s: %v", q, err)
+		}
+		if !equalInt64(got, want) {
+			t.Errorf("%s: spex %d answers, walk %d", q, len(got), len(want))
+		}
+	}
+}

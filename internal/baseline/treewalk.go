@@ -1,0 +1,181 @@
+package baseline
+
+import (
+	"strings"
+
+	"repro/internal/dom"
+	"repro/internal/rpeq"
+)
+
+// TreeWalk evaluates rpeq by recursive navigation over the materialized
+// tree: each construct maps a context node set to a result node set. This
+// is the algorithmic class of an in-memory XPath engine (the paper's Saxon
+// comparator).
+type TreeWalk struct{}
+
+// Name implements Evaluator.
+func (TreeWalk) Name() string { return "treewalk" }
+
+// Eval implements Evaluator: it evaluates expr with the document node as
+// the context and returns the selected nodes in document order.
+func (TreeWalk) Eval(doc *dom.Node, expr rpeq.Node) []*dom.Node {
+	ctx := nodeSet{doc: true}
+	return evalSet(expr, ctx).ordered()
+}
+
+// evalSet returns the nodes reachable from any context node by paths
+// conforming to expr.
+func evalSet(expr rpeq.Node, ctx nodeSet) nodeSet {
+	switch n := expr.(type) {
+	case *rpeq.Empty:
+		// Copy: callers may extend the returned set, and the context is
+		// shared between the branches of unions and qualifiers.
+		out := make(nodeSet, len(ctx))
+		for c := range ctx {
+			out.add(c)
+		}
+		return out
+
+	case *rpeq.Label:
+		out := make(nodeSet)
+		for c := range ctx {
+			c.ElementChildren(func(k *dom.Node) {
+				if n.Matches(k.Name) {
+					out.add(k)
+				}
+			})
+		}
+		return out
+
+	case *rpeq.Plus:
+		// Chains of label steps: iterate the child step to fixpoint.
+		out := make(nodeSet)
+		frontier := evalSet(&rpeq.Label{Name: n.Label.Name}, ctx)
+		for len(frontier) > 0 {
+			next := make(nodeSet)
+			for k := range frontier {
+				if out[k] {
+					continue
+				}
+				out.add(k)
+				k.ElementChildren(func(g *dom.Node) {
+					if n.Label.Matches(g.Name) {
+						next.add(g)
+					}
+				})
+			}
+			frontier = next
+		}
+		return out
+
+	case *rpeq.Star:
+		out := evalSet(&rpeq.Plus{Label: n.Label}, ctx)
+		for c := range ctx {
+			out.add(c)
+		}
+		return out
+
+	case *rpeq.Concat:
+		return evalSet(n.Right, evalSet(n.Left, ctx))
+
+	case *rpeq.Union:
+		out := evalSet(n.Left, ctx)
+		for k := range evalSet(n.Right, ctx) {
+			out.add(k)
+		}
+		return out
+
+	case *rpeq.Optional:
+		out := evalSet(n.Expr, ctx)
+		for c := range ctx {
+			out.add(c)
+		}
+		return out
+
+	case *rpeq.Qualifier:
+		base := evalSet(n.Base, ctx)
+		out := make(nodeSet)
+		for k := range base {
+			if condHolds(n.Cond, k) {
+				out.add(k)
+			}
+		}
+		return out
+
+	case *rpeq.Following:
+		// Elements after the context in document order, excluding its
+		// descendants (and, by index order, its ancestors).
+		out := make(nodeSet)
+		for c := range ctx {
+			root := documentOf(c)
+			root.Walk(func(m *dom.Node) {
+				if m.Kind == dom.Element && m.Index > c.Index && !isDescendantOf(m, c) && n.Matches(m.Name) {
+					out.add(m)
+				}
+			})
+		}
+		return out
+
+	case *rpeq.Preceding:
+		// Elements wholly before the context: smaller index and not an
+		// ancestor.
+		out := make(nodeSet)
+		for c := range ctx {
+			root := documentOf(c)
+			root.Walk(func(m *dom.Node) {
+				if m.Kind == dom.Element && m.Index < c.Index && m.Index > 0 && !isDescendantOf(c, m) && n.Matches(m.Name) {
+					out.add(m)
+				}
+			})
+		}
+		return out
+
+	default:
+		return make(nodeSet)
+	}
+}
+
+// condHolds decides a qualifier condition at node n: a structural
+// condition holds when it selects a non-empty set; a text test holds when
+// some selected node's string value satisfies the comparison.
+func condHolds(cond rpeq.Node, n *dom.Node) bool {
+	if tt, ok := cond.(*rpeq.TextTest); ok {
+		for k := range evalSet(tt.Path, nodeSet{n: true}) {
+			if tt.Op.Holds(stringValue(k), tt.Value) {
+				return true
+			}
+		}
+		return false
+	}
+	return len(evalSet(cond, nodeSet{n: true})) > 0
+}
+
+// stringValue returns the XPath string value of a node: the concatenation
+// of all character data in its subtree.
+func stringValue(n *dom.Node) string {
+	var b strings.Builder
+	n.Walk(func(m *dom.Node) {
+		if m.Kind == dom.TextNode {
+			b.WriteString(m.Data)
+		}
+	})
+	return b.String()
+}
+
+// documentOf returns the document node of n's tree.
+func documentOf(n *dom.Node) *dom.Node {
+	for n.Parent != nil {
+		n = n.Parent
+	}
+	return n
+}
+
+// isDescendantOf reports whether n is a strict descendant of anc.
+func isDescendantOf(n, anc *dom.Node) bool {
+	for p := n.Parent; p != nil; p = p.Parent {
+		if p == anc {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,173 @@
+package baseline
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"repro/internal/rpeq"
+	"repro/internal/xmlstream"
+)
+
+// XScan is a streaming comparator in the style of the X-Scan operator of
+// the Tukwila system and its lazy-DFA successor (§VIII, refs. [2], [18]):
+// the regular path expression is compiled into an automaton over
+// root-to-node label paths, determinized lazily (DFA states are subsets of
+// NFA states, materialized on first use), and run over the stream with a
+// stack of DFA states — one per open element, exactly the stack "for
+// keeping track of previous states" the paper describes.
+//
+// As in the original ([18]: "some expressions can be considered qualifiers,
+// but their relations to the other expressions are left to a host
+// application"), X-Scan handles qualifier-free expressions only; Eval
+// returns an error otherwise. This is precisely the capability gap the
+// paper positions SPEX against.
+type XScan struct{}
+
+// Name identifies the engine in benchmark output.
+func (XScan) Name() string { return "xscan" }
+
+// Supports reports whether the expression is in X-Scan's fragment.
+func (XScan) Supports(expr rpeq.Node) bool {
+	return !hasQualifier(expr) && !rpeq.HasExtensionAxes(expr)
+}
+
+func hasQualifier(n rpeq.Node) bool {
+	switch n := n.(type) {
+	case *rpeq.Qualifier:
+		return true
+	case *rpeq.Concat:
+		return hasQualifier(n.Left) || hasQualifier(n.Right)
+	case *rpeq.Union:
+		return hasQualifier(n.Left) || hasQualifier(n.Right)
+	case *rpeq.Optional:
+		return hasQualifier(n.Expr)
+	default:
+		return false
+	}
+}
+
+// dfaState is one lazily materialized subset state.
+type dfaState struct {
+	accept bool
+	trans  map[string]*dfaState
+	set    []bool
+}
+
+// lazyDFA determinizes a pathNFA on demand.
+type lazyDFA struct {
+	nfa    *pathNFA
+	states map[string]*dfaState
+	dead   *dfaState
+	// States materialized so far; [18] reports lazy DFAs stay small on
+	// real data even when the full DFA would blow up.
+	materialized int
+}
+
+func newLazyDFA(nfa *pathNFA) *lazyDFA {
+	d := &lazyDFA{nfa: nfa, states: make(map[string]*dfaState)}
+	d.dead = &dfaState{trans: make(map[string]*dfaState)}
+	return d
+}
+
+func (d *lazyDFA) intern(set []bool) *dfaState {
+	var key strings.Builder
+	any := false
+	for i, in := range set {
+		if in {
+			fmt.Fprintf(&key, "%d,", i)
+			any = true
+		}
+	}
+	if !any {
+		return d.dead
+	}
+	k := key.String()
+	if s, ok := d.states[k]; ok {
+		return s
+	}
+	s := &dfaState{set: set, accept: set[d.nfa.accept], trans: make(map[string]*dfaState)}
+	d.states[k] = s
+	d.materialized++
+	return s
+}
+
+// start returns the DFA start state.
+func (d *lazyDFA) start() *dfaState {
+	set := make([]bool, d.nfa.nstates)
+	set[d.nfa.start] = true
+	d.nfa.eclose(set, nil)
+	return d.intern(set)
+}
+
+// move computes (and caches) the successor of s under label.
+func (d *lazyDFA) move(s *dfaState, label string) *dfaState {
+	if t, ok := s.trans[label]; ok {
+		return t
+	}
+	var t *dfaState
+	if s == d.dead {
+		t = d.dead
+	} else {
+		next := d.nfa.move(s.set, label)
+		d.nfa.eclose(next, nil)
+		t = d.intern(next)
+	}
+	s.trans[label] = t
+	return t
+}
+
+// EvalStream runs the expression over the stream, returning the matched
+// nodes' document-order indices. Memory is the lazy DFA plus a stack of
+// states bounded by the depth — streaming, like SPEX, but without
+// qualifiers.
+func (x XScan) EvalStream(src xmlstream.Source, expr rpeq.Node) ([]int64, error) {
+	if !x.Supports(expr) {
+		return nil, fmt.Errorf("baseline: xscan handles qualifier-free path expressions only (got %s); qualifier relations are left to the host application in [18]", expr)
+	}
+	dfa := newLazyDFA(compileNFA(expr))
+	var stack []*dfaState
+	var matches []int64
+	var index int64
+	for {
+		ev, err := src.Next()
+		if err == io.EOF {
+			return matches, nil
+		}
+		if err != nil {
+			return matches, err
+		}
+		switch ev.Kind {
+		case xmlstream.StartDocument:
+			s := dfa.start()
+			if s.accept {
+				matches = append(matches, index) // ε selects the document node
+			}
+			index++ // the document node is index 0; elements from 1
+			stack = append(stack, s)
+		case xmlstream.StartElement:
+			cur := dfa.move(stack[len(stack)-1], ev.Name)
+			if cur.accept {
+				matches = append(matches, index)
+			}
+			index++
+			stack = append(stack, cur)
+		case xmlstream.EndElement, xmlstream.EndDocument:
+			if len(stack) == 0 {
+				return matches, fmt.Errorf("baseline: xscan: unbalanced stream")
+			}
+			stack = stack[:len(stack)-1]
+		}
+	}
+}
+
+// EvalReader is EvalStream over raw XML bytes.
+func (x XScan) EvalReader(r io.Reader, expr rpeq.Node) ([]int64, error) {
+	return x.EvalStream(xmlstream.NewScanner(r, xmlstream.WithText(false)), expr)
+}
+
+// Count returns only the number of matches.
+func (x XScan) Count(r io.Reader, expr rpeq.Node) (int64, error) {
+	matches, err := x.EvalReader(r, expr)
+	return int64(len(matches)), err
+}

@@ -1,0 +1,117 @@
+package baseline
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/dataset"
+	"repro/internal/rpeq"
+	"repro/internal/xmlstream"
+)
+
+func TestXScanBasics(t *testing.T) {
+	doc := `<a><a><c/></a><b/><c/></a>`
+	cases := []struct {
+		query string
+		want  []int64
+	}{
+		{"a", []int64{1}},
+		{"a.c", []int64{5}},
+		{"a+.c+", []int64{3, 5}},
+		{"_*.c", []int64{3, 5}},
+		{"_+", []int64{1, 2, 3, 4, 5}},
+		{"a.(b|c)", []int64{4, 5}},
+		{"%e", []int64{0}},
+	}
+	for _, tc := range cases {
+		got, err := XScan{}.EvalReader(strings.NewReader(doc), rpeq.MustParse(tc.query))
+		if err != nil {
+			t.Fatalf("%s: %v", tc.query, err)
+		}
+		if !equalInt64(got, tc.want) {
+			t.Errorf("%s: got %v, want %v", tc.query, got, tc.want)
+		}
+	}
+}
+
+func TestXScanRejectsQualifiers(t *testing.T) {
+	for _, q := range []string{"a[b]", "_*.a[b].c", "(a|b[c])"} {
+		if _, err := (XScan{}).EvalReader(strings.NewReader(`<a/>`), rpeq.MustParse(q)); err == nil {
+			t.Errorf("%s: expected an error (qualifiers unsupported, as in [18])", q)
+		}
+	}
+}
+
+// TestXScanAgreesWithSPEX: on its qualifier-free fragment, the lazy-DFA
+// streaming engine and SPEX select identical nodes.
+func TestXScanAgreesWithSPEX(t *testing.T) {
+	count := 250
+	if testing.Short() {
+		count = 50
+	}
+	prop := func(docSeed uint16, querySeed uint16) bool {
+		doc := dataset.RandomTree(uint64(docSeed)+1, 5, 3, []string{"a", "b", "c"})
+		xml := string(doc.Bytes())
+		r := rand.New(rand.NewSource(int64(querySeed)))
+		var expr rpeq.Node
+		for {
+			expr = randQuery(r, 3)
+			if (XScan{}).Supports(expr) {
+				break
+			}
+		}
+		got, err := XScan{}.EvalReader(strings.NewReader(xml), expr)
+		if err != nil {
+			t.Logf("xscan failed on %s: %v", expr, err)
+			return false
+		}
+		want, err := spexIndices(expr, xml)
+		if err != nil {
+			t.Logf("spex failed on %s: %v", expr, err)
+			return false
+		}
+		if !equalInt64(got, want) {
+			t.Logf("disagreement on %s over %s:\n xscan %v\n spex  %v", expr, xml, got, want)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: count}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestLazyDFAStaysSmall reproduces the [18] observation that lazily
+// materialized DFAs stay small on real data: a wildcard-closure query
+// materializes only a handful of subset states on a DMOZ-shaped stream.
+func TestLazyDFAStaysSmall(t *testing.T) {
+	expr := rpeq.MustParse("_*.Topic._")
+	dfa := newLazyDFA(compileNFA(expr))
+	stack := []*dfaState{dfa.start()}
+	src := dataset.DMOZStructure(0.002).Stream()
+	matches := 0
+	for {
+		ev, err := src.Next()
+		if err != nil {
+			break
+		}
+		switch ev.Kind {
+		case xmlstream.StartElement:
+			next := dfa.move(stack[len(stack)-1], ev.Name)
+			if next.accept {
+				matches++
+			}
+			stack = append(stack, next)
+		case xmlstream.EndElement:
+			stack = stack[:len(stack)-1]
+		}
+	}
+	if matches == 0 {
+		t.Fatal("no matches")
+	}
+	if dfa.materialized > 32 {
+		t.Fatalf("lazy DFA materialized %d states; expected a handful", dfa.materialized)
+	}
+}

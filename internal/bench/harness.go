@@ -1,0 +1,284 @@
+package bench
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"runtime"
+	"sort"
+	"text/tabwriter"
+	"time"
+
+	"repro/internal/baseline"
+	"repro/internal/core"
+	"repro/internal/rpeq"
+	"repro/internal/spexnet"
+	"repro/internal/xmlstream"
+)
+
+// Engine identifies an evaluator.
+type Engine string
+
+// The measured engines: SPEX, the two in-memory comparator classes, and
+// the streaming lazy-DFA comparator (§VIII refs. [2], [18]; qualifier-free
+// queries only).
+const (
+	EngineSPEX      Engine = "spex"
+	EngineTreeWalk  Engine = "treewalk"
+	EngineAutomaton Engine = "automaton"
+	EngineXScan     Engine = "xscan"
+)
+
+// Engines lists the paper's Figure-14 engines in report order.
+var Engines = []Engine{EngineSPEX, EngineTreeWalk, EngineAutomaton}
+
+// StreamingEngines lists the engines that never materialize the document.
+var StreamingEngines = []Engine{EngineSPEX, EngineXScan}
+
+// Measurement is one harness data point.
+type Measurement struct {
+	Engine   Engine
+	Dataset  string
+	Class    int
+	Query    string
+	Elements int64
+	Matches  int64
+	Elapsed  time.Duration
+	// AllocBytes is the allocation volume of the evaluation (runtime
+	// TotalAlloc delta): the load an engine puts on memory. For the
+	// in-memory engines it grows with the document; for SPEX it is
+	// dominated by transient per-event work.
+	AllocBytes uint64
+	// LiveBytes is the live heap after the evaluation with the result
+	// retained (HeapAlloc delta, floor zero): the paper's "memory
+	// consumption" axis. The DOM of the in-memory engines lives here.
+	LiveBytes uint64
+	// Skipped is non-empty when the engine was not run (the Fig. 15
+	// situation: "memory consumption ... beyond the limitations of the
+	// system used").
+	Skipped string
+}
+
+// MemoryCap is the simulated memory budget used to decide whether an
+// in-memory engine can process a document, mirroring the paper's 512 MB
+// machine. A DOM node costs on the order of 150 bytes here; the cap
+// converts to a maximum element count.
+const MemoryCap = 512 << 20
+
+// domBytesPerElement is the approximate materialization cost the harness
+// uses for the refusal estimate.
+const domBytesPerElement = 150
+
+// RunSPEX measures SPEX on the workload. The document is supplied as
+// serialized bytes so that parsing is part of the measured time, exactly as
+// the paper measures (its SPEX times also include compiling the rpeq into
+// the network, so compilation happens inside the timer too).
+func RunSPEX(w Workload, doc []byte) (Measurement, error) {
+	m := Measurement{Engine: EngineSPEX, Dataset: w.Dataset, Class: w.Class, Query: w.Query}
+	var before, after runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&before)
+	start := time.Now()
+
+	plan, err := core.Prepare(w.Query)
+	if err != nil {
+		return m, err
+	}
+	src := &xmlstream.CountingSource{Src: xmlstream.NewScanner(bytes.NewReader(doc), xmlstream.WithText(false))}
+	stats, err := plan.Evaluate(src, core.EvalOptions{Mode: spexnet.ModeCount})
+	if err != nil {
+		return m, err
+	}
+
+	m.Elapsed = time.Since(start)
+	runtime.GC() // LiveBytes should reflect retained memory, not transients
+	runtime.ReadMemStats(&after)
+	m.AllocBytes = after.TotalAlloc - before.TotalAlloc
+	m.LiveBytes = heapDelta(before, after)
+	m.Matches = stats.Output.Matches
+	m.Elements = stats.Elements
+	return m, nil
+}
+
+// RunBaseline measures an in-memory engine on the workload. If the
+// estimated materialization exceeds the simulated memory cap, the
+// measurement is marked skipped instead — reproducing the Fig. 15 outcome
+// where "a further comparison ... could not be performed".
+func RunBaseline(engine Engine, w Workload, doc []byte, elements int64) (Measurement, error) {
+	m := Measurement{Engine: engine, Dataset: w.Dataset, Class: w.Class, Query: w.Query, Elements: elements}
+	if engine == EngineXScan {
+		return runXScan(m, w, doc)
+	}
+	if est := uint64(elements) * domBytesPerElement; est > MemoryCap {
+		m.Skipped = fmt.Sprintf("estimated DOM %d MB exceeds the %d MB budget", est>>20, MemoryCap>>20)
+		return m, nil
+	}
+	var ev baseline.Evaluator
+	switch engine {
+	case EngineTreeWalk:
+		ev = baseline.TreeWalk{}
+	case EngineAutomaton:
+		ev = baseline.Automaton{}
+	default:
+		return m, fmt.Errorf("bench: unknown engine %q", engine)
+	}
+	expr, err := rpeq.Parse(w.Query)
+	if err != nil {
+		return m, err
+	}
+
+	var before, after runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&before)
+	start := time.Now()
+
+	nodes, err := baseline.EvalReader(ev, bytes.NewReader(doc), expr)
+	if err != nil {
+		return m, err
+	}
+
+	m.Elapsed = time.Since(start)
+	runtime.GC() // the materialized tree is still referenced by nodes
+	runtime.ReadMemStats(&after)
+	m.AllocBytes = after.TotalAlloc - before.TotalAlloc
+	m.LiveBytes = heapDelta(before, after)
+	m.Matches = int64(len(nodes))
+	runtime.KeepAlive(nodes)
+	return m, nil
+}
+
+// runXScan measures the streaming lazy-DFA engine; workloads with
+// qualifiers are outside its fragment and reported as skipped, the
+// capability gap §VIII describes.
+func runXScan(m Measurement, w Workload, doc []byte) (Measurement, error) {
+	expr, err := rpeq.Parse(w.Query)
+	if err != nil {
+		return m, err
+	}
+	if !(baseline.XScan{}).Supports(expr) {
+		m.Skipped = "qualifiers are left to the host application in X-Scan [18]"
+		return m, nil
+	}
+	var before, after runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&before)
+	start := time.Now()
+	n, err := baseline.XScan{}.Count(bytes.NewReader(doc), expr)
+	if err != nil {
+		return m, err
+	}
+	m.Elapsed = time.Since(start)
+	runtime.GC()
+	runtime.ReadMemStats(&after)
+	m.AllocBytes = after.TotalAlloc - before.TotalAlloc
+	m.LiveBytes = heapDelta(before, after)
+	m.Matches = n
+	return m, nil
+}
+
+func heapDelta(before, after runtime.MemStats) uint64 {
+	if after.HeapAlloc <= before.HeapAlloc {
+		return 0
+	}
+	return after.HeapAlloc - before.HeapAlloc
+}
+
+// RunFigure measures every workload with every requested engine, streaming
+// progress to progress (may be nil).
+func RunFigure(workloads []Workload, doc []byte, engines []Engine, progress io.Writer) ([]Measurement, error) {
+	var out []Measurement
+	var elements int64
+	for _, w := range workloads {
+		for _, e := range engines {
+			var m Measurement
+			var err error
+			if e == EngineSPEX {
+				m, err = RunSPEX(w, doc)
+				elements = m.Elements
+			} else {
+				m, err = RunBaseline(e, w, doc, elements)
+			}
+			if err != nil {
+				return out, fmt.Errorf("bench: %s class %d %s: %w", e, w.Class, w.Query, err)
+			}
+			out = append(out, m)
+			if progress != nil {
+				fmt.Fprintf(progress, "  %-10s class %d %-36s %s\n", e, w.Class, w.Query, renderCell(m))
+			}
+		}
+	}
+	return out, nil
+}
+
+func renderCell(m Measurement) string {
+	if m.Skipped != "" {
+		return "skipped: " + m.Skipped
+	}
+	return fmt.Sprintf("%9.1f ms  %9d matches  %6.1f MB live", float64(m.Elapsed.Microseconds())/1000, m.Matches, float64(m.LiveBytes)/(1<<20))
+}
+
+// WriteTable renders measurements grouped like a figure: one row per query
+// class, one column per engine, the paper's bar-chart layout as text.
+func WriteTable(w io.Writer, title string, ms []Measurement) {
+	fmt.Fprintf(w, "%s\n", title)
+	type key struct {
+		class int
+		query string
+	}
+	rows := map[key]map[Engine]Measurement{}
+	var order []key
+	for _, m := range ms {
+		k := key{m.Class, m.Query}
+		if rows[k] == nil {
+			rows[k] = map[Engine]Measurement{}
+			order = append(order, k)
+		}
+		rows[k][m.Engine] = m
+	}
+	sort.SliceStable(order, func(i, j int) bool { return false }) // keep insertion order
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintf(tw, "class\tquery\tmatches")
+	engines := enginesIn(ms)
+	for _, e := range engines {
+		fmt.Fprintf(tw, "\t%s [ms]", e)
+	}
+	fmt.Fprintln(tw)
+	for _, k := range order {
+		row := rows[k]
+		matches := int64(-1)
+		for _, m := range row {
+			if m.Skipped == "" {
+				matches = m.Matches
+				break
+			}
+		}
+		fmt.Fprintf(tw, "%d\t%s\t%d", k.class, k.query, matches)
+		for _, e := range engines {
+			m, ok := row[e]
+			switch {
+			case !ok:
+				fmt.Fprintf(tw, "\t-")
+			case m.Skipped != "":
+				fmt.Fprintf(tw, "\tOOM")
+			default:
+				fmt.Fprintf(tw, "\t%.1f", float64(m.Elapsed.Microseconds())/1000)
+			}
+		}
+		fmt.Fprintln(tw)
+	}
+	tw.Flush()
+}
+
+func enginesIn(ms []Measurement) []Engine {
+	seen := map[Engine]bool{}
+	var out []Engine
+	for _, e := range []Engine{EngineSPEX, EngineXScan, EngineTreeWalk, EngineAutomaton} {
+		for _, m := range ms {
+			if m.Engine == e && !seen[e] {
+				seen[e] = true
+				out = append(out, e)
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,130 @@
+package bench
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// TestFigure14Shape runs the Figure-14 workloads at reduced scale and
+// checks the qualitative findings the paper reports: every engine returns
+// the same match counts, class-2 selects a strict subset of the documents'
+// records, and SPEX completes every workload.
+func TestFigure14Shape(t *testing.T) {
+	doc := Dataset("mondial", 0.1).Bytes()
+	ms, err := RunFigure(Fig14Mondial, doc, Engines, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	byQuery := map[string]map[Engine]Measurement{}
+	for _, m := range ms {
+		if byQuery[m.Query] == nil {
+			byQuery[m.Query] = map[Engine]Measurement{}
+		}
+		byQuery[m.Query][m.Engine] = m
+	}
+	for q, row := range byQuery {
+		spex := row[EngineSPEX]
+		if spex.Matches == 0 {
+			t.Errorf("%s: SPEX found nothing", q)
+		}
+		for _, e := range []Engine{EngineTreeWalk, EngineAutomaton} {
+			if row[e].Skipped != "" {
+				t.Errorf("%s: %s skipped at this scale: %s", q, e, row[e].Skipped)
+				continue
+			}
+			if row[e].Matches != spex.Matches {
+				t.Errorf("%s: %s found %d, SPEX found %d", q, e, row[e].Matches, spex.Matches)
+			}
+		}
+	}
+	// Class 2 (qualifier) must select fewer names than there are
+	// countries with and without provinces combined: the qualifier
+	// filters.
+	q1 := byQuery["_*.province.city"][EngineSPEX]
+	q3 := byQuery["_*._"][EngineSPEX]
+	if q3.Matches <= q1.Matches {
+		t.Errorf("class 3 (%d) should dominate class 1 (%d)", q3.Matches, q1.Matches)
+	}
+}
+
+// TestFigure15MemoryRefusal reproduces the Fig. 15 situation at a reduced
+// threshold: when the estimated DOM exceeds the memory budget the baseline
+// is skipped, while SPEX processes the document.
+func TestFigure15MemoryRefusal(t *testing.T) {
+	doc := Dataset("dmoz-structure", 0.002).Bytes()
+	w := Fig15DMOZ[0]
+	spex, err := RunSPEX(w, doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if spex.Matches == 0 {
+		t.Fatal("SPEX found no matches")
+	}
+	// Pretend the document is paper-sized: pass the full-scale element
+	// count to the refusal estimator.
+	m, err := RunBaseline(EngineTreeWalk, w, doc, 3_940_716)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Skipped == "" {
+		t.Fatal("baseline should refuse a 3.9M-element document under the 512 MB budget")
+	}
+	// At the true (small) element count it runs fine.
+	m2, err := RunBaseline(EngineTreeWalk, w, doc, spex.Elements)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m2.Skipped != "" || m2.Matches != spex.Matches {
+		t.Fatalf("baseline at small scale: %+v", m2)
+	}
+}
+
+// TestMemoryProfile checks the defining contrast of §VI: the in-memory
+// engines retain a live heap proportional to the document, SPEX does not.
+func TestMemoryProfile(t *testing.T) {
+	doc := Dataset("wordnet", 0.2).Bytes()
+	w := Fig14WordNet[0]
+	spex, err := RunSPEX(w, doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tw, err := RunBaseline(EngineTreeWalk, w, doc, spex.Elements)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tw.Skipped != "" {
+		t.Fatal(tw.Skipped)
+	}
+	if tw.LiveBytes < 4*spex.LiveBytes && tw.LiveBytes < 1<<20 {
+		t.Errorf("expected the DOM to dominate live memory: treewalk %d B vs spex %d B",
+			tw.LiveBytes, spex.LiveBytes)
+	}
+}
+
+func TestWriteTable(t *testing.T) {
+	doc := Dataset("mondial", 0.02).Bytes()
+	ms, err := RunFigure(Fig14Mondial[:2], doc, []Engine{EngineSPEX, EngineTreeWalk}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	WriteTable(&buf, "Figure 14 (MONDIAL)", ms)
+	out := buf.String()
+	for _, want := range []string{"Figure 14", "class", "spex", "treewalk", "_*.province.city"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("table missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestDatasetLookup(t *testing.T) {
+	for _, name := range DatasetNames() {
+		if Dataset(name, 0.001) == nil {
+			t.Errorf("Dataset(%q) = nil", name)
+		}
+	}
+	if Dataset("nope", 1) != nil {
+		t.Error("unknown dataset should be nil")
+	}
+}

@@ -1,0 +1,75 @@
+// Package bench defines the workloads of the paper's evaluation (§VI) and
+// a harness that measures them, regenerating Figures 14 and 15: for each
+// dataset, the four query classes —
+//
+//  1. simple structural queries that do not create nested results,
+//  2. queries with structural qualifiers creating "future conditions",
+//  3. structural queries creating nested results, and
+//  4. queries with structural qualifiers creating "past conditions" —
+//
+// evaluated by SPEX and, where memory permits, by the two in-memory
+// baselines standing in for Saxon and Fxgrep.
+package bench
+
+import (
+	"repro/internal/dataset"
+)
+
+// Workload is one (dataset, query) cell of a figure.
+type Workload struct {
+	// Dataset names the document ("mondial", "wordnet", "dmoz-structure",
+	// "dmoz-content").
+	Dataset string
+	// Class is the paper's query class 1–4.
+	Class int
+	// Query is the rpeq, verbatim from §VI where given.
+	Query string
+}
+
+// Fig14Mondial lists the MONDIAL workloads of Figure 14 (left), query
+// classes 1–4 with the paper's example queries.
+var Fig14Mondial = []Workload{
+	{"mondial", 1, "_*.province.city"},
+	{"mondial", 2, "_*.country[province].name"},
+	{"mondial", 3, "_*._"},
+	{"mondial", 4, "_*.country[province].religions"},
+}
+
+// Fig14WordNet lists the WordNet workloads of Figure 14 (right), classes
+// 1–3 (the paper shows three bars for WordNet).
+var Fig14WordNet = []Workload{
+	{"wordnet", 1, "_*.Noun.wordForm"},
+	{"wordnet", 2, "_*.Noun[wordForm]"},
+	{"wordnet", 3, "_*._"},
+}
+
+// Fig15DMOZ lists the DMOZ workloads of Figure 15, in the paper's bar
+// order 1, 2, 4, 3; they run on both the structure and the content dumps.
+var Fig15DMOZ = []Workload{
+	{"dmoz", 1, "_*.Topic.Title"},
+	{"dmoz", 2, "_*.Topic[editor].Title"},
+	{"dmoz", 4, "_*.Topic[editor].newsGroup"},
+	{"dmoz", 3, "_*._"},
+}
+
+// Dataset returns the generator for a dataset name at the given scale.
+// Scale 1 approximates the paper's document sizes.
+func Dataset(name string, scale float64) *dataset.Doc {
+	switch name {
+	case "mondial":
+		return dataset.Mondial(scale)
+	case "wordnet":
+		return dataset.WordNet(scale)
+	case "dmoz-structure":
+		return dataset.DMOZStructure(scale)
+	case "dmoz-content":
+		return dataset.DMOZContent(scale)
+	default:
+		return nil
+	}
+}
+
+// DatasetNames lists the known dataset names.
+func DatasetNames() []string {
+	return []string{"mondial", "wordnet", "dmoz-structure", "dmoz-content"}
+}

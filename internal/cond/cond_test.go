@@ -1,0 +1,277 @@
+package cond
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func TestConstructorsSimplify(t *testing.T) {
+	v1, v2 := Var(1), Var(2)
+	tests := []struct {
+		got  *Formula
+		want string
+	}{
+		{And(), "true"},
+		{Or(), "false"},
+		{And(True(), v1), "v1"},
+		{And(False(), v1), "false"},
+		{Or(True(), v1), "true"},
+		{Or(False(), v1), "v1"},
+		{And(v1, v1), "v1"},
+		{Or(v1, v1), "v1"},
+		{And(v1, v2), "v1∧v2"},
+		{Or(v1, v2), "v1∨v2"},
+		{Or(v1, Or(v2, v1)), "v1∨v2"},
+		{And(And(v1, v2), v1), "v1∧v2"},
+		{Or(And(v1, v2), And(v2, v1)), "v1∧v2"},
+	}
+	for _, tc := range tests {
+		if got := tc.got.String(); got != tc.want {
+			t.Errorf("got %s, want %s", got, tc.want)
+		}
+	}
+}
+
+func TestKeyCanonical(t *testing.T) {
+	a := Or(And(Var(1), Var(2)), Var(3))
+	b := Or(Var(3), And(Var(2), Var(1)))
+	if a.Key() != b.Key() {
+		t.Fatalf("commutative variants have different keys: %q vs %q", a.Key(), b.Key())
+	}
+	c := Or(Var(3), And(Var(2), Var(4)))
+	if a.Key() == c.Key() {
+		t.Fatal("distinct formulas share a key")
+	}
+}
+
+func TestRawKeepsDuplicates(t *testing.T) {
+	v1 := Var(1)
+	f := RawOr(v1, v1)
+	if f.Size() != 2 {
+		t.Fatalf("RawOr dropped the duplicate: %s (size %d)", f, f.Size())
+	}
+	g := Or(v1, v1)
+	if g.Size() != 1 {
+		t.Fatalf("Or kept the duplicate: %s", g)
+	}
+}
+
+func TestAssign(t *testing.T) {
+	f := And(Var(1), Or(Var(2), Var(3)))
+	if got := f.Assign(1, False()); !got.IsFalse() {
+		t.Errorf("assign v1=false: got %s", got)
+	}
+	if got := f.Assign(2, True()); got.String() != "v1" {
+		t.Errorf("assign v2=true: got %s", got)
+	}
+	if got := f.Assign(2, False()).String(); got != "v1∧v3" {
+		t.Errorf("assign v2=false: got %s", got)
+	}
+	// Assignment by a formula (nested-qualifier binding).
+	if got := f.Assign(1, Var(9)).String(); got != "v9∧(v2∨v3)" && got != "(v2∨v3)∧v9" {
+		t.Errorf("assign v1=v9: got %s", got)
+	}
+	if got := f.Assign(7, True()); got != f {
+		t.Errorf("assigning an absent variable must be identity")
+	}
+}
+
+func TestRestrict(t *testing.T) {
+	f := And(Var(1), Or(Var(2), Var(3)))
+	keepOdd := func(v VarID) bool { return v%2 == 1 }
+	if got := f.Restrict(keepOdd); got.String() != "v1" {
+		// v2 → true makes the disjunction true.
+		t.Errorf("got %s", got)
+	}
+	keepNone := func(VarID) bool { return false }
+	if got := f.Restrict(keepNone); !got.IsTrue() {
+		t.Errorf("restrict-all: got %s", got)
+	}
+}
+
+func TestEvalThreeValued(t *testing.T) {
+	f := And(Var(1), Or(Var(2), Var(3)))
+	lookup := func(m map[VarID]Value) func(VarID) Value {
+		return func(v VarID) Value { return m[v] }
+	}
+	if got := f.Eval(lookup(map[VarID]Value{})); got != ValueUnknown {
+		t.Errorf("all unknown: got %s", got)
+	}
+	if got := f.Eval(lookup(map[VarID]Value{1: ValueFalse})); got != ValueFalse {
+		t.Errorf("v1 false: got %s", got)
+	}
+	if got := f.Eval(lookup(map[VarID]Value{1: ValueTrue, 2: ValueTrue})); got != ValueTrue {
+		t.Errorf("v1,v2 true: got %s", got)
+	}
+	if got := f.Eval(lookup(map[VarID]Value{1: ValueTrue})); got != ValueUnknown {
+		t.Errorf("v1 true only: got %s", got)
+	}
+}
+
+func TestDNF(t *testing.T) {
+	f := And(Or(Var(1), Var(2)), Var(3))
+	got := f.DNF()
+	want := [][]VarID{{1, 3}, {2, 3}}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("got %v, want %v", got, want)
+	}
+	if d := True().DNF(); len(d) != 1 || len(d[0]) != 0 {
+		t.Fatalf("true DNF: %v", d)
+	}
+	if d := False().DNF(); d != nil {
+		t.Fatalf("false DNF: %v", d)
+	}
+}
+
+func TestVisitAndVarSet(t *testing.T) {
+	f := And(Var(1), Or(Var(2), Var(1)))
+	set := f.VarSet()
+	if len(set) != 2 || !set[1] || !set[2] {
+		t.Fatalf("VarSet: %v", set)
+	}
+	if !f.HasVar(2) || f.HasVar(5) {
+		t.Fatal("HasVar wrong")
+	}
+}
+
+// randFormula builds a random formula over variables 0..4.
+func randFormula(r *rand.Rand, depth int) *Formula {
+	if depth == 0 || r.Intn(3) == 0 {
+		switch r.Intn(6) {
+		case 0:
+			return True()
+		case 1:
+			return False()
+		default:
+			return Var(VarID(r.Intn(5)))
+		}
+	}
+	a := randFormula(r, depth-1)
+	b := randFormula(r, depth-1)
+	if r.Intn(2) == 0 {
+		return And(a, b)
+	}
+	return Or(a, b)
+}
+
+// TestPropertyAssignAgreesWithEval: for any formula and total assignment,
+// repeatedly assigning constants yields the same constant Eval computes.
+func TestPropertyAssignAgreesWithEval(t *testing.T) {
+	cfg := &quick.Config{MaxCount: 500}
+	prop := func(seed int64, bits uint8) bool {
+		r := rand.New(rand.NewSource(seed))
+		f := randFormula(r, 4)
+		vals := map[VarID]Value{}
+		g := f
+		for v := VarID(0); v < 5; v++ {
+			val := ValueFalse
+			c := False()
+			if bits&(1<<v) != 0 {
+				val = ValueTrue
+				c = True()
+			}
+			vals[v] = val
+			g = g.Assign(v, c)
+		}
+		if !g.Determined() {
+			return false
+		}
+		want := f.Eval(func(v VarID) Value { return vals[v] })
+		return (want == ValueTrue) == g.IsTrue()
+	}
+	if err := quick.Check(prop, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPropertyDNFEquivalent: the DNF agrees with Eval on every assignment.
+func TestPropertyDNFEquivalent(t *testing.T) {
+	prop := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		f := randFormula(r, 3)
+		dnf := f.DNF()
+		for bits := 0; bits < 32; bits++ {
+			val := func(v VarID) Value {
+				if bits&(1<<v) != 0 {
+					return ValueTrue
+				}
+				return ValueFalse
+			}
+			want := f.Eval(val) == ValueTrue
+			got := false
+			for _, disjunct := range dnf {
+				all := true
+				for _, v := range disjunct {
+					if val(v) != ValueTrue {
+						all = false
+						break
+					}
+				}
+				if all {
+					got = true
+					break
+				}
+			}
+			if got != want {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPropertySizeNormalized: normalized pure-disjunctions of one variable
+// stay size 1 no matter how often combined (the Remark V.1 behaviour).
+func TestPropertySizeNormalized(t *testing.T) {
+	f := Var(1)
+	for i := 0; i < 100; i++ {
+		f = Or(f, Var(1))
+	}
+	if f.Size() != 1 {
+		t.Fatalf("normalized size grew to %d", f.Size())
+	}
+	g := Var(1)
+	for i := 0; i < 10; i++ {
+		g = RawOr(g, Var(1))
+	}
+	if g.Size() != 11 {
+		t.Fatalf("raw size: got %d, want 11", g.Size())
+	}
+}
+
+func TestPool(t *testing.T) {
+	p := NewPool()
+	inner := p.DeclareQualifier(nil)
+	outer := p.DeclareQualifier([]QualID{inner})
+	other := p.DeclareQualifier(nil)
+	vi := p.Fresh(inner)
+	vo := p.Fresh(outer)
+	vx := p.Fresh(other)
+	if !p.BelongsTo(vi, inner) || p.BelongsTo(vi, outer) {
+		t.Fatal("BelongsTo wrong")
+	}
+	if !p.WithinSubtree(vi, outer) || !p.WithinSubtree(vo, outer) {
+		t.Fatal("nested variable must be within the outer qualifier's subtree")
+	}
+	if p.WithinSubtree(vx, outer) || p.WithinSubtree(vo, inner) {
+		t.Fatal("unrelated variables must not be within the subtree")
+	}
+	if p.Allocated() != 3 {
+		t.Fatalf("Allocated: %d", p.Allocated())
+	}
+	p.Reset()
+	if p.Allocated() != 0 || p.Qualifiers() != 3 {
+		t.Fatal("Reset must clear variables but keep qualifiers")
+	}
+}
+
+func TestValueString(t *testing.T) {
+	if ValueTrue.String() != "true" || ValueFalse.String() != "false" || ValueUnknown.String() != "unknown" {
+		t.Fatal("Value.String wrong")
+	}
+}

@@ -1,0 +1,120 @@
+package cond
+
+// QualID identifies one qualifier construct of a compiled expression.
+// Qualifier ids are assigned at network-construction time; the variables a
+// pool allocates at evaluation time each belong to one qualifier.
+type QualID int
+
+// Pool allocates condition variables and records which qualifier each
+// belongs to, plus the static nesting relation between qualifiers (needed by
+// the variable-filter for nested qualifiers: the witness condition of an
+// instance of q may mention variables of qualifiers nested inside q's
+// condition expression).
+type Pool struct {
+	next    VarID
+	quals   []QualID   // quals[v] = qualifier owning variable v
+	free    []VarID    // released ids available for reuse
+	vcache  []*Formula // cached single-variable formulas, indexed by id
+	inside  [][]QualID
+	insideM []map[QualID]bool
+}
+
+// NewPool returns an empty pool.
+func NewPool() *Pool { return &Pool{} }
+
+// DeclareQualifier registers a new qualifier and returns its id. nested
+// lists the qualifier ids syntactically nested inside this qualifier's
+// condition expression (transitively); when the condition has not been
+// compiled yet, declare with nil and call SetNested afterwards.
+func (p *Pool) DeclareQualifier(nested []QualID) QualID {
+	id := QualID(len(p.inside))
+	set := make(map[QualID]bool, len(nested)+1)
+	set[id] = true
+	for _, n := range nested {
+		set[n] = true
+	}
+	p.inside = append(p.inside, append([]QualID(nil), nested...))
+	p.insideM = append(p.insideM, set)
+	return id
+}
+
+// SetNested records the qualifiers nested inside q's condition expression,
+// for qualifiers declared before their condition was compiled.
+func (p *Pool) SetNested(q QualID, nested []QualID) {
+	set := make(map[QualID]bool, len(nested)+1)
+	set[q] = true
+	for _, n := range nested {
+		set[n] = true
+	}
+	p.inside[q] = append([]QualID(nil), nested...)
+	p.insideM[q] = set
+}
+
+// Qualifiers returns the number of declared qualifiers.
+func (p *Pool) Qualifiers() int { return len(p.inside) }
+
+// Fresh allocates a condition variable belonging to qualifier q, reusing a
+// released id when one is available. Reuse keeps the id space — and
+// therefore every id-indexed structure — bounded by the number of
+// simultaneously live instances (at most the stream depth times the number
+// of qualifiers), which is what makes evaluation of unbounded streams run
+// in bounded memory.
+func (p *Pool) Fresh(q QualID) VarID {
+	if n := len(p.free); n > 0 {
+		v := p.free[n-1]
+		p.free = p.free[:n-1]
+		p.quals[v] = q
+		return v
+	}
+	v := p.next
+	p.next++
+	p.quals = append(p.quals, q)
+	return v
+}
+
+// Var returns the single-variable formula for v, cached per id. Since ids
+// are recycled, the cache stays as small as the live-instance count.
+func (p *Pool) Var(v VarID) *Formula {
+	for int(v) >= len(p.vcache) {
+		p.vcache = append(p.vcache, nil)
+	}
+	if f := p.vcache[v]; f != nil {
+		return f
+	}
+	f := Var(v)
+	p.vcache[v] = f
+	return f
+}
+
+// Release returns a variable id to the pool. Callers must guarantee the
+// variable can no longer occur in any formula — the variable-creator
+// releases an instance after emitting its scope-exit finalization, at which
+// point no transducer stack, candidate or binding can mention it anymore.
+func (p *Pool) Release(v VarID) {
+	p.free = append(p.free, v)
+}
+
+// Allocated returns the number of variables allocated so far.
+func (p *Pool) Allocated() int { return int(p.next) }
+
+// QualOf returns the qualifier owning variable v.
+func (p *Pool) QualOf(v VarID) QualID { return p.quals[v] }
+
+// BelongsTo reports whether v is a variable of qualifier q itself.
+func (p *Pool) BelongsTo(v VarID, q QualID) bool { return p.quals[v] == q }
+
+// WithinSubtree reports whether v belongs to q or to a qualifier nested
+// inside q's condition expression. The positive variable-filter VF(q+)
+// keeps exactly these variables.
+func (p *Pool) WithinSubtree(v VarID, q QualID) bool {
+	return p.insideM[q][p.quals[v]]
+}
+
+// Reset discards all allocated variables but keeps the qualifier
+// declarations; a compiled network calls it between evaluations so variable
+// ids stay small.
+func (p *Pool) Reset() {
+	p.next = 0
+	p.quals = p.quals[:0]
+	p.free = p.free[:0]
+}

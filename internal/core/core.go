@@ -1,0 +1,165 @@
+// Package core is the SPEX engine: it ties the query language, the
+// transducer-network compiler and the stream scanner together into prepared
+// plans and evaluations. The public API in the repository root package is a
+// thin veneer over this package.
+package core
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/rpeq"
+	"repro/internal/spexnet"
+	"repro/internal/xmlstream"
+)
+
+// Plan is a prepared query: a parsed rpeq ready to be instantiated as a
+// transducer network. Plans are immutable and safe for concurrent use; each
+// evaluation builds its own network (linear in the query size, Lemma V.1).
+type Plan struct {
+	expr   rpeq.Node
+	source string
+}
+
+// Prepare parses an rpeq expression into a plan.
+func Prepare(expr string) (*Plan, error) {
+	node, err := rpeq.Parse(expr)
+	if err != nil {
+		return nil, err
+	}
+	return &Plan{expr: node, source: expr}, nil
+}
+
+// PrepareXPath parses an expression in the paper's XPath fragment
+// (child/descendant steps with structural qualifiers) into a plan.
+func PrepareXPath(path string) (*Plan, error) {
+	node, err := rpeq.ParseXPath(path)
+	if err != nil {
+		return nil, err
+	}
+	return &Plan{expr: node, source: path}, nil
+}
+
+// FromAST wraps an already-built expression tree.
+func FromAST(expr rpeq.Node) *Plan {
+	return &Plan{expr: expr, source: expr.String()}
+}
+
+// String returns the source expression.
+func (p *Plan) String() string { return p.source }
+
+// Expr returns the parsed expression tree.
+func (p *Plan) Expr() rpeq.Node { return p.expr }
+
+// EvalOptions configure one evaluation.
+type EvalOptions struct {
+	Mode spexnet.ResultMode
+	Sink spexnet.Sink
+	// StreamSink receives answers event by event (spexnet.ModeStream).
+	StreamSink spexnet.StreamSink
+	// RawFormulas disables condition-formula normalization (ablation).
+	RawFormulas bool
+	Trace       spexnet.TraceFn
+}
+
+// Evaluate runs the plan over the event source and returns the evaluation
+// statistics. The stream is processed in one pass; results reach the sink
+// progressively.
+func (p *Plan) Evaluate(src xmlstream.Source, opts EvalOptions) (spexnet.Stats, error) {
+	net, err := spexnet.Build(p.expr, spexnet.Options{
+		Mode:        opts.Mode,
+		Sink:        opts.Sink,
+		StreamSink:  opts.StreamSink,
+		RawFormulas: opts.RawFormulas,
+		Trace:       opts.Trace,
+	})
+	if err != nil {
+		return spexnet.Stats{}, err
+	}
+	return net.Run(src)
+}
+
+// EvaluateReader is Evaluate over raw XML bytes. Character data plays no
+// structural role in rpeq evaluation, so the scanner skips text events
+// entirely unless answers are serialized.
+func (p *Plan) EvaluateReader(r io.Reader, opts EvalOptions) (spexnet.Stats, error) {
+	withText := opts.Mode == spexnet.ModeSerialize || opts.Mode == spexnet.ModeStream ||
+		rpeq.HasTextTest(p.expr)
+	return p.Evaluate(xmlstream.NewScanner(r, xmlstream.WithText(withText)), opts)
+}
+
+// Count evaluates and returns only the number of answers.
+func (p *Plan) Count(r io.Reader) (int64, spexnet.Stats, error) {
+	stats, err := p.EvaluateReader(r, EvalOptions{Mode: spexnet.ModeCount})
+	return stats.Output.Matches, stats, err
+}
+
+// Run is a push-mode evaluation for unbounded streams: the caller feeds
+// events as they arrive and answers surface through the sink the run was
+// created with, as soon as their membership is determined.
+type Run struct {
+	net    *spexnet.Network
+	opened bool
+	closed bool
+}
+
+// NewRun instantiates a network for push-mode evaluation.
+func (p *Plan) NewRun(opts EvalOptions) (*Run, error) {
+	net, err := spexnet.Build(p.expr, spexnet.Options{
+		Mode:        opts.Mode,
+		Sink:        opts.Sink,
+		StreamSink:  opts.StreamSink,
+		RawFormulas: opts.RawFormulas,
+		Trace:       opts.Trace,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Run{net: net}, nil
+}
+
+// Feed pushes one event. The first event must be StartDocument; Feed
+// synthesizes it if the caller starts with an element event.
+func (r *Run) Feed(ev xmlstream.Event) error {
+	if r.closed {
+		return fmt.Errorf("core: run already closed")
+	}
+	if !r.opened {
+		r.opened = true
+		if ev.Kind != xmlstream.StartDocument {
+			if err := r.net.Step(xmlstream.Event{Kind: xmlstream.StartDocument}); err != nil {
+				return err
+			}
+		}
+	}
+	if err := r.net.Step(ev); err != nil {
+		return err
+	}
+	if ev.Kind == xmlstream.EndDocument {
+		r.closed = true
+		return r.net.Finish()
+	}
+	return nil
+}
+
+// Close ends the stream, synthesizing the end-document event if needed, and
+// validates the evaluation.
+func (r *Run) Close() error {
+	if r.closed {
+		return nil
+	}
+	if !r.opened {
+		if err := r.net.Step(xmlstream.Event{Kind: xmlstream.StartDocument}); err != nil {
+			return err
+		}
+	}
+	r.closed = true
+	if err := r.net.Step(xmlstream.Event{Kind: xmlstream.EndDocument}); err != nil {
+		return err
+	}
+	return r.net.Finish()
+}
+
+// Matches returns the number of answers reported so far; valid while the
+// run is open (progressive monitoring) and after Close.
+func (r *Run) Matches() int64 { return r.net.Matches() }

@@ -1,0 +1,165 @@
+package core
+
+import (
+	"runtime"
+	"strings"
+	"testing"
+
+	"repro/internal/spexnet"
+	"repro/internal/xmlstream"
+)
+
+func TestPrepareAndEvaluate(t *testing.T) {
+	plan, err := Prepare("_*.a[b].c")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.String() != "_*.a[b].c" {
+		t.Errorf("String: %q", plan.String())
+	}
+	n, stats, err := plan.Count(strings.NewReader(`<a><a><c/></a><b/><c/></a>`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 1 || stats.Elements != 5 {
+		t.Fatalf("n=%d stats=%+v", n, stats)
+	}
+}
+
+func TestPrepareErrors(t *testing.T) {
+	if _, err := Prepare("a..b"); err == nil {
+		t.Error("Prepare should fail on a bad expression")
+	}
+	if _, err := PrepareXPath("//["); err == nil {
+		t.Error("PrepareXPath should fail on a bad path")
+	}
+}
+
+func TestRunSynthesizesDocumentEvents(t *testing.T) {
+	plan, err := Prepare("a.b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var hits int
+	run, err := plan.NewRun(EvalOptions{Mode: spexnet.ModeNodes,
+		Sink: func(spexnet.Result) { hits++ }})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Feed element events without explicit document brackets.
+	for _, ev := range []xmlstream.Event{
+		xmlstream.Start("a"), xmlstream.Start("b"), xmlstream.End("b"), xmlstream.End("a"),
+	} {
+		if err := run.Feed(ev); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := run.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if hits != 1 || run.Matches() != 1 {
+		t.Fatalf("hits=%d matches=%d", hits, run.Matches())
+	}
+	// Closing twice is fine; feeding after close is not.
+	if err := run.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := run.Feed(xmlstream.Start("x")); err == nil {
+		t.Error("Feed after Close should fail")
+	}
+}
+
+func TestRunExplicitDocumentEvents(t *testing.T) {
+	plan, err := Prepare("a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	run, err := plan.NewRun(EvalOptions{Mode: spexnet.ModeCount})
+	if err != nil {
+		t.Fatal(err)
+	}
+	events := []xmlstream.Event{
+		{Kind: xmlstream.StartDocument},
+		xmlstream.Start("a"), xmlstream.End("a"),
+		{Kind: xmlstream.EndDocument},
+	}
+	for _, ev := range events {
+		if err := run.Feed(ev); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if run.Matches() != 1 {
+		t.Fatalf("matches=%d", run.Matches())
+	}
+}
+
+// TestInfiniteStreamBoundedMemory is E7's unbounded-stream half: the
+// evaluator's live heap must not grow with the number of processed
+// messages, only with the (bounded) depth — the paper's stability claim
+// for application-generated infinite streams.
+func TestInfiniteStreamBoundedMemory(t *testing.T) {
+	plan, err := Prepare("root.rec[flag].val")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var hits int64
+	run, err := plan.NewRun(EvalOptions{Mode: spexnet.ModeNodes,
+		Sink: func(spexnet.Result) { hits++ }})
+	if err != nil {
+		t.Fatal(err)
+	}
+	feed := func(ev xmlstream.Event) {
+		t.Helper()
+		if err := run.Feed(ev); err != nil {
+			t.Fatal(err)
+		}
+	}
+	feed(xmlstream.Start("root"))
+
+	const records = 300_000
+	measure := func() uint64 {
+		runtime.GC()
+		var ms runtime.MemStats
+		runtime.ReadMemStats(&ms)
+		return ms.HeapAlloc
+	}
+	var early uint64
+	for i := 0; i < records; i++ {
+		feed(xmlstream.Start("rec"))
+		if i%3 == 0 {
+			feed(xmlstream.Start("flag"))
+			feed(xmlstream.End("flag"))
+		}
+		feed(xmlstream.Start("val"))
+		feed(xmlstream.End("val"))
+		feed(xmlstream.End("rec"))
+		if i == records/10 {
+			early = measure()
+		}
+	}
+	late := measure()
+	feed(xmlstream.End("root"))
+	if err := run.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if hits != records/3 {
+		t.Fatalf("hits=%d, want %d", hits, records/3)
+	}
+	// Allow generous jitter, but catch linear growth: processing 9x more
+	// records must not grow the live heap materially.
+	if late > early+512*1024 {
+		t.Errorf("live heap grew with stream length: %d B early vs %d B late", early, late)
+	}
+}
+
+func TestFromAST(t *testing.T) {
+	plan, err := Prepare("a.b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2 := FromAST(plan.Expr())
+	n, _, err := p2.Count(strings.NewReader(`<a><b/></a>`))
+	if err != nil || n != 1 {
+		t.Fatalf("n=%d err=%v", n, err)
+	}
+}

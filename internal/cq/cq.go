@@ -1,0 +1,254 @@
+// Package cq implements the conjunctive queries with regular path
+// expressions of the paper's §VII:
+//
+//	q(X) :- Y1 r1 Z1, ..., Yn rn Zn
+//
+// where each rᵢ is an rpeq, Root is the distinguished variable bound to the
+// document root, and X names the head variable whose bindings are the
+// answer. Following the translation T of Fig. 16, a body atom whose target
+// variable does not lead to a head variable becomes a qualifier; atoms on
+// the path to the head become steps. The paper's example
+//
+//	q(X3) :- Root(_*.a) X1, X1(b) X2, X1(c) X3
+//
+// is therefore equivalent to the rpeq  _*.a[b].c, and this package realizes
+// T by compiling the conjunctive query to exactly that rpeq and reusing the
+// SPEX network machinery.
+//
+// As in the paper, node-identity joins (a variable reachable via two
+// distinct paths) and multiple head variables are left out; the translator
+// rejects them with a clear error.
+package cq
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/rpeq"
+)
+
+// Query is a parsed conjunctive query.
+type Query struct {
+	// Head is the head variable name.
+	Head string
+	// Atoms are the body atoms in source order.
+	Atoms  []Atom
+	source string
+}
+
+// Atom is one body atom "Y (r) Z".
+type Atom struct {
+	From string
+	Path rpeq.Node
+	To   string
+}
+
+// Root is the distinguished variable bound to the document root.
+const Root = "Root"
+
+// Parse parses a conjunctive query of the form
+//
+//	q(X3) :- Root(_*.a) X1, X1(b) X2, X1(c) X3
+func Parse(src string) (*Query, error) {
+	head, body, ok := cut(src, ":-")
+	if !ok {
+		return nil, fmt.Errorf("cq: missing ':-' in %q", src)
+	}
+	head = strings.TrimSpace(head)
+	if !strings.HasPrefix(head, "q(") || !strings.HasSuffix(head, ")") {
+		return nil, fmt.Errorf("cq: head must have the form q(X), got %q", head)
+	}
+	headVars := strings.TrimSpace(head[2 : len(head)-1])
+	if headVars == "" {
+		return nil, fmt.Errorf("cq: head variable missing in %q", head)
+	}
+	if strings.Contains(headVars, ",") {
+		return nil, fmt.Errorf("cq: multiple head variables are not supported (the paper leaves multiple sinks as an extension)")
+	}
+	q := &Query{Head: headVars, source: src}
+	for _, part := range splitAtoms(body) {
+		atom, err := parseAtom(part)
+		if err != nil {
+			return nil, err
+		}
+		q.Atoms = append(q.Atoms, atom)
+	}
+	if len(q.Atoms) == 0 {
+		return nil, fmt.Errorf("cq: empty body")
+	}
+	return q, nil
+}
+
+// MustParse is Parse panicking on error.
+func MustParse(src string) *Query {
+	q, err := Parse(src)
+	if err != nil {
+		panic(err)
+	}
+	return q
+}
+
+// String returns the source text.
+func (q *Query) String() string { return q.source }
+
+// cut is strings.Cut for a multi-byte separator.
+func cut(s, sep string) (before, after string, found bool) {
+	i := strings.Index(s, sep)
+	if i < 0 {
+		return s, "", false
+	}
+	return s[:i], s[i+len(sep):], true
+}
+
+// splitAtoms splits the body on commas not nested inside parentheses or
+// brackets (rpeq syntax may contain both).
+func splitAtoms(body string) []string {
+	var parts []string
+	depth := 0
+	start := 0
+	for i := 0; i < len(body); i++ {
+		switch body[i] {
+		case '(', '[':
+			depth++
+		case ')', ']':
+			depth--
+		case ',':
+			if depth == 0 {
+				parts = append(parts, body[start:i])
+				start = i + 1
+			}
+		}
+	}
+	parts = append(parts, body[start:])
+	return parts
+}
+
+// parseAtom parses "Y (r) Z".
+func parseAtom(s string) (Atom, error) {
+	s = strings.TrimSpace(s)
+	open := strings.IndexByte(s, '(')
+	if open < 0 {
+		return Atom{}, fmt.Errorf("cq: atom %q missing '('", s)
+	}
+	from := strings.TrimSpace(s[:open])
+	if from == "" {
+		return Atom{}, fmt.Errorf("cq: atom %q missing source variable", s)
+	}
+	// Find the matching close parenthesis.
+	depth := 0
+	closeAt := -1
+	for i := open; i < len(s); i++ {
+		switch s[i] {
+		case '(':
+			depth++
+		case ')':
+			depth--
+			if depth == 0 {
+				closeAt = i
+			}
+		}
+		if closeAt >= 0 {
+			break
+		}
+	}
+	if closeAt < 0 {
+		return Atom{}, fmt.Errorf("cq: atom %q has unbalanced parentheses", s)
+	}
+	pathSrc := s[open+1 : closeAt]
+	to := strings.TrimSpace(s[closeAt+1:])
+	if to == "" {
+		return Atom{}, fmt.Errorf("cq: atom %q missing target variable", s)
+	}
+	path, err := rpeq.Parse(pathSrc)
+	if err != nil {
+		return Atom{}, fmt.Errorf("cq: atom %q: %v", s, err)
+	}
+	return Atom{From: from, Path: path, To: to}, nil
+}
+
+// Translate realizes the paper's T: it returns the rpeq whose evaluation
+// binds the head variable. Non-head branches of the variable tree become
+// qualifiers.
+func (q *Query) Translate() (rpeq.Node, error) {
+	// Build the variable tree and validate tree-shape.
+	children := map[string][]Atom{}
+	defined := map[string]bool{Root: true}
+	for _, a := range q.Atoms {
+		if defined[a.To] {
+			return nil, fmt.Errorf("cq: variable %s bound twice; node-identity joins are future work in the paper (§VII)", a.To)
+		}
+		defined[a.To] = true
+		children[a.From] = append(children[a.From], a)
+	}
+	for _, a := range q.Atoms {
+		if !defined[a.From] {
+			return nil, fmt.Errorf("cq: variable %s used before being bound", a.From)
+		}
+	}
+	if !defined[q.Head] {
+		return nil, fmt.Errorf("cq: head variable %s not bound in the body", q.Head)
+	}
+
+	// reach(Z, X): does Z's subtree contain the head variable?
+	var reaches func(v string) bool
+	reaches = func(v string) bool {
+		if v == q.Head {
+			return true
+		}
+		for _, a := range children[v] {
+			if reaches(a.To) {
+				return true
+			}
+		}
+		return false
+	}
+
+	// qualExpr builds the qualifier expression for the subtree rooted at
+	// the atom's target: the path, qualified by each sub-branch.
+	var qualExpr func(a Atom) rpeq.Node
+	qualExpr = func(a Atom) rpeq.Node {
+		expr := a.Path
+		for _, sub := range children[a.To] {
+			expr = &rpeq.Qualifier{Base: expr, Cond: qualExpr(sub)}
+		}
+		return expr
+	}
+
+	// Walk the unique path Root → head. The step entering a variable Z is
+	// the atom's path qualified by every non-path branch out of Z — the
+	// qualifiers constrain the node bound to Z, which is where the step
+	// ends.
+	var pathFrom func(v string) (rpeq.Node, error)
+	pathFrom = func(v string) (rpeq.Node, error) {
+		var pathAtom *Atom
+		for i := range children[v] {
+			if reaches(children[v][i].To) {
+				if pathAtom != nil {
+					return nil, fmt.Errorf("cq: head variable reachable via two paths from %s; joins are future work", v)
+				}
+				pathAtom = &children[v][i]
+			}
+		}
+		if pathAtom == nil {
+			return nil, fmt.Errorf("cq: no path from %s to head variable %s", v, q.Head)
+		}
+		step := pathAtom.Path
+		for _, a := range children[pathAtom.To] {
+			if !reaches(a.To) {
+				step = &rpeq.Qualifier{Base: step, Cond: qualExpr(a)}
+			}
+		}
+		if pathAtom.To == q.Head {
+			return step, nil
+		}
+		rest, err := pathFrom(pathAtom.To)
+		if err != nil {
+			return nil, err
+		}
+		return &rpeq.Concat{Left: step, Right: rest}, nil
+	}
+	if q.Head == Root {
+		return nil, fmt.Errorf("cq: the head variable cannot be Root")
+	}
+	return pathFrom(Root)
+}

@@ -1,0 +1,113 @@
+package cq
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/rpeq"
+	"repro/internal/spexnet"
+	"repro/internal/xmlstream"
+)
+
+func translate(t *testing.T, src string) rpeq.Node {
+	t.Helper()
+	q, err := Parse(src)
+	if err != nil {
+		t.Fatalf("parse %q: %v", src, err)
+	}
+	expr, err := q.Translate()
+	if err != nil {
+		t.Fatalf("translate %q: %v", src, err)
+	}
+	return expr
+}
+
+// TestPaperExample checks §VII's worked example: the conjunctive query is
+// equivalent to the rpeq of §III.10.
+func TestPaperExample(t *testing.T) {
+	expr := translate(t, "q(X3) :- Root(_*.a) X1, X1(b) X2, X1(c) X3")
+	// The translated tree attaches the qualifier to the full step
+	// (_*.a)[b], which selects the same nodes as _*.(a[b]); the
+	// equivalence test below checks the answers agree.
+	want := rpeq.MustParse("(_*.a)[b].c")
+	if !rpeq.Equal(expr, want) {
+		t.Fatalf("got %s, want %s", rpeq.Canonical(expr), rpeq.Canonical(want))
+	}
+}
+
+func TestTranslations(t *testing.T) {
+	tests := []struct{ cq, want string }{
+		{"q(X1) :- Root(a) X1", "a"},
+		{"q(X2) :- Root(a) X1, X1(b) X2", "a.b"},
+		{"q(X1) :- Root(a) X1, X1(b) X2", "a[b]"},
+		{"q(X1) :- Root(a) X1, X1(b) X2, X1(c) X3", "a[b][c]"},
+		{"q(X1) :- Root(a) X1, X1(b) X2, X2(c) X3", "a[b[c]]"},
+		{"q(X3) :- Root(_*.a) X1, X1(b) X2, X1(c) X3", "(_*.a)[b].c"},
+		{"q(X2) :- Root(a+) X1, X1(b|c) X2", "a+.(b|c)"},
+		// Branches out of the head variable become trailing qualifiers.
+		{"q(X1) :- Root(a) X1, X1(b) X2, X2(d) X3, X1(c) X4", "a[b[d]][c]"},
+	}
+	for _, tc := range tests {
+		expr := translate(t, tc.cq)
+		want := rpeq.MustParse(tc.want)
+		if !rpeq.Equal(expr, want) {
+			t.Errorf("%s:\n got  %s\n want %s", tc.cq, rpeq.Canonical(expr), rpeq.Canonical(want))
+		}
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		"",
+		"q(X1) Root(a) X1",       // no :-
+		"p(X1) :- Root(a) X1",    // head shape
+		"q() :- Root(a) X1",      // no head var
+		"q(X1,X2) :- Root(a) X1", // multiple heads
+		"q(X1) :- Root a X1",     // no parens
+		"q(X1) :- Root(a X1",     // unbalanced
+		"q(X1) :- (a) X1",        // missing source var
+		"q(X1) :- Root(a)",       // missing target var
+		"q(X1) :- Root(a..b) X1", // bad rpeq
+	}
+	for _, src := range bad {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("Parse(%q) unexpectedly succeeded", src)
+		}
+	}
+}
+
+func TestTranslateErrors(t *testing.T) {
+	bad := []string{
+		"q(X9) :- Root(a) X1",             // head unbound
+		"q(X1) :- Root(a) X1, Root(b) X1", // bound twice (join)
+		"q(X1) :- Y(a) X1",                // source unbound
+	}
+	for _, src := range bad {
+		q, err := Parse(src)
+		if err != nil {
+			t.Fatalf("Parse(%q): %v", src, err)
+		}
+		if _, err := q.Translate(); err == nil {
+			t.Errorf("Translate(%q) unexpectedly succeeded", src)
+		}
+	}
+}
+
+// TestConjunctiveEquivalence is E11: evaluating the conjunctive query gives
+// the same answers as the equivalent rpeq on the paper's document.
+func TestConjunctiveEquivalence(t *testing.T) {
+	doc := `<a><a><c/></a><b/><c/></a>`
+	expr := translate(t, "q(X3) :- Root(_*.a) X1, X1(b) X2, X1(c) X3")
+	var got []int64
+	net, err := spexnet.Build(expr, spexnet.Options{Mode: spexnet.ModeNodes,
+		Sink: func(r spexnet.Result) { got = append(got, r.Index) }})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := net.Run(xmlstream.NewScanner(strings.NewReader(doc))); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 || got[0] != 5 {
+		t.Fatalf("got %v, want [5]", got)
+	}
+}

@@ -1,0 +1,182 @@
+// Package dataset generates the synthetic stand-ins for the documents of
+// the paper's evaluation (§VI): the MONDIAL geographic database (small,
+// deep, highly structured), a WordNet RDF excerpt (medium, flat, highly
+// repetitive), and the DMOZ Open Directory structure and content dumps
+// (large to very large, flat). The originals are not redistributable here;
+// the generators reproduce the characteristics the experiments depend on —
+// element vocabulary, element counts, nesting depth, and qualifier
+// satisfaction rates — as documented per generator. Generation is
+// deterministic for a given scale.
+//
+// Generators write serialized XML to an io.Writer and never materialize the
+// document, so arbitrarily large (or unbounded) streams can be produced in
+// constant memory.
+package dataset
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// Doc describes one generatable document.
+type Doc struct {
+	// Name identifies the document in benchmark output, e.g. "mondial".
+	Name string
+	// Scale multiplies the document size; scale 1 approximates the
+	// paper's element count.
+	Scale float64
+	write func(w *xmlWriter, scale float64)
+}
+
+// WriteTo streams the document to w. It implements io.WriterTo.
+func (d *Doc) WriteTo(w io.Writer) (int64, error) {
+	xw := newXMLWriter(w)
+	d.write(xw, d.Scale)
+	return xw.n, xw.flush()
+}
+
+// Bytes renders the document into memory; intended for the small and
+// medium documents reused across benchmark iterations.
+func (d *Doc) Bytes() []byte {
+	var buf bytes.Buffer
+	if _, err := d.WriteTo(&buf); err != nil {
+		panic(err) // bytes.Buffer does not fail
+	}
+	return buf.Bytes()
+}
+
+// xmlWriter emits well-formed XML with minimal overhead.
+type xmlWriter struct {
+	w    io.Writer
+	buf  []byte
+	n    int64
+	err  error
+	open []string
+}
+
+func newXMLWriter(w io.Writer) *xmlWriter {
+	return &xmlWriter{w: w, buf: make([]byte, 0, 1<<16)}
+}
+
+func (w *xmlWriter) flushIfFull() {
+	if len(w.buf) >= 1<<16-256 {
+		w.flush()
+	}
+}
+
+func (w *xmlWriter) flush() error {
+	if w.err != nil {
+		return w.err
+	}
+	if len(w.buf) > 0 {
+		n, err := w.w.Write(w.buf)
+		w.n += int64(n)
+		w.err = err
+		w.buf = w.buf[:0]
+	}
+	return w.err
+}
+
+func (w *xmlWriter) start(name string) {
+	w.buf = append(w.buf, '<')
+	w.buf = append(w.buf, name...)
+	w.buf = append(w.buf, '>')
+	w.open = append(w.open, name)
+	w.flushIfFull()
+}
+
+func (w *xmlWriter) end() {
+	name := w.open[len(w.open)-1]
+	w.open = w.open[:len(w.open)-1]
+	w.buf = append(w.buf, '<', '/')
+	w.buf = append(w.buf, name...)
+	w.buf = append(w.buf, '>')
+	w.flushIfFull()
+}
+
+func (w *xmlWriter) text(s string) {
+	w.buf = append(w.buf, s...)
+	w.flushIfFull()
+}
+
+// leaf writes <name>text</name>.
+func (w *xmlWriter) leaf(name, text string) {
+	w.start(name)
+	w.text(text)
+	w.end()
+}
+
+// rng is a small deterministic generator (xorshift64*), so documents are
+// reproducible across platforms and Go releases.
+type rng struct{ s uint64 }
+
+func newRNG(seed uint64) *rng {
+	if seed == 0 {
+		seed = 0x9E3779B97F4A7C15
+	}
+	return &rng{s: seed}
+}
+
+func (r *rng) next() uint64 {
+	r.s ^= r.s >> 12
+	r.s ^= r.s << 25
+	r.s ^= r.s >> 27
+	return r.s * 0x2545F4914F6CDD1D
+}
+
+// intn returns a value in [0, n).
+func (r *rng) intn(n int) int {
+	if n <= 0 {
+		return 0
+	}
+	return int(r.next() % uint64(n))
+}
+
+// chance returns true with probability pct/100.
+func (r *rng) chance(pct int) bool { return r.intn(100) < pct }
+
+// pick returns a deterministic pseudo-random element of choices.
+func (r *rng) pick(choices []string) string { return choices[r.intn(len(choices))] }
+
+// scaleCount scales a base count, keeping at least 1.
+func scaleCount(base int, scale float64) int {
+	n := int(float64(base)*scale + 0.5)
+	if n < 1 {
+		n = 1
+	}
+	return n
+}
+
+func itoa(i int) string { return strconv.Itoa(i) }
+
+// name synthesizes a short pronounceable identifier from the rng.
+func (r *rng) name() string {
+	consonants := "bcdfgklmnprstv"
+	vowels := "aeiou"
+	n := 2 + r.intn(3)
+	out := make([]byte, 0, 2*n)
+	for i := 0; i < n; i++ {
+		out = append(out, consonants[r.intn(len(consonants))], vowels[r.intn(len(vowels))])
+	}
+	return string(out)
+}
+
+// sentence synthesizes filler prose of approximately the given length.
+func (r *rng) sentence(approx int) string {
+	var b bytes.Buffer
+	for b.Len() < approx {
+		if b.Len() > 0 {
+			b.WriteByte(' ')
+		}
+		b.WriteString(r.name())
+	}
+	return b.String()
+}
+
+func must(err error) {
+	if err != nil {
+		panic(fmt.Sprintf("dataset: %v", err))
+	}
+}

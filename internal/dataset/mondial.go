@@ -1,0 +1,86 @@
+package dataset
+
+// Mondial returns a synthetic stand-in for the MONDIAL geographic database
+// (§VI: 1.2 MB, 24,184 elements, maximum depth 5). The generator reproduces
+// the properties the Figure-14 queries exercise:
+//
+//   - mondial/country/province/city/name nesting gives depth 5;
+//   - roughly 60% of countries have provinces (driving the qualifier
+//     [province] in query classes 2 and 4);
+//   - cities occur both under provinces and directly under countries, so
+//     _*.province.city and _*.city differ;
+//   - countries carry name, religions and other leaves before and after
+//     the provinces, producing both past and future conditions.
+func Mondial(scale float64) *Doc {
+	return &Doc{Name: "mondial", Scale: scale, write: writeMondial}
+}
+
+func writeMondial(w *xmlWriter, scale float64) {
+	r := newRNG(42)
+	countries := scaleCount(240, scale)
+	w.start("mondial")
+	for i := 0; i < countries; i++ {
+		writeCountry(w, r, i)
+	}
+	// A handful of organizations keep the vocabulary from being
+	// country-only, as in the original database.
+	for i := 0; i < scaleCount(12, scale); i++ {
+		w.start("organization")
+		w.leaf("name", r.name())
+		w.leaf("abbrev", r.name())
+		for m := 0; m < 3+r.intn(5); m++ {
+			w.leaf("members", r.name())
+		}
+		w.end()
+	}
+	w.end()
+}
+
+func writeCountry(w *xmlWriter, r *rng, i int) {
+	w.start("country")
+	w.leaf("name", r.name())
+	w.leaf("population", itoa(10000+r.intn(100000000)))
+	w.leaf("government", r.sentence(30))
+	w.leaf("capital", r.name())
+	hasProvinces := r.chance(60)
+	if hasProvinces {
+		provinces := 3 + r.intn(14)
+		for p := 0; p < provinces; p++ {
+			w.start("province")
+			w.leaf("name", r.name())
+			w.leaf("area", itoa(100+r.intn(100000)))
+			cities := 2 + r.intn(5)
+			for c := 0; c < cities; c++ {
+				w.start("city")
+				w.leaf("name", r.name())
+				if r.chance(70) {
+					w.leaf("population", itoa(1000+r.intn(5000000)))
+				}
+				w.end()
+			}
+			w.end()
+		}
+	} else {
+		// Countries without provinces list cities directly.
+		cities := 1 + r.intn(4)
+		for c := 0; c < cities; c++ {
+			w.start("city")
+			w.leaf("name", r.name())
+			w.end()
+		}
+	}
+	if r.chance(80) {
+		w.leaf("ethnicgroups", r.sentence(25))
+	}
+	// religions appears after the provinces: with the [province]
+	// qualifier this is the paper's "past condition" query class 4.
+	if r.chance(75) {
+		for k := 0; k < 1+r.intn(3); k++ {
+			w.leaf("religions", r.pick([]string{"christian", "muslim", "hindu", "buddhist", "jewish", "other"}))
+		}
+	}
+	if r.chance(40) {
+		w.leaf("indep_date", itoa(1200+r.intn(800)))
+	}
+	w.end()
+}

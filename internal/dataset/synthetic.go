@@ -1,0 +1,115 @@
+package dataset
+
+import (
+	"io"
+
+	"repro/internal/xmlstream"
+)
+
+// RandomTree returns a document of pseudo-random structure over a small
+// label alphabet; the property-based tests use it to compare SPEX with the
+// baselines on arbitrary shapes.
+func RandomTree(seed uint64, maxDepth, maxFanout int, labels []string) *Doc {
+	return RandomTreeText(seed, maxDepth, maxFanout, labels, nil)
+}
+
+// RandomTreeText is RandomTree with character data drawn from texts
+// interleaved between children (skipped when texts is empty); used by the
+// text-test property suite.
+func RandomTreeText(seed uint64, maxDepth, maxFanout int, labels, texts []string) *Doc {
+	if len(labels) == 0 {
+		labels = []string{"a", "b", "c", "d"}
+	}
+	return &Doc{Name: "random", Scale: 1, write: func(w *xmlWriter, _ float64) {
+		r := newRNG(seed)
+		var gen func(depth int)
+		gen = func(depth int) {
+			w.start(r.pick(labels))
+			if len(texts) > 0 && r.chance(40) {
+				w.text(r.pick(texts))
+			}
+			if depth < maxDepth {
+				kids := r.intn(maxFanout + 1)
+				for i := 0; i < kids; i++ {
+					gen(depth + 1)
+					if len(texts) > 0 && r.chance(20) {
+						w.text(r.pick(texts))
+					}
+				}
+			}
+			w.end()
+		}
+		gen(1)
+	}}
+}
+
+// Recursive returns a document that is a single chain of nested elements of
+// the given depth, all with the given label — the worst case for
+// stack-depth growth (§V) and the shape behind Theorem IV.1's non-regular
+// language argument.
+func Recursive(label string, depth int) *Doc {
+	return &Doc{Name: "recursive", Scale: 1, write: func(w *xmlWriter, _ float64) {
+		for i := 0; i < depth; i++ {
+			w.start(label)
+		}
+		for i := 0; i < depth; i++ {
+			w.end()
+		}
+	}}
+}
+
+// Ladder returns a document of the given depth alternating between labels,
+// with a qualifier witness leaf at each level; used by the formula-growth
+// experiments (E9): queries with qualifiers on wildcard closure steps see
+// one active instance per level.
+func Ladder(depth int) *Doc {
+	return &Doc{Name: "ladder", Scale: 1, write: func(w *xmlWriter, _ float64) {
+		var gen func(level int)
+		gen = func(level int) {
+			w.start("a")
+			w.leaf("q", itoa(level))
+			if level < depth {
+				gen(level + 1)
+			}
+			w.end()
+		}
+		gen(1)
+	}}
+}
+
+// Events returns the document's event stream by scanning its serialized
+// form; a convenience for tests.
+func (d *Doc) Events() []xmlstream.Event {
+	pr, pw := io.Pipe()
+	go func() {
+		_, err := d.WriteTo(pw)
+		pw.CloseWithError(err)
+	}()
+	evs, err := xmlstream.Collect(xmlstream.NewScanner(pr))
+	must(err)
+	return evs
+}
+
+// Info measures the generated document (element count, depth, events).
+func (d *Doc) Info() xmlstream.Info {
+	pr, pw := io.Pipe()
+	go func() {
+		_, err := d.WriteTo(pw)
+		pw.CloseWithError(err)
+	}()
+	info, err := xmlstream.Measure(xmlstream.NewScanner(pr))
+	must(err)
+	return info
+}
+
+// Stream returns a Source scanning the document; generation runs
+// concurrently through a pipe, so memory stays constant regardless of
+// document size.
+func (d *Doc) Stream() xmlstream.Source {
+	pr, pw := io.Pipe()
+	go func() {
+		_, err := d.WriteTo(pw)
+		pw.CloseWithError(err)
+	}()
+	return xmlstream.NewScanner(pr)
+}

@@ -1,0 +1,100 @@
+package dataset
+
+// WordNet returns a synthetic stand-in for the paper's WordNet RDF excerpt
+// (§VI: 9.5 MB, 207,899 elements, maximum depth 3): a flat, highly
+// repetitive sequence of Noun records, each carrying one or more wordForm
+// leaves and a glossaryEntry. Roughly 85% of nouns have a wordForm, so the
+// qualifier query _*.Noun[wordForm] (class 2) selects most but not all
+// records.
+func WordNet(scale float64) *Doc {
+	return &Doc{Name: "wordnet", Scale: scale, write: writeWordNet}
+}
+
+func writeWordNet(w *xmlWriter, scale float64) {
+	r := newRNG(1998)
+	nouns := scaleCount(52000, scale)
+	w.start("rdf")
+	for i := 0; i < nouns; i++ {
+		w.start("Noun")
+		if r.chance(85) {
+			forms := 1 + r.intn(3)
+			for f := 0; f < forms; f++ {
+				w.leaf("wordForm", r.name())
+			}
+		}
+		w.leaf("glossaryEntry", r.sentence(40))
+		if r.chance(30) {
+			w.leaf("hyponymOf", itoa(r.intn(nouns+1)))
+		}
+		w.end()
+	}
+	w.end()
+}
+
+// DMOZStructure returns a synthetic stand-in for the DMOZ Open Directory
+// structure dump (§VI: 300 MB, 3,940,716 elements, maximum depth 3): a very
+// large flat RDF document of Topic records. About 20% of topics have an
+// editor, driving the qualifier queries of Figure 15; newsGroup appears
+// before Title within a topic so that _*.Topic[editor].newsGroup is a past
+// condition (class 4) while _*.Topic[editor].Title is a future condition
+// (class 2) — matching the paper's query selection.
+func DMOZStructure(scale float64) *Doc {
+	return &Doc{Name: "dmoz-structure", Scale: scale, write: writeDMOZStructure}
+}
+
+func writeDMOZStructure(w *xmlWriter, scale float64) {
+	r := newRNG(7177)
+	topics := scaleCount(690000, scale)
+	w.start("RDF")
+	for i := 0; i < topics; i++ {
+		w.start("Topic")
+		w.leaf("catid", itoa(i))
+		if r.chance(35) {
+			w.leaf("newsGroup", "news."+r.name())
+		}
+		w.leaf("Title", r.name())
+		if r.chance(20) {
+			w.leaf("editor", r.name())
+		}
+		links := r.intn(4)
+		for l := 0; l < links; l++ {
+			w.leaf("link", "http://"+r.name()+".example/"+r.name())
+		}
+		w.end()
+	}
+	w.end()
+}
+
+// DMOZContent returns a synthetic stand-in for the DMOZ content dump (§VI:
+// 1 GB, 13,233,278 elements, maximum depth 3): Topic records interleaved
+// with ExternalPage records carrying heavier text content.
+func DMOZContent(scale float64) *Doc {
+	return &Doc{Name: "dmoz-content", Scale: scale, write: writeDMOZContent}
+}
+
+func writeDMOZContent(w *xmlWriter, scale float64) {
+	r := newRNG(20020514)
+	groups := scaleCount(1160000, scale)
+	w.start("RDF")
+	for i := 0; i < groups; i++ {
+		w.start("Topic")
+		w.leaf("catid", itoa(i))
+		if r.chance(35) {
+			w.leaf("newsGroup", "news."+r.name())
+		}
+		w.leaf("Title", r.name())
+		if r.chance(20) {
+			w.leaf("editor", r.name())
+		}
+		w.end()
+		pages := 1 + r.intn(3)
+		for p := 0; p < pages; p++ {
+			w.start("ExternalPage")
+			w.leaf("Title", r.sentence(20))
+			w.leaf("Description", r.sentence(120))
+			w.leaf("topic", itoa(i))
+			w.end()
+		}
+	}
+	w.end()
+}

@@ -1,0 +1,82 @@
+package dom
+
+import (
+	"testing"
+
+	"repro/internal/xmlstream"
+)
+
+func TestBuildIndexing(t *testing.T) {
+	doc, err := BuildString(`<a><a><c/></a><b/><c/></a>`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if doc.Kind != Document || doc.Index != 0 || doc.Name != "$" {
+		t.Fatalf("document node: %+v", doc)
+	}
+	var names []string
+	var indices []int64
+	doc.Walk(func(n *Node) {
+		if n.Kind == Element {
+			names = append(names, n.Name)
+			indices = append(indices, n.Index)
+		}
+	})
+	wantNames := []string{"a", "a", "c", "b", "c"}
+	for i := range wantNames {
+		if names[i] != wantNames[i] || indices[i] != int64(i+1) {
+			t.Fatalf("walk: got %v %v", names, indices)
+		}
+	}
+	if doc.Count() != 5 || doc.Depth() != 3 {
+		t.Fatalf("Count=%d Depth=%d", doc.Count(), doc.Depth())
+	}
+}
+
+func TestBuildText(t *testing.T) {
+	doc, err := BuildString(`<a>hi<b>there</b></a>`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	root := doc.Children[0]
+	if len(root.Children) != 2 {
+		t.Fatalf("children: %d", len(root.Children))
+	}
+	if root.Children[0].Kind != TextNode || root.Children[0].Data != "hi" {
+		t.Fatalf("text child: %+v", root.Children[0])
+	}
+	if got := xmlstream.Serialize(doc.Events()); got != `<a>hi<b>there</b></a>` {
+		t.Fatalf("serialize: %q", got)
+	}
+}
+
+func TestBuildErrors(t *testing.T) {
+	for _, bad := range []string{"", "<a>", "<a></b>"} {
+		if _, err := BuildString(bad); err == nil {
+			t.Errorf("BuildString(%q) unexpectedly succeeded", bad)
+		}
+	}
+}
+
+func TestElementChildrenSkipsText(t *testing.T) {
+	doc, err := BuildString(`<a>x<b/>y<c/>z</a>`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got []string
+	doc.Children[0].ElementChildren(func(n *Node) { got = append(got, n.Name) })
+	if len(got) != 2 || got[0] != "b" || got[1] != "c" {
+		t.Fatalf("got %v", got)
+	}
+}
+
+func TestEventsSubtree(t *testing.T) {
+	doc, err := BuildString(`<a><b><c/></b></a>`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := doc.Children[0].Children[0]
+	if got := xmlstream.Serialize(b.Events()); got != "<b><c></c></b>" {
+		t.Fatalf("got %q", got)
+	}
+}

@@ -1,0 +1,556 @@
+// Package dtd implements streaming DTD validation of XML streams under
+// memory constraints — the problem the paper's related work discusses
+// (§VIII, ref. [21], Segoufin & Vianu, "Validating Streaming XML
+// Documents"): in general, validation requires the computational power of a
+// pushdown automaton whose stack is bounded in the depth of the document —
+// the same resource profile as a SPEX transducer.
+//
+// A DTD assigns each element a content model, a regular expression over
+// child element names:
+//
+//	<!ELEMENT country (name, population?, (province | city)*, religions*)>
+//	<!ELEMENT name (#PCDATA)>
+//	<!ELEMENT province (name, area?, city+)>
+//
+// Each content model compiles into an NFA; the validator runs one NFA per
+// open element — a stack of runs bounded by the document depth — advancing
+// the parent's run on every child start message and requiring an accepting
+// state at the parent's end message.
+package dtd
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"repro/internal/xmlstream"
+)
+
+// DTD is a set of element declarations.
+type DTD struct {
+	// Elements maps element names to their content models.
+	Elements map[string]*Model
+	// Strict rejects elements with no declaration; otherwise undeclared
+	// elements are treated as ANY.
+	Strict bool
+}
+
+// ModelKind classifies a content model.
+type ModelKind uint8
+
+// Content model kinds.
+const (
+	// ModelRegex is a regular expression over child element names,
+	// possibly mixed with #PCDATA.
+	ModelRegex ModelKind = iota
+	// ModelEmpty allows no content (EMPTY).
+	ModelEmpty
+	// ModelAny allows any content (ANY).
+	ModelAny
+	// ModelText allows character data only ((#PCDATA)).
+	ModelText
+)
+
+// Model is one element's content model.
+type Model struct {
+	Kind ModelKind
+	// Mixed marks a mixed model (#PCDATA | a | b)*: text is allowed
+	// anywhere and the listed children in any order and number.
+	Mixed bool
+	expr  cmNode
+	nfa   *cmNFA
+	src   string
+}
+
+// String returns the model's source text.
+func (m *Model) String() string { return m.src }
+
+// cmNode is a content-model expression node.
+type cmNode interface{ cm() }
+
+type cmName struct{ name string }
+type cmSeq struct{ kids []cmNode }
+type cmChoice struct{ kids []cmNode }
+type cmRepeat struct { // postfix ?, *, +
+	kid      cmNode
+	min, max int // max < 0 means unbounded
+}
+
+func (*cmName) cm()   {}
+func (*cmSeq) cm()    {}
+func (*cmChoice) cm() {}
+func (*cmRepeat) cm() {}
+
+// Parse parses DTD text consisting of <!ELEMENT ...> declarations;
+// <!ATTLIST ...>, <!ENTITY ...> and comments are skipped.
+func Parse(src string) (*DTD, error) {
+	d := &DTD{Elements: make(map[string]*Model)}
+	rest := src
+	for {
+		i := strings.Index(rest, "<!")
+		if i < 0 {
+			break
+		}
+		rest = rest[i:]
+		switch {
+		case strings.HasPrefix(rest, "<!--"):
+			end := strings.Index(rest, "-->")
+			if end < 0 {
+				return nil, fmt.Errorf("dtd: unterminated comment")
+			}
+			rest = rest[end+3:]
+		case strings.HasPrefix(rest, "<!ELEMENT"):
+			end := strings.IndexByte(rest, '>')
+			if end < 0 {
+				return nil, fmt.Errorf("dtd: unterminated declaration")
+			}
+			decl := rest[len("<!ELEMENT"):end]
+			rest = rest[end+1:]
+			if err := d.parseElement(decl); err != nil {
+				return nil, err
+			}
+		default:
+			end := strings.IndexByte(rest, '>')
+			if end < 0 {
+				return nil, fmt.Errorf("dtd: unterminated declaration")
+			}
+			rest = rest[end+1:]
+		}
+	}
+	if len(d.Elements) == 0 {
+		return nil, fmt.Errorf("dtd: no element declarations")
+	}
+	return d, nil
+}
+
+// MustParse is Parse panicking on error.
+func MustParse(src string) *DTD {
+	d, err := Parse(src)
+	if err != nil {
+		panic(err)
+	}
+	return d
+}
+
+// parseElement parses " name model" from an ELEMENT declaration.
+func (d *DTD) parseElement(decl string) error {
+	decl = strings.TrimSpace(decl)
+	sp := strings.IndexAny(decl, " \t\n\r")
+	if sp < 0 {
+		return fmt.Errorf("dtd: ELEMENT declaration %q missing a content model", decl)
+	}
+	name := decl[:sp]
+	if _, dup := d.Elements[name]; dup {
+		return fmt.Errorf("dtd: element %s declared twice", name)
+	}
+	modelSrc := strings.TrimSpace(decl[sp:])
+	model, err := parseModel(modelSrc)
+	if err != nil {
+		return fmt.Errorf("dtd: element %s: %v", name, err)
+	}
+	d.Elements[name] = model
+	return nil
+}
+
+// parseModel parses a content model.
+func parseModel(src string) (*Model, error) {
+	switch src {
+	case "EMPTY":
+		return &Model{Kind: ModelEmpty, src: src}, nil
+	case "ANY":
+		return &Model{Kind: ModelAny, src: src}, nil
+	case "(#PCDATA)", "(#PCDATA)*":
+		return &Model{Kind: ModelText, src: src}, nil
+	}
+	p := &modelParser{src: src}
+	p.skip()
+	if p.peek() != '(' {
+		return nil, fmt.Errorf("content model must be parenthesized, got %q", src)
+	}
+	// Mixed model (#PCDATA | a | b)*.
+	if strings.HasPrefix(strings.ReplaceAll(src, " ", ""), "(#PCDATA|") {
+		names, err := parseMixed(src)
+		if err != nil {
+			return nil, err
+		}
+		kids := make([]cmNode, len(names))
+		for i, n := range names {
+			kids[i] = &cmName{name: n}
+		}
+		expr := cmNode(&cmRepeat{kid: &cmChoice{kids: kids}, min: 0, max: -1})
+		m := &Model{Kind: ModelRegex, Mixed: true, expr: expr, src: src}
+		m.nfa = compileCM(expr)
+		return m, nil
+	}
+	expr, err := p.parseChoice()
+	if err != nil {
+		return nil, err
+	}
+	p.skip()
+	if p.pos < len(p.src) {
+		return nil, fmt.Errorf("trailing input %q in content model", p.src[p.pos:])
+	}
+	m := &Model{Kind: ModelRegex, expr: expr, src: src}
+	m.nfa = compileCM(expr)
+	return m, nil
+}
+
+// parseMixed extracts the names from "(#PCDATA | a | b)*".
+func parseMixed(src string) ([]string, error) {
+	s := strings.TrimSpace(src)
+	if !strings.HasSuffix(s, ")*") {
+		return nil, fmt.Errorf("mixed content model must end in )*: %q", src)
+	}
+	inner := strings.TrimSuffix(strings.TrimPrefix(s, "("), ")*")
+	parts := strings.Split(inner, "|")
+	if strings.TrimSpace(parts[0]) != "#PCDATA" {
+		return nil, fmt.Errorf("mixed content model must start with #PCDATA: %q", src)
+	}
+	var names []string
+	for _, p := range parts[1:] {
+		n := strings.TrimSpace(p)
+		if n == "" {
+			return nil, fmt.Errorf("empty name in mixed content model %q", src)
+		}
+		names = append(names, n)
+	}
+	return names, nil
+}
+
+// modelParser parses the deterministic-content-model grammar
+//
+//	choice ::= seq ('|' seq)*
+//	seq    ::= atom (',' atom)*
+//	atom   ::= (name | '(' choice ')') ('?' | '*' | '+')?
+type modelParser struct {
+	src string
+	pos int
+}
+
+func (p *modelParser) skip() {
+	for p.pos < len(p.src) && (p.src[p.pos] == ' ' || p.src[p.pos] == '\t' || p.src[p.pos] == '\n' || p.src[p.pos] == '\r') {
+		p.pos++
+	}
+}
+
+func (p *modelParser) peek() byte {
+	if p.pos < len(p.src) {
+		return p.src[p.pos]
+	}
+	return 0
+}
+
+func (p *modelParser) parseChoice() (cmNode, error) {
+	first, err := p.parseSeq()
+	if err != nil {
+		return nil, err
+	}
+	kids := []cmNode{first}
+	for {
+		p.skip()
+		if p.peek() != '|' {
+			break
+		}
+		p.pos++
+		next, err := p.parseSeq()
+		if err != nil {
+			return nil, err
+		}
+		kids = append(kids, next)
+	}
+	if len(kids) == 1 {
+		return kids[0], nil
+	}
+	return &cmChoice{kids: kids}, nil
+}
+
+func (p *modelParser) parseSeq() (cmNode, error) {
+	first, err := p.parseAtom()
+	if err != nil {
+		return nil, err
+	}
+	kids := []cmNode{first}
+	for {
+		p.skip()
+		if p.peek() != ',' {
+			break
+		}
+		p.pos++
+		next, err := p.parseAtom()
+		if err != nil {
+			return nil, err
+		}
+		kids = append(kids, next)
+	}
+	if len(kids) == 1 {
+		return kids[0], nil
+	}
+	return &cmSeq{kids: kids}, nil
+}
+
+func (p *modelParser) parseAtom() (cmNode, error) {
+	p.skip()
+	var node cmNode
+	switch {
+	case p.peek() == '(':
+		p.pos++
+		inner, err := p.parseChoice()
+		if err != nil {
+			return nil, err
+		}
+		p.skip()
+		if p.peek() != ')' {
+			return nil, fmt.Errorf("expected ')' at offset %d of %q", p.pos, p.src)
+		}
+		p.pos++
+		node = inner
+	default:
+		start := p.pos
+		for p.pos < len(p.src) && isNameByte(p.src[p.pos]) {
+			p.pos++
+		}
+		if p.pos == start {
+			return nil, fmt.Errorf("expected a name at offset %d of %q", p.pos, p.src)
+		}
+		node = &cmName{name: p.src[start:p.pos]}
+	}
+	switch p.peek() {
+	case '?':
+		p.pos++
+		return &cmRepeat{kid: node, min: 0, max: 1}, nil
+	case '*':
+		p.pos++
+		return &cmRepeat{kid: node, min: 0, max: -1}, nil
+	case '+':
+		p.pos++
+		return &cmRepeat{kid: node, min: 1, max: -1}, nil
+	}
+	return node, nil
+}
+
+func isNameByte(c byte) bool {
+	return c == '_' || c == '-' || c == '.' || c == ':' ||
+		(c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || (c >= '0' && c <= '9')
+}
+
+// cmNFA is a Thompson automaton over child element names.
+type cmNFA struct {
+	eps     [][]int
+	lab     []map[string][]int
+	start   int
+	accept  int
+	nstates int
+}
+
+func (n *cmNFA) newState() int {
+	n.eps = append(n.eps, nil)
+	n.lab = append(n.lab, nil)
+	n.nstates++
+	return n.nstates - 1
+}
+
+func (n *cmNFA) addEps(from, to int) { n.eps[from] = append(n.eps[from], to) }
+
+func (n *cmNFA) addLab(from int, label string, to int) {
+	if n.lab[from] == nil {
+		n.lab[from] = make(map[string][]int)
+	}
+	n.lab[from][label] = append(n.lab[from][label], to)
+}
+
+func compileCM(expr cmNode) *cmNFA {
+	n := &cmNFA{}
+	in := n.newState()
+	out := n.frag(expr, in)
+	n.start, n.accept = in, out
+	return n
+}
+
+func (n *cmNFA) frag(expr cmNode, in int) int {
+	switch e := expr.(type) {
+	case *cmName:
+		out := n.newState()
+		n.addLab(in, e.name, out)
+		return out
+	case *cmSeq:
+		cur := in
+		for _, k := range e.kids {
+			cur = n.frag(k, cur)
+		}
+		return cur
+	case *cmChoice:
+		out := n.newState()
+		for _, k := range e.kids {
+			n.addEps(n.frag(k, in), out)
+		}
+		return out
+	case *cmRepeat:
+		switch {
+		case e.min == 0 && e.max == 1: // ?
+			out := n.frag(e.kid, in)
+			n.addEps(in, out)
+			return out
+		case e.min == 0: // *
+			out := n.frag(e.kid, in)
+			n.addEps(in, out)
+			n.addEps(out, in)
+			return out
+		default: // +
+			mid := n.frag(e.kid, in)
+			n.addEps(mid, in)
+			return mid
+		}
+	default:
+		panic(fmt.Sprintf("dtd: unknown content-model node %T", expr))
+	}
+}
+
+// eclose extends set along ε-transitions.
+func (n *cmNFA) eclose(set []bool) {
+	var stack []int
+	for s, in := range set {
+		if in {
+			stack = append(stack, s)
+		}
+	}
+	for len(stack) > 0 {
+		s := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, to := range n.eps[s] {
+			if !set[to] {
+				set[to] = true
+				stack = append(stack, to)
+			}
+		}
+	}
+}
+
+// move consumes one child element name; it reports whether any state
+// remains reachable.
+func (n *cmNFA) move(set []bool, label string) ([]bool, bool) {
+	out := make([]bool, n.nstates)
+	any := false
+	for s, in := range set {
+		if !in {
+			continue
+		}
+		for _, to := range n.lab[s][label] {
+			out[to] = true
+			any = true
+		}
+	}
+	if !any {
+		return nil, false
+	}
+	n.eclose(out)
+	return out, true
+}
+
+// ValidationError describes the first constraint violation found.
+type ValidationError struct {
+	Element string // element whose content is invalid
+	Child   string // offending child ("" for end-of-content or text)
+	Pos     int64  // ordinal of the offending event in the stream
+	Reason  string
+}
+
+func (e *ValidationError) Error() string {
+	if e.Child != "" {
+		return fmt.Sprintf("dtd: element <%s>: child <%s> not allowed here (event %d): %s", e.Element, e.Child, e.Pos, e.Reason)
+	}
+	return fmt.Sprintf("dtd: element <%s> (event %d): %s", e.Element, e.Pos, e.Reason)
+}
+
+// run is one open element's validation state.
+type run struct {
+	name  string
+	model *Model
+	set   []bool
+}
+
+// Validate streams src against the DTD, returning the first violation (or
+// a scan error). Memory is bounded by the document depth: one NFA state set
+// per open element — the PDA profile of ref. [21].
+func (d *DTD) Validate(src xmlstream.Source) error {
+	var stack []*run
+	var pos int64
+	for {
+		ev, err := src.Next()
+		if err == io.EOF {
+			return nil
+		}
+		if err != nil {
+			return err
+		}
+		pos++
+		switch ev.Kind {
+		case xmlstream.StartElement:
+			if len(stack) > 0 {
+				if err := d.child(stack[len(stack)-1], ev.Name, pos); err != nil {
+					return err
+				}
+			}
+			model, ok := d.Elements[ev.Name]
+			if !ok {
+				if d.Strict {
+					return &ValidationError{Element: ev.Name, Pos: pos, Reason: "element not declared"}
+				}
+				model = &Model{Kind: ModelAny, src: "ANY"}
+			}
+			r := &run{name: ev.Name, model: model}
+			if model.Kind == ModelRegex {
+				r.set = make([]bool, model.nfa.nstates)
+				r.set[model.nfa.start] = true
+				model.nfa.eclose(r.set)
+			}
+			stack = append(stack, r)
+		case xmlstream.EndElement:
+			r := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			if r.model.Kind == ModelRegex && !r.set[r.model.nfa.accept] {
+				return &ValidationError{Element: r.name, Pos: pos, Reason: "content ended before the model was satisfied"}
+			}
+		case xmlstream.Text:
+			if len(stack) == 0 {
+				continue
+			}
+			r := stack[len(stack)-1]
+			switch r.model.Kind {
+			case ModelAny, ModelText:
+			case ModelRegex:
+				if !r.model.Mixed && strings.TrimSpace(ev.Data) != "" {
+					return &ValidationError{Element: r.name, Pos: pos, Reason: "character data not allowed (element-only content)"}
+				}
+			case ModelEmpty:
+				if strings.TrimSpace(ev.Data) != "" {
+					return &ValidationError{Element: r.name, Pos: pos, Reason: "character data in EMPTY element"}
+				}
+			}
+		}
+	}
+}
+
+// child advances the parent's content-model run by one child element.
+func (d *DTD) child(parent *run, name string, pos int64) error {
+	switch parent.model.Kind {
+	case ModelAny:
+		return nil
+	case ModelEmpty:
+		return &ValidationError{Element: parent.name, Child: name, Pos: pos, Reason: "EMPTY element has a child"}
+	case ModelText:
+		return &ValidationError{Element: parent.name, Child: name, Pos: pos, Reason: "text-only element has a child"}
+	default:
+		next, ok := parent.model.nfa.move(parent.set, name)
+		if !ok {
+			return &ValidationError{Element: parent.name, Child: name, Pos: pos,
+				Reason: fmt.Sprintf("violates content model %s", parent.model.src)}
+		}
+		parent.set = next
+		return nil
+	}
+}
+
+// ValidateReader validates raw XML bytes.
+func (d *DTD) ValidateReader(r io.Reader) error {
+	return d.Validate(xmlstream.NewScanner(r))
+}

@@ -1,0 +1,190 @@
+package dtd
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/dataset"
+)
+
+const bookDTD = `
+<!-- a small document type -->
+<!ELEMENT library (book+)>
+<!ELEMENT book (title, author*, (isbn | oldid)?)>
+<!ELEMENT title (#PCDATA)>
+<!ELEMENT author (#PCDATA)>
+<!ELEMENT isbn (#PCDATA)>
+<!ELEMENT oldid EMPTY>
+<!ATTLIST book lang CDATA #IMPLIED>
+`
+
+func validate(t *testing.T, dtdSrc, doc string) error {
+	t.Helper()
+	d, err := Parse(dtdSrc)
+	if err != nil {
+		t.Fatalf("parse dtd: %v", err)
+	}
+	return d.ValidateReader(strings.NewReader(doc))
+}
+
+func TestValidDocuments(t *testing.T) {
+	docs := []string{
+		`<library><book><title>t</title></book></library>`,
+		`<library><book><title>t</title><author>a</author><author>b</author><isbn>1</isbn></book></library>`,
+		`<library><book><title>t</title><oldid/></book><book><title>u</title></book></library>`,
+	}
+	for _, doc := range docs {
+		if err := validate(t, bookDTD, doc); err != nil {
+			t.Errorf("%s: %v", doc, err)
+		}
+	}
+}
+
+func TestInvalidDocuments(t *testing.T) {
+	docs := []struct{ doc, wantSub string }{
+		{`<library></library>`, "content ended"},                                        // book+ unsatisfied
+		{`<library><book></book></library>`, "content ended"},                           // missing title
+		{`<library><book><author>a</author><title>t</title></book></library>`, "child"}, // wrong order
+		{`<library><book><title>t</title><isbn>1</isbn><oldid/></book></library>`, "child"},
+		{`<library><book><title>t</title><oldid>x</oldid></book></library>`, "EMPTY"},
+		{`<library><book><title>t</title></book>junk text</library>`, "character data"},
+	}
+	for _, tc := range docs {
+		err := validate(t, bookDTD, tc.doc)
+		if err == nil {
+			t.Errorf("%s: expected a violation", tc.doc)
+			continue
+		}
+		if !strings.Contains(err.Error(), tc.wantSub) {
+			t.Errorf("%s: error %q does not mention %q", tc.doc, err, tc.wantSub)
+		}
+	}
+}
+
+func TestMixedContent(t *testing.T) {
+	d := MustParse(`<!ELEMENT p (#PCDATA | em | strong)*> <!ELEMENT em (#PCDATA)> <!ELEMENT strong (#PCDATA)>`)
+	if err := d.ValidateReader(strings.NewReader(`<p>hi <em>there</em> and <strong>you</strong>!</p>`)); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.ValidateReader(strings.NewReader(`<p><p/></p>`)); err == nil {
+		t.Fatal("nested p is not in the mixed model")
+	}
+}
+
+func TestStrictMode(t *testing.T) {
+	d := MustParse(`<!ELEMENT a (b*)> <!ELEMENT b EMPTY>`)
+	if err := d.ValidateReader(strings.NewReader(`<a><b/><c/></a>`)); err == nil {
+		t.Fatal("c violates a's content model even in lenient mode")
+	}
+	lenient := MustParse(`<!ELEMENT a ANY>`)
+	if err := lenient.ValidateReader(strings.NewReader(`<a><whatever/></a>`)); err != nil {
+		t.Fatalf("lenient: %v", err)
+	}
+	lenient.Strict = true
+	if err := lenient.ValidateReader(strings.NewReader(`<a><whatever/></a>`)); err == nil {
+		t.Fatal("strict mode must reject undeclared elements")
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		``,
+		`<!ELEMENT >`,
+		`<!ELEMENT a`,
+		`<!ELEMENT a (b`,
+		`<!ELEMENT a (b,)>`,
+		`<!ELEMENT a b>`,
+		`<!ELEMENT a (b)> <!ELEMENT a (c)>`,
+		`<!-- only a comment -->`,
+	}
+	for _, src := range bad {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("Parse(%q) unexpectedly succeeded", src)
+		}
+	}
+}
+
+// mondialDTD describes the generated MONDIAL stand-in; the generator's
+// output must validate against it (tying the dataset substrate to the
+// validation substrate).
+const mondialDTD = `
+<!ELEMENT mondial (country*, organization*)>
+<!ELEMENT country (name, population, government, capital,
+                   (province* | city*), city*, ethnicgroups?, religions*, indep_date?)>
+<!ELEMENT province (name, area, city+)>
+<!ELEMENT city (name, population?)>
+<!ELEMENT organization (name, abbrev, members+)>
+<!ELEMENT name (#PCDATA)>
+<!ELEMENT population (#PCDATA)>
+<!ELEMENT government (#PCDATA)>
+<!ELEMENT capital (#PCDATA)>
+<!ELEMENT area (#PCDATA)>
+<!ELEMENT ethnicgroups (#PCDATA)>
+<!ELEMENT religions (#PCDATA)>
+<!ELEMENT indep_date (#PCDATA)>
+<!ELEMENT abbrev (#PCDATA)>
+<!ELEMENT members (#PCDATA)>
+`
+
+func TestMondialValidates(t *testing.T) {
+	d := MustParse(mondialDTD)
+	d.Strict = true
+	if err := d.Validate(dataset.Mondial(0.1).Stream()); err != nil {
+		t.Fatalf("generated MONDIAL does not validate: %v", err)
+	}
+}
+
+// TestValidationDepthBoundedMemory: the validator's stack is one NFA run
+// per open element — deep documents validate without growing beyond d.
+func TestValidationDepthBoundedMemory(t *testing.T) {
+	d := MustParse(`<!ELEMENT a (a?)>`)
+	d.Strict = true
+	if err := d.Validate(dataset.Recursive("a", 10000).Stream()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestModelString(t *testing.T) {
+	d := MustParse(`<!ELEMENT a (b, c?)> <!ELEMENT b EMPTY> <!ELEMENT c EMPTY>`)
+	if got := d.Elements["a"].String(); got != "(b, c?)" {
+		t.Fatalf("got %q", got)
+	}
+}
+
+// wordnetDTD and dmozDTD tie the remaining generators to the validator.
+const wordnetDTD = `
+<!ELEMENT rdf (Noun*)>
+<!ELEMENT Noun (wordForm*, glossaryEntry, hyponymOf?)>
+<!ELEMENT wordForm (#PCDATA)>
+<!ELEMENT glossaryEntry (#PCDATA)>
+<!ELEMENT hyponymOf (#PCDATA)>
+`
+
+const dmozDTD = `
+<!ELEMENT RDF (Topic | ExternalPage)*>
+<!ELEMENT Topic (catid, newsGroup?, Title, editor?, link*)>
+<!ELEMENT ExternalPage (Title, Description, topic)>
+<!ELEMENT catid (#PCDATA)>
+<!ELEMENT newsGroup (#PCDATA)>
+<!ELEMENT Title (#PCDATA)>
+<!ELEMENT editor (#PCDATA)>
+<!ELEMENT link (#PCDATA)>
+<!ELEMENT Description (#PCDATA)>
+<!ELEMENT topic (#PCDATA)>
+`
+
+func TestWordNetAndDMOZValidate(t *testing.T) {
+	wn := MustParse(wordnetDTD)
+	wn.Strict = true
+	if err := wn.Validate(dataset.WordNet(0.01).Stream()); err != nil {
+		t.Errorf("wordnet: %v", err)
+	}
+	dz := MustParse(dmozDTD)
+	dz.Strict = true
+	if err := dz.Validate(dataset.DMOZStructure(0.002).Stream()); err != nil {
+		t.Errorf("dmoz-structure: %v", err)
+	}
+	if err := dz.Validate(dataset.DMOZContent(0.002).Stream()); err != nil {
+		t.Errorf("dmoz-content: %v", err)
+	}
+}

@@ -1,0 +1,99 @@
+// Package multi evaluates several queries against one stream in a single
+// pass — the selective-dissemination-of-information (SDI) scenario the
+// paper's introduction motivates and its conclusion names as future work
+// ("a single transducer network can be used for processing several queries
+// having common subparts"). This implementation runs one network per query
+// over the shared event stream; common-subexpression sharing across
+// networks remains future work here too.
+package multi
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/core"
+	"repro/internal/spexnet"
+	"repro/internal/xmlstream"
+)
+
+// Subscription pairs a query with its answer callback. Name tags the
+// subscription in results (e.g. a subscriber id).
+type Subscription struct {
+	Name  string
+	Plan  *core.Plan
+	OnHit func(sub string, r spexnet.Result)
+}
+
+// Set evaluates a collection of subscriptions over one stream pass.
+type Set struct {
+	subs []Subscription
+	runs []*core.Run
+}
+
+// NewSet prepares the evaluation of all subscriptions.
+func NewSet(subs []Subscription) (*Set, error) {
+	s := &Set{subs: subs}
+	for i := range subs {
+		sub := subs[i]
+		run, err := sub.Plan.NewRun(core.EvalOptions{
+			Mode: spexnet.ModeNodes,
+			Sink: func(r spexnet.Result) {
+				if sub.OnHit != nil {
+					sub.OnHit(sub.Name, r)
+				}
+			},
+		})
+		if err != nil {
+			return nil, fmt.Errorf("multi: subscription %s: %w", sub.Name, err)
+		}
+		s.runs = append(s.runs, run)
+	}
+	return s, nil
+}
+
+// Feed pushes one event to every subscription's network.
+func (s *Set) Feed(ev xmlstream.Event) error {
+	for i, run := range s.runs {
+		if err := run.Feed(ev); err != nil {
+			return fmt.Errorf("multi: subscription %s: %w", s.subs[i].Name, err)
+		}
+	}
+	return nil
+}
+
+// Run drains the source through all subscriptions and closes them.
+func (s *Set) Run(src xmlstream.Source) error {
+	for {
+		ev, err := src.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return err
+		}
+		if err := s.Feed(ev); err != nil {
+			return err
+		}
+	}
+	return s.Close()
+}
+
+// Close finishes every subscription.
+func (s *Set) Close() error {
+	var first error
+	for i, run := range s.runs {
+		if err := run.Close(); err != nil && first == nil {
+			first = fmt.Errorf("multi: subscription %s: %w", s.subs[i].Name, err)
+		}
+	}
+	return first
+}
+
+// Matches returns per-subscription answer counts, keyed by name.
+func (s *Set) Matches() map[string]int64 {
+	out := make(map[string]int64, len(s.runs))
+	for i, run := range s.runs {
+		out[s.subs[i].Name] = run.Matches()
+	}
+	return out
+}

@@ -1,0 +1,94 @@
+package multi
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/spexnet"
+	"repro/internal/xmlstream"
+)
+
+func plan(t *testing.T, expr string) *core.Plan {
+	t.Helper()
+	p, err := core.Prepare(expr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestMultiQuerySinglePass(t *testing.T) {
+	doc := `<feed><msg><sport/><title>x</title></msg><msg><politics/><title>y</title></msg><msg><sport/></msg></feed>`
+	hits := map[string][]int64{}
+	subs := []Subscription{
+		{Name: "sport", Plan: plan(t, "feed.msg[sport]"), OnHit: func(s string, r spexnet.Result) {
+			hits[s] = append(hits[s], r.Index)
+		}},
+		{Name: "politics", Plan: plan(t, "feed.msg[politics]"), OnHit: func(s string, r spexnet.Result) {
+			hits[s] = append(hits[s], r.Index)
+		}},
+		{Name: "titled", Plan: plan(t, "_*.msg[title]"), OnHit: func(s string, r spexnet.Result) {
+			hits[s] = append(hits[s], r.Index)
+		}},
+	}
+	set, err := NewSet(subs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := set.Run(xmlstream.NewScanner(strings.NewReader(doc))); err != nil {
+		t.Fatal(err)
+	}
+	// Element indices: feed@1 msg@2 sport@3 title@4 msg@5 politics@6
+	// title@7 msg@8 sport@9.
+	want := map[string][]int64{
+		"sport":    {2, 8},
+		"politics": {5},
+		"titled":   {2, 5},
+	}
+	for name, w := range want {
+		got := hits[name]
+		if len(got) != len(w) {
+			t.Fatalf("%s: got %v, want %v", name, got, w)
+		}
+		for i := range w {
+			if got[i] != w[i] {
+				t.Fatalf("%s: got %v, want %v", name, got, w)
+			}
+		}
+	}
+	counts := set.Matches()
+	if counts["sport"] != 2 || counts["politics"] != 1 || counts["titled"] != 2 {
+		t.Fatalf("Matches: %v", counts)
+	}
+}
+
+func TestMultiFeedIncremental(t *testing.T) {
+	var sportHits int
+	subs := []Subscription{
+		{Name: "s", Plan: plan(t, "f.m[s]"), OnHit: func(string, spexnet.Result) { sportHits++ }},
+	}
+	set, err := NewSet(subs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	feed := func(ev xmlstream.Event) {
+		t.Helper()
+		if err := set.Feed(ev); err != nil {
+			t.Fatal(err)
+		}
+	}
+	feed(xmlstream.Event{Kind: xmlstream.StartDocument})
+	feed(xmlstream.Start("f"))
+	feed(xmlstream.Start("m"))
+	feed(xmlstream.Start("s"))
+	feed(xmlstream.End("s"))
+	if sportHits != 1 {
+		t.Fatalf("progressive delivery: got %d hits mid-stream, want 1", sportHits)
+	}
+	feed(xmlstream.End("m"))
+	feed(xmlstream.End("f"))
+	if err := set.Close(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,113 @@
+package multi
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/spexnet"
+	"repro/internal/xmlstream"
+)
+
+// SharedSet evaluates a collection of subscriptions over one stream pass
+// through a SINGLE transducer network with one sink per query: the
+// multi-query optimization the paper's conclusion proposes ("a single
+// transducer network can be used for processing several queries having
+// common subparts"). Structurally identical subexpressions evaluated from
+// the same tape — in particular the common prefixes of subscription
+// workloads — are compiled and evaluated once.
+type SharedSet struct {
+	subs []Subscription
+	net  *spexnet.Network
+	open bool
+	done bool
+}
+
+// NewSharedSet compiles all subscriptions into one network.
+func NewSharedSet(subs []Subscription) (*SharedSet, error) {
+	specs := make([]spexnet.Spec, len(subs))
+	for i := range subs {
+		sub := subs[i]
+		specs[i] = spexnet.Spec{
+			Expr: sub.Plan.Expr(),
+			Mode: spexnet.ModeNodes,
+			Sink: func(r spexnet.Result) {
+				if sub.OnHit != nil {
+					sub.OnHit(sub.Name, r)
+				}
+			},
+		}
+	}
+	net, err := spexnet.BuildSet(specs, spexnet.Options{})
+	if err != nil {
+		return nil, err
+	}
+	return &SharedSet{subs: subs, net: net}, nil
+}
+
+// Degree returns the number of transducers in the shared network; with
+// common prefixes it is far below the sum of the per-query networks.
+func (s *SharedSet) Degree() int { return s.net.Degree() }
+
+// Feed pushes one event through the shared network.
+func (s *SharedSet) Feed(ev xmlstream.Event) error {
+	if s.done {
+		return fmt.Errorf("multi: shared set already closed")
+	}
+	if !s.open {
+		s.open = true
+		if ev.Kind != xmlstream.StartDocument {
+			if err := s.net.Step(xmlstream.Event{Kind: xmlstream.StartDocument}); err != nil {
+				return err
+			}
+		}
+	}
+	return s.net.Step(ev)
+}
+
+// Run drains the source and closes the set.
+func (s *SharedSet) Run(src xmlstream.Source) error {
+	for {
+		ev, err := src.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return err
+		}
+		if err := s.Feed(ev); err != nil {
+			return err
+		}
+		if ev.Kind == xmlstream.EndDocument {
+			s.done = true
+			return s.net.Finish()
+		}
+	}
+	return s.Close()
+}
+
+// Close ends the stream and validates the evaluation.
+func (s *SharedSet) Close() error {
+	if s.done {
+		return nil
+	}
+	s.done = true
+	if !s.open {
+		if err := s.net.Step(xmlstream.Event{Kind: xmlstream.StartDocument}); err != nil {
+			return err
+		}
+	}
+	if err := s.net.Step(xmlstream.Event{Kind: xmlstream.EndDocument}); err != nil {
+		return err
+	}
+	return s.net.Finish()
+}
+
+// Matches returns per-subscription answer counts, keyed by name.
+func (s *SharedSet) Matches() map[string]int64 {
+	stats := s.net.SinkStats()
+	out := make(map[string]int64, len(stats))
+	for i, st := range stats {
+		out[s.subs[i].Name] = st.Matches
+	}
+	return out
+}

@@ -1,0 +1,140 @@
+package multi
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"repro/internal/dataset"
+	"repro/internal/spexnet"
+	"repro/internal/xmlstream"
+)
+
+// TestSharedSetAgreesWithSeparate evaluates the same subscriptions through
+// independent networks and through one shared network; the per-subscriber
+// answers must be identical.
+func TestSharedSetAgreesWithSeparate(t *testing.T) {
+	queries := map[string]string{
+		"q1": "feed.msg[sport]",
+		"q2": "feed.msg[sport].title",
+		"q3": "feed.msg[politics]",
+		"q4": "feed.msg",
+		"q5": "_*.title",
+		"q6": "feed.msg[sport]", // duplicate query: full network shared
+	}
+	doc := `<feed><msg><sport/><title>a</title></msg><msg><politics/><title>b</title></msg><msg><sport/></msg></feed>`
+
+	collect := func(shared bool) map[string][]int64 {
+		hits := map[string][]int64{}
+		var subs []Subscription
+		for name, expr := range queries {
+			subs = append(subs, Subscription{
+				Name: name,
+				Plan: plan(t, expr),
+				OnHit: func(s string, r spexnet.Result) {
+					hits[s] = append(hits[s], r.Index)
+				},
+			})
+		}
+		src := xmlstream.NewScanner(strings.NewReader(doc))
+		if shared {
+			set, err := NewSharedSet(subs)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := set.Run(src); err != nil {
+				t.Fatal(err)
+			}
+		} else {
+			set, err := NewSet(subs)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := set.Run(src); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return hits
+	}
+
+	separate := collect(false)
+	shared := collect(true)
+	for name := range queries {
+		a, b := separate[name], shared[name]
+		if len(a) != len(b) {
+			t.Fatalf("%s: separate %v vs shared %v", name, a, b)
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("%s: separate %v vs shared %v", name, a, b)
+			}
+		}
+	}
+}
+
+// TestSharedSetPrefixSharing verifies the compilation actually shares: N
+// queries with a common prefix must compile into far fewer transducers than
+// N independent networks would need.
+func TestSharedSetPrefixSharing(t *testing.T) {
+	var subs []Subscription
+	const n = 50
+	for i := 0; i < n; i++ {
+		subs = append(subs, Subscription{
+			Name: fmt.Sprintf("q%d", i),
+			Plan: plan(t, fmt.Sprintf("_*.Topic[editor].f%d", i)),
+		})
+	}
+	set, err := NewSharedSet(subs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// One query alone costs some degree D; n queries sharing everything
+	// but the last step should cost ≈ D + n (one child transducer and
+	// one sink each), far below n*D.
+	single, err := spexnet.Build(subs[0].Plan.Expr(), spexnet.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := single.Degree()
+	if set.Degree() >= n*d/2 {
+		t.Fatalf("no sharing: %d transducers for %d queries (single query: %d)", set.Degree(), n, d)
+	}
+	if set.Degree() > d+2*n {
+		t.Fatalf("sharing weaker than expected: %d transducers, single %d", set.Degree(), d)
+	}
+}
+
+// TestSharedSetQualifierSharing: a shared qualifier sub-network must still
+// determine every subscriber's answers correctly.
+func TestSharedSetQualifierSharing(t *testing.T) {
+	subs := []Subscription{
+		{Name: "title", Plan: plan(t, "_*.Topic[editor].Title")},
+		{Name: "news", Plan: plan(t, "_*.Topic[editor].newsGroup")},
+		{Name: "all", Plan: plan(t, "_*.Topic.Title")},
+	}
+	set, err := NewSharedSet(subs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := set.Run(dataset.DMOZStructure(0.001).Stream()); err != nil {
+		t.Fatal(err)
+	}
+	got := set.Matches()
+
+	for _, sub := range subs {
+		net, err := spexnet.Build(sub.Plan.Expr(), spexnet.Options{Mode: spexnet.ModeCount})
+		if err != nil {
+			t.Fatal(err)
+		}
+		stats, err := net.Run(dataset.DMOZStructure(0.001).Stream())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got[sub.Name] != stats.Output.Matches {
+			t.Errorf("%s: shared %d vs solo %d", sub.Name, got[sub.Name], stats.Output.Matches)
+		}
+	}
+	if got["all"] == 0 || got["title"] == 0 {
+		t.Fatalf("suspicious zero counts: %v", got)
+	}
+}

@@ -1,0 +1,57 @@
+package rpeq
+
+// Extension steps beyond the paper's core rpeq grammar: the following and
+// preceding axes, which §I reports the SPEX prototype supported ("the
+// prototype supports also other XPath navigational capabilities, i.e.
+// following and preceding"). They are not part of the published grammar,
+// so the rpeq surface syntax does not produce them; the XPath front end
+// does (following::t, preceding::t).
+
+// Following selects, for each context node, every element that starts
+// after the context node's end message — XPath's following axis (all nodes
+// after the context in document order, excluding its descendants).
+type Following struct{ Test string }
+
+// Preceding selects, for each context node, every element whose end
+// message precedes the context node's start message — XPath's preceding
+// axis (all nodes before the context in document order, excluding its
+// ancestors).
+type Preceding struct{ Test string }
+
+func (*Following) node() {}
+func (*Preceding) node() {}
+
+func (f *Following) Size() int { return 1 }
+func (p *Preceding) Size() int { return 1 }
+
+func (f *Following) String() string { return "following::" + f.Test }
+func (p *Preceding) String() string { return "preceding::" + p.Test }
+
+// MatchesTest reports whether an element name satisfies the axis test.
+func matchesTest(test, name string) bool { return test == Wildcard || test == name }
+
+// Matches reports whether the element name satisfies the step's test.
+func (f *Following) Matches(name string) bool { return matchesTest(f.Test, name) }
+
+// Matches reports whether the element name satisfies the step's test.
+func (p *Preceding) Matches(name string) bool { return matchesTest(p.Test, name) }
+
+// HasExtensionAxes reports whether the expression uses following or
+// preceding steps; evaluators restricted to the paper's core grammar (the
+// automaton baseline) reject such expressions.
+func HasExtensionAxes(n Node) bool {
+	switch n := n.(type) {
+	case *Following, *Preceding:
+		return true
+	case *Concat:
+		return HasExtensionAxes(n.Left) || HasExtensionAxes(n.Right)
+	case *Union:
+		return HasExtensionAxes(n.Left) || HasExtensionAxes(n.Right)
+	case *Optional:
+		return HasExtensionAxes(n.Expr)
+	case *Qualifier:
+		return HasExtensionAxes(n.Base) || HasExtensionAxes(n.Cond)
+	default:
+		return false
+	}
+}

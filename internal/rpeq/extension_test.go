@@ -1,0 +1,133 @@
+package rpeq
+
+import "testing"
+
+func TestTextTestParsing(t *testing.T) {
+	tests := []struct{ in, want string }{
+		{`a[b = "x"]`, `(a)[(b="x")]`},
+		{`a[b != "x"]`, `(a)[(b!="x")]`},
+		{`a[b *= "x"]`, `(a)[(b*="x")]`},
+		{`a[b.c = "x y"]`, `(a)[((b.c)="x y")]`},
+		{`a[%e = "quo\"te"]`, `(a)[(ε="quo\"te")]`},
+	}
+	for _, tc := range tests {
+		n, err := Parse(tc.in)
+		if err != nil {
+			t.Errorf("Parse(%q): %v", tc.in, err)
+			continue
+		}
+		if got := Canonical(n); got != tc.want {
+			t.Errorf("Parse(%q): got %s, want %s", tc.in, got, tc.want)
+		}
+		// Reparse through String.
+		n2, err := Parse(n.String())
+		if err != nil {
+			t.Errorf("reparse of %q → %q: %v", tc.in, n.String(), err)
+			continue
+		}
+		if !Equal(n, n2) {
+			t.Errorf("%q: reparse changed the tree", tc.in)
+		}
+	}
+}
+
+func TestTextTestParseErrors(t *testing.T) {
+	bad := []string{
+		`a[b = ]`, `a[b = x]`, `a[= "x"]`, `a["x"]`, `a[b = "x`,
+		`a[b == "x"]`, `b = "x"`, // a text test is only a qualifier condition
+	}
+	for _, src := range bad {
+		if n, err := Parse(src); err == nil {
+			t.Errorf("Parse(%q) = %v, want error", src, n)
+		}
+	}
+}
+
+func TestTextOpHolds(t *testing.T) {
+	cases := []struct {
+		op       TextOp
+		v, c     string
+		expected bool
+	}{
+		{TextEq, "x", "x", true},
+		{TextEq, "x", "y", false},
+		{TextNeq, "x", "y", true},
+		{TextNeq, "x", "x", false},
+		{TextContains, "hello", "ell", true},
+		{TextContains, "hello", "z", false},
+		{TextContains, "hello", "", true},
+	}
+	for _, tc := range cases {
+		if got := tc.op.Holds(tc.v, tc.c); got != tc.expected {
+			t.Errorf("%q %s %q: got %v", tc.v, tc.op, tc.c, got)
+		}
+	}
+}
+
+func TestTextTestHelpers(t *testing.T) {
+	n := MustParse(`_*.a[b = "v"].c`)
+	if !HasTextTest(n) {
+		t.Error("HasTextTest should find the test")
+	}
+	if HasTextTest(MustParse("a[b].c")) {
+		t.Error("HasTextTest false positive")
+	}
+	// Size and Desugar include the test's path.
+	tt := &TextTest{Path: MustParse("a*"), Op: TextEq, Value: "v"}
+	if tt.Size() != 3 {
+		t.Errorf("Size: %d", tt.Size())
+	}
+	d := Desugar(&Qualifier{Base: MustParse("x"), Cond: tt})
+	q := d.(*Qualifier).Cond.(*TextTest)
+	if _, ok := q.Path.(*Union); !ok {
+		t.Errorf("Desugar did not rewrite the path: %T", q.Path)
+	}
+	// Equality distinguishes op and value.
+	a := &TextTest{Path: MustParse("b"), Op: TextEq, Value: "v"}
+	b := &TextTest{Path: MustParse("b"), Op: TextNeq, Value: "v"}
+	c := &TextTest{Path: MustParse("b"), Op: TextEq, Value: "w"}
+	if Equal(a, b) || Equal(a, c) || !Equal(a, &TextTest{Path: MustParse("b"), Op: TextEq, Value: "v"}) {
+		t.Error("Equal wrong on text tests")
+	}
+}
+
+func TestAxisNodeHelpers(t *testing.T) {
+	f := &Following{Test: "a"}
+	p := &Preceding{Test: "_"}
+	if f.String() != "following::a" || p.String() != "preceding::_" {
+		t.Errorf("String: %s, %s", f, p)
+	}
+	if f.Size() != 1 || p.Size() != 1 {
+		t.Error("Size wrong")
+	}
+	if !f.Matches("a") || f.Matches("b") || !p.Matches("anything") {
+		t.Error("Matches wrong")
+	}
+	if !Equal(f, &Following{Test: "a"}) || Equal(f, &Following{Test: "b"}) || Equal(f, p) {
+		t.Error("Equal wrong on axes")
+	}
+	expr := &Concat{Left: MustParse("x"), Right: f}
+	if !HasExtensionAxes(expr) {
+		t.Error("HasExtensionAxes should find the axis")
+	}
+	if HasExtensionAxes(MustParse("_*.a[b].c")) {
+		t.Error("HasExtensionAxes false positive")
+	}
+	within := &Qualifier{Base: MustParse("x"), Cond: p}
+	if !HasExtensionAxes(within) {
+		t.Error("HasExtensionAxes should look into qualifiers")
+	}
+	st := Analyze(&Concat{Left: f, Right: p})
+	if st.Steps != 2 {
+		t.Errorf("Analyze steps: %d", st.Steps)
+	}
+}
+
+func TestCanonicalDistinguishesExtensions(t *testing.T) {
+	a := Canonical(&Following{Test: "a"})
+	b := Canonical(&Preceding{Test: "a"})
+	c := Canonical(&TextTest{Path: MustParse("a"), Op: TextEq, Value: "v"})
+	if a == b || a == c || b == c {
+		t.Errorf("canonical collisions: %q %q %q", a, b, c)
+	}
+}

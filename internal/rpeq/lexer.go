@@ -1,0 +1,178 @@
+package rpeq
+
+import "fmt"
+
+// tokenKind enumerates the lexical tokens of the rpeq surface syntax.
+type tokenKind uint8
+
+const (
+	tokEOF tokenKind = iota
+	tokName
+	tokDot      // .
+	tokPipe     // |
+	tokStar     // *
+	tokPlus     // +
+	tokQuestion // ?
+	tokLParen   // (
+	tokRParen   // )
+	tokLBracket // [
+	tokRBracket // ]
+	tokEpsilon  // ε or %e
+	tokString   // "literal"
+	tokEq       // =
+	tokNeq      // !=
+	tokContains // *=
+)
+
+func (k tokenKind) String() string {
+	switch k {
+	case tokEOF:
+		return "end of expression"
+	case tokName:
+		return "label"
+	case tokDot:
+		return "'.'"
+	case tokPipe:
+		return "'|'"
+	case tokStar:
+		return "'*'"
+	case tokPlus:
+		return "'+'"
+	case tokQuestion:
+		return "'?'"
+	case tokLParen:
+		return "'('"
+	case tokRParen:
+		return "')'"
+	case tokLBracket:
+		return "'['"
+	case tokRBracket:
+		return "']'"
+	case tokEpsilon:
+		return "'ε'"
+	case tokString:
+		return "string literal"
+	case tokEq:
+		return "'='"
+	case tokNeq:
+		return "'!='"
+	case tokContains:
+		return "'*='"
+	default:
+		return "unknown token"
+	}
+}
+
+// token is a lexical token with its source position (byte offset).
+type token struct {
+	kind tokenKind
+	text string
+	pos  int
+}
+
+// lexer tokenizes an rpeq expression string.
+type lexer struct {
+	src string
+	pos int
+}
+
+// next returns the next token or a lex error.
+func (l *lexer) next() (token, error) {
+	for l.pos < len(l.src) && isExprSpace(l.src[l.pos]) {
+		l.pos++
+	}
+	if l.pos >= len(l.src) {
+		return token{kind: tokEOF, pos: l.pos}, nil
+	}
+	start := l.pos
+	c := l.src[l.pos]
+	switch c {
+	case '.':
+		l.pos++
+		return token{kind: tokDot, text: ".", pos: start}, nil
+	case '|':
+		l.pos++
+		return token{kind: tokPipe, text: "|", pos: start}, nil
+	case '*':
+		if l.pos+1 < len(l.src) && l.src[l.pos+1] == '=' {
+			l.pos += 2
+			return token{kind: tokContains, text: "*=", pos: start}, nil
+		}
+		l.pos++
+		return token{kind: tokStar, text: "*", pos: start}, nil
+	case '=':
+		l.pos++
+		return token{kind: tokEq, text: "=", pos: start}, nil
+	case '!':
+		if l.pos+1 < len(l.src) && l.src[l.pos+1] == '=' {
+			l.pos += 2
+			return token{kind: tokNeq, text: "!=", pos: start}, nil
+		}
+		return token{}, fmt.Errorf("rpeq: invalid character %q at offset %d", c, start)
+	case '"':
+		l.pos++
+		var b []byte
+		for l.pos < len(l.src) {
+			ch := l.src[l.pos]
+			if ch == '\\' && l.pos+1 < len(l.src) {
+				b = append(b, l.src[l.pos+1])
+				l.pos += 2
+				continue
+			}
+			if ch == '"' {
+				l.pos++
+				return token{kind: tokString, text: string(b), pos: start}, nil
+			}
+			b = append(b, ch)
+			l.pos++
+		}
+		return token{}, fmt.Errorf("rpeq: unterminated string literal at offset %d", start)
+	case '+':
+		l.pos++
+		return token{kind: tokPlus, text: "+", pos: start}, nil
+	case '?':
+		l.pos++
+		return token{kind: tokQuestion, text: "?", pos: start}, nil
+	case '(':
+		l.pos++
+		return token{kind: tokLParen, text: "(", pos: start}, nil
+	case ')':
+		l.pos++
+		return token{kind: tokRParen, text: ")", pos: start}, nil
+	case '[':
+		l.pos++
+		return token{kind: tokLBracket, text: "[", pos: start}, nil
+	case ']':
+		l.pos++
+		return token{kind: tokRBracket, text: "]", pos: start}, nil
+	case '%':
+		// %e spells epsilon in pure ASCII input.
+		if l.pos+1 < len(l.src) && l.src[l.pos+1] == 'e' {
+			l.pos += 2
+			return token{kind: tokEpsilon, text: "%e", pos: start}, nil
+		}
+		return token{}, fmt.Errorf("rpeq: invalid character %q at offset %d", c, start)
+	}
+	// UTF-8 ε (0xCE 0xB5).
+	if c == 0xCE && l.pos+1 < len(l.src) && l.src[l.pos+1] == 0xB5 {
+		l.pos += 2
+		return token{kind: tokEpsilon, text: "ε", pos: start}, nil
+	}
+	if isLabelStart(c) {
+		for l.pos < len(l.src) && isLabelByte(l.src[l.pos]) {
+			l.pos++
+		}
+		return token{kind: tokName, text: l.src[start:l.pos], pos: start}, nil
+	}
+	return token{}, fmt.Errorf("rpeq: invalid character %q at offset %d", c, start)
+}
+
+func isExprSpace(c byte) bool { return c == ' ' || c == '\t' || c == '\n' || c == '\r' }
+
+func isLabelStart(c byte) bool {
+	return c == '_' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z')
+}
+
+func isLabelByte(c byte) bool {
+	return isLabelStart(c) || c == '-' || c == ':' || (c >= '0' && c <= '9')
+}

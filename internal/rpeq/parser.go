@@ -1,0 +1,187 @@
+package rpeq
+
+import "fmt"
+
+// Parse parses an rpeq expression in the paper's surface syntax, e.g.
+//
+//	a.c            two child steps
+//	a+.c+          positive closure steps
+//	_*.a[b].c      descendant wildcard, qualifier [b] on step a
+//	(a|b).c?       union and optional
+//
+// Operator precedence, tightest first: the postfix operators *, +, ? and
+// [qualifier]; then concatenation '.'; then union '|'. Closure (* and +)
+// applies to labels only, as in the paper's grammar.
+func Parse(src string) (Node, error) {
+	p := &parser{lex: lexer{src: src}}
+	if err := p.advance(); err != nil {
+		return nil, err
+	}
+	n, err := p.parseUnion()
+	if err != nil {
+		return nil, err
+	}
+	if p.tok.kind != tokEOF {
+		return nil, fmt.Errorf("rpeq: unexpected %s at offset %d", p.tok.kind, p.tok.pos)
+	}
+	return n, nil
+}
+
+type parser struct {
+	lex lexer
+	tok token
+}
+
+func (p *parser) advance() error {
+	tok, err := p.lex.next()
+	if err != nil {
+		return err
+	}
+	p.tok = tok
+	return nil
+}
+
+// parseUnion ::= concat ('|' concat)*
+func (p *parser) parseUnion() (Node, error) {
+	left, err := p.parseConcat()
+	if err != nil {
+		return nil, err
+	}
+	for p.tok.kind == tokPipe {
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		right, err := p.parseConcat()
+		if err != nil {
+			return nil, err
+		}
+		left = &Union{Left: left, Right: right}
+	}
+	return left, nil
+}
+
+// parseConcat ::= postfix ('.' postfix)*
+func (p *parser) parseConcat() (Node, error) {
+	left, err := p.parsePostfix()
+	if err != nil {
+		return nil, err
+	}
+	for p.tok.kind == tokDot {
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		right, err := p.parsePostfix()
+		if err != nil {
+			return nil, err
+		}
+		left = &Concat{Left: left, Right: right}
+	}
+	return left, nil
+}
+
+// parsePostfix ::= atom ('*' | '+' | '?' | '[' union ']')*
+func (p *parser) parsePostfix() (Node, error) {
+	n, err := p.parseAtom()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		switch p.tok.kind {
+		case tokStar, tokPlus:
+			label, ok := n.(*Label)
+			if !ok {
+				return nil, fmt.Errorf("rpeq: closure %s at offset %d applies to labels only (got %s); the paper's grammar has label* and label+",
+					p.tok.kind, p.tok.pos, n)
+			}
+			if p.tok.kind == tokStar {
+				n = &Star{Label: label}
+			} else {
+				n = &Plus{Label: label}
+			}
+			if err := p.advance(); err != nil {
+				return nil, err
+			}
+		case tokQuestion:
+			n = &Optional{Expr: n}
+			if err := p.advance(); err != nil {
+				return nil, err
+			}
+		case tokLBracket:
+			if err := p.advance(); err != nil {
+				return nil, err
+			}
+			cond, err := p.parseUnion()
+			if err != nil {
+				return nil, err
+			}
+			// Optional text test: [path = "v"], [path != "v"],
+			// [path *= "v"] (contains). Note that `a* = "v"` (closure
+			// then equality) needs the space; `a*=` lexes as contains.
+			switch p.tok.kind {
+			case tokEq, tokNeq, tokContains:
+				op := TextEq
+				switch p.tok.kind {
+				case tokNeq:
+					op = TextNeq
+				case tokContains:
+					op = TextContains
+				}
+				if err := p.advance(); err != nil {
+					return nil, err
+				}
+				if p.tok.kind != tokString {
+					return nil, fmt.Errorf("rpeq: expected a string literal at offset %d, got %s", p.tok.pos, p.tok.kind)
+				}
+				cond = &TextTest{Path: cond, Op: op, Value: p.tok.text}
+				if err := p.advance(); err != nil {
+					return nil, err
+				}
+			}
+			if p.tok.kind != tokRBracket {
+				return nil, fmt.Errorf("rpeq: expected ']' at offset %d, got %s", p.tok.pos, p.tok.kind)
+			}
+			if err := p.advance(); err != nil {
+				return nil, err
+			}
+			n = &Qualifier{Base: n, Cond: cond}
+		default:
+			return n, nil
+		}
+	}
+}
+
+// parseAtom ::= label | ε | '(' union ')'
+func (p *parser) parseAtom() (Node, error) {
+	switch p.tok.kind {
+	case tokName:
+		n := &Label{Name: p.tok.text}
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		return n, nil
+	case tokEpsilon:
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		return &Empty{}, nil
+	case tokLParen:
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		n, err := p.parseUnion()
+		if err != nil {
+			return nil, err
+		}
+		if p.tok.kind != tokRParen {
+			return nil, fmt.Errorf("rpeq: expected ')' at offset %d, got %s", p.tok.pos, p.tok.kind)
+		}
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		return n, nil
+	case tokEOF:
+		return nil, fmt.Errorf("rpeq: unexpected end of expression")
+	default:
+		return nil, fmt.Errorf("rpeq: unexpected %s at offset %d", p.tok.kind, p.tok.pos)
+	}
+}

@@ -1,0 +1,353 @@
+package rpeq
+
+import "fmt"
+
+// This file implements the rewriting of backward XPath steps into the
+// forward child/descendant fragment, the result of "XPath: Looking Forward"
+// (Olteanu, Meuss, Furche, Bry 2002) the paper's §II.2 appeals to:
+// "Backward steps like ancestor and parent are expressible with rpeq".
+//
+// The core identity: for a path p and a node test t,
+//
+//	p/ancestor::t  ≡  ⋃ over decompositions p = q·r (r non-empty) of
+//	                  (q restricted to label t)[r]
+//
+// — an ancestor of a p-match is a node on the match's path, i.e. the
+// endpoint of a proper prefix q, provided the remainder r still matches
+// below it. parent::t is the special case where r consumes exactly one
+// child step.
+
+// split is one decomposition p = prefix·suffix with a non-empty suffix.
+// A nil prefix denotes the empty prefix ε (the path's context node).
+type split struct {
+	prefix Node
+	suffix Node
+}
+
+// splits returns all decompositions of expr into prefix·suffix along tree
+// edges. The suffix of each split consumes at least one edge.
+func splits(expr Node) []split {
+	switch n := expr.(type) {
+	case *Empty:
+		return nil
+	case *Label:
+		return []split{{nil, n}}
+	case *Plus:
+		// a+ = a · a+ anywhere along the chain: the cut node is itself
+		// an a+ match (or the context, for the first step).
+		return []split{
+			{nil, n},
+			{&Plus{Label: n.Label}, n},
+		}
+	case *Star:
+		// a* contributes splits only through its a+ branch; the ε match
+		// crosses no edge.
+		return splits(&Plus{Label: n.Label})
+	case *Optional:
+		return splits(n.Expr)
+	case *Concat:
+		var out []split
+		for _, s := range splits(n.Left) {
+			out = append(out, split{s.prefix, concat(s.suffix, n.Right)})
+		}
+		for _, s := range splits(n.Right) {
+			out = append(out, split{concat(n.Left, s.prefix), s.suffix})
+		}
+		// If the right side can match ε, a split of the left side alone
+		// is already a split of the whole; that case is covered above by
+		// r's own splits only when r crosses an edge, so add it when r
+		// is nullable.
+		if nullable(n.Right) {
+			for _, s := range splits(n.Left) {
+				out = append(out, split{s.prefix, s.suffix})
+			}
+		}
+		if nullable(n.Left) {
+			for _, s := range splits(n.Right) {
+				out = append(out, split{s.prefix, s.suffix})
+			}
+		}
+		return out
+	case *Union:
+		return append(splits(n.Left), splits(n.Right)...)
+	case *Qualifier:
+		// The qualifier constrains the endpoint, which lies in the
+		// suffix of every split.
+		var out []split
+		for _, s := range splits(n.Base) {
+			out = append(out, split{s.prefix, &Qualifier{Base: s.suffix, Cond: n.Cond}})
+		}
+		return out
+	default:
+		return nil
+	}
+}
+
+// concat joins two path fragments, treating nil as ε.
+func concat(a, b Node) Node {
+	if a == nil {
+		return b
+	}
+	if b == nil {
+		return a
+	}
+	if _, ok := a.(*Empty); ok {
+		return b
+	}
+	if _, ok := b.(*Empty); ok {
+		return a
+	}
+	return &Concat{Left: a, Right: b}
+}
+
+// nullable reports whether expr can match the empty path.
+func nullable(expr Node) bool {
+	switch n := expr.(type) {
+	case *Empty, *Star, *Optional:
+		return true
+	case *Concat:
+		return nullable(n.Left) && nullable(n.Right)
+	case *Union:
+		return nullable(n.Left) || nullable(n.Right)
+	case *Qualifier:
+		return nullable(n.Base)
+	default:
+		return false
+	}
+}
+
+// oneStep reports whether expr always consumes exactly one child edge (so
+// its endpoint's parent is the expression's context).
+func oneStep(expr Node) bool {
+	switch n := expr.(type) {
+	case *Label:
+		return true
+	case *Qualifier:
+		return oneStep(n.Base)
+	case *Union:
+		return oneStep(n.Left) && oneStep(n.Right)
+	default:
+		return false
+	}
+}
+
+// stripEmpty returns an expression matching the same paths as expr except
+// the empty path, or nil when expr matches only the empty path. It is used
+// to exclude the unlabeled context node (document root or predicate
+// context) from wildcard endpoint tests: A·B \ ε = (A\ε)·B ∪ A·(B\ε).
+func stripEmpty(expr Node) Node {
+	if !nullable(expr) {
+		return expr
+	}
+	switch n := expr.(type) {
+	case *Empty:
+		return nil
+	case *Star:
+		return &Plus{Label: n.Label}
+	case *Optional:
+		return stripEmpty(n.Expr)
+	case *Concat:
+		left := stripEmpty(n.Left)
+		right := stripEmpty(n.Right)
+		var a, b Node
+		if left != nil {
+			a = concat(left, n.Right)
+		}
+		if right != nil {
+			b = concat(n.Left, right)
+		}
+		switch {
+		case a == nil:
+			return b
+		case b == nil:
+			return a
+		default:
+			return &Union{Left: a, Right: b}
+		}
+	case *Union:
+		left := stripEmpty(n.Left)
+		right := stripEmpty(n.Right)
+		switch {
+		case left == nil:
+			return right
+		case right == nil:
+			return left
+		default:
+			return &Union{Left: left, Right: right}
+		}
+	case *Qualifier:
+		base := stripEmpty(n.Base)
+		if base == nil {
+			return nil
+		}
+		return &Qualifier{Base: base, Cond: n.Cond}
+	default:
+		return expr
+	}
+}
+
+// restrictLabel restricts the endpoint of expr to the node test t,
+// returning nil when no endpoint can satisfy it. Even the wildcard test
+// only matches elements, so an ε endpoint (the unlabeled context) is always
+// excluded.
+func restrictLabel(expr Node, t string) Node {
+	if t == Wildcard {
+		return stripEmpty(expr)
+	}
+	switch n := expr.(type) {
+	case *Empty:
+		return nil // the context node carries no label we can test here
+	case *Label:
+		switch {
+		case n.Name == t:
+			return n
+		case n.Name == Wildcard:
+			return &Label{Name: t}
+		default:
+			return nil
+		}
+	case *Plus:
+		switch {
+		case n.Label.Name == t:
+			return n
+		case n.Label.Name == Wildcard:
+			// A wildcard chain ending in label t: _*.t.
+			return concat(&Star{Label: n.Label}, &Label{Name: t})
+		default:
+			return nil
+		}
+	case *Star:
+		// The ε endpoint is the context: not testable; restrict the
+		// non-empty branch.
+		return restrictLabel(&Plus{Label: n.Label}, t)
+	case *Optional:
+		return restrictLabel(n.Expr, t)
+	case *Concat:
+		right := restrictLabel(n.Right, t)
+		if right == nil {
+			if nullable(n.Right) {
+				return restrictLabel(n.Left, t)
+			}
+			return nil
+		}
+		if nullable(n.Right) {
+			if left := restrictLabel(n.Left, t); left != nil {
+				return &Union{Left: concat(n.Left, right), Right: left}
+			}
+		}
+		return concat(n.Left, right)
+	case *Union:
+		left := restrictLabel(n.Left, t)
+		right := restrictLabel(n.Right, t)
+		switch {
+		case left == nil:
+			return right
+		case right == nil:
+			return left
+		default:
+			return &Union{Left: left, Right: right}
+		}
+	case *Qualifier:
+		base := restrictLabel(n.Base, t)
+		if base == nil {
+			return nil
+		}
+		return &Qualifier{Base: base, Cond: n.Cond}
+	default:
+		return nil
+	}
+}
+
+// RewriteParent rewrites expr/parent::t into the forward fragment.
+// relative marks a path evaluated from a predicate context rather than the
+// document root; a reverse step that would reach that context cannot be
+// expressed and is an error.
+func RewriteParent(expr Node, t string, relative bool) (Node, error) {
+	return rewriteReverse(expr, t, false, relative)
+}
+
+// RewriteAncestor rewrites expr/ancestor::t (or ancestor-or-self with
+// orSelf) into the forward fragment.
+func RewriteAncestor(expr Node, t string, orSelf, relative bool) (Node, error) {
+	out, err := rewriteReverse(expr, t, true, relative)
+	if err != nil {
+		return nil, err
+	}
+	if orSelf {
+		if self := restrictLabel(expr, t); self != nil {
+			if out != nil {
+				out = &Union{Left: out, Right: self}
+			} else {
+				out = self
+			}
+		}
+	}
+	if out == nil {
+		return nil, fmt.Errorf("rpeq: %s::%s after %s selects nothing expressible in the forward fragment", axisName(true, orSelf), t, expr)
+	}
+	return out, nil
+}
+
+func axisName(ancestor, orSelf bool) string {
+	switch {
+	case !ancestor:
+		return "parent"
+	case orSelf:
+		return "ancestor-or-self"
+	default:
+		return "ancestor"
+	}
+}
+
+func rewriteReverse(expr Node, t string, ancestor, relative bool) (Node, error) {
+	var out Node
+	for _, s := range splits(expr) {
+		if !ancestor && !oneStep(s.suffix) {
+			// parent:: needs a suffix of exactly one edge; suffixes
+			// spanning more belong to ancestor::. Closure suffixes (a+)
+			// contribute their single-step decomposition via the
+			// (a+, a+) split only for ancestor; for parent the chain
+			// tail a+ is more than one edge unless it is the last one:
+			// approximate by also accepting a Plus suffix as its
+			// one-step tail.
+			if p, ok := s.suffix.(*Plus); ok {
+				s = split{concat(s.prefix, optionalPlus(p)), &Label{Name: p.Label.Name}}
+			} else {
+				continue
+			}
+		}
+		if s.prefix == nil {
+			if relative {
+				return nil, fmt.Errorf("rpeq: reverse step %s::%s reaches the predicate context; not expressible inside a qualifier", axisName(ancestor, false), t)
+			}
+			// The ε prefix is the document node, which no label test
+			// matches; drop it.
+			continue
+		}
+		if relative && nullable(s.prefix) {
+			// The prefix can match ε, so the selected ancestor could be
+			// the predicate's context node itself — inexpressible there.
+			return nil, fmt.Errorf("rpeq: reverse step %s::%s may reach the predicate context; not expressible inside a qualifier", axisName(ancestor, false), t)
+		}
+		q := restrictLabel(s.prefix, t)
+		if q == nil {
+			continue
+		}
+		cand := &Qualifier{Base: q, Cond: s.suffix}
+		if out == nil {
+			out = cand
+		} else {
+			out = &Union{Left: out, Right: cand}
+		}
+	}
+	if out == nil && !ancestor {
+		return nil, fmt.Errorf("rpeq: parent::%s after %s selects nothing expressible in the forward fragment", t, expr)
+	}
+	return out, nil
+}
+
+// optionalPlus returns a* for a+, used when peeling one step off a chain:
+// a+ = a*·a.
+func optionalPlus(p *Plus) Node {
+	return &Star{Label: p.Label}
+}

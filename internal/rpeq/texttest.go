@@ -1,0 +1,113 @@
+package rpeq
+
+// TextTest is a qualifier condition comparing the string value of selected
+// nodes against a constant: base[path = "v"] holds iff some node selected
+// by path (relative to the base node) has string value equal to v. The
+// string value of a node is the concatenation of all character data in its
+// subtree, XPath-style.
+//
+// Text tests are an extension beyond the paper's published fragment, which
+// covers "no other qualifiers than structural qualifiers" (§II.2); they are
+// the first step of the XPath/XQuery migration the paper names as future
+// work (§VII, §IX). A TextTest appears only as a Qualifier's condition.
+type TextTest struct {
+	// Path selects the nodes whose string values are tested, relative to
+	// the qualifier's base node.
+	Path Node
+	// Op is the comparison operator.
+	Op TextOp
+	// Value is the constant compared against.
+	Value string
+}
+
+// TextOp is a string comparison operator.
+type TextOp uint8
+
+// Text comparison operators.
+const (
+	// TextEq holds when the string value equals the constant.
+	TextEq TextOp = iota
+	// TextNeq holds when the string value differs from the constant.
+	TextNeq
+	// TextContains holds when the string value contains the constant.
+	TextContains
+)
+
+// String renders the operator in the surface syntax.
+func (op TextOp) String() string {
+	switch op {
+	case TextEq:
+		return "="
+	case TextNeq:
+		return "!="
+	case TextContains:
+		return "*="
+	default:
+		return "?"
+	}
+}
+
+// Holds applies the operator to a string value.
+func (op TextOp) Holds(value, constant string) bool {
+	switch op {
+	case TextEq:
+		return value == constant
+	case TextNeq:
+		return value != constant
+	case TextContains:
+		return contains(value, constant)
+	default:
+		return false
+	}
+}
+
+func contains(s, sub string) bool {
+	if len(sub) == 0 {
+		return true
+	}
+	for i := 0; i+len(sub) <= len(s); i++ {
+		if s[i:i+len(sub)] == sub {
+			return true
+		}
+	}
+	return false
+}
+
+func (*TextTest) node() {}
+
+func (t *TextTest) Size() int { return 1 + t.Path.Size() }
+
+func (t *TextTest) String() string {
+	return t.Path.String() + " " + t.Op.String() + " " + quoteString(t.Value)
+}
+
+func quoteString(s string) string {
+	out := make([]byte, 0, len(s)+2)
+	out = append(out, '"')
+	for i := 0; i < len(s); i++ {
+		if s[i] == '"' || s[i] == '\\' {
+			out = append(out, '\\')
+		}
+		out = append(out, s[i])
+	}
+	return string(append(out, '"'))
+}
+
+// HasTextTest reports whether the expression contains a text-test
+// qualifier; evaluations must then keep character data in the stream.
+func HasTextTest(n Node) bool {
+	switch n := n.(type) {
+	case *TextTest:
+		return true
+	case *Concat:
+		return HasTextTest(n.Left) || HasTextTest(n.Right)
+	case *Union:
+		return HasTextTest(n.Left) || HasTextTest(n.Right)
+	case *Optional:
+		return HasTextTest(n.Expr)
+	case *Qualifier:
+		return HasTextTest(n.Base) || HasTextTest(n.Cond)
+	default:
+		return false
+	}
+}

@@ -1,0 +1,258 @@
+package spexnet
+
+import (
+	"fmt"
+	"strconv"
+
+	"repro/internal/cond"
+	"repro/internal/rpeq"
+)
+
+// Options configure a network build.
+type Options struct {
+	// Mode selects what the output transducer reports (default ModeCount).
+	Mode ResultMode
+	// Sink receives the answers (ModeNodes, ModeSerialize).
+	Sink Sink
+	// StreamSink receives answers event by event (ModeStream).
+	StreamSink StreamSink
+	// RawFormulas disables duplicate elimination in condition formulas —
+	// the Remark V.1 normalization ablation.
+	RawFormulas bool
+	// Trace, if set, receives every message every transducer emits;
+	// used by the transition-trace tests reproducing Figs. 4, 5 and 13.
+	Trace TraceFn
+}
+
+// TraceFn observes a message emitted by the named transducer during the
+// given step (steps count document-stream events, starting at 1 for <$>).
+type TraceFn func(step int64, node string, m Message)
+
+// Spec is one query of a multi-query network: its expression and its sink.
+type Spec struct {
+	Expr       rpeq.Node
+	Mode       ResultMode
+	Sink       Sink
+	StreamSink StreamSink
+}
+
+// Build translates an rpeq expression into a SPEX network following the
+// denotational semantics C of §III.9 (Fig. 11). The translation is linear in
+// the expression size (Lemma V.1): each construct contributes a constant
+// number of transducers. The returned network is single-use: it holds
+// evaluation state and evaluates one stream.
+func Build(expr rpeq.Node, opts Options) (*Network, error) {
+	return BuildSet([]Spec{{Expr: expr, Mode: opts.Mode, Sink: opts.Sink, StreamSink: opts.StreamSink}}, opts)
+}
+
+// BuildSet translates several queries into ONE network with one sink per
+// query — the multi-sink extension §III.2 sketches ("allowing multiple
+// sinks, i.e. evaluating several queries") and the multi-query optimization
+// of §IX: structurally identical subexpressions evaluated from the same
+// tape are compiled once and their output tape is shared (an implicit
+// split), so a workload of queries with common prefixes — the
+// XFilter/YFilter scenario of §VIII — costs the union of the distinct
+// subexpressions, not the sum of the queries.
+func BuildSet(specs []Spec, opts Options) (*Network, error) {
+	if len(specs) == 0 {
+		return nil, fmt.Errorf("spexnet: no queries")
+	}
+	retain := false
+	for _, spec := range specs {
+		if rpeq.HasExtensionAxes(spec.Expr) {
+			retain = true
+		}
+	}
+	n := &Network{
+		cfg:  netConfig{rawFormulas: opts.RawFormulas, retainVars: retain},
+		pool: cond.NewPool(),
+	}
+	b := &builder{net: n, trace: opts.Trace, memo: make(map[string]memoEntry)}
+	source := b.newEdge()
+	n.sourceEdge = source
+	for _, spec := range specs {
+		final, _, err := b.compile(spec.Expr, source)
+		if err != nil {
+			return nil, err
+		}
+		if spec.Mode == ModeStream && spec.StreamSink == nil {
+			return nil, fmt.Errorf("spexnet: ModeStream requires a StreamSink")
+		}
+		out := newOutput(spec.Mode, spec.Sink, &n.cfg)
+		out.ssink = spec.StreamSink
+		b.addNode(out, []int{final}, 0)
+		n.outs = append(n.outs, out)
+	}
+	return n, nil
+}
+
+// memoEntry caches a compiled subexpression: its output tape and the
+// qualifier ids declared within it (needed by enclosing qualifiers).
+type memoEntry struct {
+	out   int
+	quals []cond.QualID
+}
+
+type builder struct {
+	net   *Network
+	trace TraceFn
+	memo  map[string]memoEntry
+}
+
+// newEdge allocates a fresh tape.
+func (b *builder) newEdge() int {
+	b.net.edges = append(b.net.edges, nil)
+	return len(b.net.edges) - 1
+}
+
+// addNode appends a transducer reading the given tapes and returns the ids
+// of its numOuts fresh output tapes. Construction order is topological by
+// compositionality of C.
+func (b *builder) addNode(t transducer, ins []int, numOuts int) []int {
+	outs := make([]int, numOuts)
+	for i := range outs {
+		outs[i] = b.newEdge()
+	}
+	node := netNode{t: t, ins: ins, outs: outs}
+	if se, ok := t.(stepEnder); ok {
+		node.ender = se
+	}
+	net := b.net
+	nodeName := t.name()
+	if b.trace != nil {
+		trace := b.trace
+		node.emit = func(port int, m Message) {
+			trace(net.step, nodeName, m)
+			net.edges[node.outs[port]] = append(net.edges[node.outs[port]], m)
+		}
+	} else {
+		node.emit = func(port int, m Message) {
+			net.edges[node.outs[port]] = append(net.edges[node.outs[port]], m)
+		}
+	}
+	b.net.nodes = append(b.net.nodes, node)
+	return outs
+}
+
+// compile implements C with hash-consing: it extends the network with the
+// transducers for expr reading tape in — unless a structurally identical
+// expression was already compiled from the same tape, in which case its
+// output tape is reused. It returns the expression's output tape and the
+// qualifier ids declared inside it.
+func (b *builder) compile(expr rpeq.Node, in int) (int, []cond.QualID, error) {
+	key := strconv.Itoa(in) + "|" + rpeq.Canonical(expr)
+	if e, ok := b.memo[key]; ok {
+		return e.out, e.quals, nil
+	}
+	out, quals, err := b.compileNew(expr, in)
+	if err != nil {
+		return 0, nil, err
+	}
+	b.memo[key] = memoEntry{out: out, quals: quals}
+	return out, quals, nil
+}
+
+func (b *builder) compileNew(expr rpeq.Node, in int) (int, []cond.QualID, error) {
+	switch n := expr.(type) {
+	case *rpeq.Empty:
+		// ε adds no transducer: the context passes through unchanged.
+		return in, nil, nil
+
+	case *rpeq.Label:
+		return b.addNode(newChild(n.Name, &b.net.cfg), []int{in}, 1)[0], nil, nil
+
+	case *rpeq.Plus:
+		return b.addNode(newClosure(n.Label.Name, &b.net.cfg), []int{in}, 1)[0], nil, nil
+
+	case *rpeq.Star:
+		// C[label*] = SP; C[label+] on one branch; JO (Fig. 11).
+		sp := b.addNode(newSplit(), []int{in}, 2)
+		plus, quals, err := b.compile(&rpeq.Plus{Label: n.Label}, sp[1])
+		if err != nil {
+			return 0, nil, err
+		}
+		return b.addNode(newJoin(), []int{sp[0], plus}, 1)[0], quals, nil
+
+	case *rpeq.Optional:
+		sp := b.addNode(newSplit(), []int{in}, 2)
+		inner, quals, err := b.compile(n.Expr, sp[1])
+		if err != nil {
+			return 0, nil, err
+		}
+		return b.addNode(newJoin(), []int{sp[0], inner}, 1)[0], quals, nil
+
+	case *rpeq.Concat:
+		mid, lq, err := b.compile(n.Left, in)
+		if err != nil {
+			return 0, nil, err
+		}
+		out, rq, err := b.compile(n.Right, mid)
+		if err != nil {
+			return 0, nil, err
+		}
+		return out, append(lq, rq...), nil
+
+	case *rpeq.Union:
+		sp := b.addNode(newSplit(), []int{in}, 2)
+		left, lq, err := b.compile(n.Left, sp[0])
+		if err != nil {
+			return 0, nil, err
+		}
+		right, rq, err := b.compile(n.Right, sp[1])
+		if err != nil {
+			return 0, nil, err
+		}
+		jo := b.addNode(newJoin(), []int{left, right}, 1)[0]
+		un := b.addNode(newUnion(&b.net.cfg), []int{jo}, 1)[0]
+		return un, append(lq, rq...), nil
+
+	case *rpeq.Qualifier:
+		base, bq, err := b.compile(n.Base, in)
+		if err != nil {
+			return 0, nil, err
+		}
+		// The qualifier id is declared before its condition compiles
+		// (the variable-creator precedes the condition sub-network on
+		// the tape); the nesting relation is recorded afterwards.
+		q := b.net.pool.DeclareQualifier(nil)
+		vc := b.addNode(newVC(q, b.net.pool, &b.net.cfg), []int{base}, 1)[0]
+		sp := b.addNode(newSplit(), []int{vc}, 2)
+		condExpr := n.Cond
+		var textTest *rpeq.TextTest
+		if tt, ok := condExpr.(*rpeq.TextTest); ok {
+			// Extended text-test qualifier: the path compiles as usual;
+			// the text-test transducer gates the matches on the string
+			// value before they reach the witness pair.
+			textTest = tt
+			condExpr = tt.Path
+		}
+		inner, cq, err := b.compile(condExpr, sp[1])
+		if err != nil {
+			return 0, nil, err
+		}
+		if textTest != nil {
+			inner = b.addNode(newTextCmp(textTest.Op, textTest.Value, &b.net.cfg), []int{inner}, 1)[0]
+		}
+		b.net.pool.SetNested(q, cq)
+		vf := b.addNode(newVF(q, b.net.pool, true), []int{inner}, 1)[0]
+		vd := b.addNode(newVD(q, b.net.pool, &b.net.cfg), []int{vf}, 1)[0]
+		out := b.addNode(newJoin(), []int{sp[0], vd}, 1)[0]
+		quals := append(bq, cq...)
+		return out, append(quals, q), nil
+
+	case *rpeq.Following:
+		return b.addNode(newFollowing(n.Test, &b.net.cfg), []int{in}, 1)[0], nil, nil
+
+	case *rpeq.Preceding:
+		// Preceding answers precede their justification, so the step
+		// allocates condition variables like a qualifier does; declare a
+		// qualifier id owning them so variable filters of enclosing
+		// qualifiers keep them.
+		q := b.net.pool.DeclareQualifier(nil)
+		out := b.addNode(newPreceding(n.Test, q, b.net.pool, &b.net.cfg), []int{in}, 1)[0]
+		return out, []cond.QualID{q}, nil
+
+	default:
+		return 0, nil, fmt.Errorf("spexnet: unknown expression node %T", expr)
+	}
+}

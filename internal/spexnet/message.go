@@ -1,0 +1,67 @@
+// Package spexnet implements the SPEX evaluation model of the paper (§III):
+// a regular path expression with qualifiers is translated — in time linear in
+// the expression size (Lemma V.1) — into a single-source single-sink DAG of
+// pushdown transducers, and the XML stream is pushed through the network one
+// document message at a time. Result fragments leave the output transducer
+// progressively, in document order, buffered only while their membership in
+// the result is undetermined (§III.8).
+package spexnet
+
+import (
+	"repro/internal/cond"
+	"repro/internal/xmlstream"
+)
+
+// MsgKind classifies messages exchanged between SPEX transducers
+// (Definition 2 of the paper).
+type MsgKind uint8
+
+const (
+	// MsgDoc is a document message: an element or document boundary event
+	// (or character data, which rides along unmodified).
+	MsgDoc MsgKind = iota
+	// MsgActivation is an activation message [f]: it arms the receiving
+	// transducer with condition formula f for the document message that
+	// immediately follows.
+	MsgActivation
+	// MsgDet is a condition determination message. The paper's {c,true}
+	// is Det{Var: c, Witness: cond.True()}; the paper's {c,false}, sent
+	// by the variable-creator when an instance's scope closes, is
+	// Det{Var: c, Final: true}. A Witness carrying an undetermined
+	// formula generalizes {c,true} to nested qualifiers: the variable is
+	// satisfied as soon as the witness formula is (see DESIGN.md §2).
+	MsgDet
+)
+
+// Message is one message on a transducer tape.
+type Message struct {
+	Kind    MsgKind
+	Ev      xmlstream.Event // MsgDoc
+	Formula *cond.Formula   // MsgActivation
+	Var     cond.VarID      // MsgDet
+	Final   bool            // MsgDet: scope-exit finalization from VC
+	Witness *cond.Formula   // MsgDet: witness contribution from VD
+}
+
+// docMsg wraps an event as a document message.
+func docMsg(ev xmlstream.Event) Message { return Message{Kind: MsgDoc, Ev: ev} }
+
+// actMsg wraps a formula as an activation message.
+func actMsg(f *cond.Formula) Message { return Message{Kind: MsgActivation, Formula: f} }
+
+// String renders the message in the paper's notation.
+func (m Message) String() string {
+	switch m.Kind {
+	case MsgDoc:
+		return m.Ev.String()
+	case MsgActivation:
+		return "[" + m.Formula.String() + "]"
+	case MsgDet:
+		if m.Final {
+			return "{" + cond.Var(m.Var).String() + ",close}"
+		}
+		return "{" + cond.Var(m.Var).String() + "," + m.Witness.String() + "}"
+	default:
+		return "?"
+	}
+}

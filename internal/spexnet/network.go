@@ -1,0 +1,204 @@
+package spexnet
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/cond"
+	"repro/internal/xmlstream"
+)
+
+// netNode is one transducer of a network with its wiring.
+type netNode struct {
+	t     transducer
+	ins   []int // input tape ids, in port order
+	outs  []int // output tape ids, in port order
+	emit  emitFn
+	ender stepEnder // non-nil when the transducer buffers within a step
+}
+
+// stepEnder is implemented by transducers that buffer messages within a
+// step (the join); the runner calls endStep after all of the step's
+// messages have been delivered to the node.
+type stepEnder interface {
+	endStep(emit emitFn)
+}
+
+// Network is a compiled SPEX network: a single-source single-sink DAG of
+// transducers (Definition 3). It is stateful and evaluates exactly one
+// stream; build a fresh network per evaluation (building is linear in the
+// query size and takes microseconds).
+type Network struct {
+	cfg        netConfig
+	pool       *cond.Pool
+	nodes      []netNode
+	edges      [][]Message
+	sourceEdge int
+	outs       []*outputT
+	step       int64
+	elements   int64
+	depth      int
+	maxDepth   int
+}
+
+// Stats reports what an evaluation consumed and produced; the quantities of
+// §V and §VI.
+type Stats struct {
+	Events      int64       // document-stream events processed
+	Elements    int64       // elements in the stream
+	MaxDepth    int         // document depth d
+	Transducers int         // network degree (Lemma V.1)
+	MaxStack    int         // max depth/condition stack entries over all transducers
+	MaxFormula  int         // max condition formula size σ
+	Output      OutputStats // sink-side accounting
+}
+
+// Degree returns the number of transducers in the network, the paper's
+// network degree (Lemma V.1 shows it is linear in the expression size).
+func (n *Network) Degree() int { return len(n.nodes) }
+
+// Run drives the whole stream from src through the network: the input
+// transducer's role of §III.2 — emit the initial activation on the
+// start-document message and forward one document message at a time, the
+// next only after the previous reached the sink.
+func (n *Network) Run(src xmlstream.Source) (Stats, error) {
+	for {
+		ev, err := src.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return n.stats(), err
+		}
+		if err := n.Step(ev); err != nil {
+			return n.stats(), err
+		}
+	}
+	if err := n.Finish(); err != nil {
+		return n.stats(), err
+	}
+	return n.stats(), nil
+}
+
+// Step pushes a single event through the network. Callers using Step
+// directly (e.g. unbounded streams) must call Finish after the last event
+// to validate and flush the sink.
+func (n *Network) Step(ev xmlstream.Event) error {
+	n.step++
+	switch ev.Kind {
+	case xmlstream.StartElement:
+		n.elements++
+		n.depth++
+		if n.depth > n.maxDepth {
+			n.maxDepth = n.depth
+		}
+	case xmlstream.EndElement:
+		n.depth--
+		if n.depth < 0 {
+			return fmt.Errorf("spexnet: unbalanced end message %s at step %d", ev, n.step)
+		}
+	}
+	// The input transducer: the initial activation with formula true
+	// precedes the start-document message (§III.2, Example III.1).
+	if ev.Kind == xmlstream.StartDocument {
+		n.edges[n.sourceEdge] = append(n.edges[n.sourceEdge], actMsg(cond.True()))
+	}
+	n.edges[n.sourceEdge] = append(n.edges[n.sourceEdge], docMsg(ev))
+	n.propagate()
+	return nil
+}
+
+// propagate delivers the step's messages along every tape in topological
+// order. A tape may be read by several transducers (shared-subexpression
+// networks reuse an output tape instead of inserting an explicit split —
+// the multicast is semantically a split transducer), so tapes are cleared
+// only after the whole step.
+func (n *Network) propagate() {
+	for i := range n.nodes {
+		node := &n.nodes[i]
+		for port, e := range node.ins {
+			for _, m := range n.edges[e] {
+				node.t.feed(port, m, node.emit)
+			}
+		}
+		if node.ender != nil {
+			// All producers precede this node in topological order, so
+			// the step is complete on its inputs.
+			node.ender.endStep(node.emit)
+		}
+	}
+	for i := range n.edges {
+		if len(n.edges[i]) > 0 {
+			n.edges[i] = n.edges[i][:0]
+		}
+	}
+}
+
+// Finish validates end-of-stream invariants and flushes the sinks.
+func (n *Network) Finish() error {
+	if n.depth != 0 {
+		return fmt.Errorf("spexnet: stream ended with %d unclosed element(s)", n.depth)
+	}
+	for _, out := range n.outs {
+		if err := out.finish(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Matches returns the number of answers reported so far, summed over all
+// sinks.
+func (n *Network) Matches() int64 {
+	var total int64
+	for _, out := range n.outs {
+		total += out.stats.Matches
+	}
+	return total
+}
+
+// SinkStats returns per-sink output statistics, in the order the queries
+// were given to BuildSet (a single-query network has one entry).
+func (n *Network) SinkStats() []OutputStats {
+	out := make([]OutputStats, len(n.outs))
+	for i, o := range n.outs {
+		out[i] = o.stats
+	}
+	return out
+}
+
+func (n *Network) stats() Stats {
+	s := Stats{
+		Events:      n.step,
+		Elements:    n.elements,
+		MaxDepth:    n.maxDepth,
+		Transducers: len(n.nodes),
+	}
+	for _, out := range n.outs {
+		s.Output.Matches += out.stats.Matches
+		s.Output.Candidates += out.stats.Candidates
+		s.Output.Dropped += out.stats.Dropped
+		s.Output.MaxQueued += out.stats.MaxQueued
+		s.Output.MaxBufferedEvs += out.stats.MaxBufferedEvs
+	}
+	for i := range n.nodes {
+		ts := n.nodes[i].t.stackStats()
+		if ts.MaxStack > s.MaxStack {
+			s.MaxStack = ts.MaxStack
+		}
+		if ts.MaxFormula > s.MaxFormula {
+			s.MaxFormula = ts.MaxFormula
+		}
+	}
+	return s
+}
+
+// TransducerStats returns per-transducer resource usage keyed by a
+// "index:name" label, for the §V experiments and debugging.
+func (n *Network) TransducerStats() map[string]StackStats {
+	out := make(map[string]StackStats, len(n.nodes))
+	for i := range n.nodes {
+		out[fmt.Sprintf("%d:%s", i, n.nodes[i].t.name())] = n.nodes[i].t.stackStats()
+	}
+	return out
+}

@@ -1,0 +1,395 @@
+package spexnet
+
+import (
+	"fmt"
+
+	"repro/internal/cond"
+	"repro/internal/xmlstream"
+)
+
+// ResultMode selects what the output transducer reports for each query
+// answer.
+type ResultMode uint8
+
+const (
+	// ModeCount only counts answers; nothing is buffered beyond
+	// undetermined candidates' formulas. This is the cheapest mode and
+	// the one the large-stream benchmarks use.
+	ModeCount ResultMode = iota
+	// ModeNodes reports each answer's document-order index and label, in
+	// document order.
+	ModeNodes
+	// ModeSerialize reports each answer with its full subtree content,
+	// in document order, buffering a candidate's content only while an
+	// earlier candidate is undecided or unfinished (§III.8: the output
+	// transducer "buffers messages only if their membership in the
+	// result can not be decided based on the stream fragment already
+	// processed" — or, for content, while document order demands it).
+	ModeSerialize
+	// ModeStream delivers answer content through a StreamSink event by
+	// event: the head answer, once accepted, streams directly with no
+	// buffering at all — results are "output on the fly" (abstract).
+	ModeStream
+)
+
+// Result is one query answer.
+type Result struct {
+	// Index is the document-order number of the answer node: the
+	// document root <$> has index 0, elements are numbered from 1 in
+	// order of their start messages.
+	Index int64
+	// Name is the element label ("$" for the document root).
+	Name string
+	// Events holds the answer's subtree (ModeSerialize only).
+	Events []xmlstream.Event
+}
+
+// Sink receives query answers in document order.
+type Sink func(Result)
+
+// OutputStats reports the resources the output transducer used: the
+// §III.8/Lemma V.2(5) quantities.
+type OutputStats struct {
+	Matches        int64 // answers reported
+	Candidates     int64 // candidates created (answers + dropped)
+	Dropped        int64 // candidates whose condition became false
+	MaxQueued      int   // max simultaneously queued candidates
+	MaxBufferedEvs int   // max simultaneously buffered content events
+}
+
+type candState uint8
+
+const (
+	candPending candState = iota
+	candAccepted
+	candRejected
+)
+
+type candidate struct {
+	index      int64
+	name       string
+	formula    *cond.Formula
+	state      candState
+	events     []xmlstream.Event
+	startDepth int
+	closed     bool
+	// streaming marks the head candidate whose content goes straight to
+	// the StreamSink (ModeStream).
+	streaming bool
+}
+
+// outputT is the output transducer OU of §III.8. It is the network's sink:
+// the one component needing the power of a 2-DPDT (random access to
+// candidates and formulas).
+type outputT struct {
+	mode  ResultMode
+	sink  Sink
+	ssink StreamSink
+	cfg   *netConfig
+
+	pending   *cond.Formula
+	nextIndex int64
+	depth     int
+
+	queue     []*candidate // document order; undecided or not yet emitted
+	openStack []*candidate // candidates whose subtree is still open
+	byVar     map[cond.VarID][]*candidate
+	bindings  map[cond.VarID]*cond.Formula
+	// resolved maps each determined variable to its value: a constant,
+	// or a residual formula over nested-qualifier variables. Keeping the
+	// values lets the sink handle "past conditions" (query class 4 of
+	// §VI): an activation may mention a variable determined before the
+	// candidate was encountered.
+	resolved map[cond.VarID]*cond.Formula
+
+	stats    OutputStats
+	buffered int
+	st       StackStats
+	err      error
+}
+
+func newOutput(mode ResultMode, sink Sink, cfg *netConfig) *outputT {
+	return &outputT{
+		mode:     mode,
+		sink:     sink,
+		cfg:      cfg,
+		byVar:    make(map[cond.VarID][]*candidate),
+		bindings: make(map[cond.VarID]*cond.Formula),
+		resolved: make(map[cond.VarID]*cond.Formula),
+	}
+}
+
+func (t *outputT) name() string { return "OU" }
+
+func (t *outputT) stackStats() StackStats { return t.st }
+
+func (t *outputT) feed(_ int, m Message, emit emitFn) {
+	switch m.Kind {
+	case MsgActivation:
+		t.pending = t.cfg.or(t.pending, m.Formula)
+		t.st.noteFormula(t.pending)
+	case MsgDet:
+		t.handleDet(m)
+		t.flushQueue()
+	case MsgDoc:
+		t.handleDoc(m.Ev)
+		t.flushQueue()
+	}
+}
+
+func (t *outputT) handleDoc(ev xmlstream.Event) {
+	switch {
+	case isStart(ev):
+		t.depth++
+		index := t.nextIndex
+		t.nextIndex++
+		if t.pending != nil {
+			t.openCandidate(index, ev, t.pending)
+			t.pending = nil
+		}
+		t.appendToOpen(ev)
+	case isEnd(ev):
+		t.pending = nil
+		t.appendToOpen(ev)
+		// Close the candidate rooted at the node this event closes.
+		if n := len(t.openStack); n > 0 && t.openStack[n-1].startDepth == t.depth {
+			t.openStack[n-1].closed = true
+			t.openStack = t.openStack[:n-1]
+		}
+		t.depth--
+	default: // text
+		t.appendToOpen(ev)
+	}
+}
+
+// applyResolved substitutes every already-determined variable occurring in
+// f by its value, iterating because a value may itself mention variables
+// that were determined later.
+func (t *outputT) applyResolved(f *cond.Formula) *cond.Formula {
+	for {
+		var hit cond.VarID
+		found := false
+		f.Visit(func(v cond.VarID) {
+			if !found {
+				if _, ok := t.resolved[v]; ok {
+					hit, found = v, true
+				}
+			}
+		})
+		if !found {
+			return f
+		}
+		f = f.Assign(hit, t.resolved[hit])
+	}
+}
+
+// openCandidate creates a candidate for the node whose start event is ev.
+func (t *outputT) openCandidate(index int64, ev xmlstream.Event, f *cond.Formula) {
+	name := ev.Name
+	if ev.Kind == xmlstream.StartDocument {
+		name = "$"
+	}
+	f = t.applyResolved(f)
+	c := &candidate{index: index, name: name, formula: f, startDepth: t.depth}
+	t.stats.Candidates++
+	switch {
+	case f.IsTrue():
+		c.state = candAccepted
+	case f.IsFalse():
+		c.state = candRejected
+		t.stats.Dropped++
+	default:
+		f.Visit(func(v cond.VarID) { t.byVar[v] = append(t.byVar[v], c) })
+	}
+	if c.state != candRejected {
+		t.queue = append(t.queue, c)
+		if len(t.queue) > t.stats.MaxQueued {
+			t.stats.MaxQueued = len(t.queue)
+		}
+		t.openStack = append(t.openStack, c)
+		t.st.noteStack(len(t.queue))
+	}
+}
+
+// appendToOpen adds a content event to every open, non-rejected candidate
+// (ModeSerialize and ModeStream). The streaming head candidate forwards the
+// event instead of buffering it.
+func (t *outputT) appendToOpen(ev xmlstream.Event) {
+	if t.mode != ModeSerialize && t.mode != ModeStream {
+		return
+	}
+	for _, c := range t.openStack {
+		if c.state == candRejected {
+			continue
+		}
+		if c.streaming {
+			t.ssink.ResultEvent(ev)
+			continue
+		}
+		c.events = append(c.events, ev)
+		t.buffered++
+	}
+	if t.buffered > t.stats.MaxBufferedEvs {
+		t.stats.MaxBufferedEvs = t.buffered
+	}
+}
+
+// handleDet processes a condition determination message.
+func (t *outputT) handleDet(m Message) {
+	if _, done := t.resolved[m.Var]; done {
+		// First determination wins: a later scope-exit finalization
+		// cannot undo a satisfied instance (cf. Fig. 13, variable co1).
+		// The finalization does end the instance's lifetime, though, so
+		// it retires the resolution record (see below) — unless the
+		// network contains following/preceding steps, whose formulas
+		// outlive the scopes they mention.
+		if m.Final && !t.cfg.retainVars {
+			delete(t.resolved, m.Var)
+		}
+		return
+	}
+	if m.Final {
+		w, ok := t.bindings[m.Var]
+		if !ok {
+			w = cond.False()
+		}
+		delete(t.bindings, m.Var)
+		t.resolve(m.Var, w)
+		// Nothing downstream can mention the variable after its
+		// finalization (when the network has no following/preceding
+		// steps), so the resolution record can go: this keeps the sink's
+		// state bounded on unbounded streams (the id itself is recycled
+		// by the variable-creator).
+		if !t.cfg.retainVars {
+			delete(t.resolved, m.Var)
+		}
+		return
+	}
+	w := t.applyResolved(m.Witness)
+	if prev, ok := t.bindings[m.Var]; ok {
+		w = t.cfg.or(prev, w)
+	}
+	if w.IsTrue() {
+		delete(t.bindings, m.Var)
+		t.resolve(m.Var, cond.True())
+		return
+	}
+	t.bindings[m.Var] = w
+}
+
+// resolve binds variable v to val (a constant, or a residual formula over
+// variables of nested qualifiers) and substitutes it through candidate
+// formulas and pending bindings, cascading as bindings determine.
+func (t *outputT) resolve(v cond.VarID, val *cond.Formula) {
+	t.resolved[v] = val
+	cands := t.byVar[v]
+	delete(t.byVar, v)
+	for _, c := range cands {
+		if c.state != candPending || !c.formula.HasVar(v) {
+			continue
+		}
+		c.formula = c.formula.Assign(v, val)
+		t.st.noteFormula(c.formula)
+		switch {
+		case c.formula.IsTrue():
+			c.state = candAccepted
+		case c.formula.IsFalse():
+			c.state = candRejected
+			t.stats.Dropped++
+			t.releaseContent(c)
+		default:
+			c.formula.Visit(func(w cond.VarID) {
+				if w != v {
+					t.byVar[w] = append(t.byVar[w], c)
+				}
+			})
+		}
+	}
+	// Substitute into pending bindings; collect cascaded resolutions.
+	var cascade []cond.VarID
+	for owner, b := range t.bindings {
+		if !b.HasVar(v) {
+			continue
+		}
+		nb := b.Assign(v, val)
+		if nb.IsTrue() {
+			cascade = append(cascade, owner)
+		}
+		t.bindings[owner] = nb
+	}
+	for _, owner := range cascade {
+		delete(t.bindings, owner)
+		t.resolve(owner, cond.True())
+	}
+}
+
+// releaseContent frees a rejected candidate's buffer.
+func (t *outputT) releaseContent(c *candidate) {
+	t.buffered -= len(c.events)
+	c.events = nil
+}
+
+// flushQueue emits decided candidates from the front of the document-order
+// queue.
+func (t *outputT) flushQueue() {
+	for len(t.queue) > 0 {
+		c := t.queue[0]
+		switch c.state {
+		case candRejected:
+			t.releaseContent(c)
+		case candAccepted:
+			if t.mode == ModeStream {
+				if !c.streaming {
+					// Promote to streaming: replay what was buffered
+					// while the candidate waited, then forward live.
+					t.ssink.ResultStart(c.index, c.name)
+					for _, ev := range c.events {
+						t.ssink.ResultEvent(ev)
+					}
+					t.releaseContent(c)
+					c.streaming = true
+				}
+				if !c.closed {
+					return // content still arriving, streamed directly
+				}
+				t.ssink.ResultEnd(c.index)
+				t.stats.Matches++
+			} else {
+				if t.mode == ModeSerialize && !c.closed {
+					return // content still arriving
+				}
+				t.emit(c)
+			}
+		default:
+			return
+		}
+		t.queue[0] = nil
+		t.queue = t.queue[1:]
+	}
+}
+
+func (t *outputT) emit(c *candidate) {
+	t.stats.Matches++
+	if t.mode == ModeCount || t.sink == nil {
+		return
+	}
+	r := Result{Index: c.index, Name: c.name}
+	if t.mode == ModeSerialize {
+		r.Events = c.events
+		t.buffered -= len(c.events)
+	}
+	t.sink(r)
+}
+
+// finish is called after the end-document step; it verifies that every
+// candidate was decided (the variable-creators finalize all instances by
+// then) and reports leftover state as an internal error.
+func (t *outputT) finish() error {
+	t.flushQueue()
+	if len(t.queue) != 0 {
+		c := t.queue[0]
+		return fmt.Errorf("spexnet: internal: %d undecided candidate(s) at end of stream; first has index %d, formula %s",
+			len(t.queue), c.index, c.formula)
+	}
+	return t.err
+}

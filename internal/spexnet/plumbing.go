@@ -1,0 +1,152 @@
+package spexnet
+
+import "repro/internal/cond"
+
+// splitT is the split transducer SP of §III.6: every received message is
+// forwarded to both output tapes.
+type splitT struct{ st StackStats }
+
+func newSplit() *splitT { return &splitT{} }
+
+func (t *splitT) name() string { return "SP" }
+
+func (t *splitT) stackStats() StackStats { return t.st }
+
+func (t *splitT) feed(_ int, m Message, emit emitFn) {
+	emit(0, m)
+	emit(1, m)
+}
+
+// joinT is the join transducer JO of §III.6: an AND-gate on document
+// messages. Both branches of a split deliver each document message exactly
+// once per step (every transducer forwards the document stream), so the
+// join forwards the single document message of the step once — this is also
+// how "the problem of removing duplicates for the union operation is solved
+// by the join transducer". Activation and determination messages pass
+// through, merged from both branches while keeping their position relative
+// to the step's document message (an activation stays before the element it
+// refers to; a trailing scope-exit finalization stays after the end
+// message).
+//
+// joinT buffers the whole step from both ports and flushes at the step
+// boundary the runner signals (endStep) — after both branches have
+// delivered everything, since the branches precede the join in topological
+// order.
+type joinT struct {
+	buffered [2][]Message
+	seenDets []Message // scratch for per-step determination dedupe
+	st       StackStats
+}
+
+func newJoin() *joinT { return &joinT{} }
+
+func (t *joinT) name() string { return "JO" }
+
+func (t *joinT) stackStats() StackStats { return t.st }
+
+func (t *joinT) feed(input int, m Message, _ emitFn) {
+	t.buffered[input] = append(t.buffered[input], m)
+	t.st.noteStack(len(t.buffered[0]) + len(t.buffered[1]))
+}
+
+// endStep flushes the step: the non-document messages preceding each
+// branch's document message (left branch first), the single document
+// message, then the trailing non-document messages. Determination messages
+// that reached the join through both branches of the preceding split are
+// emitted once — the same duplicate elimination the join performs for
+// document messages.
+func (t *joinT) endStep(emit emitFn) {
+	seenDets := t.seenDets[:0]
+	emitNonDoc := func(m Message) {
+		if m.Kind == MsgDet {
+			for _, s := range seenDets {
+				if sameDet(s, m) {
+					return
+				}
+			}
+			seenDets = append(seenDets, m)
+		}
+		emit(0, m)
+	}
+	// Split each buffer at its document message.
+	docAt := func(buf []Message) int {
+		for i, m := range buf {
+			if m.Kind == MsgDoc {
+				return i
+			}
+		}
+		return len(buf)
+	}
+	d0, d1 := docAt(t.buffered[0]), docAt(t.buffered[1])
+	for _, m := range t.buffered[0][:d0] {
+		emitNonDoc(m)
+	}
+	for _, m := range t.buffered[1][:d1] {
+		emitNonDoc(m)
+	}
+	if d0 < len(t.buffered[0]) {
+		emit(0, t.buffered[0][d0])
+	}
+	after := func(buf []Message, d int) []Message {
+		if d >= len(buf) {
+			return nil
+		}
+		return buf[d+1:]
+	}
+	for _, m := range after(t.buffered[0], d0) {
+		emitNonDoc(m)
+	}
+	for _, m := range after(t.buffered[1], d1) {
+		emitNonDoc(m)
+	}
+	t.seenDets = seenDets[:0]
+	t.buffered[0] = t.buffered[0][:0]
+	t.buffered[1] = t.buffered[1][:0]
+}
+
+// sameDet reports whether two determination messages are identical.
+func sameDet(a, b Message) bool {
+	if a.Var != b.Var || a.Final != b.Final {
+		return false
+	}
+	if (a.Witness == nil) != (b.Witness == nil) {
+		return false
+	}
+	return a.Witness == nil || a.Witness.Key() == b.Witness.Key()
+}
+
+// unionT is the union transducer UN of §III.7: a connector that merges the
+// activation messages arriving for one document message into a single
+// activation carrying their disjunction (Fig. 10). Since the downstream
+// transducers of this implementation also merge consecutive activations by
+// disjunction, UN is semantically idempotent here, but it is kept so that
+// compiled networks have the paper's exact shape and so that single
+// activations reach the sink merged.
+type unionT struct {
+	cfg     *netConfig
+	pending *cond.Formula
+	st      StackStats
+}
+
+func newUnion(cfg *netConfig) *unionT { return &unionT{cfg: cfg} }
+
+func (t *unionT) name() string { return "UN" }
+
+func (t *unionT) stackStats() StackStats { return t.st }
+
+func (t *unionT) feed(_ int, m Message, emit emitFn) {
+	switch m.Kind {
+	case MsgActivation:
+		t.pending = t.cfg.or(t.pending, m.Formula)
+		t.st.noteFormula(t.pending)
+		t.st.noteStack(1)
+	case MsgDet:
+		emit(0, m)
+	case MsgDoc:
+		if t.pending != nil {
+			emit(0, actMsg(t.pending))
+			t.pending = nil
+		}
+		emit(0, m)
+	}
+}

@@ -1,0 +1,199 @@
+package spexnet
+
+import "repro/internal/cond"
+
+// vcT is the variable-creator transducer VC(q) of §III.5.1. For each
+// qualifier instance — each activation reaching it — it allocates a fresh
+// condition variable c, forwards the activation as [f ∧ c], and when the
+// instance's scope (the subtree of the activated element) closes it emits
+// the finalization message, the paper's {c,false}: if no witness satisfied c
+// by then, c is false.
+type vcT struct {
+	q    cond.QualID
+	pool *cond.Pool
+	cfg  *netConfig
+
+	pending *cond.Formula
+	hasPend bool
+	// vars[k] holds the variable whose scope is the k-th open node, or
+	// noVar.
+	vars []cond.VarID
+	has  []bool
+
+	st StackStats
+}
+
+func newVC(q cond.QualID, pool *cond.Pool, cfg *netConfig) *vcT {
+	return &vcT{q: q, pool: pool, cfg: cfg}
+}
+
+func (t *vcT) name() string { return "VC(q)" }
+
+func (t *vcT) stackStats() StackStats { return t.st }
+
+func (t *vcT) feed(_ int, m Message, emit emitFn) {
+	switch m.Kind {
+	case MsgActivation:
+		t.pending = t.cfg.or(t.pending, m.Formula)
+		t.hasPend = true
+		t.st.noteFormula(t.pending)
+	case MsgDet:
+		emit(0, m)
+	case MsgDoc:
+		ev := m.Ev
+		switch {
+		case isStart(ev):
+			var v cond.VarID
+			created := false
+			if t.hasPend {
+				v = t.pool.Fresh(t.q)
+				f := t.cfg.and(t.pending, t.pool.Var(v))
+				t.st.noteFormula(f)
+				emit(0, actMsg(f))
+				created = true
+				t.pending = nil
+				t.hasPend = false
+			}
+			t.vars = append(t.vars, v)
+			t.has = append(t.has, created)
+			t.st.noteStack(len(t.vars))
+			emit(0, m)
+		case isEnd(ev):
+			t.pending = nil
+			t.hasPend = false
+			// Scope left: invalidate the instance (Fig. 6 transition 4's
+			// {c,false}). The finalization travels AFTER the end message —
+			// behaviourally equivalent for the paper's constructs, and it
+			// lets downstream transducers that witness an instance at the
+			// very end of its scope (the text-test transducer) get their
+			// determination in first. After the finalization nothing can
+			// mention the variable again, so its id returns to the pool —
+			// this is what keeps memory bounded on unbounded streams.
+			emit(0, m)
+			if n := len(t.vars); n > 0 {
+				if t.has[n-1] {
+					emit(0, Message{Kind: MsgDet, Var: t.vars[n-1], Final: true})
+					if !t.cfg.retainVars {
+						t.pool.Release(t.vars[n-1])
+					}
+				}
+				t.vars = t.vars[:n-1]
+				t.has = t.has[:n-1]
+			}
+		default:
+			emit(0, m)
+		}
+	}
+}
+
+// vfT is the variable-filter transducer of §III.5.2. The positive filter
+// VF(q+) rewrites activation formulas to retain only the variables of q and
+// of qualifiers nested inside q's condition expression ("drops everything
+// else but those variables"); the negative filter VF(q-) drops exactly
+// those. Document and determination messages pass through unchanged.
+type vfT struct {
+	q        cond.QualID
+	pool     *cond.Pool
+	positive bool
+	st       StackStats
+}
+
+func newVF(q cond.QualID, pool *cond.Pool, positive bool) *vfT {
+	return &vfT{q: q, pool: pool, positive: positive}
+}
+
+func (t *vfT) name() string {
+	if t.positive {
+		return "VF(q+)"
+	}
+	return "VF(q-)"
+}
+
+func (t *vfT) stackStats() StackStats { return t.st }
+
+func (t *vfT) feed(_ int, m Message, emit emitFn) {
+	if m.Kind != MsgActivation {
+		emit(0, m)
+		return
+	}
+	keep := func(v cond.VarID) bool { return t.pool.WithinSubtree(v, t.q) }
+	if !t.positive {
+		inner := keep
+		keep = func(v cond.VarID) bool { return !inner(v) }
+	}
+	f := m.Formula.Restrict(keep)
+	t.st.noteFormula(f)
+	emit(0, actMsg(f))
+}
+
+// vdT is the variable-determinant transducer of §III.5.3. Every activation
+// reaching it witnesses the qualifier instances its formula mentions: for
+// each variable c of qualifier q occurring in the (already filtered)
+// formula, it emits a determination message. Where the paper emits {c,true}
+// — every instance reaching VD is satisfied — this implementation emits the
+// witness condition under which the instance is satisfied, which is the
+// constant true except when qualifiers nest: then the witness is the
+// residual formula of the variables nested below q (the DNF disjuncts
+// containing c, with c projected out). Activations are consumed; document
+// messages pass; determination messages from nested qualifiers pass through
+// so they reach the output transducer (the paper's Fig. 7 predates nested
+// determinations and drops them).
+type vdT struct {
+	q    cond.QualID
+	pool *cond.Pool
+	cfg  *netConfig
+	st   StackStats
+}
+
+func newVD(q cond.QualID, pool *cond.Pool, cfg *netConfig) *vdT {
+	return &vdT{q: q, pool: pool, cfg: cfg}
+}
+
+func (t *vdT) name() string { return "VD" }
+
+func (t *vdT) stackStats() StackStats { return t.st }
+
+func (t *vdT) feed(_ int, m Message, emit emitFn) {
+	if m.Kind != MsgActivation {
+		emit(0, m)
+		return
+	}
+	t.st.noteFormula(m.Formula)
+	// Fast path for the overwhelmingly common single-variable formula
+	// (an unnested qualifier): the instance is satisfied outright.
+	if m.Formula.Op() == cond.OpVar {
+		var v cond.VarID
+		m.Formula.Visit(func(w cond.VarID) { v = w })
+		if t.pool.BelongsTo(v, t.q) {
+			emit(0, Message{Kind: MsgDet, Var: v, Witness: cond.True()})
+		}
+		return
+	}
+	dnf := m.Formula.DNF()
+	// Group disjuncts by the q-variables they contain.
+	var order []cond.VarID
+	witnesses := make(map[cond.VarID]*cond.Formula)
+	for _, disjunct := range dnf {
+		for _, v := range disjunct {
+			if !t.pool.BelongsTo(v, t.q) {
+				continue
+			}
+			rest := make([]cond.VarID, 0, len(disjunct)-1)
+			for _, w := range disjunct {
+				if w != v {
+					rest = append(rest, w)
+				}
+			}
+			w := cond.FromVars(rest)
+			if prev, ok := witnesses[v]; ok {
+				witnesses[v] = t.cfg.or(prev, w)
+			} else {
+				witnesses[v] = w
+				order = append(order, v)
+			}
+		}
+	}
+	for _, v := range order {
+		emit(0, Message{Kind: MsgDet, Var: v, Witness: witnesses[v]})
+	}
+}

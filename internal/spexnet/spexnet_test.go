@@ -1,0 +1,166 @@
+package spexnet
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/rpeq"
+	"repro/internal/xmlstream"
+)
+
+// paperDoc is the document of Fig. 1, whose stream is
+// <$> <a> <a> <c> </c> </a> <b> </b> <c> </c> </a> </$>.
+const paperDoc = `<a><a><c/></a><b/><c/></a>`
+
+// evalNodes runs expr over doc and returns the selected nodes as
+// "index:name" strings in document order.
+func evalNodes(t *testing.T, expr, doc string) []string {
+	t.Helper()
+	node, err := rpeq.Parse(expr)
+	if err != nil {
+		t.Fatalf("parse %q: %v", expr, err)
+	}
+	var got []string
+	net, err := Build(node, Options{Mode: ModeNodes, Sink: func(r Result) {
+		got = append(got, r.Name+"@"+itoa(r.Index))
+	}})
+	if err != nil {
+		t.Fatalf("build %q: %v", expr, err)
+	}
+	if _, err := net.Run(xmlstream.NewScanner(strings.NewReader(doc))); err != nil {
+		t.Fatalf("run %q: %v", expr, err)
+	}
+	return got
+}
+
+func itoa(i int64) string {
+	if i == 0 {
+		return "0"
+	}
+	var buf [20]byte
+	pos := len(buf)
+	for i > 0 {
+		pos--
+		buf[pos] = byte('0' + i%10)
+		i /= 10
+	}
+	return string(buf[pos:])
+}
+
+func expect(t *testing.T, expr, doc string, want ...string) {
+	t.Helper()
+	got := evalNodes(t, expr, doc)
+	if len(got) != len(want) {
+		t.Fatalf("%s over %s: got %v, want %v", expr, doc, got, want)
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("%s over %s: got %v, want %v", expr, doc, got, want)
+		}
+	}
+}
+
+// Document-order indices for paperDoc: a@1, a@2, c@3, b@4, c@5.
+
+func TestChildSteps(t *testing.T) {
+	// Example III.1: a.c selects the c child of the root's a child.
+	expect(t, "a.c", paperDoc, "c@5")
+	expect(t, "a", paperDoc, "a@1")
+	expect(t, "a.a", paperDoc, "a@2")
+	expect(t, "a.b", paperDoc, "b@4")
+	expect(t, "a.a.c", paperDoc, "c@3")
+	expect(t, "c", paperDoc) // no c at root level
+}
+
+func TestWildcardStep(t *testing.T) {
+	expect(t, "_", paperDoc, "a@1")
+	expect(t, "a._", paperDoc, "a@2", "b@4", "c@5")
+}
+
+func TestClosure(t *testing.T) {
+	// Example III.2: a+.c+ selects both c elements.
+	expect(t, "a+.c+", paperDoc, "c@3", "c@5")
+	expect(t, "a+", paperDoc, "a@1", "a@2")
+	// c+ from the root: no c chain starts at the root's children.
+	expect(t, "c+", paperDoc)
+	// _+ selects every element.
+	expect(t, "_+", paperDoc, "a@1", "a@2", "c@3", "b@4", "c@5")
+}
+
+func TestClosureChainSemantics(t *testing.T) {
+	// l+ means chains of l steps, not arbitrary descendants: the scope
+	// closes under a non-matching element (Fig. 3 transition 8).
+	doc := `<a><x><a/></x><a><a/></a></a>`
+	// Indices: a@1 x@2 a@3 a@4 a@5.
+	expect(t, "a+", doc, "a@1", "a@4", "a@5")
+	expect(t, "_*.a", doc, "a@1", "a@3", "a@4", "a@5")
+}
+
+func TestStarAndOptional(t *testing.T) {
+	expect(t, "_*.c", paperDoc, "c@3", "c@5")
+	expect(t, "a*.c", paperDoc, "c@3", "c@5")
+	expect(t, "a?.a", paperDoc, "a@1", "a@2")
+	expect(t, "a.a?.c", paperDoc, "c@3", "c@5")
+}
+
+func TestUnion(t *testing.T) {
+	expect(t, "a.(b|c)", paperDoc, "b@4", "c@5")
+	expect(t, "(a|b).c", paperDoc, "c@5")
+	expect(t, "a.(a|b|c)", paperDoc, "a@2", "b@4", "c@5")
+}
+
+func TestQualifier(t *testing.T) {
+	// The complete example of §III.10: _*.a[b].c selects only the c
+	// child of the outer a (which has a b child); the inner a has none.
+	expect(t, "_*.a[b].c", paperDoc, "c@5")
+	expect(t, "_*.a[c].c", paperDoc, "c@3", "c@5")
+	expect(t, "a[b]", paperDoc, "a@1")
+	expect(t, "a[x]", paperDoc)
+	expect(t, "a[a.c].b", paperDoc, "b@4")
+}
+
+func TestQualifierPastAndFutureConditions(t *testing.T) {
+	// Future condition: the qualifier element appears after the
+	// candidate (class 2 of §VI).
+	expect(t, "a[b].a", paperDoc, "a@2")
+	// Past condition: the qualifier element appears before the
+	// candidate (class 4 of §VI).
+	expect(t, "a[a].c", paperDoc, "c@5")
+}
+
+func TestNestedQualifiers(t *testing.T) {
+	// a[a[c]] : an a child having an a child having a c child.
+	expect(t, "a[a[c]]", paperDoc, "a@1")
+	expect(t, "a[a[b]]", paperDoc)
+	expect(t, "a[a[c]].b", paperDoc, "b@4")
+	expect(t, "_*.a[_*.c]", paperDoc, "a@1", "a@2")
+}
+
+func TestEpsilonAndRoot(t *testing.T) {
+	// ε selects the document root itself.
+	expect(t, "%e", paperDoc, "$@0")
+	expect(t, "%e.a", paperDoc, "a@1")
+	expect(t, "(a|%e)", paperDoc, "$@0", "a@1")
+}
+
+func TestDegreeLinear(t *testing.T) {
+	// Lemma V.1: network degree is linear in the expression size.
+	expr := "a"
+	prev := 0
+	for i := 0; i < 6; i++ {
+		node := rpeq.MustParse(expr)
+		net, err := Build(node, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		deg := net.Degree()
+		if deg <= prev {
+			t.Fatalf("degree did not grow: %d after %d", deg, prev)
+		}
+		if deg > 8*node.Size()+4 {
+			t.Fatalf("degree %d superlinear in size %d", deg, node.Size())
+		}
+		prev = deg
+		expr += ".a[b]"
+	}
+}

@@ -1,0 +1,102 @@
+package spexnet
+
+import (
+	"repro/internal/cond"
+	"repro/internal/xmlstream"
+)
+
+// emitFn delivers a message to one output port of a transducer. All
+// transducers have a single output port (port 0) except the split
+// transducer, which also writes port 1.
+type emitFn func(port int, m Message)
+
+// transducer is one node of a SPEX network. feed processes a single message
+// arriving on the given input port (always 0 except for the join
+// transducer) and emits resulting messages in order. The runner guarantees
+// the paper's discipline: exactly one document message is in flight at a
+// time, and all messages belonging to that step are delivered before the
+// next step begins.
+type transducer interface {
+	feed(input int, m Message, emit emitFn)
+	name() string
+	// stackStats returns the current and maximum depth-stack size and the
+	// maximum condition-formula size handled, for the §V experiments.
+	stackStats() StackStats
+}
+
+// StackStats reports per-transducer resource usage.
+type StackStats struct {
+	MaxStack   int // maximum depth/condition stack entries
+	MaxFormula int // maximum formula size σ seen
+}
+
+func (s *StackStats) noteStack(n int) {
+	if n > s.MaxStack {
+		s.MaxStack = n
+	}
+}
+
+func (s *StackStats) noteFormula(f *cond.Formula) {
+	if f != nil && f.Size() > s.MaxFormula {
+		s.MaxFormula = f.Size()
+	}
+}
+
+// or combines activation formulas, honouring the network's normalization
+// setting (the Remark V.1 ablation).
+func (n *netConfig) or(a, b *cond.Formula) *cond.Formula {
+	if a == nil {
+		return b
+	}
+	if b == nil {
+		return a
+	}
+	if n.rawFormulas {
+		return cond.RawOr(a, b)
+	}
+	return cond.Or(a, b)
+}
+
+// and combines formulas by conjunction under the same setting.
+func (n *netConfig) and(a, b *cond.Formula) *cond.Formula {
+	if n.rawFormulas {
+		return cond.RawAnd(a, b)
+	}
+	return cond.And(a, b)
+}
+
+// netConfig carries evaluation-time options shared by all transducers of a
+// network instance.
+type netConfig struct {
+	rawFormulas bool // disable duplicate elimination (ablation)
+	// retainVars disables condition-variable retirement and id reuse.
+	// The core constructs guarantee that nothing mentions a variable
+	// after its scope-exit finalization, which lets the sink drop
+	// resolution records and the pool recycle ids (bounded memory on
+	// unbounded streams). The following/preceding extension breaks that
+	// guarantee — a following-scope formula outlives the qualifier scopes
+	// it mentions — so networks containing those axes retain records for
+	// the whole evaluation.
+	retainVars bool
+}
+
+// isStart reports whether the event opens a tree node (element or document
+// root).
+func isStart(ev xmlstream.Event) bool {
+	return ev.Kind == xmlstream.StartElement || ev.Kind == xmlstream.StartDocument
+}
+
+// isEnd reports whether the event closes a tree node.
+func isEnd(ev xmlstream.Event) bool {
+	return ev.Kind == xmlstream.EndElement || ev.Kind == xmlstream.EndDocument
+}
+
+// labelMatches reports whether a start event is an element matching the
+// given label (the wildcard "_" matches every element, but never the
+// document root <$>).
+func labelMatches(label string, ev xmlstream.Event) bool {
+	if ev.Kind != xmlstream.StartElement {
+		return false
+	}
+	return label == "_" || label == ev.Name
+}

@@ -1,0 +1,123 @@
+package window
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/spexnet"
+	"repro/internal/xmlstream"
+)
+
+func plan(t *testing.T, expr string) *core.Plan {
+	t.Helper()
+	p, err := core.Prepare(expr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func src(doc string) xmlstream.Source {
+	return xmlstream.NewScanner(strings.NewReader(doc))
+}
+
+const feed = `<feed>` +
+	`<msg><sport/></msg>` +
+	`<msg><politics/></msg>` +
+	`<msg><sport/></msg>` +
+	`<msg><sport/></msg>` +
+	`<msg><politics/></msg>` +
+	`</feed>`
+
+func TestWindowedEvaluation(t *testing.T) {
+	type hit struct{ window int }
+	var hits []hit
+	stats, err := Evaluate(plan(t, "feed.msg[sport]"), src(feed), 2, func(w int, r spexnet.Result) {
+		hits = append(hits, hit{w})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Windows != 3 || stats.Records != 5 || stats.Matches != 3 {
+		t.Fatalf("stats: %+v", stats)
+	}
+	// Sport messages are records 1, 3, 4 → windows 0, 1, 1.
+	want := []int{0, 1, 1}
+	for i, h := range hits {
+		if h.window != want[i] {
+			t.Fatalf("hits: %+v, want windows %v", hits, want)
+		}
+	}
+}
+
+// TestWindowRecordLocalQueriesAreExact: queries whose answers lie within a
+// record match the exact evaluation regardless of the window size.
+func TestWindowRecordLocalQueriesAreExact(t *testing.T) {
+	p := plan(t, "feed.msg[sport]")
+	exact, _, err := p.Count(strings.NewReader(feed))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, size := range []int{1, 2, 3, 100} {
+		stats, err := Evaluate(p, src(feed), size, nil)
+		if err != nil {
+			t.Fatalf("size %d: %v", size, err)
+		}
+		if stats.Matches != exact {
+			t.Errorf("size %d: windowed %d vs exact %d", size, stats.Matches, exact)
+		}
+	}
+}
+
+// TestWindowIncompleteness demonstrates the paper's caveat (§I): windows
+// return incomplete answers for queries spanning window boundaries. The
+// qualifier [politics] holds for the feed as a whole, but a window holding
+// only sport messages sees no politics record.
+func TestWindowIncompleteness(t *testing.T) {
+	// A cross-record qualifier: feed[_*.politics].msg — every msg
+	// qualifies exactly iff the document contains a politics element.
+	p := plan(t, "feed[_*.politics].msg")
+	exact, _, err := p.Count(strings.NewReader(feed))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if exact != 5 {
+		t.Fatalf("exact: %d", exact)
+	}
+	stats, err := Evaluate(p, src(feed), 1, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Windows 0, 2, 3 (sport-only) contribute nothing: incomplete.
+	if stats.Matches >= exact {
+		t.Fatalf("expected incomplete answers, got %d ≥ exact %d", stats.Matches, exact)
+	}
+	if stats.Matches != 2 {
+		t.Fatalf("matches: %d, want 2 (the two politics windows)", stats.Matches)
+	}
+}
+
+func TestWindowErrors(t *testing.T) {
+	if _, err := Evaluate(plan(t, "a"), src(`<a/>`), 0, nil); err == nil {
+		t.Error("size 0 must fail")
+	}
+	if _, err := Evaluate(plan(t, "a"), src(``), 1, nil); err == nil {
+		t.Error("empty stream must fail")
+	}
+	if _, err := Evaluate(plan(t, "a"), &xmlstream.SliceSource{Events: []xmlstream.Event{
+		{Kind: xmlstream.StartDocument},
+	}}, 1, nil); err == nil {
+		t.Error("missing root must fail")
+	}
+}
+
+func TestWindowEmptyRoot(t *testing.T) {
+	stats, err := Evaluate(plan(t, "feed.msg"), src(`<feed></feed>`), 3, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Windows != 0 || stats.Records != 0 || stats.Matches != 0 {
+		t.Fatalf("stats: %+v", stats)
+	}
+}

@@ -1,0 +1,86 @@
+// Package xmlstream implements the XML stream data model of the SPEX paper
+// (§II.1): a document is conveyed as a sequence of document messages produced
+// by a depth-first left-to-right traversal of the document tree, bracketed by
+// the start-document message <$> and the end-document message </$>.
+//
+// The package provides a fast byte-level streaming scanner, an adapter over
+// encoding/xml, a serializer, and stream statistics. It deliberately ignores
+// attributes, namespaces, processing instructions and comments, exactly as
+// the paper does; the scanner tolerates and skips them.
+package xmlstream
+
+import "fmt"
+
+// Kind classifies a stream event.
+type Kind uint8
+
+// Event kinds. StartDocument and EndDocument correspond to the paper's <$>
+// and </$> messages; StartElement and EndElement to <a> and </a>; Text
+// carries character data, which plays no structural role in rpeq evaluation
+// but is preserved so that query results serialize faithfully.
+const (
+	StartDocument Kind = iota
+	EndDocument
+	StartElement
+	EndElement
+	Text
+)
+
+// String returns a short human-readable name for the kind.
+func (k Kind) String() string {
+	switch k {
+	case StartDocument:
+		return "start-document"
+	case EndDocument:
+		return "end-document"
+	case StartElement:
+		return "start-element"
+	case EndElement:
+		return "end-element"
+	case Text:
+		return "text"
+	default:
+		return fmt.Sprintf("kind(%d)", uint8(k))
+	}
+}
+
+// Event is one document message. Name is the element label for StartElement
+// and EndElement; Data is the character data for Text events.
+type Event struct {
+	Kind Kind
+	Name string
+	Data string
+}
+
+// String renders the event in the paper's message notation.
+func (e Event) String() string {
+	switch e.Kind {
+	case StartDocument:
+		return "<$>"
+	case EndDocument:
+		return "</$>"
+	case StartElement:
+		return "<" + e.Name + ">"
+	case EndElement:
+		return "</" + e.Name + ">"
+	case Text:
+		return e.Data
+	default:
+		return "?"
+	}
+}
+
+// Structural reports whether the event is a document message in the paper's
+// sense (an element or document boundary, as opposed to character data).
+func (e Event) Structural() bool { return e.Kind != Text }
+
+// Start returns an Event for the start message of an element with the given
+// label.
+func Start(name string) Event { return Event{Kind: StartElement, Name: name} }
+
+// End returns an Event for the end message of an element with the given
+// label.
+func End(name string) Event { return Event{Kind: EndElement, Name: name} }
+
+// Chars returns a Text event carrying the given character data.
+func Chars(data string) Event { return Event{Kind: Text, Data: data} }

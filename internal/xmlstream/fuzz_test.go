@@ -1,0 +1,72 @@
+package xmlstream
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzScanner feeds arbitrary bytes to the scanner: it must never panic,
+// and whenever it accepts a document, the events must be balanced and the
+// serialization must rescan to the same events.
+func FuzzScanner(f *testing.F) {
+	seeds := []string{
+		`<a><a><c/></a><b/><c/></a>`,
+		`<?xml version="1.0"?><r a="1">t<!--c--><x/><![CDATA[<]]></r>`,
+		`<a>&lt;&unknown;</a>`,
+		`<a`, `</a>`, `<a></b>`, `<!DOCTYPE r [<!ELEMENT r ANY>]><r/>`,
+		``, `plain`, `<a><b/></a><c/>`, "<\x00>", "<a>\xff</a>",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, doc string) {
+		evs, err := Collect(NewScanner(strings.NewReader(doc)))
+		if err != nil {
+			return // malformed input is fine; panics are not
+		}
+		// Accepted documents must be balanced.
+		depth := 0
+		for _, ev := range evs {
+			switch ev.Kind {
+			case StartElement:
+				depth++
+			case EndElement:
+				depth--
+				if depth < 0 {
+					t.Fatalf("unbalanced events for %q: %v", doc, evs)
+				}
+			}
+		}
+		if depth != 0 {
+			t.Fatalf("unclosed events for %q: %v", doc, evs)
+		}
+		// Round trip. Adjacent text events (e.g. character data next to a
+		// CDATA section) legitimately coalesce, so compare merged forms.
+		evs2, err := Collect(NewScanner(strings.NewReader(Serialize(evs))))
+		if err != nil {
+			t.Fatalf("serialization of %q does not rescan: %v", doc, err)
+		}
+		a, b := mergeText(evs), mergeText(evs2)
+		if len(a) != len(b) {
+			t.Fatalf("round trip changed event count for %q: %d vs %d", doc, len(a), len(b))
+		}
+		for i := range a {
+			if a[i].Kind != b[i].Kind || a[i].Name != b[i].Name || a[i].Data != b[i].Data {
+				t.Fatalf("round trip changed event %d for %q: %v vs %v", i, doc, a[i], b[i])
+			}
+		}
+	})
+}
+
+// mergeText coalesces runs of adjacent text events.
+func mergeText(evs []Event) []Event {
+	var out []Event
+	for _, ev := range evs {
+		if ev.Kind == Text && len(out) > 0 && out[len(out)-1].Kind == Text {
+			out[len(out)-1].Data += ev.Data
+			continue
+		}
+		out = append(out, ev)
+	}
+	return out
+}

@@ -1,0 +1,599 @@
+package xmlstream
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Scanner tokenizes an XML byte stream into Events without ever buffering
+// the document: it reads forward only and keeps memory bounded in the depth
+// of the document (for the well-formedness stack), matching the streaming
+// requirements of §II.1.
+//
+// The scanner is deliberately lenient about XML features the paper excludes:
+// attributes are skipped, processing instructions, comments, CDATA sections
+// and DOCTYPE declarations are consumed silently. It is strict about tag
+// nesting: mismatched or unclosed tags yield errors.
+//
+// The implementation manages its own read buffer and interns element names,
+// so steady-state scanning performs no allocation per element.
+type Scanner struct {
+	r     io.Reader
+	buf   []byte
+	pos   int
+	end   int
+	eof   bool
+	stack []string // open element names, for well-formedness
+	state scanState
+	// pending holds an extra event synthesized from a single syntactic
+	// construct (a self-closing tag produces Start then End).
+	pending  []Event
+	names    map[string]string // interned element names
+	nameBuf  []byte
+	emitText bool
+	err      error
+
+	depth    int
+	maxDepth int
+	events   int64
+}
+
+type scanState uint8
+
+const (
+	scanBeforeRoot scanState = iota
+	scanInDocument
+	scanAfterRoot
+	scanDone
+)
+
+// ScannerOption configures a Scanner.
+type ScannerOption func(*Scanner)
+
+// WithText controls whether the scanner emits Text events for character
+// data. The default is true; structural-only consumers (counting or
+// locating matches) disable it to skip text handling entirely.
+func WithText(emit bool) ScannerOption {
+	return func(s *Scanner) { s.emitText = emit }
+}
+
+// NewScanner returns a Scanner producing the event stream of the document
+// read from r. The stream begins with a StartDocument event and, if the
+// document is well formed, ends with EndDocument followed by io.EOF.
+func NewScanner(r io.Reader, opts ...ScannerOption) *Scanner {
+	s := &Scanner{
+		r:        r,
+		buf:      make([]byte, 1<<16),
+		emitText: true,
+		names:    make(map[string]string, 32),
+	}
+	for _, opt := range opts {
+		opt(s)
+	}
+	s.pending = append(s.pending, Event{Kind: StartDocument})
+	return s
+}
+
+// Depth returns the number of currently open elements.
+func (s *Scanner) Depth() int { return s.depth }
+
+// MaxDepth returns the maximum element nesting depth seen so far.
+func (s *Scanner) MaxDepth() int { return s.maxDepth }
+
+// Events returns the number of events emitted so far.
+func (s *Scanner) Events() int64 { return s.events }
+
+// fill slides unread bytes to the front of the buffer and reads more input.
+// It reports whether any new bytes are available.
+func (s *Scanner) fill() bool {
+	if s.eof {
+		return s.pos < s.end
+	}
+	if s.pos > 0 {
+		copy(s.buf, s.buf[s.pos:s.end])
+		s.end -= s.pos
+		s.pos = 0
+	}
+	for s.end < len(s.buf) {
+		n, err := s.r.Read(s.buf[s.end:])
+		s.end += n
+		if err == io.EOF {
+			s.eof = true
+			break
+		}
+		if err != nil {
+			s.err = err
+			return false
+		}
+		if n > 0 {
+			break
+		}
+	}
+	return s.pos < s.end
+}
+
+// readByte returns the next input byte; ok is false at end of input or on a
+// read error (recorded in s.err).
+func (s *Scanner) readByte() (byte, bool) {
+	if s.pos < s.end {
+		c := s.buf[s.pos]
+		s.pos++
+		return c, true
+	}
+	if !s.fill() {
+		return 0, false
+	}
+	c := s.buf[s.pos]
+	s.pos++
+	return c, true
+}
+
+// peekAt returns the byte i positions ahead without consuming, refilling as
+// needed; ok is false when input ends first.
+func (s *Scanner) peekAt(i int) (byte, bool) {
+	for s.pos+i >= s.end {
+		if s.eof || !s.fill() {
+			if s.pos+i < s.end {
+				break
+			}
+			return 0, false
+		}
+	}
+	return s.buf[s.pos+i], true
+}
+
+// intern returns a shared string for the element name in b.
+func (s *Scanner) intern(b []byte) string {
+	if name, ok := s.names[string(b)]; ok { // no allocation: map lookup on []byte key
+		return name
+	}
+	name := string(b)
+	s.names[name] = name
+	return name
+}
+
+// Next returns the next event. It returns io.EOF after EndDocument has been
+// delivered. Any other error indicates malformed input; the stream cannot
+// be resumed after an error.
+func (s *Scanner) Next() (Event, error) {
+	if s.err != nil {
+		return Event{}, s.err
+	}
+	for {
+		if len(s.pending) > 0 {
+			ev := s.pending[0]
+			s.pending = s.pending[1:]
+			return s.account(ev), nil
+		}
+		ev, ok, err := s.scan()
+		if err != nil {
+			s.err = err
+			return Event{}, err
+		}
+		if ok {
+			return s.account(ev), nil
+		}
+	}
+}
+
+// account updates stream statistics as ev is delivered.
+func (s *Scanner) account(ev Event) Event {
+	s.events++
+	switch ev.Kind {
+	case StartElement:
+		s.depth++
+		if s.depth > s.maxDepth {
+			s.maxDepth = s.depth
+		}
+	case EndElement:
+		s.depth--
+	}
+	return ev
+}
+
+// scan consumes input until it produces one event (ok=true), decides the
+// current input yields no event yet (ok=false, e.g. skipped comment), or
+// fails.
+func (s *Scanner) scan() (Event, bool, error) {
+	if s.state == scanDone {
+		return Event{}, false, io.EOF
+	}
+	c, ok := s.readByte()
+	if !ok {
+		if s.err != nil {
+			return Event{}, false, s.err
+		}
+		return s.finish()
+	}
+	if c != '<' {
+		if s.emitText && s.state == scanInDocument {
+			text, err := s.readText(c)
+			if err != nil {
+				return Event{}, false, err
+			}
+			if text != "" {
+				return Event{Kind: Text, Data: text}, true, nil
+			}
+			return Event{}, false, nil
+		}
+		// Whitespace (or ignorable prolog/epilog text) outside text mode.
+		if err := s.skipText(); err != nil {
+			return Event{}, false, err
+		}
+		return Event{}, false, nil
+	}
+	c, ok = s.readByte()
+	if !ok {
+		return Event{}, false, fmt.Errorf("xmlstream: unexpected end of input inside markup")
+	}
+	switch c {
+	case '?':
+		return Event{}, false, s.skipPI()
+	case '!':
+		return Event{}, false, s.skipDeclaration()
+	case '/':
+		return s.scanEndTag()
+	default:
+		return s.scanStartTag(c)
+	}
+}
+
+// finish handles end of input: valid only when all elements are closed.
+func (s *Scanner) finish() (Event, bool, error) {
+	switch s.state {
+	case scanBeforeRoot:
+		return Event{}, false, fmt.Errorf("xmlstream: empty document: no root element")
+	case scanInDocument:
+		return Event{}, false, fmt.Errorf("xmlstream: unexpected end of input: %d unclosed element(s), innermost <%s>",
+			len(s.stack), s.stack[len(s.stack)-1])
+	case scanAfterRoot:
+		s.state = scanDone
+		return Event{Kind: EndDocument}, true, nil
+	default:
+		return Event{}, false, io.EOF
+	}
+}
+
+// readText accumulates character data starting with first until the next
+// '<' (left unconsumed). Entity references are resolved for the five
+// predefined entities; unknown entities pass through verbatim.
+func (s *Scanner) readText(first byte) (string, error) {
+	var b strings.Builder
+	b.WriteByte(first)
+	for {
+		if s.pos >= s.end && !s.fill() {
+			break
+		}
+		// Copy the buffered run up to '<' in one step.
+		chunk := s.buf[s.pos:s.end]
+		if i := indexByte(chunk, '<'); i >= 0 {
+			b.Write(chunk[:i])
+			s.pos += i
+			break
+		}
+		b.Write(chunk)
+		s.pos = s.end
+	}
+	return unescapeText(b.String()), nil
+}
+
+// skipText consumes character data without building a string.
+func (s *Scanner) skipText() error {
+	for {
+		if s.pos >= s.end && !s.fill() {
+			return s.err
+		}
+		chunk := s.buf[s.pos:s.end]
+		if i := indexByte(chunk, '<'); i >= 0 {
+			s.pos += i
+			return nil
+		}
+		s.pos = s.end
+	}
+}
+
+func indexByte(b []byte, c byte) int {
+	for i, x := range b {
+		if x == c {
+			return i
+		}
+	}
+	return -1
+}
+
+// skipPI consumes a processing instruction after "<?" up to "?>".
+func (s *Scanner) skipPI() error {
+	prev := byte(0)
+	for {
+		c, ok := s.readByte()
+		if !ok {
+			return fmt.Errorf("xmlstream: unterminated processing instruction")
+		}
+		if prev == '?' && c == '>' {
+			return nil
+		}
+		prev = c
+	}
+}
+
+// skipDeclaration consumes "<!...>" constructs: comments, CDATA sections
+// and DOCTYPE declarations (including bracketed internal subsets). CDATA
+// content is queued as text when text emission is enabled and we are inside
+// the document.
+func (s *Scanner) skipDeclaration() error {
+	if c0, ok := s.peekAt(0); ok && c0 == '-' {
+		if c1, ok := s.peekAt(1); ok && c1 == '-' {
+			s.pos += 2
+			return s.skipComment()
+		}
+	}
+	if s.hasPrefix("[CDATA[") {
+		s.pos += 7
+		return s.scanCDATA()
+	}
+	// DOCTYPE or other declaration: consume to matching '>' tracking
+	// bracket nesting for internal subsets.
+	depth := 0
+	for {
+		c, ok := s.readByte()
+		if !ok {
+			return fmt.Errorf("xmlstream: unterminated declaration")
+		}
+		switch c {
+		case '[':
+			depth++
+		case ']':
+			depth--
+		case '>':
+			if depth <= 0 {
+				return nil
+			}
+		}
+	}
+}
+
+// hasPrefix reports whether the unconsumed input starts with p.
+func (s *Scanner) hasPrefix(p string) bool {
+	for i := 0; i < len(p); i++ {
+		c, ok := s.peekAt(i)
+		if !ok || c != p[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// skipComment consumes a comment after "<!--" up to "-->".
+func (s *Scanner) skipComment() error {
+	run := 0
+	for {
+		c, ok := s.readByte()
+		if !ok {
+			return fmt.Errorf("xmlstream: unterminated comment")
+		}
+		switch {
+		case c == '-':
+			run++
+		case c == '>' && run >= 2:
+			return nil
+		default:
+			run = 0
+		}
+	}
+}
+
+// scanCDATA consumes a CDATA section after "<![CDATA[" up to "]]>". The
+// content is queued as a Text event when appropriate.
+func (s *Scanner) scanCDATA() error {
+	var b strings.Builder
+	run := 0
+	for {
+		c, ok := s.readByte()
+		if !ok {
+			return fmt.Errorf("xmlstream: unterminated CDATA section")
+		}
+		switch {
+		case c == ']':
+			run++
+			if run > 2 {
+				b.WriteByte(']')
+				run = 2
+			}
+		case c == '>' && run >= 2:
+			if s.emitText && s.state == scanInDocument && b.Len() > 0 {
+				s.pending = append(s.pending, Event{Kind: Text, Data: b.String()})
+			}
+			return nil
+		default:
+			for ; run > 0; run-- {
+				b.WriteByte(']')
+			}
+			b.WriteByte(c)
+		}
+	}
+}
+
+// scanStartTag parses a start tag whose name begins with first. Attributes
+// are skipped. A self-closing tag queues the corresponding end event.
+func (s *Scanner) scanStartTag(first byte) (Event, bool, error) {
+	if s.state == scanAfterRoot {
+		return Event{}, false, fmt.Errorf("xmlstream: content after document root")
+	}
+	name, selfClose, err := s.readTagRest(first)
+	if err != nil {
+		return Event{}, false, err
+	}
+	s.state = scanInDocument
+	if selfClose {
+		s.pending = append(s.pending, Event{Kind: EndElement, Name: name})
+		if len(s.stack) == 0 {
+			s.state = scanAfterRoot
+		}
+	} else {
+		s.stack = append(s.stack, name)
+	}
+	return Event{Kind: StartElement, Name: name}, true, nil
+}
+
+// readTagRest reads the remainder of a start tag: name, skipped attributes,
+// and the closing '>' or '/>'.
+func (s *Scanner) readTagRest(first byte) (name string, selfClose bool, err error) {
+	if !isNameStart(first) {
+		return "", false, fmt.Errorf("xmlstream: invalid character %q at start of tag name", first)
+	}
+	s.nameBuf = append(s.nameBuf[:0], first)
+	for {
+		c, ok := s.readByte()
+		if !ok {
+			return "", false, fmt.Errorf("xmlstream: unterminated start tag <%s", s.nameBuf)
+		}
+		switch {
+		case isNameByte(c):
+			s.nameBuf = append(s.nameBuf, c)
+		case c == '>':
+			return s.intern(s.nameBuf), false, nil
+		case c == '/':
+			if err := s.expect('>'); err != nil {
+				return "", false, err
+			}
+			return s.intern(s.nameBuf), true, nil
+		case isSpace(c):
+			selfClose, err := s.skipAttributes()
+			return s.intern(s.nameBuf), selfClose, err
+		default:
+			return "", false, fmt.Errorf("xmlstream: invalid character %q in tag name %q", c, s.nameBuf)
+		}
+	}
+}
+
+// skipAttributes consumes attribute text until '>' or '/>', honouring
+// quoted values so that '>' inside quotes does not terminate the tag.
+func (s *Scanner) skipAttributes() (selfClose bool, err error) {
+	var quote byte
+	prev := byte(0)
+	for {
+		c, ok := s.readByte()
+		if !ok {
+			return false, fmt.Errorf("xmlstream: unterminated start tag")
+		}
+		if quote != 0 {
+			if c == quote {
+				quote = 0
+			}
+			prev = c
+			continue
+		}
+		switch c {
+		case '"', '\'':
+			quote = c
+		case '>':
+			return prev == '/', nil
+		}
+		prev = c
+	}
+}
+
+// scanEndTag parses an end tag after "</" and checks it against the open
+// element stack.
+func (s *Scanner) scanEndTag() (Event, bool, error) {
+	s.nameBuf = s.nameBuf[:0]
+	for {
+		c, ok := s.readByte()
+		if !ok {
+			return Event{}, false, fmt.Errorf("xmlstream: unterminated end tag </%s", s.nameBuf)
+		}
+		if c == '>' {
+			break
+		}
+		if isSpace(c) {
+			if err := s.expect('>'); err != nil {
+				return Event{}, false, err
+			}
+			break
+		}
+		if !isNameByte(c) {
+			return Event{}, false, fmt.Errorf("xmlstream: invalid character %q in end tag", c)
+		}
+		s.nameBuf = append(s.nameBuf, c)
+	}
+	if len(s.stack) == 0 {
+		return Event{}, false, fmt.Errorf("xmlstream: unexpected end tag </%s> with no open element", s.nameBuf)
+	}
+	open := s.stack[len(s.stack)-1]
+	if open != string(s.nameBuf) {
+		return Event{}, false, fmt.Errorf("xmlstream: mismatched end tag: </%s> closes <%s>", s.nameBuf, open)
+	}
+	s.stack = s.stack[:len(s.stack)-1]
+	if len(s.stack) == 0 {
+		s.state = scanAfterRoot
+	}
+	return Event{Kind: EndElement, Name: open}, true, nil
+}
+
+// expect consumes exactly the byte want, skipping leading whitespace.
+func (s *Scanner) expect(want byte) error {
+	for {
+		c, ok := s.readByte()
+		if !ok {
+			return fmt.Errorf("xmlstream: unexpected end of input, want %q", want)
+		}
+		if isSpace(c) {
+			continue
+		}
+		if c != want {
+			return fmt.Errorf("xmlstream: unexpected character %q, want %q", c, want)
+		}
+		return nil
+	}
+}
+
+func isSpace(c byte) bool { return c == ' ' || c == '\t' || c == '\n' || c == '\r' }
+
+func isNameStart(c byte) bool {
+	return c == '_' || c == ':' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c >= 0x80
+}
+
+func isNameByte(c byte) bool {
+	return isNameStart(c) || c == '-' || c == '.' || (c >= '0' && c <= '9')
+}
+
+// unescapeText resolves the predefined XML entities in s. Unknown entity
+// references are left untouched.
+func unescapeText(s string) string {
+	if !strings.Contains(s, "&") {
+		return s
+	}
+	var b strings.Builder
+	b.Grow(len(s))
+	for i := 0; i < len(s); {
+		c := s[i]
+		if c != '&' {
+			b.WriteByte(c)
+			i++
+			continue
+		}
+		end := strings.IndexByte(s[i:], ';')
+		if end < 0 {
+			b.WriteString(s[i:])
+			break
+		}
+		entity := s[i+1 : i+end]
+		switch entity {
+		case "lt":
+			b.WriteByte('<')
+		case "gt":
+			b.WriteByte('>')
+		case "amp":
+			b.WriteByte('&')
+		case "apos":
+			b.WriteByte('\'')
+		case "quot":
+			b.WriteByte('"')
+		default:
+			b.WriteString(s[i : i+end+1])
+		}
+		i += end + 1
+	}
+	return b.String()
+}

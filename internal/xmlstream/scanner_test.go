@@ -1,0 +1,240 @@
+package xmlstream
+
+import (
+	"io"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func scanAll(t *testing.T, doc string) []Event {
+	t.Helper()
+	evs, err := Collect(NewScanner(strings.NewReader(doc)))
+	if err != nil {
+		t.Fatalf("scan %q: %v", doc, err)
+	}
+	return evs
+}
+
+func render(evs []Event) string {
+	var b strings.Builder
+	for i, ev := range evs {
+		if i > 0 {
+			b.WriteByte(' ')
+		}
+		b.WriteString(ev.String())
+	}
+	return b.String()
+}
+
+// TestPaperFigure1 checks the stream of Fig. 1: the three-representation
+// example.
+func TestPaperFigure1(t *testing.T) {
+	got := render(scanAll(t, `<?xml version="1.0"?><a><a><c/></a><b/><c/></a>`))
+	want := "<$> <a> <a> <c> </c> </a> <b> </b> <c> </c> </a> </$>"
+	if got != want {
+		t.Fatalf("got  %s\nwant %s", got, want)
+	}
+}
+
+func TestScannerBasics(t *testing.T) {
+	tests := []struct{ doc, want string }{
+		{`<r/>`, "<$> <r> </r> </$>"},
+		{`<r></r>`, "<$> <r> </r> </$>"},
+		{`<r a="1" b='2'/>`, "<$> <r> </r> </$>"},
+		{`<r a=">">x</r>`, "<$> <r> x </r> </$>"},
+		{`<r><!-- c --><x/></r>`, "<$> <r> <x> </x> </r> </$>"},
+		{`<!DOCTYPE r [<!ELEMENT r ANY>]><r/>`, "<$> <r> </r> </$>"},
+		{`<r>a<x/>b</r>`, "<$> <r> a <x> </x> b </r> </$>"},
+		{`<r>&lt;&amp;&gt;</r>`, "<$> <r> <&> </r> </$>"},
+		{`<r><![CDATA[<raw>]]></r>`, "<$> <r> <raw> </r> </$>"},
+		{"\n\t<r/>\n", "<$> <r> </r> </$>"},
+		{`<r.1-x:y/>`, "<$> <r.1-x:y> </r.1-x:y> </$>"},
+		{`<r>&unknown;</r>`, "<$> <r> &unknown; </r> </$>"},
+	}
+	for _, tc := range tests {
+		if got := render(scanAll(t, tc.doc)); got != tc.want {
+			t.Errorf("%q: got %s, want %s", tc.doc, got, tc.want)
+		}
+	}
+}
+
+func TestScannerErrors(t *testing.T) {
+	bad := []string{
+		"", "   ", "<a>", "</a>", "<a></b>", "<a><b></a></b>",
+		"<a></a><b></b>", "<a", "<a><b></a>", "< a/>", "text only",
+		"<a/><a/>", "<a></a>trailing<b/>",
+	}
+	for _, doc := range bad {
+		if _, err := Collect(NewScanner(strings.NewReader(doc))); err == nil {
+			t.Errorf("%q: expected error", doc)
+		}
+	}
+}
+
+func TestScannerDepthTracking(t *testing.T) {
+	s := NewScanner(strings.NewReader(`<a><b><c/></b><b/></a>`))
+	if _, err := Collect(s); err != nil {
+		t.Fatal(err)
+	}
+	if s.MaxDepth() != 3 {
+		t.Errorf("MaxDepth: got %d, want 3", s.MaxDepth())
+	}
+	if s.Depth() != 0 {
+		t.Errorf("Depth at end: got %d, want 0", s.Depth())
+	}
+}
+
+func TestWithTextDisabled(t *testing.T) {
+	evs, err := Collect(NewScanner(strings.NewReader(`<a>hello<b/>world</a>`), WithText(false)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, ev := range evs {
+		if ev.Kind == Text {
+			t.Fatalf("text event leaked: %v", ev)
+		}
+	}
+}
+
+// TestScannerAgainstDecoder cross-checks the hand-written scanner against
+// encoding/xml on documents exercising every construct.
+func TestScannerAgainstDecoder(t *testing.T) {
+	docs := []string{
+		`<a><a><c/></a><b/><c/></a>`,
+		`<r>text<x>nested</x>tail</r>`,
+		`<r a="v"><!-- c --><x/></r>`,
+		`<r>&amp;&lt;</r>`,
+	}
+	for _, doc := range docs {
+		a, err := Collect(NewScanner(strings.NewReader(doc)))
+		if err != nil {
+			t.Fatalf("scanner %q: %v", doc, err)
+		}
+		b, err := Collect(NewDecoder(strings.NewReader(doc)))
+		if err != nil {
+			t.Fatalf("decoder %q: %v", doc, err)
+		}
+		if render(a) != render(b) {
+			t.Errorf("%q:\nscanner: %s\ndecoder: %s", doc, render(a), render(b))
+		}
+	}
+}
+
+// TestRoundTrip checks Serialize(scan(doc)) == doc for canonical documents.
+func TestRoundTrip(t *testing.T) {
+	docs := []string{
+		`<a><a><c></c></a><b></b><c></c></a>`,
+		`<r>text<x>nested</x>tail</r>`,
+		`<r>&lt;escaped&gt;</r>`,
+	}
+	for _, doc := range docs {
+		if got := Serialize(scanAll(t, doc)); got != doc {
+			t.Errorf("round trip: got %q, want %q", got, doc)
+		}
+	}
+}
+
+// TestRoundTripProperty: serializing and rescanning an arbitrary scanned
+// stream is the identity on events.
+func TestRoundTripProperty(t *testing.T) {
+	gen := func(seed uint8) bool {
+		doc := buildRandomDoc(int64(seed))
+		evs1, err := Collect(NewScanner(strings.NewReader(doc)))
+		if err != nil {
+			return false
+		}
+		evs2, err := Collect(NewScanner(strings.NewReader(Serialize(evs1))))
+		if err != nil {
+			return false
+		}
+		return render(evs1) == render(evs2)
+	}
+	if err := quick.Check(gen, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// buildRandomDoc builds a small random well-formed document from a seed.
+func buildRandomDoc(seed int64) string {
+	labels := []string{"a", "b", "c"}
+	state := uint64(seed)*2654435761 + 1
+	next := func(n int) int {
+		state = state*6364136223846793005 + 1442695040888963407
+		return int((state >> 33) % uint64(n))
+	}
+	var b strings.Builder
+	var gen func(depth int)
+	gen = func(depth int) {
+		l := labels[next(3)]
+		b.WriteString("<" + l + ">")
+		if depth < 4 {
+			for i := next(3); i > 0; i-- {
+				if next(4) == 0 {
+					b.WriteString("txt")
+				}
+				gen(depth + 1)
+			}
+		}
+		b.WriteString("</" + l + ">")
+	}
+	gen(0)
+	return b.String()
+}
+
+func TestMeasure(t *testing.T) {
+	info, err := Measure(NewScanner(strings.NewReader(`<a><b>x</b><c><d/></c></a>`)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Elements != 4 || info.MaxDepth != 3 {
+		t.Fatalf("got %+v", info)
+	}
+}
+
+func TestCountingSource(t *testing.T) {
+	cs := &CountingSource{Src: NewScanner(strings.NewReader(`<a><b/></a>`))}
+	if _, err := Collect(cs); err != nil {
+		t.Fatal(err)
+	}
+	if cs.Info.Elements != 2 || cs.Info.MaxDepth != 2 {
+		t.Fatalf("got %+v", cs.Info)
+	}
+}
+
+func TestSliceSource(t *testing.T) {
+	src := &SliceSource{Events: []Event{Start("a"), End("a")}}
+	if ev, err := src.Next(); err != nil || ev.Name != "a" {
+		t.Fatalf("first: %v %v", ev, err)
+	}
+	if ev, err := src.Next(); err != nil || ev.Kind != EndElement {
+		t.Fatalf("second: %v %v", ev, err)
+	}
+	if _, err := src.Next(); err != io.EOF {
+		t.Fatalf("want EOF, got %v", err)
+	}
+}
+
+func TestEscapeText(t *testing.T) {
+	if got := EscapeText("a<b>&c"); got != "a&lt;b&gt;&amp;c" {
+		t.Fatalf("got %q", got)
+	}
+	if got := EscapeText("plain"); got != "plain" {
+		t.Fatalf("got %q", got)
+	}
+}
+
+func TestEventString(t *testing.T) {
+	cases := map[string]Event{
+		"<$>":  {Kind: StartDocument},
+		"</$>": {Kind: EndDocument},
+		"<x>":  Start("x"),
+		"</x>": End("x"),
+		"hi":   Chars("hi"),
+	}
+	for want, ev := range cases {
+		if got := ev.String(); got != want {
+			t.Errorf("got %q, want %q", got, want)
+		}
+	}
+}

@@ -1,0 +1,65 @@
+package xmlstream
+
+import "io"
+
+// Info summarizes a stream: the statistics the paper reports for each of its
+// evaluation documents (number of elements, maximum depth) plus event count.
+type Info struct {
+	Elements int64 // number of elements (start messages)
+	MaxDepth int   // maximum element nesting depth
+	Events   int64 // total events including text
+}
+
+// Measure drains src and returns its statistics.
+func Measure(src Source) (Info, error) {
+	var info Info
+	depth := 0
+	for {
+		ev, err := src.Next()
+		if err == io.EOF {
+			return info, nil
+		}
+		if err != nil {
+			return info, err
+		}
+		info.Events++
+		switch ev.Kind {
+		case StartElement:
+			info.Elements++
+			depth++
+			if depth > info.MaxDepth {
+				info.MaxDepth = depth
+			}
+		case EndElement:
+			depth--
+		}
+	}
+}
+
+// CountingSource wraps a Source and tracks Info as events flow through,
+// without a separate measurement pass.
+type CountingSource struct {
+	Src   Source
+	Info  Info
+	depth int
+}
+
+// Next implements Source.
+func (c *CountingSource) Next() (Event, error) {
+	ev, err := c.Src.Next()
+	if err != nil {
+		return ev, err
+	}
+	c.Info.Events++
+	switch ev.Kind {
+	case StartElement:
+		c.Info.Elements++
+		c.depth++
+		if c.depth > c.Info.MaxDepth {
+			c.Info.MaxDepth = c.depth
+		}
+	case EndElement:
+		c.depth--
+	}
+	return ev, nil
+}

@@ -1,0 +1,216 @@
+// Package spex is a streamed and progressive evaluator of regular path
+// expressions with XPath-like qualifiers against XML streams, implementing
+// the SPEX evaluation model of Olteanu, Kiesling and Bry, "An Evaluation of
+// Regular Path Expressions with Qualifiers against XML Streams" (Technical
+// Report PMS-FB-2002-12, University of Munich, 2002).
+//
+// A query such as
+//
+//	_*.country[province].name
+//
+// is compiled — in time linear in the query size — into a network of
+// pushdown transducers. The XML input is processed in a single pass, one
+// event at a time, without ever materializing the document: memory stays
+// bounded by the document depth (for the transducer stacks) plus whatever
+// answers cannot yet be emitted because their membership in the result is
+// still undetermined.
+//
+// # Quick start
+//
+//	q := spex.MustCompile("_*.country[province].name")
+//	stats, err := q.Results(xmlFile, func(r spex.Result) {
+//	    fmt.Println(r.XML)
+//	})
+//
+// The query language is the paper's rpeq grammar: labels, the wildcard "_",
+// concatenation ".", union "|", closures "+" and "*" on labels, optional
+// "?" and structural qualifiers "[...]" — extended with text-test
+// qualifiers (a[b = "v"], also != and *= for contains). CompileXPath
+// accepts the equivalent XPath fragment (// and / steps with predicates),
+// plus backward axes (parent::, ancestor::, ..), rewritten into the
+// forward fragment, and the following/preceding axes.
+package spex
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/spexnet"
+	"repro/internal/xmlstream"
+)
+
+// Query is a compiled query. It is immutable and safe for concurrent use;
+// each evaluation instantiates its own transducer network.
+type Query struct {
+	plan *core.Plan
+}
+
+// Compile parses an rpeq expression, e.g. "_*.a[b].c".
+func Compile(expr string) (*Query, error) {
+	p, err := core.Prepare(expr)
+	if err != nil {
+		return nil, err
+	}
+	return &Query{plan: p}, nil
+}
+
+// MustCompile is Compile panicking on error, for initializing query tables.
+func MustCompile(expr string) *Query {
+	q, err := Compile(expr)
+	if err != nil {
+		panic(err)
+	}
+	return q
+}
+
+// CompileXPath parses a query in the XPath fragment the paper covers —
+// child (/) and descendant (//) steps, the * name test, structural
+// predicates [...], and union (|) — plus the backward axes parent::,
+// ancestor::, ancestor-or-self:: and .. (rewritten into the forward
+// fragment), self:: and descendant[-or-self]::, the following:: and
+// preceding:: axes, and text comparisons in predicates ([lang = "en"]).
+// Example: "//country[province]/name".
+func CompileXPath(path string) (*Query, error) {
+	p, err := core.PrepareXPath(path)
+	if err != nil {
+		return nil, err
+	}
+	return &Query{plan: p}, nil
+}
+
+// String returns the source expression.
+func (q *Query) String() string { return q.plan.String() }
+
+// Match identifies one answer node.
+type Match struct {
+	// Index is the node's document-order number: the document root is 0
+	// and elements count from 1 in order of their start tags.
+	Index int64
+	// Name is the element label ("$" for the document root).
+	Name string
+}
+
+// Result is one answer with its serialized subtree.
+type Result struct {
+	Match
+	// XML is the answer's subtree serialized as XML.
+	XML string
+}
+
+// Stats reports what an evaluation consumed: stream size and depth, network
+// degree, maximum transducer stack size and condition-formula size, and
+// output-side buffering. See DESIGN.md for how these correspond to the
+// paper's complexity results.
+type Stats = spexnet.Stats
+
+// Count streams the document from r and returns the number of answers.
+func (q *Query) Count(r io.Reader) (int64, error) {
+	n, _, err := q.plan.Count(r)
+	return n, err
+}
+
+// Matches streams the document from r, calling fn for every answer in
+// document order. Answers are delivered progressively: as soon as an
+// answer's membership is determined and all earlier answers have been
+// delivered.
+func (q *Query) Matches(r io.Reader, fn func(Match)) (Stats, error) {
+	return q.plan.EvaluateReader(r, core.EvalOptions{
+		Mode: spexnet.ModeNodes,
+		Sink: func(res spexnet.Result) { fn(Match{Index: res.Index, Name: res.Name}) },
+	})
+}
+
+// Results streams the document from r, calling fn for every answer with its
+// serialized subtree, in document order.
+func (q *Query) Results(r io.Reader, fn func(Result)) (Stats, error) {
+	return q.plan.EvaluateReader(r, core.EvalOptions{
+		Mode: spexnet.ModeSerialize,
+		Sink: func(res spexnet.Result) {
+			fn(Result{
+				Match: Match{Index: res.Index, Name: res.Name},
+				XML:   xmlstream.Serialize(res.Events),
+			})
+		},
+	})
+}
+
+// WriteResults streams the document from r and writes each answer's XML
+// fragment to w, one per line, returning the number of answers.
+func (q *Query) WriteResults(r io.Reader, w io.Writer) (int64, error) {
+	var n int64
+	var werr error
+	_, err := q.Results(r, func(res Result) {
+		n++
+		if werr == nil {
+			_, werr = io.WriteString(w, res.XML+"\n")
+		}
+	})
+	if err != nil {
+		return n, err
+	}
+	return n, werr
+}
+
+// EvaluateString runs the query over an XML string and returns the answers;
+// a convenience for small documents and tests.
+func (q *Query) EvaluateString(doc string) ([]Result, error) {
+	var out []Result
+	_, err := q.Results(strings.NewReader(doc), func(r Result) { out = append(out, r) })
+	return out, err
+}
+
+// Stream returns a push-mode evaluation for unbounded or
+// application-generated streams: feed events as they arrive; fn observes
+// answers progressively. Call Close to finish a bounded stream; for
+// genuinely unbounded streams, answers keep flowing as long as events do.
+func (q *Query) Stream(fn func(Match)) (*Stream, error) {
+	run, err := q.plan.NewRun(core.EvalOptions{
+		Mode: spexnet.ModeNodes,
+		Sink: func(res spexnet.Result) { fn(Match{Index: res.Index, Name: res.Name}) },
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Stream{run: run}, nil
+}
+
+// Stream is a push-mode evaluation. Its methods must be called from one
+// goroutine.
+type Stream struct {
+	run   *core.Run
+	depth int
+}
+
+// StartElement feeds an element start event.
+func (s *Stream) StartElement(name string) error {
+	s.depth++
+	return s.run.Feed(xmlstream.Start(name))
+}
+
+// EndElement feeds an element end event; the name is tracked by the
+// evaluator, which validates nesting.
+func (s *Stream) EndElement(name string) error {
+	s.depth--
+	if s.depth < 0 {
+		return fmt.Errorf("spex: unbalanced EndElement(%q)", name)
+	}
+	return s.run.Feed(xmlstream.End(name))
+}
+
+// Text feeds character data.
+func (s *Stream) Text(data string) error {
+	return s.run.Feed(xmlstream.Chars(data))
+}
+
+// Matches returns the number of answers delivered so far.
+func (s *Stream) Matches() int64 { return s.run.Matches() }
+
+// Close ends the stream and validates the evaluation.
+func (s *Stream) Close() error {
+	if s.depth != 0 {
+		return fmt.Errorf("spex: Close with %d unclosed element(s)", s.depth)
+	}
+	return s.run.Close()
+}

@@ -1,0 +1,151 @@
+package spex
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+const paperDoc = `<a><a><c/></a><b/><c/></a>`
+
+func TestQuickAPI(t *testing.T) {
+	q := MustCompile("_*.a[b].c")
+	n, err := q.Count(strings.NewReader(paperDoc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 1 {
+		t.Fatalf("Count: got %d, want 1", n)
+	}
+	res, err := q.EvaluateString(paperDoc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 1 || res[0].XML != "<c></c>" || res[0].Name != "c" || res[0].Index != 5 {
+		t.Fatalf("EvaluateString: got %+v", res)
+	}
+}
+
+func TestCompileErrors(t *testing.T) {
+	for _, bad := range []string{"", "a..b", "(a|b", "a[b", "a)", "(a.b)+", "a**"} {
+		if _, err := Compile(bad); err == nil {
+			t.Errorf("Compile(%q) unexpectedly succeeded", bad)
+		}
+	}
+}
+
+func TestCompileXPath(t *testing.T) {
+	q, err := CompileXPath("//a[b]/c")
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, err := q.Count(strings.NewReader(paperDoc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 1 {
+		t.Fatalf("got %d, want 1", n)
+	}
+}
+
+func TestMatchesOrderAndSerialization(t *testing.T) {
+	q := MustCompile("_*.c")
+	var idx []int64
+	if _, err := q.Matches(strings.NewReader(paperDoc), func(m Match) {
+		idx = append(idx, m.Index)
+		if m.Name != "c" {
+			t.Errorf("name: got %q", m.Name)
+		}
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if len(idx) != 2 || idx[0] != 3 || idx[1] != 5 {
+		t.Fatalf("indices: got %v", idx)
+	}
+
+	var buf bytes.Buffer
+	n, err := q.WriteResults(strings.NewReader(paperDoc), &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 2 || buf.String() != "<c></c>\n<c></c>\n" {
+		t.Fatalf("WriteResults: n=%d out=%q", n, buf.String())
+	}
+}
+
+func TestNestedResultSerialization(t *testing.T) {
+	q := MustCompile("_+")
+	doc := `<a><b>hi</b></a>`
+	res, err := q.EvaluateString(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 2 {
+		t.Fatalf("got %d results", len(res))
+	}
+	if res[0].XML != "<a><b>hi</b></a>" || res[1].XML != "<b>hi</b>" {
+		t.Fatalf("got %q and %q", res[0].XML, res[1].XML)
+	}
+}
+
+func TestStreamPushMode(t *testing.T) {
+	var seen []int64
+	q := MustCompile("a.b")
+	s, err := q.Stream(func(m Match) { seen = append(seen, m.Index) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	check := func(err error) {
+		t.Helper()
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	check(s.StartElement("a"))
+	check(s.StartElement("b"))
+	check(s.EndElement("b"))
+	// Progressive: the answer is already out before the stream ends.
+	if len(seen) != 1 || seen[0] != 2 {
+		t.Fatalf("progressive delivery failed: %v", seen)
+	}
+	check(s.StartElement("c"))
+	check(s.EndElement("c"))
+	check(s.EndElement("a"))
+	check(s.Close())
+	if s.Matches() != 1 {
+		t.Fatalf("Matches: got %d", s.Matches())
+	}
+}
+
+func TestMalformedInput(t *testing.T) {
+	q := MustCompile("a")
+	for _, doc := range []string{"", "<a>", "<a></b>", "</a>", "<a></a><b></b>", "<a><b></a></b>"} {
+		if _, err := q.Count(strings.NewReader(doc)); err == nil {
+			t.Errorf("Count(%q) unexpectedly succeeded", doc)
+		}
+	}
+}
+
+func TestQueryReuseIsConcurrent(t *testing.T) {
+	q := MustCompile("_*.c")
+	done := make(chan error, 8)
+	for i := 0; i < 8; i++ {
+		go func() {
+			n, err := q.Count(strings.NewReader(paperDoc))
+			if err == nil && n != 2 {
+				done <- errCount(n)
+				return
+			}
+			done <- err
+		}()
+	}
+	for i := 0; i < 8; i++ {
+		if err := <-done; err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+type errCount int64
+
+func (e errCount) Error() string { return "unexpected count" }

@@ -1,0 +1,131 @@
+package spex
+
+import (
+	"io"
+
+	"repro/internal/core"
+	"repro/internal/spexnet"
+	"repro/internal/xmlstream"
+)
+
+// ResultWriter receives answers progressively, fragment by fragment: the
+// content of an answer is forwarded as the input stream delivers it, the
+// moment the answer's membership in the result is known (and document order
+// permits). Only answers waiting behind an undecided or unfinished earlier
+// answer are buffered.
+type ResultWriter interface {
+	// ResultStart announces an answer (document-order index and label).
+	ResultStart(m Match)
+	// ResultXML delivers the next serialized fragment of the current
+	// answer.
+	ResultXML(fragment string)
+	// ResultEnd closes the current answer.
+	ResultEnd(m Match)
+}
+
+// StreamResults evaluates the query over r, delivering answers through w
+// progressively. Unlike Results, which hands over each answer complete,
+// StreamResults forwards an accepted answer's content as it arrives — an
+// answer spanning gigabytes flows through without being held in memory.
+func (q *Query) StreamResults(r io.Reader, w ResultWriter) (Stats, error) {
+	var name string
+	sink := spexnet.NewStreamSink(
+		func(index int64, n string) {
+			name = n
+			w.ResultStart(Match{Index: index, Name: n})
+		},
+		func(ev xmlstream.Event) {
+			switch ev.Kind {
+			case xmlstream.StartElement:
+				w.ResultXML("<" + ev.Name + ">")
+			case xmlstream.EndElement:
+				w.ResultXML("</" + ev.Name + ">")
+			case xmlstream.Text:
+				w.ResultXML(xmlstream.EscapeText(ev.Data))
+			}
+		},
+		func(index int64) { w.ResultEnd(Match{Index: index, Name: name}) },
+	)
+	return q.plan.EvaluateReader(r, core.EvalOptions{Mode: spexnet.ModeStream, StreamSink: sink})
+}
+
+// MatchesDoc reports whether the document matches the query at all — the
+// selective-dissemination decision of XFilter/YFilter (§VIII). Evaluation
+// stops as soon as the first answer is determined, so a match near the
+// start of a long stream costs almost nothing.
+func (q *Query) MatchesDoc(r io.Reader) (bool, error) {
+	run, err := q.plan.NewRun(core.EvalOptions{Mode: spexnet.ModeCount})
+	if err != nil {
+		return false, err
+	}
+	src := xmlstream.NewScanner(r, xmlstream.WithText(false))
+	for {
+		ev, err := src.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return false, err
+		}
+		if err := run.Feed(ev); err != nil {
+			return false, err
+		}
+		if run.Matches() > 0 {
+			return true, nil
+		}
+	}
+	if err := run.Close(); err != nil {
+		return false, err
+	}
+	return run.Matches() > 0, nil
+}
+
+// QuerySet evaluates several compiled queries against one stream in a
+// single pass through one shared transducer network: structurally identical
+// subexpressions — in particular common query prefixes — are compiled and
+// evaluated once (the paper's §IX multi-query optimization).
+type QuerySet struct {
+	queries []*Query
+	specs   []spexnet.Spec
+	counts  []int64
+}
+
+// NewQuerySet prepares a set; fn receives (query position, match) for every
+// answer of every query, in document order per query.
+func NewQuerySet(queries []*Query, fn func(query int, m Match)) *QuerySet {
+	s := &QuerySet{queries: queries, counts: make([]int64, len(queries))}
+	for i, q := range queries {
+		i := i
+		s.specs = append(s.specs, spexnet.Spec{
+			Expr: q.plan.Expr(),
+			Mode: spexnet.ModeNodes,
+			Sink: func(r spexnet.Result) {
+				s.counts[i]++
+				if fn != nil {
+					fn(i, Match{Index: r.Index, Name: r.Name})
+				}
+			},
+		})
+	}
+	return s
+}
+
+// Evaluate streams the document once through the shared network.
+func (s *QuerySet) Evaluate(r io.Reader) error {
+	for i := range s.counts {
+		s.counts[i] = 0
+	}
+	net, err := spexnet.BuildSet(s.specs, spexnet.Options{})
+	if err != nil {
+		return err
+	}
+	_, err = net.Run(xmlstream.NewScanner(r, xmlstream.WithText(false)))
+	return err
+}
+
+// Counts returns per-query answer counts from the last Evaluate.
+func (s *QuerySet) Counts() []int64 {
+	out := make([]int64, len(s.counts))
+	copy(out, s.counts)
+	return out
+}

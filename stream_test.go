@@ -1,0 +1,132 @@
+package spex
+
+import (
+	"strings"
+	"testing"
+)
+
+type collectWriter struct {
+	results []string
+	current strings.Builder
+	starts  int
+	ends    int
+}
+
+func (c *collectWriter) ResultStart(Match)  { c.starts++; c.current.Reset() }
+func (c *collectWriter) ResultXML(s string) { c.current.WriteString(s) }
+func (c *collectWriter) ResultEnd(Match)    { c.ends++; c.results = append(c.results, c.current.String()) }
+
+func TestStreamResults(t *testing.T) {
+	q := MustCompile("_*.a[b].c")
+	var w collectWriter
+	if _, err := q.StreamResults(strings.NewReader(paperDoc), &w); err != nil {
+		t.Fatal(err)
+	}
+	if w.starts != 1 || w.ends != 1 || len(w.results) != 1 || w.results[0] != "<c></c>" {
+		t.Fatalf("got %+v", w)
+	}
+}
+
+func TestStreamResultsAgreeWithResults(t *testing.T) {
+	doc := `<feed><msg>one<tag/></msg><msg>two</msg></feed>`
+	for _, expr := range []string{"_+", "feed.msg", "_*.tag"} {
+		q := MustCompile(expr)
+		want, err := q.EvaluateString(doc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var w collectWriter
+		if _, err := q.StreamResults(strings.NewReader(doc), &w); err != nil {
+			t.Fatal(err)
+		}
+		if len(w.results) != len(want) {
+			t.Fatalf("%s: %d vs %d results", expr, len(w.results), len(want))
+		}
+		for i := range want {
+			if w.results[i] != want[i].XML {
+				t.Fatalf("%s result %d: %q vs %q", expr, i, w.results[i], want[i].XML)
+			}
+		}
+	}
+}
+
+func TestMatchesDoc(t *testing.T) {
+	q := MustCompile("_*.a[b].c")
+	ok, err := q.MatchesDoc(strings.NewReader(paperDoc))
+	if err != nil || !ok {
+		t.Fatalf("ok=%v err=%v", ok, err)
+	}
+	ok, err = q.MatchesDoc(strings.NewReader(`<x><y/></x>`))
+	if err != nil || ok {
+		t.Fatalf("ok=%v err=%v", ok, err)
+	}
+}
+
+func TestMatchesDocStopsEarly(t *testing.T) {
+	// A reader that fails if drained past the early match.
+	var sb strings.Builder
+	sb.WriteString("<r><hit/>")
+	for i := 0; i < 100000; i++ {
+		sb.WriteString("<x></x>")
+	}
+	// Deliberately unterminated: if evaluation stops early, the
+	// malformed tail is never reached.
+	sb.WriteString("<unclosed>")
+	q := MustCompile("r.hit")
+	ok, err := q.MatchesDoc(strings.NewReader(sb.String()))
+	if err != nil {
+		t.Fatalf("early stop should not reach the malformed tail: %v", err)
+	}
+	if !ok {
+		t.Fatal("expected a match")
+	}
+}
+
+func TestQuerySet(t *testing.T) {
+	queries := []*Query{
+		MustCompile("a.a"),
+		MustCompile("_*.c"),
+		MustCompile("a[b]"),
+	}
+	type hit struct {
+		query int
+		index int64
+	}
+	var hits []hit
+	set := NewQuerySet(queries, func(qi int, m Match) { hits = append(hits, hit{qi, m.Index}) })
+	if err := set.Evaluate(strings.NewReader(paperDoc)); err != nil {
+		t.Fatal(err)
+	}
+	counts := set.Counts()
+	if counts[0] != 1 || counts[1] != 2 || counts[2] != 1 {
+		t.Fatalf("counts: %v", counts)
+	}
+	want := []hit{{0, 2}, {1, 3}, {1, 5}, {2, 1}}
+	if len(hits) != len(want) {
+		t.Fatalf("hits: %v", hits)
+	}
+	// Counts reset between evaluations.
+	if err := set.Evaluate(strings.NewReader(paperDoc)); err != nil {
+		t.Fatal(err)
+	}
+	if c := set.Counts(); c[1] != 2 {
+		t.Fatalf("counts after re-evaluate: %v", c)
+	}
+}
+
+func TestCompileXPathReverseAxes(t *testing.T) {
+	q, err := CompileXPath("//c/parent::a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var names []string
+	if _, err := q.Matches(strings.NewReader(paperDoc), func(m Match) {
+		names = append(names, m.Name)
+	}); err != nil {
+		t.Fatal(err)
+	}
+	// Parents of c nodes: the inner a (c@3's parent) and outer a (c@5's).
+	if len(names) != 2 || names[0] != "a" || names[1] != "a" {
+		t.Fatalf("got %v", names)
+	}
+}
