@@ -27,6 +27,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/dataset"
 	"repro/internal/multi"
+	"repro/internal/obs"
 	"repro/internal/rpeq"
 	"repro/internal/spexnet"
 	"repro/internal/xmlstream"
@@ -224,6 +225,48 @@ func BenchmarkAblationOutputMode(b *testing.B) {
 			}
 		})
 	}
+}
+
+// BenchmarkAblationObservability prices the observability layer on the
+// class-2 MONDIAL workload: "off" is the uninstrumented fast path (no
+// registry, no tracer — emit closures carry no per-message branches and
+// Step takes the bare propagate loop), which must stay within a few
+// percent of the seed; "metrics" adds the per-event instrument updates;
+// "trace" additionally routes every transducer emission through a ring
+// tracer.
+func BenchmarkAblationObservability(b *testing.B) {
+	doc := benchDoc(b, "mondial")
+	plan, err := core.Prepare("_*.country[province].name")
+	if err != nil {
+		b.Fatal(err)
+	}
+	evaluate := func(b *testing.B, opts core.EvalOptions) {
+		b.Helper()
+		opts.Mode = spexnet.ModeCount
+		if _, err := plan.Evaluate(xmlstream.NewScanner(bytes.NewReader(doc)), opts); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.Run("off", func(b *testing.B) {
+		b.SetBytes(int64(len(doc)))
+		for i := 0; i < b.N; i++ {
+			evaluate(b, core.EvalOptions{})
+		}
+	})
+	b.Run("metrics", func(b *testing.B) {
+		b.SetBytes(int64(len(doc)))
+		m := obs.NewMetrics()
+		for i := 0; i < b.N; i++ {
+			evaluate(b, core.EvalOptions{Metrics: m})
+		}
+	})
+	b.Run("trace", func(b *testing.B) {
+		b.SetBytes(int64(len(doc)))
+		tr := obs.NewRingTracer(1024)
+		for i := 0; i < b.N; i++ {
+			evaluate(b, core.EvalOptions{Tracer: tr})
+		}
+	})
 }
 
 // BenchmarkAblationScanner compares the hand-written scanner against

@@ -14,7 +14,13 @@
 //	-cq query  a conjunctive query, e.g. 'q(X3) :- Root(_*.a) X1, X1(b) X2, X1(c) X3'
 //	-count     print only the number of answers
 //	-nodes     print answer positions (index and label) instead of XML
-//	-stats     print evaluation statistics to stderr
+//	-stats     print evaluation statistics to stderr, including a
+//	           per-transducer table (messages by kind, stack, formula size)
+//	-trace     print the transition trace to stderr: which transducer emits
+//	           which activation/determination at which stream event — the
+//	           traces the paper walks through in Figs. 4, 5 and 13
+//	-trace-kind  message kinds to trace (doc,act,det; default act,det)
+//	-trace-node  only trace transducers whose name contains a substring
 //	-window N  evaluate in windows of N top-level records (see §I of the
 //	           paper on the exactness caveat of windows)
 package main
@@ -25,9 +31,12 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"strings"
+	"text/tabwriter"
 
 	"repro/internal/core"
 	"repro/internal/cq"
+	"repro/internal/obs"
 	"repro/internal/spexnet"
 	"repro/internal/window"
 	"repro/internal/xmlstream"
@@ -44,13 +53,16 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) error {
 	fs := flag.NewFlagSet("spex", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	var (
-		query    = fs.String("q", "", "rpeq query, e.g. '_*.a[b].c'")
-		xpath    = fs.Bool("xpath", false, "interpret -q as an XPath-fragment query")
-		conjunct = fs.String("cq", "", "conjunctive query, e.g. 'q(X3) :- Root(_*.a) X1, X1(b) X2, X1(c) X3'")
-		count    = fs.Bool("count", false, "print only the number of answers")
-		nodes    = fs.Bool("nodes", false, "print answer positions instead of XML")
-		stats    = fs.Bool("stats", false, "print evaluation statistics to stderr")
-		windowN  = fs.Int("window", 0, "evaluate in windows of N top-level records (0 = exact whole-stream evaluation)")
+		query     = fs.String("q", "", "rpeq query, e.g. '_*.a[b].c'")
+		xpath     = fs.Bool("xpath", false, "interpret -q as an XPath-fragment query")
+		conjunct  = fs.String("cq", "", "conjunctive query, e.g. 'q(X3) :- Root(_*.a) X1, X1(b) X2, X1(c) X3'")
+		count     = fs.Bool("count", false, "print only the number of answers")
+		nodes     = fs.Bool("nodes", false, "print answer positions instead of XML")
+		stats     = fs.Bool("stats", false, "print evaluation statistics to stderr")
+		trace     = fs.Bool("trace", false, "print the transition trace (Figs. 4/5/13) to stderr")
+		traceKind = fs.String("trace-kind", "act,det", "message kinds to trace: doc,act,det (empty = all)")
+		traceNode = fs.String("trace-node", "", "only trace transducers whose name contains one of these comma-separated substrings")
+		windowN   = fs.Int("window", 0, "evaluate in windows of N top-level records (0 = exact whole-stream evaluation)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -113,11 +125,50 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) error {
 		}
 		out.WriteByte('\n')
 	}
+	opts := core.EvalOptions{Mode: mode, Sink: sink}
 
-	st, err := plan.Evaluate(xmlstream.NewScanner(in), core.EvalOptions{Mode: mode, Sink: sink})
+	// The trace renders one line per transducer emission, labelled with the
+	// stream event of the step it happened in — the layout of the paper's
+	// Fig. 13 walk-through. The event column is maintained by the drive loop
+	// below, which feeds one event at a time for exactly this reason.
+	var curEvent string
+	if *trace {
+		filter, err := parseTraceFilter(*traceKind, *traceNode)
+		if err != nil {
+			return err
+		}
+		opts.Tracer = obs.FilterTracer(obs.TracerFunc(func(ev obs.TraceEvent) {
+			fmt.Fprintf(stderr, "%4d  %-6s  %-8s  %s\n", ev.Step, curEvent, ev.Node, ev.Msg)
+		}), filter)
+	}
+	var metrics *obs.Metrics
+	if *stats {
+		metrics = obs.NewMetrics()
+		opts.Metrics = metrics
+	}
+
+	evalRun, err := plan.NewRun(opts)
 	if err != nil {
 		return err
 	}
+	src := xmlstream.NewScanner(in)
+	for {
+		ev, err := src.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return err
+		}
+		curEvent = ev.String()
+		if err := evalRun.Feed(ev); err != nil {
+			return err
+		}
+	}
+	if err := evalRun.Close(); err != nil {
+		return err
+	}
+	st := evalRun.Stats()
 	if *count {
 		fmt.Fprintln(out, st.Output.Matches)
 	}
@@ -125,8 +176,50 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) error {
 		fmt.Fprintf(stderr, "events=%d elements=%d depth=%d transducers=%d maxstack=%d maxformula=%d matches=%d candidates=%d dropped=%d\n",
 			st.Events, st.Elements, st.MaxDepth, st.Transducers, st.MaxStack, st.MaxFormula,
 			st.Output.Matches, st.Output.Candidates, st.Output.Dropped)
+		writeTransducerTable(stderr, evalRun.Snapshot())
 	}
 	return nil
+}
+
+// parseTraceFilter builds the trace filter from the -trace-kind and
+// -trace-node flag values (comma-separated; empty lists mean "all").
+func parseTraceFilter(kinds, nodes string) (obs.TraceFilter, error) {
+	var f obs.TraceFilter
+	for _, k := range strings.Split(kinds, ",") {
+		switch strings.TrimSpace(k) {
+		case "":
+		case "doc":
+			f.Kinds = append(f.Kinds, obs.KindDoc)
+		case "act":
+			f.Kinds = append(f.Kinds, obs.KindActivation)
+		case "det":
+			f.Kinds = append(f.Kinds, obs.KindDetermination)
+		default:
+			return f, fmt.Errorf("unknown -trace-kind %q (want doc, act or det)", k)
+		}
+	}
+	for _, n := range strings.Split(nodes, ",") {
+		if n = strings.TrimSpace(n); n != "" {
+			f.Nodes = append(f.Nodes, n)
+		}
+	}
+	return f, nil
+}
+
+// writeTransducerTable renders the per-transducer instruments: message
+// counts by direction and kind, and the stack/formula maxima Lemma V.2
+// bounds by the depth d and the formula size o(φ).
+func writeTransducerTable(w io.Writer, s obs.Snapshot) {
+	if !s.Enabled || len(s.Transducers) == 0 {
+		return
+	}
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', tabwriter.AlignRight)
+	fmt.Fprintln(tw, "transducer\tin doc\tin act\tin det\tout doc\tout act\tout det\tmax stack\tmax formula\t")
+	for _, t := range s.Transducers {
+		fmt.Fprintf(tw, "%s\t%d\t%d\t%d\t%d\t%d\t%d\t%d\t%d\t\n",
+			t.Name, t.InDoc, t.InAct, t.InDet, t.OutDoc, t.OutAct, t.OutDet, t.MaxStack, t.MaxFormula)
+	}
+	tw.Flush()
 }
 
 func preparePlan(query string, xpath bool, conjunct string) (*core.Plan, error) {

@@ -75,6 +75,57 @@ func TestCLIStats(t *testing.T) {
 	if !strings.Contains(errOut, "elements=5") || !strings.Contains(errOut, "matches=1") {
 		t.Fatalf("stats output: %q", errOut)
 	}
+	// The per-transducer table lists every node of the a-query's network.
+	for _, want := range []string{"transducer", "0:CH(a)", "1:OU"} {
+		if !strings.Contains(errOut, want) {
+			t.Fatalf("stats output missing %q:\n%s", want, errOut)
+		}
+	}
+}
+
+// TestCLITraceFigure13 golden-tests the -trace rendering of the §III.10
+// walk-through (Fig. 13) for _*.a[b].c over the Fig. 1 document, filtered to
+// the qualifier machinery: the variable-creator instantiates v0 (outer <a>,
+// step 2) and v1 (inner <a>, step 3); the inner instance is invalidated when
+// its scope closes (step 6); <b> witnesses v0 through the
+// variable-determinant (step 7); the outer scope closes at step 11.
+func TestCLITraceFigure13(t *testing.T) {
+	_, errOut, err := runCLI(t, []string{"-q", "_*.a[b].c", "-count", "-trace", "-trace-node", "VC,VD"}, paperDoc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := `   2  <a>     VC(q)     [v0]
+   3  <a>     VC(q)     [v1]
+   6  </a>    VC(q)     {v1,close}
+   6  </a>    VD        {v1,close}
+   7  <b>     VD        {v0,true}
+  11  </a>    VC(q)     {v0,close}
+  11  </a>    VD        {v0,close}
+`
+	if errOut != want {
+		t.Fatalf("trace output:\n%s\nwant:\n%s", errOut, want)
+	}
+}
+
+// TestCLITraceFigure4 checks the child-transducer trace of Example III.1:
+// for a.c, CH(a) fires only at step 2 and CH(c) only at step 9.
+func TestCLITraceFigure4(t *testing.T) {
+	_, errOut, err := runCLI(t, []string{"-q", "a.c", "-count", "-trace", "-trace-node", "CH"}, paperDoc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := `   2  <a>     CH(a)     [true]
+   9  <c>     CH(c)     [true]
+`
+	if errOut != want {
+		t.Fatalf("trace output:\n%s\nwant:\n%s", errOut, want)
+	}
+}
+
+func TestCLITraceBadKind(t *testing.T) {
+	if _, _, err := runCLI(t, []string{"-q", "a", "-trace", "-trace-kind", "bogus"}, paperDoc); err == nil {
+		t.Error("bad -trace-kind should fail")
+	}
 }
 
 func TestCLIFile(t *testing.T) {

@@ -8,6 +8,12 @@
 //	spexbench -fig 15         # Figure 15 only (DMOZ, SPEX; baselines refuse)
 //	spexbench -fig mem        # the §VI memory table
 //	spexbench -scale 1        # paper-sized documents (DMOZ takes a while)
+//	spexbench -http :6060     # serve live metrics (Prometheus + JSON) and
+//	                          # net/http/pprof while the benchmarks run
+//	spexbench -json DIR       # also write machine-readable BENCH_*.json
+//
+// With -v, long runs print a periodic progress line (events/sec, depth,
+// matches, heap) sourced from the same live metrics registry.
 //
 // Absolute numbers will not match the paper's 2002 hardware; the shape —
 // which engine wins where, and that the in-memory engines cannot process
@@ -20,11 +26,15 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"net"
+	"net/http"
 	"os"
+	"path/filepath"
 	"runtime"
 
 	"repro/internal/bench"
 	"repro/internal/core"
+	"repro/internal/obs"
 	"repro/internal/spexnet"
 	"repro/internal/xmlstream"
 )
@@ -42,8 +52,10 @@ func run(args []string, stdout, stderr io.Writer) error {
 	var (
 		fig      = fs.String("fig", "all", "which experiment: 14, 15, mem, all")
 		scale    = fs.Float64("scale", 0, "document scale; 0 = defaults (1 for Fig. 14, 0.05 for Fig. 15)")
-		verbose  = fs.Bool("v", false, "stream per-measurement progress")
+		verbose  = fs.Bool("v", false, "stream per-measurement progress and a periodic live-metrics line")
 		fullDMOZ = fs.Bool("full-dmoz", false, "run Fig. 15 at the paper's full scale (slow; equivalent to -scale 1)")
+		httpAddr = fs.String("http", "", "serve live metrics and pprof on this address while running (e.g. :6060)")
+		jsonDir  = fs.String("json", "", "write machine-readable BENCH_*.json reports into this directory")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -51,6 +63,33 @@ func run(args []string, stdout, stderr io.Writer) error {
 	var progress io.Writer
 	if *verbose {
 		progress = stderr
+	}
+
+	// Live observability: one metrics registry shared by every SPEX
+	// measurement of the session — the HTTP endpoints and the periodic
+	// progress line both read it while a measurement streams.
+	var observer *bench.Observer
+	if *verbose || *httpAddr != "" {
+		observer = &bench.Observer{Metrics: obs.NewMetrics(), Progress: progress}
+	}
+	if *httpAddr != "" {
+		shutdown, err := serveMetrics(*httpAddr, observer.Metrics, stderr)
+		if err != nil {
+			return err
+		}
+		defer shutdown()
+	}
+
+	writeJSON := func(name string, ms []bench.Measurement) error {
+		if *jsonDir == "" || len(ms) == 0 {
+			return nil
+		}
+		f, err := os.Create(filepath.Join(*jsonDir, name))
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		return bench.WriteJSON(f, ms)
 	}
 
 	runFig14 := *fig == "14" || *fig == "all"
@@ -62,7 +101,11 @@ func run(args []string, stdout, stderr io.Writer) error {
 		if s == 0 {
 			s = 1
 		}
-		if err := figure14(stdout, progress, s); err != nil {
+		ms, err := figure14(stdout, progress, s, observer)
+		if err != nil {
+			return err
+		}
+		if err := writeJSON("BENCH_fig14.json", ms); err != nil {
 			return err
 		}
 	}
@@ -74,7 +117,11 @@ func run(args []string, stdout, stderr io.Writer) error {
 		if *fullDMOZ {
 			s = 1
 		}
-		if err := figure15(stdout, progress, s); err != nil {
+		ms, err := figure15(stdout, progress, s, observer)
+		if err != nil {
+			return err
+		}
+		if err := writeJSON("BENCH_fig15.json", ms); err != nil {
 			return err
 		}
 	}
@@ -90,8 +137,23 @@ func run(args []string, stdout, stderr io.Writer) error {
 	return nil
 }
 
+// serveMetrics starts the observability endpoint: /metrics (Prometheus
+// text), /vars (JSON snapshot) and /debug/pprof. It returns a shutdown
+// function closing the listener.
+func serveMetrics(addr string, m *obs.Metrics, stderr io.Writer) (func(), error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	srv := &http.Server{Handler: obs.NewServeMux(m)}
+	fmt.Fprintf(stderr, "spexbench: serving metrics on http://%s/metrics (JSON on /vars, profiles under /debug/pprof/)\n", ln.Addr())
+	go func() { _ = srv.Serve(ln) }()
+	return func() { _ = srv.Close() }, nil
+}
+
 // figure14 runs the MONDIAL and WordNet workloads with all three engines.
-func figure14(out, progress io.Writer, scale float64) error {
+func figure14(out, progress io.Writer, scale float64, o *bench.Observer) ([]bench.Measurement, error) {
+	var all []bench.Measurement
 	for _, part := range []struct {
 		name      string
 		workloads []bench.Workload
@@ -102,21 +164,23 @@ func figure14(out, progress io.Writer, scale float64) error {
 		doc := bench.Dataset(part.name, scale)
 		data := doc.Bytes()
 		info := mustInfo(data)
-		ms, err := bench.RunFigure(part.workloads, data, bench.Engines, progress)
+		ms, err := bench.RunFigure(part.workloads, data, bench.Engines, progress, o)
 		if err != nil {
-			return err
+			return all, err
 		}
 		title := fmt.Sprintf("\nFigure 14 — %s (scale %g: %.1f MB, %d elements, depth %d)",
 			part.name, scale, float64(len(data))/(1<<20), info.Elements, info.MaxDepth)
 		bench.WriteTable(out, title, ms)
+		all = append(all, ms...)
 	}
-	return nil
+	return all, nil
 }
 
 // figure15 runs the DMOZ workloads: SPEX streams; the in-memory engines are
 // subjected to the 512 MB budget check against the PAPER-scale element
 // count, so at any scale the table reports the paper's OOM outcome.
-func figure15(out, progress io.Writer, scale float64) error {
+func figure15(out, progress io.Writer, scale float64, o *bench.Observer) ([]bench.Measurement, error) {
+	var all []bench.Measurement
 	paperElements := map[string]int64{
 		"dmoz-structure": 3_940_716,
 		"dmoz-content":   13_233_278,
@@ -125,25 +189,31 @@ func figure15(out, progress io.Writer, scale float64) error {
 		doc := bench.Dataset(name, scale)
 		data := doc.Bytes()
 		info := mustInfo(data)
-		ms, err := bench.RunFigure(bench.Fig15DMOZ, data, bench.StreamingEngines, progress)
+		ms, err := bench.RunFigure(bench.Fig15DMOZ, data, bench.StreamingEngines, progress, o)
 		if err != nil {
-			return err
+			return all, err
 		}
 		// The baselines face the paper-sized document in the budget check.
 		for _, w := range bench.Fig15DMOZ {
 			for _, e := range []bench.Engine{bench.EngineTreeWalk, bench.EngineAutomaton} {
 				m, err := bench.RunBaseline(e, w, nil, paperElements[name])
 				if err != nil {
-					return err
+					return all, err
 				}
 				ms = append(ms, m)
 			}
 		}
+		// The shared workloads say "dmoz"; reports must distinguish the
+		// structure and content dumps.
+		for i := range ms {
+			ms[i].Dataset = name
+		}
 		title := fmt.Sprintf("\nFigure 15 — %s (scale %g: %.1f MB, %d elements; paper size %d elements)",
 			name, scale, float64(len(data))/(1<<20), info.Elements, paperElements[name])
 		bench.WriteTable(out, title, ms)
+		all = append(all, ms...)
 	}
-	return nil
+	return all, nil
 }
 
 // memoryTable reproduces the §VI memory observation: SPEX live memory stays

@@ -2,8 +2,15 @@ package main
 
 import (
 	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
+
+	"repro/internal/obs"
 )
 
 // TestFigureTablesSmoke runs the harness at a tiny scale and checks the
@@ -41,6 +48,71 @@ func TestFigureTablesSmoke(t *testing.T) {
 	}
 	if !strings.Contains(out.String(), "never materialized") {
 		t.Errorf("memory table: %q", out.String())
+	}
+}
+
+// TestJSONReport runs a tiny Figure-14 session with -json and validates the
+// machine-readable report.
+func TestJSONReport(t *testing.T) {
+	dir := t.TempDir()
+	var out, errBuf bytes.Buffer
+	if err := run([]string{"-fig", "14", "-scale", "0.01", "-json", dir}, &out, &errBuf); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(filepath.Join(dir, "BENCH_fig14.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ms []map[string]any
+	if err := json.Unmarshal(data, &ms); err != nil {
+		t.Fatal(err)
+	}
+	if len(ms) == 0 {
+		t.Fatal("empty report")
+	}
+	for _, field := range []string{"engine", "dataset", "query", "elapsed_ns", "live_bytes"} {
+		if _, ok := ms[0][field]; !ok {
+			t.Errorf("missing field %q in %v", field, ms[0])
+		}
+	}
+}
+
+// TestServeMetrics checks the -http endpoint wiring: Prometheus text on
+// /metrics, the JSON snapshot on /vars, and pprof.
+func TestServeMetrics(t *testing.T) {
+	m := obs.NewMetrics()
+	m.Events.Add(9)
+	var logBuf bytes.Buffer
+	shutdown, err := serveMetrics("127.0.0.1:0", m, &logBuf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer shutdown()
+	// The log line carries the bound address.
+	line := logBuf.String()
+	start := strings.Index(line, "http://")
+	end := strings.Index(line, "/metrics")
+	if start < 0 || end < 0 {
+		t.Fatalf("log line: %q", line)
+	}
+	base := line[start:end]
+	for path, want := range map[string]string{
+		"/metrics":             "spex_events_total 9",
+		"/vars":                `"events": 9`,
+		"/debug/pprof/cmdline": "",
+	} {
+		resp, err := http.Get(base + path)
+		if err != nil {
+			t.Fatalf("%s: %v", path, err)
+		}
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Errorf("%s: status %d", path, resp.StatusCode)
+		}
+		if want != "" && !strings.Contains(string(body), want) {
+			t.Errorf("%s: missing %q in %q", path, want, body)
+		}
 	}
 }
 

@@ -21,7 +21,7 @@ func main() {
 	fmt.Println("(the paper's original: 1.2 MB, 24,184 elements, depth 5)")
 	fmt.Println()
 
-	ms, err := bench.RunFigure(bench.Fig14Mondial, data, bench.Engines, nil)
+	ms, err := bench.RunFigure(bench.Fig14Mondial, data, bench.Engines, nil, nil)
 	if err != nil {
 		log.Fatal(err)
 	}

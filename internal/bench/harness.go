@@ -2,15 +2,18 @@ package bench
 
 import (
 	"bytes"
+	"encoding/json"
 	"fmt"
 	"io"
 	"runtime"
 	"sort"
+	"sync"
 	"text/tabwriter"
 	"time"
 
 	"repro/internal/baseline"
 	"repro/internal/core"
+	"repro/internal/obs"
 	"repro/internal/rpeq"
 	"repro/internal/spexnet"
 	"repro/internal/xmlstream"
@@ -69,12 +72,79 @@ const MemoryCap = 512 << 20
 // uses for the refusal estimate.
 const domBytesPerElement = 150
 
+// Observer wires live instrumentation into harness runs: a metrics registry
+// attached to every SPEX measurement (pollable mid-run, e.g. over HTTP) and
+// an optional periodic progress line for long evaluations. A nil *Observer
+// is valid and means "unobserved".
+type Observer struct {
+	// Metrics, when non-nil, is attached to every SPEX evaluation; its
+	// instruments update live while a measurement streams.
+	Metrics *obs.Metrics
+	// Progress, when non-nil (and Metrics is set), receives a progress
+	// line every Interval while a SPEX measurement runs.
+	Progress io.Writer
+	// Interval is the progress period; zero means 2 seconds.
+	Interval time.Duration
+}
+
+// metrics returns the registry, nil for a nil observer.
+func (o *Observer) metrics() *obs.Metrics {
+	if o == nil {
+		return nil
+	}
+	return o.Metrics
+}
+
+// startProgress launches the periodic progress reporter; the returned stop
+// function waits for the reporter to exit.
+func (o *Observer) startProgress(w Workload) (stop func()) {
+	if o == nil || o.Metrics == nil || o.Progress == nil {
+		return func() {}
+	}
+	interval := o.Interval
+	if interval <= 0 {
+		interval = 2 * time.Second
+	}
+	done := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		ticker := time.NewTicker(interval)
+		defer ticker.Stop()
+		last := o.Metrics.Snapshot()
+		for {
+			select {
+			case <-done:
+				return
+			case <-ticker.C:
+				s := o.Metrics.Snapshot()
+				rate := float64(s.Events-last.Events) / interval.Seconds()
+				fmt.Fprintf(o.Progress, "  ... %s %s: %d events (%.0f/s), depth %d, %d matches, heap %.1f MB\n",
+					w.Dataset, w.Query, s.Events, rate, s.Depth, s.Matches, float64(s.HeapAlloc)/(1<<20))
+				last = s
+			}
+		}
+	}()
+	return func() { close(done); wg.Wait() }
+}
+
 // RunSPEX measures SPEX on the workload. The document is supplied as
 // serialized bytes so that parsing is part of the measured time, exactly as
 // the paper measures (its SPEX times also include compiling the rpeq into
 // the network, so compilation happens inside the timer too).
 func RunSPEX(w Workload, doc []byte) (Measurement, error) {
+	return RunSPEXObserved(w, doc, nil)
+}
+
+// RunSPEXObserved is RunSPEX with live instrumentation: the observer's
+// registry (if any) is attached to the evaluation so another goroutine —
+// the progress reporter, an HTTP metrics handler — can watch the
+// measurement stream.
+func RunSPEXObserved(w Workload, doc []byte, o *Observer) (Measurement, error) {
 	m := Measurement{Engine: EngineSPEX, Dataset: w.Dataset, Class: w.Class, Query: w.Query}
+	stopProgress := o.startProgress(w)
+	defer stopProgress()
 	var before, after runtime.MemStats
 	runtime.GC()
 	runtime.ReadMemStats(&before)
@@ -85,7 +155,7 @@ func RunSPEX(w Workload, doc []byte) (Measurement, error) {
 		return m, err
 	}
 	src := &xmlstream.CountingSource{Src: xmlstream.NewScanner(bytes.NewReader(doc), xmlstream.WithText(false))}
-	stats, err := plan.Evaluate(src, core.EvalOptions{Mode: spexnet.ModeCount})
+	stats, err := plan.Evaluate(src, core.EvalOptions{Mode: spexnet.ModeCount, Metrics: o.metrics()})
 	if err != nil {
 		return m, err
 	}
@@ -184,8 +254,9 @@ func heapDelta(before, after runtime.MemStats) uint64 {
 }
 
 // RunFigure measures every workload with every requested engine, streaming
-// progress to progress (may be nil).
-func RunFigure(workloads []Workload, doc []byte, engines []Engine, progress io.Writer) ([]Measurement, error) {
+// per-measurement progress to progress (may be nil). The observer (may also
+// be nil) attaches live instrumentation to the SPEX measurements.
+func RunFigure(workloads []Workload, doc []byte, engines []Engine, progress io.Writer, o *Observer) ([]Measurement, error) {
 	var out []Measurement
 	var elements int64
 	for _, w := range workloads {
@@ -193,7 +264,7 @@ func RunFigure(workloads []Workload, doc []byte, engines []Engine, progress io.W
 			var m Measurement
 			var err error
 			if e == EngineSPEX {
-				m, err = RunSPEX(w, doc)
+				m, err = RunSPEXObserved(w, doc, o)
 				elements = m.Elements
 			} else {
 				m, err = RunBaseline(e, w, doc, elements)
@@ -267,6 +338,50 @@ func WriteTable(w io.Writer, title string, ms []Measurement) {
 		fmt.Fprintln(tw)
 	}
 	tw.Flush()
+}
+
+// jsonMeasurement is the machine-readable form of a Measurement, with
+// stable field names for downstream tooling.
+type jsonMeasurement struct {
+	Engine       string  `json:"engine"`
+	Dataset      string  `json:"dataset"`
+	Class        int     `json:"class"`
+	Query        string  `json:"query"`
+	Elements     int64   `json:"elements"`
+	Matches      int64   `json:"matches"`
+	ElapsedNs    int64   `json:"elapsed_ns"`
+	NsPerElement float64 `json:"ns_per_element,omitempty"`
+	AllocBytes   uint64  `json:"alloc_bytes"`
+	LiveBytes    uint64  `json:"live_bytes"`
+	Skipped      string  `json:"skipped,omitempty"`
+}
+
+// WriteJSON renders measurements as an indented JSON array (the BENCH_*.json
+// report of spexbench -json): per workload and engine, elapsed nanoseconds,
+// ns per element, allocation volume and live heap.
+func WriteJSON(w io.Writer, ms []Measurement) error {
+	out := make([]jsonMeasurement, 0, len(ms))
+	for _, m := range ms {
+		jm := jsonMeasurement{
+			Engine:     string(m.Engine),
+			Dataset:    m.Dataset,
+			Class:      m.Class,
+			Query:      m.Query,
+			Elements:   m.Elements,
+			Matches:    m.Matches,
+			ElapsedNs:  m.Elapsed.Nanoseconds(),
+			AllocBytes: m.AllocBytes,
+			LiveBytes:  m.LiveBytes,
+			Skipped:    m.Skipped,
+		}
+		if m.Elements > 0 {
+			jm.NsPerElement = float64(jm.ElapsedNs) / float64(m.Elements)
+		}
+		out = append(out, jm)
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
 }
 
 func enginesIn(ms []Measurement) []Engine {

@@ -2,8 +2,12 @@ package bench
 
 import (
 	"bytes"
+	"encoding/json"
 	"strings"
 	"testing"
+	"time"
+
+	"repro/internal/obs"
 )
 
 // TestFigure14Shape runs the Figure-14 workloads at reduced scale and
@@ -12,7 +16,7 @@ import (
 // records, and SPEX completes every workload.
 func TestFigure14Shape(t *testing.T) {
 	doc := Dataset("mondial", 0.1).Bytes()
-	ms, err := RunFigure(Fig14Mondial, doc, Engines, nil)
+	ms, err := RunFigure(Fig14Mondial, doc, Engines, nil, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -104,7 +108,7 @@ func TestMemoryProfile(t *testing.T) {
 
 func TestWriteTable(t *testing.T) {
 	doc := Dataset("mondial", 0.02).Bytes()
-	ms, err := RunFigure(Fig14Mondial[:2], doc, []Engine{EngineSPEX, EngineTreeWalk}, nil)
+	ms, err := RunFigure(Fig14Mondial[:2], doc, []Engine{EngineSPEX, EngineTreeWalk}, nil, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -114,6 +118,57 @@ func TestWriteTable(t *testing.T) {
 	for _, want := range []string{"Figure 14", "class", "spex", "treewalk", "_*.province.city"} {
 		if !strings.Contains(out, want) {
 			t.Errorf("table missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestRunSPEXObserved checks that an observed measurement populates the
+// metrics registry and emits progress lines.
+func TestRunSPEXObserved(t *testing.T) {
+	doc := Dataset("mondial", 0.05).Bytes()
+	var progress bytes.Buffer
+	o := &Observer{
+		Metrics:  obs.NewMetrics(),
+		Progress: &progress,
+		Interval: time.Millisecond, // fire often enough for a tiny document
+	}
+	m, err := RunSPEXObserved(Fig14Mondial[0], doc, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := o.Metrics.Snapshot()
+	if s.Events == 0 || s.Elements != m.Elements || s.Matches != m.Matches {
+		t.Errorf("registry events=%d elements=%d matches=%d; measurement elements=%d matches=%d",
+			s.Events, s.Elements, s.Matches, m.Elements, m.Matches)
+	}
+	if len(s.Transducers) == 0 || s.MaxStack == 0 {
+		t.Errorf("per-transducer instruments missing: %+v", s)
+	}
+	if !strings.Contains(progress.String(), "events") {
+		t.Errorf("no progress lines: %q", progress.String())
+	}
+}
+
+func TestWriteJSON(t *testing.T) {
+	doc := Dataset("mondial", 0.02).Bytes()
+	ms, err := RunFigure(Fig14Mondial[:1], doc, []Engine{EngineSPEX}, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteJSON(&buf, ms); err != nil {
+		t.Fatal(err)
+	}
+	var got []map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &got); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 {
+		t.Fatalf("entries: %d", len(got))
+	}
+	for _, field := range []string{"engine", "query", "elapsed_ns", "ns_per_element", "alloc_bytes", "live_bytes"} {
+		if _, ok := got[0][field]; !ok {
+			t.Errorf("missing field %q in %v", field, got[0])
 		}
 	}
 }

@@ -8,6 +8,7 @@ import (
 	"fmt"
 	"io"
 
+	"repro/internal/obs"
 	"repro/internal/rpeq"
 	"repro/internal/spexnet"
 	"repro/internal/xmlstream"
@@ -59,20 +60,30 @@ type EvalOptions struct {
 	StreamSink spexnet.StreamSink
 	// RawFormulas disables condition-formula normalization (ablation).
 	RawFormulas bool
-	Trace       spexnet.TraceFn
+	// Tracer observes every transducer emission (paper-style transition
+	// traces, Figs. 4/5/13); nil disables tracing at zero cost.
+	Tracer obs.Tracer
+	// Metrics attaches live instrumentation readable from other goroutines
+	// mid-stream; nil keeps the uninstrumented fast path.
+	Metrics *obs.Metrics
+}
+
+func (o EvalOptions) netOptions() spexnet.Options {
+	return spexnet.Options{
+		Mode:        o.Mode,
+		Sink:        o.Sink,
+		StreamSink:  o.StreamSink,
+		RawFormulas: o.RawFormulas,
+		Tracer:      o.Tracer,
+		Metrics:     o.Metrics,
+	}
 }
 
 // Evaluate runs the plan over the event source and returns the evaluation
 // statistics. The stream is processed in one pass; results reach the sink
 // progressively.
 func (p *Plan) Evaluate(src xmlstream.Source, opts EvalOptions) (spexnet.Stats, error) {
-	net, err := spexnet.Build(p.expr, spexnet.Options{
-		Mode:        opts.Mode,
-		Sink:        opts.Sink,
-		StreamSink:  opts.StreamSink,
-		RawFormulas: opts.RawFormulas,
-		Trace:       opts.Trace,
-	})
+	net, err := spexnet.Build(p.expr, opts.netOptions())
 	if err != nil {
 		return spexnet.Stats{}, err
 	}
@@ -81,10 +92,15 @@ func (p *Plan) Evaluate(src xmlstream.Source, opts EvalOptions) (spexnet.Stats, 
 
 // EvaluateReader is Evaluate over raw XML bytes. Character data plays no
 // structural role in rpeq evaluation, so the scanner skips text events
-// entirely unless answers are serialized.
+// entirely unless answers are serialized. When a metrics registry is
+// attached the reader is wrapped so its Bytes instrument counts the input
+// consumed.
 func (p *Plan) EvaluateReader(r io.Reader, opts EvalOptions) (spexnet.Stats, error) {
 	withText := opts.Mode == spexnet.ModeSerialize || opts.Mode == spexnet.ModeStream ||
 		rpeq.HasTextTest(p.expr)
+	if opts.Metrics != nil {
+		r = &obs.CountingReader{R: r, C: &opts.Metrics.Bytes}
+	}
 	return p.Evaluate(xmlstream.NewScanner(r, xmlstream.WithText(withText)), opts)
 }
 
@@ -98,24 +114,19 @@ func (p *Plan) Count(r io.Reader) (int64, spexnet.Stats, error) {
 // events as they arrive and answers surface through the sink the run was
 // created with, as soon as their membership is determined.
 type Run struct {
-	net    *spexnet.Network
-	opened bool
-	closed bool
+	net     *spexnet.Network
+	metrics *obs.Metrics
+	opened  bool
+	closed  bool
 }
 
 // NewRun instantiates a network for push-mode evaluation.
 func (p *Plan) NewRun(opts EvalOptions) (*Run, error) {
-	net, err := spexnet.Build(p.expr, spexnet.Options{
-		Mode:        opts.Mode,
-		Sink:        opts.Sink,
-		StreamSink:  opts.StreamSink,
-		RawFormulas: opts.RawFormulas,
-		Trace:       opts.Trace,
-	})
+	net, err := spexnet.Build(p.expr, opts.netOptions())
 	if err != nil {
 		return nil, err
 	}
-	return &Run{net: net}, nil
+	return &Run{net: net, metrics: opts.Metrics}, nil
 }
 
 // Feed pushes one event. The first event must be StartDocument; Feed
@@ -163,3 +174,19 @@ func (r *Run) Close() error {
 // Matches returns the number of answers reported so far; valid while the
 // run is open (progressive monitoring) and after Close.
 func (r *Run) Matches() int64 { return r.net.Matches() }
+
+// Stats returns the evaluation statistics so far. It reads the network's
+// own state and must be called from the feeding goroutine (between Feed
+// calls); for cross-goroutine polling use Snapshot.
+func (r *Run) Stats() spexnet.Stats { return r.net.Stats() }
+
+// Snapshot returns a point-in-time view of the run's metrics registry plus
+// a heap sample. Unlike Stats it is safe to call from any goroutine while
+// another is feeding events. When the run was created without a Metrics
+// registry the snapshot has Enabled == false and zero instruments.
+func (r *Run) Snapshot() obs.Snapshot {
+	if r.metrics == nil {
+		return obs.Snapshot{}
+	}
+	return r.metrics.Snapshot()
+}

@@ -1,10 +1,15 @@
 package core
 
 import (
+	"fmt"
+	"io"
 	"runtime"
 	"strings"
+	"sync/atomic"
 	"testing"
 
+	"repro/internal/dataset"
+	"repro/internal/obs"
 	"repro/internal/spexnet"
 	"repro/internal/xmlstream"
 )
@@ -149,6 +154,89 @@ func TestInfiniteStreamBoundedMemory(t *testing.T) {
 	// records must not grow the live heap materially.
 	if late > early+512*1024 {
 		t.Errorf("live heap grew with stream length: %d B early vs %d B late", early, late)
+	}
+}
+
+// TestSnapshotConcurrentPolling exercises the observability contract:
+// Run.Snapshot may be called from a second goroutine while the first
+// streams a DMOZ-shaped document. Under -race this validates the
+// single-writer/atomic-reader instrument design; the assertions check
+// step-granularity consistency — counters never move backwards, maxima
+// never shrink — and that the final snapshot agrees with the network's
+// own accounting.
+func TestSnapshotConcurrentPolling(t *testing.T) {
+	plan, err := Prepare("_*.Topic[editor].Title")
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := obs.NewMetrics()
+	run, err := plan.NewRun(EvalOptions{Mode: spexnet.ModeCount, Metrics: m})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var stop atomic.Bool
+	pollErr := make(chan error, 1)
+	go func() {
+		var polls int
+		var lastEvents, lastMaxStack int64
+		for !stop.Load() {
+			s := run.Snapshot()
+			if !s.Enabled {
+				pollErr <- fmt.Errorf("snapshot disabled despite attached registry")
+				return
+			}
+			if s.Events < lastEvents {
+				pollErr <- fmt.Errorf("events went backwards: %d after %d", s.Events, lastEvents)
+				return
+			}
+			if s.MaxStack < lastMaxStack {
+				pollErr <- fmt.Errorf("max stack shrank: %d after %d", s.MaxStack, lastMaxStack)
+				return
+			}
+			lastEvents, lastMaxStack = s.Events, s.MaxStack
+			polls++
+		}
+		if polls == 0 {
+			pollErr <- fmt.Errorf("poller never observed the stream")
+			return
+		}
+		pollErr <- nil
+	}()
+
+	src := dataset.DMOZStructure(0.01).Stream()
+	for {
+		ev, err := src.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := run.Feed(ev); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := run.Close(); err != nil {
+		t.Fatal(err)
+	}
+	stop.Store(true)
+	if err := <-pollErr; err != nil {
+		t.Fatal(err)
+	}
+
+	final, st := run.Snapshot(), run.Stats()
+	if final.Matches == 0 {
+		t.Fatal("expected matches on the DMOZ-shaped document")
+	}
+	if final.Elements != st.Elements || final.MaxDepth != int64(st.MaxDepth) ||
+		final.Matches != st.Output.Matches || final.MaxStack != int64(st.MaxStack) {
+		t.Fatalf("final snapshot disagrees with stats:\nsnapshot elements=%d depth=%d matches=%d stack=%d\nstats    elements=%d depth=%d matches=%d stack=%d",
+			final.Elements, final.MaxDepth, final.Matches, final.MaxStack,
+			st.Elements, st.MaxDepth, st.Output.Matches, st.MaxStack)
+	}
+	if len(final.Transducers) != st.Transducers {
+		t.Fatalf("snapshot lists %d transducers, network has %d", len(final.Transducers), st.Transducers)
 	}
 }
 

@@ -1,0 +1,110 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/pprof"
+	"strings"
+)
+
+// WriteJSON renders a snapshot as indented JSON (expvar-style).
+func WriteJSON(w io.Writer, s Snapshot) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(s)
+}
+
+// WritePrometheus renders a snapshot in the Prometheus text exposition
+// format, metric names prefixed spex_.
+func WritePrometheus(w io.Writer, s Snapshot) {
+	counter := func(name, help string, v int64) {
+		fmt.Fprintf(w, "# HELP spex_%s %s\n# TYPE spex_%s counter\nspex_%s %d\n", name, help, name, name, v)
+	}
+	gauge := func(name, help string, v int64) {
+		fmt.Fprintf(w, "# HELP spex_%s %s\n# TYPE spex_%s gauge\nspex_%s %d\n", name, help, name, name, v)
+	}
+	counter("events_total", "document-stream events processed", s.Events)
+	counter("elements_total", "element start messages processed", s.Elements)
+	counter("bytes_total", "input bytes consumed", s.Bytes)
+	gauge("depth", "current document depth d", s.Depth)
+	gauge("depth_max", "maximum document depth d", s.MaxDepth)
+	counter("matches_total", "answers flushed to the sink", s.Matches)
+	counter("candidates_total", "answer candidates proposed", s.Candidates)
+	counter("dropped_total", "candidates whose condition became false", s.Dropped)
+	gauge("queued", "candidates awaiting determination or document order", s.Queued)
+	gauge("queued_max", "maximum simultaneously queued candidates", s.MaxQueued)
+	gauge("buffered_events", "buffered answer-content events", s.Buffered)
+	gauge("buffered_events_max", "maximum simultaneously buffered content events", s.MaxBuffered)
+	gauge("stack_max", "maximum transducer stack entries (bounded by d, Lemma V.2)", s.MaxStack)
+	gauge("formula_max", "maximum condition-formula size (bounded by o(phi))", s.MaxFormula)
+	gauge("heap_alloc_bytes", "live heap sample", int64(s.HeapAlloc))
+
+	fmt.Fprintf(w, "# HELP spex_step_messages messages delivered per document event\n# TYPE spex_step_messages histogram\n")
+	for _, b := range s.StepMessages.Buckets {
+		le := fmt.Sprintf("%d", b.Le)
+		if b.Le >= int64(1)<<62-1 {
+			le = "+Inf"
+		}
+		fmt.Fprintf(w, "spex_step_messages_bucket{le=%q} %d\n", le, b.Count)
+	}
+	fmt.Fprintf(w, "spex_step_messages_sum %d\nspex_step_messages_count %d\n", s.StepMessages.Sum, s.StepMessages.Count)
+
+	for _, t := range s.Transducers {
+		name := escapeLabel(t.Name)
+		for _, d := range []struct {
+			dir string
+			doc int64
+			act int64
+			det int64
+		}{{"in", t.InDoc, t.InAct, t.InDet}, {"out", t.OutDoc, t.OutAct, t.OutDet}} {
+			fmt.Fprintf(w, "spex_transducer_messages_total{transducer=\"%s\",dir=\"%s\",kind=\"doc\"} %d\n", name, d.dir, d.doc)
+			fmt.Fprintf(w, "spex_transducer_messages_total{transducer=\"%s\",dir=\"%s\",kind=\"act\"} %d\n", name, d.dir, d.act)
+			fmt.Fprintf(w, "spex_transducer_messages_total{transducer=\"%s\",dir=\"%s\",kind=\"det\"} %d\n", name, d.dir, d.det)
+		}
+		fmt.Fprintf(w, "spex_transducer_stack{transducer=\"%s\"} %d\n", name, t.Stack)
+		fmt.Fprintf(w, "spex_transducer_stack_max{transducer=\"%s\"} %d\n", name, t.MaxStack)
+		fmt.Fprintf(w, "spex_transducer_formula_max{transducer=\"%s\"} %d\n", name, t.MaxFormula)
+	}
+}
+
+// escapeLabel sanitizes a Prometheus label value (backslash, quote,
+// newline).
+func escapeLabel(s string) string {
+	r := strings.NewReplacer(`\`, `\\`, "\n", `\n`, `"`, `\"`)
+	return r.Replace(s)
+}
+
+// MetricsHandler serves the registry in the Prometheus text format.
+func MetricsHandler(m *Metrics) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		WritePrometheus(w, m.Snapshot())
+	})
+}
+
+// JSONHandler serves the registry as one JSON document (expvar-style).
+func JSONHandler(m *Metrics) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		_ = WriteJSON(w, m.Snapshot())
+	})
+}
+
+// NewServeMux returns a mux serving the registry and the runtime profiler:
+//
+//	/metrics      Prometheus text format
+//	/vars         snapshot as JSON (expvar-style)
+//	/debug/pprof  net/http/pprof
+func NewServeMux(m *Metrics) *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.Handle("/metrics", MetricsHandler(m))
+	mux.Handle("/vars", JSONHandler(m))
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}

@@ -1,0 +1,263 @@
+// Package obs is the observability subsystem of the SPEX engine: lock-cheap
+// live metrics, structured transition tracing, and point-in-time snapshots
+// that can be polled from another goroutine while a stream is flowing.
+//
+// The paper's evaluation (§V–§VI) is entirely about observable resource
+// behaviour — stack entries bounded by the document depth d, condition
+// formulas bounded by o(φ), constant memory on arbitrarily long streams,
+// progressive answer emission. This package surfaces those quantities while
+// an evaluation runs instead of only summarizing them afterwards:
+//
+//   - a Metrics registry of atomic counters, gauges, watermarks and bounded
+//     histograms, with one TransducerMetrics instrument per network node
+//     (messages in/out by kind, current and maximum stack depth, maximum
+//     condition-formula size);
+//   - Snapshot, a consistent view of the registry plus a heap sample, safe
+//     to take from any goroutine mid-stream;
+//   - Tracer, the first-class form of the transition traces the paper walks
+//     through in Figs. 4, 5 and 13, with kind and transducer filters and a
+//     fixed-size ring buffer;
+//   - HTTP handlers serving the registry as Prometheus text and JSON.
+//
+// All instruments are single-writer (the evaluation goroutine) and
+// many-reader. When no registry is attached to a network the engine takes a
+// separate uninstrumented path, so observability costs nothing unless asked
+// for.
+package obs
+
+import (
+	"io"
+	"math/bits"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// MsgKind classifies transducer messages for the per-kind instruments; the
+// values mirror the engine's message kinds (Definition 2 of the paper).
+type MsgKind uint8
+
+const (
+	// KindDoc is a document message (element/document boundary or text).
+	KindDoc MsgKind = iota
+	// KindActivation is an activation message [f].
+	KindActivation
+	// KindDetermination is a condition determination message {c,·}.
+	KindDetermination
+	numKinds
+)
+
+// String returns the short label used in metric output.
+func (k MsgKind) String() string {
+	switch k {
+	case KindDoc:
+		return "doc"
+	case KindActivation:
+		return "act"
+	case KindDetermination:
+		return "det"
+	default:
+		return "?"
+	}
+}
+
+// Counter is a monotone atomic counter.
+type Counter struct{ v atomic.Int64 }
+
+// Add increments the counter by n.
+func (c *Counter) Add(n int64) { c.v.Add(n) }
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Load returns the current value.
+func (c *Counter) Load() int64 { return c.v.Load() }
+
+// Gauge is an atomic instantaneous value.
+type Gauge struct{ v atomic.Int64 }
+
+// Set stores the current value.
+func (g *Gauge) Set(n int64) { g.v.Store(n) }
+
+// Load returns the current value.
+func (g *Gauge) Load() int64 { return g.v.Load() }
+
+// Watermark tracks a current value and the maximum it ever reached. It is
+// single-writer: only the evaluation goroutine calls Set/NoteMax, so the
+// max update needs no compare-and-swap loop.
+type Watermark struct{ cur, max atomic.Int64 }
+
+// Set stores the current value, raising the maximum if exceeded.
+func (w *Watermark) Set(n int64) {
+	w.cur.Store(n)
+	if n > w.max.Load() {
+		w.max.Store(n)
+	}
+}
+
+// NoteMax raises the maximum without touching the current value — used when
+// a within-step peak is reported after the fact.
+func (w *Watermark) NoteMax(n int64) {
+	if n > w.max.Load() {
+		w.max.Store(n)
+	}
+}
+
+// Cur returns the current value.
+func (w *Watermark) Cur() int64 { return w.cur.Load() }
+
+// Max returns the maximum value observed.
+func (w *Watermark) Max() int64 { return w.max.Load() }
+
+// histBuckets is the fixed number of power-of-two histogram buckets; the
+// last bucket absorbs everything ≥ 2^(histBuckets-2).
+const histBuckets = 18
+
+// Histogram is a bounded histogram over non-negative values with
+// power-of-two buckets: bucket 0 counts zeros, bucket i (i ≥ 1) counts
+// values in [2^(i-1), 2^i). Memory is constant regardless of the value
+// range, as every structure of this engine must be.
+type Histogram struct {
+	buckets [histBuckets]atomic.Int64
+	count   atomic.Int64
+	sum     atomic.Int64
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v int64) {
+	if v < 0 {
+		v = 0
+	}
+	i := bits.Len64(uint64(v))
+	if i >= histBuckets {
+		i = histBuckets - 1
+	}
+	h.buckets[i].Add(1)
+	h.count.Add(1)
+	h.sum.Add(v)
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() int64 { return h.count.Load() }
+
+// Sum returns the sum of all observed values.
+func (h *Histogram) Sum() int64 { return h.sum.Load() }
+
+// HistogramBucket is one bucket of a histogram snapshot.
+type HistogramBucket struct {
+	// Le is the bucket's inclusive upper bound (Prometheus "le" semantics);
+	// the last bucket's bound is reported as math.MaxInt64.
+	Le int64 `json:"le"`
+	// Count is the number of observations ≤ Le (cumulative).
+	Count int64 `json:"count"`
+}
+
+// Buckets returns the cumulative bucket counts, smallest bound first.
+func (h *Histogram) Buckets() []HistogramBucket {
+	out := make([]HistogramBucket, 0, histBuckets)
+	var cum int64
+	for i := 0; i < histBuckets; i++ {
+		cum += h.buckets[i].Load()
+		le := int64(1)<<uint(i) - 1
+		if i == histBuckets-1 {
+			le = int64(1)<<62 - 1
+		}
+		out = append(out, HistogramBucket{Le: le, Count: cum})
+	}
+	return out
+}
+
+// TransducerMetrics is the per-transducer instrument set: message counts by
+// direction and kind, the depth/condition stack watermark (the paper's
+// bound d, Lemma V.2), and the condition-formula size watermark (the bound
+// o(φ)).
+type TransducerMetrics struct {
+	// Name labels the transducer as "index:name", e.g. "3:CH(a)"; the index
+	// disambiguates repeated constructs in one network.
+	Name string
+	// In and Out count messages received and emitted, indexed by MsgKind.
+	In  [numKinds]Counter
+	Out [numKinds]Counter
+	// Stack is the current and maximum depth/condition stack size.
+	Stack Watermark
+	// Formula is the maximum condition-formula size handled.
+	Formula Watermark
+}
+
+// NewTransducerMetrics returns an instrument set labelled name.
+func NewTransducerMetrics(name string) *TransducerMetrics {
+	return &TransducerMetrics{Name: name}
+}
+
+// Metrics is the engine's metrics registry. One registry can outlive any
+// single evaluation — a service evaluating many streams binds each new
+// network to the same registry, counters accumulate, and the HTTP handlers
+// keep serving — or it can be private to one Run for mid-stream polling.
+//
+// All numeric instruments are atomics written by the evaluation goroutine
+// and readable from anywhere; the transducer instrument list is guarded by
+// a mutex because binding a network replaces it.
+type Metrics struct {
+	start time.Time
+
+	// Stream-side instruments.
+	Events   Counter   // document-stream events processed
+	Elements Counter   // element start messages
+	Bytes    Counter   // input bytes consumed (reader-fed evaluations)
+	Depth    Watermark // current and maximum document depth d
+
+	// Sink-side instruments (§III.8, Lemma V.2(5)).
+	Matches    Counter   // answers flushed to the sink
+	Candidates Counter   // candidates proposed
+	Dropped    Counter   // candidates whose condition became false
+	Queued     Watermark // candidates awaiting determination or order
+	Buffered   Watermark // buffered content events
+
+	// StepMessages is the distribution of messages delivered per document
+	// event — the per-event work the Lemma V.2 time bound is about.
+	StepMessages Histogram
+
+	mu          sync.RWMutex
+	transducers []*TransducerMetrics
+}
+
+// NewMetrics returns an empty registry.
+func NewMetrics() *Metrics {
+	return &Metrics{start: time.Now()}
+}
+
+// SetTransducers installs the per-transducer instruments of the network the
+// registry is currently observing, replacing those of a previous network.
+func (m *Metrics) SetTransducers(tms []*TransducerMetrics) {
+	m.mu.Lock()
+	m.transducers = tms
+	m.mu.Unlock()
+}
+
+// Transducers returns the current per-transducer instruments.
+func (m *Metrics) Transducers() []*TransducerMetrics {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	out := make([]*TransducerMetrics, len(m.transducers))
+	copy(out, m.transducers)
+	return out
+}
+
+// Uptime returns the time since the registry was created.
+func (m *Metrics) Uptime() time.Duration { return time.Since(m.start) }
+
+// CountingReader counts the bytes read through it into a Counter, so the
+// registry's Bytes instrument reflects input consumed.
+type CountingReader struct {
+	R io.Reader
+	C *Counter
+}
+
+// Read implements io.Reader.
+func (r *CountingReader) Read(p []byte) (int, error) {
+	n, err := r.R.Read(p)
+	if n > 0 {
+		r.C.Add(int64(n))
+	}
+	return n, err
+}

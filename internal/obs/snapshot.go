@@ -1,0 +1,131 @@
+package obs
+
+import (
+	"runtime"
+	"time"
+)
+
+// Snapshot is a point-in-time view of a Metrics registry plus a heap
+// sample. It is safe to take from any goroutine while the evaluation
+// goroutine is streaming: every instrument is read atomically. Counters
+// (events, elements, per-transducer message counts) update on every
+// document event; gauges and the output-side counters are published on a
+// short stride, so they can lag the counters by a few events — never by
+// more, and the end-of-run sync makes the final snapshot exact.
+type Snapshot struct {
+	// Enabled is false when no registry was attached to the evaluation (the
+	// uninstrumented fast path); all other fields are then zero.
+	Enabled bool `json:"enabled"`
+	// Uptime is the registry's age — for a per-run registry, the run time.
+	Uptime time.Duration `json:"uptime_ns"`
+
+	Events       int64   `json:"events"`
+	Elements     int64   `json:"elements"`
+	Bytes        int64   `json:"bytes"`
+	EventsPerSec float64 `json:"events_per_sec"`
+	Depth        int64   `json:"depth"`
+	MaxDepth     int64   `json:"max_depth"`
+
+	Matches     int64 `json:"matches"`
+	Candidates  int64 `json:"candidates"`
+	Dropped     int64 `json:"dropped"`
+	Queued      int64 `json:"queued"`
+	MaxQueued   int64 `json:"max_queued"`
+	Buffered    int64 `json:"buffered_events"`
+	MaxBuffered int64 `json:"max_buffered_events"`
+
+	// MaxStack and MaxFormula are the maxima over all transducers: the
+	// quantities Lemma V.2 bounds by the depth d and the formula size o(φ).
+	MaxStack   int64 `json:"max_stack"`
+	MaxFormula int64 `json:"max_formula"`
+
+	// StepMessages summarizes the messages-per-event distribution.
+	StepMessages HistogramSnapshot `json:"step_messages"`
+
+	Transducers []TransducerSnapshot `json:"transducers,omitempty"`
+
+	// Heap sample via runtime.ReadMemStats — the §VI memory observation.
+	HeapAlloc  uint64 `json:"heap_alloc_bytes"`
+	HeapSys    uint64 `json:"heap_sys_bytes"`
+	TotalAlloc uint64 `json:"total_alloc_bytes"`
+	NumGC      uint32 `json:"num_gc"`
+}
+
+// HistogramSnapshot is a histogram's state at snapshot time.
+type HistogramSnapshot struct {
+	Count   int64             `json:"count"`
+	Sum     int64             `json:"sum"`
+	Buckets []HistogramBucket `json:"buckets,omitempty"`
+}
+
+// TransducerSnapshot is one transducer's instruments at snapshot time.
+type TransducerSnapshot struct {
+	Name       string `json:"name"`
+	InDoc      int64  `json:"in_doc"`
+	InAct      int64  `json:"in_act"`
+	InDet      int64  `json:"in_det"`
+	OutDoc     int64  `json:"out_doc"`
+	OutAct     int64  `json:"out_act"`
+	OutDet     int64  `json:"out_det"`
+	Stack      int64  `json:"stack"`
+	MaxStack   int64  `json:"max_stack"`
+	MaxFormula int64  `json:"max_formula"`
+}
+
+// Snapshot captures the registry. The heap sample calls
+// runtime.ReadMemStats, so polling at human frequencies (not per event) is
+// the intended use.
+func (m *Metrics) Snapshot() Snapshot {
+	s := Snapshot{
+		Enabled:     true,
+		Uptime:      m.Uptime(),
+		Events:      m.Events.Load(),
+		Elements:    m.Elements.Load(),
+		Bytes:       m.Bytes.Load(),
+		Depth:       m.Depth.Cur(),
+		MaxDepth:    m.Depth.Max(),
+		Matches:     m.Matches.Load(),
+		Candidates:  m.Candidates.Load(),
+		Dropped:     m.Dropped.Load(),
+		Queued:      m.Queued.Cur(),
+		MaxQueued:   m.Queued.Max(),
+		Buffered:    m.Buffered.Cur(),
+		MaxBuffered: m.Buffered.Max(),
+		StepMessages: HistogramSnapshot{
+			Count:   m.StepMessages.Count(),
+			Sum:     m.StepMessages.Sum(),
+			Buckets: m.StepMessages.Buckets(),
+		},
+	}
+	if secs := s.Uptime.Seconds(); secs > 0 {
+		s.EventsPerSec = float64(s.Events) / secs
+	}
+	for _, tm := range m.Transducers() {
+		ts := TransducerSnapshot{
+			Name:       tm.Name,
+			InDoc:      tm.In[KindDoc].Load(),
+			InAct:      tm.In[KindActivation].Load(),
+			InDet:      tm.In[KindDetermination].Load(),
+			OutDoc:     tm.Out[KindDoc].Load(),
+			OutAct:     tm.Out[KindActivation].Load(),
+			OutDet:     tm.Out[KindDetermination].Load(),
+			Stack:      tm.Stack.Cur(),
+			MaxStack:   tm.Stack.Max(),
+			MaxFormula: tm.Formula.Max(),
+		}
+		if ts.MaxStack > s.MaxStack {
+			s.MaxStack = ts.MaxStack
+		}
+		if ts.MaxFormula > s.MaxFormula {
+			s.MaxFormula = ts.MaxFormula
+		}
+		s.Transducers = append(s.Transducers, ts)
+	}
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	s.HeapAlloc = ms.HeapAlloc
+	s.HeapSys = ms.HeapSys
+	s.TotalAlloc = ms.TotalAlloc
+	s.NumGC = ms.NumGC
+	return s
+}

@@ -1,0 +1,160 @@
+package obs
+
+import "sync"
+
+// TraceEvent is one traced transducer emission: during document-stream step
+// Step (events count from 1 for <$>), transducer Node emitted the message
+// rendered in the paper's notation as Msg. This is the observable behaviour
+// the paper walks through in Figs. 4, 5 and 13 — which transducer emits
+// which activation or determination at which step.
+type TraceEvent struct {
+	Step int64   `json:"step"`
+	Node string  `json:"node"`
+	Kind MsgKind `json:"kind"`
+	Msg  string  `json:"msg"`
+}
+
+// Tracer observes transducer emissions. Implementations must be cheap: the
+// engine calls Trace inline for every emitted message when a tracer is
+// attached (and not at all otherwise).
+type Tracer interface {
+	Trace(ev TraceEvent)
+}
+
+// TracerFunc adapts a function to the Tracer interface.
+type TracerFunc func(TraceEvent)
+
+// Trace implements Tracer.
+func (f TracerFunc) Trace(ev TraceEvent) { f(ev) }
+
+// TraceFilter selects a subset of trace events.
+type TraceFilter struct {
+	// Kinds restricts to the listed message kinds; empty means all.
+	Kinds []MsgKind
+	// Nodes restricts to transducers whose name contains one of the listed
+	// substrings (e.g. "CH", "VC(q)"); empty means all.
+	Nodes []string
+}
+
+// Match reports whether the event passes the filter.
+func (f TraceFilter) Match(ev TraceEvent) bool {
+	if len(f.Kinds) > 0 {
+		ok := false
+		for _, k := range f.Kinds {
+			if ev.Kind == k {
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			return false
+		}
+	}
+	if len(f.Nodes) > 0 {
+		ok := false
+		for _, n := range f.Nodes {
+			if containsFold(ev.Node, n) {
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// containsFold is a case-insensitive substring test without importing
+// strings into every trace call (ASCII fold, transducer names are ASCII).
+func containsFold(s, sub string) bool {
+	if len(sub) == 0 {
+		return true
+	}
+	if len(sub) > len(s) {
+		return false
+	}
+	lower := func(b byte) byte {
+		if 'A' <= b && b <= 'Z' {
+			return b + 'a' - 'A'
+		}
+		return b
+	}
+	for i := 0; i+len(sub) <= len(s); i++ {
+		j := 0
+		for ; j < len(sub); j++ {
+			if lower(s[i+j]) != lower(sub[j]) {
+				break
+			}
+		}
+		if j == len(sub) {
+			return true
+		}
+	}
+	return false
+}
+
+// FilterTracer wraps next so it only sees events matching the filter.
+func FilterTracer(next Tracer, f TraceFilter) Tracer {
+	return TracerFunc(func(ev TraceEvent) {
+		if f.Match(ev) {
+			next.Trace(ev)
+		}
+	})
+}
+
+// RingTracer retains the most recent events in a fixed-size ring buffer —
+// bounded memory on unbounded streams, like every other structure of the
+// engine. It is safe for concurrent use: the evaluation goroutine writes,
+// any goroutine may call Events.
+type RingTracer struct {
+	mu    sync.Mutex
+	buf   []TraceEvent
+	next  int
+	full  bool
+	total int64
+}
+
+// NewRingTracer returns a ring tracer retaining the last capacity events
+// (minimum 1).
+func NewRingTracer(capacity int) *RingTracer {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &RingTracer{buf: make([]TraceEvent, capacity)}
+}
+
+// Trace implements Tracer.
+func (r *RingTracer) Trace(ev TraceEvent) {
+	r.mu.Lock()
+	r.buf[r.next] = ev
+	r.next++
+	if r.next == len(r.buf) {
+		r.next = 0
+		r.full = true
+	}
+	r.total++
+	r.mu.Unlock()
+}
+
+// Events returns the retained events, oldest first.
+func (r *RingTracer) Events() []TraceEvent {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if !r.full {
+		out := make([]TraceEvent, r.next)
+		copy(out, r.buf[:r.next])
+		return out
+	}
+	out := make([]TraceEvent, 0, len(r.buf))
+	out = append(out, r.buf[r.next:]...)
+	out = append(out, r.buf[:r.next]...)
+	return out
+}
+
+// Total returns the number of events ever traced, including evicted ones.
+func (r *RingTracer) Total() int64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.total
+}

@@ -31,7 +31,11 @@ func newFollowing(test string, cfg *netConfig) *followingT {
 
 func (t *followingT) name() string { return "FO(" + t.test + ")" }
 
-func (t *followingT) stackStats() StackStats { return t.st }
+func (t *followingT) stackStats() StackStats {
+	s := t.st
+	s.Cur = len(t.armed)
+	return s
+}
 
 func (t *followingT) feed(_ int, m Message, emit emitFn) {
 	switch m.Kind {
@@ -100,7 +104,11 @@ func newPreceding(test string, q cond.QualID, pool *cond.Pool, cfg *netConfig) *
 
 func (t *precedingT) name() string { return "PR(" + t.test + ")" }
 
-func (t *precedingT) stackStats() StackStats { return t.st }
+func (t *precedingT) stackStats() StackStats {
+	s := t.st
+	s.Cur = len(t.open) + len(t.closed)
+	return s
+}
 
 func (t *precedingT) feed(_ int, m Message, emit emitFn) {
 	switch m.Kind {

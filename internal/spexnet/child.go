@@ -34,7 +34,11 @@ func newChild(label string, cfg *netConfig) *childT {
 
 func (t *childT) name() string { return "CH(" + t.label + ")" }
 
-func (t *childT) stackStats() StackStats { return t.st }
+func (t *childT) stackStats() StackStats {
+	s := t.st
+	s.Cur = len(t.scopes)
+	return s
+}
 
 func (t *childT) feed(_ int, m Message, emit emitFn) {
 	switch m.Kind {

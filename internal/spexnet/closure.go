@@ -31,7 +31,11 @@ func newClosure(label string, cfg *netConfig) *closureT {
 
 func (t *closureT) name() string { return "CL(" + t.label + ")" }
 
-func (t *closureT) stackStats() StackStats { return t.st }
+func (t *closureT) stackStats() StackStats {
+	s := t.st
+	s.Cur = len(t.scopes)
+	return s
+}
 
 func (t *closureT) feed(_ int, m Message, emit emitFn) {
 	switch m.Kind {

@@ -5,6 +5,7 @@ import (
 	"strconv"
 
 	"repro/internal/cond"
+	"repro/internal/obs"
 	"repro/internal/rpeq"
 )
 
@@ -19,14 +20,17 @@ type Options struct {
 	// RawFormulas disables duplicate elimination in condition formulas —
 	// the Remark V.1 normalization ablation.
 	RawFormulas bool
-	// Trace, if set, receives every message every transducer emits;
-	// used by the transition-trace tests reproducing Figs. 4, 5 and 13.
-	Trace TraceFn
+	// Tracer, if set, observes every message every transducer emits, in
+	// the paper's notation — the transition traces of Figs. 4, 5 and 13 as
+	// a first-class feature (cmd/spex -trace). Steps count document-stream
+	// events, starting at 1 for <$>.
+	Tracer obs.Tracer
+	// Metrics, if set, attaches live instrumentation: per-transducer
+	// message counts, stack and formula watermarks, and sink-side gauges,
+	// all readable from other goroutines mid-stream. When nil the network
+	// runs an uninstrumented path with no per-event overhead.
+	Metrics *obs.Metrics
 }
-
-// TraceFn observes a message emitted by the named transducer during the
-// given step (steps count document-stream events, starting at 1 for <$>).
-type TraceFn func(step int64, node string, m Message)
 
 // Spec is one query of a multi-query network: its expression and its sink.
 type Spec struct {
@@ -64,10 +68,11 @@ func BuildSet(specs []Spec, opts Options) (*Network, error) {
 		}
 	}
 	n := &Network{
-		cfg:  netConfig{rawFormulas: opts.RawFormulas, retainVars: retain},
-		pool: cond.NewPool(),
+		cfg:     netConfig{rawFormulas: opts.RawFormulas, retainVars: retain},
+		pool:    cond.NewPool(),
+		metrics: opts.Metrics,
 	}
-	b := &builder{net: n, trace: opts.Trace, memo: make(map[string]memoEntry)}
+	b := &builder{net: n, tracer: opts.Tracer, metrics: opts.Metrics, memo: make(map[string]memoEntry)}
 	source := b.newEdge()
 	n.sourceEdge = source
 	for _, spec := range specs {
@@ -83,6 +88,9 @@ func BuildSet(specs []Spec, opts Options) (*Network, error) {
 		b.addNode(out, []int{final}, 0)
 		n.outs = append(n.outs, out)
 	}
+	if opts.Metrics != nil {
+		opts.Metrics.SetTransducers(b.tms)
+	}
 	return n, nil
 }
 
@@ -94,9 +102,11 @@ type memoEntry struct {
 }
 
 type builder struct {
-	net   *Network
-	trace TraceFn
-	memo  map[string]memoEntry
+	net     *Network
+	tracer  obs.Tracer
+	metrics *obs.Metrics
+	tms     []*obs.TransducerMetrics
+	memo    map[string]memoEntry
 }
 
 // newEdge allocates a fresh tape.
@@ -108,6 +118,10 @@ func (b *builder) newEdge() int {
 // addNode appends a transducer reading the given tapes and returns the ids
 // of its numOuts fresh output tapes. Construction order is topological by
 // compositionality of C.
+//
+// The instrumentation and tracing wrappers are composed into the node's emit
+// closure here, at build time, so the uninstrumented emit path is the bare
+// tape append with no per-message branch.
 func (b *builder) addNode(t transducer, ins []int, numOuts int) []int {
 	outs := make([]int, numOuts)
 	for i := range outs {
@@ -118,18 +132,29 @@ func (b *builder) addNode(t transducer, ins []int, numOuts int) []int {
 		node.ender = se
 	}
 	net := b.net
-	nodeName := t.name()
-	if b.trace != nil {
-		trace := b.trace
-		node.emit = func(port int, m Message) {
-			trace(net.step, nodeName, m)
-			net.edges[node.outs[port]] = append(net.edges[node.outs[port]], m)
-		}
-	} else {
-		node.emit = func(port int, m Message) {
-			net.edges[node.outs[port]] = append(net.edges[node.outs[port]], m)
+	emit := func(port int, m Message) {
+		net.edges[node.outs[port]] = append(net.edges[node.outs[port]], m)
+	}
+	if b.metrics != nil {
+		tm := obs.NewTransducerMetrics(fmt.Sprintf("%d:%s", len(net.nodes), t.name()))
+		node.tm = tm
+		b.tms = append(b.tms, tm)
+		inner := emit
+		emit = func(port int, m Message) {
+			tm.Out[obsKind(m.Kind)].Inc()
+			inner(port, m)
 		}
 	}
+	if b.tracer != nil {
+		tracer := b.tracer
+		nodeName := t.name()
+		inner := emit
+		emit = func(port int, m Message) {
+			tracer.Trace(obs.TraceEvent{Step: net.step, Node: nodeName, Kind: obsKind(m.Kind), Msg: m.String()})
+			inner(port, m)
+		}
+	}
+	node.emit = emit
 	b.net.nodes = append(b.net.nodes, node)
 	return outs
 }

@@ -5,6 +5,7 @@ import (
 	"io"
 
 	"repro/internal/cond"
+	"repro/internal/obs"
 	"repro/internal/xmlstream"
 )
 
@@ -15,6 +16,7 @@ type netNode struct {
 	outs  []int // output tape ids, in port order
 	emit  emitFn
 	ender stepEnder // non-nil when the transducer buffers within a step
+	tm    *obs.TransducerMetrics
 }
 
 // stepEnder is implemented by transducers that buffer messages within a
@@ -39,6 +41,11 @@ type Network struct {
 	elements   int64
 	depth      int
 	maxDepth   int
+
+	// metrics, when non-nil, receives live instrument updates once per
+	// step; nil networks run the uninstrumented propagate path.
+	metrics *obs.Metrics
+	lastOut OutputStats
 }
 
 // Stats reports what an evaluation consumed and produced; the quantities of
@@ -104,9 +111,27 @@ func (n *Network) Step(ev xmlstream.Event) error {
 		n.edges[n.sourceEdge] = append(n.edges[n.sourceEdge], actMsg(cond.True()))
 	}
 	n.edges[n.sourceEdge] = append(n.edges[n.sourceEdge], docMsg(ev))
-	n.propagate()
+	if n.metrics == nil {
+		n.propagate()
+		return nil
+	}
+	n.metrics.Events.Inc()
+	if ev.Kind == xmlstream.StartElement {
+		n.metrics.Elements.Inc()
+	}
+	n.metrics.Depth.Set(int64(n.depth))
+	n.propagateObserved()
+	if n.step&(gaugeSyncStride-1) == 0 {
+		n.syncMetrics()
+	}
 	return nil
 }
+
+// gaugeSyncStride is how often syncMetrics publishes gauge state, in steps.
+// Counters update on every event regardless; the transducers track their own
+// maxima, so a periodic sync never misses a peak — only the instantaneous
+// gauges can lag, by at most this many events. Must be a power of two.
+const gaugeSyncStride = 32
 
 // propagate delivers the step's messages along every tape in topological
 // order. A tape may be read by several transducers (shared-subexpression
@@ -134,6 +159,82 @@ func (n *Network) propagate() {
 	}
 }
 
+// propagateObserved is propagate with per-transducer delivery counters: each
+// delivered message increments the node's In counter for its kind, and the
+// step's total delivery count feeds the messages-per-event histogram (the
+// per-event work Lemma V.2 bounds). It is a separate loop so the
+// uninstrumented path pays nothing.
+func (n *Network) propagateObserved() {
+	var total int64
+	for i := range n.nodes {
+		node := &n.nodes[i]
+		for port, e := range node.ins {
+			for _, m := range n.edges[e] {
+				node.tm.In[obsKind(m.Kind)].Inc()
+				total++
+				node.t.feed(port, m, node.emit)
+			}
+		}
+		if node.ender != nil {
+			node.ender.endStep(node.emit)
+		}
+	}
+	for i := range n.edges {
+		if len(n.edges[i]) > 0 {
+			n.edges[i] = n.edges[i][:0]
+		}
+	}
+	n.metrics.StepMessages.Observe(total)
+}
+
+// syncMetrics publishes the per-transducer and sink-side state into the
+// registry; called every gaugeSyncStride steps and after Finish, so
+// snapshots taken from other goroutines see counters that are exact per
+// event and gauges at most a few events stale.
+func (n *Network) syncMetrics() {
+	m := n.metrics
+	for i := range n.nodes {
+		ts := n.nodes[i].t.stackStats()
+		tm := n.nodes[i].tm
+		tm.Stack.Set(int64(ts.Cur))
+		tm.Stack.NoteMax(int64(ts.MaxStack))
+		tm.Formula.NoteMax(int64(ts.MaxFormula))
+	}
+	var cur OutputStats
+	var queued, buffered int
+	for _, out := range n.outs {
+		cur.Matches += out.stats.Matches
+		cur.Candidates += out.stats.Candidates
+		cur.Dropped += out.stats.Dropped
+		cur.MaxQueued += out.stats.MaxQueued
+		cur.MaxBufferedEvs += out.stats.MaxBufferedEvs
+		queued += len(out.queue)
+		buffered += out.buffered
+	}
+	// The registry counters are cumulative across evaluations (a service
+	// reuses one registry for many networks), so publish deltas.
+	m.Matches.Add(cur.Matches - n.lastOut.Matches)
+	m.Candidates.Add(cur.Candidates - n.lastOut.Candidates)
+	m.Dropped.Add(cur.Dropped - n.lastOut.Dropped)
+	n.lastOut = cur
+	m.Queued.Set(int64(queued))
+	m.Queued.NoteMax(int64(cur.MaxQueued))
+	m.Buffered.Set(int64(buffered))
+	m.Buffered.NoteMax(int64(cur.MaxBufferedEvs))
+}
+
+// obsKind maps the engine's message kinds onto the observability package's.
+func obsKind(k MsgKind) obs.MsgKind {
+	switch k {
+	case MsgActivation:
+		return obs.KindActivation
+	case MsgDet:
+		return obs.KindDetermination
+	default:
+		return obs.KindDoc
+	}
+}
+
 // Finish validates end-of-stream invariants and flushes the sinks.
 func (n *Network) Finish() error {
 	if n.depth != 0 {
@@ -143,6 +244,9 @@ func (n *Network) Finish() error {
 		if err := out.finish(); err != nil {
 			return err
 		}
+	}
+	if n.metrics != nil {
+		n.syncMetrics()
 	}
 	return nil
 }
@@ -166,6 +270,12 @@ func (n *Network) SinkStats() []OutputStats {
 	}
 	return out
 }
+
+// Stats returns the evaluation statistics so far. It reads the network's
+// own (non-atomic) state, so it must be called from the evaluating
+// goroutine; cross-goroutine observation goes through an obs.Metrics
+// registry instead.
+func (n *Network) Stats() Stats { return n.stats() }
 
 func (n *Network) stats() Stats {
 	s := Stats{

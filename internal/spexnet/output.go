@@ -121,7 +121,11 @@ func newOutput(mode ResultMode, sink Sink, cfg *netConfig) *outputT {
 
 func (t *outputT) name() string { return "OU" }
 
-func (t *outputT) stackStats() StackStats { return t.st }
+func (t *outputT) stackStats() StackStats {
+	s := t.st
+	s.Cur = len(t.queue)
+	return s
+}
 
 func (t *outputT) feed(_ int, m Message, emit emitFn) {
 	switch m.Kind {

@@ -42,7 +42,11 @@ func newJoin() *joinT { return &joinT{} }
 
 func (t *joinT) name() string { return "JO" }
 
-func (t *joinT) stackStats() StackStats { return t.st }
+func (t *joinT) stackStats() StackStats {
+	s := t.st
+	s.Cur = len(t.buffered[0]) + len(t.buffered[1])
+	return s
+}
 
 func (t *joinT) feed(input int, m Message, _ emitFn) {
 	t.buffered[input] = append(t.buffered[input], m)
@@ -132,7 +136,13 @@ func newUnion(cfg *netConfig) *unionT { return &unionT{cfg: cfg} }
 
 func (t *unionT) name() string { return "UN" }
 
-func (t *unionT) stackStats() StackStats { return t.st }
+func (t *unionT) stackStats() StackStats {
+	s := t.st
+	if t.pending != nil {
+		s.Cur = 1
+	}
+	return s
+}
 
 func (t *unionT) feed(_ int, m Message, emit emitFn) {
 	switch m.Kind {

@@ -29,7 +29,11 @@ func newVC(q cond.QualID, pool *cond.Pool, cfg *netConfig) *vcT {
 
 func (t *vcT) name() string { return "VC(q)" }
 
-func (t *vcT) stackStats() StackStats { return t.st }
+func (t *vcT) stackStats() StackStats {
+	s := t.st
+	s.Cur = len(t.vars)
+	return s
+}
 
 func (t *vcT) feed(_ int, m Message, emit emitFn) {
 	switch m.Kind {

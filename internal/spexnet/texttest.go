@@ -40,7 +40,11 @@ func newTextCmp(op rpeq.TextOp, value string, cfg *netConfig) *textCmpT {
 
 func (t *textCmpT) name() string { return "TE(" + t.op.String() + ")" }
 
-func (t *textCmpT) stackStats() StackStats { return t.st }
+func (t *textCmpT) stackStats() StackStats {
+	s := t.st
+	s.Cur = len(t.scopes)
+	return s
+}
 
 func (t *textCmpT) feed(_ int, m Message, emit emitFn) {
 	switch m.Kind {

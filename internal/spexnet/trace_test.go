@@ -5,6 +5,7 @@ import (
 	"strings"
 	"testing"
 
+	"repro/internal/obs"
 	"repro/internal/rpeq"
 	"repro/internal/xmlstream"
 )
@@ -36,10 +37,10 @@ func runTraced(t *testing.T, expr string) (recs []traceRec, results []traceRec) 
 		Sink: func(r Result) {
 			results = append(results, traceRec{step: -1, node: r.Name, msg: fmt.Sprintf("%s@%d", r.Name, r.Index)})
 		},
-		Trace: func(step int64, node string, m Message) {
-			recs = append(recs, traceRec{step: step, node: node, msg: m.String()})
+		Tracer: obs.TracerFunc(func(ev obs.TraceEvent) {
+			recs = append(recs, traceRec{step: ev.Step, node: ev.Node, msg: ev.Msg})
 			// Results recorded during this step get stamped below.
-		},
+		}),
 	})
 	if err != nil {
 		t.Fatal(err)

@@ -26,6 +26,7 @@ type transducer interface {
 
 // StackStats reports per-transducer resource usage.
 type StackStats struct {
+	Cur        int // current depth/condition stack entries
 	MaxStack   int // maximum depth/condition stack entries
 	MaxFormula int // maximum formula size σ seen
 }

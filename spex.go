@@ -37,6 +37,7 @@ import (
 	"strings"
 
 	"repro/internal/core"
+	"repro/internal/obs"
 	"repro/internal/spexnet"
 	"repro/internal/xmlstream"
 )
@@ -105,6 +106,37 @@ type Result struct {
 // paper's complexity results.
 type Stats = spexnet.Stats
 
+// Metrics is a live metrics registry (see internal/obs): attach one to a
+// Stream with WithMetrics and poll Snapshot from any goroutine while events
+// flow. One registry may serve many evaluations; counters accumulate.
+type Metrics = obs.Metrics
+
+// NewMetrics returns an empty metrics registry.
+func NewMetrics() *Metrics { return obs.NewMetrics() }
+
+// Snapshot is a point-in-time view of a metrics registry plus a heap
+// sample, safe to take mid-stream from any goroutine.
+type Snapshot = obs.Snapshot
+
+// Tracer observes every transducer emission — the paper's transition traces
+// (Figs. 4, 5, 13) as a first-class feature. Attach with WithTracer.
+type Tracer = obs.Tracer
+
+// TracerFunc adapts a function to the Tracer interface.
+type TracerFunc = obs.TracerFunc
+
+// TraceEvent is one traced transducer emission in the paper's notation.
+type TraceEvent = obs.TraceEvent
+
+// TraceFilter selects trace events by message kind and transducer name.
+type TraceFilter = obs.TraceFilter
+
+// RingTracer retains the most recent trace events in a fixed-size ring.
+type RingTracer = obs.RingTracer
+
+// NewRingTracer returns a ring tracer retaining the last capacity events.
+func NewRingTracer(capacity int) *RingTracer { return obs.NewRingTracer(capacity) }
+
 // Count streams the document from r and returns the number of answers.
 func (q *Query) Count(r io.Reader) (int64, error) {
 	n, _, err := q.plan.Count(r)
@@ -161,15 +193,35 @@ func (q *Query) EvaluateString(doc string) ([]Result, error) {
 	return out, err
 }
 
+// StreamOption configures a push-mode evaluation.
+type StreamOption func(*core.EvalOptions)
+
+// WithMetrics attaches a metrics registry to the stream: its counters
+// update once per event (gauges on a short stride) and Stream.Snapshot (or
+// the registry's own Snapshot) can be polled from any goroutine while
+// events flow.
+func WithMetrics(m *Metrics) StreamOption {
+	return func(o *core.EvalOptions) { o.Metrics = m }
+}
+
+// WithTracer attaches a tracer observing every transducer emission.
+func WithTracer(t Tracer) StreamOption {
+	return func(o *core.EvalOptions) { o.Tracer = t }
+}
+
 // Stream returns a push-mode evaluation for unbounded or
 // application-generated streams: feed events as they arrive; fn observes
 // answers progressively. Call Close to finish a bounded stream; for
 // genuinely unbounded streams, answers keep flowing as long as events do.
-func (q *Query) Stream(fn func(Match)) (*Stream, error) {
-	run, err := q.plan.NewRun(core.EvalOptions{
+func (q *Query) Stream(fn func(Match), opts ...StreamOption) (*Stream, error) {
+	eo := core.EvalOptions{
 		Mode: spexnet.ModeNodes,
 		Sink: func(res spexnet.Result) { fn(Match{Index: res.Index, Name: res.Name}) },
-	})
+	}
+	for _, opt := range opts {
+		opt(&eo)
+	}
+	run, err := q.plan.NewRun(eo)
 	if err != nil {
 		return nil, err
 	}
@@ -177,7 +229,7 @@ func (q *Query) Stream(fn func(Match)) (*Stream, error) {
 }
 
 // Stream is a push-mode evaluation. Its methods must be called from one
-// goroutine.
+// goroutine — except Snapshot, which any goroutine may call.
 type Stream struct {
 	run   *core.Run
 	depth int
@@ -185,18 +237,26 @@ type Stream struct {
 
 // StartElement feeds an element start event.
 func (s *Stream) StartElement(name string) error {
+	if err := s.run.Feed(xmlstream.Start(name)); err != nil {
+		return err
+	}
 	s.depth++
-	return s.run.Feed(xmlstream.Start(name))
+	return nil
 }
 
 // EndElement feeds an element end event; the name is tracked by the
-// evaluator, which validates nesting.
+// evaluator, which validates nesting. The depth bookkeeping changes only
+// when the event is accepted, so a rejected Feed (e.g. on a closed run)
+// leaves the stream's balance intact.
 func (s *Stream) EndElement(name string) error {
-	s.depth--
-	if s.depth < 0 {
+	if s.depth <= 0 {
 		return fmt.Errorf("spex: unbalanced EndElement(%q)", name)
 	}
-	return s.run.Feed(xmlstream.End(name))
+	if err := s.run.Feed(xmlstream.End(name)); err != nil {
+		return err
+	}
+	s.depth--
+	return nil
 }
 
 // Text feeds character data.
@@ -206,6 +266,18 @@ func (s *Stream) Text(data string) error {
 
 // Matches returns the number of answers delivered so far.
 func (s *Stream) Matches() int64 { return s.run.Matches() }
+
+// Stats returns the evaluation statistics so far: events and elements
+// consumed, depth, transducer stack and formula maxima, and output-side
+// buffering. It reads the network's own state, so call it from the feeding
+// goroutine; for cross-goroutine polling use Snapshot with WithMetrics.
+func (s *Stream) Stats() Stats { return s.run.Stats() }
+
+// Snapshot returns a point-in-time view of the stream's metrics registry
+// (attached with WithMetrics) plus a heap sample. It is safe to call from
+// any goroutine while another feeds events. Without a registry the snapshot
+// has Enabled == false.
+func (s *Stream) Snapshot() Snapshot { return s.run.Snapshot() }
 
 // Close ends the stream and validates the evaluation.
 func (s *Stream) Close() error {

@@ -114,6 +114,180 @@ func TestQuerySet(t *testing.T) {
 	}
 }
 
+// TestStreamEndElementBalance is the regression test for the depth-skew
+// bug: EndElement used to decrement the stream's depth before the event
+// could be rejected, so one failed call left the balance off by one and a
+// subsequently well-formed document was reported unbalanced at Close. A
+// rejected event must leave the stream's bookkeeping untouched.
+func TestStreamEndElementBalance(t *testing.T) {
+	q := MustCompile("a.b")
+	var matches int
+	s, err := q.Stream(func(Match) { matches++ })
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Unbalanced close on a fresh stream: rejected, depth must not go
+	// negative.
+	if err := s.EndElement("a"); err == nil {
+		t.Fatal("EndElement on an empty stream should fail")
+	}
+	// The stream stays usable and balanced after the rejected event.
+	for _, step := range []struct {
+		feed func(string) error
+		name string
+	}{
+		{s.StartElement, "a"},
+		{s.StartElement, "b"},
+		{s.EndElement, "b"},
+		{s.EndElement, "a"},
+	} {
+		if err := step.feed(step.name); err != nil {
+			t.Fatalf("%s: %v", step.name, err)
+		}
+	}
+	// A second spurious close after returning to depth zero is again
+	// rejected without skewing the balance, so Close still succeeds.
+	if err := s.EndElement("a"); err == nil {
+		t.Fatal("EndElement at depth zero should fail")
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if matches != 1 {
+		t.Fatalf("matches=%d", matches)
+	}
+}
+
+// TestStreamStatsAndSnapshot checks the push-mode observability surface:
+// Stats reads the network's own accounting, Snapshot the attached metrics
+// registry, and the two agree after Close.
+func TestStreamStatsAndSnapshot(t *testing.T) {
+	q := MustCompile("_*.a[b].c")
+	m := NewMetrics()
+	s, err := q.Stream(func(Match) {}, WithMetrics(m))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, step := range []struct {
+		feed func(string) error
+		name string
+	}{
+		{s.StartElement, "a"}, {s.StartElement, "c"}, {s.EndElement, "c"},
+		{s.StartElement, "b"}, {s.EndElement, "b"}, {s.EndElement, "a"},
+	} {
+		if err := step.feed(step.name); err != nil {
+			t.Fatalf("%s: %v", step.name, err)
+		}
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	st, snap := s.Stats(), s.Snapshot()
+	if st.Elements != 3 || st.MaxDepth != 2 {
+		t.Fatalf("stats: %+v", st)
+	}
+	if !snap.Enabled {
+		t.Fatal("snapshot should be enabled with WithMetrics")
+	}
+	if snap.Elements != st.Elements || snap.Matches != st.Output.Matches ||
+		snap.MaxDepth != int64(st.MaxDepth) {
+		t.Fatalf("snapshot %+v disagrees with stats %+v", snap, st)
+	}
+	if st.Output.Matches != 1 {
+		t.Fatalf("matches=%d", st.Output.Matches)
+	}
+	// Without WithMetrics the snapshot is inert but harmless.
+	s2, err := q.Stream(func(Match) {})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap := s2.Snapshot(); snap.Enabled {
+		t.Fatal("snapshot without a registry should be disabled")
+	}
+}
+
+// TestStreamAdversarialBuffering drives the §III.8 worst case through the
+// push API: for r[z].x every <x> child of <r> is an answer candidate whose
+// qualifier stays undetermined until </r>, so the output transducer must
+// keep all of them queued. Without the witness they are dropped in one
+// batch at scope close; with <z/> as the last child the same queue flushes
+// as answers. The OutputStats buffering fields must record the peak.
+func TestStreamAdversarialBuffering(t *testing.T) {
+	const n = 64
+	q := MustCompile("r[z].x")
+
+	run := func(witness bool) (int64, Stats, Snapshot) {
+		t.Helper()
+		var matches int64
+		s, err := q.Stream(func(Match) { matches++ }, WithMetrics(NewMetrics()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		feed := func(err error) {
+			t.Helper()
+			if err != nil {
+				t.Fatal(err)
+			}
+		}
+		feed(s.StartElement("r"))
+		for i := 0; i < n; i++ {
+			feed(s.StartElement("x"))
+			feed(s.EndElement("x"))
+		}
+		if witness {
+			feed(s.StartElement("z"))
+			feed(s.EndElement("z"))
+		}
+		feed(s.EndElement("r"))
+		feed(s.Close())
+		return matches, s.Stats(), s.Snapshot()
+	}
+
+	matches, st, snap := run(false)
+	if matches != 0 || st.Output.Matches != 0 {
+		t.Fatalf("no witness: matches=%d", matches)
+	}
+	if st.Output.Candidates != n || st.Output.Dropped != n {
+		t.Fatalf("candidates=%d dropped=%d, want %d each",
+			st.Output.Candidates, st.Output.Dropped, n)
+	}
+	if st.Output.MaxQueued != n {
+		t.Fatalf("every candidate must stay queued until </r>: MaxQueued=%d, want %d",
+			st.Output.MaxQueued, n)
+	}
+	// The metrics registry mirrors the network's accounting.
+	if snap.Candidates != n || snap.Dropped != n || snap.MaxQueued != n {
+		t.Fatalf("snapshot candidates=%d dropped=%d maxQueued=%d, want %d each",
+			snap.Candidates, snap.Dropped, snap.MaxQueued, n)
+	}
+
+	matches, st, _ = run(true)
+	if matches != n || st.Output.Dropped != 0 {
+		t.Fatalf("witness: matches=%d dropped=%d", matches, st.Output.Dropped)
+	}
+	if st.Output.MaxQueued != n {
+		t.Fatalf("witness: MaxQueued=%d, want %d", st.Output.MaxQueued, n)
+	}
+
+	// Serialize mode additionally buffers each undetermined candidate's
+	// content events until the verdict (§III.8): with the witness last, the
+	// peak covers all n subtrees at once.
+	var doc strings.Builder
+	doc.WriteString("<r>")
+	for i := 0; i < n; i++ {
+		doc.WriteString("<x></x>")
+	}
+	doc.WriteString("<z></z></r>")
+	sstats, err := q.Results(strings.NewReader(doc.String()), func(Result) {})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sstats.Output.MaxBufferedEvs < 2*n {
+		t.Fatalf("serialize mode buffered %d events at peak, want >= %d",
+			sstats.Output.MaxBufferedEvs, 2*n)
+	}
+}
+
 func TestCompileXPathReverseAxes(t *testing.T) {
 	q, err := CompileXPath("//c/parent::a")
 	if err != nil {
