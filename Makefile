@@ -1,6 +1,8 @@
 GO ?= go
+FUZZTIME ?= 15s
+BENCH_DIR ?= bench-out
 
-.PHONY: check fmt vet build test race bench
+.PHONY: check fmt vet build test race bench fuzz-smoke bench-smoke
 
 ## check: the full gate — formatting, vet, build, tests under the race detector
 check: fmt vet build race
@@ -24,3 +26,17 @@ race:
 ## bench: one testing.B series per paper figure plus the ablations
 bench:
 	$(GO) test -run NONE -bench . -benchmem .
+
+## fuzz-smoke: run every fuzz target briefly; crashers land under testdata/fuzz
+fuzz-smoke:
+	$(GO) test -run NONE -fuzz 'FuzzParse$$' -fuzztime $(FUZZTIME) ./internal/rpeq
+	$(GO) test -run NONE -fuzz 'FuzzParseXPath$$' -fuzztime $(FUZZTIME) ./internal/rpeq
+	$(GO) test -run NONE -fuzz 'FuzzScanner$$' -fuzztime $(FUZZTIME) ./internal/xmlstream
+	$(GO) test -run NONE -fuzz 'FuzzCondNormalize$$' -fuzztime $(FUZZTIME) ./internal/cond
+
+## bench-smoke: tiny-scale harness runs with the zero-answer shape check,
+## writing machine-readable BENCH_*.json reports into $(BENCH_DIR)
+bench-smoke:
+	mkdir -p $(BENCH_DIR)
+	$(GO) run ./cmd/spexbench -fig 14 -scale 0.1 -check -json $(BENCH_DIR)
+	$(GO) run ./cmd/spexbench -fig sdi -scale 0.01 -check -json $(BENCH_DIR)

@@ -7,7 +7,10 @@
 //	spexbench -fig 14         # Figure 14 only (MONDIAL + WordNet, 3 engines)
 //	spexbench -fig 15         # Figure 15 only (DMOZ, SPEX; baselines refuse)
 //	spexbench -fig mem        # the §VI memory table
+//	spexbench -fig sdi        # the multi-query SDI sweep (subs × shards)
 //	spexbench -scale 1        # paper-sized documents (DMOZ takes a while)
+//	spexbench -check          # exit non-zero if any engine reports zero
+//	                          # answers (CI shape check, not a timing one)
 //	spexbench -http :6060     # serve live metrics (Prometheus + JSON) and
 //	                          # net/http/pprof while the benchmarks run
 //	spexbench -json DIR       # also write machine-readable BENCH_*.json
@@ -50,12 +53,13 @@ func run(args []string, stdout, stderr io.Writer) error {
 	fs := flag.NewFlagSet("spexbench", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	var (
-		fig      = fs.String("fig", "all", "which experiment: 14, 15, mem, all")
+		fig      = fs.String("fig", "all", "which experiment: 14, 15, mem, sdi, all")
 		scale    = fs.Float64("scale", 0, "document scale; 0 = defaults (1 for Fig. 14, 0.05 for Fig. 15)")
 		verbose  = fs.Bool("v", false, "stream per-measurement progress and a periodic live-metrics line")
 		fullDMOZ = fs.Bool("full-dmoz", false, "run Fig. 15 at the paper's full scale (slow; equivalent to -scale 1)")
 		httpAddr = fs.String("http", "", "serve live metrics and pprof on this address while running (e.g. :6060)")
 		jsonDir  = fs.String("json", "", "write machine-readable BENCH_*.json reports into this directory")
+		check    = fs.Bool("check", false, "fail if any non-skipped measurement reports zero answers")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -95,6 +99,21 @@ func run(args []string, stdout, stderr io.Writer) error {
 	runFig14 := *fig == "14" || *fig == "all"
 	runFig15 := *fig == "15" || *fig == "all"
 	runMem := *fig == "mem" || *fig == "all"
+	runSDI := *fig == "sdi" || *fig == "all"
+
+	// checkAnswers is the CI shape check: every measurement that actually
+	// ran must have found answers on these workloads.
+	checkAnswers := func(figure string, ms []bench.Measurement) error {
+		if !*check {
+			return nil
+		}
+		for _, m := range ms {
+			if m.Skipped == "" && m.Matches == 0 {
+				return fmt.Errorf("%s: %s on %s %q reported zero answers", figure, m.Engine, m.Dataset, m.Query)
+			}
+		}
+		return nil
+	}
 
 	if runFig14 {
 		s := *scale
@@ -106,6 +125,9 @@ func run(args []string, stdout, stderr io.Writer) error {
 			return err
 		}
 		if err := writeJSON("BENCH_fig14.json", ms); err != nil {
+			return err
+		}
+		if err := checkAnswers("fig14", ms); err != nil {
 			return err
 		}
 	}
@@ -124,6 +146,9 @@ func run(args []string, stdout, stderr io.Writer) error {
 		if err := writeJSON("BENCH_fig15.json", ms); err != nil {
 			return err
 		}
+		if err := checkAnswers("fig15", ms); err != nil {
+			return err
+		}
 	}
 	if runMem {
 		s := *scale
@@ -134,7 +159,50 @@ func run(args []string, stdout, stderr io.Writer) error {
 			return err
 		}
 	}
+	if runSDI {
+		s := *scale
+		if s == 0 {
+			s = 0.02
+		}
+		ms, err := figureSDI(stdout, progress, s, observer)
+		if err != nil {
+			return err
+		}
+		if *jsonDir != "" && len(ms) > 0 {
+			f, err := os.Create(filepath.Join(*jsonDir, "BENCH_sdi.json"))
+			if err != nil {
+				return err
+			}
+			err = bench.WriteSDIJSON(f, ms)
+			if cerr := f.Close(); err == nil {
+				err = cerr
+			}
+			if err != nil {
+				return err
+			}
+		}
+		if *check {
+			for _, m := range ms {
+				if m.Matches == 0 {
+					return fmt.Errorf("sdi: %s with %d subs, %d shards reported zero answers", m.Mode, m.Subs, m.Shards)
+				}
+			}
+		}
+	}
 	return nil
+}
+
+// figureSDI runs the multi-query SDI sweep: subscription count × shard
+// count on the DMOZ-shaped structure document, sequential shared-network
+// baseline included.
+func figureSDI(out, progress io.Writer, scale float64, o *bench.Observer) ([]bench.SDIMeasurement, error) {
+	ms, err := bench.RunSDISweep(scale, bench.SDISubCounts, bench.SDIShardCounts(), progress, o)
+	if err != nil {
+		return ms, err
+	}
+	title := fmt.Sprintf("\nSDI — dmoz-structure (scale %g), %d worker cores available", scale, runtime.GOMAXPROCS(0))
+	bench.WriteSDITable(out, title, ms)
+	return ms, nil
 }
 
 // serveMetrics starts the observability endpoint: /metrics (Prometheus

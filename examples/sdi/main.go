@@ -66,4 +66,18 @@ func main() {
 	for name, n := range set.Matches() {
 		fmt.Printf("  %-22s %d\n", name, n)
 	}
+
+	// At service scale the same subscriptions run on a sharded worker
+	// pool: each shard owns one shared network, the feeder broadcasts
+	// batched events over bounded channels, and a single sink goroutine
+	// delivers the callbacks — per-subscriber order preserved, answers
+	// identical to the sequential engines above.
+	pool, err := multi.NewParallelSet(subs, multi.ParallelOptions{Shards: 2})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nparallel pool: %d shards\n", pool.Shards())
+	if err := pool.Run(xmlstream.NewScanner(strings.NewReader(feed))); err != nil {
+		log.Fatal(err)
+	}
 }

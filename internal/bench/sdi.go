@@ -1,0 +1,272 @@
+package bench
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"runtime"
+	"sort"
+	"text/tabwriter"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/multi"
+	"repro/internal/xmlstream"
+)
+
+// The SDI experiment: the paper's introduction motivates SPEX with
+// publish/subscribe ("selective dissemination of information") systems where
+// very many standing queries watch one stream. This harness measures that
+// scenario on the DMOZ-shaped document: N subscriptions with a common
+// _*.Topic head but distinct qualifier/tail combinations, evaluated by the
+// sequential shared-network engine and by the sharded parallel engine at
+// several worker counts.
+
+// SDIMeasurement is one (subscription count, engine configuration) cell.
+type SDIMeasurement struct {
+	Dataset  string
+	Subs     int
+	Mode     string // "shared" (sequential baseline) or "parallel"
+	Shards   int    // 0 for the sequential baseline
+	Batch    int    // events per broadcast batch (parallel only)
+	Elements int64
+	Matches  int64 // total answers over all subscriptions
+	Elapsed  time.Duration
+	// Speedup is the throughput ratio against the parallel single-shard row
+	// of the same subscription count; 0 when that row is not available.
+	Speedup float64
+}
+
+// ElementsPerSec is the measurement's throughput.
+func (m SDIMeasurement) ElementsPerSec() float64 {
+	if m.Elapsed <= 0 {
+		return 0
+	}
+	return float64(m.Elements) / m.Elapsed.Seconds()
+}
+
+// sdiHeads and sdiLabels span the query space: every query is
+// head[q1]...[qk].child with 0–2 qualifiers, all matching the DMOZ
+// structure shape (Topic records carrying catid, Title, and probabilistic
+// newsGroup/editor/link children).
+var (
+	sdiHeads  = []string{"_*.Topic", "RDF.Topic"}
+	sdiLabels = []string{"catid", "Title", "newsGroup", "editor", "link"}
+)
+
+// SDIQueries returns n distinct subscription queries (cycling through the
+// 310-query space when n exceeds it), deterministically: the same n always
+// yields the same workload.
+func SDIQueries(n int) []string {
+	var space []string
+	for _, quals := range sdiQualCombos() {
+		for _, child := range sdiLabels {
+			for _, head := range sdiHeads {
+				q := head
+				for _, l := range quals {
+					q += "[" + l + "]"
+				}
+				space = append(space, q+"."+child)
+			}
+		}
+	}
+	out := make([]string, n)
+	for i := range out {
+		out[i] = space[i%len(space)]
+	}
+	return out
+}
+
+// sdiQualCombos enumerates the qualifier lists: none, each single label,
+// each ordered pair of distinct labels.
+func sdiQualCombos() [][]string {
+	combos := [][]string{nil}
+	for _, a := range sdiLabels {
+		combos = append(combos, []string{a})
+	}
+	for _, a := range sdiLabels {
+		for _, b := range sdiLabels {
+			if a != b {
+				combos = append(combos, []string{a, b})
+			}
+		}
+	}
+	return combos
+}
+
+// sdiSubscriptions compiles the queries into subscriptions (no callbacks:
+// the harness measures evaluation and counts answers via Matches).
+func sdiSubscriptions(queries []string) ([]multi.Subscription, error) {
+	subs := make([]multi.Subscription, len(queries))
+	for i, q := range queries {
+		plan, err := core.Prepare(q)
+		if err != nil {
+			return nil, fmt.Errorf("bench: sdi query %q: %w", q, err)
+		}
+		subs[i] = multi.Subscription{Name: fmt.Sprintf("s%03d:%s", i, q), Plan: plan}
+	}
+	return subs, nil
+}
+
+// RunSDI measures one SDI configuration over the serialized document.
+// shards == 0 selects the sequential shared-network baseline; shards >= 1
+// selects the parallel engine. Parsing and compilation are inside the
+// timer, as everywhere in this harness.
+func RunSDI(queries []string, doc []byte, elements int64, shards int, o *Observer) (SDIMeasurement, error) {
+	m := SDIMeasurement{Dataset: "dmoz-structure", Subs: len(queries), Elements: elements}
+	w := Workload{Dataset: m.Dataset, Query: fmt.Sprintf("sdi %d subs, %d shards", len(queries), shards)}
+	stopProgress := o.startProgress(w)
+	defer stopProgress()
+	start := time.Now()
+
+	subs, err := sdiSubscriptions(queries)
+	if err != nil {
+		return m, err
+	}
+	src := xmlstream.NewScanner(bytes.NewReader(doc), xmlstream.WithText(false))
+	var counts map[string]int64
+	if shards == 0 {
+		m.Mode = "shared"
+		set, err := multi.NewSharedSet(subs)
+		if err != nil {
+			return m, err
+		}
+		if err := set.Run(src); err != nil {
+			return m, err
+		}
+		counts = set.Matches()
+	} else {
+		m.Mode = "parallel"
+		m.Shards = shards
+		m.Batch = multi.DefaultBatchSize
+		p, err := multi.NewParallelSet(subs, multi.ParallelOptions{Shards: shards, Metrics: o.metrics()})
+		if err != nil {
+			return m, err
+		}
+		if err := p.Run(src); err != nil {
+			return m, err
+		}
+		m.Shards = p.Shards() // may be clamped to len(subs)
+		counts = p.Matches()
+	}
+	m.Elapsed = time.Since(start)
+	for _, n := range counts {
+		m.Matches += n
+	}
+	return m, nil
+}
+
+// SDISubCounts is the default subscription-count axis of the sweep.
+var SDISubCounts = []int{16, 64, 256}
+
+// SDIShardCounts returns the default shard-count axis: 1, 2, 4 and
+// GOMAXPROCS, deduplicated and sorted.
+func SDIShardCounts() []int {
+	set := map[int]bool{1: true, 2: true, 4: true, runtime.GOMAXPROCS(0): true}
+	var out []int
+	for n := range set {
+		out = append(out, n)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// RunSDISweep measures every (subscription count, shard count) cell plus a
+// sequential baseline row per subscription count, computing each parallel
+// row's speedup against its single-shard sibling.
+func RunSDISweep(scale float64, subCounts, shardCounts []int, progress io.Writer, o *Observer) ([]SDIMeasurement, error) {
+	doc := Dataset("dmoz-structure", scale).Bytes()
+	info, err := xmlstream.Measure(xmlstream.NewScanner(bytes.NewReader(doc)))
+	if err != nil {
+		return nil, err
+	}
+	var out []SDIMeasurement
+	for _, subs := range subCounts {
+		queries := SDIQueries(subs)
+		report := func(m SDIMeasurement) {
+			if progress != nil {
+				fmt.Fprintf(progress, "  sdi %4d subs %-8s shards=%d  %9.1f ms  %9d matches  %11.0f elems/s\n",
+					m.Subs, m.Mode, m.Shards, float64(m.Elapsed.Microseconds())/1000, m.Matches, m.ElementsPerSec())
+			}
+		}
+		base, err := RunSDI(queries, doc, info.Elements, 0, o)
+		if err != nil {
+			return out, err
+		}
+		report(base)
+		out = append(out, base)
+		var oneShard float64
+		for _, shards := range shardCounts {
+			m, err := RunSDI(queries, doc, info.Elements, shards, o)
+			if err != nil {
+				return out, err
+			}
+			if m.Shards == 1 {
+				oneShard = m.ElementsPerSec()
+			}
+			if oneShard > 0 {
+				m.Speedup = m.ElementsPerSec() / oneShard
+			}
+			report(m)
+			out = append(out, m)
+		}
+	}
+	return out, nil
+}
+
+// WriteSDITable renders the sweep as a table, one row per configuration.
+func WriteSDITable(w io.Writer, title string, ms []SDIMeasurement) {
+	fmt.Fprintf(w, "%s\n", title)
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "subs\tmode\tshards\tmatches\telapsed [ms]\telems/s\tspeedup")
+	for _, m := range ms {
+		shards := "-"
+		if m.Mode == "parallel" {
+			shards = fmt.Sprintf("%d", m.Shards)
+		}
+		speedup := "-"
+		if m.Speedup > 0 {
+			speedup = fmt.Sprintf("%.2fx", m.Speedup)
+		}
+		fmt.Fprintf(tw, "%d\t%s\t%s\t%d\t%.1f\t%.0f\t%s\n",
+			m.Subs, m.Mode, shards, m.Matches, float64(m.Elapsed.Microseconds())/1000, m.ElementsPerSec(), speedup)
+	}
+	tw.Flush()
+}
+
+// jsonSDIMeasurement is the machine-readable row of BENCH_sdi.json.
+type jsonSDIMeasurement struct {
+	Dataset        string  `json:"dataset"`
+	Subs           int     `json:"subs"`
+	Mode           string  `json:"mode"`
+	Shards         int     `json:"shards"`
+	Batch          int     `json:"batch,omitempty"`
+	Elements       int64   `json:"elements"`
+	Matches        int64   `json:"matches"`
+	ElapsedNs      int64   `json:"elapsed_ns"`
+	ElementsPerSec float64 `json:"elements_per_sec"`
+	Speedup        float64 `json:"speedup,omitempty"`
+}
+
+// WriteSDIJSON renders the sweep as an indented JSON array.
+func WriteSDIJSON(w io.Writer, ms []SDIMeasurement) error {
+	out := make([]jsonSDIMeasurement, 0, len(ms))
+	for _, m := range ms {
+		out = append(out, jsonSDIMeasurement{
+			Dataset:        m.Dataset,
+			Subs:           m.Subs,
+			Mode:           m.Mode,
+			Shards:         m.Shards,
+			Batch:          m.Batch,
+			Elements:       m.Elements,
+			Matches:        m.Matches,
+			ElapsedNs:      m.Elapsed.Nanoseconds(),
+			ElementsPerSec: m.ElementsPerSec(),
+			Speedup:        m.Speedup,
+		})
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
+}

@@ -1,0 +1,74 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestSDIQueriesDistinctAndParseable(t *testing.T) {
+	qs := SDIQueries(256)
+	seen := map[string]bool{}
+	for _, q := range qs {
+		if seen[q] {
+			t.Fatalf("duplicate query before the space is exhausted: %s", q)
+		}
+		seen[q] = true
+	}
+	if _, err := sdiSubscriptions(qs); err != nil {
+		t.Fatal(err)
+	}
+	// Past the 260-query space the workload cycles.
+	if qs := SDIQueries(400); qs[0] != qs[260] {
+		t.Fatalf("cycle: %s vs %s", qs[0], qs[260])
+	}
+}
+
+func TestSDISweepCrossChecks(t *testing.T) {
+	subCounts := []int{4, 12}
+	shardCounts := []int{1, 2}
+	ms, err := RunSDISweep(0.001, subCounts, shardCounts, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := len(subCounts) * (1 + len(shardCounts)); len(ms) != want {
+		t.Fatalf("rows: %d, want %d", len(ms), want)
+	}
+	baseline := map[int]int64{}
+	for _, m := range ms {
+		if m.Matches <= 0 {
+			t.Errorf("zero answers: %+v", m)
+		}
+		if m.Elements <= 0 || m.Elapsed <= 0 {
+			t.Errorf("implausible row: %+v", m)
+		}
+		switch m.Mode {
+		case "shared":
+			baseline[m.Subs] = m.Matches
+		case "parallel":
+			// The partition must not change the total answer count.
+			if want, ok := baseline[m.Subs]; ok && m.Matches != want {
+				t.Errorf("%d subs, %d shards: %d matches vs sequential %d", m.Subs, m.Shards, m.Matches, want)
+			}
+			if m.Speedup <= 0 {
+				t.Errorf("parallel row without speedup ratio: %+v", m)
+			}
+		default:
+			t.Errorf("unknown mode: %+v", m)
+		}
+	}
+
+	var sb strings.Builder
+	WriteSDITable(&sb, "SDI", ms)
+	if !strings.Contains(sb.String(), "parallel") {
+		t.Errorf("table missing parallel rows:\n%s", sb.String())
+	}
+	sb.Reset()
+	if err := WriteSDIJSON(&sb, ms); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{`"mode": "parallel"`, `"elements_per_sec"`, `"speedup"`} {
+		if !strings.Contains(sb.String(), want) {
+			t.Errorf("json missing %s", want)
+		}
+	}
+}

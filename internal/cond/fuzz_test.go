@@ -1,0 +1,106 @@
+package cond
+
+import "testing"
+
+// renormalize rebuilds a formula bottom-up through the normalizing
+// constructors; on an already-normalized formula it must be the identity.
+func renormalize(f *Formula) *Formula {
+	switch f.op {
+	case OpAnd, OpOr:
+		kids := make([]*Formula, len(f.kids))
+		for i, k := range f.kids {
+			kids[i] = renormalize(k)
+		}
+		if f.op == OpAnd {
+			return And(kids...)
+		}
+		return Or(kids...)
+	default:
+		return f
+	}
+}
+
+// FuzzCondNormalize drives the formula constructors with an arbitrary
+// build program and checks the normalization invariants the complexity
+// analysis rests on (Remark V.1): normalizing never panics, never grows
+// the formula relative to its raw (non-deduplicating) counterpart, is
+// idempotent, and preserves the boolean semantics.
+//
+// Each input byte is one stack-machine instruction: push a variable, push
+// a constant, or combine the top operands with ∧/∨ — built twice in
+// lockstep, once with the Raw constructors and once with the normalizing
+// ones.
+func FuzzCondNormalize(f *testing.F) {
+	f.Add([]byte{0x04, 0x08, 0x02})             // v1, v2, And
+	f.Add([]byte{0x04, 0x04, 0x03})             // duplicate Or
+	f.Add([]byte{0x01, 0x05, 0x04, 0x02, 0x03}) // constants in the mix
+	f.Add([]byte{0x04, 0x08, 0x0c, 0x06, 0x04, 0x08, 0x0e, 0x02})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) > 256 {
+			data = data[:256]
+		}
+		var raw, norm []*Formula
+		for _, b := range data {
+			switch b & 3 {
+			case 0: // push a variable from a small space so duplicates occur
+				v := VarID(b >> 2 % 8)
+				raw = append(raw, Var(v))
+				norm = append(norm, Var(v))
+			case 1: // push a constant
+				c := True()
+				if b>>2&1 == 1 {
+					c = False()
+				}
+				raw = append(raw, c)
+				norm = append(norm, c)
+			case 2, 3: // combine the top k operands
+				k := int(b>>2%4) + 2
+				if len(raw) < k {
+					continue
+				}
+				var r, n *Formula
+				if b&3 == 2 {
+					r, n = RawAnd(raw[len(raw)-k:]...), And(norm[len(norm)-k:]...)
+				} else {
+					r, n = RawOr(raw[len(raw)-k:]...), Or(norm[len(norm)-k:]...)
+				}
+				raw = append(raw[:len(raw)-k], r)
+				norm = append(norm[:len(norm)-k], n)
+			}
+		}
+		for i := range raw {
+			checkNormalized(t, raw[i], norm[i])
+		}
+	})
+}
+
+func checkNormalized(t *testing.T, raw, norm *Formula) {
+	t.Helper()
+	// Remark V.1: the normalized formula never exceeds the raw build — at
+	// most one reference per condition variable survives.
+	if norm.Size() > raw.Size() {
+		t.Errorf("normalization grew the formula: %d > %d (%s vs %s)", norm.Size(), raw.Size(), norm, raw)
+	}
+	// Idempotency: renormalizing a normalized formula is the identity.
+	if again := renormalize(norm); again.Key() != norm.Key() {
+		t.Errorf("not idempotent: %s renormalizes to %s", norm.Key(), again.Key())
+	}
+	// Semantics: raw and normalized agree under every full assignment of
+	// the (at most 8) variables.
+	for mask := 0; mask < 256; mask++ {
+		lookup := func(v VarID) Value {
+			if mask>>uint(v)&1 == 1 {
+				return ValueTrue
+			}
+			return ValueFalse
+		}
+		rv, nv := raw.Eval(lookup), norm.Eval(lookup)
+		if rv != nv {
+			t.Fatalf("semantics changed under mask %08b: raw %s=%s, normalized %s=%s", mask, raw, rv, norm, nv)
+		}
+	}
+	// A determined normalized formula must already be the constant itself.
+	if norm.Determined() && norm != True() && norm != False() {
+		t.Errorf("determined but not a constant: %s", norm)
+	}
+}

@@ -2,9 +2,19 @@
 // pass — the selective-dissemination-of-information (SDI) scenario the
 // paper's introduction motivates and its conclusion names as future work
 // ("a single transducer network can be used for processing several queries
-// having common subparts"). This implementation runs one network per query
-// over the shared event stream; common-subexpression sharing across
-// networks remains future work here too.
+// having common subparts"). Three engines are provided:
+//
+//   - Set runs one network per query over the shared event stream — the
+//     baseline the others are cross-validated against;
+//   - SharedSet compiles all queries into ONE network (spexnet.BuildSet
+//     hash-conses common subexpressions behind explicit fan-out junctions) —
+//     the paper's multi-query optimization;
+//   - ParallelSet shards the subscriptions over a worker pool: each shard
+//     owns one shared network exclusively, the feeding goroutine broadcasts
+//     batched event slices over bounded channels with backpressure, and a
+//     single sink goroutine delivers OnHit callbacks in per-subscription
+//     order — the scaling axis an SDI service with many standing queries
+//     needs.
 package multi
 
 import (

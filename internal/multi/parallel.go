@@ -1,0 +1,434 @@
+package multi
+
+import (
+	"fmt"
+	"io"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/obs"
+	"repro/internal/spexnet"
+	"repro/internal/xmlstream"
+)
+
+// Default tuning for the parallel SDI engine. Batches amortize the channel
+// synchronization over many events (a per-event send would cost more than
+// evaluating the event); the queue depth bounds how far a fast feeder can
+// run ahead of a slow shard before blocking — backpressure, not growth.
+const (
+	DefaultBatchSize  = 256
+	DefaultQueueDepth = 4
+)
+
+// ParallelOptions tune a ParallelSet. The zero value is ready to use:
+// GOMAXPROCS shards, shared per-shard networks, default batching.
+type ParallelOptions struct {
+	// Shards is the number of worker shards; 0 means runtime.GOMAXPROCS(0).
+	// The subscription set is partitioned over the shards; every shard sees
+	// the whole event stream.
+	Shards int
+	// BatchSize is the number of events per broadcast batch; 0 means
+	// DefaultBatchSize. Smaller batches lower answer latency, larger ones
+	// raise throughput.
+	BatchSize int
+	// QueueDepth is the per-shard inbound queue capacity in batches; 0
+	// means DefaultQueueDepth. The feeder blocks when a shard's queue is
+	// full (backpressure).
+	QueueDepth int
+	// Isolate builds one network per subscription inside each shard (the
+	// Set baseline) instead of one shared network per shard. Sharing is the
+	// default: queries desugared to the same normalized head evaluate the
+	// common chain once per shard behind a fan-out junction.
+	Isolate bool
+	// Assign maps a subscription index to a shard in [0, shards); nil means
+	// round-robin. Cross-validation tests shuffle assignments to prove the
+	// partition cannot change answers.
+	Assign func(subIndex, shards int) int
+	// Metrics, when non-nil, receives live instrumentation: stream-side
+	// counters written by the feeding goroutine, per-shard instruments
+	// (batches, events, hits, queue watermark, busy time) written by the
+	// workers, and the Matches counter written by the sink goroutine. All
+	// are readable from any goroutine mid-stream via Snapshot.
+	Metrics *obs.Metrics
+}
+
+// eventBatch is a broadcast unit: one slice of events delivered to every
+// shard. It is reference-counted because all shards share the same backing
+// buffer; the last shard to finish returns it to the pool.
+type eventBatch struct {
+	evs  []xmlstream.Event
+	refs atomic.Int32
+}
+
+func (b *eventBatch) release(pool *sync.Pool) {
+	if b.refs.Add(-1) == 0 {
+		b.evs = b.evs[:0]
+		pool.Put(b)
+	}
+}
+
+// hit is one answer tagged with its subscription's global index.
+type hit struct {
+	sub int
+	r   spexnet.Result
+}
+
+// hitBatch carries a shard's answers from one event batch to the sink
+// goroutine.
+type hitBatch struct {
+	hits []hit
+}
+
+// evaluator is the per-shard engine: Set or SharedSet.
+type evaluator interface {
+	Feed(ev xmlstream.Event) error
+	Close() error
+	Matches() map[string]int64
+}
+
+// ParallelSet evaluates a collection of subscriptions over one stream pass
+// with a sharded worker pool. Subscriptions are partitioned into shards;
+// each shard owns its networks' mutable state exclusively and evaluates
+// every event of the stream against its share of the queries. The feeding
+// goroutine (the caller of Feed/Run) broadcasts batched event slices to the
+// shards over bounded channels; answers funnel through a single sink
+// goroutine, so OnHit callbacks never race and arrive in per-subscription
+// document order.
+type ParallelSet struct {
+	subs   []Subscription
+	opts   ParallelOptions
+	shards []*shardWorker
+
+	batchPool sync.Pool
+	hitPool   sync.Pool
+	hitCh     chan *hitBatch
+	cur       *eventBatch
+
+	workerWG sync.WaitGroup
+	sinkWG   sync.WaitGroup
+
+	failed atomic.Bool
+	errMu  sync.Mutex
+	err    error
+
+	opened bool
+	closed bool
+	depth  int64
+}
+
+// shardWorker is one shard: its inbound queue, its engine, and its answer
+// buffer. Only the shard's goroutine touches set and hits.
+type shardWorker struct {
+	p    *ParallelSet
+	id   int
+	ch   chan *eventBatch
+	set  evaluator
+	sm   *obs.ShardMetrics
+	hits *hitBatch
+}
+
+// NewParallelSet partitions the subscriptions over a worker pool and starts
+// the shard and sink goroutines. Close (or Run, which calls it) must be
+// called to release them.
+func NewParallelSet(subs []Subscription, opts ParallelOptions) (*ParallelSet, error) {
+	if len(subs) == 0 {
+		return nil, fmt.Errorf("multi: no subscriptions")
+	}
+	if opts.Shards <= 0 {
+		opts.Shards = runtime.GOMAXPROCS(0)
+	}
+	if opts.Shards > len(subs) {
+		opts.Shards = len(subs)
+	}
+	if opts.BatchSize <= 0 {
+		opts.BatchSize = DefaultBatchSize
+	}
+	if opts.QueueDepth <= 0 {
+		opts.QueueDepth = DefaultQueueDepth
+	}
+	p := &ParallelSet{subs: subs, opts: opts}
+	p.batchPool.New = func() any {
+		return &eventBatch{evs: make([]xmlstream.Event, 0, opts.BatchSize)}
+	}
+	p.hitPool.New = func() any { return &hitBatch{} }
+	p.cur = p.batchPool.Get().(*eventBatch)
+	p.hitCh = make(chan *hitBatch, 2*opts.Shards)
+
+	// Partition the subscriptions.
+	byShard := make([][]int, opts.Shards)
+	for i := range subs {
+		s := i % opts.Shards
+		if opts.Assign != nil {
+			s = opts.Assign(i, opts.Shards)
+			if s < 0 || s >= opts.Shards {
+				return nil, fmt.Errorf("multi: Assign(%d, %d) = %d out of range", i, opts.Shards, s)
+			}
+		}
+		byShard[s] = append(byShard[s], i)
+	}
+
+	var sms []*obs.ShardMetrics
+	for id := 0; id < opts.Shards; id++ {
+		w := &shardWorker{
+			p:    p,
+			id:   id,
+			ch:   make(chan *eventBatch, opts.QueueDepth),
+			hits: p.hitPool.Get().(*hitBatch),
+		}
+		if opts.Metrics != nil {
+			w.sm = obs.NewShardMetrics(fmt.Sprintf("shard-%d", id))
+			w.sm.Subs.Set(int64(len(byShard[id])))
+			sms = append(sms, w.sm)
+		}
+		// Each shard evaluates wrapped subscriptions whose sinks collect
+		// into the shard's hit buffer; the user's OnHit runs only in the
+		// sink goroutine.
+		wrapped := make([]Subscription, 0, len(byShard[id]))
+		for _, gi := range byShard[id] {
+			gi := gi
+			wrapped = append(wrapped, Subscription{
+				Name: subs[gi].Name,
+				Plan: subs[gi].Plan,
+				OnHit: func(_ string, r spexnet.Result) {
+					w.hits.hits = append(w.hits.hits, hit{sub: gi, r: r})
+				},
+			})
+		}
+		var err error
+		if opts.Isolate {
+			w.set, err = NewSet(wrapped)
+		} else {
+			w.set, err = NewSharedSet(wrapped)
+		}
+		if err != nil {
+			return nil, fmt.Errorf("multi: shard %d: %w", id, err)
+		}
+		p.shards = append(p.shards, w)
+	}
+	if opts.Metrics != nil {
+		opts.Metrics.SetShards(sms)
+	}
+
+	for _, w := range p.shards {
+		p.workerWG.Add(1)
+		go w.run()
+	}
+	p.sinkWG.Add(1)
+	go p.sink()
+	return p, nil
+}
+
+// Shards returns the number of worker shards.
+func (p *ParallelSet) Shards() int { return len(p.shards) }
+
+// setErr records the first error and flips the pool into draining mode.
+func (p *ParallelSet) setErr(err error) {
+	p.errMu.Lock()
+	if p.err == nil {
+		p.err = err
+	}
+	p.errMu.Unlock()
+	p.failed.Store(true)
+}
+
+func (p *ParallelSet) firstErr() error {
+	p.errMu.Lock()
+	defer p.errMu.Unlock()
+	return p.err
+}
+
+// run is the shard loop: evaluate every inbound batch, release the shared
+// buffer, ship the answers. After the queue closes the shard finishes its
+// engine so end-of-stream answers (past conditions determined at </$>)
+// still reach the sink.
+func (w *shardWorker) run() {
+	defer w.p.workerWG.Done()
+	for b := range w.ch {
+		if !w.p.failed.Load() {
+			var start time.Time
+			if w.sm != nil {
+				start = time.Now()
+			}
+			for i := range b.evs {
+				if err := w.set.Feed(b.evs[i]); err != nil {
+					w.p.setErr(fmt.Errorf("multi: shard %d: %w", w.id, err))
+					break
+				}
+			}
+			if w.sm != nil {
+				w.sm.Batches.Inc()
+				w.sm.Events.Add(int64(len(b.evs)))
+				w.sm.BusyNs.Add(time.Since(start).Nanoseconds())
+			}
+		}
+		b.release(&w.p.batchPool)
+		w.flushHits()
+	}
+	if !w.p.failed.Load() {
+		if err := w.set.Close(); err != nil {
+			w.p.setErr(fmt.Errorf("multi: shard %d: %w", w.id, err))
+		}
+	}
+	w.flushHits()
+}
+
+// flushHits ships the shard's buffered answers to the sink goroutine. The
+// channel preserves each sender's order, so a subscription's answers —
+// always produced by the one shard owning it — arrive in document order.
+func (w *shardWorker) flushHits() {
+	if len(w.hits.hits) == 0 {
+		return
+	}
+	if w.sm != nil {
+		w.sm.Hits.Add(int64(len(w.hits.hits)))
+	}
+	w.p.hitCh <- w.hits
+	w.hits = w.p.hitPool.Get().(*hitBatch)
+}
+
+// sink is the single ordered delivery goroutine: all OnHit callbacks of all
+// subscriptions run here.
+func (p *ParallelSet) sink() {
+	defer p.sinkWG.Done()
+	for hb := range p.hitCh {
+		for _, h := range hb.hits {
+			sub := &p.subs[h.sub]
+			if sub.OnHit != nil {
+				sub.OnHit(sub.Name, h.r)
+			}
+			if p.opts.Metrics != nil {
+				p.opts.Metrics.Matches.Inc()
+			}
+		}
+		hb.hits = hb.hits[:0]
+		p.hitPool.Put(hb)
+	}
+}
+
+// Feed pushes one event into the pool; the actual broadcast happens once
+// per batch. Feed must be called from a single goroutine (the feeder).
+func (p *ParallelSet) Feed(ev xmlstream.Event) error {
+	if p.closed {
+		return fmt.Errorf("multi: parallel set already closed")
+	}
+	if p.failed.Load() {
+		return p.firstErr()
+	}
+	if !p.opened {
+		p.opened = true
+		if ev.Kind != xmlstream.StartDocument {
+			p.push(xmlstream.Event{Kind: xmlstream.StartDocument})
+		}
+	}
+	if m := p.opts.Metrics; m != nil {
+		m.Events.Inc()
+		switch ev.Kind {
+		case xmlstream.StartElement:
+			m.Elements.Inc()
+			p.depth++
+			m.Depth.Set(p.depth)
+		case xmlstream.EndElement:
+			p.depth--
+			m.Depth.Set(p.depth)
+		}
+	}
+	p.push(ev)
+	return nil
+}
+
+func (p *ParallelSet) push(ev xmlstream.Event) {
+	p.cur.evs = append(p.cur.evs, ev)
+	if len(p.cur.evs) >= p.opts.BatchSize {
+		p.dispatch()
+	}
+}
+
+// dispatch broadcasts the current batch to every shard. The bounded channel
+// send is the backpressure point: a shard that cannot keep up stalls the
+// feeder instead of queueing unboundedly.
+func (p *ParallelSet) dispatch() {
+	b := p.cur
+	if len(b.evs) == 0 {
+		return
+	}
+	p.cur = p.batchPool.Get().(*eventBatch)
+	b.refs.Store(int32(len(p.shards)))
+	for _, w := range p.shards {
+		if w.sm != nil {
+			// Queue depth as seen when enqueueing, this batch included;
+			// the feeder is the instrument's only writer.
+			w.sm.Queue.Set(int64(len(w.ch) + 1))
+		}
+		w.ch <- b
+	}
+}
+
+// Close flushes the last batch, ends the stream on every shard, waits for
+// all answers to be delivered and returns the first error. The per-shard
+// engines synthesize missing document boundaries exactly like the
+// sequential Set.
+func (p *ParallelSet) Close() error {
+	if p.closed {
+		return p.firstErr()
+	}
+	p.closed = true
+	p.dispatch()
+	for _, w := range p.shards {
+		close(w.ch)
+	}
+	p.workerWG.Wait()
+	close(p.hitCh)
+	p.sinkWG.Wait()
+	if m := p.opts.Metrics; m != nil {
+		for _, w := range p.shards {
+			if w.sm != nil {
+				w.sm.Queue.Set(0)
+			}
+		}
+	}
+	return p.firstErr()
+}
+
+// Run drains the source through the pool and closes it.
+func (p *ParallelSet) Run(src xmlstream.Source) error {
+	for {
+		ev, err := src.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			p.setErr(err)
+			_ = p.Close()
+			return err
+		}
+		if err := p.Feed(ev); err != nil {
+			_ = p.Close()
+			return err
+		}
+	}
+	return p.Close()
+}
+
+// Matches returns per-subscription answer counts, keyed by name; valid
+// after Close.
+func (p *ParallelSet) Matches() map[string]int64 {
+	out := make(map[string]int64, len(p.subs))
+	for _, w := range p.shards {
+		for name, n := range w.set.Matches() {
+			out[name] = n
+		}
+	}
+	return out
+}
+
+// Snapshot returns a point-in-time view of the pool's metrics registry,
+// safe from any goroutine while the pool is running. Without a registry the
+// snapshot has Enabled == false.
+func (p *ParallelSet) Snapshot() obs.Snapshot {
+	if p.opts.Metrics == nil {
+		return obs.Snapshot{}
+	}
+	return p.opts.Metrics.Snapshot()
+}

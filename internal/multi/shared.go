@@ -48,7 +48,8 @@ func NewSharedSet(subs []Subscription) (*SharedSet, error) {
 // common prefixes it is far below the sum of the per-query networks.
 func (s *SharedSet) Degree() int { return s.net.Degree() }
 
-// Feed pushes one event through the shared network.
+// Feed pushes one event through the shared network. The end-document event
+// finishes the evaluation, exactly as core.Run.Feed does.
 func (s *SharedSet) Feed(ev xmlstream.Event) error {
 	if s.done {
 		return fmt.Errorf("multi: shared set already closed")
@@ -61,7 +62,14 @@ func (s *SharedSet) Feed(ev xmlstream.Event) error {
 			}
 		}
 	}
-	return s.net.Step(ev)
+	if err := s.net.Step(ev); err != nil {
+		return err
+	}
+	if ev.Kind == xmlstream.EndDocument {
+		s.done = true
+		return s.net.Finish()
+	}
+	return nil
 }
 
 // Run drains the source and closes the set.
@@ -76,10 +84,6 @@ func (s *SharedSet) Run(src xmlstream.Source) error {
 		}
 		if err := s.Feed(ev); err != nil {
 			return err
-		}
-		if ev.Kind == xmlstream.EndDocument {
-			s.done = true
-			return s.net.Finish()
 		}
 	}
 	return s.Close()

@@ -90,7 +90,7 @@ func TestSharedSetPrefixSharing(t *testing.T) {
 	}
 	// One query alone costs some degree D; n queries sharing everything
 	// but the last step should cost ≈ D + n (one child transducer and
-	// one sink each), far below n*D.
+	// one sink each) plus a few explicit fan-out junctions, far below n*D.
 	single, err := spexnet.Build(subs[0].Plan.Expr(), spexnet.Options{})
 	if err != nil {
 		t.Fatal(err)
@@ -99,7 +99,7 @@ func TestSharedSetPrefixSharing(t *testing.T) {
 	if set.Degree() >= n*d/2 {
 		t.Fatalf("no sharing: %d transducers for %d queries (single query: %d)", set.Degree(), n, d)
 	}
-	if set.Degree() > d+2*n {
+	if set.Degree() > d+2*n+4 {
 		t.Fatalf("sharing weaker than expected: %d transducers, single %d", set.Degree(), d)
 	}
 }

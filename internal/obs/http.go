@@ -51,6 +51,20 @@ func WritePrometheus(w io.Writer, s Snapshot) {
 	}
 	fmt.Fprintf(w, "spex_step_messages_sum %d\nspex_step_messages_count %d\n", s.StepMessages.Sum, s.StepMessages.Count)
 
+	if len(s.Shards) > 0 {
+		fmt.Fprintf(w, "# HELP spex_shard_batches_total event batches evaluated per SDI shard\n# TYPE spex_shard_batches_total counter\n")
+		for _, sh := range s.Shards {
+			name := escapeLabel(sh.Name)
+			fmt.Fprintf(w, "spex_shard_batches_total{shard=%q} %d\n", name, sh.Batches)
+			fmt.Fprintf(w, "spex_shard_events_total{shard=%q} %d\n", name, sh.Events)
+			fmt.Fprintf(w, "spex_shard_hits_total{shard=%q} %d\n", name, sh.Hits)
+			fmt.Fprintf(w, "spex_shard_busy_ns_total{shard=%q} %d\n", name, sh.BusyNs)
+			fmt.Fprintf(w, "spex_shard_subs{shard=%q} %d\n", name, sh.Subs)
+			fmt.Fprintf(w, "spex_shard_queue{shard=%q} %d\n", name, sh.Queue)
+			fmt.Fprintf(w, "spex_shard_queue_max{shard=%q} %d\n", name, sh.MaxQueue)
+		}
+	}
+
 	for _, t := range s.Transducers {
 		name := escapeLabel(t.Name)
 		for _, d := range []struct {

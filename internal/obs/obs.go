@@ -189,6 +189,37 @@ func NewTransducerMetrics(name string) *TransducerMetrics {
 	return &TransducerMetrics{Name: name}
 }
 
+// ShardMetrics is the per-shard instrument set of the parallel multi-query
+// (SDI) engine: each shard of the worker pool owns one and is its only
+// writer, except Queue, which the feeding goroutine writes when it enqueues
+// a batch. All instruments are atomics, so snapshots from other goroutines
+// are safe while the pool is running.
+type ShardMetrics struct {
+	// Name labels the shard, e.g. "shard-3".
+	Name string
+	// Subs is the number of subscriptions assigned to the shard.
+	Subs Gauge
+	// Batches counts event batches the shard has evaluated.
+	Batches Counter
+	// Events counts stream events the shard has evaluated (each shard sees
+	// every event of the stream — the queries are partitioned, not the
+	// stream).
+	Events Counter
+	// Hits counts answers the shard has produced across its subscriptions.
+	Hits Counter
+	// Queue is the shard's inbound queue depth in batches, with watermark:
+	// a persistently full queue marks the shard as the pool's straggler.
+	Queue Watermark
+	// BusyNs accumulates time spent evaluating batches, in nanoseconds;
+	// busy time over wall time is the shard's utilization.
+	BusyNs Counter
+}
+
+// NewShardMetrics returns an instrument set labelled name.
+func NewShardMetrics(name string) *ShardMetrics {
+	return &ShardMetrics{Name: name}
+}
+
 // Metrics is the engine's metrics registry. One registry can outlive any
 // single evaluation — a service evaluating many streams binds each new
 // network to the same registry, counters accumulate, and the HTTP handlers
@@ -219,6 +250,7 @@ type Metrics struct {
 
 	mu          sync.RWMutex
 	transducers []*TransducerMetrics
+	shards      []*ShardMetrics
 }
 
 // NewMetrics returns an empty registry.
@@ -240,6 +272,23 @@ func (m *Metrics) Transducers() []*TransducerMetrics {
 	defer m.mu.RUnlock()
 	out := make([]*TransducerMetrics, len(m.transducers))
 	copy(out, m.transducers)
+	return out
+}
+
+// SetShards installs the per-shard instruments of the worker pool the
+// registry is currently observing, replacing those of a previous pool.
+func (m *Metrics) SetShards(sms []*ShardMetrics) {
+	m.mu.Lock()
+	m.shards = sms
+	m.mu.Unlock()
+}
+
+// Shards returns the current per-shard instruments.
+func (m *Metrics) Shards() []*ShardMetrics {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	out := make([]*ShardMetrics, len(m.shards))
+	copy(out, m.shards)
 	return out
 }
 

@@ -98,6 +98,48 @@ func TestSnapshotConcurrentWriters(t *testing.T) {
 	wg.Wait()
 }
 
+func TestShardMetricsSnapshot(t *testing.T) {
+	m := NewMetrics()
+	a, b := NewShardMetrics("shard-0"), NewShardMetrics("shard-1")
+	m.SetShards([]*ShardMetrics{a, b})
+	a.Subs.Set(3)
+	a.Batches.Add(5)
+	a.Events.Add(640)
+	a.Hits.Add(12)
+	a.Queue.Set(2)
+	a.Queue.Set(1)
+	a.BusyNs.Add(1_000_000)
+	b.Subs.Set(2)
+
+	s := m.Snapshot()
+	if len(s.Shards) != 2 {
+		t.Fatalf("shards: %+v", s.Shards)
+	}
+	got := s.Shards[0]
+	if got.Name != "shard-0" || got.Subs != 3 || got.Batches != 5 || got.Events != 640 ||
+		got.Hits != 12 || got.Queue != 1 || got.MaxQueue != 2 || got.BusyNs != 1_000_000 {
+		t.Fatalf("shard-0 snapshot: %+v", got)
+	}
+	if s.Shards[1].Name != "shard-1" || s.Shards[1].Subs != 2 {
+		t.Fatalf("shard-1 snapshot: %+v", s.Shards[1])
+	}
+
+	// The Prometheus rendering carries the per-shard series.
+	var sb strings.Builder
+	WritePrometheus(&sb, s)
+	for _, want := range []string{
+		`spex_shard_batches_total{shard="shard-0"} 5`,
+		`spex_shard_events_total{shard="shard-0"} 640`,
+		`spex_shard_hits_total{shard="shard-0"} 12`,
+		`spex_shard_queue_max{shard="shard-0"} 2`,
+		`spex_shard_subs{shard="shard-1"} 2`,
+	} {
+		if !strings.Contains(sb.String(), want) {
+			t.Errorf("prometheus output missing %q", want)
+		}
+	}
+}
+
 func TestRingTracerWraparound(t *testing.T) {
 	r := NewRingTracer(3)
 	for i := int64(1); i <= 5; i++ {

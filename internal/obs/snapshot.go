@@ -44,6 +44,10 @@ type Snapshot struct {
 
 	Transducers []TransducerSnapshot `json:"transducers,omitempty"`
 
+	// Shards holds the per-shard instruments of a parallel multi-query
+	// (SDI) worker pool, when one is bound to the registry.
+	Shards []ShardSnapshot `json:"shards,omitempty"`
+
 	// Heap sample via runtime.ReadMemStats — the §VI memory observation.
 	HeapAlloc  uint64 `json:"heap_alloc_bytes"`
 	HeapSys    uint64 `json:"heap_sys_bytes"`
@@ -70,6 +74,18 @@ type TransducerSnapshot struct {
 	Stack      int64  `json:"stack"`
 	MaxStack   int64  `json:"max_stack"`
 	MaxFormula int64  `json:"max_formula"`
+}
+
+// ShardSnapshot is one SDI shard's instruments at snapshot time.
+type ShardSnapshot struct {
+	Name     string `json:"name"`
+	Subs     int64  `json:"subs"`
+	Batches  int64  `json:"batches"`
+	Events   int64  `json:"events"`
+	Hits     int64  `json:"hits"`
+	Queue    int64  `json:"queue"`
+	MaxQueue int64  `json:"max_queue"`
+	BusyNs   int64  `json:"busy_ns"`
 }
 
 // Snapshot captures the registry. The heap sample calls
@@ -120,6 +136,18 @@ func (m *Metrics) Snapshot() Snapshot {
 			s.MaxFormula = ts.MaxFormula
 		}
 		s.Transducers = append(s.Transducers, ts)
+	}
+	for _, sm := range m.Shards() {
+		s.Shards = append(s.Shards, ShardSnapshot{
+			Name:     sm.Name,
+			Subs:     sm.Subs.Load(),
+			Batches:  sm.Batches.Load(),
+			Events:   sm.Events.Load(),
+			Hits:     sm.Hits.Load(),
+			Queue:    sm.Queue.Cur(),
+			MaxQueue: sm.Queue.Max(),
+			BusyNs:   sm.BusyNs.Load(),
+		})
 	}
 	var ms runtime.MemStats
 	runtime.ReadMemStats(&ms)

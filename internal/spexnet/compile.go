@@ -88,6 +88,11 @@ func BuildSet(specs []Spec, opts Options) (*Network, error) {
 		b.addNode(out, []int{final}, 0)
 		n.outs = append(n.outs, out)
 	}
+	// Hash-consing above may leave one output tape with several readers (the
+	// implicit multicast); make each such junction an explicit fan-out
+	// transducer so every tape has exactly one reader and the sharing points
+	// are first-class nodes.
+	b.insertFanouts()
 	if opts.Metrics != nil {
 		opts.Metrics.SetTransducers(b.tms)
 	}

@@ -134,10 +134,10 @@ func (n *Network) Step(ev xmlstream.Event) error {
 const gaugeSyncStride = 32
 
 // propagate delivers the step's messages along every tape in topological
-// order. A tape may be read by several transducers (shared-subexpression
-// networks reuse an output tape instead of inserting an explicit split —
-// the multicast is semantically a split transducer), so tapes are cleared
-// only after the whole step.
+// order. Every tape has exactly one reader — shared-subexpression networks
+// route their multi-reader tapes through explicit fan-out junctions at build
+// time (insertFanouts) — but a tape's content must survive until the whole
+// step has been delivered, so tapes are cleared only at the end.
 func (n *Network) propagate() {
 	for i := range n.nodes {
 		node := &n.nodes[i]
