@@ -2,7 +2,7 @@ GO ?= go
 FUZZTIME ?= 15s
 BENCH_DIR ?= bench-out
 
-.PHONY: check fmt vet build test race bench fuzz-smoke bench-smoke
+.PHONY: check fmt vet build test race bench fuzz-smoke bench-smoke bench-delta
 
 ## check: the full gate — formatting, vet, build, tests under the race detector
 check: fmt vet build race
@@ -35,8 +35,18 @@ fuzz-smoke:
 	$(GO) test -run NONE -fuzz 'FuzzCondNormalize$$' -fuzztime $(FUZZTIME) ./internal/cond
 
 ## bench-smoke: tiny-scale harness runs with the zero-answer shape check,
-## writing machine-readable BENCH_*.json reports into $(BENCH_DIR)
+## writing machine-readable BENCH_*.json reports into $(BENCH_DIR); also
+## gates the symbol pipeline — the count-mode hot loop must stay
+## allocation-free and the interning ablation must run end to end
 bench-smoke:
 	mkdir -p $(BENCH_DIR)
 	$(GO) run ./cmd/spexbench -fig 14 -scale 0.1 -check -json $(BENCH_DIR)
 	$(GO) run ./cmd/spexbench -fig sdi -scale 0.01 -check -json $(BENCH_DIR)
+	$(GO) test -run 'TestCountModeZeroAlloc$$' -count 1 .
+	$(GO) test -run NONE -bench 'BenchmarkAblationInterning$$' -benchtime 1x .
+
+## bench-delta: benchstat-style comparison of $(BENCH_DIR) against a
+## previous run's reports in $(BENCH_PREV) (informational, never fails)
+BENCH_PREV ?= bench-prev
+bench-delta:
+	$(GO) run ./cmd/spexbench -json $(BENCH_DIR) -delta $(BENCH_PREV)

@@ -14,6 +14,9 @@
 //	spexbench -http :6060     # serve live metrics (Prometheus + JSON) and
 //	                          # net/http/pprof while the benchmarks run
 //	spexbench -json DIR       # also write machine-readable BENCH_*.json
+//	spexbench -json NEW -delta OLD
+//	                          # compare NEW's BENCH_*.json against OLD's
+//	                          # (benchstat-style ns/element table; no runs)
 //
 // With -v, long runs print a periodic progress line (events/sec, depth,
 // matches, heap) sourced from the same live metrics registry.
@@ -60,9 +63,16 @@ func run(args []string, stdout, stderr io.Writer) error {
 		httpAddr = fs.String("http", "", "serve live metrics and pprof on this address while running (e.g. :6060)")
 		jsonDir  = fs.String("json", "", "write machine-readable BENCH_*.json reports into this directory")
 		check    = fs.Bool("check", false, "fail if any non-skipped measurement reports zero answers")
+		deltaDir = fs.String("delta", "", "compare the BENCH_*.json reports in the -json directory against this previous-report directory and print a delta table (no benchmarks are run)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *deltaDir != "" {
+		if *jsonDir == "" {
+			return fmt.Errorf("-delta requires -json NEWDIR naming the current reports")
+		}
+		return bench.CompareReports(stdout, *deltaDir, *jsonDir)
 	}
 	var progress io.Writer
 	if *verbose {

@@ -1,0 +1,117 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+)
+
+// CompareReports renders a benchstat-style delta table between two
+// directories of BENCH_*.json reports (as written by spexbench -json):
+// reports are matched by filename, rows by engine+dataset+class+query, and
+// the compared quantity is ns/element. It is a trend surface for CI — the
+// output is informational and the comparison never fails the run: a missing
+// previous directory (first run, expired cache) or a schema it cannot read
+// (BENCH_sdi.json rows have no query) just narrows what is shown.
+func CompareReports(w io.Writer, oldDir, newDir string) error {
+	if _, err := os.Stat(oldDir); err != nil {
+		fmt.Fprintf(w, "bench delta: no previous reports at %s (first run?)\n", oldDir)
+		return nil
+	}
+	newFiles, err := filepath.Glob(filepath.Join(newDir, "BENCH_*.json"))
+	if err != nil {
+		return err
+	}
+	if len(newFiles) == 0 {
+		fmt.Fprintf(w, "bench delta: no BENCH_*.json reports in %s\n", newDir)
+		return nil
+	}
+	sort.Strings(newFiles)
+	for _, nf := range newFiles {
+		name := filepath.Base(nf)
+		of := filepath.Join(oldDir, name)
+		newRows, err := readReport(nf)
+		if err != nil {
+			fmt.Fprintf(w, "bench delta: %s: %v (skipped)\n", name, err)
+			continue
+		}
+		oldRows, err := readReport(of)
+		if err != nil {
+			fmt.Fprintf(w, "bench delta: %s: no comparable previous report (%v)\n", name, err)
+			continue
+		}
+		writeDelta(w, name, oldRows, newRows)
+	}
+	return nil
+}
+
+// deltaRow is the subset of the jsonMeasurement schema the comparison needs.
+// Decoding is lenient: reports in other schemas (BENCH_sdi.json) produce
+// rows without a query, which are skipped.
+type deltaRow struct {
+	Engine       string  `json:"engine"`
+	Dataset      string  `json:"dataset"`
+	Class        int     `json:"class"`
+	Query        string  `json:"query"`
+	NsPerElement float64 `json:"ns_per_element"`
+	Skipped      string  `json:"skipped"`
+}
+
+func (r deltaRow) key() string {
+	return fmt.Sprintf("%s|%s|%d|%s", r.Engine, r.Dataset, r.Class, r.Query)
+}
+
+func readReport(path string) (map[string]deltaRow, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var rows []deltaRow
+	if err := json.Unmarshal(data, &rows); err != nil {
+		return nil, err
+	}
+	out := make(map[string]deltaRow, len(rows))
+	for _, r := range rows {
+		if r.Query == "" || r.Skipped != "" || r.NsPerElement <= 0 {
+			continue
+		}
+		out[r.key()] = r
+	}
+	return out, nil
+}
+
+func writeDelta(w io.Writer, name string, oldRows, newRows map[string]deltaRow) {
+	keys := make([]string, 0, len(newRows))
+	for k := range newRows {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	fmt.Fprintf(w, "\n%s — ns/element, old vs new\n", name)
+	fmt.Fprintf(w, "%-12s %-16s %-36s %12s %12s %9s\n", "engine", "dataset", "query", "old", "new", "delta")
+	for _, k := range keys {
+		nr := newRows[k]
+		or, ok := oldRows[k]
+		if !ok {
+			fmt.Fprintf(w, "%-12s %-16s %-36s %12s %12.1f %9s\n", nr.Engine, nr.Dataset, trim(nr.Query, 36), "-", nr.NsPerElement, "new")
+			continue
+		}
+		delta := (nr.NsPerElement - or.NsPerElement) / or.NsPerElement * 100
+		fmt.Fprintf(w, "%-12s %-16s %-36s %12.1f %12.1f %+8.1f%%\n", nr.Engine, nr.Dataset, trim(nr.Query, 36), or.NsPerElement, nr.NsPerElement, delta)
+	}
+	for k := range oldRows {
+		if _, ok := newRows[k]; !ok {
+			or := oldRows[k]
+			fmt.Fprintf(w, "%-12s %-16s %-36s %12.1f %12s %9s\n", or.Engine, or.Dataset, trim(or.Query, 36), or.NsPerElement, "-", "gone")
+		}
+	}
+}
+
+func trim(s string, n int) string {
+	if len(s) <= n {
+		return s
+	}
+	return s[:n-1] + "…"
+}

@@ -17,9 +17,16 @@ import (
 // Plan is a prepared query: a parsed rpeq ready to be instantiated as a
 // transducer network. Plans are immutable and safe for concurrent use; each
 // evaluation builds its own network (linear in the query size, Lemma V.1).
+//
+// A plan owns a symbol table: the query's labels are interned at prepare
+// time, every evaluation compiles its label tests against the same table,
+// and reader-fed evaluations attach the table to the scanner so events
+// arrive symbol-resolved. The table is concurrency-safe, so concurrent
+// evaluations of one plan share it (and amortize each other's misses).
 type Plan struct {
 	expr   rpeq.Node
 	source string
+	symtab *xmlstream.Symtab
 }
 
 // Prepare parses an rpeq expression into a plan.
@@ -28,7 +35,7 @@ func Prepare(expr string) (*Plan, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Plan{expr: node, source: expr}, nil
+	return &Plan{expr: node, source: expr, symtab: xmlstream.NewSymtab()}, nil
 }
 
 // PrepareXPath parses an expression in the paper's XPath fragment
@@ -38,12 +45,12 @@ func PrepareXPath(path string) (*Plan, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Plan{expr: node, source: path}, nil
+	return &Plan{expr: node, source: path, symtab: xmlstream.NewSymtab()}, nil
 }
 
 // FromAST wraps an already-built expression tree.
 func FromAST(expr rpeq.Node) *Plan {
-	return &Plan{expr: expr, source: expr.String()}
+	return &Plan{expr: expr, source: expr.String(), symtab: xmlstream.NewSymtab()}
 }
 
 // String returns the source expression.
@@ -51,6 +58,10 @@ func (p *Plan) String() string { return p.source }
 
 // Expr returns the parsed expression tree.
 func (p *Plan) Expr() rpeq.Node { return p.expr }
+
+// Symtab returns the plan's symbol table, for callers that feed the plan
+// pre-scanned events and want to share the interner with their scanner.
+func (p *Plan) Symtab() *xmlstream.Symtab { return p.symtab }
 
 // EvalOptions configure one evaluation.
 type EvalOptions struct {
@@ -66,9 +77,27 @@ type EvalOptions struct {
 	// Metrics attaches live instrumentation readable from other goroutines
 	// mid-stream; nil keeps the uninstrumented fast path.
 	Metrics *obs.Metrics
+	// Symtab overrides the plan's own symbol table — a multi-query engine
+	// passes its set-wide table here so all member networks and the shared
+	// scanner agree on one symbol space. Nil uses the plan's table.
+	Symtab *xmlstream.Symtab
+	// NoInterning evaluates on the string-matching pipeline (the interning
+	// ablation's baseline): no symbol table anywhere, string label tests.
+	NoInterning bool
 }
 
-func (o EvalOptions) netOptions() spexnet.Options {
+// symtabFor resolves which symbol table an evaluation of plan p uses.
+func (o EvalOptions) symtabFor(p *Plan) *xmlstream.Symtab {
+	if o.NoInterning {
+		return nil
+	}
+	if o.Symtab != nil {
+		return o.Symtab
+	}
+	return p.symtab
+}
+
+func (o EvalOptions) netOptions(p *Plan) spexnet.Options {
 	return spexnet.Options{
 		Mode:        o.Mode,
 		Sink:        o.Sink,
@@ -76,6 +105,8 @@ func (o EvalOptions) netOptions() spexnet.Options {
 		RawFormulas: o.RawFormulas,
 		Tracer:      o.Tracer,
 		Metrics:     o.Metrics,
+		Symtab:      o.symtabFor(p),
+		NoInterning: o.NoInterning,
 	}
 }
 
@@ -83,7 +114,16 @@ func (o EvalOptions) netOptions() spexnet.Options {
 // statistics. The stream is processed in one pass; results reach the sink
 // progressively.
 func (p *Plan) Evaluate(src xmlstream.Source, opts EvalOptions) (spexnet.Stats, error) {
-	net, err := spexnet.Build(p.expr, opts.netOptions())
+	// A scanner source shares the evaluation's symbol table so events
+	// arrive pre-resolved; a scanner already bound to another table keeps
+	// it and the network compiles against that table instead — symbols
+	// from different tables must never meet.
+	if sc, ok := src.(*xmlstream.Scanner); ok {
+		if st := opts.symtabFor(p); st != nil && !sc.AdoptSymtab(st) {
+			opts.Symtab = sc.SymtabInUse()
+		}
+	}
+	net, err := spexnet.Build(p.expr, opts.netOptions(p))
 	if err != nil {
 		return spexnet.Stats{}, err
 	}
@@ -101,7 +141,14 @@ func (p *Plan) EvaluateReader(r io.Reader, opts EvalOptions) (spexnet.Stats, err
 	if opts.Metrics != nil {
 		r = &obs.CountingReader{R: r, C: &opts.Metrics.Bytes}
 	}
-	return p.Evaluate(xmlstream.NewScanner(r, xmlstream.WithText(withText)), opts)
+	scanOpts := []xmlstream.ScannerOption{xmlstream.WithText(withText)}
+	if st := opts.symtabFor(p); st != nil {
+		// Share the evaluation's symbol table with the scanner: events
+		// arrive pre-resolved and every label test downstream is one
+		// integer comparison.
+		scanOpts = append(scanOpts, xmlstream.WithSymtab(st))
+	}
+	return p.Evaluate(xmlstream.NewScanner(r, scanOpts...), opts)
 }
 
 // Count evaluates and returns only the number of answers.
@@ -122,7 +169,7 @@ type Run struct {
 
 // NewRun instantiates a network for push-mode evaluation.
 func (p *Plan) NewRun(opts EvalOptions) (*Run, error) {
-	net, err := spexnet.Build(p.expr, opts.netOptions())
+	net, err := spexnet.Build(p.expr, opts.netOptions(p))
 	if err != nil {
 		return nil, err
 	}
@@ -169,6 +216,17 @@ func (r *Run) Close() error {
 		return err
 	}
 	return r.net.Finish()
+}
+
+// Release abandons the run without finishing the stream: transducer stacks,
+// tape buffers and queued candidates are dropped and the condition pool's
+// variables are returned. For a run that decided early (a mid-stream
+// filtering verdict) Release is the correct exit — Close would feed a
+// synthetic end-document into a half-consumed stream and fail the balance
+// check. Safe to call more than once, and after Close.
+func (r *Run) Release() {
+	r.closed = true
+	r.net.Release()
 }
 
 // Matches returns the number of answers reported so far; valid while the

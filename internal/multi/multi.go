@@ -36,17 +36,26 @@ type Subscription struct {
 
 // Set evaluates a collection of subscriptions over one stream pass.
 type Set struct {
-	subs []Subscription
-	runs []*core.Run
+	subs   []Subscription
+	runs   []*core.Run
+	symtab *xmlstream.Symtab
 }
 
 // NewSet prepares the evaluation of all subscriptions.
 func NewSet(subs []Subscription) (*Set, error) {
-	s := &Set{subs: subs}
+	return newSetSym(subs, xmlstream.NewSymtab())
+}
+
+// newSetSym builds the set against a caller-provided symbol table — the
+// parallel engine passes its pool-wide table so all shards share one symbol
+// space and the feeder can pre-resolve events once for everyone.
+func newSetSym(subs []Subscription, symtab *xmlstream.Symtab) (*Set, error) {
+	s := &Set{subs: subs, symtab: symtab}
 	for i := range subs {
 		sub := subs[i]
 		run, err := sub.Plan.NewRun(core.EvalOptions{
-			Mode: spexnet.ModeNodes,
+			Mode:   spexnet.ModeNodes,
+			Symtab: symtab,
 			Sink: func(r spexnet.Result) {
 				if sub.OnHit != nil {
 					sub.OnHit(sub.Name, r)
@@ -61,8 +70,17 @@ func NewSet(subs []Subscription) (*Set, error) {
 	return s, nil
 }
 
-// Feed pushes one event to every subscription's network.
+// Symtab returns the set-wide symbol table, for feeders that want to share
+// it with their scanner so events arrive pre-resolved.
+func (s *Set) Symtab() *xmlstream.Symtab { return s.symtab }
+
+// Feed pushes one event to every subscription's network. The label symbol
+// is resolved once here, not once per subscription: all member networks were
+// compiled against the set's table.
 func (s *Set) Feed(ev xmlstream.Event) error {
+	if ev.Sym == 0 && (ev.Kind == xmlstream.StartElement || ev.Kind == xmlstream.EndElement) {
+		ev.Sym = s.symtab.Intern(ev.Name)
+	}
 	for i, run := range s.runs {
 		if err := run.Feed(ev); err != nil {
 			return fmt.Errorf("multi: subscription %s: %w", s.subs[i].Name, err)

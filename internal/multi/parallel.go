@@ -100,6 +100,12 @@ type ParallelSet struct {
 	subs   []Subscription
 	opts   ParallelOptions
 	shards []*shardWorker
+	// symtab is the pool-wide symbol table: every shard engine compiles
+	// against it and the feeder resolves each event's label symbol exactly
+	// once, before broadcasting — the workers never touch the interner, so
+	// the hot shard loops run pure integer label tests with no shared-state
+	// traffic beyond the batch channels.
+	symtab *xmlstream.Symtab
 
 	batchPool sync.Pool
 	hitPool   sync.Pool
@@ -148,7 +154,7 @@ func NewParallelSet(subs []Subscription, opts ParallelOptions) (*ParallelSet, er
 	if opts.QueueDepth <= 0 {
 		opts.QueueDepth = DefaultQueueDepth
 	}
-	p := &ParallelSet{subs: subs, opts: opts}
+	p := &ParallelSet{subs: subs, opts: opts, symtab: xmlstream.NewSymtab()}
 	p.batchPool.New = func() any {
 		return &eventBatch{evs: make([]xmlstream.Event, 0, opts.BatchSize)}
 	}
@@ -198,9 +204,9 @@ func NewParallelSet(subs []Subscription, opts ParallelOptions) (*ParallelSet, er
 		}
 		var err error
 		if opts.Isolate {
-			w.set, err = NewSet(wrapped)
+			w.set, err = newSetSym(wrapped, p.symtab)
 		} else {
-			w.set, err = NewSharedSet(wrapped)
+			w.set, err = newSharedSetSym(wrapped, p.symtab)
 		}
 		if err != nil {
 			return nil, fmt.Errorf("multi: shard %d: %w", id, err)
@@ -222,6 +228,10 @@ func NewParallelSet(subs []Subscription, opts ParallelOptions) (*ParallelSet, er
 
 // Shards returns the number of worker shards.
 func (p *ParallelSet) Shards() int { return len(p.shards) }
+
+// Symtab returns the pool-wide symbol table, for feeders that want to share
+// it with their scanner so events arrive pre-resolved.
+func (p *ParallelSet) Symtab() *xmlstream.Symtab { return p.symtab }
 
 // setErr records the first error and flips the pool into draining mode.
 func (p *ParallelSet) setErr(err error) {
@@ -339,6 +349,11 @@ func (p *ParallelSet) Feed(ev xmlstream.Event) error {
 }
 
 func (p *ParallelSet) push(ev xmlstream.Event) {
+	// Resolve the label symbol once for the whole pool: shards receive
+	// pre-resolved events and never touch the interner.
+	if ev.Sym == 0 && (ev.Kind == xmlstream.StartElement || ev.Kind == xmlstream.EndElement) {
+		ev.Sym = p.symtab.Intern(ev.Name)
+	}
 	p.cur.evs = append(p.cur.evs, ev)
 	if len(p.cur.evs) >= p.opts.BatchSize {
 		p.dispatch()
@@ -362,6 +377,12 @@ func (p *ParallelSet) dispatch() {
 			w.sm.Queue.Set(int64(len(w.ch) + 1))
 		}
 		w.ch <- b
+	}
+	if m := p.opts.Metrics; m != nil {
+		hits, misses := p.symtab.Stats()
+		m.SymtabSize.Set(int64(p.symtab.Len()))
+		m.SymtabHits.Set(hits)
+		m.SymtabMisses.Set(misses)
 	}
 }
 
@@ -387,6 +408,10 @@ func (p *ParallelSet) Close() error {
 				w.sm.Queue.Set(0)
 			}
 		}
+		hits, misses := p.symtab.Stats()
+		m.SymtabSize.Set(int64(p.symtab.Len()))
+		m.SymtabHits.Set(hits)
+		m.SymtabMisses.Set(misses)
 	}
 	return p.firstErr()
 }

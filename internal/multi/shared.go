@@ -16,14 +16,21 @@ import (
 // the same tape — in particular the common prefixes of subscription
 // workloads — are compiled and evaluated once.
 type SharedSet struct {
-	subs []Subscription
-	net  *spexnet.Network
-	open bool
-	done bool
+	subs   []Subscription
+	net    *spexnet.Network
+	symtab *xmlstream.Symtab
+	open   bool
+	done   bool
 }
 
 // NewSharedSet compiles all subscriptions into one network.
 func NewSharedSet(subs []Subscription) (*SharedSet, error) {
+	return newSharedSetSym(subs, xmlstream.NewSymtab())
+}
+
+// newSharedSetSym compiles the set against a caller-provided symbol table
+// (see newSetSym).
+func newSharedSetSym(subs []Subscription, symtab *xmlstream.Symtab) (*SharedSet, error) {
 	specs := make([]spexnet.Spec, len(subs))
 	for i := range subs {
 		sub := subs[i]
@@ -37,12 +44,16 @@ func NewSharedSet(subs []Subscription) (*SharedSet, error) {
 			},
 		}
 	}
-	net, err := spexnet.BuildSet(specs, spexnet.Options{})
+	net, err := spexnet.BuildSet(specs, spexnet.Options{Symtab: symtab})
 	if err != nil {
 		return nil, err
 	}
-	return &SharedSet{subs: subs, net: net}, nil
+	return &SharedSet{subs: subs, net: net, symtab: symtab}, nil
 }
+
+// Symtab returns the set-wide symbol table, for feeders that want to share
+// it with their scanner so events arrive pre-resolved.
+func (s *SharedSet) Symtab() *xmlstream.Symtab { return s.symtab }
 
 // Degree returns the number of transducers in the shared network; with
 // common prefixes it is far below the sum of the per-query networks.

@@ -37,6 +37,9 @@ func WritePrometheus(w io.Writer, s Snapshot) {
 	gauge("queued_max", "maximum simultaneously queued candidates", s.MaxQueued)
 	gauge("buffered_events", "buffered answer-content events", s.Buffered)
 	gauge("buffered_events_max", "maximum simultaneously buffered content events", s.MaxBuffered)
+	gauge("symtab_size", "distinct label names interned in the symbol table", s.SymtabSize)
+	counter("symtab_hits_total", "symbol-table lookups answered from the read-mostly snapshot", s.SymtabHits)
+	counter("symtab_misses_total", "symbol-table lookups that inserted a new name", s.SymtabMisses)
 	gauge("stack_max", "maximum transducer stack entries (bounded by d, Lemma V.2)", s.MaxStack)
 	gauge("formula_max", "maximum condition-formula size (bounded by o(phi))", s.MaxFormula)
 	gauge("heap_alloc_bytes", "live heap sample", int64(s.HeapAlloc))

@@ -244,6 +244,15 @@ type Metrics struct {
 	Queued     Watermark // candidates awaiting determination or order
 	Buffered   Watermark // buffered content events
 
+	// Symbol-interning instruments: size and cumulative hit/miss counts of
+	// the symbol table the observed evaluation resolves labels against.
+	// Tables may be shared across evaluations (a multi-query engine, a
+	// long-lived plan), so the values are cumulative for the table, not the
+	// run.
+	SymtabSize   Gauge
+	SymtabHits   Gauge
+	SymtabMisses Gauge
+
 	// StepMessages is the distribution of messages delivered per document
 	// event — the per-event work the Lemma V.2 time bound is about.
 	StepMessages Histogram

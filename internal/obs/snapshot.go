@@ -34,6 +34,12 @@ type Snapshot struct {
 	Buffered    int64 `json:"buffered_events"`
 	MaxBuffered int64 `json:"max_buffered_events"`
 
+	// Symbol-table instruments: interner size and cumulative lookup
+	// hit/miss counts (cumulative for the table, which may outlive the run).
+	SymtabSize   int64 `json:"symtab_size"`
+	SymtabHits   int64 `json:"symtab_hits"`
+	SymtabMisses int64 `json:"symtab_misses"`
+
 	// MaxStack and MaxFormula are the maxima over all transducers: the
 	// quantities Lemma V.2 bounds by the depth d and the formula size o(φ).
 	MaxStack   int64 `json:"max_stack"`
@@ -107,6 +113,10 @@ func (m *Metrics) Snapshot() Snapshot {
 		MaxQueued:   m.Queued.Max(),
 		Buffered:    m.Buffered.Cur(),
 		MaxBuffered: m.Buffered.Max(),
+
+		SymtabSize:   m.SymtabSize.Load(),
+		SymtabHits:   m.SymtabHits.Load(),
+		SymtabMisses: m.SymtabMisses.Load(),
 		StepMessages: HistogramSnapshot{
 			Count:   m.StepMessages.Count(),
 			Sum:     m.StepMessages.Sum(),

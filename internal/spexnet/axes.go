@@ -14,7 +14,7 @@ import (
 // of contexts already closed — bounded by the depth, like the core
 // transducers.
 type followingT struct {
-	test string
+	test labelTest
 	cfg  *netConfig
 
 	pending *cond.Formula
@@ -26,10 +26,10 @@ type followingT struct {
 }
 
 func newFollowing(test string, cfg *netConfig) *followingT {
-	return &followingT{test: test, cfg: cfg}
+	return &followingT{test: cfg.compileLabelTest(test), cfg: cfg}
 }
 
-func (t *followingT) name() string { return "FO(" + t.test + ")" }
+func (t *followingT) name() string { return "FO(" + t.test.label + ")" }
 
 func (t *followingT) stackStats() StackStats {
 	s := t.st
@@ -37,24 +37,24 @@ func (t *followingT) stackStats() StackStats {
 	return s
 }
 
-func (t *followingT) feed(_ int, m Message, emit emitFn) {
+func (t *followingT) feed(_ int, m *Message, emit emitFn) {
 	switch m.Kind {
 	case MsgActivation:
 		t.pending = t.cfg.or(t.pending, m.Formula)
 		t.st.noteFormula(t.pending)
 	case MsgDet:
-		emit(0, m)
+		emit(0, *m)
 	case MsgDoc:
 		ev := m.Ev
 		switch {
 		case isStart(ev):
-			if t.active != nil && labelMatches(t.test, ev) {
+			if t.active != nil && t.test.matches(ev) {
 				emit(0, actMsg(t.active))
 			}
 			t.armed = append(t.armed, t.pending)
 			t.pending = nil
 			t.st.noteStack(len(t.armed))
-			emit(0, m)
+			emit(0, *m)
 		case isEnd(ev):
 			t.pending = nil
 			if n := len(t.armed); n > 0 {
@@ -64,9 +64,9 @@ func (t *followingT) feed(_ int, m Message, emit emitFn) {
 				}
 				t.armed = t.armed[:n-1]
 			}
-			emit(0, m)
+			emit(0, *m)
 		default:
-			emit(0, m)
+			emit(0, *m)
 		}
 	}
 }
@@ -83,7 +83,7 @@ func (t *followingT) feed(_ int, m Message, emit emitFn) {
 // answers between contexts (the output transducer holds them as
 // undetermined candidates anyway).
 type precedingT struct {
-	test string
+	test labelTest
 	q    cond.QualID
 	pool *cond.Pool
 	cfg  *netConfig
@@ -99,10 +99,10 @@ type precedingT struct {
 }
 
 func newPreceding(test string, q cond.QualID, pool *cond.Pool, cfg *netConfig) *precedingT {
-	return &precedingT{test: test, q: q, pool: pool, cfg: cfg}
+	return &precedingT{test: cfg.compileLabelTest(test), q: q, pool: pool, cfg: cfg}
 }
 
-func (t *precedingT) name() string { return "PR(" + t.test + ")" }
+func (t *precedingT) name() string { return "PR(" + t.test.label + ")" }
 
 func (t *precedingT) stackStats() StackStats {
 	s := t.st
@@ -110,13 +110,13 @@ func (t *precedingT) stackStats() StackStats {
 	return s
 }
 
-func (t *precedingT) feed(_ int, m Message, emit emitFn) {
+func (t *precedingT) feed(_ int, m *Message, emit emitFn) {
 	switch m.Kind {
 	case MsgActivation:
 		t.pendingCtx = t.cfg.or(t.pendingCtx, m.Formula)
 		t.st.noteFormula(t.pendingCtx)
 	case MsgDet:
-		emit(0, m)
+		emit(0, *m)
 	case MsgDoc:
 		ev := m.Ev
 		switch {
@@ -126,7 +126,7 @@ func (t *precedingT) feed(_ int, m Message, emit emitFn) {
 				t.pendingCtx = nil
 			}
 			var v cond.VarID
-			matched := labelMatches(t.test, ev)
+			matched := t.test.matches(ev)
 			if matched {
 				v = t.pool.Fresh(t.q)
 				emit(0, actMsg(t.pool.Var(v)))
@@ -134,7 +134,7 @@ func (t *precedingT) feed(_ int, m Message, emit emitFn) {
 			t.open = append(t.open, v)
 			t.has = append(t.has, matched)
 			t.st.noteStack(len(t.open) + len(t.closed))
-			emit(0, m)
+			emit(0, *m)
 		case isEnd(ev):
 			t.pendingCtx = nil
 			if ev.Kind == xmlstream.EndDocument {
@@ -153,9 +153,9 @@ func (t *precedingT) feed(_ int, m Message, emit emitFn) {
 				t.open = t.open[:n-1]
 				t.has = t.has[:n-1]
 			}
-			emit(0, m)
+			emit(0, *m)
 		default:
-			emit(0, m)
+			emit(0, *m)
 		}
 	}
 }

@@ -12,7 +12,7 @@ import "repro/internal/cond"
 // the condition formula under which children of the k-th open node are to be
 // matched, or nil when that level is not a match scope (the paper's 1 mark).
 type childT struct {
-	label string
+	label labelTest
 	cfg   *netConfig
 
 	// pending accumulates activation formulas received since the last
@@ -29,10 +29,10 @@ type childT struct {
 }
 
 func newChild(label string, cfg *netConfig) *childT {
-	return &childT{label: label, cfg: cfg}
+	return &childT{label: cfg.compileLabelTest(label), cfg: cfg}
 }
 
-func (t *childT) name() string { return "CH(" + t.label + ")" }
+func (t *childT) name() string { return "CH(" + t.label.label + ")" }
 
 func (t *childT) stackStats() StackStats {
 	s := t.st
@@ -40,20 +40,20 @@ func (t *childT) stackStats() StackStats {
 	return s
 }
 
-func (t *childT) feed(_ int, m Message, emit emitFn) {
+func (t *childT) feed(_ int, m *Message, emit emitFn) {
 	switch m.Kind {
 	case MsgActivation:
 		t.pending = t.cfg.or(t.pending, m.Formula)
 		t.st.noteFormula(t.pending)
 	case MsgDet:
-		emit(0, m)
+		emit(0, *m)
 	case MsgDoc:
 		ev := m.Ev
 		switch {
 		case isStart(ev):
 			// Match: is the parent level an armed scope and the label right?
 			if n := len(t.scopes); n > 0 {
-				if f := t.scopes[n-1]; f != nil && labelMatches(t.label, ev) {
+				if f := t.scopes[n-1]; f != nil && t.label.matches(ev) {
 					emit(0, actMsg(f))
 				}
 			}
@@ -61,15 +61,15 @@ func (t *childT) feed(_ int, m Message, emit emitFn) {
 			t.scopes = append(t.scopes, t.pending)
 			t.pending = nil
 			t.st.noteStack(len(t.scopes))
-			emit(0, m)
+			emit(0, *m)
 		case isEnd(ev):
 			t.pending = nil
 			if n := len(t.scopes); n > 0 {
 				t.scopes = t.scopes[:n-1]
 			}
-			emit(0, m)
+			emit(0, *m)
 		default: // text
-			emit(0, m)
+			emit(0, *m)
 		}
 	}
 }

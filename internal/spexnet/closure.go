@@ -14,7 +14,7 @@ import "repro/internal/cond"
 // formulas (Fig. 3 transition 12), normalized so each condition variable
 // occurs at most once.
 type closureT struct {
-	label string
+	label labelTest
 	cfg   *netConfig
 
 	pending *cond.Formula
@@ -26,10 +26,10 @@ type closureT struct {
 }
 
 func newClosure(label string, cfg *netConfig) *closureT {
-	return &closureT{label: label, cfg: cfg}
+	return &closureT{label: cfg.compileLabelTest(label), cfg: cfg}
 }
 
-func (t *closureT) name() string { return "CL(" + t.label + ")" }
+func (t *closureT) name() string { return "CL(" + t.label.label + ")" }
 
 func (t *closureT) stackStats() StackStats {
 	s := t.st
@@ -37,13 +37,13 @@ func (t *closureT) stackStats() StackStats {
 	return s
 }
 
-func (t *closureT) feed(_ int, m Message, emit emitFn) {
+func (t *closureT) feed(_ int, m *Message, emit emitFn) {
 	switch m.Kind {
 	case MsgActivation:
 		t.pending = t.cfg.or(t.pending, m.Formula)
 		t.st.noteFormula(t.pending)
 	case MsgDet:
-		emit(0, m)
+		emit(0, *m)
 	case MsgDoc:
 		ev := m.Ev
 		switch {
@@ -52,7 +52,7 @@ func (t *closureT) feed(_ int, m Message, emit emitFn) {
 			if n := len(t.scopes); n > 0 {
 				parent = t.scopes[n-1]
 			}
-			matched := parent != nil && labelMatches(t.label, ev)
+			matched := parent != nil && t.label.matches(ev)
 			if matched {
 				emit(0, actMsg(parent))
 			}
@@ -70,15 +70,15 @@ func (t *closureT) feed(_ int, m Message, emit emitFn) {
 			t.st.noteFormula(child)
 			t.scopes = append(t.scopes, child)
 			t.st.noteStack(len(t.scopes))
-			emit(0, m)
+			emit(0, *m)
 		case isEnd(ev):
 			t.pending = nil
 			if n := len(t.scopes); n > 0 {
 				t.scopes = t.scopes[:n-1]
 			}
-			emit(0, m)
+			emit(0, *m)
 		default:
-			emit(0, m)
+			emit(0, *m)
 		}
 	}
 }

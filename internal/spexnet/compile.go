@@ -7,6 +7,7 @@ import (
 	"repro/internal/cond"
 	"repro/internal/obs"
 	"repro/internal/rpeq"
+	"repro/internal/xmlstream"
 )
 
 // Options configure a network build.
@@ -30,6 +31,16 @@ type Options struct {
 	// all readable from other goroutines mid-stream. When nil the network
 	// runs an uninstrumented path with no per-event overhead.
 	Metrics *obs.Metrics
+	// Symtab is the symbol table label tests compile against; nil builds a
+	// private table. Sharing one table between the network and its event
+	// producer (scanner, multi-query feeder) lets events arrive
+	// pre-resolved, so the per-event label tests are pure integer
+	// comparisons and the network never touches the interner.
+	Symtab *xmlstream.Symtab
+	// NoInterning restores the string-matching pipeline (the interning
+	// ablation's baseline): no symbol table, string label comparisons, and
+	// the count-mode output fast path disabled.
+	NoInterning bool
 }
 
 // Spec is one query of a multi-query network: its expression and its sink.
@@ -67,8 +78,17 @@ func BuildSet(specs []Spec, opts Options) (*Network, error) {
 			retain = true
 		}
 	}
+	symtab := opts.Symtab
+	if symtab == nil && !opts.NoInterning {
+		symtab = xmlstream.NewSymtab()
+	}
 	n := &Network{
-		cfg:     netConfig{rawFormulas: opts.RawFormulas, retainVars: retain},
+		cfg: netConfig{
+			rawFormulas: opts.RawFormulas,
+			retainVars:  retain,
+			symtab:      symtab,
+			noInterning: opts.NoInterning,
+		},
 		pool:    cond.NewPool(),
 		metrics: opts.Metrics,
 	}

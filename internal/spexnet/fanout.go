@@ -22,9 +22,9 @@ func (t *fanoutT) name() string { return "FO" }
 
 func (t *fanoutT) stackStats() StackStats { return t.st }
 
-func (t *fanoutT) feed(_ int, m Message, emit emitFn) {
+func (t *fanoutT) feed(_ int, m *Message, emit emitFn) {
 	for p := 0; p < t.ports; p++ {
-		emit(p, m)
+		emit(p, *m)
 	}
 }
 

@@ -105,6 +105,15 @@ func (n *Network) Step(ev xmlstream.Event) error {
 			return fmt.Errorf("spexnet: unbalanced end message %s at step %d", ev, n.step)
 		}
 	}
+	// Resolve the label symbol against the network's own table when the
+	// producer did not (push-mode feeds, the encoding/xml adapter). Events
+	// from a scanner sharing the table arrive pre-resolved and skip the
+	// lookup entirely; either way every transducer downstream sees a
+	// resolved symbol and runs integer label tests.
+	if ev.Sym == 0 && !n.cfg.noInterning &&
+		(ev.Kind == xmlstream.StartElement || ev.Kind == xmlstream.EndElement) {
+		ev.Sym = n.cfg.symtab.Intern(ev.Name)
+	}
 	// The input transducer: the initial activation with formula true
 	// precedes the start-document message (§III.2, Example III.1).
 	if ev.Kind == xmlstream.StartDocument {
@@ -142,8 +151,9 @@ func (n *Network) propagate() {
 	for i := range n.nodes {
 		node := &n.nodes[i]
 		for port, e := range node.ins {
-			for _, m := range n.edges[e] {
-				node.t.feed(port, m, node.emit)
+			msgs := n.edges[e]
+			for j := range msgs {
+				node.t.feed(port, &msgs[j], node.emit)
 			}
 		}
 		if node.ender != nil {
@@ -169,10 +179,11 @@ func (n *Network) propagateObserved() {
 	for i := range n.nodes {
 		node := &n.nodes[i]
 		for port, e := range node.ins {
-			for _, m := range n.edges[e] {
-				node.tm.In[obsKind(m.Kind)].Inc()
+			msgs := n.edges[e]
+			for j := range msgs {
+				node.tm.In[obsKind(msgs[j].Kind)].Inc()
 				total++
-				node.t.feed(port, m, node.emit)
+				node.t.feed(port, &msgs[j], node.emit)
 			}
 		}
 		if node.ender != nil {
@@ -221,6 +232,12 @@ func (n *Network) syncMetrics() {
 	m.Queued.NoteMax(int64(cur.MaxQueued))
 	m.Buffered.Set(int64(buffered))
 	m.Buffered.NoteMax(int64(cur.MaxBufferedEvs))
+	if st := n.cfg.symtab; st != nil {
+		hits, misses := st.Stats()
+		m.SymtabSize.Set(int64(st.Len()))
+		m.SymtabHits.Set(hits)
+		m.SymtabMisses.Set(misses)
+	}
 }
 
 // obsKind maps the engine's message kinds onto the observability package's.
@@ -249,6 +266,21 @@ func (n *Network) Finish() error {
 		n.syncMetrics()
 	}
 	return nil
+}
+
+// Release drops the network's evaluation state without requiring the stream
+// to finish: transducer stacks, tape buffers and queued candidates are
+// unreferenced, and the condition pool returns its allocated variables. An
+// early-exit caller (a filtering decision made mid-stream) releases instead
+// of feeding the rest of the document. The network is unusable afterwards;
+// it is safe to call Release more than once.
+func (n *Network) Release() {
+	n.nodes = nil
+	n.edges = nil
+	n.outs = nil
+	if n.pool != nil {
+		n.pool.Reset()
+	}
 }
 
 // Matches returns the number of answers reported so far, summed over all

@@ -127,7 +127,7 @@ func (t *outputT) stackStats() StackStats {
 	return s
 }
 
-func (t *outputT) feed(_ int, m Message, emit emitFn) {
+func (t *outputT) feed(_ int, m *Message, emit emitFn) {
 	switch m.Kind {
 	case MsgActivation:
 		t.pending = t.cfg.or(t.pending, m.Formula)
@@ -148,8 +148,20 @@ func (t *outputT) handleDoc(ev xmlstream.Event) {
 		index := t.nextIndex
 		t.nextIndex++
 		if t.pending != nil {
-			t.openCandidate(index, ev, t.pending)
+			f := t.pending
 			t.pending = nil
+			// Count-mode fast path: an unconditional answer with nothing
+			// queued ahead of it is countable immediately — no candidate
+			// record, no queue traffic. With the symbol pipeline this makes
+			// the qualifier-free counting loop allocation-free; the
+			// interning ablation (noInterning) keeps the seed's allocating
+			// path as its baseline.
+			if t.mode == ModeCount && !t.cfg.noInterning && len(t.queue) == 0 && f.IsTrue() {
+				t.stats.Candidates++
+				t.stats.Matches++
+			} else {
+				t.openCandidate(index, ev, f)
+			}
 		}
 		t.appendToOpen(ev)
 	case isEnd(ev):
@@ -239,7 +251,7 @@ func (t *outputT) appendToOpen(ev xmlstream.Event) {
 }
 
 // handleDet processes a condition determination message.
-func (t *outputT) handleDet(m Message) {
+func (t *outputT) handleDet(m *Message) {
 	if _, done := t.resolved[m.Var]; done {
 		// First determination wins: a later scope-exit finalization
 		// cannot undo a satisfied instance (cf. Fig. 13, variable co1).

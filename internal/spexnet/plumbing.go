@@ -12,9 +12,9 @@ func (t *splitT) name() string { return "SP" }
 
 func (t *splitT) stackStats() StackStats { return t.st }
 
-func (t *splitT) feed(_ int, m Message, emit emitFn) {
-	emit(0, m)
-	emit(1, m)
+func (t *splitT) feed(_ int, m *Message, emit emitFn) {
+	emit(0, *m)
+	emit(1, *m)
 }
 
 // joinT is the join transducer JO of §III.6: an AND-gate on document
@@ -48,8 +48,8 @@ func (t *joinT) stackStats() StackStats {
 	return s
 }
 
-func (t *joinT) feed(input int, m Message, _ emitFn) {
-	t.buffered[input] = append(t.buffered[input], m)
+func (t *joinT) feed(input int, m *Message, _ emitFn) {
+	t.buffered[input] = append(t.buffered[input], *m)
 	t.st.noteStack(len(t.buffered[0]) + len(t.buffered[1]))
 }
 
@@ -144,19 +144,19 @@ func (t *unionT) stackStats() StackStats {
 	return s
 }
 
-func (t *unionT) feed(_ int, m Message, emit emitFn) {
+func (t *unionT) feed(_ int, m *Message, emit emitFn) {
 	switch m.Kind {
 	case MsgActivation:
 		t.pending = t.cfg.or(t.pending, m.Formula)
 		t.st.noteFormula(t.pending)
 		t.st.noteStack(1)
 	case MsgDet:
-		emit(0, m)
+		emit(0, *m)
 	case MsgDoc:
 		if t.pending != nil {
 			emit(0, actMsg(t.pending))
 			t.pending = nil
 		}
-		emit(0, m)
+		emit(0, *m)
 	}
 }

@@ -35,14 +35,14 @@ func (t *vcT) stackStats() StackStats {
 	return s
 }
 
-func (t *vcT) feed(_ int, m Message, emit emitFn) {
+func (t *vcT) feed(_ int, m *Message, emit emitFn) {
 	switch m.Kind {
 	case MsgActivation:
 		t.pending = t.cfg.or(t.pending, m.Formula)
 		t.hasPend = true
 		t.st.noteFormula(t.pending)
 	case MsgDet:
-		emit(0, m)
+		emit(0, *m)
 	case MsgDoc:
 		ev := m.Ev
 		switch {
@@ -61,7 +61,7 @@ func (t *vcT) feed(_ int, m Message, emit emitFn) {
 			t.vars = append(t.vars, v)
 			t.has = append(t.has, created)
 			t.st.noteStack(len(t.vars))
-			emit(0, m)
+			emit(0, *m)
 		case isEnd(ev):
 			t.pending = nil
 			t.hasPend = false
@@ -73,7 +73,7 @@ func (t *vcT) feed(_ int, m Message, emit emitFn) {
 			// determination in first. After the finalization nothing can
 			// mention the variable again, so its id returns to the pool —
 			// this is what keeps memory bounded on unbounded streams.
-			emit(0, m)
+			emit(0, *m)
 			if n := len(t.vars); n > 0 {
 				if t.has[n-1] {
 					emit(0, Message{Kind: MsgDet, Var: t.vars[n-1], Final: true})
@@ -85,7 +85,7 @@ func (t *vcT) feed(_ int, m Message, emit emitFn) {
 				t.has = t.has[:n-1]
 			}
 		default:
-			emit(0, m)
+			emit(0, *m)
 		}
 	}
 }
@@ -115,9 +115,9 @@ func (t *vfT) name() string {
 
 func (t *vfT) stackStats() StackStats { return t.st }
 
-func (t *vfT) feed(_ int, m Message, emit emitFn) {
+func (t *vfT) feed(_ int, m *Message, emit emitFn) {
 	if m.Kind != MsgActivation {
-		emit(0, m)
+		emit(0, *m)
 		return
 	}
 	keep := func(v cond.VarID) bool { return t.pool.WithinSubtree(v, t.q) }
@@ -157,9 +157,9 @@ func (t *vdT) name() string { return "VD" }
 
 func (t *vdT) stackStats() StackStats { return t.st }
 
-func (t *vdT) feed(_ int, m Message, emit emitFn) {
+func (t *vdT) feed(_ int, m *Message, emit emitFn) {
 	if m.Kind != MsgActivation {
-		emit(0, m)
+		emit(0, *m)
 		return
 	}
 	t.st.noteFormula(m.Formula)

@@ -16,8 +16,15 @@ type emitFn func(port int, m Message)
 // the paper's discipline: exactly one document message is in flight at a
 // time, and all messages belonging to that step are delivered before the
 // next step begins.
+//
+// The message is passed by pointer into the runner's tape storage and is
+// valid only for the duration of the call: implementations forward it as
+// emit(port, *m) and must copy (*m) if they buffer it across calls. Passing
+// a pointer halves the per-hop copy traffic of the ~100-byte Message — with
+// every transducer forwarding every document message, the copies are a
+// measurable share of the per-event cost Lemma V.2 bounds.
 type transducer interface {
-	feed(input int, m Message, emit emitFn)
+	feed(input int, m *Message, emit emitFn)
 	name() string
 	// stackStats returns the current and maximum depth-stack size and the
 	// maximum condition-formula size handled, for the §V experiments.
@@ -79,6 +86,14 @@ type netConfig struct {
 	// it mentions — so networks containing those axes retain records for
 	// the whole evaluation.
 	retainVars bool
+	// symtab is the network's symbol table: label tests are compiled into
+	// symbols of this table, and Step resolves events arriving with a zero
+	// Sym against it. Always non-nil unless noInterning is set.
+	symtab *xmlstream.Symtab
+	// noInterning restores the string-matching pipeline of the original
+	// engine (the interning ablation's baseline): labels compare as strings
+	// and the count-mode output fast path is disabled.
+	noInterning bool
 }
 
 // isStart reports whether the event opens a tree node (element or document
@@ -92,12 +107,39 @@ func isEnd(ev xmlstream.Event) bool {
 	return ev.Kind == xmlstream.EndElement || ev.Kind == xmlstream.EndDocument
 }
 
-// labelMatches reports whether a start event is an element matching the
-// given label (the wildcard "_" matches every element, but never the
-// document root <$>).
-func labelMatches(label string, ev xmlstream.Event) bool {
+// labelTest is a compiled label guard: the per-event test every CH, CL, FO
+// and PR transducer runs. The wildcard is decided at build time; a concrete
+// label compiles to the symbol it interns to in the network's table, so the
+// steady-state test is one integer comparison. sym stays zero only under the
+// noInterning ablation, which falls back to the original string comparison.
+type labelTest struct {
+	label string
+	sym   xmlstream.Sym
+	wild  bool
+}
+
+// compileLabelTest interns the label against the network's symbol table.
+func (n *netConfig) compileLabelTest(label string) labelTest {
+	t := labelTest{label: label, wild: label == "_"}
+	if !t.wild && n.symtab != nil && !n.noInterning {
+		t.sym = n.symtab.Intern(label)
+	}
+	return t
+}
+
+// matches reports whether a start event is an element matching the test (the
+// wildcard matches every element, but never the document root <$>). Events
+// reaching a transducer are already resolved against the network's table
+// (Network.Step), so the symbol comparison is exact.
+func (t labelTest) matches(ev xmlstream.Event) bool {
 	if ev.Kind != xmlstream.StartElement {
 		return false
 	}
-	return label == "_" || label == ev.Name
+	if t.wild {
+		return true
+	}
+	if t.sym != 0 {
+		return ev.Sym == t.sym
+	}
+	return t.label == ev.Name
 }

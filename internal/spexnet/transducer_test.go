@@ -17,8 +17,8 @@ func feedAll(t transducer, input int, msgs []Message) (port0, port1 []Message) {
 			port1 = append(port1, m)
 		}
 	}
-	for _, m := range msgs {
-		t.feed(input, m, emit)
+	for i := range msgs {
+		t.feed(input, &msgs[i], emit)
 	}
 	return port0, port1
 }
@@ -159,13 +159,14 @@ func TestJoinANDGate(t *testing.T) {
 	var out []Message
 	emit := func(_ int, m Message) { out = append(out, m) }
 	det := Message{Kind: MsgDet, Var: 7, Final: true}
+	act, sa := actMsg(cond.Var(1)), start("a")
 	// Left branch delivers an activation + doc + trailing det, right
 	// branch the same det after its doc copy.
-	jo.feed(0, actMsg(cond.Var(1)), emit)
-	jo.feed(0, start("a"), emit)
-	jo.feed(0, det, emit)
-	jo.feed(1, start("a"), emit)
-	jo.feed(1, det, emit)
+	jo.feed(0, &act, emit)
+	jo.feed(0, &sa, emit)
+	jo.feed(0, &det, emit)
+	jo.feed(1, &sa, emit)
+	jo.feed(1, &det, emit)
 	if len(out) != 0 {
 		t.Fatalf("join fired before the step ended: %s", render(out))
 	}
@@ -175,8 +176,9 @@ func TestJoinANDGate(t *testing.T) {
 		t.Fatalf("got  %s\nwant %s", render(out), want)
 	}
 	// The buffers reset for the next step.
-	jo.feed(0, end("a"), emit)
-	jo.feed(1, end("a"), emit)
+	ea := end("a")
+	jo.feed(0, &ea, emit)
+	jo.feed(1, &ea, emit)
 	out = nil
 	jo.endStep(emit)
 	if render(out) != "</a>" {

@@ -79,6 +79,11 @@ func (s *SliceSource) Next() (Event, error) {
 	return ev, nil
 }
 
+// Reset rewinds the source to the first event, so one pre-scanned sequence
+// can be replayed many times (the ablation benchmarks measure the evaluation
+// pipeline without re-tokenizing the input).
+func (s *SliceSource) Reset() { s.pos = 0 }
+
 // Collect drains src into a slice. It is intended for tests and small
 // documents; it defeats streaming by construction.
 func Collect(src Source) ([]Event, error) {

@@ -46,8 +46,15 @@ func (k Kind) String() string {
 
 // Event is one document message. Name is the element label for StartElement
 // and EndElement; Data is the character data for Text events.
+//
+// Sym is the label's interned symbol when the producer resolved the event
+// against a Symtab (the scanner does when built WithSymtab); the zero Sym
+// means unresolved, and the evaluating network resolves it against its own
+// table. The field fits in the struct's existing padding, so carrying it is
+// free.
 type Event struct {
 	Kind Kind
+	Sym  Sym
 	Name string
 	Data string
 }

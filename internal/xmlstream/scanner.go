@@ -19,17 +19,22 @@ import (
 // The implementation manages its own read buffer and interns element names,
 // so steady-state scanning performs no allocation per element.
 type Scanner struct {
-	r     io.Reader
-	buf   []byte
-	pos   int
-	end   int
-	eof   bool
-	stack []string // open element names, for well-formedness
-	state scanState
-	// pending holds an extra event synthesized from a single syntactic
-	// construct (a self-closing tag produces Start then End).
+	r         io.Reader
+	buf       []byte
+	pos       int
+	end       int
+	eof       bool
+	stack     []string // open element names, for well-formedness
+	stackSyms []Sym    // symbols of the open elements, parallel to stack
+	state     scanState
+	// pending holds extra events synthesized from a single syntactic
+	// construct (a self-closing tag produces Start then End). pendHead
+	// indexes the next event to deliver; the slice resets to its full
+	// capacity once drained, so steady-state scanning never reallocates it.
 	pending  []Event
-	names    map[string]string // interned element names
+	pendHead int
+	names    map[string]string // interned element names (no Symtab attached)
+	symtab   *Symtab           // shared interner; nil falls back to names
 	nameBuf  []byte
 	emitText bool
 	err      error
@@ -57,6 +62,33 @@ type ScannerOption func(*Scanner)
 func WithText(emit bool) ScannerOption {
 	return func(s *Scanner) { s.emitText = emit }
 }
+
+// WithSymtab makes the scanner resolve element labels against the given
+// symbol table: every StartElement and EndElement event carries the label's
+// Sym, so a network compiled against the same table evaluates label tests as
+// integer comparisons without ever touching the interner itself. Steady-state
+// scanning still performs no allocation: an already-interned label is one
+// lock-free lookup.
+func WithSymtab(t *Symtab) ScannerOption {
+	return func(s *Scanner) { s.symtab = t }
+}
+
+// AdoptSymtab attaches the table to a scanner built without one, so an
+// evaluator handed a bare scanner can share its own table with it instead of
+// re-resolving every event. Events already emitted keep their zero Sym (the
+// network resolves those itself); a scanner that already has a table keeps
+// it, since its consumers hold symbols from that table. It reports whether
+// the scanner uses the given table afterwards.
+func (s *Scanner) AdoptSymtab(t *Symtab) bool {
+	if s.symtab == nil {
+		s.symtab = t
+	}
+	return s.symtab == t
+}
+
+// SymtabInUse returns the table the scanner resolves labels against, or nil
+// for a plain string-naming scanner.
+func (s *Scanner) SymtabInUse() *Symtab { return s.symtab }
 
 // NewScanner returns a Scanner producing the event stream of the document
 // read from r. The stream begins with a StartDocument event and, if the
@@ -143,14 +175,21 @@ func (s *Scanner) peekAt(i int) (byte, bool) {
 	return s.buf[s.pos+i], true
 }
 
-// intern returns a shared string for the element name in b.
-func (s *Scanner) intern(b []byte) string {
+// intern returns a shared string and the interned symbol for the element
+// name in b. With a Symtab attached the table is the single source of both;
+// otherwise the scanner's private map shares the string and the symbol stays
+// zero (resolved later by the evaluating network, if any).
+func (s *Scanner) intern(b []byte) (string, Sym) {
+	if s.symtab != nil {
+		sym, name := s.symtab.internBytes(b)
+		return name, sym
+	}
 	if name, ok := s.names[string(b)]; ok { // no allocation: map lookup on []byte key
-		return name
+		return name, 0
 	}
 	name := string(b)
 	s.names[name] = name
-	return name
+	return name, 0
 }
 
 // Next returns the next event. It returns io.EOF after EndDocument has been
@@ -161,9 +200,15 @@ func (s *Scanner) Next() (Event, error) {
 		return Event{}, s.err
 	}
 	for {
-		if len(s.pending) > 0 {
-			ev := s.pending[0]
-			s.pending = s.pending[1:]
+		if s.pendHead < len(s.pending) {
+			ev := s.pending[s.pendHead]
+			s.pendHead++
+			if s.pendHead == len(s.pending) {
+				// Drained: reuse the full backing array instead of letting
+				// the slice base creep forward and reallocate.
+				s.pending = s.pending[:0]
+				s.pendHead = 0
+			}
 			return s.account(ev), nil
 		}
 		ev, ok, err := s.scan()
@@ -420,49 +465,53 @@ func (s *Scanner) scanStartTag(first byte) (Event, bool, error) {
 	if s.state == scanAfterRoot {
 		return Event{}, false, fmt.Errorf("xmlstream: content after document root")
 	}
-	name, selfClose, err := s.readTagRest(first)
+	name, sym, selfClose, err := s.readTagRest(first)
 	if err != nil {
 		return Event{}, false, err
 	}
 	s.state = scanInDocument
 	if selfClose {
-		s.pending = append(s.pending, Event{Kind: EndElement, Name: name})
+		s.pending = append(s.pending, Event{Kind: EndElement, Sym: sym, Name: name})
 		if len(s.stack) == 0 {
 			s.state = scanAfterRoot
 		}
 	} else {
 		s.stack = append(s.stack, name)
+		s.stackSyms = append(s.stackSyms, sym)
 	}
-	return Event{Kind: StartElement, Name: name}, true, nil
+	return Event{Kind: StartElement, Sym: sym, Name: name}, true, nil
 }
 
 // readTagRest reads the remainder of a start tag: name, skipped attributes,
 // and the closing '>' or '/>'.
-func (s *Scanner) readTagRest(first byte) (name string, selfClose bool, err error) {
+func (s *Scanner) readTagRest(first byte) (name string, sym Sym, selfClose bool, err error) {
 	if !isNameStart(first) {
-		return "", false, fmt.Errorf("xmlstream: invalid character %q at start of tag name", first)
+		return "", 0, false, fmt.Errorf("xmlstream: invalid character %q at start of tag name", first)
 	}
 	s.nameBuf = append(s.nameBuf[:0], first)
 	for {
 		c, ok := s.readByte()
 		if !ok {
-			return "", false, fmt.Errorf("xmlstream: unterminated start tag <%s", s.nameBuf)
+			return "", 0, false, fmt.Errorf("xmlstream: unterminated start tag <%s", s.nameBuf)
 		}
 		switch {
 		case isNameByte(c):
 			s.nameBuf = append(s.nameBuf, c)
 		case c == '>':
-			return s.intern(s.nameBuf), false, nil
+			name, sym = s.intern(s.nameBuf)
+			return name, sym, false, nil
 		case c == '/':
 			if err := s.expect('>'); err != nil {
-				return "", false, err
+				return "", 0, false, err
 			}
-			return s.intern(s.nameBuf), true, nil
+			name, sym = s.intern(s.nameBuf)
+			return name, sym, true, nil
 		case isSpace(c):
 			selfClose, err := s.skipAttributes()
-			return s.intern(s.nameBuf), selfClose, err
+			name, sym = s.intern(s.nameBuf)
+			return name, sym, selfClose, err
 		default:
-			return "", false, fmt.Errorf("xmlstream: invalid character %q in tag name %q", c, s.nameBuf)
+			return "", 0, false, fmt.Errorf("xmlstream: invalid character %q in tag name %q", c, s.nameBuf)
 		}
 	}
 }
@@ -524,11 +573,13 @@ func (s *Scanner) scanEndTag() (Event, bool, error) {
 	if open != string(s.nameBuf) {
 		return Event{}, false, fmt.Errorf("xmlstream: mismatched end tag: </%s> closes <%s>", s.nameBuf, open)
 	}
+	sym := s.stackSyms[len(s.stackSyms)-1]
 	s.stack = s.stack[:len(s.stack)-1]
+	s.stackSyms = s.stackSyms[:len(s.stackSyms)-1]
 	if len(s.stack) == 0 {
 		s.state = scanAfterRoot
 	}
-	return Event{Kind: EndElement, Name: open}, true, nil
+	return Event{Kind: EndElement, Sym: sym, Name: open}, true, nil
 }
 
 // expect consumes exactly the byte want, skipping leading whitespace.

@@ -1,0 +1,128 @@
+package xmlstream
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// Sym is a dense integer identity for an element label. Symbols are assigned
+// by a Symtab in first-seen order starting at 1; the zero Sym means "not
+// resolved against any table". A Sym is only meaningful relative to the
+// Symtab that issued it: comparing symbols from different tables is a bug,
+// which is why the engine resolves events against the network's own table
+// whenever an event arrives with Sym zero.
+type Sym int32
+
+// symSnapshot is the immutable state of a Symtab: lookups read one snapshot
+// pointer and never see a map mid-update. names[sym-1] is the canonical
+// string of sym.
+type symSnapshot struct {
+	byName map[string]Sym
+	names  []string
+}
+
+var emptySnapshot = &symSnapshot{byName: map[string]Sym{}}
+
+// Symtab interns element labels into dense Syms. It is read-mostly: the hot
+// path (a label already seen) is one atomic snapshot load plus one map
+// lookup, with no locking and no allocation; inserting a new label copies
+// the table under a mutex, which is fine because a document's distinct
+// labels are few and appear early.
+//
+// A Symtab is safe for concurrent use by any number of readers and writers:
+// scanners, network builders and evaluation goroutines may share one table.
+type Symtab struct {
+	mu   sync.Mutex
+	snap atomic.Pointer[symSnapshot]
+
+	hits   atomic.Int64
+	misses atomic.Int64
+}
+
+// NewSymtab returns an empty symbol table.
+func NewSymtab() *Symtab {
+	t := &Symtab{}
+	t.snap.Store(emptySnapshot)
+	return t
+}
+
+// Intern returns the symbol for name, assigning the next dense Sym on first
+// sight. Already-seen names take the lock-free fast path.
+func (t *Symtab) Intern(name string) Sym {
+	if sym, ok := t.snap.Load().byName[name]; ok {
+		t.hits.Add(1)
+		return sym
+	}
+	return t.insert(name)
+}
+
+// internBytes is Intern over the scanner's name buffer: the map lookup on a
+// []byte key compiles to a no-allocation access, and the canonical string is
+// returned alongside so callers never re-intern the bytes. Only a miss
+// allocates (the one string the table keeps).
+func (t *Symtab) internBytes(b []byte) (Sym, string) {
+	snap := t.snap.Load()
+	if sym, ok := snap.byName[string(b)]; ok { // no allocation: map lookup on []byte key
+		t.hits.Add(1)
+		return sym, snap.names[sym-1]
+	}
+	sym := t.insert(string(b))
+	return sym, t.Name(sym)
+}
+
+// insert adds name under the writer lock with copy-on-write: readers keep
+// using the previous snapshot until the new one is published atomically.
+func (t *Symtab) insert(name string) Sym {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	old := t.snap.Load()
+	if sym, ok := old.byName[name]; ok { // lost a race to another writer
+		t.hits.Add(1)
+		return sym
+	}
+	t.misses.Add(1)
+	next := &symSnapshot{
+		byName: make(map[string]Sym, len(old.byName)+1),
+		names:  make([]string, len(old.names), len(old.names)+1),
+	}
+	for k, v := range old.byName {
+		next.byName[k] = v
+	}
+	copy(next.names, old.names)
+	sym := Sym(len(next.names) + 1)
+	next.byName[name] = sym
+	next.names = append(next.names, name)
+	t.snap.Store(next)
+	return sym
+}
+
+// Lookup returns the symbol for name without inserting; ok is false when the
+// name was never interned. Lookup does not touch the hit/miss counters, so
+// probing (e.g. a query label that may not occur in any document) does not
+// skew the hit rate.
+func (t *Symtab) Lookup(name string) (Sym, bool) {
+	sym, ok := t.snap.Load().byName[name]
+	return sym, ok
+}
+
+// Name returns the canonical string of sym, or "" for the zero Sym and
+// symbols the table never issued.
+func (t *Symtab) Name(sym Sym) string {
+	snap := t.snap.Load()
+	if sym < 1 || int(sym) > len(snap.names) {
+		return ""
+	}
+	return snap.names[sym-1]
+}
+
+// Len returns the number of interned labels.
+func (t *Symtab) Len() int {
+	return len(t.snap.Load().names)
+}
+
+// Stats returns the cumulative hit and miss counts of Intern calls: the hit
+// rate of a long-running table approaches one because a stream's distinct
+// labels are bounded.
+func (t *Symtab) Stats() (hits, misses int64) {
+	return t.hits.Load(), t.misses.Load()
+}

@@ -1,0 +1,96 @@
+package xmlstream
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+func TestSymtabInternDense(t *testing.T) {
+	st := NewSymtab()
+	if st.Len() != 0 {
+		t.Fatalf("new table has %d entries", st.Len())
+	}
+	a := st.Intern("a")
+	b := st.Intern("b")
+	if a != 1 || b != 2 {
+		t.Fatalf("symbols not dense from 1: a=%d b=%d", a, b)
+	}
+	if again := st.Intern("a"); again != a {
+		t.Fatalf("re-intern changed symbol: %d != %d", again, a)
+	}
+	if st.Len() != 2 {
+		t.Fatalf("Len=%d, want 2", st.Len())
+	}
+	if got := st.Name(a); got != "a" {
+		t.Fatalf("Name(%d)=%q", a, got)
+	}
+	if got := st.Name(0); got != "" {
+		t.Fatalf("Name(0)=%q, want empty", got)
+	}
+	if got := st.Name(99); got != "" {
+		t.Fatalf("Name(99)=%q, want empty", got)
+	}
+	hits, misses := st.Stats()
+	if hits != 1 || misses != 2 {
+		t.Fatalf("stats hits=%d misses=%d, want 1/2", hits, misses)
+	}
+}
+
+func TestSymtabLookupDoesNotInsert(t *testing.T) {
+	st := NewSymtab()
+	if _, ok := st.Lookup("ghost"); ok {
+		t.Fatal("Lookup invented a symbol")
+	}
+	if st.Len() != 0 {
+		t.Fatal("Lookup inserted")
+	}
+	hits, misses := st.Stats()
+	if hits != 0 || misses != 0 {
+		t.Fatalf("Lookup moved the counters: hits=%d misses=%d", hits, misses)
+	}
+	sym := st.Intern("real")
+	if got, ok := st.Lookup("real"); !ok || got != sym {
+		t.Fatalf("Lookup(real)=%d,%v want %d,true", got, ok, sym)
+	}
+}
+
+// TestSymtabConcurrent hammers one table from concurrent writers with
+// overlapping label sets and checks every goroutine resolved every label to
+// the same symbol. Run under -race this validates the copy-on-write
+// publication protocol.
+func TestSymtabConcurrent(t *testing.T) {
+	st := NewSymtab()
+	const goroutines = 8
+	const labels = 200
+	results := make([][]Sym, goroutines)
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		g := g
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			out := make([]Sym, labels)
+			for i := 0; i < labels; i++ {
+				out[i] = st.Intern(fmt.Sprintf("label-%d", i))
+			}
+			results[g] = out
+		}()
+	}
+	wg.Wait()
+	for i := 0; i < labels; i++ {
+		want := results[0][i]
+		for g := 1; g < goroutines; g++ {
+			if results[g][i] != want {
+				t.Fatalf("label %d: goroutine %d got %d, goroutine 0 got %d",
+					i, g, results[g][i], want)
+			}
+		}
+		if name := st.Name(want); name != fmt.Sprintf("label-%d", i) {
+			t.Fatalf("Name(%d)=%q", want, name)
+		}
+	}
+	if st.Len() != labels {
+		t.Fatalf("Len=%d, want %d", st.Len(), labels)
+	}
+}

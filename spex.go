@@ -138,26 +138,34 @@ type RingTracer = obs.RingTracer
 func NewRingTracer(capacity int) *RingTracer { return obs.NewRingTracer(capacity) }
 
 // Count streams the document from r and returns the number of answers.
-func (q *Query) Count(r io.Reader) (int64, error) {
-	n, _, err := q.plan.Count(r)
-	return n, err
+func (q *Query) Count(r io.Reader, opts ...StreamOption) (int64, error) {
+	eo := core.EvalOptions{Mode: spexnet.ModeCount}
+	for _, opt := range opts {
+		opt(&eo)
+	}
+	stats, err := q.plan.EvaluateReader(r, eo)
+	return stats.Output.Matches, err
 }
 
 // Matches streams the document from r, calling fn for every answer in
 // document order. Answers are delivered progressively: as soon as an
 // answer's membership is determined and all earlier answers have been
 // delivered.
-func (q *Query) Matches(r io.Reader, fn func(Match)) (Stats, error) {
-	return q.plan.EvaluateReader(r, core.EvalOptions{
+func (q *Query) Matches(r io.Reader, fn func(Match), opts ...StreamOption) (Stats, error) {
+	eo := core.EvalOptions{
 		Mode: spexnet.ModeNodes,
 		Sink: func(res spexnet.Result) { fn(Match{Index: res.Index, Name: res.Name}) },
-	})
+	}
+	for _, opt := range opts {
+		opt(&eo)
+	}
+	return q.plan.EvaluateReader(r, eo)
 }
 
 // Results streams the document from r, calling fn for every answer with its
 // serialized subtree, in document order.
-func (q *Query) Results(r io.Reader, fn func(Result)) (Stats, error) {
-	return q.plan.EvaluateReader(r, core.EvalOptions{
+func (q *Query) Results(r io.Reader, fn func(Result), opts ...StreamOption) (Stats, error) {
+	eo := core.EvalOptions{
 		Mode: spexnet.ModeSerialize,
 		Sink: func(res spexnet.Result) {
 			fn(Result{
@@ -165,12 +173,16 @@ func (q *Query) Results(r io.Reader, fn func(Result)) (Stats, error) {
 				XML:   xmlstream.Serialize(res.Events),
 			})
 		},
-	})
+	}
+	for _, opt := range opts {
+		opt(&eo)
+	}
+	return q.plan.EvaluateReader(r, eo)
 }
 
 // WriteResults streams the document from r and writes each answer's XML
 // fragment to w, one per line, returning the number of answers.
-func (q *Query) WriteResults(r io.Reader, w io.Writer) (int64, error) {
+func (q *Query) WriteResults(r io.Reader, w io.Writer, opts ...StreamOption) (int64, error) {
 	var n int64
 	var werr error
 	_, err := q.Results(r, func(res Result) {
@@ -178,7 +190,7 @@ func (q *Query) WriteResults(r io.Reader, w io.Writer) (int64, error) {
 		if werr == nil {
 			_, werr = io.WriteString(w, res.XML+"\n")
 		}
-	})
+	}, opts...)
 	if err != nil {
 		return n, err
 	}
@@ -193,7 +205,8 @@ func (q *Query) EvaluateString(doc string) ([]Result, error) {
 	return out, err
 }
 
-// StreamOption configures a push-mode evaluation.
+// StreamOption configures an evaluation: accepted by Count, Matches,
+// Results, StreamResults and Stream.
 type StreamOption func(*core.EvalOptions)
 
 // WithMetrics attaches a metrics registry to the stream: its counters

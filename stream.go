@@ -2,8 +2,11 @@ package spex
 
 import (
 	"io"
+	"strconv"
 
 	"repro/internal/core"
+	"repro/internal/multi"
+	"repro/internal/rpeq"
 	"repro/internal/spexnet"
 	"repro/internal/xmlstream"
 )
@@ -27,7 +30,7 @@ type ResultWriter interface {
 // progressively. Unlike Results, which hands over each answer complete,
 // StreamResults forwards an accepted answer's content as it arrives — an
 // answer spanning gigabytes flows through without being held in memory.
-func (q *Query) StreamResults(r io.Reader, w ResultWriter) (Stats, error) {
+func (q *Query) StreamResults(r io.Reader, w ResultWriter, opts ...StreamOption) (Stats, error) {
 	var name string
 	sink := spexnet.NewStreamSink(
 		func(index int64, n string) {
@@ -46,7 +49,11 @@ func (q *Query) StreamResults(r io.Reader, w ResultWriter) (Stats, error) {
 		},
 		func(index int64) { w.ResultEnd(Match{Index: index, Name: name}) },
 	)
-	return q.plan.EvaluateReader(r, core.EvalOptions{Mode: spexnet.ModeStream, StreamSink: sink})
+	eo := core.EvalOptions{Mode: spexnet.ModeStream, StreamSink: sink}
+	for _, opt := range opts {
+		opt(&eo)
+	}
+	return q.plan.EvaluateReader(r, eo)
 }
 
 // MatchesDoc reports whether the document matches the query at all — the
@@ -58,7 +65,10 @@ func (q *Query) MatchesDoc(r io.Reader) (bool, error) {
 	if err != nil {
 		return false, err
 	}
-	src := xmlstream.NewScanner(r, xmlstream.WithText(false))
+	// The early-exit paths leave the run mid-stream; Release returns the
+	// transducer stacks, tapes and pooled condition variables either way.
+	defer run.Release()
+	src := xmlstream.NewScanner(r, xmlstream.WithText(false), xmlstream.WithSymtab(q.plan.Symtab()))
 	for {
 		ev, err := src.Next()
 		if err == io.EOF {
@@ -80,51 +90,138 @@ func (q *Query) MatchesDoc(r io.Reader) (bool, error) {
 	return run.Matches() > 0, nil
 }
 
-// QuerySet evaluates several compiled queries against one stream in a
-// single pass through one shared transducer network: structurally identical
-// subexpressions — in particular common query prefixes — are compiled and
-// evaluated once (the paper's §IX multi-query optimization).
-type QuerySet struct {
-	queries []*Query
-	specs   []spexnet.Spec
-	counts  []int64
+// SetOption selects the evaluation engine of a query Set.
+type SetOption func(*setConfig)
+
+type setEngineKind uint8
+
+const (
+	setShared setEngineKind = iota
+	setSequential
+	setParallel
+)
+
+type setConfig struct {
+	engine setEngineKind
+	shards int
 }
 
-// NewQuerySet prepares a set; fn receives (query position, match) for every
-// answer of every query, in document order per query.
-func NewQuerySet(queries []*Query, fn func(query int, m Match)) *QuerySet {
-	s := &QuerySet{queries: queries, counts: make([]int64, len(queries))}
-	for i, q := range queries {
-		i := i
-		s.specs = append(s.specs, spexnet.Spec{
-			Expr: q.plan.Expr(),
-			Mode: spexnet.ModeNodes,
-			Sink: func(r spexnet.Result) {
-				s.counts[i]++
-				if fn != nil {
-					fn(i, Match{Index: r.Index, Name: r.Name})
-				}
-			},
-		})
+// Sequential evaluates each query of the set on its own transducer network —
+// the baseline the shared and parallel engines are cross-validated against.
+func Sequential() SetOption {
+	return func(c *setConfig) { c.engine = setSequential }
+}
+
+// Shared (the default) compiles all queries of the set into one transducer
+// network: structurally identical subexpressions — in particular common
+// query prefixes — are compiled and evaluated once (the paper's §IX
+// multi-query optimization).
+func Shared() SetOption {
+	return func(c *setConfig) { c.engine = setShared }
+}
+
+// Parallel partitions the set's queries over a pool of worker shards fed in
+// batches from the scanning goroutine; shards ≤ 0 selects one shard per
+// available CPU. Answer callbacks run on a single delivery goroutine (never
+// concurrently), in per-query document order.
+func Parallel(shards int) SetOption {
+	return func(c *setConfig) {
+		c.engine = setParallel
+		c.shards = shards
+	}
+}
+
+// Set evaluates several compiled queries against one stream in a single
+// pass. The engine is selected at construction: Shared (one network with
+// common subexpressions evaluated once — the default), Sequential (one
+// network per query), or Parallel (queries sharded over a worker pool). All
+// engines return identical per-query answers.
+type Set struct {
+	queries []*Query
+	fn      func(query int, m Match)
+	counts  []int64
+	cfg     setConfig
+}
+
+// QuerySet evaluates several compiled queries against one stream in a
+// single pass.
+//
+// Deprecated: QuerySet is an alias of Set, which generalizes it with
+// selectable engines (Sequential, Shared, Parallel). Use NewSet.
+type QuerySet = Set
+
+// NewSet prepares a set; fn (which may be nil) receives (query position,
+// match) for every answer of every query, in document order per query. With
+// the Parallel engine fn runs on the engine's delivery goroutine, not the
+// caller's; it is never called concurrently with itself.
+func NewSet(queries []*Query, fn func(query int, m Match), opts ...SetOption) *Set {
+	s := &Set{queries: queries, fn: fn, counts: make([]int64, len(queries))}
+	for _, opt := range opts {
+		opt(&s.cfg)
 	}
 	return s
 }
 
-// Evaluate streams the document once through the shared network.
-func (s *QuerySet) Evaluate(r io.Reader) error {
+// NewQuerySet prepares a set evaluated on the shared-network engine.
+//
+// Deprecated: use NewSet, which also selects engines via SetOption.
+func NewQuerySet(queries []*Query, fn func(query int, m Match)) *QuerySet {
+	return NewSet(queries, fn)
+}
+
+// setEngine is what Evaluate needs from the three multi-query engines.
+type setEngine interface {
+	Run(src xmlstream.Source) error
+	Symtab() *xmlstream.Symtab
+}
+
+// Evaluate streams the document once through the set's engine. Counts are
+// reset at entry, so each Evaluate reports one document.
+func (s *Set) Evaluate(r io.Reader) error {
 	for i := range s.counts {
 		s.counts[i] = 0
 	}
-	net, err := spexnet.BuildSet(s.specs, spexnet.Options{})
+	withText := false
+	subs := make([]multi.Subscription, len(s.queries))
+	for i, q := range s.queries {
+		i := i
+		if rpeq.HasTextTest(q.plan.Expr()) {
+			withText = true
+		}
+		subs[i] = multi.Subscription{
+			Name: strconv.Itoa(i),
+			Plan: q.plan,
+			OnHit: func(_ string, res spexnet.Result) {
+				s.counts[i]++
+				if s.fn != nil {
+					s.fn(i, Match{Index: res.Index, Name: res.Name})
+				}
+			},
+		}
+	}
+	var (
+		eng setEngine
+		err error
+	)
+	switch s.cfg.engine {
+	case setSequential:
+		eng, err = multi.NewSet(subs)
+	case setParallel:
+		eng, err = multi.NewParallelSet(subs, multi.ParallelOptions{Shards: s.cfg.shards})
+	default:
+		eng, err = multi.NewSharedSet(subs)
+	}
 	if err != nil {
 		return err
 	}
-	_, err = net.Run(xmlstream.NewScanner(r, xmlstream.WithText(false)))
-	return err
+	// The scanner shares the engine's symbol table, so every event arrives
+	// with its label already resolved to an integer symbol.
+	src := xmlstream.NewScanner(r, xmlstream.WithText(withText), xmlstream.WithSymtab(eng.Symtab()))
+	return eng.Run(src)
 }
 
 // Counts returns per-query answer counts from the last Evaluate.
-func (s *QuerySet) Counts() []int64 {
+func (s *Set) Counts() []int64 {
 	out := make([]int64, len(s.counts))
 	copy(out, s.counts)
 	return out
