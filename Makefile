@@ -2,7 +2,7 @@ GO ?= go
 FUZZTIME ?= 15s
 BENCH_DIR ?= bench-out
 
-.PHONY: check fmt vet build test race bench fuzz-smoke bench-smoke bench-delta
+.PHONY: check fmt vet build test race bench fuzz-smoke bench-smoke bench-delta serve-smoke vuln
 
 ## check: the full gate — formatting, vet, build, tests under the race detector
 check: fmt vet build race
@@ -50,3 +50,13 @@ bench-smoke:
 BENCH_PREV ?= bench-prev
 bench-delta:
 	$(GO) run ./cmd/spexbench -json $(BENCH_DIR) -delta $(BENCH_PREV)
+
+## serve-smoke: boot a real spexd, drive subscribe → ingest → NDJSON result
+## with curl against the Fig. 1 document, then check a clean SIGTERM drain
+serve-smoke:
+	mkdir -p $(BENCH_DIR)
+	scripts/serve_smoke.sh $(BENCH_DIR)/spexd
+
+## vuln: known-vulnerability scan of the module and its (stdlib-only) deps
+vuln:
+	$(GO) run golang.org/x/vuln/cmd/govulncheck@latest ./...

@@ -23,6 +23,9 @@
 //	-trace-node  only trace transducers whose name contains a substring
 //	-window N  evaluate in windows of N top-level records (see §I of the
 //	           paper on the exactness caveat of windows)
+//	-engine E  evaluate through the multi-query engine the spexd server
+//	           uses: sequential, shared or parallel[:shards] (requires
+//	           -count or -nodes)
 package main
 
 import (
@@ -34,9 +37,11 @@ import (
 	"strings"
 	"text/tabwriter"
 
+	spex "repro"
 	"repro/internal/core"
 	"repro/internal/cq"
 	"repro/internal/obs"
+	"repro/internal/server"
 	"repro/internal/spexnet"
 	"repro/internal/window"
 	"repro/internal/xmlstream"
@@ -63,6 +68,7 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) error {
 		traceKind = fs.String("trace-kind", "act,det", "message kinds to trace: doc,act,det (empty = all)")
 		traceNode = fs.String("trace-node", "", "only trace transducers whose name contains one of these comma-separated substrings")
 		windowN   = fs.Int("window", 0, "evaluate in windows of N top-level records (0 = exact whole-stream evaluation)")
+		engine    = fs.String("engine", "", "evaluate through the multi-query engine: sequential, shared or parallel[:shards] (requires -count or -nodes)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -89,6 +95,16 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) error {
 
 	out := bufio.NewWriter(stdout)
 	defer out.Flush()
+
+	if *engine != "" {
+		if *trace || *stats || *windowN > 0 || *conjunct != "" {
+			return fmt.Errorf("-engine cannot combine with -trace, -stats, -window or -cq")
+		}
+		if !*count && !*nodes {
+			return fmt.Errorf("-engine requires -count or -nodes (the multi-query engines report answer positions, not subtrees)")
+		}
+		return runEngine(*engine, *query, *xpath, in, out, *count)
+	}
 
 	if *windowN > 0 {
 		wstats, err := window.Evaluate(plan, xmlstream.NewScanner(in), *windowN,
@@ -177,6 +193,37 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) error {
 			st.Events, st.Elements, st.MaxDepth, st.Transducers, st.MaxStack, st.MaxFormula,
 			st.Output.Matches, st.Output.Candidates, st.Output.Dropped)
 		writeTransducerTable(stderr, evalRun.Snapshot())
+	}
+	return nil
+}
+
+// runEngine evaluates the query through the same engine selection the
+// server's channels use (spex.Set on sequential, shared or parallel), so
+// the CLI can sanity-check an engine against the plain evaluator.
+func runEngine(sel, query string, xpath bool, in io.Reader, out *bufio.Writer, countOnly bool) error {
+	eng, err := server.ParseEngine(sel)
+	if err != nil {
+		return err
+	}
+	var q *spex.Query
+	if xpath {
+		q, err = spex.CompileXPath(query)
+	} else {
+		q, err = spex.Compile(query)
+	}
+	if err != nil {
+		return err
+	}
+	set := spex.NewSet([]*spex.Query{q}, func(_ int, m spex.Match) {
+		if !countOnly {
+			fmt.Fprintf(out, "%d\t%s\n", m.Index, m.Name)
+		}
+	}, eng.Option())
+	if err := set.Evaluate(in); err != nil {
+		return err
+	}
+	if countOnly {
+		fmt.Fprintln(out, set.Counts()[0])
 	}
 	return nil
 }

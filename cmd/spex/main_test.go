@@ -185,3 +185,52 @@ func TestCLIWindowed(t *testing.T) {
 		t.Fatalf("windowed output: %q", out)
 	}
 }
+
+// TestEngineFlag: every -engine selection must reproduce the plain
+// evaluator's golden -nodes and -count output, and the flag refuses
+// combinations the multi-query engines cannot honour.
+func TestEngineFlag(t *testing.T) {
+	wantNodes, _, err := runCLI(t, []string{"-q", "_*.c", "-nodes"}, paperDoc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantCount, _, err := runCLI(t, []string{"-q", "_*.c", "-count"}, paperDoc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, engine := range []string{"sequential", "shared", "parallel", "parallel:2"} {
+		out, _, err := runCLI(t, []string{"-q", "_*.c", "-nodes", "-engine", engine}, paperDoc)
+		if err != nil {
+			t.Fatalf("-engine %s: %v", engine, err)
+		}
+		if out != wantNodes {
+			t.Errorf("-engine %s -nodes = %q, want %q", engine, out, wantNodes)
+		}
+		out, _, err = runCLI(t, []string{"-q", "_*.c", "-count", "-engine", engine}, paperDoc)
+		if err != nil {
+			t.Fatalf("-engine %s -count: %v", engine, err)
+		}
+		if out != wantCount {
+			t.Errorf("-engine %s -count = %q, want %q", engine, out, wantCount)
+		}
+	}
+	// The XPath fragment goes through the same path.
+	out, _, err := runCLI(t, []string{"-xpath", "-q", "//a[b]/c", "-count", "-engine", "shared"}, paperDoc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out != "1\n" {
+		t.Errorf("-xpath -engine shared count = %q, want \"1\\n\"", out)
+	}
+
+	for _, bad := range [][]string{
+		{"-q", "a", "-engine", "shared"},         // neither -count nor -nodes
+		{"-q", "a", "-count", "-engine", "warp"}, // unknown engine
+		{"-q", "a", "-count", "-engine", "shared", "-stats"},
+		{"-q", "a", "-count", "-engine", "shared", "-window", "2"},
+	} {
+		if _, _, err := runCLI(t, bad, paperDoc); err == nil {
+			t.Errorf("args %v accepted, want error", bad)
+		}
+	}
+}

@@ -29,14 +29,19 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"flag"
 	"fmt"
 	"io"
 	"net"
 	"net/http"
 	"os"
+	"os/signal"
 	"path/filepath"
 	"runtime"
+	"sync"
+	"syscall"
+	"time"
 
 	"repro/internal/bench"
 	"repro/internal/core"
@@ -217,16 +222,55 @@ func figureSDI(out, progress io.Writer, scale float64, o *bench.Observer) ([]ben
 
 // serveMetrics starts the observability endpoint: /metrics (Prometheus
 // text), /vars (JSON snapshot) and /debug/pprof. It returns a shutdown
-// function closing the listener.
+// function that drains in-flight scrapes before closing the listener.
 func serveMetrics(addr string, m *obs.Metrics, stderr io.Writer) (func(), error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, err
 	}
-	srv := &http.Server{Handler: obs.NewServeMux(m)}
+	srv := newMetricsServer(obs.NewServeMux(m))
 	fmt.Fprintf(stderr, "spexbench: serving metrics on http://%s/metrics (JSON on /vars, profiles under /debug/pprof/)\n", ln.Addr())
 	go func() { _ = srv.Serve(ln) }()
-	return func() { _ = srv.Close() }, nil
+	var once sync.Once
+	shutdown := func() {
+		once.Do(func() {
+			ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+			defer cancel()
+			if err := srv.Shutdown(ctx); err != nil {
+				_ = srv.Close()
+			}
+		})
+	}
+	// An interrupted run still drains the endpoint instead of abandoning
+	// the listener: shut down gracefully, then re-raise the signal so the
+	// process exits with its default disposition.
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		s, ok := <-sigc
+		if !ok {
+			return
+		}
+		fmt.Fprintf(stderr, "spexbench: %v received, closing metrics endpoint\n", s)
+		shutdown()
+		signal.Stop(sigc)
+		if p, err := os.FindProcess(os.Getpid()); err == nil {
+			_ = p.Signal(s)
+		}
+	}()
+	return shutdown, nil
+}
+
+// newMetricsServer builds the sidecar http.Server with the slow-client
+// protections a long benchmark run needs: a header-read bound so a stuck
+// dialer cannot pin a connection goroutine, and an idle timeout so
+// abandoned keep-alive scrapes are reclaimed.
+func newMetricsServer(h http.Handler) *http.Server {
+	return &http.Server{
+		Handler:           h,
+		ReadHeaderTimeout: 5 * time.Second,
+		IdleTimeout:       60 * time.Second,
+	}
 }
 
 // figure14 runs the MONDIAL and WordNet workloads with all three engines.

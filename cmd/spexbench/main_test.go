@@ -156,3 +156,39 @@ func TestBadFlag(t *testing.T) {
 		t.Fatal("bad flag should fail")
 	}
 }
+
+// TestMetricsServerHardening: the sidecar server must bound header reads
+// and idle connections so a stuck scraper cannot pin it, and its shutdown
+// function must stop the listener.
+func TestMetricsServerHardening(t *testing.T) {
+	srv := newMetricsServer(obs.NewServeMux(obs.NewMetrics()))
+	if srv.ReadHeaderTimeout <= 0 {
+		t.Errorf("ReadHeaderTimeout not set")
+	}
+	if srv.IdleTimeout <= 0 {
+		t.Errorf("IdleTimeout not set")
+	}
+
+	var errBuf bytes.Buffer
+	shutdown, err := serveMetrics("127.0.0.1:0", obs.NewMetrics(), &errBuf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	line := errBuf.String()
+	base := line[strings.Index(line, "http://"):]
+	base = strings.TrimSpace(base[:strings.Index(base, "/metrics")])
+	resp, err := http.Get(base + "/metrics")
+	if err != nil {
+		t.Fatalf("scrape: %v", err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("scrape status %d", resp.StatusCode)
+	}
+	shutdown()
+	shutdown() // idempotent
+	if _, err := http.Get(base + "/metrics"); err == nil {
+		t.Errorf("listener still accepting after shutdown")
+	}
+}

@@ -1,0 +1,124 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/server"
+	"repro/internal/server/client"
+)
+
+// syncBuffer lets the test read the daemon's stderr while run writes it.
+type syncBuffer struct {
+	mu  sync.Mutex
+	buf bytes.Buffer
+}
+
+func (b *syncBuffer) Write(p []byte) (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.Write(p)
+}
+
+func (b *syncBuffer) String() string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.String()
+}
+
+// TestDaemonLifecycle boots spexd on an ephemeral port, drives it through a
+// subscribe → results → ingest round trip with the Go client, and shuts it
+// down with a context cancellation standing in for SIGTERM.
+func TestDaemonLifecycle(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var errOut syncBuffer
+	done := make(chan error, 1)
+	go func() {
+		done <- run(ctx, []string{"-addr", "127.0.0.1:0", "-engine", "shared", "-drain-timeout", "5s"}, &errOut, &errOut)
+	}()
+
+	// The daemon prints its resolved address once the listener is up.
+	var base string
+	deadline := time.Now().Add(5 * time.Second)
+	for base == "" {
+		if time.Now().After(deadline) {
+			t.Fatalf("daemon did not announce its address; stderr:\n%s", errOut.String())
+		}
+		for _, line := range strings.Split(errOut.String(), "\n") {
+			if rest, ok := strings.CutPrefix(line, "spexd: listening on "); ok {
+				base = strings.TrimSpace(rest)
+			}
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	c := client.New(base, nil)
+	if !c.Healthy(ctx) || !c.Ready(ctx) {
+		t.Fatalf("daemon not healthy/ready at %s", base)
+	}
+	info, err := c.Subscribe(ctx, server.SubscribeRequest{Channel: "ch", Query: `_*.a[b].c`})
+	if err != nil {
+		t.Fatalf("subscribe: %v", err)
+	}
+	frames := make(chan server.Frame, 4)
+	readerDone := make(chan error, 1)
+	go func() {
+		readerDone <- c.Results(context.Background(), info.ID, func(f server.Frame) error {
+			frames <- f
+			return nil
+		})
+	}()
+	sum, err := c.IngestString(ctx, "ch", `<a><a><c>first</c></a><b/><c>second</c></a>`)
+	if err != nil {
+		t.Fatalf("ingest: %v", err)
+	}
+	if sum.Matches != 1 {
+		t.Errorf("matches = %d, want 1", sum.Matches)
+	}
+	select {
+	case f := <-frames:
+		if f.Index != 5 || f.Name != "c" {
+			t.Errorf("frame = (%d,%q), want (5,\"c\")", f.Index, f.Name)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatalf("no result frame arrived")
+	}
+
+	// "SIGTERM": the daemon drains and exits cleanly; the result stream
+	// ends without error.
+	cancel()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("run: %v\nstderr:\n%s", err, errOut.String())
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatalf("daemon did not exit; stderr:\n%s", errOut.String())
+	}
+	select {
+	case err := <-readerDone:
+		if err != nil {
+			t.Errorf("result stream at shutdown: %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Errorf("result stream did not end at shutdown")
+	}
+	if !strings.Contains(errOut.String(), "shut down cleanly") {
+		t.Errorf("stderr missing clean-shutdown line:\n%s", errOut.String())
+	}
+}
+
+func TestBadFlags(t *testing.T) {
+	var out syncBuffer
+	if err := run(context.Background(), []string{"-engine", "warp"}, &out, &out); err == nil {
+		t.Errorf("bad engine accepted")
+	}
+	if err := run(context.Background(), []string{"stray"}, &out, &out); err == nil {
+		t.Errorf("stray argument accepted")
+	}
+}

@@ -5,6 +5,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"io"
 
@@ -67,6 +68,12 @@ func (p *Plan) Symtab() *xmlstream.Symtab { return p.symtab }
 type EvalOptions struct {
 	Mode spexnet.ResultMode
 	Sink spexnet.Sink
+	// Ctx, when non-nil, bounds a reader-fed evaluation: cancellation or
+	// deadline expiry is checked at every read of the input, so an
+	// abandoned or overdue evaluation stops consuming the stream promptly.
+	// Source-fed evaluations (Evaluate, push-mode runs) ignore it — the
+	// caller owns the feed loop there.
+	Ctx context.Context
 	// StreamSink receives answers event by event (spexnet.ModeStream).
 	StreamSink spexnet.StreamSink
 	// RawFormulas disables condition-formula normalization (ablation).
@@ -138,6 +145,9 @@ func (p *Plan) Evaluate(src xmlstream.Source, opts EvalOptions) (spexnet.Stats, 
 func (p *Plan) EvaluateReader(r io.Reader, opts EvalOptions) (spexnet.Stats, error) {
 	withText := opts.Mode == spexnet.ModeSerialize || opts.Mode == spexnet.ModeStream ||
 		rpeq.HasTextTest(p.expr)
+	if opts.Ctx != nil {
+		r = &ctxReader{ctx: opts.Ctx, r: r}
+	}
 	if opts.Metrics != nil {
 		r = &obs.CountingReader{R: r, C: &opts.Metrics.Bytes}
 	}
@@ -148,7 +158,30 @@ func (p *Plan) EvaluateReader(r io.Reader, opts EvalOptions) (spexnet.Stats, err
 		// integer comparison.
 		scanOpts = append(scanOpts, xmlstream.WithSymtab(st))
 	}
-	return p.Evaluate(xmlstream.NewScanner(r, scanOpts...), opts)
+	stats, err := p.Evaluate(xmlstream.NewScanner(r, scanOpts...), opts)
+	// A cancellation that lands after the reader's final chunk was already
+	// buffered would otherwise go unnoticed; a cancelled evaluation must
+	// never report success.
+	if err == nil && opts.Ctx != nil {
+		err = opts.Ctx.Err()
+	}
+	return stats, err
+}
+
+// ctxReader aborts an evaluation's input at context cancellation: the
+// scanner surfaces the context error like any read failure, so the
+// evaluation unwinds without a separate cancellation channel through the
+// network.
+type ctxReader struct {
+	ctx context.Context
+	r   io.Reader
+}
+
+func (c *ctxReader) Read(p []byte) (int, error) {
+	if err := c.ctx.Err(); err != nil {
+		return 0, err
+	}
+	return c.r.Read(p)
 }
 
 // Count evaluates and returns only the number of answers.

@@ -1,9 +1,14 @@
 package cq
 
 import (
+	"context"
+	"errors"
+	"io"
 	"strings"
+	"sync"
 	"testing"
 
+	"repro/internal/core"
 	"repro/internal/rpeq"
 	"repro/internal/spexnet"
 	"repro/internal/xmlstream"
@@ -109,5 +114,89 @@ func TestConjunctiveEquivalence(t *testing.T) {
 	}
 	if len(got) != 1 || got[0] != 5 {
 		t.Fatalf("got %v, want [5]", got)
+	}
+}
+
+// TestConcurrentTranslatedPlan: one translated plan is shared by many
+// concurrent evaluations, the way a server channel shares its compiled
+// subscriptions across sessions. Each goroutine drives its own Feed/Close
+// run; run with -race this proves the plan (and its interned symbol table)
+// is read-only across runs.
+func TestConcurrentTranslatedPlan(t *testing.T) {
+	expr := translate(t, "q(X3) :- Root(_*.a) X1, X1(b) X2, X1(c) X3")
+	plan := core.FromAST(expr)
+	doc := `<a><a><c/></a><b/><c/></a>`
+
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 25; i++ {
+				var got []int64
+				run, err := plan.NewRun(core.EvalOptions{Mode: spexnet.ModeNodes,
+					Sink: func(r spexnet.Result) { got = append(got, r.Index) }})
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				src := xmlstream.NewScanner(strings.NewReader(doc))
+				for {
+					ev, err := src.Next()
+					if err == io.EOF {
+						break
+					}
+					if err != nil {
+						t.Error(err)
+						return
+					}
+					if err := run.Feed(ev); err != nil {
+						t.Error(err)
+						return
+					}
+				}
+				if err := run.Close(); err != nil {
+					t.Error(err)
+					return
+				}
+				if len(got) != 1 || got[0] != 5 {
+					t.Errorf("got %v, want [5]", got)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// TestCancellationMidStream: a context cancelled part-way through a
+// reader-fed evaluation of a translated conjunctive query aborts the run
+// with the context's error instead of completing.
+func TestCancellationMidStream(t *testing.T) {
+	expr := translate(t, "q(X2) :- Root(_*.a) X1, X1(c) X2")
+	plan := core.FromAST(expr)
+	var doc strings.Builder
+	doc.WriteString("<a>")
+	for i := 0; i < 200000; i++ {
+		doc.WriteString("<c/>")
+	}
+	doc.WriteString("</a>")
+
+	ctx, cancel := context.WithCancel(context.Background())
+	seen := 0
+	_, err := plan.EvaluateReader(strings.NewReader(doc.String()), core.EvalOptions{
+		Mode: spexnet.ModeNodes,
+		Ctx:  ctx,
+		Sink: func(spexnet.Result) {
+			if seen++; seen == 10 {
+				cancel()
+			}
+		},
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if seen >= 200000 {
+		t.Fatalf("evaluation ran to completion despite cancellation (%d answers)", seen)
 	}
 }

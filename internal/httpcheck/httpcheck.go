@@ -1,0 +1,75 @@
+// Package httpcheck holds shared test helpers for HTTP handler hygiene:
+// every response with a body must declare a Content-Type, error statuses
+// that shed load must carry Retry-After, and handlers must tolerate bodies
+// they do not read. The obs and server handler tests share these checks.
+package httpcheck
+
+import (
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+// Response captures what a handler produced for one request.
+type Response struct {
+	Status int
+	Header http.Header
+	Body   string
+}
+
+// Do drives handler with one request and returns the recorded response,
+// asserting baseline hygiene: a non-empty body carries a Content-Type.
+func Do(t *testing.T, handler http.Handler, method, target, body string) Response {
+	t.Helper()
+	var r io.Reader
+	if body != "" {
+		r = strings.NewReader(body)
+	}
+	req := httptest.NewRequest(method, target, r)
+	rec := httptest.NewRecorder()
+	handler.ServeHTTP(rec, req)
+	resp := Response{Status: rec.Code, Header: rec.Header(), Body: rec.Body.String()}
+	if resp.Body != "" && resp.Header.Get("Content-Type") == "" {
+		t.Errorf("%s %s: %d response has a body but no Content-Type", method, target, resp.Status)
+	}
+	return resp
+}
+
+// WantStatus asserts the response status.
+func (r Response) WantStatus(t *testing.T, want int) Response {
+	t.Helper()
+	if r.Status != want {
+		t.Errorf("status = %d, want %d (body %q)", r.Status, want, r.Body)
+	}
+	return r
+}
+
+// WantContentType asserts the Content-Type starts with want.
+func (r Response) WantContentType(t *testing.T, want string) Response {
+	t.Helper()
+	if ct := r.Header.Get("Content-Type"); !strings.HasPrefix(ct, want) {
+		t.Errorf("Content-Type = %q, want prefix %q", ct, want)
+	}
+	return r
+}
+
+// WantRetryAfter asserts a Retry-After header is present (load-shedding
+// responses must tell clients when to come back).
+func (r Response) WantRetryAfter(t *testing.T) Response {
+	t.Helper()
+	if r.Header.Get("Retry-After") == "" {
+		t.Errorf("%d response missing Retry-After", r.Status)
+	}
+	return r
+}
+
+// WantBodyContains asserts the body contains want.
+func (r Response) WantBodyContains(t *testing.T, want string) Response {
+	t.Helper()
+	if !strings.Contains(r.Body, want) {
+		t.Errorf("body %q does not contain %q", r.Body, want)
+	}
+	return r
+}

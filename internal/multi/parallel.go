@@ -252,36 +252,64 @@ func (p *ParallelSet) firstErr() error {
 // run is the shard loop: evaluate every inbound batch, release the shared
 // buffer, ship the answers. After the queue closes the shard finishes its
 // engine so end-of-stream answers (past conditions determined at </$>)
-// still reach the sink.
+// still reach the sink. A panic anywhere in a shard's evaluation — a
+// poisoned stream, a buggy engine path — is contained to the pool: it
+// surfaces as the pool's error instead of crashing the process, which a
+// long-lived server feeding many independent sessions through pools cannot
+// afford.
 func (w *shardWorker) run() {
 	defer w.p.workerWG.Done()
 	for b := range w.ch {
-		if !w.p.failed.Load() {
-			var start time.Time
-			if w.sm != nil {
-				start = time.Now()
-			}
-			for i := range b.evs {
-				if err := w.set.Feed(b.evs[i]); err != nil {
-					w.p.setErr(fmt.Errorf("multi: shard %d: %w", w.id, err))
-					break
-				}
-			}
-			if w.sm != nil {
-				w.sm.Batches.Inc()
-				w.sm.Events.Add(int64(len(b.evs)))
-				w.sm.BusyNs.Add(time.Since(start).Nanoseconds())
-			}
-		}
+		w.evalBatch(b)
 		b.release(&w.p.batchPool)
 		w.flushHits()
 	}
-	if !w.p.failed.Load() {
-		if err := w.set.Close(); err != nil {
+	w.closeSet()
+	w.flushHits()
+}
+
+// evalBatch feeds one batch through the shard's engine, converting panics
+// into pool errors.
+func (w *shardWorker) evalBatch(b *eventBatch) {
+	if w.p.failed.Load() {
+		return
+	}
+	defer func() {
+		if r := recover(); r != nil {
+			w.p.setErr(fmt.Errorf("multi: shard %d: panic: %v", w.id, r))
+		}
+	}()
+	var start time.Time
+	if w.sm != nil {
+		start = time.Now()
+	}
+	for i := range b.evs {
+		if err := w.set.Feed(b.evs[i]); err != nil {
 			w.p.setErr(fmt.Errorf("multi: shard %d: %w", w.id, err))
+			break
 		}
 	}
-	w.flushHits()
+	if w.sm != nil {
+		w.sm.Batches.Inc()
+		w.sm.Events.Add(int64(len(b.evs)))
+		w.sm.BusyNs.Add(time.Since(start).Nanoseconds())
+	}
+}
+
+// closeSet finishes the shard's engine after the queue closes, with the
+// same panic containment as evalBatch.
+func (w *shardWorker) closeSet() {
+	if w.p.failed.Load() {
+		return
+	}
+	defer func() {
+		if r := recover(); r != nil {
+			w.p.setErr(fmt.Errorf("multi: shard %d: panic: %v", w.id, r))
+		}
+	}()
+	if err := w.set.Close(); err != nil {
+		w.p.setErr(fmt.Errorf("multi: shard %d: %w", w.id, err))
+	}
 }
 
 // flushHits ships the shard's buffered answers to the sink goroutine. The
@@ -299,21 +327,37 @@ func (w *shardWorker) flushHits() {
 }
 
 // sink is the single ordered delivery goroutine: all OnHit callbacks of all
-// subscriptions run here.
+// subscriptions run here. A panicking callback marks the pool failed rather
+// than crashing the process; the remaining hit batches are drained without
+// delivery.
 func (p *ParallelSet) sink() {
 	defer p.sinkWG.Done()
 	for hb := range p.hitCh {
-		for _, h := range hb.hits {
-			sub := &p.subs[h.sub]
-			if sub.OnHit != nil {
-				sub.OnHit(sub.Name, h.r)
-			}
-			if p.opts.Metrics != nil {
-				p.opts.Metrics.Matches.Inc()
-			}
-		}
+		p.deliver(hb)
 		hb.hits = hb.hits[:0]
 		p.hitPool.Put(hb)
+	}
+}
+
+// deliver runs one hit batch's OnHit callbacks, converting panics into pool
+// errors.
+func (p *ParallelSet) deliver(hb *hitBatch) {
+	if p.failed.Load() {
+		return
+	}
+	defer func() {
+		if r := recover(); r != nil {
+			p.setErr(fmt.Errorf("multi: panic in OnHit callback: %v", r))
+		}
+	}()
+	for _, h := range hb.hits {
+		sub := &p.subs[h.sub]
+		if sub.OnHit != nil {
+			sub.OnHit(sub.Name, h.r)
+		}
+		if p.opts.Metrics != nil {
+			p.opts.Metrics.Matches.Inc()
+		}
 	}
 }
 

@@ -93,31 +93,51 @@ func escapeLabel(s string) string {
 	return r.Replace(s)
 }
 
-// MetricsHandler serves the registry in the Prometheus text format.
-func MetricsHandler(m *Metrics) http.Handler {
-	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+// EscapeLabel sanitizes a Prometheus label value, for subsystems (the query
+// server) that render their own metric sections next to this package's.
+func EscapeLabel(s string) string { return escapeLabel(s) }
+
+// MetricsHandler serves the registry in the Prometheus text format. Extra
+// section writers, if any, are rendered after the registry's own metrics on
+// the same endpoint — a serving layer appends its spex_server_* section
+// without a second scrape target.
+func MetricsHandler(m *Metrics, extras ...func(io.Writer)) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		drainBody(r)
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 		WritePrometheus(w, m.Snapshot())
+		for _, extra := range extras {
+			extra(w)
+		}
 	})
 }
 
 // JSONHandler serves the registry as one JSON document (expvar-style).
 func JSONHandler(m *Metrics) http.Handler {
-	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		drainBody(r)
 		w.Header().Set("Content-Type", "application/json; charset=utf-8")
 		_ = WriteJSON(w, m.Snapshot())
 	})
 }
 
+// drainBody consumes a (bounded) request body the handler has no use for,
+// so the keep-alive connection stays reusable even when a scraper POSTs.
+func drainBody(r *http.Request) {
+	if r.Body != nil {
+		_, _ = io.Copy(io.Discard, io.LimitReader(r.Body, 64<<10))
+	}
+}
+
 // NewServeMux returns a mux serving the registry and the runtime profiler:
 //
-//	/metrics      Prometheus text format
+//	/metrics      Prometheus text format (plus any extra sections)
 //	/vars         snapshot as JSON (expvar-style)
 //	/debug/pprof  net/http/pprof
-func NewServeMux(m *Metrics) *http.ServeMux {
+func NewServeMux(m *Metrics, extras ...func(io.Writer)) *http.ServeMux {
 	mux := http.NewServeMux()
-	mux.Handle("/metrics", MetricsHandler(m))
-	mux.Handle("/vars", JSONHandler(m))
+	mux.Handle("GET /metrics", MetricsHandler(m, extras...))
+	mux.Handle("GET /vars", JSONHandler(m))
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)

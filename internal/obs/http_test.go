@@ -1,0 +1,61 @@
+package obs
+
+import (
+	"io"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"repro/internal/httpcheck"
+)
+
+// TestHandlerHygiene drives the observability endpoints through the shared
+// handler checks: correct Content-Type on every body, GET-only methods, and
+// extra metric sections rendered after the registry's own.
+func TestHandlerHygiene(t *testing.T) {
+	m := NewMetrics()
+	m.Events.Add(7)
+	extra := func(w io.Writer) { io.WriteString(w, "spex_server_demo 1\n") }
+	mux := NewServeMux(m, extra)
+
+	httpcheck.Do(t, mux, "GET", "/metrics", "").
+		WantStatus(t, 200).
+		WantContentType(t, "text/plain").
+		WantBodyContains(t, "spex_events_total 7").
+		WantBodyContains(t, "spex_server_demo 1") // the appended extra section
+	httpcheck.Do(t, mux, "GET", "/vars", "").
+		WantStatus(t, 200).
+		WantContentType(t, "application/json").
+		WantBodyContains(t, `"events"`)
+
+	// The read-only endpoints refuse writes.
+	httpcheck.Do(t, mux, "POST", "/metrics", "ignored").WantStatus(t, 405)
+	httpcheck.Do(t, mux, "POST", "/vars", "ignored").WantStatus(t, 405)
+
+	httpcheck.Do(t, mux, "GET", "/nope", "").WantStatus(t, 404)
+}
+
+// TestMetricsHandlerDrainsBody: a scraper that POSTs a body through a
+// handler mounted without method patterns still gets its body consumed, so
+// the connection stays reusable.
+func TestMetricsHandlerDrainsBody(t *testing.T) {
+	read := &countingBody{Reader: strings.NewReader(strings.Repeat("x", 1024))}
+	h := MetricsHandler(NewMetrics())
+	rec := httptest.NewRecorder()
+	r := httptest.NewRequest("POST", "/metrics", read)
+	h.ServeHTTP(rec, r)
+	if read.n != 1024 {
+		t.Errorf("request body drained %d bytes, want 1024", read.n)
+	}
+}
+
+type countingBody struct {
+	io.Reader
+	n int
+}
+
+func (c *countingBody) Read(p []byte) (int, error) {
+	n, err := c.Reader.Read(p)
+	c.n += n
+	return n, err
+}

@@ -79,6 +79,11 @@ type Gauge struct{ v atomic.Int64 }
 // Set stores the current value.
 func (g *Gauge) Set(n int64) { g.v.Store(n) }
 
+// Add adjusts the gauge by delta — for values maintained as up/down counts
+// from several goroutines (active sessions, in-flight bytes), where Set
+// would lose concurrent updates.
+func (g *Gauge) Add(delta int64) { g.v.Add(delta) }
+
 // Load returns the current value.
 func (g *Gauge) Load() int64 { return g.v.Load() }
 

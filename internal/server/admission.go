@@ -1,0 +1,130 @@
+package server
+
+import (
+	"fmt"
+	"sync/atomic"
+	"time"
+)
+
+// Limits configure the admission-control layer. Admission sheds load at the
+// door — a request over a limit is answered 429 with Retry-After instead of
+// being queued, so accepted work keeps its latency while the excess retries
+// later. Zero values select the listed defaults; a negative value disables
+// that limit.
+type Limits struct {
+	// MaxChannels caps the number of named channels (default 64).
+	MaxChannels int
+	// MaxSubscriptions caps the process-wide subscription count (default
+	// 4096).
+	MaxSubscriptions int
+	// MaxSubscriptionsPerChannel caps one channel's subscriptions (default
+	// 256).
+	MaxSubscriptionsPerChannel int
+	// MaxSessions caps concurrent ingest sessions process-wide (default 64).
+	MaxSessions int
+	// MaxInflightBytes caps the summed in-flight ingest request bytes: new
+	// ingests are refused while the total is at or above it (default 256
+	// MiB).
+	MaxInflightBytes int64
+	// MaxDocumentBytes caps one ingest document's size; an oversized
+	// document fails with 413 mid-stream (default 0 = unlimited).
+	MaxDocumentBytes int64
+	// SubscriptionBuffer is the per-subscription result-frame queue
+	// capacity; a full queue blocks the producing session — the
+	// backpressure path (default 256).
+	SubscriptionBuffer int
+	// IngestTimeout is the per-ingest deadline; a session that cannot
+	// finish — a slow document, or a stalled result reader holding its
+	// frames — is aborted and answered 503 (default 0 = none).
+	IngestTimeout time.Duration
+	// RetryAfter is the hint sent with 429/503 responses (default 1s).
+	RetryAfter time.Duration
+}
+
+// withDefaults resolves zero values to the documented defaults and negative
+// values to "unlimited".
+func (l Limits) withDefaults() Limits {
+	def := func(v *int, d int) {
+		if *v == 0 {
+			*v = d
+		} else if *v < 0 {
+			*v = int(1) << 30
+		}
+	}
+	def(&l.MaxChannels, 64)
+	def(&l.MaxSubscriptions, 4096)
+	def(&l.MaxSubscriptionsPerChannel, 256)
+	def(&l.MaxSessions, 64)
+	if l.MaxInflightBytes == 0 {
+		l.MaxInflightBytes = 256 << 20
+	} else if l.MaxInflightBytes < 0 {
+		l.MaxInflightBytes = 1 << 62
+	}
+	if l.MaxDocumentBytes < 0 {
+		l.MaxDocumentBytes = 0
+	}
+	if l.SubscriptionBuffer <= 0 {
+		l.SubscriptionBuffer = 256
+	}
+	if l.RetryAfter <= 0 {
+		l.RetryAfter = time.Second
+	}
+	return l
+}
+
+// limitError is an admission refusal: what was exceeded, for the 429 body.
+type limitError struct{ what string }
+
+func (e *limitError) Error() string { return "server: " + e.what + " limit reached" }
+
+// admission tracks the live totals the limits are enforced against. All
+// counts are atomics: admits happen on request goroutines, releases on
+// whatever goroutine finishes the work.
+type admission struct {
+	limits   Limits
+	sessions atomic.Int64
+	inflight atomic.Int64 // in-flight ingest bytes
+	subs     atomic.Int64
+	channels atomic.Int64
+}
+
+// admitSession reserves one session slot, refusing over MaxSessions or
+// while MaxInflightBytes is saturated. The caller must releaseSession
+// exactly once on success.
+func (a *admission) admitSession() error {
+	if n := a.sessions.Add(1); int(n) > a.limits.MaxSessions {
+		a.sessions.Add(-1)
+		return &limitError{fmt.Sprintf("session (%d active)", n-1)}
+	}
+	if b := a.inflight.Load(); b >= a.limits.MaxInflightBytes {
+		a.sessions.Add(-1)
+		return &limitError{fmt.Sprintf("in-flight ingest bytes (%d buffered)", b)}
+	}
+	return nil
+}
+
+func (a *admission) releaseSession() { a.sessions.Add(-1) }
+
+// admitSubscription reserves one subscription slot against the global and
+// per-channel caps; perChannel is the channel's current count.
+func (a *admission) admitSubscription(perChannel int) error {
+	if perChannel >= a.limits.MaxSubscriptionsPerChannel {
+		return &limitError{fmt.Sprintf("per-channel subscription (%d on channel)", perChannel)}
+	}
+	if n := a.subs.Add(1); int(n) > a.limits.MaxSubscriptions {
+		a.subs.Add(-1)
+		return &limitError{fmt.Sprintf("subscription (%d active)", n-1)}
+	}
+	return nil
+}
+
+func (a *admission) releaseSubscription() { a.subs.Add(-1) }
+
+// admitChannel reserves one channel slot.
+func (a *admission) admitChannel() error {
+	if n := a.channels.Add(1); int(n) > a.limits.MaxChannels {
+		a.channels.Add(-1)
+		return &limitError{fmt.Sprintf("channel (%d active)", n-1)}
+	}
+	return nil
+}

@@ -1,0 +1,79 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"sync"
+)
+
+// Frame is one progressive answer notification, the unit of the NDJSON
+// result stream: as soon as the transducer network determines an answer's
+// membership, a frame is flushed to the subscription's result readers — no
+// buffering to end-of-document.
+type Frame struct {
+	// Sub is the subscription the answer belongs to.
+	Sub string `json:"sub"`
+	// Channel is the channel whose ingest produced the answer.
+	Channel string `json:"channel"`
+	// Session identifies the ingest session (one document pass); frames of
+	// concurrent sessions on one channel interleave and are grouped by this.
+	Session string `json:"session"`
+	// Seq is the subscription's monotone frame number. It is strictly
+	// increasing per subscription; within one session, frames arrive in
+	// document order.
+	Seq int64 `json:"seq"`
+	// Index is the answer node's document-order number (root is 0, elements
+	// count from 1 in order of their start tags).
+	Index int64 `json:"index"`
+	// Name is the answer element's label.
+	Name string `json:"name"`
+}
+
+// errQueueClosed reports a push to an unsubscribed (or drained) queue; the
+// session drops the frame and keeps going.
+var errQueueClosed = errors.New("server: subscription closed")
+
+// frameQueue is the per-subscription result buffer, and the backpressure
+// point of the whole server: a bounded channel between the evaluating
+// session and the subscription's result readers. When a reader is slower
+// than its channel's ingest, the queue fills and push blocks — throttling
+// that session (and through it only that channel's feeder), never the
+// process. The ingest deadline bounds how long a session waits on a stuck
+// reader before shedding the request.
+type frameQueue struct {
+	ch     chan Frame
+	closed chan struct{}
+	once   sync.Once
+}
+
+func newFrameQueue(capacity int) *frameQueue {
+	return &frameQueue{ch: make(chan Frame, capacity), closed: make(chan struct{})}
+}
+
+// push enqueues one frame, blocking while the queue is full. It returns the
+// context's error if the session is cancelled first, or errQueueClosed if
+// the subscription is gone.
+func (q *frameQueue) push(ctx context.Context, f Frame) error {
+	select {
+	case <-q.closed:
+		return errQueueClosed
+	case <-ctx.Done():
+		return ctx.Err()
+	default:
+	}
+	select {
+	case q.ch <- f:
+		return nil
+	case <-q.closed:
+		return errQueueClosed
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// close marks the queue closed. Frames already queued remain readable —
+// result readers drain them before ending the stream — and pushes racing
+// with the close are dropped by design (the subscription is going away).
+func (q *frameQueue) close() {
+	q.once.Do(func() { close(q.closed) })
+}

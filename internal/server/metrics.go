@@ -1,0 +1,114 @@
+package server
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+
+	"repro/internal/obs"
+)
+
+// Metrics is the server's instrument set, rendered as a spex_server_*
+// section appended to the engine registry's Prometheus endpoint. All
+// instruments are atomics (the obs primitives), written from request,
+// session and delivery goroutines and readable from any scrape.
+type Metrics struct {
+	SessionsActive      obs.Gauge   // ingest sessions currently evaluating
+	SessionsTotal       obs.Counter // ingest sessions admitted
+	SessionsFailed      obs.Counter // sessions ending in an error (incl. aborts)
+	RejectedTotal       obs.Counter // requests shed by admission control (429)
+	DrainRejectedTotal  obs.Counter // requests refused while draining (503)
+	SubscriptionsActive obs.Gauge
+	SubscriptionsTotal  obs.Counter
+	ChannelsActive      obs.Gauge
+	InflightBytes       obs.Gauge   // in-flight ingest request bytes
+	IngestBytesTotal    obs.Counter // ingest bytes consumed
+	HitsTotal           obs.Counter // answers produced by sessions
+	FramesSent          obs.Counter // frames written to result streams
+	FramesDropped       obs.Counter // frames dropped on closed subscriptions
+	ResultStreamsActive obs.Gauge   // attached result readers
+	PanicsTotal         obs.Counter // panics contained by session/handler recovery
+	Draining            obs.Gauge   // 1 while graceful shutdown drains
+
+	mu       sync.Mutex
+	channels map[string]*ChannelMetrics
+}
+
+// ChannelMetrics is one channel's instrument set.
+type ChannelMetrics struct {
+	Name        string
+	Subs        obs.Gauge
+	Sessions    obs.Counter
+	Hits        obs.Counter
+	IngestBytes obs.Counter
+}
+
+// NewMetrics returns an empty server instrument set.
+func NewMetrics() *Metrics {
+	return &Metrics{channels: make(map[string]*ChannelMetrics)}
+}
+
+// Channel returns the named channel's instruments, creating them on first
+// use. Channel instruments survive the channel (counters keep their totals
+// on the scrape after a drain).
+func (m *Metrics) Channel(name string) *ChannelMetrics {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	cm := m.channels[name]
+	if cm == nil {
+		cm = &ChannelMetrics{Name: name}
+		m.channels[name] = cm
+	}
+	return cm
+}
+
+// WritePrometheus renders the spex_server_* section; the server appends it
+// to the obs registry's /metrics endpoint.
+func (m *Metrics) WritePrometheus(w io.Writer) {
+	counter := func(name, help string, v int64) {
+		fmt.Fprintf(w, "# HELP spex_server_%s %s\n# TYPE spex_server_%s counter\nspex_server_%s %d\n", name, help, name, name, v)
+	}
+	gauge := func(name, help string, v int64) {
+		fmt.Fprintf(w, "# HELP spex_server_%s %s\n# TYPE spex_server_%s gauge\nspex_server_%s %d\n", name, help, name, name, v)
+	}
+	gauge("sessions_active", "ingest sessions currently evaluating", m.SessionsActive.Load())
+	counter("sessions_total", "ingest sessions admitted", m.SessionsTotal.Load())
+	counter("sessions_failed_total", "ingest sessions that ended in an error", m.SessionsFailed.Load())
+	counter("rejected_total", "requests shed by admission control (429)", m.RejectedTotal.Load())
+	counter("drain_rejected_total", "requests refused while draining (503)", m.DrainRejectedTotal.Load())
+	gauge("subscriptions_active", "registered subscriptions", m.SubscriptionsActive.Load())
+	counter("subscriptions_total", "subscriptions ever registered", m.SubscriptionsTotal.Load())
+	gauge("channels_active", "named channels", m.ChannelsActive.Load())
+	gauge("inflight_ingest_bytes", "in-flight ingest request bytes", m.InflightBytes.Load())
+	counter("ingest_bytes_total", "ingest bytes consumed", m.IngestBytesTotal.Load())
+	counter("hits_total", "answers produced by ingest sessions", m.HitsTotal.Load())
+	counter("frames_sent_total", "result frames written to streams", m.FramesSent.Load())
+	counter("frames_dropped_total", "result frames dropped on closed subscriptions", m.FramesDropped.Load())
+	gauge("result_streams_active", "attached result readers", m.ResultStreamsActive.Load())
+	counter("panics_total", "panics contained by per-session recovery", m.PanicsTotal.Load())
+	gauge("draining", "1 while graceful shutdown drains sessions", m.Draining.Load())
+
+	m.mu.Lock()
+	names := make([]string, 0, len(m.channels))
+	for name := range m.channels {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	cms := make([]*ChannelMetrics, len(names))
+	for i, name := range names {
+		cms[i] = m.channels[name]
+	}
+	m.mu.Unlock()
+	if len(cms) == 0 {
+		return
+	}
+	fmt.Fprintf(w, "# HELP spex_server_channel_subs subscriptions per channel\n# TYPE spex_server_channel_subs gauge\n")
+	for _, cm := range cms {
+		name := obs.EscapeLabel(cm.Name)
+		fmt.Fprintf(w, "spex_server_channel_subs{channel=%q} %d\n", name, cm.Subs.Load())
+		fmt.Fprintf(w, "spex_server_channel_sessions_total{channel=%q} %d\n", name, cm.Sessions.Load())
+		fmt.Fprintf(w, "spex_server_channel_hits_total{channel=%q} %d\n", name, cm.Hits.Load())
+		fmt.Fprintf(w, "spex_server_channel_ingest_bytes_total{channel=%q} %d\n", name, cm.IngestBytes.Load())
+	}
+}

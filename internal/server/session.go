@@ -1,0 +1,233 @@
+package server
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+
+	spex "repro"
+)
+
+// EngineKind selects a channel's multi-query evaluation engine; the kinds
+// mirror the spex.Set options (Shared, Sequential, Parallel).
+type EngineKind uint8
+
+const (
+	// EngineShared compiles a channel's subscriptions into one transducer
+	// network with common subexpressions evaluated once (the default).
+	EngineShared EngineKind = iota
+	// EngineSequential runs one network per subscription.
+	EngineSequential
+	// EngineParallel shards the subscriptions over a worker pool.
+	EngineParallel
+)
+
+// Engine is a parsed engine selection: the kind plus the parallel engine's
+// shard count (0 = one shard per CPU).
+type Engine struct {
+	Kind   EngineKind
+	Shards int
+}
+
+// ParseEngine parses "sequential", "shared" or "parallel[:shards]" — the
+// selection the server's subscription API and the spex CLI's -engine flag
+// share. The empty string parses as the shared default.
+func ParseEngine(s string) (Engine, error) {
+	name, arg, hasArg := strings.Cut(s, ":")
+	var e Engine
+	switch name {
+	case "", "shared":
+		e.Kind = EngineShared
+	case "sequential":
+		e.Kind = EngineSequential
+	case "parallel":
+		e.Kind = EngineParallel
+	default:
+		return Engine{}, fmt.Errorf("server: unknown engine %q (want sequential, shared or parallel[:shards])", s)
+	}
+	if hasArg {
+		if e.Kind != EngineParallel {
+			return Engine{}, fmt.Errorf("server: engine %q takes no shard count", name)
+		}
+		n, err := strconv.Atoi(arg)
+		if err != nil || n <= 0 {
+			return Engine{}, fmt.Errorf("server: bad shard count %q", arg)
+		}
+		e.Shards = n
+	}
+	return e, nil
+}
+
+// String renders the selection in the form ParseEngine accepts.
+func (e Engine) String() string {
+	switch e.Kind {
+	case EngineSequential:
+		return "sequential"
+	case EngineParallel:
+		if e.Shards > 0 {
+			return fmt.Sprintf("parallel:%d", e.Shards)
+		}
+		return "parallel"
+	default:
+		return "shared"
+	}
+}
+
+// Option translates the selection into the spex.Set option.
+func (e Engine) Option() spex.SetOption {
+	switch e.Kind {
+	case EngineSequential:
+		return spex.Sequential()
+	case EngineParallel:
+		return spex.Parallel(e.Shards)
+	default:
+		return spex.Shared()
+	}
+}
+
+// subscription is one registered standing query.
+type subscription struct {
+	id      string
+	channel string
+	query   string
+	xpath   bool
+	q       *spex.Query
+	queue   *frameQueue
+	seq     atomic.Int64 // frame sequence, monotone per subscription
+	hits    atomic.Int64 // answers enqueued
+}
+
+// channel is a named ingest target: an engine selection plus the
+// subscriptions evaluated against every document ingested into it.
+type channel struct {
+	name   string
+	engine Engine
+	cm     *ChannelMetrics
+
+	mu   sync.Mutex
+	subs []*subscription
+}
+
+// snapshot returns the current subscription list; sessions evaluate against
+// the set as of their start, unaffected by later (un)subscribes.
+func (c *channel) snapshot() []*subscription {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]*subscription, len(c.subs))
+	copy(out, c.subs)
+	return out
+}
+
+// sessionManager owns the channel and subscription tables.
+type sessionManager struct {
+	mu       sync.RWMutex
+	channels map[string]*channel
+	subs     map[string]*subscription
+	nextSub  atomic.Int64
+	nextSess atomic.Int64
+}
+
+func newSessionManager() *sessionManager {
+	return &sessionManager{
+		channels: make(map[string]*channel),
+		subs:     make(map[string]*subscription),
+	}
+}
+
+func (m *sessionManager) channelByName(name string) *channel {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	return m.channels[name]
+}
+
+func (m *sessionManager) subscriptionByID(id string) *subscription {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	return m.subs[id]
+}
+
+// session is one ingest pass: the channel's subscription set as of the
+// session's start, compiled into a spex.Set on the channel's engine, with
+// every hit forwarded as a frame to its subscription's queue.
+type session struct {
+	id    string
+	ch    *channel
+	subs  []*subscription
+	srv   *Server
+	abort atomic.Bool // a frame push failed on the session context
+}
+
+// newSession snapshots the channel. Subscriptions are ordered by id so the
+// query-index → subscription mapping is deterministic.
+func (s *Server) newSession(ch *channel) *session {
+	subs := ch.snapshot()
+	sort.Slice(subs, func(i, j int) bool { return subs[i].id < subs[j].id })
+	return &session{
+		id:   "sess-" + strconv.FormatInt(s.mgr.nextSess.Add(1), 10),
+		ch:   ch,
+		subs: subs,
+		srv:  s,
+	}
+}
+
+// run evaluates one document from r against the session's subscriptions,
+// returning the total answer count. Panics anywhere in the evaluation are
+// contained to the session: they surface as its error, the channel and the
+// daemon stay up.
+func (sess *session) run(ctx context.Context, r io.Reader) (matches int64, err error) {
+	if len(sess.subs) == 0 {
+		// Nothing subscribed: consume the document (the client already
+		// committed to sending it) and report zero answers.
+		n, cerr := io.Copy(io.Discard, r)
+		_ = n
+		return 0, cerr
+	}
+	defer func() {
+		if p := recover(); p != nil {
+			sess.srv.metrics.PanicsTotal.Inc()
+			err = fmt.Errorf("server: session %s: panic: %v", sess.id, p)
+		}
+	}()
+	queries := make([]*spex.Query, len(sess.subs))
+	for i, sub := range sess.subs {
+		queries[i] = sub.q
+	}
+	m := sess.srv.metrics
+	set := spex.NewSet(queries, func(qi int, match spex.Match) {
+		sub := sess.subs[qi]
+		f := Frame{
+			Sub:     sub.id,
+			Channel: sess.ch.name,
+			Session: sess.id,
+			Seq:     sub.seq.Add(1),
+			Index:   match.Index,
+			Name:    match.Name,
+		}
+		sub.hits.Add(1)
+		m.HitsTotal.Inc()
+		sess.ch.cm.Hits.Inc()
+		if perr := sub.queue.push(ctx, f); perr != nil {
+			if perr == errQueueClosed {
+				// The subscription went away mid-session; its frames are
+				// dropped, everyone else's keep flowing.
+				m.FramesDropped.Inc()
+				return
+			}
+			// Context error: the evaluation aborts at the next stride
+			// check; remember why.
+			sess.abort.Store(true)
+		}
+	}, sess.ch.engine.Option())
+	if err := set.EvaluateContext(ctx, r); err != nil {
+		return 0, err
+	}
+	for _, n := range set.Counts() {
+		matches += n
+	}
+	return matches, nil
+}

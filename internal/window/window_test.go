@@ -1,7 +1,10 @@
 package window
 
 import (
+	"context"
+	"errors"
 	"strings"
+	"sync"
 	"testing"
 
 	"repro/internal/core"
@@ -120,4 +123,67 @@ func TestWindowEmptyRoot(t *testing.T) {
 	if stats.Windows != 0 || stats.Records != 0 || stats.Matches != 0 {
 		t.Fatalf("stats: %+v", stats)
 	}
+}
+
+// cancelSource delivers events from an inner source until a cutoff, then
+// fails with context.Canceled — the shape of a server session whose context
+// expires part-way through a continuous stream.
+type cancelSource struct {
+	inner xmlstream.Source
+	after int
+	n     int
+}
+
+func (c *cancelSource) Next() (xmlstream.Event, error) {
+	if c.n++; c.n > c.after {
+		return xmlstream.Event{}, context.Canceled
+	}
+	return c.inner.Next()
+}
+
+// TestWindowCancellationMidStream: a source failing with a context error
+// mid-window aborts the windowed evaluation with that error; the windows
+// already closed keep the answers they delivered.
+func TestWindowCancellationMidStream(t *testing.T) {
+	var hits int
+	_, err := Evaluate(plan(t, "feed.msg[sport]"), &cancelSource{inner: src(feed), after: 9}, 2,
+		func(int, spexnet.Result) { hits++ })
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	full := 0
+	if _, err := Evaluate(plan(t, "feed.msg[sport]"), src(feed), 2,
+		func(int, spexnet.Result) { full++ }); err != nil {
+		t.Fatal(err)
+	}
+	if hits >= full {
+		t.Fatalf("cancelled run delivered %d hits, full run %d — cancellation did not cut the stream", hits, full)
+	}
+}
+
+// TestWindowConcurrentEvaluations: one plan shared by many concurrent
+// windowed evaluations, each feeding and closing its own windows — the
+// sharing pattern server channels rely on. Run with -race.
+func TestWindowConcurrentEvaluations(t *testing.T) {
+	p := plan(t, "feed.msg[sport]")
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 25; i++ {
+				var matches int64
+				stats, err := Evaluate(p, src(feed), 2, func(int, spexnet.Result) { matches++ })
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				if stats.Windows != 3 || stats.Records != 5 || matches != stats.Matches {
+					t.Errorf("stats %+v matches %d", stats, matches)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
 }

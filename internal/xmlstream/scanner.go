@@ -213,7 +213,14 @@ func (s *Scanner) Next() (Event, error) {
 		}
 		ev, ok, err := s.scan()
 		if err != nil {
-			s.err = err
+			// A failed Read (recorded by fill) is the root cause of any
+			// truncated-markup diagnosis scan produced on top of it;
+			// report the read error so cancellations surface as themselves.
+			if s.err != nil {
+				err = s.err
+			} else {
+				s.err = err
+			}
 			return Event{}, err
 		}
 		if ok {

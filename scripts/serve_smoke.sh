@@ -1,0 +1,100 @@
+#!/bin/sh
+# serve_smoke.sh — end-to-end smoke test for the spexd daemon, driven over
+# plain HTTP with curl. It proves the subscribe → ingest → stream-results
+# round trip on the paper's Figure 1 document, then checks a SIGTERM drains
+# the daemon cleanly.
+#
+#   scripts/serve_smoke.sh [bin]     bin defaults to ./spexd (built if absent)
+#
+# Exit status is non-zero on any failed step. Used by `make serve-smoke`
+# and the CI serve-smoke job.
+set -eu
+
+BIN=${1:-./spexd}
+ADDR=${SPEXD_ADDR:-127.0.0.1:8765}
+BASE="http://$ADDR"
+WORK=$(mktemp -d)
+DAEMON_PID=""
+CURL_PID=""
+
+cleanup() {
+    [ -n "$CURL_PID" ] && kill "$CURL_PID" 2>/dev/null || true
+    [ -n "$DAEMON_PID" ] && kill "$DAEMON_PID" 2>/dev/null || true
+    rm -rf "$WORK"
+}
+trap cleanup EXIT
+
+fail() {
+    echo "serve-smoke: FAIL: $*" >&2
+    echo "--- daemon log ---" >&2
+    cat "$WORK/spexd.log" >&2 || true
+    exit 1
+}
+
+if [ ! -x "$BIN" ]; then
+    echo "serve-smoke: building $BIN"
+    go build -o "$BIN" ./cmd/spexd
+fi
+
+"$BIN" -addr "$ADDR" -engine shared >"$WORK/stdout" 2>"$WORK/spexd.log" &
+DAEMON_PID=$!
+
+# Wait for the daemon to come up.
+i=0
+until curl -fsS "$BASE/healthz" >/dev/null 2>&1; do
+    i=$((i + 1))
+    [ "$i" -gt 100 ] && fail "daemon did not become healthy"
+    kill -0 "$DAEMON_PID" 2>/dev/null || fail "daemon exited during startup"
+    sleep 0.1
+done
+echo "serve-smoke: daemon healthy on $BASE"
+
+# Subscribe the paper's running query on a channel.
+SUB_JSON=$(curl -fsS -X POST "$BASE/v1/subscriptions" \
+    -H 'Content-Type: application/json' \
+    -d '{"channel":"smoke","query":"_*.a[b].c"}') || fail "subscribe request failed"
+SUB_ID=$(printf '%s' "$SUB_JSON" | sed -n 's/.*"id":"\([^"]*\)".*/\1/p')
+[ -n "$SUB_ID" ] && printf '%s' "$SUB_ID" | grep -q '^sub-' \
+    || fail "no subscription id in response: $SUB_JSON"
+echo "serve-smoke: subscribed as $SUB_ID"
+
+# Attach the NDJSON result stream before ingesting.
+curl -fsSN "$BASE/v1/subscriptions/$SUB_ID/results" >"$WORK/frames.ndjson" &
+CURL_PID=$!
+sleep 0.3
+
+# Ingest the Figure 1 document; _*.a[b].c matches <c>second</c> (index 5).
+INGEST=$(curl -fsS -X POST "$BASE/v1/channels/smoke/ingest" \
+    -H 'Content-Type: application/xml' \
+    --data-binary '<a><a><c>first</c></a><b/><c>second</c></a>') \
+    || fail "ingest request failed"
+printf '%s' "$INGEST" | grep -q '"matches":1' \
+    || fail "ingest summary lacks matches:1 — $INGEST"
+echo "serve-smoke: ingest reported $INGEST"
+
+# One NDJSON frame must arrive on the stream, naming node 5 (<c>).
+i=0
+until grep -q '"index":5' "$WORK/frames.ndjson" 2>/dev/null; do
+    i=$((i + 1))
+    [ "$i" -gt 100 ] && fail "no result frame arrived: $(cat "$WORK/frames.ndjson" 2>/dev/null)"
+    sleep 0.1
+done
+grep -q '"name":"c"' "$WORK/frames.ndjson" || fail "frame lacks name:c"
+FRAMES=$(wc -l <"$WORK/frames.ndjson")
+[ "$FRAMES" -eq 1 ] || fail "expected exactly one frame, got $FRAMES"
+echo "serve-smoke: received frame $(cat "$WORK/frames.ndjson")"
+
+# The ingest must be visible on the Prometheus endpoint.
+curl -fsS "$BASE/metrics" | grep -q '^spex_server_hits_total 1' \
+    || fail "/metrics lacks spex_server_hits_total 1"
+
+# Graceful shutdown: SIGTERM drains; the daemon exits zero and the result
+# stream ends on its own.
+kill -TERM "$DAEMON_PID"
+if wait "$DAEMON_PID"; then :; else fail "daemon exited non-zero on SIGTERM"; fi
+DAEMON_PID=""
+wait "$CURL_PID" 2>/dev/null || true
+CURL_PID=""
+grep -q 'shut down cleanly' "$WORK/spexd.log" || fail "daemon log lacks clean-shutdown line"
+
+echo "serve-smoke: OK"

@@ -32,6 +32,7 @@
 package spex
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"strings"
@@ -220,6 +221,16 @@ func WithMetrics(m *Metrics) StreamOption {
 // WithTracer attaches a tracer observing every transducer emission.
 func WithTracer(t Tracer) StreamOption {
 	return func(o *core.EvalOptions) { o.Tracer = t }
+}
+
+// WithContext bounds a reader-fed evaluation (Count, Matches, Results,
+// StreamResults) by ctx: cancellation or deadline expiry is noticed at the
+// next read of the input and surfaces as the evaluation's error. Long-lived
+// services evaluating untrusted or slow streams use this to enforce
+// per-request deadlines; push-mode streams ignore it, since the caller owns
+// the feed loop there.
+func WithContext(ctx context.Context) StreamOption {
+	return func(o *core.EvalOptions) { o.Ctx = ctx }
 }
 
 // Stream returns a push-mode evaluation for unbounded or

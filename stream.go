@@ -1,6 +1,7 @@
 package spex
 
 import (
+	"context"
 	"io"
 	"strconv"
 
@@ -178,6 +179,17 @@ type setEngine interface {
 // Evaluate streams the document once through the set's engine. Counts are
 // reset at entry, so each Evaluate reports one document.
 func (s *Set) Evaluate(r io.Reader) error {
+	return s.EvaluateContext(context.Background(), r)
+}
+
+// EvaluateContext is Evaluate bounded by a context: cancellation or deadline
+// expiry is checked on a short stride of stream events and aborts the pass
+// with the context's error. Together with the per-hit callback the set was
+// built with, this is the streaming hook a long-lived serving layer needs —
+// answers surface progressively while the document streams, and a request
+// deadline, a disconnected client or a draining server stops the evaluation
+// mid-stream instead of running it to completion.
+func (s *Set) EvaluateContext(ctx context.Context, r io.Reader) error {
 	for i := range s.counts {
 		s.counts[i] = 0
 	}
@@ -216,8 +228,35 @@ func (s *Set) Evaluate(r io.Reader) error {
 	}
 	// The scanner shares the engine's symbol table, so every event arrives
 	// with its label already resolved to an integer symbol.
-	src := xmlstream.NewScanner(r, xmlstream.WithText(withText), xmlstream.WithSymtab(eng.Symtab()))
+	var src xmlstream.Source = xmlstream.NewScanner(r, xmlstream.WithText(withText), xmlstream.WithSymtab(eng.Symtab()))
+	if ctx.Done() != nil {
+		src = &ctxSource{ctx: ctx, src: src}
+	}
 	return eng.Run(src)
+}
+
+// ctxCheckStride is how many events flow between context checks: frequent
+// enough that cancellation latency stays well under a millisecond on any
+// realistic stream, rare enough that the check costs nothing measurable.
+const ctxCheckStride = 128
+
+// ctxSource threads a context through a pull-based event source. The
+// engines abort on the first source error, so a context error stops the
+// pass exactly like a malformed document would.
+type ctxSource struct {
+	ctx context.Context
+	src xmlstream.Source
+	n   int
+}
+
+func (c *ctxSource) Next() (xmlstream.Event, error) {
+	if c.n++; c.n >= ctxCheckStride {
+		c.n = 0
+		if err := c.ctx.Err(); err != nil {
+			return xmlstream.Event{}, err
+		}
+	}
+	return c.src.Next()
 }
 
 // Counts returns per-query answer counts from the last Evaluate.
