@@ -1,8 +1,9 @@
 GO ?= go
 FUZZTIME ?= 15s
 BENCH_DIR ?= bench-out
+COVER_MIN ?= 78.0
 
-.PHONY: check fmt vet build test race bench fuzz-smoke bench-smoke bench-delta serve-smoke vuln
+.PHONY: check fmt vet build test race bench cover fuzz-smoke bench-smoke bench-delta serve-smoke vuln
 
 ## check: the full gate — formatting, vet, build, tests under the race detector
 check: fmt vet build race
@@ -23,6 +24,15 @@ test:
 race:
 	$(GO) test -race ./...
 
+## cover: full-suite coverage with the recorded floor (COVER_MIN); the
+## profile lands in coverage.out for the CI artifact
+cover:
+	$(GO) test -count 1 -coverprofile=coverage.out ./...
+	@total=$$($(GO) tool cover -func=coverage.out | awk '/^total:/ { sub("%","",$$3); print $$3 }'); \
+	echo "total coverage: $$total% (floor $(COVER_MIN)%)"; \
+	awk -v t=$$total -v m=$(COVER_MIN) 'BEGIN { exit t+0 < m+0 ? 1 : 0 }' \
+		|| { echo "coverage $$total% fell below the $(COVER_MIN)% floor"; exit 1; }
+
 ## bench: one testing.B series per paper figure plus the ablations
 bench:
 	$(GO) test -run NONE -bench . -benchmem .
@@ -33,6 +43,7 @@ fuzz-smoke:
 	$(GO) test -run NONE -fuzz 'FuzzParseXPath$$' -fuzztime $(FUZZTIME) ./internal/rpeq
 	$(GO) test -run NONE -fuzz 'FuzzScanner$$' -fuzztime $(FUZZTIME) ./internal/xmlstream
 	$(GO) test -run NONE -fuzz 'FuzzCondNormalize$$' -fuzztime $(FUZZTIME) ./internal/cond
+	$(GO) test -run NONE -fuzz 'FuzzEngineEquivalence$$' -fuzztime $(FUZZTIME) .
 
 ## bench-smoke: tiny-scale harness runs with the zero-answer shape check,
 ## writing machine-readable BENCH_*.json reports into $(BENCH_DIR); also
@@ -42,6 +53,7 @@ bench-smoke:
 	mkdir -p $(BENCH_DIR)
 	$(GO) run ./cmd/spexbench -fig 14 -scale 0.1 -check -json $(BENCH_DIR)
 	$(GO) run ./cmd/spexbench -fig sdi -scale 0.01 -check -json $(BENCH_DIR)
+	$(GO) run ./cmd/spexbench -fig adversarial -scale 0.01 -check -json $(BENCH_DIR)
 	$(GO) test -run 'TestCountModeZeroAlloc$$' -count 1 .
 	$(GO) test -run NONE -bench 'BenchmarkAblationInterning$$' -benchtime 1x .
 

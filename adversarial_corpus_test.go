@@ -1,0 +1,99 @@
+package spex
+
+import (
+	"fmt"
+	"os"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/multi"
+	"repro/internal/xmlstream"
+)
+
+// The golden adversarial corpus: testdata/adversarial/corpus.txt pins the
+// shapes, sizes, queries and answer counts; TestAdversarialGoldenManifest
+// guards the pin against drift, and TestAdversarialGoldenCorpus evaluates
+// a scaled rendition of every shape on all three multi-query engines. The
+// full-size counts are validated by the CI adversarial sweep (spexbench
+// -fig adversarial -check is self-checking against the same table) —
+// running the depth-10k and qualifier-bomb shapes ungoverned inside every
+// `go test` would cost minutes, not milliseconds.
+
+// TestAdversarialGoldenManifest checks the checked-in manifest is exactly
+// the table dataset.Adversarial() serves to tests, spexgen and spexbench.
+func TestAdversarialGoldenManifest(t *testing.T) {
+	raw, err := os.ReadFile("testdata/adversarial/corpus.txt")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var golden []string
+	for _, line := range strings.Split(string(raw), "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		golden = append(golden, line)
+	}
+	table := dataset.Adversarial()
+	if len(golden) != len(table) {
+		t.Fatalf("manifest has %d cases, table has %d", len(golden), len(table))
+	}
+	for i, c := range table {
+		want := fmt.Sprintf("shape=%s size=%d query=%s want=%d", c.Doc.Name, c.Size, c.Query, c.Want)
+		if golden[i] != want {
+			t.Errorf("manifest line %d:\n  got  %s\n  want %s", i+1, golden[i], want)
+		}
+	}
+}
+
+// TestAdversarialGoldenCorpus runs every shape, scaled to test size, on
+// the sequential, shared and parallel engines: each must report exactly
+// the corpus's (scaled) pinned count.
+func TestAdversarialGoldenCorpus(t *testing.T) {
+	scale := 0.02
+	if testing.Short() {
+		scale = 0.002
+	}
+	for _, c := range dataset.AdversarialAt(scale) {
+		c := c
+		t.Run(c.Doc.Name, func(t *testing.T) {
+			plan, err := core.Prepare(c.Query)
+			if err != nil {
+				t.Fatal(err)
+			}
+			sub := func() []multi.Subscription {
+				return []multi.Subscription{{Name: "q", Plan: plan}}
+			}
+			engines := map[string]interface {
+				Run(src xmlstream.Source) error
+				Matches() map[string]int64
+			}{}
+			if s, err := multi.NewSet(sub()); err == nil {
+				engines["sequential"] = s
+			} else {
+				t.Fatal(err)
+			}
+			if s, err := multi.NewSharedSet(sub()); err == nil {
+				engines["shared"] = s
+			} else {
+				t.Fatal(err)
+			}
+			if s, err := multi.NewParallelSet(sub(), multi.ParallelOptions{Shards: 2}); err == nil {
+				engines["parallel"] = s
+			} else {
+				t.Fatal(err)
+			}
+			for name, eng := range engines {
+				if err := eng.Run(c.Doc.Stream()); err != nil {
+					t.Fatalf("%s: %v", name, err)
+				}
+				if got := eng.Matches()["q"]; got != c.Want {
+					t.Errorf("%s: %q over %s(%d) counted %d, want %d",
+						name, c.Query, c.Doc.Name, c.Size, got, c.Want)
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,171 @@
+package spex
+
+import (
+	"bytes"
+	"io"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/multi"
+	"repro/internal/xmlstream"
+)
+
+// Feed-boundary invariance: where the input happens to be split — byte
+// chunks from the network, event batches pushed into an engine — must never
+// change the result. These properties are deterministic (seeded) random
+// tests over the boundary space; the fuzzer covers the query/document space.
+
+// chunkedReader yields the document in the pre-computed chunks, one per
+// Read call, so token boundaries land wherever the split says — including
+// mid-tag and mid-text.
+type chunkedReader struct {
+	chunks [][]byte
+}
+
+func (c *chunkedReader) Read(p []byte) (int, error) {
+	for len(c.chunks) > 0 && len(c.chunks[0]) == 0 {
+		c.chunks = c.chunks[1:]
+	}
+	if len(c.chunks) == 0 {
+		return 0, io.EOF
+	}
+	n := copy(p, c.chunks[0])
+	c.chunks[0] = c.chunks[0][n:]
+	return n, nil
+}
+
+// splitRandom cuts data into pieces at positions drawn from rng.
+func splitRandom(data []byte, rng *rand.Rand) [][]byte {
+	var chunks [][]byte
+	for len(data) > 0 {
+		n := 1 + rng.Intn(len(data))
+		chunks = append(chunks, data[:n])
+		data = data[n:]
+	}
+	return chunks
+}
+
+const boundaryDoc = `<lib><book year="2002"><title>Streams</title><ref/></book>` +
+	`<book><title>Qualifiers</title></book><misc><ref/>tail</misc></lib>`
+
+var boundaryQueries = []string{
+	"_*.book[ref].title", "_*.title", "lib.book", "_*[_*.ref]", "_*.misc._",
+}
+
+// TestByteBoundaryInvariance splits the serialized document at random byte
+// positions: the scanner must reassemble tokens across chunk boundaries, so
+// the full results output — not just the counts — is byte-identical.
+func TestByteBoundaryInvariance(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for _, expr := range boundaryQueries {
+		q := MustCompile(expr)
+		var want bytes.Buffer
+		if _, err := q.WriteResults(strings.NewReader(boundaryDoc), &want); err != nil {
+			t.Fatalf("%s unsplit: %v", expr, err)
+		}
+		for round := 0; round < 20; round++ {
+			var got bytes.Buffer
+			r := &chunkedReader{chunks: splitRandom([]byte(boundaryDoc), rng)}
+			if _, err := q.WriteResults(r, &got); err != nil {
+				t.Fatalf("%s round %d: %v", expr, round, err)
+			}
+			if !bytes.Equal(got.Bytes(), want.Bytes()) {
+				t.Fatalf("%s round %d: chunked output diverged:\n got %q\nwant %q",
+					expr, round, got.Bytes(), want.Bytes())
+			}
+		}
+	}
+}
+
+// TestEventBoundaryInvariance feeds the event stream to each multi-query
+// engine in random batches through the push API (Feed + Close): every
+// engine must report exactly the counts of the single-shot Run, regardless
+// of where the batch boundaries fall.
+func TestEventBoundaryInvariance(t *testing.T) {
+	events, err := xmlstream.Collect(xmlstream.NewScanner(strings.NewReader(boundaryDoc)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	newEngines := func(t *testing.T) map[string]interface {
+		Feed(ev xmlstream.Event) error
+		Close() error
+		Matches() map[string]int64
+	} {
+		t.Helper()
+		subs := func() []multi.Subscription {
+			var subs []multi.Subscription
+			for _, expr := range boundaryQueries {
+				plan, err := core.Prepare(expr)
+				if err != nil {
+					t.Fatal(err)
+				}
+				subs = append(subs, multi.Subscription{Name: expr, Plan: plan})
+			}
+			return subs
+		}
+		seq, err := multi.NewSet(subs())
+		if err != nil {
+			t.Fatal(err)
+		}
+		sh, err := multi.NewSharedSet(subs())
+		if err != nil {
+			t.Fatal(err)
+		}
+		par, err := multi.NewParallelSet(subs(), multi.ParallelOptions{Shards: 2, BatchSize: 4})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return map[string]interface {
+			Feed(ev xmlstream.Event) error
+			Close() error
+			Matches() map[string]int64
+		}{"sequential": seq, "shared": sh, "parallel": par}
+	}
+
+	// Reference counts: one whole-stream run per engine.
+	want := map[string]map[string]int64{}
+	for name, eng := range newEngines(t) {
+		for _, ev := range events {
+			if err := eng.Feed(ev); err != nil {
+				t.Fatalf("%s reference feed: %v", name, err)
+			}
+		}
+		if err := eng.Close(); err != nil {
+			t.Fatalf("%s reference close: %v", name, err)
+		}
+		want[name] = eng.Matches()
+	}
+
+	rng := rand.New(rand.NewSource(11))
+	for round := 0; round < 10; round++ {
+		// Random batch boundaries, shared by all engines this round.
+		var batches [][]xmlstream.Event
+		rest := events
+		for len(rest) > 0 {
+			n := 1 + rng.Intn(len(rest))
+			batches = append(batches, rest[:n])
+			rest = rest[n:]
+		}
+		for name, eng := range newEngines(t) {
+			for _, batch := range batches {
+				for _, ev := range batch {
+					if err := eng.Feed(ev); err != nil {
+						t.Fatalf("%s round %d: %v", name, round, err)
+					}
+				}
+			}
+			if err := eng.Close(); err != nil {
+				t.Fatalf("%s round %d close: %v", name, round, err)
+			}
+			got := eng.Matches()
+			for q, w := range want[name] {
+				if got[q] != w {
+					t.Fatalf("%s round %d (%d batches): %q counted %d, want %d",
+						name, round, len(batches), q, got[q], w)
+				}
+			}
+		}
+	}
+}

@@ -8,6 +8,10 @@
 //	spexbench -fig 15         # Figure 15 only (DMOZ, SPEX; baselines refuse)
 //	spexbench -fig mem        # the §VI memory table
 //	spexbench -fig sdi        # the multi-query SDI sweep (subs × shards)
+//	spexbench -fig adversarial
+//	                          # the governor attack corpus: each shape
+//	                          # count-validated ungoverned, then re-run
+//	                          # under resource caps (DESIGN.md §9)
 //	spexbench -scale 1        # paper-sized documents (DMOZ takes a while)
 //	spexbench -check          # exit non-zero if any engine reports zero
 //	                          # answers (CI shape check, not a timing one)
@@ -61,7 +65,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 	fs := flag.NewFlagSet("spexbench", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	var (
-		fig      = fs.String("fig", "all", "which experiment: 14, 15, mem, sdi, all")
+		fig      = fs.String("fig", "all", "which experiment: 14, 15, mem, sdi, adversarial, all")
 		scale    = fs.Float64("scale", 0, "document scale; 0 = defaults (1 for Fig. 14, 0.05 for Fig. 15)")
 		verbose  = fs.Bool("v", false, "stream per-measurement progress and a periodic live-metrics line")
 		fullDMOZ = fs.Bool("full-dmoz", false, "run Fig. 15 at the paper's full scale (slow; equivalent to -scale 1)")
@@ -115,6 +119,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 	runFig15 := *fig == "15" || *fig == "all"
 	runMem := *fig == "mem" || *fig == "all"
 	runSDI := *fig == "sdi" || *fig == "all"
+	runAdv := *fig == "adversarial" || *fig == "adv" || *fig == "all"
 
 	// checkAnswers is the CI shape check: every measurement that actually
 	// ran must have found answers on these workloads.
@@ -204,7 +209,42 @@ func run(args []string, stdout, stderr io.Writer) error {
 			}
 		}
 	}
+	if runAdv {
+		// The golden corpus at scale 1 is deliberately hostile (the
+		// qualifier bomb alone runs for minutes); default to a tenth, the
+		// same opt-in pattern as Fig. 15's -full-dmoz.
+		s := *scale
+		if s == 0 {
+			s = 0.1
+		}
+		ms, err := figureAdversarial(stdout, progress, s, observer)
+		if err != nil {
+			return err
+		}
+		if err := writeJSON("BENCH_adversarial.json", ms); err != nil {
+			return err
+		}
+		// The sweep is self-checking (RunAdversarial pins every ungoverned
+		// match count); checkAnswers adds the shared zero-answer shape gate.
+		if err := checkAnswers("adversarial", ms); err != nil {
+			return err
+		}
+	}
 	return nil
+}
+
+// figureAdversarial runs the adversarial-corpus sweep: every governor
+// attack shape ungoverned (count-validated) and under the bench cap set.
+func figureAdversarial(out, progress io.Writer, scale float64, o *bench.Observer) ([]bench.Measurement, error) {
+	ms, err := bench.RunAdversarial(scale, progress, o)
+	if err != nil {
+		return ms, err
+	}
+	caps := bench.AdversarialLimits()
+	title := fmt.Sprintf("\nAdversarial corpus (scale %g) — governed leg caps: candidates ≤ %d, depth ≤ %d",
+		scale, caps.MaxCandidates, caps.MaxDepth)
+	bench.WriteAdversarialTable(out, title, ms)
+	return ms, nil
 }
 
 // figureSDI runs the multi-query SDI sweep: subscription count × shard

@@ -33,6 +33,7 @@ import (
 	"syscall"
 	"time"
 
+	spex "repro"
 	"repro/internal/obs"
 	"repro/internal/server"
 )
@@ -62,6 +63,13 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 		maxDoc       = fs.Int64("max-document-bytes", 0, "max single ingest document size (0 = unlimited)")
 		subBuffer    = fs.Int("sub-buffer", 0, "per-subscription result frame buffer")
 		ingestTO     = fs.Duration("ingest-timeout", 0, "per-ingest deadline (0 = none)")
+		govFormula   = fs.Int("gov-max-formula", 0, "governor: max condition-formula size per evaluation (0 = unlimited)")
+		govCand      = fs.Int("gov-max-candidates", 0, "governor: max undecided answer candidates per query (0 = unlimited)")
+		govBuffered  = fs.Int("gov-max-buffered", 0, "governor: max buffered result events per query (0 = unlimited)")
+		govStepMsgs  = fs.Int("gov-max-step-messages", 0, "governor: max transducer messages per stream event (0 = unlimited)")
+		govLiveVars  = fs.Int("gov-max-live-vars", 0, "governor: max live condition variables (0 = unlimited)")
+		govDepth     = fs.Int("gov-max-depth", 0, "governor: max document nesting depth (0 = unlimited)")
+		govPolicy    = fs.String("gov-policy", "fail", "governor trip policy: fail (429), degrade (count-only) or shed (drop query)")
 		drainTO      = fs.Duration("drain-timeout", 30*time.Second, "graceful shutdown drain deadline")
 		readHeaderTO = fs.Duration("read-header-timeout", 5*time.Second, "http server read-header timeout")
 		idleTO       = fs.Duration("idle-timeout", 120*time.Second, "http server idle-connection timeout")
@@ -84,6 +92,15 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 			MaxDocumentBytes:           *maxDoc,
 			SubscriptionBuffer:         *subBuffer,
 			IngestTimeout:              *ingestTO,
+			Governor: spex.ResourceLimits{
+				MaxFormulaSize:    *govFormula,
+				MaxCandidates:     *govCand,
+				MaxBufferedEvents: *govBuffered,
+				MaxStepMessages:   *govStepMsgs,
+				MaxLiveVars:       *govLiveVars,
+				MaxDepth:          *govDepth,
+			},
+			GovernorPolicy: *govPolicy,
 		},
 		DefaultEngine: *engine,
 		EngineMetrics: obs.NewMetrics(),

@@ -8,6 +8,13 @@
 //	spexgen -dataset random -seed 7 -depth 6
 //	spexgen -dataset recursive -depth 500
 //	spexgen -info -dataset wordnet -scale 1
+//
+// Adversarial shapes (the resource-governor attack corpus; see DESIGN.md
+// §9) are selected with -adversarial and sized with -n:
+//
+//	spexgen -adversarial deep -n 10000 > deep.xml
+//	spexgen -adversarial fanout-late -n 100000 | spexbench ...
+//	spexgen -adversarial list
 package main
 
 import (
@@ -38,12 +45,27 @@ func run(args []string, stdout, stderr io.Writer) error {
 		depth = fs.Int("depth", 6, "depth for random/recursive/ladder documents")
 		out   = fs.String("o", "", "output file (default stdout)")
 		info  = fs.Bool("info", false, "print element count and depth instead of the document")
+		adv   = fs.String("adversarial", "", "adversarial shape: deep, fanout, fanout-late, qualbomb, emptyrun; or list")
+		n     = fs.Int("n", 0, "size of the adversarial shape (0 = the golden-corpus size)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 
 	var doc *dataset.Doc
+	if *adv != "" {
+		if *adv == "list" {
+			for _, c := range dataset.Adversarial() {
+				fmt.Fprintf(stdout, "shape=%s size=%d query=%s want=%d\n", c.Doc.Name, c.Size, c.Query, c.Want)
+			}
+			return nil
+		}
+		var err error
+		if doc, err = adversarialDoc(*adv, *n); err != nil {
+			return err
+		}
+		return emit(doc, *info, *out, stdout)
+	}
 	switch *name {
 	case "random":
 		doc = dataset.RandomTree(*seed, *depth, 4, nil)
@@ -58,16 +80,45 @@ func run(args []string, stdout, stderr io.Writer) error {
 		}
 	}
 
-	if *info {
+	return emit(doc, *info, *out, stdout)
+}
+
+// adversarialDoc builds one adversarial shape; n of zero selects the size
+// the golden corpus pins.
+func adversarialDoc(shape string, n int) (*dataset.Doc, error) {
+	size := func(d int) int {
+		if n > 0 {
+			return n
+		}
+		return d
+	}
+	switch shape {
+	case "deep":
+		return dataset.Deep(size(10_000)), nil
+	case "fanout":
+		return dataset.Fanout(size(1_000_000)), nil
+	case "fanout-late":
+		return dataset.FanoutLate(size(100_000)), nil
+	case "qualbomb":
+		return dataset.QualBomb(size(5_000)), nil
+	case "emptyrun":
+		return dataset.EmptyRun(size(1_000_000)), nil
+	default:
+		return nil, fmt.Errorf("unknown adversarial shape %q (want deep, fanout, fanout-late, qualbomb, emptyrun or list)", shape)
+	}
+}
+
+// emit writes the document (or its measurements) to the selected output.
+func emit(doc *dataset.Doc, info bool, out string, stdout io.Writer) error {
+	if info {
 		i := doc.Info()
-		fmt.Fprintf(stdout, "dataset=%s scale=%g elements=%d maxdepth=%d events=%d\n",
-			doc.Name, *scale, i.Elements, i.MaxDepth, i.Events)
+		fmt.Fprintf(stdout, "dataset=%s elements=%d maxdepth=%d events=%d\n",
+			doc.Name, i.Elements, i.MaxDepth, i.Events)
 		return nil
 	}
-
 	var w io.Writer = stdout
-	if *out != "" {
-		f, err := os.Create(*out)
+	if out != "" {
+		f, err := os.Create(out)
 		if err != nil {
 			return err
 		}

@@ -49,3 +49,23 @@ func TestGenToFile(t *testing.T) {
 		t.Fatalf("stdout should be empty when -o is used, got %q", out.String())
 	}
 }
+
+func TestGenAdversarial(t *testing.T) {
+	var out, errBuf bytes.Buffer
+	if err := run([]string{"-adversarial", "deep", "-n", "3"}, &out, &errBuf); err != nil {
+		t.Fatal(err)
+	}
+	if out.String() != "<a><a><a><b></b></a></a></a>" {
+		t.Fatalf("deep -n 3: %q", out.String())
+	}
+	out.Reset()
+	if err := run([]string{"-adversarial", "list"}, &out, &errBuf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "shape=qualbomb") {
+		t.Fatalf("adversarial list: %q", out.String())
+	}
+	if err := run([]string{"-adversarial", "nope"}, &out, &errBuf); err == nil {
+		t.Fatal("unknown adversarial shape accepted")
+	}
+}

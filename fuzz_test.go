@@ -1,0 +1,150 @@
+package spex
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/baseline"
+	"repro/internal/core"
+	"repro/internal/multi"
+	"repro/internal/rpeq"
+	"repro/internal/xmlstream"
+)
+
+// fuzzDoc interprets prog as a tree-building program and renders the
+// resulting document: each byte either closes the innermost open element
+// (odd bytes) or opens one of four names (even bytes, two name-selector
+// bits). The whole program is wrapped in a <r> root, so any byte string
+// yields a well-formed, single-rooted, element-only document — the fuzzer
+// explores tree shapes instead of fighting XML syntax.
+func fuzzDoc(prog []byte) string {
+	const maxOps = 96
+	if len(prog) > maxOps {
+		prog = prog[:maxOps]
+	}
+	names := [4]string{"a", "b", "c", "q"}
+	var b strings.Builder
+	var stack []string
+	b.WriteString("<r>")
+	for _, op := range prog {
+		if op&1 == 1 {
+			if n := len(stack); n > 0 {
+				b.WriteString("</" + stack[n-1] + ">")
+				stack = stack[:n-1]
+			}
+			continue
+		}
+		name := names[(op>>1)&3]
+		b.WriteString("<" + name + ">")
+		stack = append(stack, name)
+	}
+	for i := len(stack) - 1; i >= 0; i-- {
+		b.WriteString("</" + stack[i] + ">")
+	}
+	b.WriteString("</r>")
+	return b.String()
+}
+
+// fuzzProg renders a shape spelled as a string of opens (a, b, c, q) and
+// closes (any other byte, conventionally '.') into the program encoding —
+// the inverse of fuzzDoc, for seeding the corpus with specific trees.
+func fuzzProg(shape string) []byte {
+	sel := map[byte]byte{'a': 0, 'b': 1, 'c': 2, 'q': 3}
+	prog := make([]byte, len(shape))
+	for i := 0; i < len(shape); i++ {
+		if c, ok := sel[shape[i]]; ok {
+			prog[i] = c << 1
+		} else {
+			prog[i] = 1
+		}
+	}
+	return prog
+}
+
+// FuzzEngineEquivalence is the differential correctness harness: for every
+// query the compiler accepts and every generated document, the sequential,
+// shared and parallel multi-query engines must report exactly the answer
+// count of the DOM tree-walk oracle. The seed corpus covers the paper's
+// Figure-1 running example ("<a><a><c/></a><b/><c/></a>", here nested
+// under the generated root) and the adversarial query shapes.
+func FuzzEngineEquivalence(f *testing.F) {
+	// Opens/closes spelling Fig. 1's document: <a><a><c/></a><b/><c/></a>.
+	fig1 := fuzzProg("aac..b.c..")
+	for _, q := range []string{
+		"_*.a[b].c", "_*.c", "_*.a[c].c", "a.a.c", "_*.a[_*.b]",
+		"_*[_*[q]]", "(a|b).c", "a+.c", "//a[b]/c", "_*.a[b]._*.c",
+	} {
+		f.Add(q, fig1)
+	}
+	f.Add("_*.b[preceding::a]", fuzzProg("a.b."))
+	f.Add("r.a", []byte{})
+
+	f.Fuzz(func(t *testing.T, query string, prog []byte) {
+		if len(query) > 48 {
+			return // keep per-input cost bounded
+		}
+		expr, err := rpeq.Parse(query)
+		if err != nil {
+			if expr, err = rpeq.ParseXPath(query); err != nil {
+				return
+			}
+			query = expr.String() // the engines take rpeq syntax
+		}
+		plan, err := core.Prepare(query)
+		if err != nil {
+			return // parsed but outside the compiled fragment
+		}
+		doc := fuzzDoc(prog)
+
+		nodes, err := baseline.EvalReader(baseline.TreeWalk{}, strings.NewReader(doc), expr)
+		if err != nil {
+			t.Fatalf("oracle failed on generated doc %q: %v", doc, err)
+		}
+		want := int64(len(nodes))
+
+		type engine struct {
+			name string
+			mk   func() (interface {
+				Run(src xmlstream.Source) error
+				Matches() map[string]int64
+			}, error)
+		}
+		sub := func() []multi.Subscription {
+			return []multi.Subscription{{Name: "q", Plan: plan}}
+		}
+		engines := []engine{
+			{"sequential", func() (interface {
+				Run(src xmlstream.Source) error
+				Matches() map[string]int64
+			}, error) {
+				return multi.NewSet(sub())
+			}},
+			{"shared", func() (interface {
+				Run(src xmlstream.Source) error
+				Matches() map[string]int64
+			}, error) {
+				return multi.NewSharedSet(sub())
+			}},
+			{"parallel", func() (interface {
+				Run(src xmlstream.Source) error
+				Matches() map[string]int64
+			}, error) {
+				return multi.NewParallelSet(sub(), multi.ParallelOptions{Shards: 2, BatchSize: 3})
+			}},
+		}
+		for _, e := range engines {
+			eng, err := e.mk()
+			if err != nil {
+				t.Fatalf("%s: building engine for %q: %v", e.name, query, err)
+			}
+			src := xmlstream.NewScanner(strings.NewReader(doc), xmlstream.WithText(false))
+			if err := eng.Run(src); err != nil {
+				t.Fatalf("%s: %q over %q: %v", e.name, query, doc, err)
+			}
+			if got := eng.Matches()["q"]; got != want {
+				t.Fatalf("%s diverges from the DOM oracle on %q over %q: %d matches, oracle %d",
+					e.name, query, doc, got, want)
+			}
+		}
+	})
+}

@@ -1,0 +1,49 @@
+package spex
+
+import (
+	"repro/internal/core"
+	"repro/internal/governor"
+)
+
+// ResourceLimits caps the resources one evaluation may consume. The paper's
+// complexity results (§V) bound SPEX's memory by the document depth, the
+// query size and the undecided-answer population; ResourceLimits turns those
+// theorems into operational guarantees for untrusted inputs: a cap of zero
+// means unlimited, any non-zero cap is enforced within one stream event of
+// being exceeded.
+type ResourceLimits = governor.Limits
+
+// Policy selects what happens when a resource limit trips: fail the
+// evaluation with a *LimitError, degrade the query to count-only mode
+// (results are counted but no longer materialized), or shed it (the query
+// stops consuming resources; the stream keeps flowing for the others).
+type Policy = governor.Policy
+
+// Governor policies. PolicyDegrade applies only to reducible resources
+// (candidates and buffered events); for the others it falls back to
+// PolicyFail, since no cheaper evaluation mode exists for them.
+const (
+	PolicyFail    = governor.PolicyFail
+	PolicyDegrade = governor.PolicyDegrade
+	PolicyShed    = governor.PolicyShed
+)
+
+// ParsePolicy parses a policy name: "fail" (or empty), "degrade"
+// ("count-only"), "shed" ("drop").
+func ParsePolicy(s string) (Policy, error) { return governor.ParsePolicy(s) }
+
+// LimitError reports which resource limit an evaluation exceeded. It
+// unwraps to ErrResourceLimit, so errors.Is(err, spex.ErrResourceLimit)
+// identifies governor terminations without inspecting the resource.
+type LimitError = governor.LimitError
+
+// ErrResourceLimit is the sentinel all governor limit errors match.
+var ErrResourceLimit = governor.ErrResourceLimit
+
+// WithResourceLimits attaches a resource governor to the evaluation:
+// non-zero caps in l are enforced under policy p. Zero-valued limits leave
+// the evaluation ungoverned.
+func WithResourceLimits(l ResourceLimits, p Policy) StreamOption {
+	cfg := &governor.Config{Limits: l, Policy: p}
+	return func(o *core.EvalOptions) { o.Governor = cfg }
+}

@@ -1,0 +1,118 @@
+package bench
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"runtime"
+	"text/tabwriter"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/governor"
+	"repro/internal/spexnet"
+)
+
+// EngineGoverned labels the capped leg of the adversarial sweep: SPEX
+// running under AdversarialLimits with the fail policy.
+const EngineGoverned Engine = "spex-governed"
+
+// AdversarialLimits is the cap set the governed leg of the sweep runs
+// under, chosen so the memory bombs of the corpus (deep nesting, late
+// qualifier witnesses) trip long before the attack completes, while the
+// throughput shapes (fanout, emptyrun) — whose candidates decide instantly
+// — finish untouched.
+func AdversarialLimits() governor.Limits {
+	return governor.Limits{MaxCandidates: 4096, MaxDepth: 2048}
+}
+
+// RunAdversarial sweeps the adversarial corpus (dataset.AdversarialAt)
+// twice per shape: ungoverned — the correctness leg, which must report the
+// corpus's pinned answer count — and under AdversarialLimits, proving a
+// capped run terminates promptly with a typed governor trip instead of
+// absorbing the attack. The scale factor shrinks the shapes for smoke runs;
+// Want tracks the scaling, so the sweep stays self-checking at any size.
+func RunAdversarial(scale float64, progress io.Writer, o *Observer) ([]Measurement, error) {
+	var out []Measurement
+	for _, c := range dataset.AdversarialAt(scale) {
+		m, err := runAdversarialCase(c, nil, o)
+		if err != nil {
+			return out, fmt.Errorf("bench: adversarial %s: %w", c.Doc.Name, err)
+		}
+		if m.Matches != c.Want {
+			return out, fmt.Errorf("bench: adversarial %s: %d matches, want %d", c.Doc.Name, m.Matches, c.Want)
+		}
+		out = append(out, m)
+		if progress != nil {
+			fmt.Fprintf(progress, "  %-14s %-12s %-14s %s\n", m.Engine, c.Doc.Name, c.Query, renderCell(m))
+		}
+
+		gov := &governor.Config{Limits: AdversarialLimits(), Policy: governor.PolicyFail}
+		gm, err := runAdversarialCase(c, gov, o)
+		gm.Engine = EngineGoverned
+		var lerr *governor.LimitError
+		switch {
+		case err == nil:
+			// The shape fits the caps and completes untouched.
+		case errors.As(err, &lerr):
+			gm.Skipped = fmt.Sprintf("governor: %s limit (%d) tripped after %.1f ms",
+				lerr.Resource, lerr.Limit, float64(gm.Elapsed.Microseconds())/1000)
+		default:
+			return out, fmt.Errorf("bench: adversarial %s governed: %w", c.Doc.Name, err)
+		}
+		out = append(out, gm)
+		if progress != nil {
+			fmt.Fprintf(progress, "  %-14s %-12s %-14s %s\n", gm.Engine, c.Doc.Name, c.Query, renderCell(gm))
+		}
+	}
+	return out, nil
+}
+
+// runAdversarialCase measures one shape, streaming the document straight
+// from its generator (nothing is materialized — several shapes exist to
+// attack whoever buffers them). A governor trip still reports the elapsed
+// time to the trip.
+func runAdversarialCase(c dataset.AdversarialCase, gov *governor.Config, o *Observer) (Measurement, error) {
+	m := Measurement{Engine: EngineSPEX, Dataset: c.Doc.Name, Query: c.Query}
+	plan, err := core.Prepare(c.Query)
+	if err != nil {
+		return m, err
+	}
+	var before, after runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&before)
+	start := time.Now()
+	stats, err := plan.Evaluate(c.Doc.Stream(), core.EvalOptions{
+		Mode: spexnet.ModeCount, Metrics: o.metrics(), Governor: gov,
+	})
+	m.Elapsed = time.Since(start)
+	if err != nil {
+		return m, err
+	}
+	runtime.GC()
+	runtime.ReadMemStats(&after)
+	m.AllocBytes = after.TotalAlloc - before.TotalAlloc
+	m.LiveBytes = heapDelta(before, after)
+	m.Matches = stats.Output.Matches
+	m.Elements = stats.Elements
+	return m, nil
+}
+
+// WriteAdversarialTable renders the sweep: per shape, the ungoverned
+// correctness leg and the governed outcome side by side.
+func WriteAdversarialTable(w io.Writer, title string, ms []Measurement) {
+	fmt.Fprintf(w, "%s\n", title)
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "shape\tquery\tengine\tmatches\tms\tlive MB\toutcome")
+	for _, m := range ms {
+		matches, outcome := fmt.Sprintf("%d", m.Matches), "completed"
+		if m.Skipped != "" {
+			matches, outcome = "-", m.Skipped
+		}
+		fmt.Fprintf(tw, "%s\t%s\t%s\t%s\t%.1f\t%.1f\t%s\n",
+			m.Dataset, m.Query, m.Engine, matches,
+			float64(m.Elapsed.Microseconds())/1000, float64(m.LiveBytes)/(1<<20), outcome)
+	}
+	tw.Flush()
+}

@@ -97,6 +97,12 @@ func (p *Pool) Release(v VarID) {
 // Allocated returns the number of variables allocated so far.
 func (p *Pool) Allocated() int { return int(p.next) }
 
+// Live returns the number of variables currently live: allocated and not yet
+// released. For well-behaved streams this is bounded by depth × qualifiers
+// (the invariant behind the paper's space theorem); the resource governor
+// polls it to detect runs where the invariant is being defeated.
+func (p *Pool) Live() int { return int(p.next) - len(p.free) }
+
 // QualOf returns the qualifier owning variable v.
 func (p *Pool) QualOf(v VarID) QualID { return p.quals[v] }
 

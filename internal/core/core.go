@@ -9,6 +9,7 @@ import (
 	"fmt"
 	"io"
 
+	"repro/internal/governor"
 	"repro/internal/obs"
 	"repro/internal/rpeq"
 	"repro/internal/spexnet"
@@ -91,6 +92,14 @@ type EvalOptions struct {
 	// NoInterning evaluates on the string-matching pipeline (the interning
 	// ablation's baseline): no symbol table anywhere, string label tests.
 	NoInterning bool
+	// Governor attaches the resource governor: hard caps on condition
+	// formulas, candidates, buffered content, per-step messages, live
+	// variables and depth, with a fail/degrade/shed policy. Nil (or
+	// all-zero limits) evaluates ungoverned.
+	Governor *governor.Config
+	// GovernorMetrics receives governor trip counters without full
+	// per-event instrumentation (see spexnet.Options.GovernorMetrics).
+	GovernorMetrics *obs.Metrics
 }
 
 // symtabFor resolves which symbol table an evaluation of plan p uses.
@@ -106,14 +115,16 @@ func (o EvalOptions) symtabFor(p *Plan) *xmlstream.Symtab {
 
 func (o EvalOptions) netOptions(p *Plan) spexnet.Options {
 	return spexnet.Options{
-		Mode:        o.Mode,
-		Sink:        o.Sink,
-		StreamSink:  o.StreamSink,
-		RawFormulas: o.RawFormulas,
-		Tracer:      o.Tracer,
-		Metrics:     o.Metrics,
-		Symtab:      o.symtabFor(p),
-		NoInterning: o.NoInterning,
+		Mode:            o.Mode,
+		Sink:            o.Sink,
+		StreamSink:      o.StreamSink,
+		RawFormulas:     o.RawFormulas,
+		Tracer:          o.Tracer,
+		Metrics:         o.Metrics,
+		Symtab:          o.symtabFor(p),
+		NoInterning:     o.NoInterning,
+		Governor:        o.Governor,
+		GovernorMetrics: o.GovernorMetrics,
 	}
 }
 

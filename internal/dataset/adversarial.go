@@ -1,0 +1,137 @@
+package dataset
+
+// Adversarial document shapes: each one attacks a specific resource bound
+// of the streamed evaluation — the stack (depth), the candidate queue
+// (fanout under an undecided qualifier), the condition-formula store
+// (nested qualifiers over a ladder), and the per-event constant factors
+// (empty-element runs). The governor and the scanner limits are tested and
+// benchmarked against exactly these shapes; the golden corpus under
+// testdata/adversarial/ records their expected counts.
+
+// Deep returns a single chain of depth nested <a> elements with one <b/>
+// witness at the bottom — the stack-depth attack. A query such as
+// _*.a[_*.b] keeps the whole chain undecided until the witness arrives.
+func Deep(depth int) *Doc {
+	return &Doc{Name: "deep", Scale: 1, write: func(w *xmlWriter, _ float64) {
+		for i := 0; i < depth; i++ {
+			w.start("a")
+		}
+		w.start("b")
+		w.end()
+		for i := 0; i < depth; i++ {
+			w.end()
+		}
+	}}
+}
+
+// Fanout returns a root with n <item> children, each holding one <v/> leaf
+// — the sibling-population attack. Candidate-producing queries see n
+// answers; with the witness placed after each item's content the candidate
+// queue stays shallow, so this shape isolates throughput, not memory.
+func Fanout(n int) *Doc {
+	return &Doc{Name: "fanout", Scale: 1, write: func(w *xmlWriter, _ float64) {
+		w.start("root")
+		for i := 0; i < n; i++ {
+			w.start("item")
+			w.start("v")
+			w.end()
+			w.end()
+		}
+		w.end()
+	}}
+}
+
+// FanoutLate returns a root with n <item> children whose shared qualifier
+// witness <w/> arrives only after all of them — the candidate-queue bomb.
+// Under root[w].item (or _*[w] shapes) every item stays undecided until the
+// stream's end, so the undecided population reaches n.
+func FanoutLate(n int) *Doc {
+	return &Doc{Name: "fanout-late", Scale: 1, write: func(w *xmlWriter, _ float64) {
+		w.start("root")
+		for i := 0; i < n; i++ {
+			w.start("item")
+			w.end()
+		}
+		w.start("w")
+		w.end()
+		w.end()
+	}}
+}
+
+// QualBomb returns a ladder of depth alternating <a> elements, each level
+// carrying a <q/> witness only on the LAST level — the condition-formula
+// attack. Nested-qualifier queries over wildcard closures (_*[_*[q]])
+// accumulate one live variable per level and formulas linear in depth,
+// matching the §V o(φ) bound's worst case.
+func QualBomb(depth int) *Doc {
+	return &Doc{Name: "qualbomb", Scale: 1, write: func(w *xmlWriter, _ float64) {
+		for i := 0; i < depth; i++ {
+			w.start("a")
+		}
+		w.start("q")
+		w.end()
+		for i := 0; i < depth; i++ {
+			w.end()
+		}
+	}}
+}
+
+// EmptyRun returns a root holding n self-contained empty <e/> elements in a
+// row — the per-event constant-factor attack: maximal event rate, minimal
+// structure, every candidate decided instantly.
+func EmptyRun(n int) *Doc {
+	return &Doc{Name: "emptyrun", Scale: 1, write: func(w *xmlWriter, _ float64) {
+		w.start("root")
+		for i := 0; i < n; i++ {
+			w.start("e")
+			w.end()
+		}
+		w.end()
+	}}
+}
+
+// Adversarial lists the golden adversarial corpus: every shape at the size
+// the CI corpus checks, with the query each shape attacks. Tests and the
+// spexbench adversarial sweep iterate this table.
+func Adversarial() []AdversarialCase {
+	return AdversarialAt(1)
+}
+
+// AdversarialAt returns the corpus with every shape's size multiplied by
+// the given factor (1 = the golden sizes); each Want tracks its scaled
+// size, so a shrunken sweep stays self-checking. Factors below 1/size
+// clamp to one element.
+func AdversarialAt(scale float64) []AdversarialCase {
+	n := func(base int) int {
+		if scale == 1 {
+			return base
+		}
+		v := int(float64(base) * scale)
+		if v < 1 {
+			v = 1
+		}
+		return v
+	}
+	deep, fan, late, qual, empty := n(10_000), n(1_000_000), n(100_000), n(5_000), n(1_000_000)
+	return []AdversarialCase{
+		// Every a on the depth-10k chain stays undecided until the bottom
+		// witness: the whole chain is live at once.
+		{Doc: Deep(deep), Size: deep, Query: "_*.a[_*.b]", Want: int64(deep)},
+		{Doc: Fanout(fan), Size: fan, Query: "root.item.v", Want: int64(fan)},
+		{Doc: FanoutLate(late), Size: late, Query: "root[w].item", Want: int64(late)},
+		// The nested-qualifier formula bomb; the root matches too, hence
+		// depth+1 answers.
+		{Doc: QualBomb(qual), Size: qual, Query: "_*[_*[q]]", Want: int64(qual) + 1},
+		{Doc: EmptyRun(empty), Size: empty, Query: "root.e", Want: int64(empty)},
+	}
+}
+
+// AdversarialCase pairs an adversarial document with the query that
+// attacks it and the expected answer count.
+type AdversarialCase struct {
+	Doc *Doc
+	// Size is the shape's generation parameter (depth or element count).
+	Size  int
+	Query string
+	Want  int64
+}

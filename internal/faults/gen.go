@@ -1,0 +1,94 @@
+package faults
+
+import "io"
+
+// DeepDoc returns a reader lazily streaming a document of the given element
+// nesting depth (<a><a>…</a></a>). Nothing is materialized up front, so a
+// million-deep nesting bomb costs the generator a few bytes — the consumer
+// under test is the one whose memory the document attacks.
+func DeepDoc(depth int) io.Reader {
+	return &deepDoc{depth: depth}
+}
+
+type deepDoc struct {
+	depth, opened, closed int
+	pend                  []byte
+}
+
+func (d *deepDoc) Read(p []byte) (int, error) {
+	n := 0
+	for n < len(p) {
+		if len(d.pend) == 0 {
+			switch {
+			case d.opened < d.depth:
+				d.pend = []byte("<a>")
+				d.opened++
+			case d.closed < d.depth:
+				d.pend = []byte("</a>")
+				d.closed++
+			default:
+				if n == 0 {
+					return 0, io.EOF
+				}
+				return n, nil
+			}
+		}
+		c := copy(p[n:], d.pend)
+		n += c
+		d.pend = d.pend[c:]
+	}
+	return n, nil
+}
+
+// WideTokenDoc returns a reader lazily streaming a self-closing root
+// element whose tag name is n bytes long — the oversized-single-token
+// attack on any tokenizer that buffers a name before interning it.
+func WideTokenDoc(n int) io.Reader {
+	return &wideToken{left: n}
+}
+
+type wideToken struct {
+	left  int
+	state int // 0: "<", 1: name bytes, 2: "/>", 3: done
+	pend  []byte
+}
+
+func (w *wideToken) Read(p []byte) (int, error) {
+	n := 0
+	for n < len(p) {
+		if len(w.pend) == 0 {
+			switch w.state {
+			case 0:
+				w.pend = []byte("<")
+				w.state = 1
+			case 1:
+				if w.left > 0 {
+					run := w.left
+					if run > 4096 {
+						run = 4096
+					}
+					w.left -= run
+					buf := make([]byte, run)
+					for i := range buf {
+						buf[i] = 'a'
+					}
+					w.pend = buf
+				} else {
+					w.state = 2
+				}
+			case 2:
+				w.pend = []byte("/>")
+				w.state = 3
+			default:
+				if n == 0 {
+					return 0, io.EOF
+				}
+				return n, nil
+			}
+		}
+		c := copy(p[n:], w.pend)
+		n += c
+		w.pend = w.pend[c:]
+	}
+	return n, nil
+}

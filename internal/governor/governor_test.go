@@ -1,0 +1,122 @@
+package governor
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+)
+
+func TestParsePolicy(t *testing.T) {
+	cases := []struct {
+		in   string
+		want Policy
+		err  bool
+	}{
+		{"fail", PolicyFail, false},
+		{"", PolicyFail, false},
+		{"FAIL", PolicyFail, false},
+		{"degrade", PolicyDegrade, false},
+		{"count-only", PolicyDegrade, false},
+		{" shed ", PolicyShed, false},
+		{"drop", PolicyShed, false},
+		{"explode", PolicyFail, true},
+	}
+	for _, c := range cases {
+		got, err := ParsePolicy(c.in)
+		if (err != nil) != c.err {
+			t.Errorf("ParsePolicy(%q) err = %v, want err=%v", c.in, err, c.err)
+		}
+		if err == nil && got != c.want {
+			t.Errorf("ParsePolicy(%q) = %v, want %v", c.in, got, c.want)
+		}
+	}
+}
+
+func TestPolicyStringRoundTrip(t *testing.T) {
+	for _, p := range []Policy{PolicyFail, PolicyDegrade, PolicyShed} {
+		got, err := ParsePolicy(p.String())
+		if err != nil || got != p {
+			t.Errorf("round trip %v: got %v, err %v", p, got, err)
+		}
+	}
+}
+
+func TestResourceNamesDistinct(t *testing.T) {
+	seen := map[string]Resource{}
+	for i := 0; i < NumResources; i++ {
+		r := Resource(i)
+		name := r.String()
+		if name == "" || strings.Contains(name, "resource_") {
+			t.Errorf("resource %d has placeholder name %q", i, name)
+		}
+		if prev, dup := seen[name]; dup {
+			t.Errorf("resources %v and %v share name %q", prev, r, name)
+		}
+		seen[name] = r
+	}
+}
+
+func TestLimitsOfCoversEveryResource(t *testing.T) {
+	l := Limits{
+		MaxFormulaSize:    1,
+		MaxCandidates:     2,
+		MaxBufferedEvents: 3,
+		MaxStepMessages:   4,
+		MaxLiveVars:       5,
+		MaxDepth:          6,
+	}
+	for i := 0; i < NumResources; i++ {
+		if l.Of(Resource(i)) == 0 {
+			t.Errorf("Limits.Of(%v) = 0; field not wired", Resource(i))
+		}
+	}
+	if (Limits{}).Of(ResFormula) != 0 || !(Limits{}).Zero() {
+		t.Error("zero Limits should be unlimited")
+	}
+	if l.Zero() {
+		t.Error("non-zero Limits reported Zero")
+	}
+}
+
+func TestEffectivePolicy(t *testing.T) {
+	var nilCfg *Config
+	if nilCfg.Effective(ResCandidates) != PolicyFail {
+		t.Error("nil config should be fail")
+	}
+	if nilCfg.Enabled() {
+		t.Error("nil config should be disabled")
+	}
+	deg := &Config{Limits: Limits{MaxCandidates: 1}, Policy: PolicyDegrade}
+	if !deg.Enabled() {
+		t.Error("config with a cap should be enabled")
+	}
+	if got := deg.Effective(ResCandidates); got != PolicyDegrade {
+		t.Errorf("degrade on reducible resource = %v", got)
+	}
+	if got := deg.Effective(ResFormula); got != PolicyFail {
+		t.Errorf("degrade on irreducible resource should fall back to fail, got %v", got)
+	}
+	shed := &Config{Limits: Limits{MaxDepth: 1}, Policy: PolicyShed}
+	if got := shed.Effective(ResDepth); got != PolicyShed {
+		t.Errorf("shed should not fall back, got %v", got)
+	}
+}
+
+func TestLimitError(t *testing.T) {
+	err := &LimitError{Resource: ResCandidates, Observed: 11, Limit: 10, Policy: PolicyFail, Sub: "q0"}
+	if !errors.Is(err, ErrResourceLimit) {
+		t.Error("LimitError should match ErrResourceLimit")
+	}
+	var le *LimitError
+	wrapped := fmt.Errorf("run failed: %w", err)
+	if !errors.As(wrapped, &le) || le.Resource != ResCandidates {
+		t.Error("errors.As should recover the LimitError through wrapping")
+	}
+	msg := err.Error()
+	for _, want := range []string{"candidates", "11 > 10", `"q0"`, "fail"} {
+		if !strings.Contains(msg, want) {
+			t.Errorf("error message %q missing %q", msg, want)
+		}
+	}
+}

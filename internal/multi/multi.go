@@ -42,14 +42,14 @@ type Set struct {
 }
 
 // NewSet prepares the evaluation of all subscriptions.
-func NewSet(subs []Subscription) (*Set, error) {
-	return newSetSym(subs, xmlstream.NewSymtab())
+func NewSet(subs []Subscription, opts ...Option) (*Set, error) {
+	return newSetSym(subs, xmlstream.NewSymtab(), resolveOptions(opts))
 }
 
 // newSetSym builds the set against a caller-provided symbol table — the
 // parallel engine passes its pool-wide table so all shards share one symbol
 // space and the feeder can pre-resolve events once for everyone.
-func newSetSym(subs []Subscription, symtab *xmlstream.Symtab) (*Set, error) {
+func newSetSym(subs []Subscription, symtab *xmlstream.Symtab, cfg engineConfig) (*Set, error) {
 	s := &Set{subs: subs, symtab: symtab}
 	for i := range subs {
 		sub := subs[i]
@@ -61,6 +61,8 @@ func newSetSym(subs []Subscription, symtab *xmlstream.Symtab) (*Set, error) {
 					sub.OnHit(sub.Name, r)
 				}
 			},
+			Governor:        cfg.gov,
+			GovernorMetrics: cfg.metrics,
 		})
 		if err != nil {
 			return nil, fmt.Errorf("multi: subscription %s: %w", sub.Name, err)

@@ -1,0 +1,41 @@
+package multi
+
+import (
+	"repro/internal/governor"
+	"repro/internal/obs"
+)
+
+// Option configures a multi-query engine (Set or SharedSet; the parallel
+// engine takes the same settings through ParallelOptions).
+type Option func(*engineConfig)
+
+// engineConfig is the resolved option set shared by the engines.
+type engineConfig struct {
+	gov     *governor.Config
+	metrics *obs.Metrics
+}
+
+func resolveOptions(opts []Option) engineConfig {
+	var cfg engineConfig
+	for _, o := range opts {
+		if o != nil {
+			o(&cfg)
+		}
+	}
+	return cfg
+}
+
+// WithGovernor attaches the resource governor to every member network:
+// formula/candidate/buffer/step/variable/depth caps with a fail, degrade or
+// shed policy. A nil (or all-zero) config evaluates ungoverned.
+func WithGovernor(cfg *governor.Config) Option {
+	return func(c *engineConfig) { c.gov = cfg }
+}
+
+// WithMetrics binds a registry for governor trip accounting: the
+// spex_governor_* counters accumulate across all member networks. It does
+// not enable full per-event instrumentation (that would count each stream
+// event once per member network).
+func WithMetrics(m *obs.Metrics) Option {
+	return func(c *engineConfig) { c.metrics = m }
+}

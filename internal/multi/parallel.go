@@ -8,6 +8,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/governor"
 	"repro/internal/obs"
 	"repro/internal/spexnet"
 	"repro/internal/xmlstream"
@@ -52,6 +53,11 @@ type ParallelOptions struct {
 	// workers, and the Matches counter written by the sink goroutine. All
 	// are readable from any goroutine mid-stream via Snapshot.
 	Metrics *obs.Metrics
+	// Governor attaches the resource governor to every shard's networks;
+	// the same caps and policy the sequential engines take through
+	// WithGovernor. A shed subscription stops producing hits but the pool
+	// keeps running; a fail-policy trip surfaces as the pool's error.
+	Governor *governor.Config
 }
 
 // eventBatch is a broadcast unit: one slice of events delivered to every
@@ -203,10 +209,11 @@ func NewParallelSet(subs []Subscription, opts ParallelOptions) (*ParallelSet, er
 			})
 		}
 		var err error
+		ecfg := engineConfig{gov: opts.Governor, metrics: opts.Metrics}
 		if opts.Isolate {
-			w.set, err = newSetSym(wrapped, p.symtab)
+			w.set, err = newSetSym(wrapped, p.symtab, ecfg)
 		} else {
-			w.set, err = newSharedSetSym(wrapped, p.symtab)
+			w.set, err = newSharedSetSym(wrapped, p.symtab, ecfg)
 		}
 		if err != nil {
 			return nil, fmt.Errorf("multi: shard %d: %w", id, err)

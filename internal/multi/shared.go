@@ -24,19 +24,20 @@ type SharedSet struct {
 }
 
 // NewSharedSet compiles all subscriptions into one network.
-func NewSharedSet(subs []Subscription) (*SharedSet, error) {
-	return newSharedSetSym(subs, xmlstream.NewSymtab())
+func NewSharedSet(subs []Subscription, opts ...Option) (*SharedSet, error) {
+	return newSharedSetSym(subs, xmlstream.NewSymtab(), resolveOptions(opts))
 }
 
 // newSharedSetSym compiles the set against a caller-provided symbol table
 // (see newSetSym).
-func newSharedSetSym(subs []Subscription, symtab *xmlstream.Symtab) (*SharedSet, error) {
+func newSharedSetSym(subs []Subscription, symtab *xmlstream.Symtab, cfg engineConfig) (*SharedSet, error) {
 	specs := make([]spexnet.Spec, len(subs))
 	for i := range subs {
 		sub := subs[i]
 		specs[i] = spexnet.Spec{
 			Expr: sub.Plan.Expr(),
 			Mode: spexnet.ModeNodes,
+			Name: sub.Name,
 			Sink: func(r spexnet.Result) {
 				if sub.OnHit != nil {
 					sub.OnHit(sub.Name, r)
@@ -44,7 +45,11 @@ func newSharedSetSym(subs []Subscription, symtab *xmlstream.Symtab) (*SharedSet,
 			},
 		}
 	}
-	net, err := spexnet.BuildSet(specs, spexnet.Options{Symtab: symtab})
+	net, err := spexnet.BuildSet(specs, spexnet.Options{
+		Symtab:          symtab,
+		Governor:        cfg.gov,
+		GovernorMetrics: cfg.metrics,
+	})
 	if err != nil {
 		return nil, err
 	}

@@ -44,6 +44,16 @@ func WritePrometheus(w io.Writer, s Snapshot) {
 	gauge("formula_max", "maximum condition-formula size (bounded by o(phi))", s.MaxFormula)
 	gauge("heap_alloc_bytes", "live heap sample", int64(s.HeapAlloc))
 
+	counter("governor_fails_total", "runs terminated by the resource governor (policy fail)", s.GovernorFails)
+	counter("governor_degrades_total", "sinks degraded to count-only mode (policy degrade)", s.GovernorDegrades)
+	counter("governor_sheds_total", "subscriptions shed by the resource governor (policy shed)", s.GovernorSheds)
+	if len(s.GovernorTrips) > 0 {
+		fmt.Fprintf(w, "# HELP spex_governor_trips_total resource-limit trips by governed resource\n# TYPE spex_governor_trips_total counter\n")
+		for _, g := range s.GovernorTrips {
+			fmt.Fprintf(w, "spex_governor_trips_total{resource=%q} %d\n", escapeLabel(g.Resource), g.Trips)
+		}
+	}
+
 	fmt.Fprintf(w, "# HELP spex_step_messages messages delivered per document event\n# TYPE spex_step_messages histogram\n")
 	for _, b := range s.StepMessages.Buckets {
 		le := fmt.Sprintf("%d", b.Le)

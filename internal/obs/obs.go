@@ -31,6 +31,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"repro/internal/governor"
 )
 
 // MsgKind classifies transducer messages for the per-kind instruments; the
@@ -262,6 +264,14 @@ type Metrics struct {
 	// event — the per-event work the Lemma V.2 time bound is about.
 	StepMessages Histogram
 
+	// Resource-governor instruments: per-resource limit trips and the
+	// actions taken. Written by the evaluation goroutine when a configured
+	// cap trips (internal/governor); all zero when no governor is attached.
+	GovernorTrips    [governor.NumResources]Counter // trips by Resource
+	GovernorFails    Counter                        // runs terminated (PolicyFail)
+	GovernorDegrades Counter                        // sinks switched to count-only (PolicyDegrade)
+	GovernorSheds    Counter                        // subscriptions dropped (PolicyShed)
+
 	mu          sync.RWMutex
 	transducers []*TransducerMetrics
 	shards      []*ShardMetrics
@@ -308,6 +318,25 @@ func (m *Metrics) Shards() []*ShardMetrics {
 
 // Uptime returns the time since the registry was created.
 func (m *Metrics) Uptime() time.Duration { return time.Since(m.start) }
+
+// NoteGovernor records one tripped resource limit and the policy that was
+// applied for it. Safe to call with a nil receiver (uninstrumented run).
+func (m *Metrics) NoteGovernor(r governor.Resource, p governor.Policy) {
+	if m == nil {
+		return
+	}
+	if int(r) >= 0 && int(r) < governor.NumResources {
+		m.GovernorTrips[r].Inc()
+	}
+	switch p {
+	case governor.PolicyFail:
+		m.GovernorFails.Inc()
+	case governor.PolicyDegrade:
+		m.GovernorDegrades.Inc()
+	case governor.PolicyShed:
+		m.GovernorSheds.Inc()
+	}
+}
 
 // CountingReader counts the bytes read through it into a Counter, so the
 // registry's Bytes instrument reflects input consumed.

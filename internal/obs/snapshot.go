@@ -3,6 +3,8 @@ package obs
 import (
 	"runtime"
 	"time"
+
+	"repro/internal/governor"
 )
 
 // Snapshot is a point-in-time view of a Metrics registry plus a heap
@@ -48,6 +50,13 @@ type Snapshot struct {
 	// StepMessages summarizes the messages-per-event distribution.
 	StepMessages HistogramSnapshot `json:"step_messages"`
 
+	// Resource-governor outcome: limit trips by resource and the actions
+	// applied. All zero/empty when no governor was configured.
+	GovernorTrips    []GovernorTripSnapshot `json:"governor_trips,omitempty"`
+	GovernorFails    int64                  `json:"governor_fails"`
+	GovernorDegrades int64                  `json:"governor_degrades"`
+	GovernorSheds    int64                  `json:"governor_sheds"`
+
 	Transducers []TransducerSnapshot `json:"transducers,omitempty"`
 
 	// Shards holds the per-shard instruments of a parallel multi-query
@@ -80,6 +89,13 @@ type TransducerSnapshot struct {
 	Stack      int64  `json:"stack"`
 	MaxStack   int64  `json:"max_stack"`
 	MaxFormula int64  `json:"max_formula"`
+}
+
+// GovernorTripSnapshot is the trip count of one governed resource at
+// snapshot time; only resources with at least one trip are reported.
+type GovernorTripSnapshot struct {
+	Resource string `json:"resource"`
+	Trips    int64  `json:"trips"`
 }
 
 // ShardSnapshot is one SDI shard's instruments at snapshot time.
@@ -122,6 +138,17 @@ func (m *Metrics) Snapshot() Snapshot {
 			Sum:     m.StepMessages.Sum(),
 			Buckets: m.StepMessages.Buckets(),
 		},
+		GovernorFails:    m.GovernorFails.Load(),
+		GovernorDegrades: m.GovernorDegrades.Load(),
+		GovernorSheds:    m.GovernorSheds.Load(),
+	}
+	for i := range m.GovernorTrips {
+		if n := m.GovernorTrips[i].Load(); n > 0 {
+			s.GovernorTrips = append(s.GovernorTrips, GovernorTripSnapshot{
+				Resource: governor.Resource(i).String(),
+				Trips:    n,
+			})
+		}
 	}
 	if secs := s.Uptime.Seconds(); secs > 0 {
 		s.EventsPerSec = float64(s.Events) / secs

@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"sync/atomic"
 	"time"
+
+	spex "repro"
 )
 
 // Limits configure the admission-control layer. Admission sheds load at the
@@ -39,6 +41,19 @@ type Limits struct {
 	IngestTimeout time.Duration
 	// RetryAfter is the hint sent with 429/503 responses (default 1s).
 	RetryAfter time.Duration
+	// Governor caps each ingest session's per-query evaluation resources —
+	// condition-formula size, undecided-candidate population, buffered
+	// events, per-step messages, live condition variables and document
+	// depth. Admission sheds load at the door; the governor sheds it
+	// mid-stream, when a document (not the request rate) is what exhausts
+	// the evaluator. The zero value evaluates ungoverned.
+	Governor spex.ResourceLimits
+	// GovernorPolicy selects what a governor trip does: "fail" (the
+	// default — the session is aborted and answered 429 + Retry-After),
+	// "degrade" (the tripping query falls to count-only mode) or "shed"
+	// (the tripping subscription is dropped from the pass; the rest keep
+	// evaluating).
+	GovernorPolicy string
 }
 
 // withDefaults resolves zero values to the documented defaults and negative

@@ -1,0 +1,158 @@
+package server_test
+
+import (
+	"context"
+	"net/http"
+	"strings"
+	"testing"
+
+	spex "repro"
+	"repro/internal/server"
+	"repro/internal/server/client"
+)
+
+// govChainDoc nests n <a> elements whose <b/> children all arrive last, so
+// the candidate population of _+[b] reaches n mid-stream.
+func govChainDoc(n int) string {
+	var sb strings.Builder
+	for i := 0; i < n; i++ {
+		sb.WriteString("<a>")
+	}
+	for i := 0; i < n; i++ {
+		sb.WriteString("<b/></a>")
+	}
+	return sb.String()
+}
+
+// TestGovernorIngest429 drives a session over its candidate budget under the
+// fail policy: the ingest is answered 429 + Retry-After (a load-shedding
+// response, like admission control's), and the trip is visible on /metrics
+// in both the engine's spex_governor_* section and the server's
+// spex_server_governor_rejected_total.
+func TestGovernorIngest429(t *testing.T) {
+	_, c, ts := newTestServer(t, server.Config{
+		Limits: server.Limits{
+			Governor:       spex.ResourceLimits{MaxCandidates: 4},
+			GovernorPolicy: "fail",
+		},
+	})
+	ctx := context.Background()
+	if _, err := c.Subscribe(ctx, server.SubscribeRequest{Channel: "gov", Query: "_+[b]"}); err != nil {
+		t.Fatalf("subscribe: %v", err)
+	}
+	_, err := c.IngestString(ctx, "gov", govChainDoc(32))
+	if err == nil {
+		t.Fatal("governed ingest succeeded, want 429")
+	}
+	apiErr, ok := err.(*client.APIError)
+	if !ok {
+		t.Fatalf("ingest error %v, want *client.APIError", err)
+	}
+	if apiErr.Status != http.StatusTooManyRequests {
+		t.Fatalf("ingest status = %d, want 429", apiErr.Status)
+	}
+	if apiErr.RetryAfter <= 0 {
+		t.Fatalf("429 carried no Retry-After hint: %v", apiErr)
+	}
+	if !strings.Contains(apiErr.Message, "candidates limit") {
+		t.Fatalf("429 body %q does not name the tripped resource", apiErr.Message)
+	}
+
+	metrics := httpGet(t, ts, "/metrics")
+	for _, want := range []string{
+		"spex_governor_fails_total 1",
+		`spex_governor_trips_total{resource="candidates"} 1`,
+		"spex_server_governor_rejected_total 1",
+	} {
+		if !strings.Contains(metrics, want) {
+			t.Errorf("/metrics missing %q", want)
+		}
+	}
+
+	// The governor shed one document, not the service: the same channel
+	// still evaluates documents within budget.
+	sum, err := c.IngestString(ctx, "gov", `<a><b/></a>`)
+	if err != nil {
+		t.Fatalf("in-budget ingest after a trip: %v", err)
+	}
+	if sum.Matches != 1 {
+		t.Fatalf("in-budget ingest matched %d, want 1", sum.Matches)
+	}
+}
+
+// TestGovernorIngestShed runs the shed policy: the hungry subscription is
+// dropped mid-pass, the frugal one on the same channel answers normally,
+// and the session reports success.
+func TestGovernorIngestShed(t *testing.T) {
+	_, c, ts := newTestServer(t, server.Config{
+		Limits: server.Limits{
+			Governor:       spex.ResourceLimits{MaxCandidates: 4},
+			GovernorPolicy: "shed",
+		},
+	})
+	ctx := context.Background()
+	if _, err := c.Subscribe(ctx, server.SubscribeRequest{Channel: "gov", Query: "_+[b]"}); err != nil {
+		t.Fatalf("subscribe hungry: %v", err)
+	}
+	frugal, err := c.Subscribe(ctx, server.SubscribeRequest{Channel: "gov", Query: "a"})
+	if err != nil {
+		t.Fatalf("subscribe frugal: %v", err)
+	}
+	sum, err := c.IngestString(ctx, "gov", govChainDoc(32))
+	if err != nil {
+		t.Fatalf("shed-policy ingest: %v", err)
+	}
+	if sum.Matches != 1 {
+		t.Fatalf("ingest matched %d, want the frugal subscription's 1", sum.Matches)
+	}
+	info, err := c.Subscription(ctx, frugal.ID)
+	if err != nil {
+		t.Fatalf("subscription info: %v", err)
+	}
+	if info.Hits != 1 {
+		t.Fatalf("frugal subscription hits = %d, want 1", info.Hits)
+	}
+	if metrics := httpGet(t, ts, "/metrics"); !strings.Contains(metrics, "spex_governor_sheds_total 1") {
+		t.Error("/metrics missing spex_governor_sheds_total 1")
+	}
+}
+
+// TestGovernorDegradePreservesCounts runs the degrade policy: the session
+// succeeds and the count matches the ungoverned evaluation, with the trip
+// recorded on /metrics.
+func TestGovernorDegradePreservesCounts(t *testing.T) {
+	_, c, ts := newTestServer(t, server.Config{
+		Limits: server.Limits{
+			Governor:       spex.ResourceLimits{MaxCandidates: 3},
+			GovernorPolicy: "degrade",
+		},
+	})
+	ctx := context.Background()
+	if _, err := c.Subscribe(ctx, server.SubscribeRequest{Channel: "gov", Query: "_+[b]"}); err != nil {
+		t.Fatalf("subscribe: %v", err)
+	}
+	sum, err := c.IngestString(ctx, "gov", govChainDoc(24))
+	if err != nil {
+		t.Fatalf("degrade-policy ingest: %v", err)
+	}
+	if sum.Matches != 24 {
+		t.Fatalf("degraded ingest matched %d, want 24", sum.Matches)
+	}
+	if metrics := httpGet(t, ts, "/metrics"); !strings.Contains(metrics, "spex_governor_degrades_total 1") {
+		t.Error("/metrics missing spex_governor_degrades_total 1")
+	}
+}
+
+// TestGovernorBadPolicyRejected verifies an unparsable policy fails server
+// construction instead of silently defaulting.
+func TestGovernorBadPolicyRejected(t *testing.T) {
+	_, err := server.New(server.Config{
+		Limits: server.Limits{
+			Governor:       spex.ResourceLimits{MaxDepth: 10},
+			GovernorPolicy: "explode",
+		},
+	})
+	if err == nil {
+		t.Fatal("New accepted policy \"explode\"")
+	}
+}

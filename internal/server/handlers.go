@@ -384,6 +384,9 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 			err = cerr
 		}
 		s.metrics.SessionsFailed.Inc()
+		if errors.Is(err, spex.ErrResourceLimit) {
+			s.metrics.GovernorRejected.Inc()
+		}
 		s.logf("server: session %s on %s failed: %v", sess.id, ch.name, err)
 		s.writeError(w, ingestStatus(err), fmt.Sprintf("session %s: %v", sess.id, err), retryableIngest(err))
 		return
@@ -398,14 +401,18 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 }
 
 // ingestStatus maps a session error to its response status: document too
-// large → 413, deadline/cancellation (a stalled reader's backpressure, a
-// drain abort, a client disconnect) → 503, anything else (malformed XML
-// chiefly) → 400.
+// large → 413, a governor resource-limit trip under the fail policy → 429
+// (the document exhausted the evaluator's configured budget; retry against
+// a less loaded deployment or with a narrower query), deadline/cancellation
+// (a stalled reader's backpressure, a drain abort, a client disconnect) →
+// 503, anything else (malformed XML chiefly) → 400.
 func ingestStatus(err error) int {
 	var mbe *http.MaxBytesError
 	switch {
 	case errors.As(err, &mbe):
 		return http.StatusRequestEntityTooLarge
+	case errors.Is(err, spex.ErrResourceLimit):
+		return http.StatusTooManyRequests
 	case errors.Is(err, context.DeadlineExceeded), errors.Is(err, context.Canceled):
 		return http.StatusServiceUnavailable
 	default:
@@ -413,7 +420,11 @@ func ingestStatus(err error) int {
 	}
 }
 
-func retryableIngest(err error) bool { return ingestStatus(err) == http.StatusServiceUnavailable }
+// retryableIngest marks the load-shedding statuses that carry Retry-After.
+func retryableIngest(err error) bool {
+	s := ingestStatus(err)
+	return s == http.StatusServiceUnavailable || s == http.StatusTooManyRequests
+}
 
 func (s *Server) handleResults(w http.ResponseWriter, r *http.Request) {
 	sub := s.mgr.subscriptionByID(r.PathValue("id"))

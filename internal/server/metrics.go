@@ -18,6 +18,7 @@ type Metrics struct {
 	SessionsTotal       obs.Counter // ingest sessions admitted
 	SessionsFailed      obs.Counter // sessions ending in an error (incl. aborts)
 	RejectedTotal       obs.Counter // requests shed by admission control (429)
+	GovernorRejected    obs.Counter // sessions shed by a governor trip (429)
 	DrainRejectedTotal  obs.Counter // requests refused while draining (503)
 	SubscriptionsActive obs.Gauge
 	SubscriptionsTotal  obs.Counter
@@ -76,6 +77,7 @@ func (m *Metrics) WritePrometheus(w io.Writer) {
 	counter("sessions_total", "ingest sessions admitted", m.SessionsTotal.Load())
 	counter("sessions_failed_total", "ingest sessions that ended in an error", m.SessionsFailed.Load())
 	counter("rejected_total", "requests shed by admission control (429)", m.RejectedTotal.Load())
+	counter("governor_rejected_total", "ingest sessions shed by a resource-governor trip (429)", m.GovernorRejected.Load())
 	counter("drain_rejected_total", "requests refused while draining (503)", m.DrainRejectedTotal.Load())
 	gauge("subscriptions_active", "registered subscriptions", m.SubscriptionsActive.Load())
 	counter("subscriptions_total", "subscriptions ever registered", m.SubscriptionsTotal.Load())

@@ -29,6 +29,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	spex "repro"
 	"repro/internal/obs"
 )
 
@@ -61,6 +62,11 @@ type Server struct {
 	adm *admission
 	mgr *sessionManager
 	mux *http.ServeMux
+
+	// setOpts are appended to every session's spex.Set construction: the
+	// resource governor (when Limits.Governor is non-zero) bound to the
+	// engine registry, so spex_governor_* trips surface on /metrics.
+	setOpts []spex.SetOption
 
 	// Lifecycle. draining flips first and gates every /v1 route; ingestWG
 	// tracks in-flight sessions; hardCtx is cancelled when a drain deadline
@@ -96,6 +102,15 @@ func New(cfg Config) (*Server, error) {
 		logf:          logf,
 		adm:           &admission{limits: limits},
 		mgr:           newSessionManager(),
+	}
+	if !limits.Governor.Zero() {
+		policy, err := spex.ParsePolicy(cfg.Limits.GovernorPolicy)
+		if err != nil {
+			return nil, err
+		}
+		s.setOpts = append(s.setOpts,
+			spex.Governed(limits.Governor, policy),
+			spex.SetMetrics(em))
 	}
 	s.hardCtx, s.hardCancel = context.WithCancel(context.Background())
 	s.mux = s.routes()

@@ -222,7 +222,7 @@ func (sess *session) run(ctx context.Context, r io.Reader) (matches int64, err e
 			// check; remember why.
 			sess.abort.Store(true)
 		}
-	}, sess.ch.engine.Option())
+	}, append([]spex.SetOption{sess.ch.engine.Option()}, sess.srv.setOpts...)...)
 	if err := set.EvaluateContext(ctx, r); err != nil {
 		return 0, err
 	}

@@ -5,6 +5,7 @@ import (
 	"strconv"
 
 	"repro/internal/cond"
+	"repro/internal/governor"
 	"repro/internal/obs"
 	"repro/internal/rpeq"
 	"repro/internal/xmlstream"
@@ -41,6 +42,18 @@ type Options struct {
 	// ablation's baseline): no symbol table, string label comparisons, and
 	// the count-mode output fast path disabled.
 	NoInterning bool
+	// Governor, when it carries any cap, attaches the resource governor:
+	// condition-formula size, candidate population, buffered content,
+	// per-step messages, live condition variables and document depth are
+	// accounted against its limits and its policy applies when one trips.
+	// Nil (or all-zero limits) runs ungoverned with no per-event overhead.
+	Governor *governor.Config
+	// GovernorMetrics receives the governor's trip counters without
+	// enabling full per-event instrumentation — a multi-query engine binds
+	// one registry to many member networks this way (trip counters are
+	// rare, atomic adds; full instrumentation on N networks would count
+	// every stream event N times). Nil falls back to Metrics.
+	GovernorMetrics *obs.Metrics
 }
 
 // Spec is one query of a multi-query network: its expression and its sink.
@@ -49,6 +62,9 @@ type Spec struct {
 	Mode       ResultMode
 	Sink       Sink
 	StreamSink StreamSink
+	// Name labels the query in governor errors and shed reports, so a
+	// multi-query caller can tell which subscription tripped a cap.
+	Name string
 }
 
 // Build translates an rpeq expression into a SPEX network following the
@@ -82,12 +98,17 @@ func BuildSet(specs []Spec, opts Options) (*Network, error) {
 	if symtab == nil && !opts.NoInterning {
 		symtab = xmlstream.NewSymtab()
 	}
+	gm := opts.GovernorMetrics
+	if gm == nil {
+		gm = opts.Metrics
+	}
 	n := &Network{
 		cfg: netConfig{
 			rawFormulas: opts.RawFormulas,
 			retainVars:  retain,
 			symtab:      symtab,
 			noInterning: opts.NoInterning,
+			gov:         newGovern(opts.Governor, gm),
 		},
 		pool:    cond.NewPool(),
 		metrics: opts.Metrics,
@@ -105,6 +126,7 @@ func BuildSet(specs []Spec, opts Options) (*Network, error) {
 		}
 		out := newOutput(spec.Mode, spec.Sink, &n.cfg)
 		out.ssink = spec.StreamSink
+		out.sub = spec.Name
 		b.addNode(out, []int{final}, 0)
 		n.outs = append(n.outs, out)
 	}

@@ -5,6 +5,7 @@ import (
 	"io"
 
 	"repro/internal/cond"
+	"repro/internal/governor"
 	"repro/internal/obs"
 	"repro/internal/xmlstream"
 )
@@ -41,6 +42,10 @@ type Network struct {
 	elements   int64
 	depth      int
 	maxDepth   int
+	// allShed: the governor shed the whole network (a network-level
+	// resource tripped under PolicyShed); Step keeps only the depth
+	// bookkeeping from then on, so the parse completes but no state grows.
+	allShed bool
 
 	// metrics, when non-nil, receives live instrument updates once per
 	// step; nil networks run the uninstrumented propagate path.
@@ -58,6 +63,9 @@ type Stats struct {
 	MaxStack    int         // max depth/condition stack entries over all transducers
 	MaxFormula  int         // max condition formula size σ
 	Output      OutputStats // sink-side accounting
+	// Governor summarizes resource-governor activity (zero when no
+	// governor was configured or nothing tripped).
+	Governor GovernorOutcome
 }
 
 // Degree returns the number of transducers in the network, the paper's
@@ -114,6 +122,24 @@ func (n *Network) Step(ev xmlstream.Event) error {
 		(ev.Kind == xmlstream.StartElement || ev.Kind == xmlstream.EndElement) {
 		ev.Sym = n.cfg.symtab.Intern(ev.Name)
 	}
+	g := n.cfg.gov
+	if g != nil {
+		if g.err != nil {
+			return g.err
+		}
+		if n.allShed {
+			return nil // shed network: depth bookkeeping only
+		}
+		if max := g.limit(governor.ResDepth); max > 0 && n.depth > max {
+			switch g.trip(governor.ResDepth, n.depth, "") {
+			case governor.PolicyFail:
+				return g.err
+			case governor.PolicyShed:
+				n.shedAllSinks()
+				return nil
+			}
+		}
+	}
 	// The input transducer: the initial activation with formula true
 	// precedes the start-document message (§III.2, Example III.1).
 	if ev.Kind == xmlstream.StartDocument {
@@ -121,7 +147,10 @@ func (n *Network) Step(ev xmlstream.Event) error {
 	}
 	n.edges[n.sourceEdge] = append(n.edges[n.sourceEdge], docMsg(ev))
 	if n.metrics == nil {
-		n.propagate()
+		total := n.propagate()
+		if g != nil {
+			return n.governStep(total)
+		}
 		return nil
 	}
 	n.metrics.Events.Inc()
@@ -129,11 +158,66 @@ func (n *Network) Step(ev xmlstream.Event) error {
 		n.metrics.Elements.Inc()
 	}
 	n.metrics.Depth.Set(int64(n.depth))
-	n.propagateObserved()
+	total := n.propagateObserved()
 	if n.step&(gaugeSyncStride-1) == 0 {
 		n.syncMetrics()
 	}
+	if g != nil {
+		return n.governStep(total)
+	}
 	return nil
+}
+
+// governStep applies the network-level checks after a step's propagation:
+// the sticky failure installed by any in-propagation trip (formula size,
+// sink-level caps under PolicyFail), the per-step message-volume cap (the
+// Lemma V.2 per-event work bound), and the live condition-variable cap (the
+// depth × qualifiers invariant behind the space theorem). A trip is acted
+// on before the next event is accepted, so a run exceeding a cap terminates
+// — or degrades — within one event.
+func (n *Network) governStep(total int64) error {
+	g := n.cfg.gov
+	if g.err == nil {
+		if max := g.limit(governor.ResStepMessages); max > 0 && total > int64(max) {
+			if g.trip(governor.ResStepMessages, int(total), "") == governor.PolicyShed {
+				g.shedAll = true
+			}
+		}
+	}
+	if g.err == nil {
+		if max := g.limit(governor.ResLiveVars); max > 0 && n.pool.Live() > max {
+			if g.trip(governor.ResLiveVars, n.pool.Live(), "") == governor.PolicyShed {
+				g.shedAll = true
+			}
+		}
+	}
+	if g.err != nil {
+		if n.metrics != nil {
+			n.syncMetrics()
+		}
+		return g.err
+	}
+	if g.shedAll && !n.allShed {
+		n.shedAllSinks()
+	}
+	return nil
+}
+
+// shedAllSinks sheds every sink and quiesces the network: tapes are
+// dropped, the variable pool is reset, and subsequent steps keep only the
+// depth bookkeeping. The parse still completes (Finish validates nesting),
+// reporting whatever each sink had counted before the shed.
+func (n *Network) shedAllSinks() {
+	for _, out := range n.outs {
+		out.shedSelf()
+	}
+	for i := range n.edges {
+		n.edges[i] = nil
+	}
+	if n.pool != nil {
+		n.pool.Reset()
+	}
+	n.allShed = true
 }
 
 // gaugeSyncStride is how often syncMetrics publishes gauge state, in steps.
@@ -147,11 +231,13 @@ const gaugeSyncStride = 32
 // route their multi-reader tapes through explicit fan-out junctions at build
 // time (insertFanouts) — but a tape's content must survive until the whole
 // step has been delivered, so tapes are cleared only at the end.
-func (n *Network) propagate() {
+func (n *Network) propagate() int64 {
+	var total int64
 	for i := range n.nodes {
 		node := &n.nodes[i]
 		for port, e := range node.ins {
 			msgs := n.edges[e]
+			total += int64(len(msgs))
 			for j := range msgs {
 				node.t.feed(port, &msgs[j], node.emit)
 			}
@@ -167,6 +253,7 @@ func (n *Network) propagate() {
 			n.edges[i] = n.edges[i][:0]
 		}
 	}
+	return total
 }
 
 // propagateObserved is propagate with per-transducer delivery counters: each
@@ -174,7 +261,7 @@ func (n *Network) propagate() {
 // step's total delivery count feeds the messages-per-event histogram (the
 // per-event work Lemma V.2 bounds). It is a separate loop so the
 // uninstrumented path pays nothing.
-func (n *Network) propagateObserved() {
+func (n *Network) propagateObserved() int64 {
 	var total int64
 	for i := range n.nodes {
 		node := &n.nodes[i]
@@ -196,6 +283,7 @@ func (n *Network) propagateObserved() {
 		}
 	}
 	n.metrics.StepMessages.Observe(total)
+	return total
 }
 
 // syncMetrics publishes the per-transducer and sink-side state into the
@@ -322,7 +410,10 @@ func (n *Network) stats() Stats {
 		s.Output.Dropped += out.stats.Dropped
 		s.Output.MaxQueued += out.stats.MaxQueued
 		s.Output.MaxBufferedEvs += out.stats.MaxBufferedEvs
+		s.Output.Degraded = s.Output.Degraded || out.stats.Degraded
+		s.Output.Shed = s.Output.Shed || out.stats.Shed
 	}
+	s.Governor = n.cfg.gov.outcome()
 	for i := range n.nodes {
 		ts := n.nodes[i].t.stackStats()
 		if ts.MaxStack > s.MaxStack {

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"repro/internal/cond"
+	"repro/internal/governor"
 	"repro/internal/xmlstream"
 )
 
@@ -55,6 +56,13 @@ type OutputStats struct {
 	Dropped        int64 // candidates whose condition became false
 	MaxQueued      int   // max simultaneously queued candidates
 	MaxBufferedEvs int   // max simultaneously buffered content events
+	// Degraded is set when the resource governor switched this sink to
+	// count-only mode (PolicyDegrade): Matches stays exact, but content and
+	// node reporting stopped at the trip point.
+	Degraded bool
+	// Shed is set when the resource governor dropped this sink
+	// (PolicyShed): the counts are frozen at the trip point.
+	Shed bool
 }
 
 type candState uint8
@@ -76,6 +84,10 @@ type candidate struct {
 	// streaming marks the head candidate whose content goes straight to
 	// the StreamSink (ModeStream).
 	streaming bool
+	// unqueued marks a candidate tracked only through byVar after the sink
+	// degraded to count-only mode: it is counted directly when its formula
+	// determines instead of travelling through the document-order queue.
+	unqueued bool
 }
 
 // outputT is the output transducer OU of §III.8. It is the network's sink:
@@ -106,6 +118,18 @@ type outputT struct {
 	buffered int
 	st       StackStats
 	err      error
+
+	// sub names the query this sink serves, for governor attribution.
+	sub string
+	// degraded: the governor switched the sink to count-only mode; the
+	// queue and content buffers are gone, undecided candidates are tracked
+	// through byVar only and counted on determination.
+	degraded bool
+	// pendingN counts undecided candidates while degraded (the degraded
+	// replacement for len(queue), governed by the same cap).
+	pendingN int
+	// shed: the governor dropped the sink; feed is a no-op from then on.
+	shed bool
 }
 
 func newOutput(mode ResultMode, sink Sink, cfg *netConfig) *outputT {
@@ -128,6 +152,9 @@ func (t *outputT) stackStats() StackStats {
 }
 
 func (t *outputT) feed(_ int, m *Message, emit emitFn) {
+	if t.shed {
+		return
+	}
 	switch m.Kind {
 	case MsgActivation:
 		t.pending = t.cfg.or(t.pending, m.Formula)
@@ -206,8 +233,15 @@ func (t *outputT) openCandidate(index int64, ev xmlstream.Event, f *cond.Formula
 		name = "$"
 	}
 	f = t.applyResolved(f)
-	c := &candidate{index: index, name: name, formula: f, startDepth: t.depth}
+	if t.cfg.gov != nil {
+		t.cfg.checkFormula(f)
+	}
 	t.stats.Candidates++
+	if t.degraded {
+		t.openDegraded(index, name, f)
+		return
+	}
+	c := &candidate{index: index, name: name, formula: f, startDepth: t.depth}
 	switch {
 	case f.IsTrue():
 		c.state = candAccepted
@@ -224,7 +258,112 @@ func (t *outputT) openCandidate(index int64, ev xmlstream.Event, f *cond.Formula
 		}
 		t.openStack = append(t.openStack, c)
 		t.st.noteStack(len(t.queue))
+		t.checkCandidates()
 	}
+}
+
+// openDegraded is openCandidate in count-only mode: decided candidates are
+// counted on the spot, undecided ones tracked through byVar only (no queue,
+// no content) and counted when their formula determines.
+func (t *outputT) openDegraded(index int64, name string, f *cond.Formula) {
+	switch {
+	case f.IsTrue():
+		t.stats.Matches++
+	case f.IsFalse():
+		t.stats.Dropped++
+	default:
+		c := &candidate{index: index, name: name, formula: f, unqueued: true}
+		f.Visit(func(v cond.VarID) { t.byVar[v] = append(t.byVar[v], c) })
+		t.pendingN++
+		if t.pendingN > t.stats.MaxQueued {
+			t.stats.MaxQueued = t.pendingN
+		}
+		// A count-only candidate is just a formula and a byVar entry — no
+		// queue slot, no content buffer — so the degraded sink tolerates a
+		// much larger pending population before the hard backstop fails the
+		// run (degradation shrank each candidate, not the count of them).
+		if g := t.cfg.gov; g.active() {
+			if max := g.limit(governor.ResCandidates); max > 0 && t.pendingN > max*degradedCandidateSlack {
+				g.tripFail(governor.ResCandidates, t.pendingN, t.sub)
+			}
+		}
+	}
+}
+
+// degradedCandidateSlack is how many times MaxCandidates a degraded sink's
+// pending (count-only) population may reach before the run fails anyway:
+// the backstop that keeps PolicyDegrade a bounded-memory guarantee rather
+// than an unbounded escape hatch.
+const degradedCandidateSlack = 64
+
+// checkCandidates applies the candidate-population cap after a queue append.
+func (t *outputT) checkCandidates() {
+	g := t.cfg.gov
+	if !g.active() {
+		return
+	}
+	if max := g.limit(governor.ResCandidates); max > 0 && len(t.queue) > max {
+		switch g.trip(governor.ResCandidates, len(t.queue), t.sub) {
+		case governor.PolicyDegrade:
+			t.degrade()
+		case governor.PolicyShed:
+			t.shedSelf()
+		}
+	}
+}
+
+// degrade switches the sink to count-only mode (PolicyDegrade): buffered
+// answer content is released, the document-order queue is eliminated, and
+// from then on only match counts are maintained. The count stays exact —
+// accepted candidates are counted immediately, pending ones when their
+// formula determines — but node and content reporting stop at the trip
+// point; a ModeStream answer that was already streaming is closed early.
+func (t *outputT) degrade() {
+	if t.degraded || t.shed {
+		return
+	}
+	t.degraded = true
+	t.stats.Degraded = true
+	for _, c := range t.queue {
+		switch c.state {
+		case candAccepted:
+			if c.streaming {
+				t.ssink.ResultEnd(c.index)
+			}
+			t.stats.Matches++
+		case candPending:
+			c.unqueued = true
+			t.pendingN++
+		}
+		// Rejected candidates were counted as Dropped when they rejected.
+		c.events = nil
+	}
+	t.queue = nil
+	t.openStack = nil
+	t.buffered = 0
+}
+
+// shedSelf drops the subscription (PolicyShed): every piece of state is
+// released and the sink ignores the rest of the stream. Counts freeze at
+// the trip point; an in-flight streaming answer is closed so the consumer's
+// frame terminates.
+func (t *outputT) shedSelf() {
+	if t.shed {
+		return
+	}
+	if len(t.queue) > 0 && t.queue[0].streaming {
+		t.ssink.ResultEnd(t.queue[0].index)
+	}
+	t.shed = true
+	t.stats.Shed = true
+	t.queue = nil
+	t.openStack = nil
+	t.byVar = make(map[cond.VarID][]*candidate)
+	t.bindings = make(map[cond.VarID]*cond.Formula)
+	t.resolved = make(map[cond.VarID]*cond.Formula)
+	t.pending = nil
+	t.buffered = 0
+	t.pendingN = 0
 }
 
 // appendToOpen adds a content event to every open, non-rejected candidate
@@ -247,6 +386,16 @@ func (t *outputT) appendToOpen(ev xmlstream.Event) {
 	}
 	if t.buffered > t.stats.MaxBufferedEvs {
 		t.stats.MaxBufferedEvs = t.buffered
+	}
+	if g := t.cfg.gov; g.active() {
+		if max := g.limit(governor.ResBuffered); max > 0 && t.buffered > max {
+			switch g.trip(governor.ResBuffered, t.buffered, t.sub) {
+			case governor.PolicyDegrade:
+				t.degrade()
+			case governor.PolicyShed:
+				t.shedSelf()
+			}
+		}
 	}
 }
 
@@ -306,13 +455,23 @@ func (t *outputT) resolve(v cond.VarID, val *cond.Formula) {
 		}
 		c.formula = c.formula.Assign(v, val)
 		t.st.noteFormula(c.formula)
+		if t.cfg.gov != nil {
+			t.cfg.checkFormula(c.formula)
+		}
 		switch {
 		case c.formula.IsTrue():
 			c.state = candAccepted
+			if c.unqueued {
+				t.stats.Matches++
+				t.pendingN--
+			}
 		case c.formula.IsFalse():
 			c.state = candRejected
 			t.stats.Dropped++
 			t.releaseContent(c)
+			if c.unqueued {
+				t.pendingN--
+			}
 		default:
 			c.formula.Visit(func(w cond.VarID) {
 				if w != v {
@@ -401,11 +560,18 @@ func (t *outputT) emit(c *candidate) {
 // candidate was decided (the variable-creators finalize all instances by
 // then) and reports leftover state as an internal error.
 func (t *outputT) finish() error {
+	if t.shed {
+		// A shed sink dropped its state by design; nothing to validate.
+		return t.err
+	}
 	t.flushQueue()
 	if len(t.queue) != 0 {
 		c := t.queue[0]
 		return fmt.Errorf("spexnet: internal: %d undecided candidate(s) at end of stream; first has index %d, formula %s",
 			len(t.queue), c.index, c.formula)
+	}
+	if t.pendingN != 0 {
+		return fmt.Errorf("spexnet: internal: %d undecided count-only candidate(s) at end of stream", t.pendingN)
 	}
 	return t.err
 }

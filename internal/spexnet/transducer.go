@@ -59,18 +59,30 @@ func (n *netConfig) or(a, b *cond.Formula) *cond.Formula {
 	if b == nil {
 		return a
 	}
+	var f *cond.Formula
 	if n.rawFormulas {
-		return cond.RawOr(a, b)
+		f = cond.RawOr(a, b)
+	} else {
+		f = cond.Or(a, b)
 	}
-	return cond.Or(a, b)
+	if n.gov != nil {
+		n.checkFormula(f)
+	}
+	return f
 }
 
 // and combines formulas by conjunction under the same setting.
 func (n *netConfig) and(a, b *cond.Formula) *cond.Formula {
+	var f *cond.Formula
 	if n.rawFormulas {
-		return cond.RawAnd(a, b)
+		f = cond.RawAnd(a, b)
+	} else {
+		f = cond.And(a, b)
 	}
-	return cond.And(a, b)
+	if n.gov != nil {
+		n.checkFormula(f)
+	}
+	return f
 }
 
 // netConfig carries evaluation-time options shared by all transducers of a
@@ -94,6 +106,10 @@ type netConfig struct {
 	// engine (the interning ablation's baseline): labels compare as strings
 	// and the count-mode output fast path is disabled.
 	noInterning bool
+	// gov is the resource-governor runtime; nil when no caps are
+	// configured, which is the zero-overhead default (every hook is a
+	// single pointer test).
+	gov *govern
 }
 
 // isStart reports whether the event opens a tree node (element or document

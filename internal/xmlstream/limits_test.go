@@ -1,0 +1,136 @@
+package xmlstream
+
+import (
+	"errors"
+	"io"
+	"strings"
+	"testing"
+)
+
+// repeatReader streams one byte forever — the shape of an attacker feeding
+// an unbounded token. Tests bound it with io.LimitReader only as a safety
+// net far above the cap under test: a correct scanner errors long before.
+type repeatReader struct{ c byte }
+
+func (r repeatReader) Read(p []byte) (int, error) {
+	for i := range p {
+		p[i] = r.c
+	}
+	return len(p), nil
+}
+
+// drain pulls events until the scanner errors or the document ends.
+func drain(s *Scanner) error {
+	for {
+		if _, err := s.Next(); err != nil {
+			if err == io.EOF {
+				return nil
+			}
+			return err
+		}
+	}
+}
+
+func TestScannerOversizedTagName(t *testing.T) {
+	// The tag name never ends; the scanner must fail at the cap instead of
+	// buffering without bound.
+	r := io.MultiReader(strings.NewReader("<"), io.LimitReader(repeatReader{'a'}, 1<<20))
+	s := NewScanner(r, WithLimits(Limits{MaxTokenBytes: 1024}))
+	err := drain(s)
+	if !errors.Is(err, ErrTokenTooLarge) {
+		t.Fatalf("error %v does not match ErrTokenTooLarge", err)
+	}
+	var le *ScanLimitError
+	if !errors.As(err, &le) || le.What != "tag name" || le.Limit != 1024 {
+		t.Fatalf("error %v is not the tag-name ScanLimitError", err)
+	}
+}
+
+func TestScannerOversizedText(t *testing.T) {
+	r := io.MultiReader(strings.NewReader("<a>"), io.LimitReader(repeatReader{'x'}, 1<<24))
+	s := NewScanner(r, WithLimits(Limits{MaxTokenBytes: 1 << 16}))
+	err := drain(s)
+	if !errors.Is(err, ErrTokenTooLarge) {
+		t.Fatalf("error %v does not match ErrTokenTooLarge", err)
+	}
+}
+
+func TestScannerOversizedTextWithinDocument(t *testing.T) {
+	// A bounded but over-cap text run between tags must also trip, even
+	// though the run ends in a '<'.
+	doc := "<a>" + strings.Repeat("x", 2048) + "</a>"
+	s := NewScanner(strings.NewReader(doc), WithLimits(Limits{MaxTokenBytes: 1024}))
+	if err := drain(s); !errors.Is(err, ErrTokenTooLarge) {
+		t.Fatalf("error %v does not match ErrTokenTooLarge", err)
+	}
+}
+
+func TestScannerOversizedCDATA(t *testing.T) {
+	r := io.MultiReader(strings.NewReader("<a><![CDATA["), io.LimitReader(repeatReader{'x'}, 1<<20))
+	s := NewScanner(r, WithLimits(Limits{MaxTokenBytes: 1024}))
+	err := drain(s)
+	if !errors.Is(err, ErrTokenTooLarge) {
+		t.Fatalf("error %v does not match ErrTokenTooLarge", err)
+	}
+}
+
+func TestScannerTooDeep(t *testing.T) {
+	r := io.MultiReader(strings.NewReader(strings.Repeat("<a>", 64)), strings.NewReader(strings.Repeat("</a>", 64)))
+	s := NewScanner(r, WithLimits(Limits{MaxDepth: 16}))
+	err := drain(s)
+	if !errors.Is(err, ErrTooDeep) {
+		t.Fatalf("error %v does not match ErrTooDeep", err)
+	}
+	var le *ScanLimitError
+	if !errors.As(err, &le) || le.Limit != 16 {
+		t.Fatalf("error %v is not the depth ScanLimitError", err)
+	}
+}
+
+func TestScannerDeepDocumentWithinDefaultLimit(t *testing.T) {
+	// Depth 10k — the adversarial corpus's deepest shape — passes under the
+	// default caps.
+	const depth = 10_000
+	doc := strings.Repeat("<a>", depth) + strings.Repeat("</a>", depth)
+	s := NewScanner(strings.NewReader(doc))
+	if err := drain(s); err != nil {
+		t.Fatalf("depth-%d document under default limits: %v", depth, err)
+	}
+	if s.MaxDepth() != depth {
+		t.Fatalf("MaxDepth = %d, want %d", s.MaxDepth(), depth)
+	}
+}
+
+func TestScannerUnlimitedOptOut(t *testing.T) {
+	doc := "<" + strings.Repeat("a", 4096) + "/>"
+	s := NewScanner(strings.NewReader(doc), WithLimits(Limits{MaxTokenBytes: -1, MaxDepth: -1}))
+	if err := drain(s); err != nil {
+		t.Fatalf("negative limits should disable the caps: %v", err)
+	}
+}
+
+func TestScannerTruncatedInputsAreTyped(t *testing.T) {
+	cases := []string{
+		"<a>",           // unclosed element
+		"<a",            // cut inside a start tag
+		"<a><b",         // cut inside a nested start tag
+		"<a></a",        // cut inside an end tag
+		"<!-- comment",  // unterminated comment
+		"<?pi data",     // unterminated processing instruction
+		"<a><![CDATA[x", // unterminated CDATA section
+		"<!DOCTYPE a [", // unterminated declaration
+		"<a></",         // cut right after the end-tag opener
+		"<a><b/></a><",  // cut inside markup after the root closed
+	}
+	for _, doc := range cases {
+		s := NewScanner(strings.NewReader(doc))
+		err := drain(s)
+		if err == nil {
+			t.Errorf("%q: no error, want ErrTruncated", doc)
+			continue
+		}
+		if !errors.Is(err, ErrTruncated) {
+			t.Errorf("%q: error %v does not match ErrTruncated", doc, err)
+		}
+	}
+}

@@ -37,6 +37,7 @@ type Scanner struct {
 	symtab   *Symtab           // shared interner; nil falls back to names
 	nameBuf  []byte
 	emitText bool
+	limits   Limits
 	err      error
 
 	depth    int
@@ -103,6 +104,7 @@ func NewScanner(r io.Reader, opts ...ScannerOption) *Scanner {
 	for _, opt := range opts {
 		opt(s)
 	}
+	s.limits = s.limits.withDefaults()
 	s.pending = append(s.pending, Event{Kind: StartDocument})
 	return s
 }
@@ -277,7 +279,7 @@ func (s *Scanner) scan() (Event, bool, error) {
 	}
 	c, ok = s.readByte()
 	if !ok {
-		return Event{}, false, fmt.Errorf("xmlstream: unexpected end of input inside markup")
+		return Event{}, false, truncatedf("unexpected end of input inside markup")
 	}
 	switch c {
 	case '?':
@@ -297,7 +299,7 @@ func (s *Scanner) finish() (Event, bool, error) {
 	case scanBeforeRoot:
 		return Event{}, false, fmt.Errorf("xmlstream: empty document: no root element")
 	case scanInDocument:
-		return Event{}, false, fmt.Errorf("xmlstream: unexpected end of input: %d unclosed element(s), innermost <%s>",
+		return Event{}, false, truncatedf("unexpected end of input: %d unclosed element(s), innermost <%s>",
 			len(s.stack), s.stack[len(s.stack)-1])
 	case scanAfterRoot:
 		s.state = scanDone
@@ -326,6 +328,12 @@ func (s *Scanner) readText(first byte) (string, error) {
 		}
 		b.Write(chunk)
 		s.pos = s.end
+		if max := s.limits.MaxTokenBytes; max > 0 && b.Len() > max {
+			return "", s.tokenTooLarge("text")
+		}
+	}
+	if max := s.limits.MaxTokenBytes; max > 0 && b.Len() > max {
+		return "", s.tokenTooLarge("text")
 	}
 	return unescapeText(b.String()), nil
 }
@@ -360,7 +368,7 @@ func (s *Scanner) skipPI() error {
 	for {
 		c, ok := s.readByte()
 		if !ok {
-			return fmt.Errorf("xmlstream: unterminated processing instruction")
+			return truncatedf("unterminated processing instruction")
 		}
 		if prev == '?' && c == '>' {
 			return nil
@@ -390,7 +398,7 @@ func (s *Scanner) skipDeclaration() error {
 	for {
 		c, ok := s.readByte()
 		if !ok {
-			return fmt.Errorf("xmlstream: unterminated declaration")
+			return truncatedf("unterminated declaration")
 		}
 		switch c {
 		case '[':
@@ -422,7 +430,7 @@ func (s *Scanner) skipComment() error {
 	for {
 		c, ok := s.readByte()
 		if !ok {
-			return fmt.Errorf("xmlstream: unterminated comment")
+			return truncatedf("unterminated comment")
 		}
 		switch {
 		case c == '-':
@@ -443,7 +451,7 @@ func (s *Scanner) scanCDATA() error {
 	for {
 		c, ok := s.readByte()
 		if !ok {
-			return fmt.Errorf("xmlstream: unterminated CDATA section")
+			return truncatedf("unterminated CDATA section")
 		}
 		switch {
 		case c == ']':
@@ -463,6 +471,9 @@ func (s *Scanner) scanCDATA() error {
 			}
 			b.WriteByte(c)
 		}
+		if max := s.limits.MaxTokenBytes; max > 0 && b.Len() > max {
+			return s.tokenTooLarge("CDATA section")
+		}
 	}
 }
 
@@ -471,6 +482,9 @@ func (s *Scanner) scanCDATA() error {
 func (s *Scanner) scanStartTag(first byte) (Event, bool, error) {
 	if s.state == scanAfterRoot {
 		return Event{}, false, fmt.Errorf("xmlstream: content after document root")
+	}
+	if max := s.limits.MaxDepth; max > 0 && len(s.stack) >= max {
+		return Event{}, false, &ScanLimitError{What: "nesting", Limit: max, sentinel: ErrTooDeep}
 	}
 	name, sym, selfClose, err := s.readTagRest(first)
 	if err != nil {
@@ -499,10 +513,13 @@ func (s *Scanner) readTagRest(first byte) (name string, sym Sym, selfClose bool,
 	for {
 		c, ok := s.readByte()
 		if !ok {
-			return "", 0, false, fmt.Errorf("xmlstream: unterminated start tag <%s", s.nameBuf)
+			return "", 0, false, truncatedf("unterminated start tag")
 		}
 		switch {
 		case isNameByte(c):
+			if max := s.limits.MaxTokenBytes; max > 0 && len(s.nameBuf) >= max {
+				return "", 0, false, s.tokenTooLarge("tag name")
+			}
 			s.nameBuf = append(s.nameBuf, c)
 		case c == '>':
 			name, sym = s.intern(s.nameBuf)
@@ -531,7 +548,7 @@ func (s *Scanner) skipAttributes() (selfClose bool, err error) {
 	for {
 		c, ok := s.readByte()
 		if !ok {
-			return false, fmt.Errorf("xmlstream: unterminated start tag")
+			return false, truncatedf("unterminated start tag")
 		}
 		if quote != 0 {
 			if c == quote {
@@ -557,7 +574,7 @@ func (s *Scanner) scanEndTag() (Event, bool, error) {
 	for {
 		c, ok := s.readByte()
 		if !ok {
-			return Event{}, false, fmt.Errorf("xmlstream: unterminated end tag </%s", s.nameBuf)
+			return Event{}, false, truncatedf("unterminated end tag")
 		}
 		if c == '>' {
 			break
@@ -570,6 +587,9 @@ func (s *Scanner) scanEndTag() (Event, bool, error) {
 		}
 		if !isNameByte(c) {
 			return Event{}, false, fmt.Errorf("xmlstream: invalid character %q in end tag", c)
+		}
+		if max := s.limits.MaxTokenBytes; max > 0 && len(s.nameBuf) >= max {
+			return Event{}, false, s.tokenTooLarge("tag name")
 		}
 		s.nameBuf = append(s.nameBuf, c)
 	}
@@ -594,7 +614,7 @@ func (s *Scanner) expect(want byte) error {
 	for {
 		c, ok := s.readByte()
 		if !ok {
-			return fmt.Errorf("xmlstream: unexpected end of input, want %q", want)
+			return truncatedf("unexpected end of input, want %q", want)
 		}
 		if isSpace(c) {
 			continue

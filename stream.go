@@ -6,7 +6,9 @@ import (
 	"strconv"
 
 	"repro/internal/core"
+	"repro/internal/governor"
 	"repro/internal/multi"
+	"repro/internal/obs"
 	"repro/internal/rpeq"
 	"repro/internal/spexnet"
 	"repro/internal/xmlstream"
@@ -103,8 +105,10 @@ const (
 )
 
 type setConfig struct {
-	engine setEngineKind
-	shards int
+	engine  setEngineKind
+	shards  int
+	gov     *governor.Config
+	metrics *obs.Metrics
 }
 
 // Sequential evaluates each query of the set on its own transducer network —
@@ -130,6 +134,25 @@ func Parallel(shards int) SetOption {
 		c.engine = setParallel
 		c.shards = shards
 	}
+}
+
+// Governed attaches a resource governor to every query of the set: non-zero
+// caps in l are enforced under policy p on each member network. Under
+// PolicyShed a query that trips its candidate or buffer cap is dropped from
+// the pass (its counts freeze) while the remaining queries keep evaluating;
+// under PolicyFail the first trip aborts the whole pass with a *LimitError
+// identifying the subscription.
+func Governed(l ResourceLimits, p Policy) SetOption {
+	cfg := &governor.Config{Limits: l, Policy: p}
+	return func(c *setConfig) { c.gov = cfg }
+}
+
+// SetMetrics binds a metrics registry for governor trip accounting
+// (spex_governor_* counters) across all queries of the set. It does not
+// enable full per-event instrumentation — that would count each stream event
+// once per member network.
+func SetMetrics(m *Metrics) SetOption {
+	return func(c *setConfig) { c.metrics = m }
 }
 
 // Set evaluates several compiled queries against one stream in a single
@@ -174,6 +197,7 @@ func NewQuerySet(queries []*Query, fn func(query int, m Match)) *QuerySet {
 type setEngine interface {
 	Run(src xmlstream.Source) error
 	Symtab() *xmlstream.Symtab
+	Matches() map[string]int64
 }
 
 // Evaluate streams the document once through the set's engine. Counts are
@@ -215,13 +239,24 @@ func (s *Set) EvaluateContext(ctx context.Context, r io.Reader) error {
 		eng setEngine
 		err error
 	)
+	var engineOpts []multi.Option
+	if s.cfg.gov != nil {
+		engineOpts = append(engineOpts, multi.WithGovernor(s.cfg.gov))
+	}
+	if s.cfg.metrics != nil {
+		engineOpts = append(engineOpts, multi.WithMetrics(s.cfg.metrics))
+	}
 	switch s.cfg.engine {
 	case setSequential:
-		eng, err = multi.NewSet(subs)
+		eng, err = multi.NewSet(subs, engineOpts...)
 	case setParallel:
-		eng, err = multi.NewParallelSet(subs, multi.ParallelOptions{Shards: s.cfg.shards})
+		eng, err = multi.NewParallelSet(subs, multi.ParallelOptions{
+			Shards:   s.cfg.shards,
+			Governor: s.cfg.gov,
+			Metrics:  s.cfg.metrics,
+		})
 	default:
-		eng, err = multi.NewSharedSet(subs)
+		eng, err = multi.NewSharedSet(subs, engineOpts...)
 	}
 	if err != nil {
 		return err
@@ -232,7 +267,18 @@ func (s *Set) EvaluateContext(ctx context.Context, r io.Reader) error {
 	if ctx.Done() != nil {
 		src = &ctxSource{ctx: ctx, src: src}
 	}
-	return eng.Run(src)
+	if err := eng.Run(src); err != nil {
+		return err
+	}
+	// The engines' own counters are authoritative: a query degraded to
+	// count-only mode by the governor keeps counting answers it no longer
+	// delivers through fn, so the per-hit tally above would undercount it.
+	for name, n := range eng.Matches() {
+		if i, cerr := strconv.Atoi(name); cerr == nil && i >= 0 && i < len(s.counts) && n > s.counts[i] {
+			s.counts[i] = n
+		}
+	}
+	return nil
 }
 
 // ctxCheckStride is how many events flow between context checks: frequent
