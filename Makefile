@@ -3,10 +3,11 @@ FUZZTIME ?= 15s
 BENCH_DIR ?= bench-out
 COVER_MIN ?= 78.0
 
-.PHONY: check fmt vet build test race bench cover fuzz-smoke bench-smoke bench-delta serve-smoke vuln
+.PHONY: check fmt vet build test race bench cover fuzz-smoke bench-smoke bench-delta serve-smoke metrics-lint vuln
 
-## check: the full gate — formatting, vet, build, tests under the race detector
-check: fmt vet build race
+## check: the full gate — formatting, vet, build, tests under the race
+## detector, and the metrics-name lint
+check: fmt vet build race metrics-lint
 
 fmt:
 	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
@@ -54,6 +55,7 @@ bench-smoke:
 	$(GO) run ./cmd/spexbench -fig 14 -scale 0.1 -check -json $(BENCH_DIR)
 	$(GO) run ./cmd/spexbench -fig sdi -scale 0.01 -check -json $(BENCH_DIR)
 	$(GO) run ./cmd/spexbench -fig adversarial -scale 0.01 -check -json $(BENCH_DIR)
+	$(GO) run ./cmd/spexbench -fig obs-overhead -scale 0.05 -max-overhead 10 -check -json $(BENCH_DIR)
 	$(GO) test -run 'TestCountModeZeroAlloc$$' -count 1 .
 	$(GO) test -run NONE -bench 'BenchmarkAblationInterning$$' -benchtime 1x .
 
@@ -68,6 +70,11 @@ bench-delta:
 serve-smoke:
 	mkdir -p $(BENCH_DIR)
 	scripts/serve_smoke.sh $(BENCH_DIR)/spexd
+
+## metrics-lint: every exported spex_* metric name must be documented in the
+## README's metrics table
+metrics-lint:
+	scripts/metrics_lint.sh
 
 ## vuln: known-vulnerability scan of the module and its (stdlib-only) deps
 vuln:

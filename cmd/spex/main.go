@@ -67,6 +67,7 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) error {
 		trace     = fs.Bool("trace", false, "print the transition trace (Figs. 4/5/13) to stderr")
 		traceKind = fs.String("trace-kind", "act,det", "message kinds to trace: doc,act,det (empty = all)")
 		traceNode = fs.String("trace-node", "", "only trace transducers whose name contains one of these comma-separated substrings")
+		traceID   = fs.String("trace-id", "", "stream trace id stamped on every -trace record (correlates runs in shared logs)")
 		windowN   = fs.Int("window", 0, "evaluate in windows of N top-level records (0 = exact whole-stream evaluation)")
 		engine    = fs.String("engine", "", "evaluate through the multi-query engine: sequential, shared or parallel[:shards] (requires -count or -nodes)")
 	)
@@ -141,7 +142,7 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) error {
 		}
 		out.WriteByte('\n')
 	}
-	opts := core.EvalOptions{Mode: mode, Sink: sink}
+	opts := core.EvalOptions{Mode: mode, Sink: sink, TraceID: *traceID}
 
 	// The trace renders one line per transducer emission, labelled with the
 	// stream event of the step it happened in — the layout of the paper's

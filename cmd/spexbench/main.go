@@ -12,6 +12,11 @@
 //	                          # the governor attack corpus: each shape
 //	                          # count-validated ungoverned, then re-run
 //	                          # under resource caps (DESIGN.md §9)
+//	spexbench -fig obs-overhead -max-overhead 10
+//	                          # the instrumentation ablation: the same
+//	                          # workload with and without a live metrics
+//	                          # registry; fails if the instrumented leg
+//	                          # loses more than 10% throughput
 //	spexbench -scale 1        # paper-sized documents (DMOZ takes a while)
 //	spexbench -check          # exit non-zero if any engine reports zero
 //	                          # answers (CI shape check, not a timing one)
@@ -73,6 +78,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 		jsonDir  = fs.String("json", "", "write machine-readable BENCH_*.json reports into this directory")
 		check    = fs.Bool("check", false, "fail if any non-skipped measurement reports zero answers")
 		deltaDir = fs.String("delta", "", "compare the BENCH_*.json reports in the -json directory against this previous-report directory and print a delta table (no benchmarks are run)")
+		maxOver  = fs.Float64("max-overhead", 0, "obs-overhead gate: fail if the instrumented leg loses more than this percent throughput vs NoObs (0 = report only)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -120,6 +126,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 	runMem := *fig == "mem" || *fig == "all"
 	runSDI := *fig == "sdi" || *fig == "all"
 	runAdv := *fig == "adversarial" || *fig == "adv" || *fig == "all"
+	runObs := *fig == "obs-overhead" || *fig == "obs" || *fig == "all"
 
 	// checkAnswers is the CI shape check: every measurement that actually
 	// ran must have found answers on these workloads.
@@ -229,6 +236,54 @@ func run(args []string, stdout, stderr io.Writer) error {
 		if err := checkAnswers("adversarial", ms); err != nil {
 			return err
 		}
+	}
+	if runObs {
+		s := *scale
+		if s == 0 {
+			s = 0.05
+		}
+		if err := figureObsOverhead(stdout, progress, s, *jsonDir, *maxOver, *check); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// figureObsOverhead runs the instrumentation ablation (EXPERIMENTS.md E18)
+// and, when maxOver > 0, gates on the measured throughput loss.
+func figureObsOverhead(out, progress io.Writer, scale float64, jsonDir string, maxOver float64, check bool) error {
+	const iters = 5
+	r, err := bench.RunObsOverhead(scale, iters, progress)
+	if err != nil {
+		return err
+	}
+	title := fmt.Sprintf("\nObs overhead — instrumented vs NoObs (scale %g, best of %d)", scale, iters)
+	bench.WriteObsOverheadTable(out, title, r)
+	if jsonDir != "" {
+		f, err := os.Create(filepath.Join(jsonDir, "BENCH_obs_overhead.json"))
+		if err != nil {
+			return err
+		}
+		err = bench.WriteObsOverheadJSON(f, r)
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			return err
+		}
+	}
+	if check {
+		if r.Matches == 0 {
+			return fmt.Errorf("obs-overhead: zero answers on %s %q", r.Dataset, r.Query)
+		}
+		if r.DecisionLatencyCount == 0 || r.CandidateLifetimeCount == 0 {
+			return fmt.Errorf("obs-overhead: lifecycle histograms empty (decisions=%d, lifetimes=%d)",
+				r.DecisionLatencyCount, r.CandidateLifetimeCount)
+		}
+	}
+	if maxOver > 0 && r.OverheadPct > maxOver {
+		return fmt.Errorf("obs-overhead: instrumented leg lost %.1f%% throughput, budget is %.1f%% (noobs %.0f events/s, instrumented %.0f)",
+			r.OverheadPct, maxOver, r.NoObsEventsPerSec, r.InstrumentedEventsPerSec)
 	}
 	return nil
 }

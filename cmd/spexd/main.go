@@ -70,6 +70,7 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 		govLiveVars  = fs.Int("gov-max-live-vars", 0, "governor: max live condition variables (0 = unlimited)")
 		govDepth     = fs.Int("gov-max-depth", 0, "governor: max document nesting depth (0 = unlimited)")
 		govPolicy    = fs.String("gov-policy", "fail", "governor trip policy: fail (429), degrade (count-only) or shed (drop query)")
+		slowMs       = fs.Int("slow-ms", 0, "record ingests slower than this (ms) in the /debug/spex slow-stream ring (0 = off)")
 		drainTO      = fs.Duration("drain-timeout", 30*time.Second, "graceful shutdown drain deadline")
 		readHeaderTO = fs.Duration("read-header-timeout", 5*time.Second, "http server read-header timeout")
 		idleTO       = fs.Duration("idle-timeout", 120*time.Second, "http server idle-connection timeout")
@@ -105,6 +106,7 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 		DefaultEngine: *engine,
 		EngineMetrics: obs.NewMetrics(),
 		Logf:          logf,
+		SlowThreshold: time.Duration(*slowMs) * time.Millisecond,
 	})
 	if err != nil {
 		return err

@@ -116,6 +116,12 @@ func (o *Observer) startProgress(w Workload) (stop func()) {
 		for {
 			select {
 			case <-done:
+				// A closing line regardless of how fast the run went, so
+				// every observed measurement leaves at least one trace of
+				// its live instruments.
+				s := o.Metrics.Snapshot()
+				fmt.Fprintf(o.Progress, "  ... %s %s: %d events done, %d matches, heap %.1f MB\n",
+					w.Dataset, w.Query, s.Events, s.Matches, float64(s.HeapAlloc)/(1<<20))
 				return
 			case <-ticker.C:
 				s := o.Metrics.Snapshot()

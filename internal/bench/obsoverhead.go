@@ -1,0 +1,148 @@
+package bench
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"runtime"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/obs"
+	"repro/internal/spexnet"
+	"repro/internal/xmlstream"
+)
+
+// The obs-overhead ablation: the same workload evaluated twice, once bare
+// (no metrics registry, the NoObs leg) and once fully instrumented (live
+// registry, candidate-lifecycle histograms observing every decision), so
+// the cost of observability is a measured number rather than a hope. CI
+// gates on the throughput ratio — the batched counter design in spexnet is
+// only honest if this figure stays small.
+
+// OverheadReport is the BENCH_obs_overhead.json document: best-of-iters
+// timings for both legs plus the instrumented leg's histogram evidence
+// (non-zero counts prove the lifecycle instruments actually observed).
+type OverheadReport struct {
+	Dataset  string `json:"dataset"`
+	Query    string `json:"query"`
+	Elements int64  `json:"elements"`
+	Events   int64  `json:"events"`
+	Matches  int64  `json:"matches"`
+	Iters    int    `json:"iters"`
+
+	NoObsNs        int64 `json:"noobs_ns"`
+	InstrumentedNs int64 `json:"instrumented_ns"`
+
+	NoObsEventsPerSec        float64 `json:"noobs_events_per_sec"`
+	InstrumentedEventsPerSec float64 `json:"instrumented_events_per_sec"`
+	// OverheadPct is the throughput loss of the instrumented leg relative
+	// to the NoObs leg, in percent; negative means instrumented came out
+	// faster (noise on small documents).
+	OverheadPct float64 `json:"overhead_pct"`
+
+	DecisionLatencyCount   int64 `json:"decision_latency_count"`
+	CandidateLifetimeCount int64 `json:"candidate_lifetime_count"`
+	StreamLatencyCount     int64 `json:"stream_latency_count"`
+}
+
+// overheadWorkload is the measured query: class 2 (one qualifier), so
+// answer candidates stay undecided long enough for the decision-latency and
+// candidate-lifetime histograms to accumulate real distributions.
+var overheadWorkload = Workload{Dataset: "dmoz-structure", Class: 2, Query: "_*.Topic[editor].Title"}
+
+// RunObsOverhead measures the ablation: iters interleaved pairs of NoObs
+// and instrumented evaluations of the qualifier workload on the
+// DMOZ-shaped structure document, reporting the best (minimum) elapsed of
+// each leg. Interleaving, GC bracketing and best-of-N together keep
+// allocator and scheduler noise out of the ratio.
+func RunObsOverhead(scale float64, iters int, progress io.Writer) (OverheadReport, error) {
+	if iters < 1 {
+		iters = 1
+	}
+	r := OverheadReport{Dataset: overheadWorkload.Dataset, Query: overheadWorkload.Query, Iters: iters}
+	doc := Dataset(r.Dataset, scale).Bytes()
+
+	leg := func(m *obs.Metrics) (time.Duration, spexnet.Stats, error) {
+		runtime.GC()
+		start := time.Now()
+		plan, err := core.Prepare(r.Query)
+		if err != nil {
+			return 0, spexnet.Stats{}, err
+		}
+		src := xmlstream.NewScanner(bytes.NewReader(doc), xmlstream.WithText(false))
+		stats, err := plan.Evaluate(src, core.EvalOptions{Mode: spexnet.ModeCount, Metrics: m})
+		return time.Since(start), stats, err
+	}
+
+	var bestBare, bestObs time.Duration
+	var metrics *obs.Metrics
+	for i := 0; i < iters; i++ {
+		bare, stats, err := leg(nil)
+		if err != nil {
+			return r, fmt.Errorf("bench: obs-overhead noobs leg: %w", err)
+		}
+		if bestBare == 0 || bare < bestBare {
+			bestBare = bare
+		}
+		// A fresh registry per instrumented leg: the report's histogram
+		// counts then describe exactly one evaluation.
+		m := obs.NewMetrics()
+		instr, istats, err := leg(m)
+		if err != nil {
+			return r, fmt.Errorf("bench: obs-overhead instrumented leg: %w", err)
+		}
+		if bestObs == 0 || instr < bestObs {
+			bestObs = instr
+			metrics = m
+		}
+		r.Elements = stats.Elements
+		r.Events = stats.Events
+		r.Matches = istats.Output.Matches
+		if stats.Output.Matches != istats.Output.Matches {
+			return r, fmt.Errorf("bench: obs-overhead legs disagree: noobs %d matches, instrumented %d",
+				stats.Output.Matches, istats.Output.Matches)
+		}
+		if progress != nil {
+			fmt.Fprintf(progress, "  obs-overhead iter %d/%d: noobs %.1f ms, instrumented %.1f ms\n",
+				i+1, iters, float64(bare.Microseconds())/1000, float64(instr.Microseconds())/1000)
+		}
+	}
+
+	r.NoObsNs = bestBare.Nanoseconds()
+	r.InstrumentedNs = bestObs.Nanoseconds()
+	if bestBare > 0 {
+		r.NoObsEventsPerSec = float64(r.Events) / bestBare.Seconds()
+	}
+	if bestObs > 0 {
+		r.InstrumentedEventsPerSec = float64(r.Events) / bestObs.Seconds()
+	}
+	if r.NoObsEventsPerSec > 0 {
+		r.OverheadPct = (1 - r.InstrumentedEventsPerSec/r.NoObsEventsPerSec) * 100
+	}
+	if metrics != nil {
+		r.DecisionLatencyCount = metrics.DecisionLatency.Count()
+		r.CandidateLifetimeCount = metrics.CandidateLifetime.Count()
+		r.StreamLatencyCount = metrics.StreamLatencyNs.Count()
+	}
+	return r, nil
+}
+
+// WriteObsOverheadTable renders the ablation as a short report.
+func WriteObsOverheadTable(w io.Writer, title string, r OverheadReport) {
+	fmt.Fprintf(w, "%s\n", title)
+	fmt.Fprintf(w, "  %-14s %-28s %d elements, %d events, %d matches\n", r.Dataset, r.Query, r.Elements, r.Events, r.Matches)
+	fmt.Fprintf(w, "  noobs:        %9.1f ms  %12.0f events/s\n", float64(r.NoObsNs)/1e6, r.NoObsEventsPerSec)
+	fmt.Fprintf(w, "  instrumented: %9.1f ms  %12.0f events/s  (overhead %.1f%%)\n",
+		float64(r.InstrumentedNs)/1e6, r.InstrumentedEventsPerSec, r.OverheadPct)
+	fmt.Fprintf(w, "  lifecycle histograms: %d decisions, %d lifetimes, %d stream-latency samples\n",
+		r.DecisionLatencyCount, r.CandidateLifetimeCount, r.StreamLatencyCount)
+}
+
+// WriteObsOverheadJSON renders the report as indented JSON.
+func WriteObsOverheadJSON(w io.Writer, r OverheadReport) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}

@@ -1,0 +1,82 @@
+package bench
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/obs"
+	"repro/internal/spexnet"
+	"repro/internal/xmlstream"
+)
+
+// TestRunObsOverhead checks the ablation's report shape on a tiny document:
+// both legs agree on the answers, the instrumented leg's lifecycle
+// histograms are populated, and the JSON round-trips with stable names.
+func TestRunObsOverhead(t *testing.T) {
+	r, err := RunObsOverhead(0.005, 2, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Matches == 0 {
+		t.Fatalf("zero answers on %s %q", r.Dataset, r.Query)
+	}
+	if r.NoObsNs <= 0 || r.InstrumentedNs <= 0 {
+		t.Errorf("missing timings: noobs=%d instrumented=%d", r.NoObsNs, r.InstrumentedNs)
+	}
+	if r.NoObsEventsPerSec <= 0 || r.InstrumentedEventsPerSec <= 0 {
+		t.Errorf("missing throughputs: %+v", r)
+	}
+	if r.DecisionLatencyCount == 0 || r.CandidateLifetimeCount == 0 {
+		t.Errorf("lifecycle histograms empty: decisions=%d lifetimes=%d",
+			r.DecisionLatencyCount, r.CandidateLifetimeCount)
+	}
+
+	var buf bytes.Buffer
+	if err := WriteObsOverheadJSON(&buf, r); err != nil {
+		t.Fatal(err)
+	}
+	var got map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &got); err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range []string{"dataset", "query", "noobs_events_per_sec",
+		"instrumented_events_per_sec", "overhead_pct", "decision_latency_count"} {
+		if _, ok := got[key]; !ok {
+			t.Errorf("JSON report missing %q:\n%s", key, buf.String())
+		}
+	}
+
+	var table bytes.Buffer
+	WriteObsOverheadTable(&table, "Obs overhead", r)
+	if !strings.Contains(table.String(), "instrumented") {
+		t.Errorf("table missing instrumented row:\n%s", table.String())
+	}
+}
+
+// The two legs of the ablation as plain Go benchmarks, for profiling the
+// instrumentation cost directly (go test -bench Obs -cpuprofile ...).
+func benchmarkObsLeg(b *testing.B, metrics func() *obs.Metrics) {
+	doc := Dataset(overheadWorkload.Dataset, 0.05).Bytes()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		plan, err := core.Prepare(overheadWorkload.Query)
+		if err != nil {
+			b.Fatal(err)
+		}
+		src := xmlstream.NewScanner(bytes.NewReader(doc), xmlstream.WithText(false))
+		if _, err := plan.Evaluate(src, core.EvalOptions{Mode: spexnet.ModeCount, Metrics: metrics()}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkObsInstrumented(b *testing.B) {
+	benchmarkObsLeg(b, func() *obs.Metrics { return obs.NewMetrics() })
+}
+
+func BenchmarkObsBare(b *testing.B) {
+	benchmarkObsLeg(b, func() *obs.Metrics { return nil })
+}

@@ -100,6 +100,15 @@ type EvalOptions struct {
 	// GovernorMetrics receives governor trip counters without full
 	// per-event instrumentation (see spexnet.Options.GovernorMetrics).
 	GovernorMetrics *obs.Metrics
+	// SinkMetrics receives the sink-side candidate-lifecycle histograms
+	// (decision latency, candidate lifetime, stream latency) without full
+	// per-event instrumentation (see spexnet.Options.SinkMetrics). Nil
+	// falls back to Metrics.
+	SinkMetrics *obs.Metrics
+	// TraceID is the stream-scoped trace identifier stamped on every trace
+	// record of this evaluation, correlating it with the request or stream
+	// that started it. Empty leaves trace records unstamped.
+	TraceID string
 }
 
 // symtabFor resolves which symbol table an evaluation of plan p uses.
@@ -125,6 +134,8 @@ func (o EvalOptions) netOptions(p *Plan) spexnet.Options {
 		NoInterning:     o.NoInterning,
 		Governor:        o.Governor,
 		GovernorMetrics: o.GovernorMetrics,
+		SinkMetrics:     o.SinkMetrics,
+		TraceID:         o.TraceID,
 	}
 }
 
@@ -160,7 +171,11 @@ func (p *Plan) EvaluateReader(r io.Reader, opts EvalOptions) (spexnet.Stats, err
 		r = &ctxReader{ctx: opts.Ctx, r: r}
 	}
 	if opts.Metrics != nil {
-		r = &obs.CountingReader{R: r, C: &opts.Metrics.Bytes}
+		// The read timestamp is the reference point the sink's
+		// stream-latency histogram measures answer emissions against.
+		r = &obs.CountingReader{R: r, C: &opts.Metrics.Bytes, LastReadNs: &opts.Metrics.LastReadNs}
+	} else if opts.SinkMetrics != nil {
+		r = &obs.CountingReader{R: r, C: &opts.SinkMetrics.Bytes, LastReadNs: &opts.SinkMetrics.LastReadNs}
 	}
 	scanOpts := []xmlstream.ScannerOption{xmlstream.WithText(withText)}
 	if st := opts.symtabFor(p); st != nil {

@@ -1,0 +1,77 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/obs"
+	"repro/internal/spexnet"
+)
+
+// TestLifecycleHistogramsPopulated runs a qualifier query whose candidates
+// resolve both ways — <a><b/><c/></a> matches, <a><c/></a> buffers a
+// candidate that dies undetermined — and checks the sink-side lifecycle
+// histograms saw every candidate.
+func TestLifecycleHistogramsPopulated(t *testing.T) {
+	plan, err := Prepare("_*.a[b].c")
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := obs.NewMetrics()
+	doc := `<r><a><b/><c/></a><a><c/></a></r>`
+	stats, err := plan.EvaluateReader(strings.NewReader(doc),
+		EvalOptions{Mode: spexnet.ModeCount, Metrics: m})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Output.Matches != 1 {
+		t.Fatalf("matches=%d, want 1", stats.Output.Matches)
+	}
+	if got := m.CandidateLifetime.Count(); got != 2 {
+		t.Errorf("candidate lifetime observations: %d, want 2 (one per candidate)", got)
+	}
+	if m.DecisionLatency.Count() == 0 {
+		t.Error("decision latency histogram empty")
+	}
+	s := m.Snapshot()
+	if s.CandidateLifetime.Count != m.CandidateLifetime.Count() ||
+		s.DecisionLatency.Count != m.DecisionLatency.Count() {
+		t.Errorf("snapshot disagrees with histograms: %+v", s)
+	}
+}
+
+// TestTraceIDStampedOnTraceEvents checks the stream-scoped trace identifier
+// set in EvalOptions reaches every trace record the evaluation emits.
+func TestTraceIDStampedOnTraceEvents(t *testing.T) {
+	plan, err := Prepare("a.b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ring := obs.NewRingTracer(64)
+	_, err = plan.EvaluateReader(strings.NewReader(`<a><b/></a>`),
+		EvalOptions{Mode: spexnet.ModeCount, Tracer: ring, TraceID: "trace-xyz"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	evs := ring.Events()
+	if len(evs) == 0 {
+		t.Fatal("no trace events recorded")
+	}
+	for _, ev := range evs {
+		if ev.TraceID != "trace-xyz" {
+			t.Fatalf("trace event missing stream trace ID: %+v", ev)
+		}
+	}
+
+	// Without a TraceID the records stay unstamped (omitted from JSON).
+	ring2 := obs.NewRingTracer(64)
+	if _, err := plan.EvaluateReader(strings.NewReader(`<a><b/></a>`),
+		EvalOptions{Mode: spexnet.ModeCount, Tracer: ring2}); err != nil {
+		t.Fatal(err)
+	}
+	for _, ev := range ring2.Events() {
+		if ev.TraceID != "" {
+			t.Fatalf("unexpected trace ID on untagged run: %+v", ev)
+		}
+	}
+}

@@ -63,6 +63,8 @@ func newSetSym(subs []Subscription, symtab *xmlstream.Symtab, cfg engineConfig) 
 			},
 			Governor:        cfg.gov,
 			GovernorMetrics: cfg.metrics,
+			SinkMetrics:     cfg.metrics,
+			TraceID:         cfg.traceID,
 		})
 		if err != nil {
 			return nil, fmt.Errorf("multi: subscription %s: %w", sub.Name, err)

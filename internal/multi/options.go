@@ -13,6 +13,7 @@ type Option func(*engineConfig)
 type engineConfig struct {
 	gov     *governor.Config
 	metrics *obs.Metrics
+	traceID string
 }
 
 func resolveOptions(opts []Option) engineConfig {
@@ -38,4 +39,12 @@ func WithGovernor(cfg *governor.Config) Option {
 // event once per member network).
 func WithMetrics(m *obs.Metrics) Option {
 	return func(c *engineConfig) { c.metrics = m }
+}
+
+// WithTraceID stamps every trace record of every member network with the
+// stream-scoped trace identifier, correlating one stream pass across the
+// engine's networks and the caller's own records. Empty leaves the records
+// unstamped.
+func WithTraceID(id string) Option {
+	return func(c *engineConfig) { c.traceID = id }
 }

@@ -1,9 +1,12 @@
 package multi
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"runtime"
+	"runtime/pprof"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -58,6 +61,11 @@ type ParallelOptions struct {
 	// WithGovernor. A shed subscription stops producing hits but the pool
 	// keeps running; a fail-policy trip surfaces as the pool's error.
 	Governor *governor.Config
+	// TraceID stamps every trace record of every shard network with the
+	// stream-scoped trace identifier (see multi.WithTraceID). The shard
+	// worker goroutines also carry it as a pprof label, so profiles
+	// attribute shard CPU to the originating stream.
+	TraceID string
 }
 
 // eventBatch is a broadcast unit: one slice of events delivered to every
@@ -209,7 +217,7 @@ func NewParallelSet(subs []Subscription, opts ParallelOptions) (*ParallelSet, er
 			})
 		}
 		var err error
-		ecfg := engineConfig{gov: opts.Governor, metrics: opts.Metrics}
+		ecfg := engineConfig{gov: opts.Governor, metrics: opts.Metrics, traceID: opts.TraceID}
 		if opts.Isolate {
 			w.set, err = newSetSym(wrapped, p.symtab, ecfg)
 		} else {
@@ -266,13 +274,22 @@ func (p *ParallelSet) firstErr() error {
 // afford.
 func (w *shardWorker) run() {
 	defer w.p.workerWG.Done()
-	for b := range w.ch {
-		w.evalBatch(b)
-		b.release(&w.p.batchPool)
-		w.flushHits()
+	// pprof labels attribute this goroutine's CPU samples to its shard and,
+	// when the pool is trace-stamped, to the originating stream — the same
+	// correlation key the obs trace records carry.
+	labels := []string{"spex_shard", strconv.Itoa(w.id)}
+	if id := w.p.opts.TraceID; id != "" {
+		labels = append(labels, "spex_trace", id)
 	}
-	w.closeSet()
-	w.flushHits()
+	pprof.Do(context.Background(), pprof.Labels(labels...), func(context.Context) {
+		for b := range w.ch {
+			w.evalBatch(b)
+			b.release(&w.p.batchPool)
+			w.flushHits()
+		}
+		w.closeSet()
+		w.flushHits()
+	})
 }
 
 // evalBatch feeds one batch through the shard's engine, converting panics

@@ -49,6 +49,8 @@ func newSharedSetSym(subs []Subscription, symtab *xmlstream.Symtab, cfg engineCo
 		Symtab:          symtab,
 		Governor:        cfg.gov,
 		GovernorMetrics: cfg.metrics,
+		SinkMetrics:     cfg.metrics,
+		TraceID:         cfg.traceID,
 	})
 	if err != nil {
 		return nil, err

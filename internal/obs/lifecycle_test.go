@@ -1,0 +1,218 @@
+package obs
+
+import (
+	"regexp"
+	"sort"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// TestHistogramConcurrentHammer exercises a histogram under concurrent
+// writers and a reader taking bucket snapshots; run under -race it proves
+// Observe/Count/Sum/Buckets need no external locking, and at the end the
+// totals must be exact.
+func TestHistogramConcurrentHammer(t *testing.T) {
+	var h Histogram
+	const (
+		writers = 8
+		perG    = 10_000
+	)
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			if h.Count() < 0 || h.Sum() < 0 {
+				t.Error("negative count or sum mid-hammer")
+				return
+			}
+			bs := h.Buckets()
+			for i := 1; i < len(bs); i++ {
+				if bs[i].Count < bs[i-1].Count {
+					t.Errorf("cumulative buckets decrease at %d", i)
+					return
+				}
+			}
+		}
+	}()
+	var ww sync.WaitGroup
+	for g := 0; g < writers; g++ {
+		ww.Add(1)
+		go func(g int) {
+			defer ww.Done()
+			for i := 0; i < perG; i++ {
+				h.Observe(int64(g*perG + i))
+			}
+		}(g)
+	}
+	ww.Wait()
+	close(stop)
+	wg.Wait()
+
+	if h.Count() != writers*perG {
+		t.Errorf("count after hammer: %d, want %d", h.Count(), writers*perG)
+	}
+	const n = int64(writers * perG)
+	if want := n * (n - 1) / 2; h.Sum() != want {
+		t.Errorf("sum after hammer: %d, want %d", h.Sum(), want)
+	}
+	bs := h.Buckets()
+	if bs[len(bs)-1].Count != writers*perG {
+		t.Errorf("last bucket not cumulative total: %+v", bs[len(bs)-1])
+	}
+}
+
+// TestHistogramBatch checks the unsynchronised accumulator: observations
+// flushed into a shared histogram land in exactly the buckets a direct
+// Observe would pick, the flush resets the batch, and a flush of an empty
+// batch is a no-op.
+func TestHistogramBatch(t *testing.T) {
+	values := []int64{0, 1, 2, 3, 4, 100, -5, 1 << 40}
+
+	var direct Histogram
+	for _, v := range values {
+		direct.Observe(v)
+	}
+
+	var batch HistogramBatch
+	var flushed Histogram
+	for _, v := range values {
+		batch.Observe(v)
+	}
+	batch.FlushTo(&flushed)
+
+	if flushed.Count() != direct.Count() || flushed.Sum() != direct.Sum() {
+		t.Errorf("flushed count/sum %d/%d, direct %d/%d",
+			flushed.Count(), flushed.Sum(), direct.Count(), direct.Sum())
+	}
+	db, fb := direct.Buckets(), flushed.Buckets()
+	for i := range db {
+		if db[i] != fb[i] {
+			t.Errorf("bucket %d: flushed %+v, direct %+v", i, fb[i], db[i])
+		}
+	}
+
+	// The flush drained the batch: a second flush must change nothing.
+	before := flushed.Count()
+	batch.FlushTo(&flushed)
+	if flushed.Count() != before {
+		t.Errorf("empty flush changed count: %d -> %d", before, flushed.Count())
+	}
+}
+
+// TestSlowRingWraparound fills a small ring past capacity and checks the
+// retained window is the most recent records in oldest-first order, with
+// Total still counting evictees.
+func TestSlowRingWraparound(t *testing.T) {
+	r := NewSlowRing(3)
+	if got := r.Entries(); len(got) != 0 {
+		t.Fatalf("fresh ring not empty: %+v", got)
+	}
+	for i := int64(1); i <= 5; i++ {
+		r.Add(SlowStream{Label: "logs/sess", ElapsedNs: i})
+	}
+	got := r.Entries()
+	if len(got) != 3 || got[0].ElapsedNs != 3 || got[1].ElapsedNs != 4 || got[2].ElapsedNs != 5 {
+		t.Fatalf("ring entries: %+v", got)
+	}
+	if r.Total() != 5 {
+		t.Errorf("total: %d", r.Total())
+	}
+
+	// A non-positive capacity clamps to one retained record.
+	one := NewSlowRing(0)
+	one.Add(SlowStream{Label: "a"})
+	one.Add(SlowStream{Label: "b"})
+	if got := one.Entries(); len(got) != 1 || got[0].Label != "b" {
+		t.Errorf("clamped ring: %+v", got)
+	}
+}
+
+// TestRingTracerDropped checks the evicted-event accounting: zero before the
+// ring wraps, and exactly total-capacity after.
+func TestRingTracerDropped(t *testing.T) {
+	r := NewRingTracer(3)
+	r.Trace(TraceEvent{Step: 1})
+	r.Trace(TraceEvent{Step: 2})
+	if r.Dropped() != 0 {
+		t.Errorf("dropped before wrap: %d", r.Dropped())
+	}
+	for i := int64(3); i <= 5; i++ {
+		r.Trace(TraceEvent{Step: i})
+	}
+	if r.Dropped() != 2 {
+		t.Errorf("dropped after wrap: %d, want 2", r.Dropped())
+	}
+	if r.Total() != 5 {
+		t.Errorf("total: %d", r.Total())
+	}
+}
+
+// TestSnapshotTraceDropped checks the tracer's eviction count surfaces in
+// the snapshot and the Prometheus exposition.
+func TestSnapshotTraceDropped(t *testing.T) {
+	m := NewMetrics()
+	r := NewRingTracer(2)
+	m.SetTracerRing(r)
+	for i := int64(1); i <= 5; i++ {
+		r.Trace(TraceEvent{Step: i})
+	}
+	s := m.Snapshot()
+	if s.TraceTotal != 5 || s.TraceDropped != 3 {
+		t.Errorf("snapshot trace stats: total=%d dropped=%d", s.TraceTotal, s.TraceDropped)
+	}
+	var sb strings.Builder
+	WritePrometheus(&sb, s)
+	if !strings.Contains(sb.String(), "spex_trace_dropped_total 3") {
+		t.Errorf("exposition missing trace drop counter:\n%s", sb.String())
+	}
+}
+
+// TestPrometheusBuildInfoAndOrder checks the exposition carries the build
+// metadata series and renders families in sorted order, so scrapes diff
+// cleanly between runs and binaries.
+func TestPrometheusBuildInfoAndOrder(t *testing.T) {
+	m := NewMetrics()
+	m.Events.Add(1)
+	m.DecisionLatency.Observe(4)
+	m.CandidateLifetime.Observe(9)
+	m.StreamLatencyNs.Observe(1_000_000)
+
+	var sb strings.Builder
+	WritePrometheus(&sb, m.Snapshot())
+	out := sb.String()
+
+	if !regexp.MustCompile(`spex_build_info\{go_version="[^"]+",revision="[^"]+"\} 1`).MatchString(out) {
+		t.Errorf("exposition missing spex_build_info:\n%s", out)
+	}
+	for _, want := range []string{
+		"spex_decision_latency_events_count 1",
+		"spex_candidate_lifetime_events_count 1",
+		"spex_stream_latency_ns_count 1",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q", want)
+		}
+	}
+
+	// Families appear sorted by name: the TYPE headers are the family order.
+	var fams []string
+	for _, line := range strings.Split(out, "\n") {
+		if rest, ok := strings.CutPrefix(line, "# TYPE "); ok {
+			fams = append(fams, strings.Fields(rest)[0])
+		}
+	}
+	if len(fams) < 10 {
+		t.Fatalf("suspiciously few families: %v", fams)
+	}
+	if !sort.StringsAreSorted(fams) {
+		t.Errorf("families not sorted: %v", fams)
+	}
+}

@@ -147,6 +147,47 @@ func (h *Histogram) Observe(v int64) {
 // Count returns the number of observations.
 func (h *Histogram) Count() int64 { return h.count.Load() }
 
+// HistogramBatch accumulates observations in plain ints owned by a single
+// goroutine; FlushTo publishes them into an atomic Histogram in one pass.
+// Hot loops that would otherwise pay three atomic adds per observation
+// observe into a batch and flush on a stride.
+type HistogramBatch struct {
+	buckets [histBuckets]int64
+	count   int64
+	sum     int64
+}
+
+// Observe records one value into the batch.
+func (b *HistogramBatch) Observe(v int64) {
+	if v < 0 {
+		v = 0
+	}
+	i := bits.Len64(uint64(v))
+	if i >= histBuckets {
+		i = histBuckets - 1
+	}
+	b.buckets[i]++
+	b.count++
+	b.sum += v
+}
+
+// FlushTo adds the batch's accumulated observations to h and resets the
+// batch. A flushed batch is immediately reusable.
+func (b *HistogramBatch) FlushTo(h *Histogram) {
+	if b.count == 0 {
+		return
+	}
+	for i := range b.buckets {
+		if n := b.buckets[i]; n != 0 {
+			h.buckets[i].Add(n)
+			b.buckets[i] = 0
+		}
+	}
+	h.count.Add(b.count)
+	h.sum.Add(b.sum)
+	b.count, b.sum = 0, 0
+}
+
 // Sum returns the sum of all observed values.
 func (h *Histogram) Sum() int64 { return h.sum.Load() }
 
@@ -251,6 +292,31 @@ type Metrics struct {
 	Queued     Watermark // candidates awaiting determination or order
 	Buffered   Watermark // buffered content events
 
+	// Candidate-lifecycle histograms (sink-side). DecisionLatency is the
+	// number of stream events between a candidate's creation and the moment
+	// its condition resolved to true or false — the paper's delay-to-decision;
+	// CandidateLifetime is the number of events between creation and the
+	// candidate leaving the sink (emitted or discarded), i.e. how long its
+	// buffered content aged. Both are in events, the unit §V's bounds are
+	// stated in.
+	DecisionLatency   Histogram
+	CandidateLifetime Histogram
+
+	// StreamLatencyNs is the end-to-end stream latency: wall-clock
+	// nanoseconds between the most recent read of the input (LastReadNs,
+	// stamped by CountingReader) and an answer's emission at the OU sink.
+	StreamLatencyNs Histogram
+
+	// LastReadNs is the wall-clock timestamp (UnixNano) of the most recent
+	// input read — the reference point StreamLatencyNs measures from. Zero
+	// until a counting reader is attached.
+	LastReadNs Gauge
+
+	// LiveVars is the number of live condition variables in the network's
+	// pool, published on the gauge stride — the current value behind the
+	// governor's live_vars cap.
+	LiveVars Gauge
+
 	// Symbol-interning instruments: size and cumulative hit/miss counts of
 	// the symbol table the observed evaluation resolves labels against.
 	// Tables may be shared across evaluations (a multi-query engine, a
@@ -275,6 +341,7 @@ type Metrics struct {
 	mu          sync.RWMutex
 	transducers []*TransducerMetrics
 	shards      []*ShardMetrics
+	ring        *RingTracer
 }
 
 // NewMetrics returns an empty registry.
@@ -316,6 +383,22 @@ func (m *Metrics) Shards() []*ShardMetrics {
 	return out
 }
 
+// SetTracerRing associates a ring tracer with the registry so snapshots
+// report how many trace events were recorded and how many the ring has
+// already evicted (RingTracer.Dropped) — overruns stop being silent.
+func (m *Metrics) SetTracerRing(r *RingTracer) {
+	m.mu.Lock()
+	m.ring = r
+	m.mu.Unlock()
+}
+
+// TracerRing returns the associated ring tracer, if any.
+func (m *Metrics) TracerRing() *RingTracer {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	return m.ring
+}
+
 // Uptime returns the time since the registry was created.
 func (m *Metrics) Uptime() time.Duration { return time.Since(m.start) }
 
@@ -339,10 +422,13 @@ func (m *Metrics) NoteGovernor(r governor.Resource, p governor.Policy) {
 }
 
 // CountingReader counts the bytes read through it into a Counter, so the
-// registry's Bytes instrument reflects input consumed.
+// registry's Bytes instrument reflects input consumed. With LastReadNs set
+// it also stamps the wall-clock time of each read, giving StreamLatencyNs
+// its reference point.
 type CountingReader struct {
-	R io.Reader
-	C *Counter
+	R          io.Reader
+	C          *Counter
+	LastReadNs *Gauge
 }
 
 // Read implements io.Reader.
@@ -350,6 +436,9 @@ func (r *CountingReader) Read(p []byte) (int, error) {
 	n, err := r.R.Read(p)
 	if n > 0 {
 		r.C.Add(int64(n))
+		if r.LastReadNs != nil {
+			r.LastReadNs.Set(time.Now().UnixNano())
+		}
 	}
 	return n, err
 }

@@ -1,0 +1,77 @@
+package obs
+
+import "sync"
+
+// SlowStream is one slow-query-log record: a stream whose evaluation took at
+// least the configured threshold. The serving layer records one per slow
+// ingest; Label identifies the stream (for spexd, "channel/session").
+type SlowStream struct {
+	// Trace is the stream-scoped trace ID of the request, when one was set.
+	Trace string `json:"trace,omitempty"`
+	// Label identifies the stream, e.g. "logs/sess-12".
+	Label string `json:"label"`
+	// Bytes is the input size consumed by the evaluation.
+	Bytes int64 `json:"bytes"`
+	// Matches is the number of answers the stream produced.
+	Matches int64 `json:"matches"`
+	// ElapsedNs is the evaluation's wall-clock duration in nanoseconds.
+	ElapsedNs int64 `json:"elapsed_ns"`
+	// UnixNano is when the evaluation finished.
+	UnixNano int64 `json:"unix_nano"`
+	// Err carries the evaluation error, if the stream failed.
+	Err string `json:"err,omitempty"`
+}
+
+// SlowRing retains the most recent slow-stream records in a fixed-size ring
+// — the slow-query log stays bounded no matter how many streams cross the
+// threshold. Safe for concurrent use from any goroutine.
+type SlowRing struct {
+	mu    sync.Mutex
+	buf   []SlowStream
+	next  int
+	full  bool
+	total int64
+}
+
+// NewSlowRing returns a ring retaining the last capacity records (minimum 1).
+func NewSlowRing(capacity int) *SlowRing {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &SlowRing{buf: make([]SlowStream, capacity)}
+}
+
+// Add records one slow stream, evicting the oldest record when full.
+func (r *SlowRing) Add(s SlowStream) {
+	r.mu.Lock()
+	r.buf[r.next] = s
+	r.next++
+	if r.next == len(r.buf) {
+		r.next = 0
+		r.full = true
+	}
+	r.total++
+	r.mu.Unlock()
+}
+
+// Entries returns the retained records, oldest first.
+func (r *SlowRing) Entries() []SlowStream {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if !r.full {
+		out := make([]SlowStream, r.next)
+		copy(out, r.buf[:r.next])
+		return out
+	}
+	out := make([]SlowStream, 0, len(r.buf))
+	out = append(out, r.buf[r.next:]...)
+	out = append(out, r.buf[:r.next]...)
+	return out
+}
+
+// Total returns the number of records ever added, including evicted ones.
+func (r *SlowRing) Total() int64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.total
+}

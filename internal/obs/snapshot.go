@@ -9,11 +9,11 @@ import (
 
 // Snapshot is a point-in-time view of a Metrics registry plus a heap
 // sample. It is safe to take from any goroutine while the evaluation
-// goroutine is streaming: every instrument is read atomically. Counters
-// (events, elements, per-transducer message counts) update on every
-// document event; gauges and the output-side counters are published on a
-// short stride, so they can lag the counters by a few events — never by
-// more, and the end-of-run sync makes the final snapshot exact.
+// goroutine is streaming: every instrument is read atomically. Stream
+// counters (events, elements) update on every document event; gauges, the
+// output-side counters and the per-transducer message counts are published
+// on a short stride, so they can lag by a few events — never by more, and
+// the end-of-run sync makes the final snapshot exact.
 type Snapshot struct {
 	// Enabled is false when no registry was attached to the evaluation (the
 	// uninstrumented fast path); all other fields are then zero.
@@ -50,6 +50,23 @@ type Snapshot struct {
 	// StepMessages summarizes the messages-per-event distribution.
 	StepMessages HistogramSnapshot `json:"step_messages"`
 
+	// Candidate-lifecycle distributions: events from candidate creation to
+	// condition resolution (DecisionLatency) and to the candidate leaving
+	// the sink (CandidateLifetime), plus wall-clock nanoseconds from the
+	// last input read to answer emission (StreamLatency).
+	DecisionLatency   HistogramSnapshot `json:"decision_latency"`
+	CandidateLifetime HistogramSnapshot `json:"candidate_lifetime"`
+	StreamLatency     HistogramSnapshot `json:"stream_latency_ns"`
+
+	// LiveVars is the number of live condition variables in the pool.
+	LiveVars int64 `json:"live_vars"`
+
+	// Trace-ring accounting, when a RingTracer is associated with the
+	// registry (SetTracerRing): events ever traced and events the ring has
+	// evicted. Overruns are reported here instead of being silent.
+	TraceTotal   int64 `json:"trace_total,omitempty"`
+	TraceDropped int64 `json:"trace_dropped,omitempty"`
+
 	// Resource-governor outcome: limit trips by resource and the actions
 	// applied. All zero/empty when no governor was configured.
 	GovernorTrips    []GovernorTripSnapshot `json:"governor_trips,omitempty"`
@@ -75,6 +92,13 @@ type HistogramSnapshot struct {
 	Count   int64             `json:"count"`
 	Sum     int64             `json:"sum"`
 	Buckets []HistogramBucket `json:"buckets,omitempty"`
+}
+
+// snapshotHistogram captures one histogram. The count is read before the
+// buckets, so a concurrent Observe can make the buckets sum slightly ahead
+// of the count — never behind, and exact once the writer is done.
+func snapshotHistogram(h *Histogram) HistogramSnapshot {
+	return HistogramSnapshot{Count: h.Count(), Sum: h.Sum(), Buckets: h.Buckets()}
 }
 
 // TransducerSnapshot is one transducer's instruments at snapshot time.
@@ -130,17 +154,21 @@ func (m *Metrics) Snapshot() Snapshot {
 		Buffered:    m.Buffered.Cur(),
 		MaxBuffered: m.Buffered.Max(),
 
-		SymtabSize:   m.SymtabSize.Load(),
-		SymtabHits:   m.SymtabHits.Load(),
-		SymtabMisses: m.SymtabMisses.Load(),
-		StepMessages: HistogramSnapshot{
-			Count:   m.StepMessages.Count(),
-			Sum:     m.StepMessages.Sum(),
-			Buckets: m.StepMessages.Buckets(),
-		},
-		GovernorFails:    m.GovernorFails.Load(),
-		GovernorDegrades: m.GovernorDegrades.Load(),
-		GovernorSheds:    m.GovernorSheds.Load(),
+		SymtabSize:        m.SymtabSize.Load(),
+		SymtabHits:        m.SymtabHits.Load(),
+		SymtabMisses:      m.SymtabMisses.Load(),
+		StepMessages:      snapshotHistogram(&m.StepMessages),
+		DecisionLatency:   snapshotHistogram(&m.DecisionLatency),
+		CandidateLifetime: snapshotHistogram(&m.CandidateLifetime),
+		StreamLatency:     snapshotHistogram(&m.StreamLatencyNs),
+		LiveVars:          m.LiveVars.Load(),
+		GovernorFails:     m.GovernorFails.Load(),
+		GovernorDegrades:  m.GovernorDegrades.Load(),
+		GovernorSheds:     m.GovernorSheds.Load(),
+	}
+	if ring := m.TracerRing(); ring != nil {
+		s.TraceTotal = ring.Total()
+		s.TraceDropped = ring.Dropped()
 	}
 	for i := range m.GovernorTrips {
 		if n := m.GovernorTrips[i].Load(); n > 0 {

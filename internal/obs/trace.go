@@ -12,6 +12,11 @@ type TraceEvent struct {
 	Node string  `json:"node"`
 	Kind MsgKind `json:"kind"`
 	Msg  string  `json:"msg"`
+	// TraceID is the stream-scoped trace identifier of the evaluation that
+	// produced the event (EvalOptions.TraceID), empty when none was set. It
+	// correlates trace records with the ingest request or stream they came
+	// from when one tracer observes many evaluations.
+	TraceID string `json:"trace,omitempty"`
 }
 
 // Tracer observes transducer emissions. Implementations must be cheap: the
@@ -157,4 +162,17 @@ func (r *RingTracer) Total() int64 {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	return r.total
+}
+
+// Dropped returns the number of events the ring has evicted to make room —
+// the difference between everything ever traced and what Events still
+// returns. A non-zero value means the writers overran the ring's capacity.
+func (r *RingTracer) Dropped() int64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	retained := int64(r.next)
+	if r.full {
+		retained = int64(len(r.buf))
+	}
+	return r.total - retained
 }

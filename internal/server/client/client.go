@@ -145,13 +145,26 @@ func (c *Client) Channels(ctx context.Context) ([]server.ChannelInfo, error) {
 }
 
 // Ingest streams an XML document from r into the named channel and returns
-// the session summary once the server has evaluated it end to end.
+// the session summary once the server has evaluated it end to end. The
+// server mints a stream trace id for the ingest (reported in the summary);
+// to name the stream yourself, use IngestWithTrace.
 func (c *Client) Ingest(ctx context.Context, channel string, r io.Reader) (server.IngestSummary, error) {
+	return c.IngestWithTrace(ctx, channel, "", r)
+}
+
+// IngestWithTrace is Ingest with a caller-chosen stream trace id, sent as
+// the X-Spex-Trace-Id header: the summary, every result frame of this
+// ingest, and the engine's trace records carry it, correlating the stream
+// end to end. Empty lets the server mint one.
+func (c *Client) IngestWithTrace(ctx context.Context, channel, trace string, r io.Reader) (server.IngestSummary, error) {
 	hreq, err := http.NewRequestWithContext(ctx, http.MethodPost, c.base+"/v1/channels/"+channel+"/ingest", r)
 	if err != nil {
 		return server.IngestSummary{}, err
 	}
 	hreq.Header.Set("Content-Type", "application/xml")
+	if trace != "" {
+		hreq.Header.Set(server.TraceHeader, trace)
+	}
 	var sum server.IngestSummary
 	err = c.doJSON(hreq, http.StatusOK, &sum)
 	return sum, err

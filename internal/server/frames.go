@@ -4,6 +4,9 @@ import (
 	"context"
 	"errors"
 	"sync"
+	"time"
+
+	"repro/internal/obs"
 )
 
 // Frame is one progressive answer notification, the unit of the NDJSON
@@ -27,6 +30,15 @@ type Frame struct {
 	Index int64 `json:"index"`
 	// Name is the answer element's label.
 	Name string `json:"name"`
+	// Trace is the ingest's stream-scoped trace identifier: the value the
+	// client sent as X-Spex-Trace-Id, or the one the server minted. Every
+	// frame of one ingest carries the same trace, correlating the result
+	// stream with the request, the engine's trace records and profiles.
+	Trace string `json:"trace,omitempty"`
+
+	// enqueuedNs is the frame's queue-entry timestamp (UnixNano), set by
+	// push; the result handler measures its flush latency against it.
+	enqueuedNs int64
 }
 
 // errQueueClosed reports a push to an unsubscribed (or drained) queue; the
@@ -44,6 +56,11 @@ type frameQueue struct {
 	ch     chan Frame
 	closed chan struct{}
 	once   sync.Once
+	// depth tracks the queue's occupancy as seen at each enqueue, with a
+	// high watermark: how close the backpressure point has come to engaging.
+	// Reads drain without updating it (the watermark is what matters), so
+	// the current value can overstate a queue being drained — never the max.
+	depth obs.Watermark
 }
 
 func newFrameQueue(capacity int) *frameQueue {
@@ -61,8 +78,10 @@ func (q *frameQueue) push(ctx context.Context, f Frame) error {
 		return ctx.Err()
 	default:
 	}
+	f.enqueuedNs = time.Now().UnixNano()
 	select {
 	case q.ch <- f:
+		q.depth.Set(int64(len(q.ch)))
 		return nil
 	case <-q.closed:
 		return errQueueClosed

@@ -2,12 +2,15 @@ package server
 
 import (
 	"context"
+	"crypto/rand"
+	"encoding/hex"
 	"encoding/json"
 	"errors"
 	"fmt"
 	"io"
 	"net/http"
 	"strconv"
+	"sync/atomic"
 	"time"
 
 	spex "repro"
@@ -46,6 +49,10 @@ type IngestSummary struct {
 	Subscriptions int    `json:"subscriptions"`
 	Matches       int64  `json:"matches"`
 	Bytes         int64  `json:"bytes"`
+	// Trace is the ingest's stream-scoped trace identifier — the value the
+	// client sent as X-Spex-Trace-Id, or one the server minted. Every result
+	// frame the ingest produced carries the same value.
+	Trace string `json:"trace"`
 }
 
 // ChannelInfo describes one channel.
@@ -73,6 +80,7 @@ func (s *Server) routes() *http.ServeMux {
 	mux.HandleFunc("GET /v1/channels", s.gated(s.handleChannels))
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /readyz", s.handleReadyz)
+	mux.HandleFunc("GET /debug/spex", s.handleDebug)
 	mux.Handle("/", obs.NewServeMux(s.engineMetrics, s.metrics.WritePrometheus))
 	return mux
 }
@@ -293,17 +301,19 @@ func sortChannels(chs []ChannelInfo) {
 }
 
 // inflightReader charges every chunk of an ingest body against the
-// admission budget and the byte instruments as it streams through.
+// admission budget and the byte instruments as it streams through. The
+// running count is atomic because the /debug/spex surface reads it from
+// other goroutines while the session streams.
 type inflightReader struct {
 	r    io.Reader
 	sess *session
-	read int64
+	read atomic.Int64
 }
 
 func (ir *inflightReader) Read(p []byte) (int, error) {
 	n, err := ir.r.Read(p)
 	if n > 0 {
-		ir.read += int64(n)
+		ir.read.Add(int64(n))
 		srv := ir.sess.srv
 		srv.adm.inflight.Add(int64(n))
 		srv.metrics.InflightBytes.Add(int64(n))
@@ -313,12 +323,35 @@ func (ir *inflightReader) Read(p []byte) (int, error) {
 	return n, err
 }
 
+// TraceHeader is the request header an ingest client sets to name its
+// stream; absent, the server mints an identifier. Either way the ingest
+// summary, every result frame and the engine's trace records carry it.
+const TraceHeader = "X-Spex-Trace-Id"
+
+// mintTraceID returns a fresh 16-hex-digit stream identifier.
+func mintTraceID() string {
+	var b [8]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		// Entropy exhaustion is not worth failing an ingest over; fall back
+		// to a per-process counter that still distinguishes streams.
+		return "trace-" + strconv.FormatInt(fallbackTrace.Add(1), 10)
+	}
+	return hex.EncodeToString(b[:])
+}
+
+var fallbackTrace atomic.Int64
+
 func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 	ch := s.mgr.channelByName(r.PathValue("channel"))
 	if ch == nil {
 		s.writeError(w, http.StatusNotFound, "no such channel (subscribe first)", false)
 		return
 	}
+	trace := r.Header.Get(TraceHeader)
+	if trace == "" {
+		trace = mintTraceID()
+	}
+	w.Header().Set(TraceHeader, trace)
 	if err := s.adm.admitSession(); err != nil {
 		s.metrics.RejectedTotal.Inc()
 		s.writeError(w, http.StatusTooManyRequests, err.Error(), true)
@@ -355,7 +388,7 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 	stopRead := context.AfterFunc(ctx, func() { _ = rc.SetReadDeadline(time.Now()) })
 	defer stopRead()
 
-	sess := s.newSession(ch)
+	sess := s.newSession(ch, trace)
 	s.metrics.SessionsActive.Add(1)
 	s.metrics.SessionsTotal.Inc()
 	ch.cm.Sessions.Inc()
@@ -366,7 +399,12 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 		body = http.MaxBytesReader(w, r.Body, s.limits.MaxDocumentBytes)
 	}
 	ir := &inflightReader{r: body, sess: sess}
+	sess.bytes = &ir.read
+	s.mgr.register(sess)
 	matches, err := sess.run(ctx, ir)
+	s.mgr.unregister(sess)
+	read := ir.read.Load()
+	s.recordSlow(sess, read, matches, err)
 	// Clear any expired read deadline; if the cancellation fired it may
 	// also have poisoned the connection's background read, so a cancelled
 	// session's connection is not offered for reuse.
@@ -375,8 +413,8 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 	if ctx.Err() != nil {
 		w.Header().Set("Connection", "close")
 	}
-	s.adm.inflight.Add(-ir.read)
-	s.metrics.InflightBytes.Add(-ir.read)
+	s.adm.inflight.Add(-read)
+	s.metrics.InflightBytes.Add(-read)
 	if err != nil {
 		// A read unblocked by the deadline above surfaces as an i/o timeout;
 		// report the cancellation that caused it.
@@ -396,7 +434,8 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 		Channel:       ch.name,
 		Subscriptions: len(sess.subs),
 		Matches:       matches,
-		Bytes:         ir.read,
+		Bytes:         read,
+		Trace:         trace,
 	})
 }
 
@@ -452,6 +491,11 @@ func (s *Server) handleResults(w http.ResponseWriter, r *http.Request) {
 		}
 		fl.Flush()
 		s.metrics.FramesSent.Inc()
+		// Flush latency: queue residency plus encode-and-flush, the
+		// client-visible lag between determination and delivery.
+		if f.enqueuedNs > 0 {
+			s.metrics.FrameFlushNs.Observe(time.Now().UnixNano() - f.enqueuedNs)
+		}
 		return true
 	}
 	for {

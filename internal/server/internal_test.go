@@ -117,7 +117,7 @@ func TestSessionPanicContainment(t *testing.T) {
 		t.Fatal(err)
 	}
 	ch := &channel{name: "ch", cm: s.metrics.Channel("ch")}
-	sess := s.newSession(ch)
+	sess := s.newSession(ch, "trace-test")
 	// A subscription with a nil compiled query makes the evaluation panic
 	// the moment the set is built — the recover path under test.
 	sess.subs = []*subscription{{id: "sub-x", q: nil, queue: newFrameQueue(1)}}

@@ -1,7 +1,6 @@
 package server
 
 import (
-	"fmt"
 	"io"
 	"sort"
 	"sync"
@@ -31,6 +30,12 @@ type Metrics struct {
 	ResultStreamsActive obs.Gauge   // attached result readers
 	PanicsTotal         obs.Counter // panics contained by session/handler recovery
 	Draining            obs.Gauge   // 1 while graceful shutdown drains
+
+	// FrameFlushNs is the frame-flush latency distribution: nanoseconds
+	// from a frame entering its subscription's queue to the result handler
+	// having encoded and flushed it to the client. The queue residency
+	// dominates when a reader lags; the tail shows backpressure engaging.
+	FrameFlushNs obs.Histogram
 
 	mu       sync.Mutex
 	channels map[string]*ChannelMetrics
@@ -65,31 +70,31 @@ func (m *Metrics) Channel(name string) *ChannelMetrics {
 }
 
 // WritePrometheus renders the spex_server_* section; the server appends it
-// to the obs registry's /metrics endpoint.
+// to the obs registry's /metrics endpoint. Like the registry's own section
+// it is built on obs.PromSection, so families come out sorted by name with
+// proper HELP/TYPE headers — the whole scrape is deterministic and
+// golden-testable.
 func (m *Metrics) WritePrometheus(w io.Writer) {
-	counter := func(name, help string, v int64) {
-		fmt.Fprintf(w, "# HELP spex_server_%s %s\n# TYPE spex_server_%s counter\nspex_server_%s %d\n", name, help, name, name, v)
-	}
-	gauge := func(name, help string, v int64) {
-		fmt.Fprintf(w, "# HELP spex_server_%s %s\n# TYPE spex_server_%s gauge\nspex_server_%s %d\n", name, help, name, name, v)
-	}
-	gauge("sessions_active", "ingest sessions currently evaluating", m.SessionsActive.Load())
-	counter("sessions_total", "ingest sessions admitted", m.SessionsTotal.Load())
-	counter("sessions_failed_total", "ingest sessions that ended in an error", m.SessionsFailed.Load())
-	counter("rejected_total", "requests shed by admission control (429)", m.RejectedTotal.Load())
-	counter("governor_rejected_total", "ingest sessions shed by a resource-governor trip (429)", m.GovernorRejected.Load())
-	counter("drain_rejected_total", "requests refused while draining (503)", m.DrainRejectedTotal.Load())
-	gauge("subscriptions_active", "registered subscriptions", m.SubscriptionsActive.Load())
-	counter("subscriptions_total", "subscriptions ever registered", m.SubscriptionsTotal.Load())
-	gauge("channels_active", "named channels", m.ChannelsActive.Load())
-	gauge("inflight_ingest_bytes", "in-flight ingest request bytes", m.InflightBytes.Load())
-	counter("ingest_bytes_total", "ingest bytes consumed", m.IngestBytesTotal.Load())
-	counter("hits_total", "answers produced by ingest sessions", m.HitsTotal.Load())
-	counter("frames_sent_total", "result frames written to streams", m.FramesSent.Load())
-	counter("frames_dropped_total", "result frames dropped on closed subscriptions", m.FramesDropped.Load())
-	gauge("result_streams_active", "attached result readers", m.ResultStreamsActive.Load())
-	counter("panics_total", "panics contained by per-session recovery", m.PanicsTotal.Load())
-	gauge("draining", "1 while graceful shutdown drains sessions", m.Draining.Load())
+	p := obs.NewPromSection()
+	p.Gauge("spex_server_sessions_active", "ingest sessions currently evaluating", m.SessionsActive.Load())
+	p.Counter("spex_server_sessions_total", "ingest sessions admitted", m.SessionsTotal.Load())
+	p.Counter("spex_server_sessions_failed_total", "ingest sessions that ended in an error", m.SessionsFailed.Load())
+	p.Counter("spex_server_rejected_total", "requests shed by admission control (429)", m.RejectedTotal.Load())
+	p.Counter("spex_server_governor_rejected_total", "ingest sessions shed by a resource-governor trip (429)", m.GovernorRejected.Load())
+	p.Counter("spex_server_drain_rejected_total", "requests refused while draining (503)", m.DrainRejectedTotal.Load())
+	p.Gauge("spex_server_subscriptions_active", "registered subscriptions", m.SubscriptionsActive.Load())
+	p.Counter("spex_server_subscriptions_total", "subscriptions ever registered", m.SubscriptionsTotal.Load())
+	p.Gauge("spex_server_channels_active", "named channels", m.ChannelsActive.Load())
+	p.Gauge("spex_server_inflight_ingest_bytes", "in-flight ingest request bytes", m.InflightBytes.Load())
+	p.Counter("spex_server_ingest_bytes_total", "ingest bytes consumed", m.IngestBytesTotal.Load())
+	p.Counter("spex_server_hits_total", "answers produced by ingest sessions", m.HitsTotal.Load())
+	p.Counter("spex_server_frames_sent_total", "result frames written to streams", m.FramesSent.Load())
+	p.Counter("spex_server_frames_dropped_total", "result frames dropped on closed subscriptions", m.FramesDropped.Load())
+	p.Gauge("spex_server_result_streams_active", "attached result readers", m.ResultStreamsActive.Load())
+	p.Counter("spex_server_panics_total", "panics contained by per-session recovery", m.PanicsTotal.Load())
+	p.Gauge("spex_server_draining", "1 while graceful shutdown drains sessions", m.Draining.Load())
+	p.Histogram("spex_server_frame_flush_ns", "nanoseconds from frame enqueue to encoded-and-flushed",
+		obs.HistogramSnapshot{Count: m.FrameFlushNs.Count(), Sum: m.FrameFlushNs.Sum(), Buckets: m.FrameFlushNs.Buckets()})
 
 	m.mu.Lock()
 	names := make([]string, 0, len(m.channels))
@@ -102,15 +107,12 @@ func (m *Metrics) WritePrometheus(w io.Writer) {
 		cms[i] = m.channels[name]
 	}
 	m.mu.Unlock()
-	if len(cms) == 0 {
-		return
-	}
-	fmt.Fprintf(w, "# HELP spex_server_channel_subs subscriptions per channel\n# TYPE spex_server_channel_subs gauge\n")
 	for _, cm := range cms {
-		name := obs.EscapeLabel(cm.Name)
-		fmt.Fprintf(w, "spex_server_channel_subs{channel=%q} %d\n", name, cm.Subs.Load())
-		fmt.Fprintf(w, "spex_server_channel_sessions_total{channel=%q} %d\n", name, cm.Sessions.Load())
-		fmt.Fprintf(w, "spex_server_channel_hits_total{channel=%q} %d\n", name, cm.Hits.Load())
-		fmt.Fprintf(w, "spex_server_channel_ingest_bytes_total{channel=%q} %d\n", name, cm.IngestBytes.Load())
+		ch := obs.Label("channel", cm.Name)
+		p.Sample("spex_server_channel_subs", "gauge", "subscriptions per channel", ch, cm.Subs.Load())
+		p.Sample("spex_server_channel_sessions_total", "counter", "ingest sessions per channel", ch, cm.Sessions.Load())
+		p.Sample("spex_server_channel_hits_total", "counter", "answers per channel", ch, cm.Hits.Load())
+		p.Sample("spex_server_channel_ingest_bytes_total", "counter", "ingest bytes per channel", ch, cm.IngestBytes.Load())
 	}
+	p.Render(w)
 }

@@ -28,6 +28,7 @@ import (
 	"net/http"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	spex "repro"
 	"repro/internal/obs"
@@ -48,6 +49,13 @@ type Config struct {
 	// Logf, when non-nil, receives one line per notable server event
 	// (session failures, contained panics, lifecycle transitions).
 	Logf func(format string, args ...any)
+	// SlowThreshold is the ingest duration above which a session is recorded
+	// in the slow-stream ring surfaced on /debug/spex (spexd's -slow-ms
+	// flag). Zero disables slow-stream recording; failed sessions are
+	// recorded regardless of duration.
+	SlowThreshold time.Duration
+	// SlowRingSize caps the retained slow-stream records (default 64).
+	SlowRingSize int
 }
 
 // Server is the streaming query service. Create with New, mount Handler on
@@ -62,6 +70,12 @@ type Server struct {
 	adm *admission
 	mgr *sessionManager
 	mux *http.ServeMux
+
+	// Deep-introspection state: process start (for /debug/spex uptime), the
+	// slow-stream ring, and its recording threshold.
+	start    time.Time
+	slow     *obs.SlowRing
+	slowOver time.Duration
 
 	// setOpts are appended to every session's spex.Set construction: the
 	// resource governor (when Limits.Governor is non-zero) bound to the
@@ -94,6 +108,10 @@ func New(cfg Config) (*Server, error) {
 		logf = func(string, ...any) {}
 	}
 	limits := cfg.Limits.withDefaults()
+	ringSize := cfg.SlowRingSize
+	if ringSize <= 0 {
+		ringSize = 64
+	}
 	s := &Server{
 		limits:        limits,
 		defaultEngine: eng,
@@ -102,6 +120,9 @@ func New(cfg Config) (*Server, error) {
 		logf:          logf,
 		adm:           &admission{limits: limits},
 		mgr:           newSessionManager(),
+		start:         time.Now(),
+		slow:          obs.NewSlowRing(ringSize),
+		slowOver:      cfg.SlowThreshold,
 	}
 	if !limits.Governor.Zero() {
 		policy, err := spex.ParsePolicy(cfg.Limits.GovernorPolicy)

@@ -4,11 +4,13 @@ import (
 	"context"
 	"fmt"
 	"io"
+	"runtime/pprof"
 	"sort"
 	"strconv"
 	"strings"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	spex "repro"
 )
@@ -123,11 +125,13 @@ func (c *channel) snapshot() []*subscription {
 	return out
 }
 
-// sessionManager owns the channel and subscription tables.
+// sessionManager owns the channel and subscription tables, plus the live
+// registry of in-flight ingest sessions the /debug/spex surface lists.
 type sessionManager struct {
 	mu       sync.RWMutex
 	channels map[string]*channel
 	subs     map[string]*subscription
+	active   map[string]*session
 	nextSub  atomic.Int64
 	nextSess atomic.Int64
 }
@@ -136,7 +140,33 @@ func newSessionManager() *sessionManager {
 	return &sessionManager{
 		channels: make(map[string]*channel),
 		subs:     make(map[string]*subscription),
+		active:   make(map[string]*session),
 	}
+}
+
+// register adds a session to the live registry for the duration of its run.
+func (m *sessionManager) register(sess *session) {
+	m.mu.Lock()
+	m.active[sess.id] = sess
+	m.mu.Unlock()
+}
+
+func (m *sessionManager) unregister(sess *session) {
+	m.mu.Lock()
+	delete(m.active, sess.id)
+	m.mu.Unlock()
+}
+
+// activeSessions returns the live sessions, ordered by id.
+func (m *sessionManager) activeSessions() []*session {
+	m.mu.RLock()
+	out := make([]*session, 0, len(m.active))
+	for _, sess := range m.active {
+		out = append(out, sess)
+	}
+	m.mu.RUnlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].id < out[j].id })
+	return out
 }
 
 func (m *sessionManager) channelByName(name string) *channel {
@@ -159,19 +189,24 @@ type session struct {
 	ch    *channel
 	subs  []*subscription
 	srv   *Server
-	abort atomic.Bool // a frame push failed on the session context
+	trace string        // stream-scoped trace id (client-sent or server-minted)
+	start time.Time     // session start, for the /debug/spex age column
+	bytes *atomic.Int64 // live ingest byte count (the inflightReader's), may be nil
+	abort atomic.Bool   // a frame push failed on the session context
 }
 
 // newSession snapshots the channel. Subscriptions are ordered by id so the
 // query-index → subscription mapping is deterministic.
-func (s *Server) newSession(ch *channel) *session {
+func (s *Server) newSession(ch *channel, trace string) *session {
 	subs := ch.snapshot()
 	sort.Slice(subs, func(i, j int) bool { return subs[i].id < subs[j].id })
 	return &session{
-		id:   "sess-" + strconv.FormatInt(s.mgr.nextSess.Add(1), 10),
-		ch:   ch,
-		subs: subs,
-		srv:  s,
+		id:    "sess-" + strconv.FormatInt(s.mgr.nextSess.Add(1), 10),
+		ch:    ch,
+		subs:  subs,
+		srv:   s,
+		trace: trace,
+		start: time.Now(),
 	}
 }
 
@@ -207,6 +242,7 @@ func (sess *session) run(ctx context.Context, r io.Reader) (matches int64, err e
 			Seq:     sub.seq.Add(1),
 			Index:   match.Index,
 			Name:    match.Name,
+			Trace:   sess.trace,
 		}
 		sub.hits.Add(1)
 		m.HitsTotal.Inc()
@@ -222,8 +258,19 @@ func (sess *session) run(ctx context.Context, r io.Reader) (matches int64, err e
 			// check; remember why.
 			sess.abort.Store(true)
 		}
-	}, append([]spex.SetOption{sess.ch.engine.Option()}, sess.srv.setOpts...)...)
-	if err := set.EvaluateContext(ctx, r); err != nil {
+	}, append([]spex.SetOption{sess.ch.engine.Option(), spex.SetTraceID(sess.trace)},
+		sess.srv.setOpts...)...)
+	// pprof labels attribute the evaluation's CPU samples to the channel,
+	// session and stream: a profile taken mid-ingest names the stream each
+	// hot path serves, matching the trace id on the result frames.
+	pprof.Do(ctx, pprof.Labels(
+		"spex_channel", sess.ch.name,
+		"spex_session", sess.id,
+		"spex_trace", sess.trace,
+	), func(ctx context.Context) {
+		err = set.EvaluateContext(ctx, r)
+	})
+	if err != nil {
 		return 0, err
 	}
 	for _, n := range set.Counts() {

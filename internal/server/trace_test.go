@@ -1,0 +1,170 @@
+package server_test
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/server"
+)
+
+// TestTracePropagation checks the stream-scoped trace identifier end to end:
+// a caller-chosen X-Spex-Trace-Id comes back on the ingest summary and on
+// every result frame the ingest produced; an untagged ingest gets a
+// server-minted identifier instead of none.
+func TestTracePropagation(t *testing.T) {
+	s, c, _ := newTestServer(t, server.Config{})
+	ctx := context.Background()
+
+	info, err := c.Subscribe(ctx, server.SubscribeRequest{Channel: "logs", Query: "_*.a[b].c"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	frames := make(chan server.Frame, 64)
+	readerCtx, stopReader := context.WithCancel(ctx)
+	defer stopReader()
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		err := c.Results(readerCtx, info.ID, func(f server.Frame) error {
+			frames <- f
+			return nil
+		})
+		if err != nil && readerCtx.Err() == nil {
+			t.Errorf("results: %v", err)
+		}
+	}()
+
+	sum, err := c.IngestWithTrace(ctx, "logs", "trace-abc", strings.NewReader(fig1Doc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.Trace != "trace-abc" {
+		t.Errorf("summary trace = %q, want trace-abc", sum.Trace)
+	}
+	if sum.Matches != 1 {
+		t.Fatalf("matches = %d, want 1", sum.Matches)
+	}
+	for range 1 {
+		select {
+		case f := <-frames:
+			if f.Trace != "trace-abc" {
+				t.Errorf("frame trace = %q, want trace-abc: %+v", f.Trace, f)
+			}
+		case <-time.After(10 * time.Second):
+			t.Fatal("timed out waiting for result frame")
+		}
+	}
+
+	// No caller trace: the server mints a non-empty one and still stamps the
+	// frames with it.
+	sum2, err := c.IngestString(ctx, "logs", fig1Doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum2.Trace == "" || sum2.Trace == "trace-abc" {
+		t.Errorf("minted trace = %q", sum2.Trace)
+	}
+	for range 1 {
+		select {
+		case f := <-frames:
+			if f.Trace != sum2.Trace {
+				t.Errorf("frame trace = %q, want minted %q", f.Trace, sum2.Trace)
+			}
+		case <-time.After(10 * time.Second):
+			t.Fatal("timed out waiting for result frame")
+		}
+	}
+
+	// The flush-latency histogram saw the delivered frames.
+	if s.Metrics().FrameFlushNs.Count() == 0 {
+		t.Error("frame-flush latency histogram empty after deliveries")
+	}
+
+	stopReader()
+	<-done
+}
+
+// TestDebugEndpoint drives an ingest below a one-nanosecond slow threshold
+// and checks GET /debug/spex surfaces the channel topology, the queue
+// watermarks, and the slow-stream ring with the ingest's trace identifier.
+func TestDebugEndpoint(t *testing.T) {
+	_, c, ts := newTestServer(t, server.Config{SlowThreshold: time.Nanosecond})
+	ctx := context.Background()
+
+	if _, err := c.Subscribe(ctx, server.SubscribeRequest{Channel: "logs", Query: "_*.c"}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.IngestWithTrace(ctx, "logs", "trace-slow", strings.NewReader(fig1Doc)); err != nil {
+		t.Fatal(err)
+	}
+	// A failing ingest is recorded in the ring regardless of duration.
+	if _, err := c.IngestString(ctx, "logs", "<unclosed>"); err == nil {
+		t.Fatal("malformed ingest should fail")
+	}
+
+	resp, err := ts.Client().Get(ts.URL + "/debug/spex")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+	var info server.DebugInfo
+	if err := json.NewDecoder(resp.Body).Decode(&info); err != nil {
+		t.Fatal(err)
+	}
+
+	if info.GoVersion == "" {
+		t.Error("missing go_version")
+	}
+	if info.UptimeNs <= 0 {
+		t.Errorf("uptime = %d", info.UptimeNs)
+	}
+	if info.SlowThreshold != time.Nanosecond.Nanoseconds() {
+		t.Errorf("slow threshold = %d", info.SlowThreshold)
+	}
+	if len(info.Channels) != 1 || info.Channels[0].Name != "logs" {
+		t.Fatalf("channels: %+v", info.Channels)
+	}
+	subs := info.Channels[0].Subscriptions
+	if len(subs) != 1 || subs[0].Query != "_*.c" {
+		t.Fatalf("subscriptions: %+v", subs)
+	}
+	if subs[0].QueueCapacity <= 0 {
+		t.Errorf("queue capacity = %d", subs[0].QueueCapacity)
+	}
+	if subs[0].Hits != 2 {
+		t.Errorf("hits = %d, want 2", subs[0].Hits)
+	}
+	// With no result stream attached the two hit frames sit queued.
+	if subs[0].QueueMax < 2 {
+		t.Errorf("queue max = %d, want >= 2", subs[0].QueueMax)
+	}
+
+	if info.SlowTotal < 2 || len(info.SlowStreams) < 2 {
+		t.Fatalf("slow ring: total=%d entries=%+v", info.SlowTotal, info.SlowStreams)
+	}
+	var sawTrace, sawErr bool
+	for _, rec := range info.SlowStreams {
+		if rec.Trace == "trace-slow" && rec.Matches == 2 {
+			sawTrace = true
+		}
+		if rec.Err != "" {
+			sawErr = true
+		}
+		if !strings.HasPrefix(rec.Label, "logs/") {
+			t.Errorf("slow record label %q not channel-scoped", rec.Label)
+		}
+	}
+	if !sawTrace {
+		t.Errorf("slow ring missing traced ingest: %+v", info.SlowStreams)
+	}
+	if !sawErr {
+		t.Errorf("slow ring missing failed ingest: %+v", info.SlowStreams)
+	}
+}

@@ -54,6 +54,17 @@ type Options struct {
 	// rare, atomic adds; full instrumentation on N networks would count
 	// every stream event N times). Nil falls back to Metrics.
 	GovernorMetrics *obs.Metrics
+	// SinkMetrics receives the candidate-lifecycle histograms — decision
+	// latency and candidate lifetime in events, stream latency in
+	// nanoseconds — from every sink. Like GovernorMetrics, sink events are
+	// per-candidate rather than per-event, so a multi-query engine may
+	// bind one registry to all member networks. Nil falls back to Metrics.
+	SinkMetrics *obs.Metrics
+	// TraceID is the stream-scoped trace identifier of this evaluation: it
+	// is stamped on every trace record the Tracer observes, so one tracer
+	// (or log pipeline) serving many streams can attribute each record to
+	// its stream or ingest request.
+	TraceID string
 }
 
 // Spec is one query of a multi-query network: its expression and its sink.
@@ -102,6 +113,10 @@ func BuildSet(specs []Spec, opts Options) (*Network, error) {
 	if gm == nil {
 		gm = opts.Metrics
 	}
+	sm := opts.SinkMetrics
+	if sm == nil {
+		sm = opts.Metrics
+	}
 	n := &Network{
 		cfg: netConfig{
 			rawFormulas: opts.RawFormulas,
@@ -109,6 +124,8 @@ func BuildSet(specs []Spec, opts Options) (*Network, error) {
 			symtab:      symtab,
 			noInterning: opts.NoInterning,
 			gov:         newGovern(opts.Governor, gm),
+			sinkMetrics: sm,
+			traceID:     opts.TraceID,
 		},
 		pool:    cond.NewPool(),
 		metrics: opts.Metrics,
@@ -156,9 +173,14 @@ type builder struct {
 	memo    map[string]memoEntry
 }
 
-// newEdge allocates a fresh tape.
+// newEdge allocates a fresh tape — and, on instrumented builds, its message
+// counter row. Rows are individually allocated so an emit closure can hold a
+// stable pointer to its tape's row.
 func (b *builder) newEdge() int {
 	b.net.edges = append(b.net.edges, nil)
+	if b.metrics != nil {
+		b.net.edgeCounts = append(b.net.edgeCounts, &[kindMask + 1]int64{})
+	}
 	return len(b.net.edges) - 1
 }
 
@@ -179,17 +201,38 @@ func (b *builder) addNode(t transducer, ins []int, numOuts int) []int {
 		node.ender = se
 	}
 	net := b.net
-	emit := func(port int, m Message) {
-		net.edges[node.outs[port]] = append(net.edges[node.outs[port]], m)
-	}
+	var emit emitFn
 	if b.metrics != nil {
 		tm := obs.NewTransducerMetrics(fmt.Sprintf("%d:%s", len(net.nodes), t.name()))
 		node.tm = tm
 		b.tms = append(b.tms, tm)
-		inner := emit
+		node.mc = &msgCounters{}
+		// The whole per-message instrumentation cost is one plain increment
+		// on the written tape's counter row, folded into the emit closure
+		// (no second closure hop) and indexed by the message kind directly —
+		// kindMask keeps the compiler from bounds-checking, the shared
+		// numbering with obs.MsgKind makes the index meaningful. syncMetrics
+		// derives both sides' per-transducer counts from the tape counters
+		// on the gauge stride; an atomic add per message here would be the
+		// dominant instrumentation cost on the hot path. Single-output
+		// nodes — nearly all of them — capture their tape and row directly.
+		if numOuts == 1 {
+			tape := outs[0]
+			row := net.edgeCounts[tape]
+			emit = func(_ int, m Message) {
+				row[m.Kind&kindMask]++
+				net.edges[tape] = append(net.edges[tape], m)
+			}
+		} else {
+			emit = func(port int, m Message) {
+				e := node.outs[port]
+				net.edgeCounts[e][m.Kind&kindMask]++
+				net.edges[e] = append(net.edges[e], m)
+			}
+		}
+	} else {
 		emit = func(port int, m Message) {
-			tm.Out[obsKind(m.Kind)].Inc()
-			inner(port, m)
+			net.edges[node.outs[port]] = append(net.edges[node.outs[port]], m)
 		}
 	}
 	if b.tracer != nil {
@@ -197,7 +240,7 @@ func (b *builder) addNode(t transducer, ins []int, numOuts int) []int {
 		nodeName := t.name()
 		inner := emit
 		emit = func(port int, m Message) {
-			tracer.Trace(obs.TraceEvent{Step: net.step, Node: nodeName, Kind: obsKind(m.Kind), Msg: m.String()})
+			tracer.Trace(obs.TraceEvent{Step: net.step, Node: nodeName, Kind: obsKind(m.Kind), Msg: m.String(), TraceID: net.cfg.traceID})
 			inner(port, m)
 		}
 	}

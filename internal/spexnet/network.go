@@ -18,7 +18,33 @@ type netNode struct {
 	emit  emitFn
 	ender stepEnder // non-nil when the transducer buffers within a step
 	tm    *obs.TransducerMetrics
+	mc    *msgCounters
 }
+
+// msgCounters holds the per-node flush bookkeeping for the edge-count
+// instrumentation: the totals already published into the node's atomic
+// TransducerMetrics counters, so syncMetrics adds deltas (the registry is
+// cumulative across evaluations).
+type msgCounters struct {
+	flushedIn  [kindMask + 1]int64
+	flushedOut [kindMask + 1]int64
+}
+
+// numKinds mirrors the obs package's message-kind count for the batched
+// counter arrays (doc, activation, determination).
+const numKinds = 3
+
+// kindMask sizes the batched counter arrays to the next power of two above
+// numKinds: indexing with Kind&kindMask is provably in bounds, so the
+// per-message increments compile without a bounds check. Index 3 is never
+// written (there is no fourth kind).
+const kindMask = 3
+
+// The batched counters index by Message.Kind directly; this only works
+// because the engine's and the obs package's kind numbering coincide.
+var _ = [1]struct{}{}[MsgDoc-MsgKind(obs.KindDoc)]
+var _ = [1]struct{}{}[MsgActivation-MsgKind(obs.KindActivation)]
+var _ = [1]struct{}{}[MsgDet-MsgKind(obs.KindDetermination)]
 
 // stepEnder is implemented by transducers that buffer messages within a
 // step (the join); the runner calls endStep after all of the step's
@@ -51,6 +77,23 @@ type Network struct {
 	// step; nil networks run the uninstrumented propagate path.
 	metrics *obs.Metrics
 	lastOut OutputStats
+	// lastStep/lastElements: the values already flushed into the registry's
+	// stream counters, so syncMetrics publishes deltas (the registry is
+	// cumulative across evaluations) without an atomic add per event.
+	lastStep     int64
+	lastElements int64
+	// edgeCounts (instrumented networks only) counts the messages written to
+	// each tape, by kind. The producer's emit closure increments it — one
+	// plain increment per message, the whole per-message cost of the
+	// instrumentation — and since every tape has exactly one writer and one
+	// reader, a node's in- and out-counts are both derivable from its tapes;
+	// the delivery loop stays identical to the uninstrumented one. Rows are
+	// individually allocated (stable pointers) so emit closures capture
+	// their row without an index.
+	edgeCounts []*[kindMask + 1]int64
+	// stepMsgs batches the per-event message-volume observations; flushed
+	// into metrics.StepMessages on the gauge stride.
+	stepMsgs obs.HistogramBatch
 }
 
 // Stats reports what an evaluation consumed and produced; the quantities of
@@ -153,12 +196,13 @@ func (n *Network) Step(ev xmlstream.Event) error {
 		}
 		return nil
 	}
-	n.metrics.Events.Inc()
-	if ev.Kind == xmlstream.StartElement {
-		n.metrics.Elements.Inc()
+	// The source tape has no emitting transducer; account its messages here.
+	if ev.Kind == xmlstream.StartDocument {
+		n.edgeCounts[n.sourceEdge][MsgActivation&kindMask]++
 	}
-	n.metrics.Depth.Set(int64(n.depth))
-	total := n.propagateObserved()
+	n.edgeCounts[n.sourceEdge][MsgDoc&kindMask]++
+	total := n.propagate()
+	n.stepMsgs.Observe(total)
 	if n.step&(gaugeSyncStride-1) == 0 {
 		n.syncMetrics()
 	}
@@ -220,10 +264,12 @@ func (n *Network) shedAllSinks() {
 	n.allShed = true
 }
 
-// gaugeSyncStride is how often syncMetrics publishes gauge state, in steps.
-// Counters update on every event regardless; the transducers track their own
-// maxima, so a periodic sync never misses a peak — only the instantaneous
-// gauges can lag, by at most this many events. Must be a power of two.
+// gaugeSyncStride is how often syncMetrics publishes gauge state, the
+// stream-level counters (events, elements) and the batched per-transducer
+// message counts, in steps. The transducers track their own maxima, so a
+// periodic sync never misses a peak — counters and instantaneous gauges can
+// lag by at most this many events, and the end-of-run sync makes them
+// exact. Must be a power of two.
 const gaugeSyncStride = 32
 
 // propagate delivers the step's messages along every tape in topological
@@ -256,48 +302,55 @@ func (n *Network) propagate() int64 {
 	return total
 }
 
-// propagateObserved is propagate with per-transducer delivery counters: each
-// delivered message increments the node's In counter for its kind, and the
-// step's total delivery count feeds the messages-per-event histogram (the
-// per-event work Lemma V.2 bounds). It is a separate loop so the
-// uninstrumented path pays nothing.
-func (n *Network) propagateObserved() int64 {
-	var total int64
-	for i := range n.nodes {
-		node := &n.nodes[i]
-		for port, e := range node.ins {
-			msgs := n.edges[e]
-			for j := range msgs {
-				node.tm.In[obsKind(msgs[j].Kind)].Inc()
-				total++
-				node.t.feed(port, &msgs[j], node.emit)
-			}
-		}
-		if node.ender != nil {
-			node.ender.endStep(node.emit)
-		}
-	}
-	for i := range n.edges {
-		if len(n.edges[i]) > 0 {
-			n.edges[i] = n.edges[i][:0]
-		}
-	}
-	n.metrics.StepMessages.Observe(total)
-	return total
-}
-
 // syncMetrics publishes the per-transducer and sink-side state into the
 // registry; called every gaugeSyncStride steps and after Finish, so
 // snapshots taken from other goroutines see counters that are exact per
 // event and gauges at most a few events stale.
 func (n *Network) syncMetrics() {
 	m := n.metrics
+	if d := n.step - n.lastStep; d != 0 {
+		m.Events.Add(d)
+		n.lastStep = n.step
+	}
+	if d := n.elements - n.lastElements; d != 0 {
+		m.Elements.Add(d)
+		n.lastElements = n.elements
+	}
+	m.Depth.Set(int64(n.depth))
+	m.Depth.NoteMax(int64(n.maxDepth))
+	n.stepMsgs.FlushTo(&m.StepMessages)
 	for i := range n.nodes {
-		ts := n.nodes[i].t.stackStats()
-		tm := n.nodes[i].tm
+		node := &n.nodes[i]
+		ts := node.t.stackStats()
+		tm := node.tm
 		tm.Stack.Set(int64(ts.Cur))
 		tm.Stack.NoteMax(int64(ts.MaxStack))
 		tm.Formula.NoteMax(int64(ts.MaxFormula))
+		if mc := node.mc; mc != nil && n.edgeCounts != nil {
+			// Every tape has one writer and one reader, so the tape counts
+			// are simultaneously the producer's out- and the consumer's
+			// in-counts; sum each side and publish the delta.
+			for k := 0; k < numKinds; k++ {
+				var in, out int64
+				for _, e := range node.ins {
+					in += n.edgeCounts[e][k]
+				}
+				for _, e := range node.outs {
+					out += n.edgeCounts[e][k]
+				}
+				if d := in - mc.flushedIn[k]; d != 0 {
+					tm.In[k].Add(d)
+					mc.flushedIn[k] = in
+				}
+				if d := out - mc.flushedOut[k]; d != 0 {
+					tm.Out[k].Add(d)
+					mc.flushedOut[k] = out
+				}
+			}
+		}
+	}
+	if n.pool != nil {
+		m.LiveVars.Set(int64(n.pool.Live()))
 	}
 	var cur OutputStats
 	var queued, buffered int

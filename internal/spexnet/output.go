@@ -2,9 +2,11 @@ package spexnet
 
 import (
 	"fmt"
+	"time"
 
 	"repro/internal/cond"
 	"repro/internal/governor"
+	"repro/internal/obs"
 	"repro/internal/xmlstream"
 )
 
@@ -88,6 +90,10 @@ type candidate struct {
 	// degraded to count-only mode: it is counted directly when its formula
 	// determines instead of travelling through the document-order queue.
 	unqueued bool
+	// born is the sink's event count when the candidate was created — the
+	// reference point of the decision-latency and candidate-lifetime
+	// histograms (both measured in stream events, §V's unit).
+	born int64
 }
 
 // outputT is the output transducer OU of §III.8. It is the network's sink:
@@ -119,6 +125,14 @@ type outputT struct {
 	st       StackStats
 	err      error
 
+	// step counts the document events the sink has seen (exactly one
+	// document message per stream event reaches OU), the clock the
+	// candidate-lifecycle histograms are measured against.
+	step int64
+	// om receives the candidate-lifecycle histograms (netConfig.sinkMetrics);
+	// nil keeps every recording point a single pointer test.
+	om *obs.Metrics
+
 	// sub names the query this sink serves, for governor attribution.
 	sub string
 	// degraded: the governor switched the sink to count-only mode; the
@@ -137,9 +151,39 @@ func newOutput(mode ResultMode, sink Sink, cfg *netConfig) *outputT {
 		mode:     mode,
 		sink:     sink,
 		cfg:      cfg,
+		om:       cfg.sinkMetrics,
 		byVar:    make(map[cond.VarID][]*candidate),
 		bindings: make(map[cond.VarID]*cond.Formula),
 		resolved: make(map[cond.VarID]*cond.Formula),
+	}
+}
+
+// observeDecision records the decision latency of a candidate born at the
+// given step: the events between creation and its condition resolving to
+// true or false.
+func (t *outputT) observeDecision(born int64) {
+	if t.om != nil {
+		t.om.DecisionLatency.Observe(t.step - born)
+	}
+}
+
+// observeLifetime records how long the candidate lived in the sink — from
+// creation to emission or discard, i.e. how long its buffered content aged.
+func (t *outputT) observeLifetime(born int64) {
+	if t.om != nil {
+		t.om.CandidateLifetime.Observe(t.step - born)
+	}
+}
+
+// observeEmit records the end-to-end stream latency of an answer emission:
+// wall-clock nanoseconds since the input reader last read, when a counting
+// reader stamps read times into the registry.
+func (t *outputT) observeEmit() {
+	if t.om == nil {
+		return
+	}
+	if last := t.om.LastReadNs.Load(); last > 0 {
+		t.om.StreamLatencyNs.Observe(time.Now().UnixNano() - last)
 	}
 }
 
@@ -163,6 +207,7 @@ func (t *outputT) feed(_ int, m *Message, emit emitFn) {
 		t.handleDet(m)
 		t.flushQueue()
 	case MsgDoc:
+		t.step++
 		t.handleDoc(m.Ev)
 		t.flushQueue()
 	}
@@ -186,6 +231,9 @@ func (t *outputT) handleDoc(ev xmlstream.Event) {
 			if t.mode == ModeCount && !t.cfg.noInterning && len(t.queue) == 0 && f.IsTrue() {
 				t.stats.Candidates++
 				t.stats.Matches++
+				// Decided and emitted at birth: both latencies are zero.
+				t.observeDecision(t.step)
+				t.observeLifetime(t.step)
 			} else {
 				t.openCandidate(index, ev, f)
 			}
@@ -241,13 +289,16 @@ func (t *outputT) openCandidate(index int64, ev xmlstream.Event, f *cond.Formula
 		t.openDegraded(index, name, f)
 		return
 	}
-	c := &candidate{index: index, name: name, formula: f, startDepth: t.depth}
+	c := &candidate{index: index, name: name, formula: f, startDepth: t.depth, born: t.step}
 	switch {
 	case f.IsTrue():
 		c.state = candAccepted
+		t.observeDecision(c.born)
 	case f.IsFalse():
 		c.state = candRejected
 		t.stats.Dropped++
+		t.observeDecision(c.born)
+		t.observeLifetime(c.born)
 	default:
 		f.Visit(func(v cond.VarID) { t.byVar[v] = append(t.byVar[v], c) })
 	}
@@ -269,10 +320,14 @@ func (t *outputT) openDegraded(index int64, name string, f *cond.Formula) {
 	switch {
 	case f.IsTrue():
 		t.stats.Matches++
+		t.observeDecision(t.step)
+		t.observeLifetime(t.step)
 	case f.IsFalse():
 		t.stats.Dropped++
+		t.observeDecision(t.step)
+		t.observeLifetime(t.step)
 	default:
-		c := &candidate{index: index, name: name, formula: f, unqueued: true}
+		c := &candidate{index: index, name: name, formula: f, unqueued: true, born: t.step}
 		f.Visit(func(v cond.VarID) { t.byVar[v] = append(t.byVar[v], c) })
 		t.pendingN++
 		if t.pendingN > t.stats.MaxQueued {
@@ -331,6 +386,7 @@ func (t *outputT) degrade() {
 				t.ssink.ResultEnd(c.index)
 			}
 			t.stats.Matches++
+			t.observeLifetime(c.born)
 		case candPending:
 			c.unqueued = true
 			t.pendingN++
@@ -461,16 +517,20 @@ func (t *outputT) resolve(v cond.VarID, val *cond.Formula) {
 		switch {
 		case c.formula.IsTrue():
 			c.state = candAccepted
+			t.observeDecision(c.born)
 			if c.unqueued {
 				t.stats.Matches++
 				t.pendingN--
+				t.observeLifetime(c.born)
 			}
 		case c.formula.IsFalse():
 			c.state = candRejected
 			t.stats.Dropped++
 			t.releaseContent(c)
+			t.observeDecision(c.born)
 			if c.unqueued {
 				t.pendingN--
+				t.observeLifetime(c.born)
 			}
 		default:
 			c.formula.Visit(func(w cond.VarID) {
@@ -529,6 +589,7 @@ func (t *outputT) flushQueue() {
 				}
 				t.ssink.ResultEnd(c.index)
 				t.stats.Matches++
+				t.observeEmit()
 			} else {
 				if t.mode == ModeSerialize && !c.closed {
 					return // content still arriving
@@ -538,6 +599,7 @@ func (t *outputT) flushQueue() {
 		default:
 			return
 		}
+		t.observeLifetime(c.born)
 		t.queue[0] = nil
 		t.queue = t.queue[1:]
 	}
@@ -545,6 +607,7 @@ func (t *outputT) flushQueue() {
 
 func (t *outputT) emit(c *candidate) {
 	t.stats.Matches++
+	t.observeEmit()
 	if t.mode == ModeCount || t.sink == nil {
 		return
 	}

@@ -2,6 +2,7 @@ package spexnet
 
 import (
 	"repro/internal/cond"
+	"repro/internal/obs"
 	"repro/internal/xmlstream"
 )
 
@@ -110,6 +111,16 @@ type netConfig struct {
 	// configured, which is the zero-overhead default (every hook is a
 	// single pointer test).
 	gov *govern
+	// sinkMetrics receives the candidate-lifecycle histograms (decision
+	// latency, candidate lifetime, stream latency) from every sink of the
+	// network. Candidate events are per-sink — not per-event-per-network —
+	// so one registry can serve many member networks of a multi-query
+	// engine without multiplying counts. Nil disables the histograms
+	// (a single pointer test per candidate transition).
+	sinkMetrics *obs.Metrics
+	// traceID is the stream-scoped trace identifier stamped on every
+	// obs.TraceEvent the network's tracer observes; empty when unset.
+	traceID string
 }
 
 // isStart reports whether the event opens a tree node (element or document

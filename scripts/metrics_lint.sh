@@ -1,0 +1,38 @@
+#!/bin/sh
+# metrics_lint.sh — keep the README's metrics table honest: every exported
+# spex_* Prometheus series name that appears as a literal in the exposition
+# code (internal/obs and internal/server, tests excluded) must be documented
+# in README.md. A metric nobody documented is a metric nobody can use.
+#
+#   scripts/metrics_lint.sh          run from the repository root
+#
+# Exit status is non-zero when any exported name is missing from the README,
+# listing the offenders. Used by `make metrics-lint` and the CI lint job.
+set -eu
+
+README=${README:-README.md}
+[ -f "$README" ] || { echo "metrics_lint: $README not found (run from the repo root)" >&2; exit 2; }
+
+# Exported series names: spex_* literals in non-test Go sources of the two
+# packages that write Prometheus expositions. Histogram families contribute
+# their base name; the _bucket/_sum/_count suffixes are derived and need no
+# separate documentation row.
+names=$(find internal/obs internal/server -maxdepth 1 -name '*.go' ! -name '*_test.go' \
+	-exec grep -ho 'spex_[a-z0-9_]*' {} + | grep -v '_$' | sort -u)
+
+[ -n "$names" ] || { echo "metrics_lint: no spex_* names found — wrong directory?" >&2; exit 2; }
+
+missing=""
+for name in $names; do
+	grep -q "$name" "$README" || missing="$missing $name"
+done
+
+if [ -n "$missing" ]; then
+	echo "metrics_lint: exported metric names missing from $README:" >&2
+	for name in $missing; do
+		echo "  $name" >&2
+	done
+	exit 1
+fi
+
+echo "metrics_lint: $(printf '%s\n' "$names" | wc -l | tr -d ' ') exported spex_* names all documented in $README"

@@ -223,6 +223,15 @@ func WithTracer(t Tracer) StreamOption {
 	return func(o *core.EvalOptions) { o.Tracer = t }
 }
 
+// WithTraceID stamps every trace record of the evaluation with a
+// stream-scoped identifier, correlating the records with the request or
+// stream that started the evaluation (the spexd server mints one per ingest
+// and threads it through to its result frames). Empty leaves records
+// unstamped.
+func WithTraceID(id string) StreamOption {
+	return func(o *core.EvalOptions) { o.TraceID = id }
+}
+
 // WithContext bounds a reader-fed evaluation (Count, Matches, Results,
 // StreamResults) by ctx: cancellation or deadline expiry is noticed at the
 // next read of the input and surfaces as the evaluation's error. Long-lived

@@ -109,6 +109,7 @@ type setConfig struct {
 	shards  int
 	gov     *governor.Config
 	metrics *obs.Metrics
+	traceID string
 }
 
 // Sequential evaluates each query of the set on its own transducer network —
@@ -153,6 +154,14 @@ func Governed(l ResourceLimits, p Policy) SetOption {
 // once per member network.
 func SetMetrics(m *Metrics) SetOption {
 	return func(c *setConfig) { c.metrics = m }
+}
+
+// SetTraceID stamps every trace record of every member network with the
+// stream-scoped trace identifier and labels the Parallel engine's shard
+// goroutines with it for pprof, correlating one stream pass across the
+// set's networks, profiles, and the caller's own records.
+func SetTraceID(id string) SetOption {
+	return func(c *setConfig) { c.traceID = id }
 }
 
 // Set evaluates several compiled queries against one stream in a single
@@ -246,6 +255,9 @@ func (s *Set) EvaluateContext(ctx context.Context, r io.Reader) error {
 	if s.cfg.metrics != nil {
 		engineOpts = append(engineOpts, multi.WithMetrics(s.cfg.metrics))
 	}
+	if s.cfg.traceID != "" {
+		engineOpts = append(engineOpts, multi.WithTraceID(s.cfg.traceID))
+	}
 	switch s.cfg.engine {
 	case setSequential:
 		eng, err = multi.NewSet(subs, engineOpts...)
@@ -254,12 +266,18 @@ func (s *Set) EvaluateContext(ctx context.Context, r io.Reader) error {
 			Shards:   s.cfg.shards,
 			Governor: s.cfg.gov,
 			Metrics:  s.cfg.metrics,
+			TraceID:  s.cfg.traceID,
 		})
 	default:
 		eng, err = multi.NewSharedSet(subs, engineOpts...)
 	}
 	if err != nil {
 		return err
+	}
+	if m := s.cfg.metrics; m != nil {
+		// Counting the input here also stamps the last-read timestamp the
+		// sink-side stream-latency histogram measures emissions against.
+		r = &obs.CountingReader{R: r, C: &m.Bytes, LastReadNs: &m.LastReadNs}
 	}
 	// The scanner shares the engine's symbol table, so every event arrives
 	// with its label already resolved to an integer symbol.
