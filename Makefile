@@ -53,17 +53,23 @@ fuzz-smoke:
 bench-smoke:
 	mkdir -p $(BENCH_DIR)
 	$(GO) run ./cmd/spexbench -fig 14 -scale 0.1 -check -json $(BENCH_DIR)
+	$(GO) run ./cmd/spexbench -fig 15 -scale 0.02 -check -json $(BENCH_DIR)
 	$(GO) run ./cmd/spexbench -fig sdi -scale 0.01 -check -json $(BENCH_DIR)
 	$(GO) run ./cmd/spexbench -fig adversarial -scale 0.01 -check -json $(BENCH_DIR)
 	$(GO) run ./cmd/spexbench -fig obs-overhead -scale 0.05 -max-overhead 10 -check -json $(BENCH_DIR)
+	$(GO) run ./cmd/spexbench -fig early-term -scale 0.02 -check -json $(BENCH_DIR)
 	$(GO) test -run 'TestCountModeZeroAlloc$$' -count 1 .
 	$(GO) test -run NONE -bench 'BenchmarkAblationInterning$$' -benchtime 1x .
 
 ## bench-delta: benchstat-style comparison of $(BENCH_DIR) against a
-## previous run's reports in $(BENCH_PREV) (informational, never fails)
+## previous run's reports in $(BENCH_PREV). With DELTA_MAX > 0 it is a
+## regression gate: a SPEX DMOZ qualifier workload slowing down by more than
+## DELTA_MAX percent fails the target; a missing $(BENCH_PREV) (first run,
+## expired cache) only warns, so a cache miss cannot block CI.
 BENCH_PREV ?= bench-prev
+DELTA_MAX ?= 10
 bench-delta:
-	$(GO) run ./cmd/spexbench -json $(BENCH_DIR) -delta $(BENCH_PREV)
+	$(GO) run ./cmd/spexbench -json $(BENCH_DIR) -delta $(BENCH_PREV) -delta-max $(DELTA_MAX)
 
 ## serve-smoke: boot a real spexd, drive subscribe → ingest → NDJSON result
 ## with curl against the Fig. 1 document, then check a clean SIGTERM drain

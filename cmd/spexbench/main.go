@@ -17,6 +17,12 @@
 //	                          # workload with and without a live metrics
 //	                          # registry; fails if the instrumented leg
 //	                          # loses more than 10% throughput
+//	spexbench -fig early-term
+//	                          # the early-termination figure: a `limit k`
+//	                          # query reads an input-size-independent
+//	                          # prefix of growing DMOZ documents; every
+//	                          # row is prefix-validated against the
+//	                          # unlimited evaluation
 //	spexbench -scale 1        # paper-sized documents (DMOZ takes a while)
 //	spexbench -check          # exit non-zero if any engine reports zero
 //	                          # answers (CI shape check, not a timing one)
@@ -26,6 +32,10 @@
 //	spexbench -json NEW -delta OLD
 //	                          # compare NEW's BENCH_*.json against OLD's
 //	                          # (benchstat-style ns/element table; no runs)
+//	spexbench -json NEW -delta OLD -delta-max 10
+//	                          # same, as a regression gate: fail if a SPEX
+//	                          # DMOZ qualifier workload slowed by >10%
+//	                          # (warn-only when OLD is missing)
 //
 // With -v, long runs print a periodic progress line (events/sec, depth,
 // matches, heap) sourced from the same live metrics registry.
@@ -70,7 +80,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 	fs := flag.NewFlagSet("spexbench", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	var (
-		fig      = fs.String("fig", "all", "which experiment: 14, 15, mem, sdi, adversarial, all")
+		fig      = fs.String("fig", "all", "which experiment: 14, 15, mem, sdi, adversarial, obs-overhead, early-term, all")
 		scale    = fs.Float64("scale", 0, "document scale; 0 = defaults (1 for Fig. 14, 0.05 for Fig. 15)")
 		verbose  = fs.Bool("v", false, "stream per-measurement progress and a periodic live-metrics line")
 		fullDMOZ = fs.Bool("full-dmoz", false, "run Fig. 15 at the paper's full scale (slow; equivalent to -scale 1)")
@@ -78,6 +88,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 		jsonDir  = fs.String("json", "", "write machine-readable BENCH_*.json reports into this directory")
 		check    = fs.Bool("check", false, "fail if any non-skipped measurement reports zero answers")
 		deltaDir = fs.String("delta", "", "compare the BENCH_*.json reports in the -json directory against this previous-report directory and print a delta table (no benchmarks are run)")
+		deltaMax = fs.Float64("delta-max", 0, "with -delta: fail if a SPEX DMOZ qualifier workload's ns/element regressed by more than this percent (0 = informational only; a missing previous directory never fails)")
 		maxOver  = fs.Float64("max-overhead", 0, "obs-overhead gate: fail if the instrumented leg loses more than this percent throughput vs NoObs (0 = report only)")
 	)
 	if err := fs.Parse(args); err != nil {
@@ -87,7 +98,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 		if *jsonDir == "" {
 			return fmt.Errorf("-delta requires -json NEWDIR naming the current reports")
 		}
-		return bench.CompareReports(stdout, *deltaDir, *jsonDir)
+		return bench.CompareReports(stdout, *deltaDir, *jsonDir, *deltaMax)
 	}
 	var progress io.Writer
 	if *verbose {
@@ -127,6 +138,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 	runSDI := *fig == "sdi" || *fig == "all"
 	runAdv := *fig == "adversarial" || *fig == "adv" || *fig == "all"
 	runObs := *fig == "obs-overhead" || *fig == "obs" || *fig == "all"
+	runEarly := *fig == "early-term" || *fig == "early" || *fig == "all"
 
 	// checkAnswers is the CI shape check: every measurement that actually
 	// ran must have found answers on these workloads.
@@ -244,6 +256,54 @@ func run(args []string, stdout, stderr io.Writer) error {
 		}
 		if err := figureObsOverhead(stdout, progress, s, *jsonDir, *maxOver, *check); err != nil {
 			return err
+		}
+	}
+	if runEarly {
+		s := *scale
+		if s == 0 {
+			s = 0.02
+		}
+		if err := figureEarlyTerm(stdout, progress, s, *jsonDir, *check); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// figureEarlyTerm runs the early-termination figure (EXPERIMENTS.md E19):
+// `limit k` queries on growing DMOZ documents, each prefix-validated against
+// its unlimited twin inside the harness. The runs are self-checking; -check
+// additionally requires the limited passes to have found answers and
+// actually terminated early.
+func figureEarlyTerm(out, progress io.Writer, scale float64, jsonDir string, check bool) error {
+	ms, err := bench.RunEarlyTerm(scale, progress)
+	if err != nil {
+		return err
+	}
+	title := fmt.Sprintf("\nEarly termination — dmoz-structure at scale %g × {1,2,4}, limited vs unlimited", scale)
+	bench.WriteEarlyTermTable(out, title, ms)
+	if jsonDir != "" {
+		f, err := os.Create(filepath.Join(jsonDir, "BENCH_early_term.json"))
+		if err != nil {
+			return err
+		}
+		err = bench.WriteEarlyTermJSON(f, ms)
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			return err
+		}
+	}
+	if check {
+		for _, m := range ms {
+			if m.Matches == 0 {
+				return fmt.Errorf("early-term: %s limit %d at scale %g reported zero answers", m.Query, m.Limit, m.Scale)
+			}
+			if m.TotalMatches > m.Limit && (!m.Determined || m.ConsumedElements >= m.TotalElements) {
+				return fmt.Errorf("early-term: %s limit %d at scale %g did not terminate early (consumed %d of %d elements, determined=%v)",
+					m.Query, m.Limit, m.Scale, m.ConsumedElements, m.TotalElements, m.Determined)
+			}
 		}
 	}
 	return nil

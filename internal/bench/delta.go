@@ -7,18 +7,24 @@ import (
 	"os"
 	"path/filepath"
 	"sort"
+	"strings"
 )
 
 // CompareReports renders a benchstat-style delta table between two
 // directories of BENCH_*.json reports (as written by spexbench -json):
 // reports are matched by filename, rows by engine+dataset+class+query, and
-// the compared quantity is ns/element. It is a trend surface for CI — the
-// output is informational and the comparison never fails the run: a missing
-// previous directory (first run, expired cache) or a schema it cannot read
-// (BENCH_sdi.json rows have no query) just narrows what is shown.
-func CompareReports(w io.Writer, oldDir, newDir string) error {
+// the compared quantity is ns/element.
+//
+// With maxPct == 0 the output is purely informational. With maxPct > 0 the
+// comparison becomes a regression gate over the gated rows — the SPEX
+// engine's DMOZ qualifier workloads, the paper's headline figure — and an
+// error is returned when any of them slows down by more than maxPct percent.
+// A missing previous directory (first run, expired cache) or a schema the
+// reader cannot parse (BENCH_sdi.json rows have no query) never fails the
+// run: warn-only degradation, so a cache miss cannot block CI.
+func CompareReports(w io.Writer, oldDir, newDir string, maxPct float64) error {
 	if _, err := os.Stat(oldDir); err != nil {
-		fmt.Fprintf(w, "bench delta: no previous reports at %s (first run?)\n", oldDir)
+		fmt.Fprintf(w, "bench delta: no previous reports at %s (first run?); regression gate skipped\n", oldDir)
 		return nil
 	}
 	newFiles, err := filepath.Glob(filepath.Join(newDir, "BENCH_*.json"))
@@ -30,6 +36,7 @@ func CompareReports(w io.Writer, oldDir, newDir string) error {
 		return nil
 	}
 	sort.Strings(newFiles)
+	var regressions []string
 	for _, nf := range newFiles {
 		name := filepath.Base(nf)
 		of := filepath.Join(oldDir, name)
@@ -43,9 +50,23 @@ func CompareReports(w io.Writer, oldDir, newDir string) error {
 			fmt.Fprintf(w, "bench delta: %s: no comparable previous report (%v)\n", name, err)
 			continue
 		}
-		writeDelta(w, name, oldRows, newRows)
+		regressions = append(regressions, writeDelta(w, name, oldRows, newRows, maxPct)...)
+	}
+	if maxPct > 0 && len(regressions) > 0 {
+		return fmt.Errorf("bench delta: %d gated workload(s) regressed beyond %.0f%%:\n  %s",
+			len(regressions), maxPct, strings.Join(regressions, "\n  "))
 	}
 	return nil
+}
+
+// gated reports whether a row is under the regression gate: SPEX on a DMOZ
+// qualifier query. These are the steady-state streaming rows the reproduction
+// lives on; everything else (baseline engines, tiny documents, prefix reads)
+// is too noisy or too peripheral to fail a build over.
+func (r deltaRow) gated() bool {
+	return r.Engine == "spex" &&
+		strings.HasPrefix(r.Dataset, "dmoz") &&
+		strings.Contains(r.Query, "[")
 }
 
 // deltaRow is the subset of the jsonMeasurement schema the comparison needs.
@@ -83,12 +104,13 @@ func readReport(path string) (map[string]deltaRow, error) {
 	return out, nil
 }
 
-func writeDelta(w io.Writer, name string, oldRows, newRows map[string]deltaRow) {
+func writeDelta(w io.Writer, name string, oldRows, newRows map[string]deltaRow, maxPct float64) []string {
 	keys := make([]string, 0, len(newRows))
 	for k := range newRows {
 		keys = append(keys, k)
 	}
 	sort.Strings(keys)
+	var regressions []string
 	fmt.Fprintf(w, "\n%s — ns/element, old vs new\n", name)
 	fmt.Fprintf(w, "%-12s %-16s %-36s %12s %12s %9s\n", "engine", "dataset", "query", "old", "new", "delta")
 	for _, k := range keys {
@@ -99,7 +121,14 @@ func writeDelta(w io.Writer, name string, oldRows, newRows map[string]deltaRow) 
 			continue
 		}
 		delta := (nr.NsPerElement - or.NsPerElement) / or.NsPerElement * 100
-		fmt.Fprintf(w, "%-12s %-16s %-36s %12.1f %12.1f %+8.1f%%\n", nr.Engine, nr.Dataset, trim(nr.Query, 36), or.NsPerElement, nr.NsPerElement, delta)
+		mark := ""
+		if maxPct > 0 && nr.gated() && delta > maxPct {
+			mark = "  REGRESSION"
+			regressions = append(regressions,
+				fmt.Sprintf("%s: %s %s %q %.1f → %.1f ns/element (%+.1f%%)",
+					name, nr.Engine, nr.Dataset, nr.Query, or.NsPerElement, nr.NsPerElement, delta))
+		}
+		fmt.Fprintf(w, "%-12s %-16s %-36s %12.1f %12.1f %+8.1f%%%s\n", nr.Engine, nr.Dataset, trim(nr.Query, 36), or.NsPerElement, nr.NsPerElement, delta, mark)
 	}
 	for k := range oldRows {
 		if _, ok := newRows[k]; !ok {
@@ -107,6 +136,7 @@ func writeDelta(w io.Writer, name string, oldRows, newRows map[string]deltaRow) 
 			fmt.Fprintf(w, "%-12s %-16s %-36s %12.1f %12s %9s\n", or.Engine, or.Dataset, trim(or.Query, 36), or.NsPerElement, "-", "gone")
 		}
 	}
+	return regressions
 }
 
 func trim(s string, n int) string {

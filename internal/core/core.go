@@ -29,25 +29,31 @@ type Plan struct {
 	expr   rpeq.Node
 	source string
 	symtab *xmlstream.Symtab
+	// limit is the plan's answer budget from a trailing "limit N"/"first"
+	// clause (0 = unlimited); EvalOptions.Limit can override per evaluation.
+	limit int64
 }
 
-// Prepare parses an rpeq expression into a plan.
+// Prepare parses an rpeq expression into a plan. A trailing "limit N" or
+// "first" clause caps the answer count: evaluation stops reading the stream
+// as soon as the first N answers (in document order) are fixed.
 func Prepare(expr string) (*Plan, error) {
-	node, err := rpeq.Parse(expr)
+	node, limit, err := rpeq.ParseWithLimit(expr)
 	if err != nil {
 		return nil, err
 	}
-	return &Plan{expr: node, source: expr, symtab: xmlstream.NewSymtab()}, nil
+	return &Plan{expr: node, source: expr, symtab: xmlstream.NewSymtab(), limit: limit}, nil
 }
 
 // PrepareXPath parses an expression in the paper's XPath fragment
-// (child/descendant steps with structural qualifiers) into a plan.
+// (child/descendant steps with structural qualifiers) into a plan. The same
+// trailing "limit N"/"first" clause as Prepare is accepted.
 func PrepareXPath(path string) (*Plan, error) {
-	node, err := rpeq.ParseXPath(path)
+	node, limit, err := rpeq.ParseXPathWithLimit(path)
 	if err != nil {
 		return nil, err
 	}
-	return &Plan{expr: node, source: path, symtab: xmlstream.NewSymtab()}, nil
+	return &Plan{expr: node, source: path, symtab: xmlstream.NewSymtab(), limit: limit}, nil
 }
 
 // FromAST wraps an already-built expression tree.
@@ -64,6 +70,21 @@ func (p *Plan) Expr() rpeq.Node { return p.expr }
 // Symtab returns the plan's symbol table, for callers that feed the plan
 // pre-scanned events and want to share the interner with their scanner.
 func (p *Plan) Symtab() *xmlstream.Symtab { return p.symtab }
+
+// Limit returns the plan's answer budget (0 = unlimited).
+func (p *Plan) Limit() int64 { return p.limit }
+
+// Limited returns a copy of the plan with the given answer budget (n <= 0
+// removes it). The copy shares the parsed expression and the symbol table,
+// so deriving limited variants of a prepared plan is free.
+func (p *Plan) Limited(n int64) *Plan {
+	cp := *p
+	if n < 0 {
+		n = 0
+	}
+	cp.limit = n
+	return &cp
+}
 
 // EvalOptions configure one evaluation.
 type EvalOptions struct {
@@ -109,6 +130,12 @@ type EvalOptions struct {
 	// record of this evaluation, correlating it with the request or stream
 	// that started it. Empty leaves trace records unstamped.
 	TraceID string
+	// Limit caps the answer count for this evaluation: positive overrides
+	// the plan's own limit, zero uses the plan's (from a "limit N"/"first"
+	// clause), negative forces unlimited evaluation regardless of the plan.
+	// With a limit in effect the evaluation is determined — and the stream
+	// disconnected — as soon as the first Limit answers are fixed.
+	Limit int64
 }
 
 // symtabFor resolves which symbol table an evaluation of plan p uses.
@@ -122,8 +149,21 @@ func (o EvalOptions) symtabFor(p *Plan) *xmlstream.Symtab {
 	return p.symtab
 }
 
+// limitFor resolves the evaluation's effective answer budget.
+func (o EvalOptions) limitFor(p *Plan) int64 {
+	switch {
+	case o.Limit > 0:
+		return o.Limit
+	case o.Limit < 0:
+		return 0
+	default:
+		return p.limit
+	}
+}
+
 func (o EvalOptions) netOptions(p *Plan) spexnet.Options {
 	return spexnet.Options{
+		Limit:           o.limitFor(p),
 		Mode:            o.Mode,
 		Sink:            o.Sink,
 		StreamSink:      o.StreamSink,
@@ -252,6 +292,14 @@ func (r *Run) Feed(ev xmlstream.Event) error {
 	if err := r.net.Step(ev); err != nil {
 		return err
 	}
+	if r.net.AnswerDetermined() {
+		// The answer is fixed: release the network's candidate state right
+		// away (the governor's headroom returns at the determination event)
+		// and ignore whatever the feeder still delivers. The run stays
+		// queryable — Matches and Stats were frozen by the release.
+		r.net.Release()
+		return nil
+	}
 	if ev.Kind == xmlstream.EndDocument {
 		r.closed = true
 		return r.net.Finish()
@@ -260,9 +308,15 @@ func (r *Run) Feed(ev xmlstream.Event) error {
 }
 
 // Close ends the stream, synthesizing the end-document event if needed, and
-// validates the evaluation.
+// validates the evaluation. A run whose answer was determined mid-stream
+// (limit reached) is released instead: the stream is half-consumed by
+// design, so the end-document balance check does not apply.
 func (r *Run) Close() error {
 	if r.closed {
+		return nil
+	}
+	if r.net.AnswerDetermined() {
+		r.Release()
 		return nil
 	}
 	if !r.opened {
@@ -276,6 +330,11 @@ func (r *Run) Close() error {
 	}
 	return r.net.Finish()
 }
+
+// Determined reports whether the run's answer is already fixed (every sink
+// reached its answer limit): the caller may stop feeding events, and Close
+// releases the half-consumed run instead of validating stream balance.
+func (r *Run) Determined() bool { return r.net.AnswerDetermined() }
 
 // Release abandons the run without finishing the stream: transducer stacks,
 // tape buffers and queued candidates are dropped and the condition pool's

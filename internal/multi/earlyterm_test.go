@@ -1,0 +1,153 @@
+package multi
+
+import (
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/spexnet"
+	"repro/internal/xmlstream"
+)
+
+// earlyTermDoc streams n <c/> leaves under one root — n answers of _*.c, so
+// a limited query's determining event sits arbitrarily far from the end.
+func earlyTermDoc(n int) string {
+	var sb strings.Builder
+	sb.WriteString("<r>")
+	for i := 0; i < n; i++ {
+		sb.WriteString("<c/>")
+	}
+	sb.WriteString("</r>")
+	return sb.String()
+}
+
+// TestEnginesEarlyDisconnect drives all three engines over a 50k-element
+// document through a counting source: with every subscription limited to 3
+// answers, each engine must disconnect from the source at the determining
+// event, pulling only a tiny prefix of the stream.
+func TestEnginesEarlyDisconnect(t *testing.T) {
+	const leaves = 50000
+	doc := earlyTermDoc(leaves)
+
+	type runner interface {
+		Run(src xmlstream.Source) error
+		Determined() bool
+		Matches() map[string]int64
+	}
+	engines := []struct {
+		name string
+		make func(t *testing.T) runner
+	}{
+		{"sequential", func(t *testing.T) runner {
+			s, err := NewSet(subsLimited(t))
+			if err != nil {
+				t.Fatal(err)
+			}
+			return s
+		}},
+		{"shared", func(t *testing.T) runner {
+			s, err := NewSharedSet(subsLimited(t))
+			if err != nil {
+				t.Fatal(err)
+			}
+			return s
+		}},
+		{"parallel", func(t *testing.T) runner {
+			p, err := NewParallelSet(subsLimited(t), ParallelOptions{Shards: 2, BatchSize: 64})
+			if err != nil {
+				t.Fatal(err)
+			}
+			return p
+		}},
+	}
+	for _, eng := range engines {
+		t.Run(eng.name, func(t *testing.T) {
+			set := eng.make(t)
+			src := &xmlstream.CountingSource{Src: xmlstream.NewScanner(strings.NewReader(doc))}
+			if err := set.Run(src); err != nil {
+				t.Fatal(err)
+			}
+			if !set.Determined() {
+				t.Fatal("all-limited set did not determine")
+			}
+			for name, m := range set.Matches() {
+				if m != 3 {
+					t.Fatalf("%s matches = %d, want 3", name, m)
+				}
+			}
+			// The determining event is within the first handful of leaves;
+			// a generous bound still proves the disconnect (the parallel
+			// engine over-reads by up to a batch per shard).
+			if src.Info.Elements > leaves/10 {
+				t.Fatalf("consumed %d of %d elements — engine did not disconnect early",
+					src.Info.Elements, leaves)
+			}
+		})
+	}
+}
+
+func subsLimited(t *testing.T) []Subscription {
+	t.Helper()
+	return []Subscription{
+		{Name: "c3", Plan: plan(t, "_*.c limit 3"), OnHit: func(string, spexnet.Result) {}},
+		{Name: "r3", Plan: plan(t, "r.c limit 3"), OnHit: func(string, spexnet.Result) {}},
+	}
+}
+
+// TestParallelMidBatchDisconnectNoLeak feeds a parallel set event by event so
+// determination lands mid-batch, then keeps feeding past it. Run under
+// -race, this checks three things: no worker touches a released network, the
+// trailing events are absorbed without growing the answer, and Close joins
+// every goroutine — nothing stays parked on the broadcast channels.
+func TestParallelMidBatchDisconnectNoLeak(t *testing.T) {
+	baseline := runtime.NumGoroutine()
+
+	var hits int
+	subs := []Subscription{
+		{Name: "c2", Plan: plan(t, "_*.c limit 2"), OnHit: func(string, spexnet.Result) { hits++ }},
+	}
+	p, err := NewParallelSet(subs, ParallelOptions{Shards: 4, BatchSize: 8, QueueDepth: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	feed := func(ev xmlstream.Event) {
+		t.Helper()
+		if err := p.Feed(ev); err != nil {
+			t.Fatal(err)
+		}
+	}
+	feed(xmlstream.Event{Kind: xmlstream.StartDocument})
+	feed(xmlstream.Start("r"))
+	// 500 leaves: the limit-2 determination lands in the first batch while
+	// later batches are already queued or still being filled.
+	for i := 0; i < 500; i++ {
+		feed(xmlstream.Start("c"))
+		feed(xmlstream.End("c"))
+	}
+	feed(xmlstream.End("r"))
+	feed(xmlstream.Event{Kind: xmlstream.EndDocument})
+	if err := p.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if hits != 2 {
+		t.Fatalf("hits = %d, want 2", hits)
+	}
+	if !p.Determined() {
+		t.Fatal("set did not report Determined")
+	}
+	if m := p.Matches()["c2"]; m != 2 {
+		t.Fatalf("Matches = %d, want 2", m)
+	}
+
+	// Close must have joined the workers and the sink; give the runtime a
+	// moment to retire exiting goroutines before comparing.
+	deadline := time.Now().Add(2 * time.Second)
+	for runtime.NumGoroutine() > baseline && time.Now().Before(deadline) {
+		runtime.Gosched()
+		time.Sleep(5 * time.Millisecond)
+	}
+	if n := runtime.NumGoroutine(); n > baseline {
+		t.Fatalf("goroutines after Close: %d, baseline %d — worker leak", n, baseline)
+	}
+}

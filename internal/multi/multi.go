@@ -39,6 +39,10 @@ type Set struct {
 	subs   []Subscription
 	runs   []*core.Run
 	symtab *xmlstream.Symtab
+	// done flags subscriptions whose answer is fixed (limit reached); det
+	// counts them, so Determined is O(1) and Feed skips finished runs.
+	done []bool
+	det  int
 }
 
 // NewSet prepares the evaluation of all subscriptions.
@@ -71,6 +75,7 @@ func newSetSym(subs []Subscription, symtab *xmlstream.Symtab, cfg engineConfig) 
 		}
 		s.runs = append(s.runs, run)
 	}
+	s.done = make([]bool, len(s.runs))
 	return s, nil
 }
 
@@ -86,14 +91,30 @@ func (s *Set) Feed(ev xmlstream.Event) error {
 		ev.Sym = s.symtab.Intern(ev.Name)
 	}
 	for i, run := range s.runs {
+		if s.done[i] {
+			continue
+		}
 		if err := run.Feed(ev); err != nil {
 			return fmt.Errorf("multi: subscription %s: %w", s.subs[i].Name, err)
+		}
+		if run.Determined() {
+			// The subscription's answer limit was reached: its run already
+			// released itself, so stop feeding it (the remaining
+			// subscriptions keep the stream flowing).
+			s.done[i] = true
+			s.det++
 		}
 	}
 	return nil
 }
 
-// Run drains the source through all subscriptions and closes them.
+// Determined reports whether every subscription's answer is fixed (all
+// answer limits reached): the feeder may disconnect the stream.
+func (s *Set) Determined() bool { return len(s.runs) > 0 && s.det == len(s.runs) }
+
+// Run drains the source through all subscriptions and closes them. When
+// every subscription reaches its answer limit the source is disconnected at
+// the determining event — the rest of the stream is never pulled.
 func (s *Set) Run(src xmlstream.Source) error {
 	for {
 		ev, err := src.Next()
@@ -105,6 +126,9 @@ func (s *Set) Run(src xmlstream.Source) error {
 		}
 		if err := s.Feed(ev); err != nil {
 			return err
+		}
+		if s.Determined() {
+			break
 		}
 	}
 	return s.Close()

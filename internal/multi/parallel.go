@@ -100,6 +100,7 @@ type evaluator interface {
 	Feed(ev xmlstream.Event) error
 	Close() error
 	Matches() map[string]int64
+	Determined() bool
 }
 
 // ParallelSet evaluates a collection of subscriptions over one stream pass
@@ -133,6 +134,12 @@ type ParallelSet struct {
 	errMu  sync.Mutex
 	err    error
 
+	// detShards counts shards whose every subscription reached its answer
+	// limit; when it equals len(shards) the whole pool's answer is fixed and
+	// the feeder disconnects the stream. Written by shard goroutines, read
+	// by the feeder.
+	detShards atomic.Int32
+
 	opened bool
 	closed bool
 	depth  int64
@@ -147,6 +154,10 @@ type shardWorker struct {
 	set  evaluator
 	sm   *obs.ShardMetrics
 	hits *hitBatch
+	// determined flags that this shard's engine released itself (all its
+	// subscriptions reached their answer limits); later batches are dropped
+	// unevaluated but still reference-released, so pooled buffers never leak.
+	determined bool
 }
 
 // NewParallelSet partitions the subscriptions over a worker pool and starts
@@ -295,7 +306,7 @@ func (w *shardWorker) run() {
 // evalBatch feeds one batch through the shard's engine, converting panics
 // into pool errors.
 func (w *shardWorker) evalBatch(b *eventBatch) {
-	if w.p.failed.Load() {
+	if w.p.failed.Load() || w.determined {
 		return
 	}
 	defer func() {
@@ -310,6 +321,11 @@ func (w *shardWorker) evalBatch(b *eventBatch) {
 	for i := range b.evs {
 		if err := w.set.Feed(b.evs[i]); err != nil {
 			w.p.setErr(fmt.Errorf("multi: shard %d: %w", w.id, err))
+			break
+		}
+		if w.set.Determined() {
+			w.determined = true
+			w.p.detShards.Add(1)
 			break
 		}
 	}
@@ -393,6 +409,11 @@ func (p *ParallelSet) Feed(ev xmlstream.Event) error {
 	}
 	if p.failed.Load() {
 		return p.firstErr()
+	}
+	if p.Determined() {
+		// Every shard's answer is fixed; broadcasting further events would
+		// only be dropped by the workers.
+		return nil
 	}
 	if !p.opened {
 		p.opened = true
@@ -500,8 +521,18 @@ func (p *ParallelSet) Run(src xmlstream.Source) error {
 			_ = p.Close()
 			return err
 		}
+		if p.Determined() {
+			break
+		}
 	}
 	return p.Close()
+}
+
+// Determined reports whether every shard's answer is fixed (all answer
+// limits reached): the feeder may disconnect the stream. Safe to call from
+// the feeding goroutine while the pool runs.
+func (p *ParallelSet) Determined() bool {
+	return len(p.shards) > 0 && int(p.detShards.Load()) == len(p.shards)
 }
 
 // Matches returns per-subscription answer counts, keyed by name; valid

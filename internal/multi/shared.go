@@ -35,9 +35,10 @@ func newSharedSetSym(subs []Subscription, symtab *xmlstream.Symtab, cfg engineCo
 	for i := range subs {
 		sub := subs[i]
 		specs[i] = spexnet.Spec{
-			Expr: sub.Plan.Expr(),
-			Mode: spexnet.ModeNodes,
-			Name: sub.Name,
+			Expr:  sub.Plan.Expr(),
+			Mode:  spexnet.ModeNodes,
+			Name:  sub.Name,
+			Limit: sub.Plan.Limit(),
 			Sink: func(r spexnet.Result) {
 				if sub.OnHit != nil {
 					sub.OnHit(sub.Name, r)
@@ -72,6 +73,14 @@ func (s *SharedSet) Feed(ev xmlstream.Event) error {
 	if s.done {
 		return fmt.Errorf("multi: shared set already closed")
 	}
+	if s.net.AnswerDetermined() {
+		// Every sink's answer limit is reached; the network released its
+		// state, so the remaining stream is irrelevant.
+		if ev.Kind == xmlstream.EndDocument {
+			s.done = true
+		}
+		return nil
+	}
 	if !s.open {
 		s.open = true
 		if ev.Kind != xmlstream.StartDocument {
@@ -83,12 +92,20 @@ func (s *SharedSet) Feed(ev xmlstream.Event) error {
 	if err := s.net.Step(ev); err != nil {
 		return err
 	}
+	if s.net.AnswerDetermined() {
+		s.net.Release()
+		return nil
+	}
 	if ev.Kind == xmlstream.EndDocument {
 		s.done = true
 		return s.net.Finish()
 	}
 	return nil
 }
+
+// Determined reports whether every subscription's answer is fixed (all
+// answer limits reached): the feeder may disconnect the stream.
+func (s *SharedSet) Determined() bool { return s.net.AnswerDetermined() }
 
 // Run drains the source and closes the set.
 func (s *SharedSet) Run(src xmlstream.Source) error {
@@ -103,6 +120,9 @@ func (s *SharedSet) Run(src xmlstream.Source) error {
 		if err := s.Feed(ev); err != nil {
 			return err
 		}
+		if s.net.AnswerDetermined() {
+			break
+		}
 	}
 	return s.Close()
 }
@@ -113,6 +133,10 @@ func (s *SharedSet) Close() error {
 		return nil
 	}
 	s.done = true
+	if s.net.AnswerDetermined() {
+		s.net.Release()
+		return nil
+	}
 	if !s.open {
 		if err := s.net.Step(xmlstream.Event{Kind: xmlstream.StartDocument}); err != nil {
 			return err

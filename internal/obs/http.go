@@ -158,6 +158,7 @@ func WritePrometheus(w io.Writer, s Snapshot) {
 	p.Gauge("spex_queued_max", "maximum simultaneously queued candidates", s.MaxQueued)
 	p.Gauge("spex_buffered_events", "buffered answer-content events", s.Buffered)
 	p.Gauge("spex_buffered_events_max", "maximum simultaneously buffered content events", s.MaxBuffered)
+	p.Counter("spex_early_terminations_total", "sinks whose answer became fixed before end of stream (limit reached)", s.EarlyTerms)
 	p.Gauge("spex_symtab_size", "distinct label names interned in the symbol table", s.SymtabSize)
 	p.Counter("spex_symtab_hits_total", "symbol-table lookups answered from the read-mostly snapshot", s.SymtabHits)
 	p.Counter("spex_symtab_misses_total", "symbol-table lookups that inserted a new name", s.SymtabMisses)

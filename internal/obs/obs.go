@@ -291,6 +291,10 @@ type Metrics struct {
 	Dropped    Counter   // candidates whose condition became false
 	Queued     Watermark // candidates awaiting determination or order
 	Buffered   Watermark // buffered content events
+	// EarlyTerm counts sinks whose answer became fixed before the end of
+	// the stream (answer limit reached): each increment is one query that
+	// released its candidate state early and let its stream disconnect.
+	EarlyTerm Counter
 
 	// Candidate-lifecycle histograms (sink-side). DecisionLatency is the
 	// number of stream events between a candidate's creation and the moment

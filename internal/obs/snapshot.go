@@ -35,6 +35,9 @@ type Snapshot struct {
 	MaxQueued   int64 `json:"max_queued"`
 	Buffered    int64 `json:"buffered_events"`
 	MaxBuffered int64 `json:"max_buffered_events"`
+	// EarlyTerms counts sinks whose answer became fixed before end of
+	// stream (answer limits reached; earliest query answering).
+	EarlyTerms int64 `json:"early_terminations"`
 
 	// Symbol-table instruments: interner size and cumulative lookup
 	// hit/miss counts (cumulative for the table, which may outlive the run).
@@ -153,6 +156,7 @@ func (m *Metrics) Snapshot() Snapshot {
 		MaxQueued:   m.Queued.Max(),
 		Buffered:    m.Buffered.Cur(),
 		MaxBuffered: m.Buffered.Max(),
+		EarlyTerms:  m.EarlyTerm.Load(),
 
 		SymtabSize:        m.SymtabSize.Load(),
 		SymtabHits:        m.SymtabHits.Load(),

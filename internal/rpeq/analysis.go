@@ -1,0 +1,32 @@
+package rpeq
+
+// Nullable reports whether the expression is guaranteed to select its
+// context node itself, i.e. whether ε is in the expression's language.
+// This is the static side of earliest query answering: a qualifier whose
+// condition is nullable (e.g. [b*] or [c?]) is vacuously true at the very
+// event that opens the candidate — the context node itself witnesses the
+// condition — so base[cond] ≡ base and the condition sub-network can be
+// eliminated at compile time instead of buffering the candidate to scope
+// close.
+//
+// The analysis is a sound under-approximation for Qualifier nodes: a
+// qualifier is reported nullable only when its base is nullable and its
+// condition is statically vacuous; dynamically the condition could still
+// hold at the context node, but that cannot be decided from the suffix
+// language alone.
+func Nullable(n Node) bool {
+	switch n := n.(type) {
+	case *Empty, *Star, *Optional:
+		return true
+	case *Label, *Plus, *Following, *Preceding, *TextTest:
+		return false
+	case *Concat:
+		return Nullable(n.Left) && Nullable(n.Right)
+	case *Union:
+		return Nullable(n.Left) || Nullable(n.Right)
+	case *Qualifier:
+		return Nullable(n.Base) && Nullable(n.Cond)
+	default:
+		return false
+	}
+}

@@ -22,6 +22,7 @@ const (
 	tokEq       // =
 	tokNeq      // !=
 	tokContains // *=
+	tokNumber   // decimal integer (limit clauses)
 )
 
 func (k tokenKind) String() string {
@@ -58,6 +59,8 @@ func (k tokenKind) String() string {
 		return "'!='"
 	case tokContains:
 		return "'*='"
+	case tokNumber:
+		return "number"
 	default:
 		return "unknown token"
 	}
@@ -163,6 +166,12 @@ func (l *lexer) next() (token, error) {
 			l.pos++
 		}
 		return token{kind: tokName, text: l.src[start:l.pos], pos: start}, nil
+	}
+	if c >= '0' && c <= '9' {
+		for l.pos < len(l.src) && l.src[l.pos] >= '0' && l.src[l.pos] <= '9' {
+			l.pos++
+		}
+		return token{kind: tokNumber, text: l.src[start:l.pos], pos: start}, nil
 	}
 	return token{}, fmt.Errorf("rpeq: invalid character %q at offset %d", c, start)
 }

@@ -1,0 +1,148 @@
+package rpeq
+
+import "testing"
+
+func TestParseWithLimit(t *testing.T) {
+	cases := []struct {
+		src   string
+		expr  string // canonical form of the expression part
+		limit int64
+	}{
+		{"a.b", "a.b", 0},
+		{"a.b limit 3", "a.b", 3},
+		{"a.b first", "a.b", 1},
+		{"_*.Topic.Title limit 1", "_*.Topic.Title", 1},
+		{"a[b].c limit 42", "a[b].c", 42},
+		// `limit` and `first` stay ordinary labels everywhere except the
+		// trailing clause position.
+		{"limit.first", "limit.first", 0},
+		{"a.limit", "a.limit", 0},
+		{"first[limit]", "first[limit]", 0},
+		{"a.first limit 2", "a.first", 2},
+	}
+	for _, tc := range cases {
+		n, limit, err := ParseWithLimit(tc.src)
+		if err != nil {
+			t.Errorf("ParseWithLimit(%q): %v", tc.src, err)
+			continue
+		}
+		if limit != tc.limit {
+			t.Errorf("ParseWithLimit(%q) limit = %d, want %d", tc.src, limit, tc.limit)
+		}
+		want := MustParse(tc.expr)
+		if Canonical(n) != Canonical(want) {
+			t.Errorf("ParseWithLimit(%q) expr = %s, want %s", tc.src, Canonical(n), Canonical(want))
+		}
+	}
+}
+
+func TestParseWithLimitErrors(t *testing.T) {
+	for _, src := range []string{
+		"a limit 0",   // a limit must select at least one answer
+		"a limit",     // missing count
+		"a limit b",   // count must be a number
+		"a limit 2 3", // trailing junk
+		"a first 2",   // first takes no argument
+		"a first limit 2",
+		"limit 3", // no expression
+	} {
+		if _, _, err := ParseWithLimit(src); err == nil {
+			t.Errorf("ParseWithLimit(%q) succeeded, want error", src)
+		}
+	}
+}
+
+// TestPlainParseRejectsLimitClause pins backwards compatibility: the plain
+// parser's grammar is unchanged, so an embedded limit clause stays a syntax
+// error for callers that never opted into limits.
+func TestPlainParseRejectsLimitClause(t *testing.T) {
+	for _, src := range []string{"a limit 3", "a.b first"} {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("Parse(%q) succeeded, want error", src)
+		}
+	}
+}
+
+func TestParseXPathWithLimit(t *testing.T) {
+	cases := []struct {
+		src   string
+		plain string // equivalent XPath without the clause
+		limit int64
+	}{
+		{"//a/b", "//a/b", 0},
+		{"//a/b limit 5", "//a/b", 5},
+		{"//a/b first", "//a/b", 1},
+		{"//Topic[editor]/Title limit 1", "//Topic[editor]/Title", 1},
+	}
+	for _, tc := range cases {
+		n, limit, err := ParseXPathWithLimit(tc.src)
+		if err != nil {
+			t.Errorf("ParseXPathWithLimit(%q): %v", tc.src, err)
+			continue
+		}
+		if limit != tc.limit {
+			t.Errorf("ParseXPathWithLimit(%q) limit = %d, want %d", tc.src, limit, tc.limit)
+		}
+		want, err := ParseXPath(tc.plain)
+		if err != nil {
+			t.Fatalf("ParseXPath(%q): %v", tc.plain, err)
+		}
+		if Canonical(n) != Canonical(want) {
+			t.Errorf("ParseXPathWithLimit(%q) expr = %s, want %s", tc.src, Canonical(n), Canonical(want))
+		}
+	}
+}
+
+func TestParseXPathWithLimitErrors(t *testing.T) {
+	for _, src := range []string{
+		"//a limit 0",
+		"//a limit",
+		"//a limit x",
+		"//a first 1",
+		"//a limit 99999999999999999999", // overflow
+	} {
+		if _, _, err := ParseXPathWithLimit(src); err == nil {
+			t.Errorf("ParseXPathWithLimit(%q) succeeded, want error", src)
+		}
+	}
+}
+
+func TestNullableExported(t *testing.T) {
+	cases := []struct {
+		src  string
+		want bool
+	}{
+		{"a", false},
+		{"a*", true},
+		{"a?", true},
+		{"a+", false},
+		{"a.b", false},
+		{"a*.b*", true},
+		{"a*.b", false},
+		{"a|b", false},
+		{"a|b*", true},
+		{"_*", true},
+		{"a*[b]", false}, // qualifier condition b is not nullable
+		{"a*[b*]", true}, // both base and condition nullable
+		{"a?[b?]", true},
+	}
+	for _, tc := range cases {
+		n, err := Parse(tc.src)
+		if err != nil {
+			t.Fatalf("Parse(%q): %v", tc.src, err)
+		}
+		if got := Nullable(n); got != tc.want {
+			t.Errorf("Nullable(%q) = %v, want %v", tc.src, got, tc.want)
+		}
+	}
+	// Following/Preceding/TextTest are structurally non-empty by definition.
+	if Nullable(&Following{Test: "a"}) || Nullable(&Preceding{Test: "a"}) {
+		t.Error("Following/Preceding must not be nullable")
+	}
+	if Nullable(&TextTest{Path: MustParse("a"), Op: TextEq, Value: "v"}) {
+		t.Error("TextTest must not be nullable")
+	}
+	if !Nullable(&Empty{}) {
+		t.Error("Empty must be nullable")
+	}
+}

@@ -1,6 +1,9 @@
 package rpeq
 
-import "fmt"
+import (
+	"fmt"
+	"strconv"
+)
 
 // Parse parses an rpeq expression in the paper's surface syntax, e.g.
 //
@@ -25,6 +28,66 @@ func Parse(src string) (Node, error) {
 		return nil, fmt.Errorf("rpeq: unexpected %s at offset %d", p.tok.kind, p.tok.pos)
 	}
 	return n, nil
+}
+
+// ParseWithLimit parses an rpeq expression optionally followed by a trailing
+// answer-limit clause:
+//
+//	_*.item limit 1      stop after the first answer
+//	_*.item first        shorthand for limit 1
+//
+// It returns the expression, the limit (0 when no clause is present,
+// meaning unlimited), and any error. The clause keywords stay valid labels
+// in every other position: `a.limit` is a path, and a bare `limit` query
+// selects children labelled "limit". Plain Parse rejects the clause, so
+// existing call sites are unaffected.
+func ParseWithLimit(src string) (Node, int64, error) {
+	p := &parser{lex: lexer{src: src}}
+	if err := p.advance(); err != nil {
+		return nil, 0, err
+	}
+	n, err := p.parseUnion()
+	if err != nil {
+		return nil, 0, err
+	}
+	limit, err := p.parseLimitClause()
+	if err != nil {
+		return nil, 0, err
+	}
+	if p.tok.kind != tokEOF {
+		return nil, 0, fmt.Errorf("rpeq: unexpected %s at offset %d", p.tok.kind, p.tok.pos)
+	}
+	return n, limit, nil
+}
+
+// parseLimitClause ::= ('limit' number | 'first')?
+func (p *parser) parseLimitClause() (int64, error) {
+	if p.tok.kind != tokName {
+		return 0, nil
+	}
+	switch p.tok.text {
+	case "first":
+		if err := p.advance(); err != nil {
+			return 0, err
+		}
+		return 1, nil
+	case "limit":
+		if err := p.advance(); err != nil {
+			return 0, err
+		}
+		if p.tok.kind != tokNumber {
+			return 0, fmt.Errorf("rpeq: expected a number after 'limit' at offset %d, got %s", p.tok.pos, p.tok.kind)
+		}
+		n, err := strconv.ParseInt(p.tok.text, 10, 64)
+		if err != nil || n <= 0 {
+			return 0, fmt.Errorf("rpeq: limit must be a positive integer at offset %d, got %q", p.tok.pos, p.tok.text)
+		}
+		if err := p.advance(); err != nil {
+			return 0, err
+		}
+		return n, nil
+	}
+	return 0, nil
 }
 
 type parser struct {

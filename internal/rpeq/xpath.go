@@ -36,6 +36,65 @@ func ParseXPath(src string) (Node, error) {
 	return n, nil
 }
 
+// ParseXPathWithLimit is ParseXPath accepting an optional trailing answer
+// limit, mirroring ParseWithLimit for the rpeq surface syntax:
+//
+//	//item limit 1     stop after the first answer
+//	//item first       shorthand for limit 1
+//
+// It returns the expression, the limit (0 when absent), and any error.
+func ParseXPathWithLimit(src string) (Node, int64, error) {
+	p := &xpathParser{src: src}
+	n, err := p.parseUnion()
+	if err != nil {
+		return nil, 0, err
+	}
+	limit, err := p.parseLimitClause()
+	if err != nil {
+		return nil, 0, err
+	}
+	p.skipSpace()
+	if p.pos < len(p.src) {
+		return nil, 0, fmt.Errorf("rpeq: xpath: unexpected %q at offset %d", p.src[p.pos], p.pos)
+	}
+	return n, limit, nil
+}
+
+// parseLimitClause consumes a trailing "limit N" or "first" keyword clause.
+// The keywords must stand alone as words (followed by space, a digit, or the
+// end of input) so that name tests like "firstname" are unaffected.
+func (p *xpathParser) parseLimitClause() (int64, error) {
+	p.skipSpace()
+	rest := p.src[p.pos:]
+	switch {
+	case strings.HasPrefix(rest, "first") && (len(rest) == len("first") || !isLabelByte(rest[len("first")])):
+		p.pos += len("first")
+		return 1, nil
+	case strings.HasPrefix(rest, "limit") && (len(rest) == len("limit") || !isLabelByte(rest[len("limit")])):
+		p.pos += len("limit")
+		p.skipSpace()
+		start := p.pos
+		for p.pos < len(p.src) && p.src[p.pos] >= '0' && p.src[p.pos] <= '9' {
+			p.pos++
+		}
+		if p.pos == start {
+			return 0, fmt.Errorf("rpeq: xpath: expected a number after 'limit' at offset %d", start)
+		}
+		var n int64
+		for _, c := range []byte(p.src[start:p.pos]) {
+			n = n*10 + int64(c-'0')
+			if n > 1<<40 {
+				return 0, fmt.Errorf("rpeq: xpath: limit at offset %d is out of range", start)
+			}
+		}
+		if n <= 0 {
+			return 0, fmt.Errorf("rpeq: xpath: limit must be a positive integer at offset %d", start)
+		}
+		return n, nil
+	}
+	return 0, nil
+}
+
 // MustParseXPath is ParseXPath panicking on error.
 func MustParseXPath(src string) Node {
 	n, err := ParseXPath(src)

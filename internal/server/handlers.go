@@ -30,6 +30,17 @@ type SubscribeRequest struct {
 	// agree with the existing selection afterwards. Empty defers to the
 	// channel (or the server default).
 	Engine string `json:"engine,omitempty"`
+	// Limit caps the subscription's answers: once Limit total hits have been
+	// delivered the subscription completes — its frame queue closes (attached
+	// result readers flush what is buffered and end their streams) and it is
+	// removed from the channel, exactly as if it had been deleted. Within a
+	// session the engine stops evaluating the limited query at the
+	// determining event. The query text may also carry a trailing `limit N`
+	// clause; a non-zero field overrides it.
+	Limit int64 `json:"limit,omitempty"`
+	// First is shorthand for Limit: 1 — deliver the first answer, then
+	// complete the subscription.
+	First bool `json:"first,omitempty"`
 }
 
 // SubscriptionInfo describes one registered subscription.
@@ -40,6 +51,9 @@ type SubscriptionInfo struct {
 	XPath   bool   `json:"xpath,omitempty"`
 	Engine  string `json:"engine"`
 	Hits    int64  `json:"hits"`
+	// Limit is the subscription's answer cap (0 = unlimited), whether it came
+	// from the request's limit/first field or the query's own limit clause.
+	Limit int64 `json:"limit,omitempty"`
 }
 
 // IngestSummary is the POST /v1/channels/{channel}/ingest response.
@@ -53,6 +67,11 @@ type IngestSummary struct {
 	// client sent as X-Spex-Trace-Id, or one the server minted. Every result
 	// frame the ingest produced carries the same value.
 	Trace string `json:"trace"`
+	// Determined reports that the session's answer became fixed before the
+	// end of the document — every subscription reached its answer limit — so
+	// the engine disconnected the stream at the determining event. Bytes then
+	// reflects the prefix actually read, not the document's size.
+	Determined bool `json:"determined,omitempty"`
 }
 
 // ChannelInfo describes one channel.
@@ -166,6 +185,20 @@ func (s *Server) handleSubscribe(w http.ResponseWriter, r *http.Request) {
 		s.writeError(w, http.StatusBadRequest, "bad query: "+err.Error(), false)
 		return
 	}
+	if req.First {
+		if req.Limit > 1 {
+			s.writeError(w, http.StatusBadRequest, "first conflicts with limit > 1", false)
+			return
+		}
+		req.Limit = 1
+	}
+	if req.Limit < 0 {
+		s.writeError(w, http.StatusBadRequest, "limit must be positive", false)
+		return
+	}
+	if req.Limit > 0 {
+		q = q.Limited(req.Limit)
+	}
 	var reqEngine Engine
 	if req.Engine != "" {
 		if reqEngine, err = ParseEngine(req.Engine); err != nil {
@@ -211,6 +244,7 @@ func (s *Server) handleSubscribe(w http.ResponseWriter, r *http.Request) {
 		query:   req.Query,
 		xpath:   req.XPath,
 		q:       q,
+		limit:   q.Limit(),
 		queue:   newFrameQueue(s.limits.SubscriptionBuffer),
 	}
 	s.mgr.subs[sub.id] = sub
@@ -233,6 +267,7 @@ func (s *Server) subscriptionInfo(sub *subscription, ch *channel) SubscriptionIn
 		XPath:   sub.xpath,
 		Engine:  ch.engine.String(),
 		Hits:    sub.hits.Load(),
+		Limit:   sub.limit,
 	}
 }
 
@@ -246,15 +281,27 @@ func (s *Server) handleSubscriptionInfo(w http.ResponseWriter, r *http.Request) 
 }
 
 func (s *Server) handleUnsubscribe(w http.ResponseWriter, r *http.Request) {
-	id := r.PathValue("id")
-	s.mgr.mu.Lock()
-	sub := s.mgr.subs[id]
-	if sub == nil {
-		s.mgr.mu.Unlock()
+	sub := s.mgr.subscriptionByID(r.PathValue("id"))
+	if sub == nil || !s.retireSubscription(sub) {
 		s.writeError(w, http.StatusNotFound, "no such subscription", false)
 		return
 	}
-	delete(s.mgr.subs, id)
+	w.WriteHeader(http.StatusNoContent)
+}
+
+// retireSubscription unregisters a subscription and reports whether it was
+// still registered. The queue closes after unregistering: in-flight sessions
+// drop the subscription's remaining frames; attached readers flush what is
+// queued and end their streams. Both the DELETE handler and answer-limit
+// completion funnel through here, so a race between them releases the
+// admission slot exactly once.
+func (s *Server) retireSubscription(sub *subscription) bool {
+	s.mgr.mu.Lock()
+	if _, ok := s.mgr.subs[sub.id]; !ok {
+		s.mgr.mu.Unlock()
+		return false
+	}
+	delete(s.mgr.subs, sub.id)
 	ch := s.mgr.channels[sub.channel]
 	if ch != nil {
 		ch.mu.Lock()
@@ -269,13 +316,21 @@ func (s *Server) handleUnsubscribe(w http.ResponseWriter, r *http.Request) {
 	}
 	s.mgr.mu.Unlock()
 
-	// Close after unregistering: in-flight sessions drop this
-	// subscription's remaining frames; attached readers flush what is
-	// queued and end their streams.
 	sub.queue.close()
 	s.adm.releaseSubscription()
 	s.metrics.SubscriptionsActive.Add(-1)
-	w.WriteHeader(http.StatusNoContent)
+	return true
+}
+
+// completeSubscription retires a subscription whose answer limit has been
+// reached — the limit/first contract: the k-th answer is the last, so the
+// frame queue closes right behind it and the admission slot frees without
+// waiting for the client to unsubscribe. Called from a session's hit path;
+// idempotent across sessions racing on the same subscription.
+func (s *Server) completeSubscription(sub *subscription) {
+	if s.retireSubscription(sub) {
+		s.metrics.SubscriptionsCompleted.Inc()
+	}
 }
 
 func (s *Server) handleChannels(w http.ResponseWriter, r *http.Request) {
@@ -436,6 +491,7 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 		Matches:       matches,
 		Bytes:         read,
 		Trace:         trace,
+		Determined:    sess.determined,
 	})
 }
 

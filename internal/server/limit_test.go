@@ -1,0 +1,167 @@
+package server_test
+
+import (
+	"context"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/server"
+	"repro/internal/server/client"
+)
+
+// TestSubscriptionLimit covers the subscription answer budget end to end:
+// the k-th delivered hit retires the subscription — its result stream ends,
+// its slot frees, a later DELETE 404s — and an ingest whose subscriptions
+// all resolved reports Determined.
+func TestSubscriptionLimit(t *testing.T) {
+	_, c, ts := newTestServer(t, server.Config{})
+	ctx := context.Background()
+
+	info, err := c.Subscribe(ctx, server.SubscribeRequest{
+		Channel: "news", Query: "_*.c", Limit: 2,
+	})
+	if err != nil {
+		t.Fatalf("subscribe: %v", err)
+	}
+	if info.Limit != 2 {
+		t.Fatalf("info.Limit = %d, want 2", info.Limit)
+	}
+
+	frames := make(chan server.Frame, 16)
+	done := make(chan error, 1)
+	go func() {
+		done <- c.Results(ctx, info.ID, func(f server.Frame) error {
+			frames <- f
+			return nil
+		})
+	}()
+
+	// The limit is a lifetime budget across ingests. The first document
+	// spends one answer of the two — and receiving its frame proves the
+	// result stream is attached before the determining ingest.
+	sum, err := c.IngestString(ctx, "news", `<r><c/></r>`)
+	if err != nil {
+		t.Fatalf("first ingest: %v", err)
+	}
+	if sum.Determined {
+		t.Fatal("first ingest claimed Determined below the limit")
+	}
+	select {
+	case <-frames:
+	case <-time.After(5 * time.Second):
+		t.Fatal("no frame from the first ingest")
+	}
+
+	sum, err = c.IngestString(ctx, "news", `<r><c/><c/><c/><c/></r>`)
+	if err != nil {
+		t.Fatalf("second ingest: %v", err)
+	}
+	if !sum.Determined {
+		t.Fatal("determining ingest did not report Determined")
+	}
+
+	// The limit retires the subscription, which closes the frame queue: the
+	// result stream must end on its own after exactly one more frame.
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("results stream: %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("results stream did not terminate after the limit")
+	}
+	close(frames)
+	var got []int64
+	for f := range frames {
+		got = append(got, f.Index)
+	}
+	if len(got) != 1 || got[0] != 2 {
+		t.Fatalf("remaining frames = %v, want the one answer [2]", got)
+	}
+
+	// Retirement already freed the subscription: deleting it again is a 404.
+	if err := c.Unsubscribe(ctx, info.ID); err == nil {
+		t.Fatal("unsubscribe after completion succeeded, want 404")
+	}
+
+	// The completion is visible on the metrics endpoint.
+	resp, err := ts.Client().Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatalf("metrics: %v", err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if !strings.Contains(string(body), "spex_server_subscriptions_completed_total 1") {
+		t.Fatalf("metrics missing completed counter:\n%s", body)
+	}
+}
+
+// TestSubscribeFirst checks the `first` shorthand (limit 1) and the
+// rejection of conflicting or nonsensical budgets.
+func TestSubscribeFirst(t *testing.T) {
+	_, c, _ := newTestServer(t, server.Config{})
+	ctx := context.Background()
+
+	info, err := c.Subscribe(ctx, server.SubscribeRequest{
+		Channel: "n", Query: "_*.c", First: true,
+	})
+	if err != nil {
+		t.Fatalf("subscribe first: %v", err)
+	}
+	if info.Limit != 1 {
+		t.Fatalf("first subscription Limit = %d, want 1", info.Limit)
+	}
+
+	// first + limit 1 agree and are accepted; first + limit > 1 conflict.
+	if _, err := c.Subscribe(ctx, server.SubscribeRequest{
+		Channel: "n", Query: "_*.c", First: true, Limit: 1,
+	}); err != nil {
+		t.Fatalf("subscribe first+limit 1: %v", err)
+	}
+	assertBadRequest := func(req server.SubscribeRequest) {
+		t.Helper()
+		_, err := c.Subscribe(ctx, req)
+		if err == nil {
+			t.Fatalf("subscribe %+v succeeded, want 400", req)
+		}
+		apiErr, ok := err.(*client.APIError)
+		if !ok || apiErr.Status != http.StatusBadRequest {
+			t.Fatalf("subscribe %+v error = %v, want 400", req, err)
+		}
+	}
+	assertBadRequest(server.SubscribeRequest{Channel: "n", Query: "_*.c", First: true, Limit: 3})
+	assertBadRequest(server.SubscribeRequest{Channel: "n", Query: "_*.c", Limit: -1})
+
+	// A textual clause works too and is reported on the subscription.
+	info, err = c.Subscribe(ctx, server.SubscribeRequest{Channel: "n", Query: "_*.c limit 4"})
+	if err != nil {
+		t.Fatalf("subscribe textual limit: %v", err)
+	}
+	if info.Limit != 4 {
+		t.Fatalf("textual clause Limit = %d, want 4", info.Limit)
+	}
+}
+
+// TestUnlimitedIngestNotDetermined is the negative control: with an
+// unlimited subscription on the channel the summary must not claim early
+// determination.
+func TestUnlimitedIngestNotDetermined(t *testing.T) {
+	_, c, _ := newTestServer(t, server.Config{})
+	ctx := context.Background()
+	if _, err := c.Subscribe(ctx, server.SubscribeRequest{Channel: "n", Query: "_*.c"}); err != nil {
+		t.Fatal(err)
+	}
+	sum, err := c.IngestString(ctx, "n", `<r><c/><c/></r>`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.Determined {
+		t.Fatal("unlimited ingest claimed Determined")
+	}
+	if sum.Matches != 2 {
+		t.Fatalf("summary matches = %d, want 2", sum.Matches)
+	}
+}

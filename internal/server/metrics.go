@@ -21,15 +21,18 @@ type Metrics struct {
 	DrainRejectedTotal  obs.Counter // requests refused while draining (503)
 	SubscriptionsActive obs.Gauge
 	SubscriptionsTotal  obs.Counter
-	ChannelsActive      obs.Gauge
-	InflightBytes       obs.Gauge   // in-flight ingest request bytes
-	IngestBytesTotal    obs.Counter // ingest bytes consumed
-	HitsTotal           obs.Counter // answers produced by sessions
-	FramesSent          obs.Counter // frames written to result streams
-	FramesDropped       obs.Counter // frames dropped on closed subscriptions
-	ResultStreamsActive obs.Gauge   // attached result readers
-	PanicsTotal         obs.Counter // panics contained by session/handler recovery
-	Draining            obs.Gauge   // 1 while graceful shutdown drains
+	// SubscriptionsCompleted counts subscriptions retired by their own
+	// answer limit (limit/first), as opposed to an explicit DELETE.
+	SubscriptionsCompleted obs.Counter
+	ChannelsActive         obs.Gauge
+	InflightBytes          obs.Gauge   // in-flight ingest request bytes
+	IngestBytesTotal       obs.Counter // ingest bytes consumed
+	HitsTotal              obs.Counter // answers produced by sessions
+	FramesSent             obs.Counter // frames written to result streams
+	FramesDropped          obs.Counter // frames dropped on closed subscriptions
+	ResultStreamsActive    obs.Gauge   // attached result readers
+	PanicsTotal            obs.Counter // panics contained by session/handler recovery
+	Draining               obs.Gauge   // 1 while graceful shutdown drains
 
 	// FrameFlushNs is the frame-flush latency distribution: nanoseconds
 	// from a frame entering its subscription's queue to the result handler
@@ -84,6 +87,7 @@ func (m *Metrics) WritePrometheus(w io.Writer) {
 	p.Counter("spex_server_drain_rejected_total", "requests refused while draining (503)", m.DrainRejectedTotal.Load())
 	p.Gauge("spex_server_subscriptions_active", "registered subscriptions", m.SubscriptionsActive.Load())
 	p.Counter("spex_server_subscriptions_total", "subscriptions ever registered", m.SubscriptionsTotal.Load())
+	p.Counter("spex_server_subscriptions_completed_total", "subscriptions retired by reaching their answer limit", m.SubscriptionsCompleted.Load())
 	p.Gauge("spex_server_channels_active", "named channels", m.ChannelsActive.Load())
 	p.Gauge("spex_server_inflight_ingest_bytes", "in-flight ingest request bytes", m.InflightBytes.Load())
 	p.Counter("spex_server_ingest_bytes_total", "ingest bytes consumed", m.IngestBytesTotal.Load())

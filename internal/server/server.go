@@ -78,8 +78,9 @@ type Server struct {
 	slowOver time.Duration
 
 	// setOpts are appended to every session's spex.Set construction: the
-	// resource governor (when Limits.Governor is non-zero) bound to the
-	// engine registry, so spex_governor_* trips surface on /metrics.
+	// engine metrics registry (so the spex_* series on /metrics are live,
+	// not just exposed) and, when Limits.Governor is non-zero, the resource
+	// governor bound to the same registry for spex_governor_* trips.
 	setOpts []spex.SetOption
 
 	// Lifecycle. draining flips first and gates every /v1 route; ingestWG
@@ -124,14 +125,13 @@ func New(cfg Config) (*Server, error) {
 		slow:          obs.NewSlowRing(ringSize),
 		slowOver:      cfg.SlowThreshold,
 	}
+	s.setOpts = append(s.setOpts, spex.SetMetrics(em))
 	if !limits.Governor.Zero() {
 		policy, err := spex.ParsePolicy(cfg.Limits.GovernorPolicy)
 		if err != nil {
 			return nil, err
 		}
-		s.setOpts = append(s.setOpts,
-			spex.Governed(limits.Governor, policy),
-			spex.SetMetrics(em))
+		s.setOpts = append(s.setOpts, spex.Governed(limits.Governor, policy))
 	}
 	s.hardCtx, s.hardCancel = context.WithCancel(context.Background())
 	s.mux = s.routes()

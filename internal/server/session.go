@@ -99,6 +99,7 @@ type subscription struct {
 	query   string
 	xpath   bool
 	q       *spex.Query
+	limit   int64 // answer cap (0 = unlimited); at limit the subscription completes
 	queue   *frameQueue
 	seq     atomic.Int64 // frame sequence, monotone per subscription
 	hits    atomic.Int64 // answers enqueued
@@ -193,6 +194,10 @@ type session struct {
 	start time.Time     // session start, for the /debug/spex age column
 	bytes *atomic.Int64 // live ingest byte count (the inflightReader's), may be nil
 	abort atomic.Bool   // a frame push failed on the session context
+	// determined records that the pass ended early because every
+	// subscription's answer limit was reached; written by run, read by the
+	// ingest handler after run returns.
+	determined bool
 }
 
 // newSession snapshots the channel. Subscriptions are ordered by id so the
@@ -244,7 +249,7 @@ func (sess *session) run(ctx context.Context, r io.Reader) (matches int64, err e
 			Name:    match.Name,
 			Trace:   sess.trace,
 		}
-		sub.hits.Add(1)
+		h := sub.hits.Add(1)
 		m.HitsTotal.Inc()
 		sess.ch.cm.Hits.Inc()
 		if perr := sub.queue.push(ctx, f); perr != nil {
@@ -257,6 +262,13 @@ func (sess *session) run(ctx context.Context, r io.Reader) (matches int64, err e
 			// Context error: the evaluation aborts at the next stride
 			// check; remember why.
 			sess.abort.Store(true)
+		}
+		if sub.limit > 0 && h >= sub.limit {
+			// The k-th answer was the last: close the frame queue right
+			// behind it and free the admission slot. The engine stops
+			// evaluating this query on its own (the limit determined its
+			// network), so no further hits arrive from this session.
+			sess.srv.completeSubscription(sub)
 		}
 	}, append([]spex.SetOption{sess.ch.engine.Option(), spex.SetTraceID(sess.trace)},
 		sess.srv.setOpts...)...)
@@ -273,6 +285,7 @@ func (sess *session) run(ctx context.Context, r io.Reader) (matches int64, err e
 	if err != nil {
 		return 0, err
 	}
+	sess.determined = set.Determined()
 	for _, n := range set.Counts() {
 		matches += n
 	}

@@ -65,6 +65,11 @@ type Options struct {
 	// (or log pipeline) serving many streams can attribute each record to
 	// its stream or ingest request.
 	TraceID string
+	// Limit, when positive, caps the answer count: the evaluation asks for
+	// the first Limit answers in document order, and the sink's answer is
+	// determined — state released, stream disconnectable — the moment the
+	// Limit-th answer has been delivered. Zero evaluates the whole stream.
+	Limit int64
 }
 
 // Spec is one query of a multi-query network: its expression and its sink.
@@ -76,6 +81,9 @@ type Spec struct {
 	// Name labels the query in governor errors and shed reports, so a
 	// multi-query caller can tell which subscription tripped a cap.
 	Name string
+	// Limit, when positive, is this query's answer budget (see
+	// Options.Limit); per-query in a multi-query network.
+	Limit int64
 }
 
 // Build translates an rpeq expression into a SPEX network following the
@@ -84,7 +92,7 @@ type Spec struct {
 // number of transducers. The returned network is single-use: it holds
 // evaluation state and evaluates one stream.
 func Build(expr rpeq.Node, opts Options) (*Network, error) {
-	return BuildSet([]Spec{{Expr: expr, Mode: opts.Mode, Sink: opts.Sink, StreamSink: opts.StreamSink}}, opts)
+	return BuildSet([]Spec{{Expr: expr, Mode: opts.Mode, Sink: opts.Sink, StreamSink: opts.StreamSink, Limit: opts.Limit}}, opts)
 }
 
 // BuildSet translates several queries into ONE network with one sink per
@@ -144,8 +152,18 @@ func BuildSet(specs []Spec, opts Options) (*Network, error) {
 		out := newOutput(spec.Mode, spec.Sink, &n.cfg)
 		out.ssink = spec.StreamSink
 		out.sub = spec.Name
+		out.limit = spec.Limit
 		b.addNode(out, []int{final}, 0)
 		n.outs = append(n.outs, out)
+	}
+	// When every query carries an answer limit, the whole network's answer
+	// can become fixed mid-stream; Run then stops reading early.
+	n.allLimited = true
+	for _, spec := range specs {
+		if spec.Limit <= 0 {
+			n.allLimited = false
+			break
+		}
 	}
 	// Hash-consing above may leave one output tape with several readers (the
 	// implicit multicast); make each such junction an explicit fan-out
@@ -322,6 +340,15 @@ func (b *builder) compileNew(expr rpeq.Node, in int) (int, []cond.QualID, error)
 		return un, append(lq, rq...), nil
 
 	case *rpeq.Qualifier:
+		// Earliest-decision static analysis: a nullable condition — ε in
+		// its language, e.g. [b*] or [c?] — is witnessed by the candidate
+		// node itself at the very event that opens it, so base[cond] ≡ base.
+		// Compiling the condition away resolves such candidates at birth
+		// instead of buffering them to scope close: no variable-creator, no
+		// condition sub-network, no formula traffic.
+		if rpeq.Nullable(n.Cond) {
+			return b.compile(n.Base, in)
+		}
 		base, bq, err := b.compile(n.Base, in)
 		if err != nil {
 			return 0, nil, err

@@ -1,0 +1,154 @@
+package spexnet
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/rpeq"
+	"repro/internal/xmlstream"
+)
+
+// TestNullableQualifierEliminated pins the earliest-decision static analysis
+// on the network itself: a qualifier whose condition matches the empty path
+// is a tautology, so compilation drops the condition sub-network entirely and
+// the qualified expression compiles to exactly the same network as its base.
+func TestNullableQualifierEliminated(t *testing.T) {
+	base, err := Build(rpeq.MustParse("_*.a.c"), Options{Mode: ModeCount})
+	if err != nil {
+		t.Fatal(err)
+	}
+	qual, err := Build(rpeq.MustParse("_*.a[b*].c"), Options{Mode: ModeCount})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if qual.Degree() != base.Degree() {
+		t.Fatalf("nullable qualifier not eliminated: degree %d, base degree %d",
+			qual.Degree(), base.Degree())
+	}
+	// And the semantics agree on a document where the condition never holds
+	// structurally: <a> elements with no <b> child still qualify under [b*].
+	doc := `<r><a><c/></a><a><c/><c/></a></r>`
+	s1, err := base.Run(xmlstream.NewScanner(strings.NewReader(doc)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, err := qual.Run(xmlstream.NewScanner(strings.NewReader(doc)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s1.Output.Matches != s2.Output.Matches || s2.Output.Matches != 3 {
+		t.Fatalf("matches: base %d, qualified %d, want 3", s1.Output.Matches, s2.Output.Matches)
+	}
+}
+
+// TestNonNullableQualifierKept is the negative control: a condition that can
+// fail must keep its sub-network and must filter.
+func TestNonNullableQualifierKept(t *testing.T) {
+	base, err := Build(rpeq.MustParse("_*.a.c"), Options{Mode: ModeCount})
+	if err != nil {
+		t.Fatal(err)
+	}
+	qual, err := Build(rpeq.MustParse("_*.a[b].c"), Options{Mode: ModeCount})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if qual.Degree() <= base.Degree() {
+		t.Fatalf("non-nullable qualifier lost its condition network: degree %d <= base %d",
+			qual.Degree(), base.Degree())
+	}
+	doc := `<r><a><c/></a><a><b/><c/><c/></a></r>`
+	st, err := qual.Run(xmlstream.NewScanner(strings.NewReader(doc)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Output.Matches != 2 {
+		t.Fatalf("qualified matches = %d, want 2", st.Output.Matches)
+	}
+}
+
+// TestLimitDeterminesMidStream drives a limited network event by event and
+// checks that the answer is determined as soon as the Limit-th answer is
+// emitted — long before the document ends — and that a released network
+// freezes its stats and ignores further Steps.
+func TestLimitDeterminesMidStream(t *testing.T) {
+	var got []string
+	net, err := Build(rpeq.MustParse("_*.c"), Options{
+		Mode:  ModeNodes,
+		Limit: 2,
+		Sink:  func(r Result) { got = append(got, r.Name) },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	doc := `<r><c/><c/><c/><c/><c/></r>`
+	sc := xmlstream.NewScanner(strings.NewReader(doc))
+	steps := 0
+	for {
+		ev, err := sc.Next()
+		if err != nil {
+			t.Fatalf("scan: %v", err)
+		}
+		if err := net.Step(ev); err != nil {
+			t.Fatalf("step %d: %v", steps, err)
+		}
+		steps++
+		if net.AnswerDetermined() {
+			break
+		}
+		if ev.Kind == xmlstream.EndDocument {
+			t.Fatal("stream ended without determination")
+		}
+	}
+	// Determination fires on the close of the second <c/>; the three
+	// remaining <c/> elements and </r> are never needed.
+	if len(got) != 2 {
+		t.Fatalf("answers at determination = %d, want 2", len(got))
+	}
+	net.Release()
+	if !net.AnswerDetermined() {
+		t.Fatal("released network lost its determined status")
+	}
+	if m := net.Matches(); m != 2 {
+		t.Fatalf("frozen Matches() = %d, want 2", m)
+	}
+	// Step after Release must be a no-op, not a panic.
+	if err := net.Step(xmlstream.Event{Kind: xmlstream.StartElement, Name: "c"}); err != nil {
+		t.Fatalf("step after release: %v", err)
+	}
+	if len(got) != 2 {
+		t.Fatalf("released network still emitted answers: %d", len(got))
+	}
+}
+
+// TestUnlimitedNeverDetermines pins that an unlimited single-query network
+// only reports determination at end of stream, keeping Run's early-stop
+// strictly opt-in.
+func TestUnlimitedNeverDetermines(t *testing.T) {
+	net, err := Build(rpeq.MustParse("_*.c"), Options{Mode: ModeCount})
+	if err != nil {
+		t.Fatal(err)
+	}
+	doc := `<r><c/><c/></r>`
+	sc := xmlstream.NewScanner(strings.NewReader(doc))
+	for {
+		ev, err := sc.Next()
+		if err != nil {
+			t.Fatalf("scan: %v", err)
+		}
+		if err := net.Step(ev); err != nil {
+			t.Fatal(err)
+		}
+		if ev.Kind == xmlstream.EndDocument {
+			break
+		}
+		if net.AnswerDetermined() {
+			t.Fatal("unlimited network determined mid-stream")
+		}
+	}
+	if err := net.Finish(); err != nil {
+		t.Fatal(err)
+	}
+	if net.Matches() != 2 {
+		t.Fatalf("matches = %d, want 2", net.Matches())
+	}
+}

@@ -72,6 +72,15 @@ type Network struct {
 	// resource tripped under PolicyShed); Step keeps only the depth
 	// bookkeeping from then on, so the parse completes but no state grows.
 	allShed bool
+	// allLimited: every sink carries an answer limit, so the whole
+	// network's answer can become fixed mid-stream; Run then stops reading
+	// and releases the network instead of draining the stream.
+	allLimited bool
+	// finalStats/finalSinks freeze the evaluation statistics at Release, so
+	// Stats/Matches/SinkStats stay answerable after an early release (the
+	// determination path tears the network down mid-stream).
+	finalStats *Stats
+	finalSinks []OutputStats
 
 	// metrics, when non-nil, receives live instrument updates once per
 	// step; nil networks run the uninstrumented propagate path.
@@ -109,6 +118,10 @@ type Stats struct {
 	// Governor summarizes resource-governor activity (zero when no
 	// governor was configured or nothing tripped).
 	Governor GovernorOutcome
+	// Determined is set when every sink's answer became fixed before the
+	// end of the stream (all answer limits reached): Events then reports
+	// how much of the stream was actually consumed, not its full length.
+	Determined bool
 }
 
 // Degree returns the number of transducers in the network, the paper's
@@ -119,6 +132,12 @@ func (n *Network) Degree() int { return len(n.nodes) }
 // transducer's role of §III.2 — emit the initial activation on the
 // start-document message and forward one document message at a time, the
 // next only after the previous reached the sink.
+//
+// When every sink carries an answer limit, Run watches the determination
+// signal after each step: as soon as all sinks report their answer fixed, it
+// stops reading, releases the network, and returns — the stream's suffix is
+// never consumed (earliest query answering; Finish is skipped because the
+// document is deliberately left half-read).
 func (n *Network) Run(src xmlstream.Source) (Stats, error) {
 	for {
 		ev, err := src.Next()
@@ -131,6 +150,14 @@ func (n *Network) Run(src xmlstream.Source) (Stats, error) {
 		if err := n.Step(ev); err != nil {
 			return n.stats(), err
 		}
+		if n.allLimited && n.AnswerDetermined() {
+			if n.metrics != nil {
+				n.syncMetrics()
+			}
+			st := n.stats()
+			n.Release()
+			return st, nil
+		}
 	}
 	if err := n.Finish(); err != nil {
 		return n.stats(), err
@@ -138,10 +165,27 @@ func (n *Network) Run(src xmlstream.Source) (Stats, error) {
 	return n.stats(), nil
 }
 
+// AnswerDetermined reports whether every sink's answer is fixed: all answer
+// limits have been reached, so no suffix of the stream can change what the
+// network reports. Callers driving Step directly (push-mode feeds, the
+// multi-query engines) poll this to disconnect the stream early.
+func (n *Network) AnswerDetermined() bool {
+	if n.finalStats != nil {
+		return n.finalStats.Determined
+	}
+	return len(n.outs) > 0 && n.cfg.detSinks == len(n.outs)
+}
+
 // Step pushes a single event through the network. Callers using Step
 // directly (e.g. unbounded streams) must call Finish after the last event
 // to validate and flush the sink.
 func (n *Network) Step(ev xmlstream.Event) error {
+	if n.nodes == nil {
+		// Released (answer determined, or torn down): a push-mode feeder
+		// racing the determination signal may still deliver a few events;
+		// they are ignored rather than failed.
+		return nil
+	}
 	n.step++
 	switch ev.Kind {
 	case xmlstream.StartElement:
@@ -412,10 +456,20 @@ func (n *Network) Finish() error {
 // Release drops the network's evaluation state without requiring the stream
 // to finish: transducer stacks, tape buffers and queued candidates are
 // unreferenced, and the condition pool returns its allocated variables. An
-// early-exit caller (a filtering decision made mid-stream) releases instead
-// of feeding the rest of the document. The network is unusable afterwards;
-// it is safe to call Release more than once.
+// early-exit caller (a filtering decision made mid-stream, or an answer
+// determination) releases instead of feeding the rest of the document. The
+// final statistics are frozen first, so Stats, Matches and SinkStats keep
+// answering after the release. The network accepts no further events
+// afterwards; it is safe to call Release more than once.
 func (n *Network) Release() {
+	if n.finalStats == nil && n.outs != nil {
+		// Freeze the sinks before finalStats: SinkStats short-circuits to
+		// the frozen slice once finalStats is set.
+		sinks := n.SinkStats()
+		st := n.stats()
+		n.finalStats = &st
+		n.finalSinks = sinks
+	}
 	n.nodes = nil
 	n.edges = nil
 	n.outs = nil
@@ -427,6 +481,9 @@ func (n *Network) Release() {
 // Matches returns the number of answers reported so far, summed over all
 // sinks.
 func (n *Network) Matches() int64 {
+	if n.finalStats != nil {
+		return n.finalStats.Output.Matches
+	}
 	var total int64
 	for _, out := range n.outs {
 		total += out.stats.Matches
@@ -437,6 +494,9 @@ func (n *Network) Matches() int64 {
 // SinkStats returns per-sink output statistics, in the order the queries
 // were given to BuildSet (a single-query network has one entry).
 func (n *Network) SinkStats() []OutputStats {
+	if n.finalStats != nil {
+		return n.finalSinks
+	}
 	out := make([]OutputStats, len(n.outs))
 	for i, o := range n.outs {
 		out[i] = o.stats
@@ -451,11 +511,15 @@ func (n *Network) SinkStats() []OutputStats {
 func (n *Network) Stats() Stats { return n.stats() }
 
 func (n *Network) stats() Stats {
+	if n.finalStats != nil {
+		return *n.finalStats
+	}
 	s := Stats{
 		Events:      n.step,
 		Elements:    n.elements,
 		MaxDepth:    n.maxDepth,
 		Transducers: len(n.nodes),
+		Determined:  n.AnswerDetermined(),
 	}
 	for _, out := range n.outs {
 		s.Output.Matches += out.stats.Matches
@@ -465,6 +529,7 @@ func (n *Network) stats() Stats {
 		s.Output.MaxBufferedEvs += out.stats.MaxBufferedEvs
 		s.Output.Degraded = s.Output.Degraded || out.stats.Degraded
 		s.Output.Shed = s.Output.Shed || out.stats.Shed
+		s.Output.Determined = s.Output.Determined || out.stats.Determined
 	}
 	s.Governor = n.cfg.gov.outcome()
 	for i := range n.nodes {

@@ -65,6 +65,11 @@ type OutputStats struct {
 	// Shed is set when the resource governor dropped this sink
 	// (PolicyShed): the counts are frozen at the trip point.
 	Shed bool
+	// Determined is set when the sink's answer became fixed before the end
+	// of the stream — the answer limit was reached — and the sink released
+	// its state (earliest query answering: nothing in the stream's suffix
+	// can change the reported answers).
+	Determined bool
 }
 
 type candState uint8
@@ -144,6 +149,14 @@ type outputT struct {
 	pendingN int
 	// shed: the governor dropped the sink; feed is a no-op from then on.
 	shed bool
+
+	// limit, when positive, is the sink's answer budget: the query asks for
+	// the first limit answers in document order. Reaching it determines the
+	// sink — no suffix of the stream can change what was reported — so all
+	// candidate state is released and feed becomes a no-op.
+	limit int64
+	// determined: the limit was reached; the answer is fixed.
+	determined bool
 }
 
 func newOutput(mode ResultMode, sink Sink, cfg *netConfig) *outputT {
@@ -196,7 +209,7 @@ func (t *outputT) stackStats() StackStats {
 }
 
 func (t *outputT) feed(_ int, m *Message, emit emitFn) {
-	if t.shed {
+	if t.shed || t.determined {
 		return
 	}
 	switch m.Kind {
@@ -234,8 +247,15 @@ func (t *outputT) handleDoc(ev xmlstream.Event) {
 				// Decided and emitted at birth: both latencies are zero.
 				t.observeDecision(t.step)
 				t.observeLifetime(t.step)
+				if t.limitReached() {
+					t.determine()
+					return
+				}
 			} else {
 				t.openCandidate(index, ev, f)
+				if t.determined {
+					return
+				}
 			}
 		}
 		t.appendToOpen(ev)
@@ -322,6 +342,9 @@ func (t *outputT) openDegraded(index int64, name string, f *cond.Formula) {
 		t.stats.Matches++
 		t.observeDecision(t.step)
 		t.observeLifetime(t.step)
+		if t.limitReached() {
+			t.determine()
+		}
 	case f.IsFalse():
 		t.stats.Dropped++
 		t.observeDecision(t.step)
@@ -387,6 +410,10 @@ func (t *outputT) degrade() {
 			}
 			t.stats.Matches++
 			t.observeLifetime(c.born)
+			if t.limitReached() {
+				t.determine()
+				return
+			}
 		case candPending:
 			c.unqueued = true
 			t.pendingN++
@@ -502,6 +529,11 @@ func (t *outputT) handleDet(m *Message) {
 // variables of nested qualifiers) and substitutes it through candidate
 // formulas and pending bindings, cascading as bindings determine.
 func (t *outputT) resolve(v cond.VarID, val *cond.Formula) {
+	if t.determined {
+		// A cascaded resolution may land after the answer limit was reached
+		// mid-cascade; the sink's maps are gone and the answer is fixed.
+		return
+	}
 	t.resolved[v] = val
 	cands := t.byVar[v]
 	delete(t.byVar, v)
@@ -522,6 +554,10 @@ func (t *outputT) resolve(v cond.VarID, val *cond.Formula) {
 				t.stats.Matches++
 				t.pendingN--
 				t.observeLifetime(c.born)
+				if t.limitReached() {
+					t.determine()
+					return
+				}
 			}
 		case c.formula.IsFalse():
 			c.state = candRejected
@@ -596,6 +632,14 @@ func (t *outputT) flushQueue() {
 				}
 				t.emit(c)
 			}
+			// The k-th answer in document order has been fully delivered
+			// (for ModeStream, its ResultEnd just went out): the answer is
+			// fixed no matter what the rest of the stream holds.
+			if t.limitReached() {
+				t.observeLifetime(c.born)
+				t.determine()
+				return
+			}
 		default:
 			return
 		}
@@ -619,12 +663,49 @@ func (t *outputT) emit(c *candidate) {
 	t.sink(r)
 }
 
+// limitReached reports whether the sink's answer budget is exhausted.
+func (t *outputT) limitReached() bool {
+	return t.limit > 0 && t.stats.Matches >= t.limit
+}
+
+// determine marks the sink's answer as fixed — the first limit answers have
+// been delivered in document order, and nothing in the stream's suffix can
+// add to or retract them — and releases every piece of candidate state:
+// queued candidates, buffered content, formula bindings and resolution
+// records all go at once, so the memory the governor polices is returned at
+// the determination event rather than at end of stream. From here on feed is
+// a no-op; the network notices via the shared config's determined-sink count
+// and can disconnect the stream.
+func (t *outputT) determine() {
+	if t.determined || t.shed {
+		return
+	}
+	t.determined = true
+	t.stats.Determined = true
+	t.queue = nil
+	t.openStack = nil
+	t.byVar = nil
+	t.bindings = nil
+	t.resolved = nil
+	t.pending = nil
+	t.buffered = 0
+	t.pendingN = 0
+	t.cfg.detSinks++
+	if t.om != nil {
+		t.om.EarlyTerm.Add(1)
+	}
+}
+
 // finish is called after the end-document step; it verifies that every
 // candidate was decided (the variable-creators finalize all instances by
 // then) and reports leftover state as an internal error.
 func (t *outputT) finish() error {
 	if t.shed {
 		// A shed sink dropped its state by design; nothing to validate.
+		return t.err
+	}
+	if t.determined {
+		// The answer was fixed mid-stream and the state already released.
 		return t.err
 	}
 	t.flushQueue()

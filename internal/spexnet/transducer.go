@@ -111,6 +111,12 @@ type netConfig struct {
 	// configured, which is the zero-overhead default (every hook is a
 	// single pointer test).
 	gov *govern
+	// detSinks counts the network's sinks whose answer has become fixed
+	// (answer limit reached). The config is shared by every sink of the
+	// network, so this is the determination signal the network polls:
+	// detSinks == len(outs) means nothing in the stream's suffix can
+	// change the reported answers.
+	detSinks int
 	// sinkMetrics receives the candidate-lifecycle histograms (decision
 	// latency, candidate lifetime, stream latency) from every sink of the
 	// network. Candidate events are per-sink — not per-event-per-network —

@@ -29,6 +29,17 @@
 // accepts the equivalent XPath fragment (// and / steps with predicates),
 // plus backward axes (parent::, ancestor::, ..), rewritten into the
 // forward fragment, and the following/preceding axes.
+//
+// # Early termination
+//
+// A trailing "limit N" or "first" clause (both syntaxes) caps the answer
+// count: "_*.item limit 1" asks for the first answer in document order.
+// As soon as the N-th answer is fixed the evaluation is determined — the
+// engine releases all candidate state, stops reading the input, and
+// returns, so a limited query over a huge stream reads only the prefix up
+// to its last answer (earliest query answering). WithLimit and
+// Query.Limited set the same budget programmatically, and MatchesDoc uses
+// it to stop at the first answer.
 package spex
 
 import (
@@ -84,6 +95,18 @@ func CompileXPath(path string) (*Query, error) {
 
 // String returns the source expression.
 func (q *Query) String() string { return q.plan.String() }
+
+// Limit returns the query's answer budget: the N of a trailing "limit N"
+// clause, 1 for "first", or 0 for an unlimited query.
+func (q *Query) Limit() int64 { return q.plan.Limit() }
+
+// Limited returns a copy of the query that stops after the first n answers
+// in document order (n <= 0 removes any limit). The copy shares the
+// compiled plan's expression and symbol table, so deriving limited variants
+// is free; the receiver is unchanged.
+func (q *Query) Limited(n int64) *Query {
+	return &Query{plan: q.plan.Limited(n)}
+}
 
 // Match identifies one answer node.
 type Match struct {
@@ -240,6 +263,15 @@ func WithTraceID(id string) StreamOption {
 // the feed loop there.
 func WithContext(ctx context.Context) StreamOption {
 	return func(o *core.EvalOptions) { o.Ctx = ctx }
+}
+
+// WithLimit caps the evaluation's answer count: the engine stops reading
+// the stream — and releases all candidate state — as soon as the first n
+// answers in document order are fixed. n > 0 overrides any limit in the
+// query text; n < 0 forces unlimited evaluation; n == 0 keeps the query's
+// own "limit N"/"first" clause (the default).
+func WithLimit(n int64) StreamOption {
+	return func(o *core.EvalOptions) { o.Limit = n }
 }
 
 // Stream returns a push-mode evaluation for unbounded or

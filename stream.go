@@ -60,37 +60,16 @@ func (q *Query) StreamResults(r io.Reader, w ResultWriter, opts ...StreamOption)
 }
 
 // MatchesDoc reports whether the document matches the query at all — the
-// selective-dissemination decision of XFilter/YFilter (§VIII). Evaluation
-// stops as soon as the first answer is determined, so a match near the
-// start of a long stream costs almost nothing.
+// selective-dissemination decision of XFilter/YFilter (§VIII). It is a
+// limit-1 count evaluation: the first answer determines the network, which
+// releases its state and stops reading the stream right there, so a match
+// near the start of a long stream costs almost nothing.
 func (q *Query) MatchesDoc(r io.Reader) (bool, error) {
-	run, err := q.plan.NewRun(core.EvalOptions{Mode: spexnet.ModeCount})
+	stats, err := q.plan.EvaluateReader(r, core.EvalOptions{Mode: spexnet.ModeCount, Limit: 1})
 	if err != nil {
 		return false, err
 	}
-	// The early-exit paths leave the run mid-stream; Release returns the
-	// transducer stacks, tapes and pooled condition variables either way.
-	defer run.Release()
-	src := xmlstream.NewScanner(r, xmlstream.WithText(false), xmlstream.WithSymtab(q.plan.Symtab()))
-	for {
-		ev, err := src.Next()
-		if err == io.EOF {
-			break
-		}
-		if err != nil {
-			return false, err
-		}
-		if err := run.Feed(ev); err != nil {
-			return false, err
-		}
-		if run.Matches() > 0 {
-			return true, nil
-		}
-	}
-	if err := run.Close(); err != nil {
-		return false, err
-	}
-	return run.Matches() > 0, nil
+	return stats.Output.Matches > 0, nil
 }
 
 // SetOption selects the evaluation engine of a query Set.
@@ -170,10 +149,11 @@ func SetTraceID(id string) SetOption {
 // network per query), or Parallel (queries sharded over a worker pool). All
 // engines return identical per-query answers.
 type Set struct {
-	queries []*Query
-	fn      func(query int, m Match)
-	counts  []int64
-	cfg     setConfig
+	queries    []*Query
+	fn         func(query int, m Match)
+	counts     []int64
+	cfg        setConfig
+	determined bool
 }
 
 // QuerySet evaluates several compiled queries against one stream in a
@@ -207,6 +187,7 @@ type setEngine interface {
 	Run(src xmlstream.Source) error
 	Symtab() *xmlstream.Symtab
 	Matches() map[string]int64
+	Determined() bool
 }
 
 // Evaluate streams the document once through the set's engine. Counts are
@@ -288,6 +269,7 @@ func (s *Set) EvaluateContext(ctx context.Context, r io.Reader) error {
 	if err := eng.Run(src); err != nil {
 		return err
 	}
+	s.determined = eng.Determined()
 	// The engines' own counters are authoritative: a query degraded to
 	// count-only mode by the governor keeps counting answers it no longer
 	// delivers through fn, so the per-hit tally above would undercount it.
@@ -329,3 +311,8 @@ func (s *Set) Counts() []int64 {
 	copy(out, s.counts)
 	return out
 }
+
+// Determined reports whether the last Evaluate ended early because every
+// query of the set reached its answer limit: the engine disconnected the
+// stream at the determining event instead of draining it.
+func (s *Set) Determined() bool { return s.determined }
