@@ -23,6 +23,14 @@
 //	                          # prefix of growing DMOZ documents; every
 //	                          # row is prefix-validated against the
 //	                          # unlimited evaluation
+//	spexbench -fig value-pred
+//	                          # the value-predicate figure: the same
+//	                          # selection over the tickets corpus as an
+//	                          # attribute predicate (decided at the start
+//	                          # message), a structural qualifier and a
+//	                          # text test; -check pins the pairs to equal
+//	                          # answers and the attribute rows to zero
+//	                          # decision latency
 //	spexbench -scale 1        # paper-sized documents (DMOZ takes a while)
 //	spexbench -check          # exit non-zero if any engine reports zero
 //	                          # answers (CI shape check, not a timing one)
@@ -80,7 +88,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 	fs := flag.NewFlagSet("spexbench", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	var (
-		fig      = fs.String("fig", "all", "which experiment: 14, 15, mem, sdi, adversarial, obs-overhead, early-term, all")
+		fig      = fs.String("fig", "all", "which experiment: 14, 15, mem, sdi, adversarial, obs-overhead, early-term, value-pred, all")
 		scale    = fs.Float64("scale", 0, "document scale; 0 = defaults (1 for Fig. 14, 0.05 for Fig. 15)")
 		verbose  = fs.Bool("v", false, "stream per-measurement progress and a periodic live-metrics line")
 		fullDMOZ = fs.Bool("full-dmoz", false, "run Fig. 15 at the paper's full scale (slow; equivalent to -scale 1)")
@@ -139,6 +147,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 	runAdv := *fig == "adversarial" || *fig == "adv" || *fig == "all"
 	runObs := *fig == "obs-overhead" || *fig == "obs" || *fig == "all"
 	runEarly := *fig == "early-term" || *fig == "early" || *fig == "all"
+	runValuePred := *fig == "value-pred" || *fig == "value" || *fig == "all"
 
 	// checkAnswers is the CI shape check: every measurement that actually
 	// ran must have found answers on these workloads.
@@ -266,6 +275,45 @@ func run(args []string, stdout, stderr io.Writer) error {
 		if err := figureEarlyTerm(stdout, progress, s, *jsonDir, *check); err != nil {
 			return err
 		}
+	}
+	if runValuePred {
+		s := *scale
+		if s == 0 {
+			s = 1
+		}
+		if err := figureValuePred(stdout, progress, s, *jsonDir, *check); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// figureValuePred runs the value-predicate figure (EXPERIMENTS.md E20): the
+// same selection over the tickets corpus as an attribute predicate, a
+// structural qualifier and a text test. With -check the pairs must agree on
+// the answer set and the attribute rows must decide at the start message.
+func figureValuePred(out, progress io.Writer, scale float64, jsonDir string, check bool) error {
+	ms, err := bench.RunValuePred(scale, progress)
+	if err != nil {
+		return err
+	}
+	title := fmt.Sprintf("\nValue predicates — tickets at scale %g: attribute vs structural vs text phrasing", scale)
+	bench.WriteValuePredTable(out, title, ms)
+	if jsonDir != "" {
+		f, err := os.Create(filepath.Join(jsonDir, "BENCH_value_pred.json"))
+		if err != nil {
+			return err
+		}
+		err = bench.WriteValuePredJSON(f, ms)
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			return err
+		}
+	}
+	if check {
+		return bench.CheckValuePred(ms)
 	}
 	return nil
 }

@@ -5,6 +5,7 @@
 //
 //	spexgen -dataset mondial -scale 1 > mondial.xml
 //	spexgen -dataset dmoz-structure -scale 1 -o dmoz.xml
+//	spexgen -dataset tickets -scale 1 > tickets.xml   # attribute-bearing corpus (E20)
 //	spexgen -dataset random -seed 7 -depth 6
 //	spexgen -dataset recursive -depth 500
 //	spexgen -info -dataset wordnet -scale 1
@@ -39,7 +40,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 	fs := flag.NewFlagSet("spexgen", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	var (
-		name  = fs.String("dataset", "mondial", "dataset: mondial, wordnet, dmoz-structure, dmoz-content, random, recursive, ladder")
+		name  = fs.String("dataset", "mondial", "dataset: mondial, wordnet, dmoz-structure, dmoz-content, tickets, random, recursive, ladder")
 		scale = fs.Float64("scale", 1, "size multiplier; 1 approximates the paper's document")
 		seed  = fs.Uint64("seed", 1, "seed for -dataset random")
 		depth = fs.Int("depth", 6, "depth for random/recursive/ladder documents")

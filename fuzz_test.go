@@ -14,9 +14,12 @@ import (
 // fuzzDoc interprets prog as a tree-building program and renders the
 // resulting document: each byte either closes the innermost open element
 // (odd bytes) or opens one of four names (even bytes, two name-selector
-// bits). The whole program is wrapped in a <r> root, so any byte string
-// yields a well-formed, single-rooted, element-only document — the fuzzer
-// explores tree shapes instead of fighting XML syntax.
+// bits). An opening byte's higher bits attach attributes: bit 3 adds k
+// (value "1" or "2" by bit 5), bit 4 adds s="v" — so the fuzzer explores
+// attribute presence and value agreement alongside tree shape. The whole
+// program is wrapped in a <r> root, so any byte string yields a
+// well-formed, single-rooted, element-only document — the fuzzer explores
+// tree shapes instead of fighting XML syntax.
 func fuzzDoc(prog []byte) string {
 	const maxOps = 96
 	if len(prog) > maxOps {
@@ -35,7 +38,18 @@ func fuzzDoc(prog []byte) string {
 			continue
 		}
 		name := names[(op>>1)&3]
-		b.WriteString("<" + name + ">")
+		b.WriteString("<" + name)
+		if op&8 != 0 {
+			if op&32 != 0 {
+				b.WriteString(` k="2"`)
+			} else {
+				b.WriteString(` k="1"`)
+			}
+		}
+		if op&16 != 0 {
+			b.WriteString(` s="v"`)
+		}
+		b.WriteString(">")
 		stack = append(stack, name)
 	}
 	for i := len(stack) - 1; i >= 0; i-- {
@@ -78,6 +92,19 @@ func FuzzEngineEquivalence(f *testing.F) {
 	}
 	f.Add("_*.b[preceding::a]", fuzzProg("a.b."))
 	f.Add("r.a", []byte{})
+	// Attribute-bearing shapes: Fig. 1 with k="1" on every element, and a
+	// mixed shape where only some elements carry k or s.
+	attrFig1 := fuzzProg("aac..b.c..")
+	for i := range attrFig1 {
+		attrFig1[i] |= 8
+	}
+	for _, q := range []string{
+		`_*.a[@k]`, `_*.a[@k="1"].c`, `_*.a[@k!="1"]`, `_*.a[not(@k)]`,
+		`_*.a[@k and not(@s)].c`, `_*._.@k`, `//a[@k='1']/c`, `_*.a[@s or c]`,
+	} {
+		f.Add(q, attrFig1)
+	}
+	f.Add(`_*.a[@k="2"]`, []byte{8 | 32, 8, 16, 1, 1, 1})
 
 	f.Fuzz(func(t *testing.T, query string, prog []byte) {
 		if len(query) > 48 {
@@ -85,7 +112,7 @@ func FuzzEngineEquivalence(f *testing.F) {
 		}
 		expr, err := rpeq.Parse(query)
 		if err != nil {
-			if expr, err = rpeq.ParseXPath(query); err != nil {
+			if expr, err = rpeq.Parse(query, rpeq.WithXPath()); err != nil {
 				return
 			}
 			query = expr.String() // the engines take rpeq syntax

@@ -103,6 +103,25 @@ func (n *pathNFA) frag(expr rpeq.Node, in int) int {
 		out := n.newState()
 		n.addEps(bout, out, e.Cond)
 		return out
+	case *rpeq.AttrTest:
+		// Self-filter: an ε-edge guarded by the attribute predicate at the
+		// node the prefix reached.
+		out := n.newState()
+		n.addEps(in, out, e)
+		return out
+	case *rpeq.CondNot:
+		// Negated self-condition: an ε-edge whose predicate holds when the
+		// body selects nothing at the landing node.
+		out := n.newState()
+		n.addEps(in, out, e)
+		return out
+	case *rpeq.TextTest:
+		// Value filter: run the path, then guard an ε-edge by the string
+		// value of the node reached (a self-rooted text test).
+		pout := n.frag(e.Path, in)
+		out := n.newState()
+		n.addEps(pout, out, &rpeq.TextTest{Path: &rpeq.Empty{}, Op: e.Op, Value: e.Value})
+		return out
 	default:
 		panic(fmt.Sprintf("baseline: unknown rpeq node %T", expr))
 	}
@@ -151,7 +170,19 @@ func (n *pathNFA) move(set []bool, label string) []bool {
 }
 
 // Eval implements Evaluator.
-func (Automaton) Eval(doc *dom.Node, expr rpeq.Node) []*dom.Node {
+func (a Automaton) Eval(doc *dom.Node, expr rpeq.Node) []*dom.Node {
+	if prefix, attr, ok := splitAttrStepTail(expr); ok {
+		// The terminal attribute step selects nodes outside the tree: run
+		// the automaton over the prefix, then synthesize the attribute nodes
+		// like the tree-walk oracle does.
+		var results []*dom.Node
+		for _, c := range a.Eval(doc, prefix) {
+			if an := attrNodeOf(c, attr); an != nil {
+				results = append(results, an)
+			}
+		}
+		return results
+	}
 	nfa := compileNFA(expr)
 	var results []*dom.Node
 	rootSet := make([]bool, nfa.nstates)

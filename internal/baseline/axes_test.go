@@ -40,7 +40,7 @@ func TestFollowingPrecedingAgainstDOM(t *testing.T) {
 			t.Fatal(err)
 		}
 		for _, q := range queries {
-			expr, err := rpeq.ParseXPath(q)
+			expr, err := rpeq.Parse(q, rpeq.WithXPath())
 			if err != nil {
 				t.Fatalf("%s: %v", q, err)
 			}
@@ -63,7 +63,7 @@ func TestFollowingPrecedingAgainstDOM(t *testing.T) {
 // with a clear error rather than computing a wrong answer.
 func TestAxesInPredicatesRejected(t *testing.T) {
 	for _, q := range []string{"//a[following::b]", "//b[preceding::a]"} {
-		if _, err := rpeq.ParseXPath(q); err == nil {
+		if _, err := rpeq.Parse(q, rpeq.WithXPath()); err == nil {
 			t.Errorf("%s: expected an error", q)
 		}
 	}

@@ -89,7 +89,7 @@ func TestReverseAxisRewritingAgainstDOM(t *testing.T) {
 			t.Fatal(err)
 		}
 		for _, tc := range axisCases {
-			rewritten, err := rpeq.ParseXPath(tc.xpath)
+			rewritten, err := rpeq.Parse(tc.xpath, rpeq.WithXPath())
 			if err != nil {
 				t.Fatalf("%s: %v", tc.xpath, err)
 			}
@@ -113,7 +113,7 @@ func TestReverseAxisDeduplication(t *testing.T) {
 	// Every ancestor of both b and of c: branches overlap on a-nodes
 	// having both.
 	doc := `<a><a><b/><c/></a></a>`
-	expr, err := rpeq.ParseXPath("//b/ancestor::a | //c/ancestor::a")
+	expr, err := rpeq.Parse("//b/ancestor::a | //c/ancestor::a", rpeq.WithXPath())
 	if err != nil {
 		t.Fatal(err)
 	}

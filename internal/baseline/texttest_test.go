@@ -66,7 +66,7 @@ func TestTextQualifierStringValue(t *testing.T) {
 
 // TestTextQualifierXPath: the XPath front end accepts the same tests.
 func TestTextQualifierXPath(t *testing.T) {
-	expr, err := rpeq.ParseXPath(`//book[lang = "en"]/title`)
+	expr, err := rpeq.Parse(`//book[lang = "en"]/title`, rpeq.WithXPath())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -79,7 +79,7 @@ func TestTextQualifierXPath(t *testing.T) {
 		t.Fatalf("got %v, want [3]", got)
 	}
 	// Single-quoted strings too.
-	if _, err := rpeq.ParseXPath(`//book[lang = 'en']`); err != nil {
+	if _, err := rpeq.Parse(`//book[lang = 'en']`, rpeq.WithXPath()); err != nil {
 		t.Fatal(err)
 	}
 }

@@ -102,6 +102,53 @@ func evalSet(expr rpeq.Node, ctx nodeSet) nodeSet {
 		}
 		return out
 
+	case *rpeq.AttrTest:
+		// Self-filter: keep the context nodes whose attributes satisfy the
+		// predicate. The document node carries no attributes.
+		out := make(nodeSet)
+		for c := range ctx {
+			if n.Pred.Eval(c.Attr) {
+				out.add(c)
+			}
+		}
+		return out
+
+	case *rpeq.AttrStep:
+		// Attribute selection: the answers are the attribute nodes
+		// themselves, which have no representation in the tree — synthesize
+		// one per carrying context element, shaped like the engine's
+		// serialization (<@name>value</@name>). Attribute nodes share their
+		// element's document-order index; differential tests compare names,
+		// counts and content, not indexes.
+		out := make(nodeSet)
+		for c := range ctx {
+			if a := attrNodeOf(c, n.Name); a != nil {
+				out.add(a)
+			}
+		}
+		return out
+
+	case *rpeq.CondNot:
+		// A bare negated condition (a disjunct of an 'or' lowering) filters
+		// the context itself: keep the nodes at which the body selects nothing.
+		out := make(nodeSet)
+		for c := range ctx {
+			if !condHolds(n.Expr, c) {
+				out.add(c)
+			}
+		}
+		return out
+
+	case *rpeq.TextTest:
+		// Value filter over the path's selections.
+		out := make(nodeSet)
+		for k := range evalSet(n.Path, ctx) {
+			if n.Op.Holds(stringValue(k), n.Value) {
+				out.add(k)
+			}
+		}
+		return out
+
 	case *rpeq.Following:
 		// Elements after the context in document order, excluding its
 		// descendants (and, by index order, its ancestors).
@@ -135,17 +182,12 @@ func evalSet(expr rpeq.Node, ctx nodeSet) nodeSet {
 	}
 }
 
-// condHolds decides a qualifier condition at node n: a structural
-// condition holds when it selects a non-empty set; a text test holds when
-// some selected node's string value satisfies the comparison.
+// condHolds decides a qualifier condition at node n: a structural (or
+// value-filtered) condition holds when it selects a non-empty set; a negated
+// condition holds when its body selects nothing.
 func condHolds(cond rpeq.Node, n *dom.Node) bool {
-	if tt, ok := cond.(*rpeq.TextTest); ok {
-		for k := range evalSet(tt.Path, nodeSet{n: true}) {
-			if tt.Op.Holds(stringValue(k), tt.Value) {
-				return true
-			}
-		}
-		return false
+	if cn, ok := cond.(*rpeq.CondNot); ok {
+		return !condHolds(cn.Expr, n)
 	}
 	return len(evalSet(cond, nodeSet{n: true})) > 0
 }
@@ -160,6 +202,37 @@ func stringValue(n *dom.Node) string {
 		}
 	})
 	return b.String()
+}
+
+// attrNodeOf synthesizes the attribute node for element c's named attribute
+// (nil when absent): an element <@name> wrapping the value as text, matching
+// the engines' serialization of attribute answers. It inherits c's
+// document-order index — attribute nodes order with their element.
+func attrNodeOf(c *dom.Node, name string) *dom.Node {
+	v, ok := c.Attr(name)
+	if !ok {
+		return nil
+	}
+	a := &dom.Node{Kind: dom.Element, Name: "@" + name, Index: c.Index, Parent: c}
+	if v != "" {
+		a.Children = []*dom.Node{{Kind: dom.TextNode, Data: v, Index: -1, Parent: a}}
+	}
+	return a
+}
+
+// splitAttrStepTail splits a query ending in an attribute step into its
+// element-selecting prefix and the attribute name. The parser guarantees the
+// step can only be the query's final step.
+func splitAttrStepTail(expr rpeq.Node) (rpeq.Node, string, bool) {
+	switch e := expr.(type) {
+	case *rpeq.AttrStep:
+		return &rpeq.Empty{}, e.Name, true
+	case *rpeq.Concat:
+		if as, ok := e.Right.(*rpeq.AttrStep); ok {
+			return e.Left, as.Name, true
+		}
+	}
+	return nil, "", false
 }
 
 // documentOf returns the document node of n's tree.

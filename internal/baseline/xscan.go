@@ -27,9 +27,13 @@ type XScan struct{}
 // Name identifies the engine in benchmark output.
 func (XScan) Name() string { return "xscan" }
 
-// Supports reports whether the expression is in X-Scan's fragment.
+// Supports reports whether the expression is in X-Scan's fragment:
+// qualifier-free navigation with no extension axes and no value tests
+// (attribute filters arrive on the spine, outside the label alphabet the
+// path NFA ranges over).
 func (XScan) Supports(expr rpeq.Node) bool {
-	return !hasQualifier(expr) && !rpeq.HasExtensionAxes(expr)
+	return !hasQualifier(expr) && !rpeq.HasExtensionAxes(expr) &&
+		!rpeq.HasTextTest(expr) && !rpeq.HasAttrTest(expr)
 }
 
 func hasQualifier(n rpeq.Node) bool {

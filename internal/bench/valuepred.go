@@ -1,0 +1,192 @@
+package bench
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/obs"
+	"repro/internal/spexnet"
+	"repro/internal/xmlstream"
+)
+
+// The value-pred figure: the same selection over the tickets corpus phrased
+// as an attribute predicate, a structural qualifier, and a text test. The
+// corpus mirrors each item's attributes as trailing child elements, so the
+// three phrasings select identical answer sets while their decision points
+// differ maximally: an attribute predicate resolves at the item's *start*
+// message, before any of its subtree streams past, while the structural and
+// text phrasings wait for the mirror children at the item's end. The
+// sink-side decision-latency histogram (events from candidate creation to
+// condition resolution) makes the difference measurable: the attribute rows
+// sit at zero, the mirrored rows at roughly the item's subtree size.
+
+// ValuePredMeasurement is one row of the figure.
+type ValuePredMeasurement struct {
+	Dataset string
+	Kind    string // "attribute", "structural" or "text"
+	Pair    string // rows of one pair must report identical answers
+	Query   string
+
+	Elements int64
+	Matches  int64
+	Elapsed  time.Duration
+
+	// Decision evidence: how many candidate decisions the sink observed and
+	// how many stream events a candidate waited for its decision on average.
+	DecisionCount      int64
+	DecisionMeanEvents float64
+}
+
+// NsPerElement is the row's cost rate.
+func (m ValuePredMeasurement) NsPerElement() float64 {
+	if m.Elements == 0 {
+		return 0
+	}
+	return float64(m.Elapsed.Nanoseconds()) / float64(m.Elements)
+}
+
+// ValuePredWorkloads pairs each attribute-predicate query with its mirrored
+// phrasing over the trailing child elements. Within a pair the answer sets
+// are identical by corpus construction.
+var ValuePredWorkloads = []struct {
+	Kind  string
+	Pair  string
+	Query string
+}{
+	{"structural", "exists", `items.item[resolution].summary`},
+	{"attribute", "exists", `items.item[@resolution].summary`},
+	{"text", "compare", `items.item[state="closed"].summary`},
+	{"attribute", "compare", `items.item[@status="closed"].summary`},
+	{"text", "motivating", `items.item[state="closed" and not(resolution)].summary`},
+	{"attribute", "motivating", `items.item[@status="closed" and not(@resolution)].summary`},
+}
+
+// RunValuePred measures every workload of the figure on the tickets corpus
+// at the given scale. Each run gets a fresh metrics registry, so the
+// decision-latency histogram belongs to that row alone.
+func RunValuePred(scale float64, progress io.Writer) ([]ValuePredMeasurement, error) {
+	doc := Dataset("tickets", scale).Bytes()
+	info, err := xmlstream.Measure(xmlstream.NewScanner(bytes.NewReader(doc)))
+	if err != nil {
+		return nil, err
+	}
+	var out []ValuePredMeasurement
+	for _, w := range ValuePredWorkloads {
+		m := ValuePredMeasurement{Dataset: "tickets", Kind: w.Kind, Pair: w.Pair, Query: w.Query, Elements: info.Elements}
+		plan, err := core.Prepare(w.Query)
+		if err != nil {
+			return out, fmt.Errorf("bench: value-pred query %q: %w", w.Query, err)
+		}
+		reg := obs.NewMetrics()
+		start := time.Now()
+		stats, err := plan.EvaluateReader(bytes.NewReader(doc), core.EvalOptions{
+			Mode:        spexnet.ModeCount,
+			SinkMetrics: reg,
+		})
+		if err != nil {
+			return out, fmt.Errorf("bench: value-pred %q: %w", w.Query, err)
+		}
+		m.Elapsed = time.Since(start)
+		m.Matches = stats.Output.Matches
+		m.DecisionCount = int64(reg.DecisionLatency.Count())
+		if c := reg.DecisionLatency.Count(); c > 0 {
+			m.DecisionMeanEvents = float64(reg.DecisionLatency.Sum()) / float64(c)
+		}
+		out = append(out, m)
+		if progress != nil {
+			fmt.Fprintf(progress, "  %-10s %-56s %8d matches  decision mean %7.1f events\n",
+				w.Kind, w.Query, m.Matches, m.DecisionMeanEvents)
+		}
+	}
+	return out, nil
+}
+
+// CheckValuePred validates the figure's claims: every row found answers,
+// rows of one pair report identical answer sets, and each attribute row
+// decided at the start message (zero decision latency) while its mirrored
+// phrasing had to wait into the subtree.
+func CheckValuePred(ms []ValuePredMeasurement) error {
+	matches := map[string]map[string]int64{}
+	for _, m := range ms {
+		if m.Matches == 0 {
+			return fmt.Errorf("value-pred: %s %q reported zero answers", m.Kind, m.Query)
+		}
+		if m.DecisionCount == 0 {
+			return fmt.Errorf("value-pred: %s %q observed no candidate decisions", m.Kind, m.Query)
+		}
+		if matches[m.Pair] == nil {
+			matches[m.Pair] = map[string]int64{}
+		}
+		matches[m.Pair][m.Kind] = m.Matches
+		if m.Kind == "attribute" && m.DecisionMeanEvents != 0 {
+			return fmt.Errorf("value-pred: attribute predicate %q did not decide at the start message (mean decision latency %.1f events)",
+				m.Query, m.DecisionMeanEvents)
+		}
+		if m.Kind != "attribute" && m.DecisionMeanEvents <= 0 {
+			return fmt.Errorf("value-pred: %s phrasing %q decided with zero latency; the mirror corpus should force a wait",
+				m.Kind, m.Query)
+		}
+	}
+	for pair, byKind := range matches {
+		var want int64 = -1
+		for kind, n := range byKind {
+			if want == -1 {
+				want = n
+			} else if n != want {
+				return fmt.Errorf("value-pred: pair %q disagrees on the answer set (%s reports %d, another phrasing %d)", pair, kind, n, want)
+			}
+		}
+	}
+	return nil
+}
+
+// WriteValuePredTable renders the figure as text.
+func WriteValuePredTable(w io.Writer, title string, ms []ValuePredMeasurement) {
+	fmt.Fprintf(w, "%s\n", title)
+	fmt.Fprintf(w, "%-12s %-10s %-56s %9s %11s %14s\n",
+		"pair", "kind", "query", "matches", "ns/element", "decision mean")
+	for _, m := range ms {
+		fmt.Fprintf(w, "%-12s %-10s %-56s %9d %11.0f %11.1f ev\n",
+			m.Pair, m.Kind, m.Query, m.Matches, m.NsPerElement(), m.DecisionMeanEvents)
+	}
+}
+
+// jsonValuePred is the machine-readable row of BENCH_value_pred.json.
+type jsonValuePred struct {
+	Dataset            string  `json:"dataset"`
+	Kind               string  `json:"kind"`
+	Pair               string  `json:"pair"`
+	Query              string  `json:"query"`
+	Elements           int64   `json:"elements"`
+	Matches            int64   `json:"matches"`
+	ElapsedNs          int64   `json:"elapsed_ns"`
+	NsPerElement       float64 `json:"ns_per_element"`
+	DecisionCount      int64   `json:"decision_count"`
+	DecisionMeanEvents float64 `json:"decision_mean_events"`
+}
+
+// WriteValuePredJSON renders the figure's BENCH_value_pred.json report.
+func WriteValuePredJSON(w io.Writer, ms []ValuePredMeasurement) error {
+	out := make([]jsonValuePred, 0, len(ms))
+	for _, m := range ms {
+		out = append(out, jsonValuePred{
+			Dataset:            m.Dataset,
+			Kind:               m.Kind,
+			Pair:               m.Pair,
+			Query:              m.Query,
+			Elements:           m.Elements,
+			Matches:            m.Matches,
+			ElapsedNs:          m.Elapsed.Nanoseconds(),
+			NsPerElement:       m.NsPerElement(),
+			DecisionCount:      m.DecisionCount,
+			DecisionMeanEvents: m.DecisionMeanEvents,
+		})
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
+}

@@ -64,6 +64,8 @@ func Dataset(name string, scale float64) *dataset.Doc {
 		return dataset.DMOZStructure(scale)
 	case "dmoz-content":
 		return dataset.DMOZContent(scale)
+	case "tickets":
+		return dataset.Tickets(scale)
 	default:
 		return nil
 	}
@@ -71,5 +73,5 @@ func Dataset(name string, scale float64) *dataset.Doc {
 
 // DatasetNames lists the known dataset names.
 func DatasetNames() []string {
-	return []string{"mondial", "wordnet", "dmoz-structure", "dmoz-content"}
+	return []string{"mondial", "wordnet", "dmoz-structure", "dmoz-content", "tickets"}
 }

@@ -38,7 +38,8 @@ type Plan struct {
 // "first" clause caps the answer count: evaluation stops reading the stream
 // as soon as the first N answers (in document order) are fixed.
 func Prepare(expr string) (*Plan, error) {
-	node, limit, err := rpeq.ParseWithLimit(expr)
+	var limit int64
+	node, err := rpeq.Parse(expr, rpeq.WithLimit(&limit))
 	if err != nil {
 		return nil, err
 	}
@@ -46,10 +47,11 @@ func Prepare(expr string) (*Plan, error) {
 }
 
 // PrepareXPath parses an expression in the paper's XPath fragment
-// (child/descendant steps with structural qualifiers) into a plan. The same
-// trailing "limit N"/"first" clause as Prepare is accepted.
+// (child/descendant steps with structural and attribute qualifiers) into a
+// plan. The same trailing "limit N"/"first" clause as Prepare is accepted.
 func PrepareXPath(path string) (*Plan, error) {
-	node, limit, err := rpeq.ParseXPathWithLimit(path)
+	var limit int64
+	node, err := rpeq.Parse(path, rpeq.WithXPath(), rpeq.WithLimit(&limit))
 	if err != nil {
 		return nil, err
 	}
@@ -207,6 +209,11 @@ func (p *Plan) Evaluate(src xmlstream.Source, opts EvalOptions) (spexnet.Stats, 
 func (p *Plan) EvaluateReader(r io.Reader, opts EvalOptions) (spexnet.Stats, error) {
 	withText := opts.Mode == spexnet.ModeSerialize || opts.Mode == spexnet.ModeStream ||
 		rpeq.HasTextTest(p.expr)
+	// Attribute lists ride on start events only when something reads them:
+	// an attribute test or step in the query, or serialized answers (which
+	// must round-trip the attributes of their subtrees).
+	withAttrs := opts.Mode == spexnet.ModeSerialize || opts.Mode == spexnet.ModeStream ||
+		rpeq.HasAttrTest(p.expr)
 	if opts.Ctx != nil {
 		r = &ctxReader{ctx: opts.Ctx, r: r}
 	}
@@ -217,7 +224,7 @@ func (p *Plan) EvaluateReader(r io.Reader, opts EvalOptions) (spexnet.Stats, err
 	} else if opts.SinkMetrics != nil {
 		r = &obs.CountingReader{R: r, C: &opts.SinkMetrics.Bytes, LastReadNs: &opts.SinkMetrics.LastReadNs}
 	}
-	scanOpts := []xmlstream.ScannerOption{xmlstream.WithText(withText)}
+	scanOpts := []xmlstream.ScannerOption{xmlstream.WithText(withText), xmlstream.WithAttributes(withAttrs)}
 	if st := opts.symtabFor(p); st != nil {
 		// Share the evaluation's symbol table with the scanner: events
 		// arrive pre-resolved and every label test downstream is one

@@ -87,6 +87,42 @@ func (w *xmlWriter) start(name string) {
 	w.flushIfFull()
 }
 
+// startAttrs writes an element start tag carrying attributes, given as
+// alternating name, value pairs. Values are escaped; names are assumed to
+// be identifier-shaped (the generators control them).
+func (w *xmlWriter) startAttrs(name string, pairs ...string) {
+	w.buf = append(w.buf, '<')
+	w.buf = append(w.buf, name...)
+	for i := 0; i+1 < len(pairs); i += 2 {
+		w.buf = append(w.buf, ' ')
+		w.buf = append(w.buf, pairs[i]...)
+		w.buf = append(w.buf, '=', '"')
+		w.buf = appendAttrEscaped(w.buf, pairs[i+1])
+		w.buf = append(w.buf, '"')
+	}
+	w.buf = append(w.buf, '>')
+	w.open = append(w.open, name)
+	w.flushIfFull()
+}
+
+// appendAttrEscaped appends s with the characters significant inside a
+// double-quoted attribute value replaced by entity references.
+func appendAttrEscaped(buf []byte, s string) []byte {
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case '&':
+			buf = append(buf, "&amp;"...)
+		case '<':
+			buf = append(buf, "&lt;"...)
+		case '"':
+			buf = append(buf, "&quot;"...)
+		default:
+			buf = append(buf, s[i])
+		}
+	}
+	return buf
+}
+
 func (w *xmlWriter) end() {
 	name := w.open[len(w.open)-1]
 	w.open = w.open[:len(w.open)-1]

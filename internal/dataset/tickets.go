@@ -1,0 +1,47 @@
+package dataset
+
+// Tickets generates the attribute-bearing corpus behind the value-pred
+// figure: an issue-tracker dump in the shape of the motivating query
+// items/item[@status="closed" and not(@resolution)]/summary. Each item
+// carries its state twice — as attributes on the start tag and mirrored as
+// trailing child elements — so the same selection can be phrased as an
+// attribute predicate (decidable at the item's start message), a structural
+// qualifier, or a text test (decidable only once the mirror children at the
+// end of the item have streamed past). The body prose between the summary
+// and the mirrors is what the non-attribute phrasings must wait through.
+//
+// At scale 1 the dump holds 2000 items: half closed, and ~30% of all items
+// resolved, so every pairing of the figure selects a nonzero set.
+func Tickets(scale float64) *Doc {
+	return &Doc{Name: "tickets", Scale: scale, write: func(w *xmlWriter, scale float64) {
+		r := newRNG(0x71C4E75)
+		items := scaleCount(2000, scale)
+		w.start("items")
+		for i := 0; i < items; i++ {
+			status := "open"
+			if r.chance(50) {
+				status = "closed"
+			}
+			resolved := r.chance(30)
+			if resolved {
+				w.startAttrs("item", "status", status, "resolution", "fixed")
+			} else {
+				w.startAttrs("item", "status", status)
+			}
+			w.leaf("summary", r.sentence(40))
+			w.start("body")
+			for p := 0; p < 3; p++ {
+				w.leaf("para", r.sentence(60))
+			}
+			w.end()
+			// The mirrors: the same facts as late children, the worst
+			// decision point for a streamed qualifier.
+			w.leaf("state", status)
+			if resolved {
+				w.leaf("resolution", "fixed")
+			}
+			w.end()
+		}
+		w.end()
+	}}
+}

@@ -29,6 +29,17 @@ type Node struct {
 	Index    int64  // document-order index: document=0, elements from 1; -1 for text
 	Parent   *Node
 	Children []*Node
+	Attrs    []xmlstream.Attr // element attributes, in document order
+}
+
+// Attr returns the value of the named attribute and whether it is present.
+func (n *Node) Attr(name string) (string, bool) {
+	for _, a := range n.Attrs {
+		if a.Name == name {
+			return a.Value, true
+		}
+	}
+	return "", false
 }
 
 // Build materializes the whole stream into a tree and returns the document
@@ -51,7 +62,7 @@ func Build(src xmlstream.Source) (*Node, error) {
 		case xmlstream.StartDocument:
 			started = true
 		case xmlstream.StartElement:
-			n := &Node{Kind: Element, Name: ev.Name, Index: next, Parent: cur}
+			n := &Node{Kind: Element, Name: ev.Name, Index: next, Parent: cur, Attrs: ev.Attrs}
 			next++
 			cur.Children = append(cur.Children, n)
 			cur = n
@@ -150,7 +161,7 @@ func (n *Node) Events() []xmlstream.Event {
 	walk = func(m *Node) {
 		switch m.Kind {
 		case Element:
-			out = append(out, xmlstream.Start(m.Name))
+			out = append(out, xmlstream.StartAttrs(m.Name, m.Attrs...))
 			for _, c := range m.Children {
 				walk(c)
 			}

@@ -18,7 +18,10 @@ func Nullable(n Node) bool {
 	switch n := n.(type) {
 	case *Empty, *Star, *Optional:
 		return true
-	case *Label, *Plus, *Following, *Preceding, *TextTest:
+	case *Label, *Plus, *Following, *Preceding, *TextTest, *AttrTest, *AttrStep, *CondNot:
+		// AttrTest consumes no edges but is conditional: the context
+		// witnesses it only when its attributes pass, which cannot be
+		// decided statically, so it is not (guaranteed-)nullable.
 		return false
 	case *Concat:
 		return Nullable(n.Left) && Nullable(n.Right)

@@ -1,0 +1,236 @@
+package rpeq
+
+import (
+	"fmt"
+	"strings"
+)
+
+// This file implements the attribute surface of the query language:
+// attribute steps (@name), attribute tests ([@a], [@a="v"], ...) and the
+// negated qualifier condition not(...). Attributes are an extension beyond
+// the paper's published fragment — which covers "no other qualifiers than
+// structural qualifiers" (§II.2) — and, like text tests, a step of the
+// XPath migration the paper names as future work (§VII, §IX). Their
+// evaluation is cheaper than any structural construct: a start-element
+// message carries the complete attribute list, so every attribute test is
+// decided at the candidate's start message with constant memory.
+
+// AttrOp is a comparison applied to one attribute of a node.
+type AttrOp uint8
+
+const (
+	// AttrExists holds when the attribute is present, whatever its value.
+	AttrExists AttrOp = iota
+	// AttrEq holds when the attribute is present with exactly the value.
+	AttrEq
+	// AttrNeq holds when the attribute is present with a different value.
+	// This is XPath's @a != "v" semantics: absence makes the test false
+	// (absence is expressed as not(@a)).
+	AttrNeq
+	// AttrContains holds when the attribute is present and its value
+	// contains the constant as a substring.
+	AttrContains
+)
+
+// String renders the operator in the surface syntax.
+func (op AttrOp) String() string {
+	switch op {
+	case AttrExists:
+		return ""
+	case AttrEq:
+		return "="
+	case AttrNeq:
+		return "!="
+	case AttrContains:
+		return "*="
+	default:
+		return "?"
+	}
+}
+
+// AttrExpr is a boolean formula over one node's attributes. It is
+// deliberately not a path Node: the formula is decided in full at the
+// node's start event, where the attribute list is complete, so it compiles
+// to a single constant-memory transducer instead of a sub-network.
+type AttrExpr interface {
+	fmt.Stringer
+	// Eval decides the formula against one node's attributes; get reports
+	// the value of a named attribute and whether it is present.
+	Eval(get func(name string) (string, bool)) bool
+	attrExpr()
+}
+
+// AttrLeaf is one attribute comparison: @Name Op "Value".
+type AttrLeaf struct {
+	Name  string
+	Op    AttrOp
+	Value string
+}
+
+// AttrAnd is the conjunction of two attribute formulas.
+type AttrAnd struct{ Left, Right AttrExpr }
+
+// AttrOr is the disjunction of two attribute formulas.
+type AttrOr struct{ Left, Right AttrExpr }
+
+// AttrNot is the negation of an attribute formula.
+type AttrNot struct{ Expr AttrExpr }
+
+func (*AttrLeaf) attrExpr() {}
+func (*AttrAnd) attrExpr()  {}
+func (*AttrOr) attrExpr()   {}
+func (*AttrNot) attrExpr()  {}
+
+// Eval implements AttrExpr.
+func (l *AttrLeaf) Eval(get func(string) (string, bool)) bool {
+	v, ok := get(l.Name)
+	if !ok {
+		return false
+	}
+	switch l.Op {
+	case AttrExists:
+		return true
+	case AttrEq:
+		return v == l.Value
+	case AttrNeq:
+		return v != l.Value
+	case AttrContains:
+		return strings.Contains(v, l.Value)
+	default:
+		return false
+	}
+}
+
+// Eval implements AttrExpr.
+func (a *AttrAnd) Eval(get func(string) (string, bool)) bool {
+	return a.Left.Eval(get) && a.Right.Eval(get)
+}
+
+// Eval implements AttrExpr.
+func (o *AttrOr) Eval(get func(string) (string, bool)) bool {
+	return o.Left.Eval(get) || o.Right.Eval(get)
+}
+
+// Eval implements AttrExpr.
+func (n *AttrNot) Eval(get func(string) (string, bool)) bool {
+	return !n.Expr.Eval(get)
+}
+
+func (l *AttrLeaf) String() string {
+	if l.Op == AttrExists {
+		return "@" + l.Name
+	}
+	return "@" + l.Name + l.Op.String() + quoteString(l.Value)
+}
+
+func (a *AttrAnd) String() string {
+	return attrOperand(a.Left) + " and " + attrOperand(a.Right)
+}
+
+func (o *AttrOr) String() string {
+	return o.Left.String() + " or " + o.Right.String()
+}
+
+func (n *AttrNot) String() string {
+	return "not(" + n.Expr.String() + ")"
+}
+
+// attrOperand parenthesizes a disjunction appearing under a conjunction.
+func attrOperand(e AttrExpr) string {
+	if _, ok := e.(*AttrOr); ok {
+		return "(" + e.String() + ")"
+	}
+	return e.String()
+}
+
+// attrExprSize counts the formula's constructs, for Stats.
+func attrExprSize(e AttrExpr) int {
+	switch e := e.(type) {
+	case *AttrAnd:
+		return 1 + attrExprSize(e.Left) + attrExprSize(e.Right)
+	case *AttrOr:
+		return 1 + attrExprSize(e.Left) + attrExprSize(e.Right)
+	case *AttrNot:
+		return 1 + attrExprSize(e.Expr)
+	default:
+		return 1
+	}
+}
+
+// attrExprEqual reports structural equality of two attribute formulas.
+func attrExprEqual(a, b AttrExpr) bool {
+	switch a := a.(type) {
+	case *AttrLeaf:
+		bl, ok := b.(*AttrLeaf)
+		return ok && a.Name == bl.Name && a.Op == bl.Op && a.Value == bl.Value
+	case *AttrAnd:
+		ba, ok := b.(*AttrAnd)
+		return ok && attrExprEqual(a.Left, ba.Left) && attrExprEqual(a.Right, ba.Right)
+	case *AttrOr:
+		bo, ok := b.(*AttrOr)
+		return ok && attrExprEqual(a.Left, bo.Left) && attrExprEqual(a.Right, bo.Right)
+	case *AttrNot:
+		bn, ok := b.(*AttrNot)
+		return ok && attrExprEqual(a.Expr, bn.Expr)
+	default:
+		return false
+	}
+}
+
+// AttrTest is a path self-filter: it selects its context node iff the
+// node's attributes satisfy Pred, and consumes no tree edges. The front
+// ends produce it from attribute predicates — item[@status="closed"]
+// lowers to a spine filter on the item step — and from attribute-tailed
+// condition paths (b/@id selects b children that carry the attribute). It
+// has no surface syntax of its own; String renders the equivalent
+// ε-qualifier %e[pred], which parses back to a bare AttrTest.
+type AttrTest struct{ Pred AttrExpr }
+
+// AttrStep is the attribute axis step @name: it selects the named
+// attribute node of each context node. Attribute nodes are leaves without
+// an element identity of their own, so an AttrStep is valid only as the
+// final step of a query (validated at parse time); engines serialize the
+// selected attribute as a synthetic element around its value.
+type AttrStep struct{ Name string }
+
+// CondNot is the negated qualifier condition not(expr): it holds at a
+// candidate node iff expr selects nothing within the candidate's scope.
+// Only qualifier-free expressions may be negated (enforced when predicates
+// are lowered); attribute-pure negations never reach this node — they fold
+// into the attribute formula itself as AttrNot.
+type CondNot struct{ Expr Node }
+
+func (*AttrTest) node() {}
+func (*AttrStep) node() {}
+func (*CondNot) node()  {}
+
+func (t *AttrTest) Size() int { return attrExprSize(t.Pred) }
+func (*AttrStep) Size() int   { return 1 }
+func (c *CondNot) Size() int  { return 1 + c.Expr.Size() }
+
+func (t *AttrTest) String() string { return "%e[" + t.Pred.String() + "]" }
+func (s *AttrStep) String() string { return "@" + s.Name }
+func (c *CondNot) String() string  { return "not(" + c.Expr.String() + ")" }
+
+// HasAttrTest reports whether the expression tests or selects attributes
+// anywhere; evaluations must then keep attribute lists in the stream.
+func HasAttrTest(n Node) bool {
+	switch n := n.(type) {
+	case *AttrTest, *AttrStep:
+		return true
+	case *Concat:
+		return HasAttrTest(n.Left) || HasAttrTest(n.Right)
+	case *Union:
+		return HasAttrTest(n.Left) || HasAttrTest(n.Right)
+	case *Optional:
+		return HasAttrTest(n.Expr)
+	case *Qualifier:
+		return HasAttrTest(n.Base) || HasAttrTest(n.Cond)
+	case *CondNot:
+		return HasAttrTest(n.Expr)
+	case *TextTest:
+		return HasAttrTest(n.Path)
+	default:
+		return false
+	}
+}

@@ -51,6 +51,10 @@ func HasExtensionAxes(n Node) bool {
 		return HasExtensionAxes(n.Expr)
 	case *Qualifier:
 		return HasExtensionAxes(n.Base) || HasExtensionAxes(n.Cond)
+	case *CondNot:
+		return HasExtensionAxes(n.Expr)
+	case *TextTest:
+		return HasExtensionAxes(n.Path)
 	default:
 		return false
 	}

@@ -1,0 +1,287 @@
+package rpeq
+
+import "fmt"
+
+// The condition algebra: qualifier conditions combine path existence
+// tests, text tests and attribute tests with 'and', 'or' and 'not(...)'.
+// Both front ends (the rpeq surface syntax and the XPath fragment) parse
+// conditions into the small intermediate form below and share one lowering
+// into the core tree:
+//
+//   - or lowers to path union — a qualifier holds iff its condition
+//     selects a non-empty set, so disjunction is union — except that
+//     attribute-pure disjuncts merge into a single attribute formula;
+//   - and lowers to successive qualifiers on the base (base[c1][c2]...),
+//     with all attribute-pure conjuncts merged into one spine filter
+//     base.{...} that decides at the candidate's start message;
+//   - not is pushed to the leaves (De Morgan) and lowers to CondNot;
+//     attribute-pure negations fold into the attribute formula as AttrNot.
+//
+// The lowering is where attribute predicates earn their earliest
+// evaluation: item[@status="closed" and not(@resolution)]/summary becomes
+// items.item.{@status="closed" and not(@resolution)}.summary — a pure
+// filter chain with no qualifier machinery, decided at each item's start.
+
+// condExpr is the parsed form of one qualifier condition.
+type condExpr interface{ condNode() }
+
+// condLeaf is one condition term: a path, optionally compared to a string
+// constant.
+type condLeaf struct {
+	path   Node
+	op     TextOp
+	value  string
+	hasCmp bool
+}
+
+// condAnd is the conjunction of two conditions.
+type condAnd struct{ left, right condExpr }
+
+// condOr is the disjunction of two conditions.
+type condOr struct{ left, right condExpr }
+
+// condNeg is the negation of a condition.
+type condNeg struct{ expr condExpr }
+
+func (condLeaf) condNode() {}
+func (condAnd) condNode()  {}
+func (condOr) condNode()   {}
+func (condNeg) condNode()  {}
+
+// pushNot normalizes the condition so negation wraps leaves only,
+// applying De Morgan's laws and eliminating double negation.
+func pushNot(e condExpr, neg bool) condExpr {
+	switch e := e.(type) {
+	case condNeg:
+		return pushNot(e.expr, !neg)
+	case condAnd:
+		l, r := pushNot(e.left, neg), pushNot(e.right, neg)
+		if neg {
+			return condOr{left: l, right: r}
+		}
+		return condAnd{left: l, right: r}
+	case condOr:
+		l, r := pushNot(e.left, neg), pushNot(e.right, neg)
+		if neg {
+			return condAnd{left: l, right: r}
+		}
+		return condOr{left: l, right: r}
+	default:
+		if neg {
+			return condNeg{expr: e}
+		}
+		return e
+	}
+}
+
+// splitAnd flattens the top-level conjunction into its terms.
+func splitAnd(e condExpr) []condExpr {
+	if a, ok := e.(condAnd); ok {
+		return append(splitAnd(a.left), splitAnd(a.right)...)
+	}
+	return []condExpr{e}
+}
+
+// lowerPredicate folds one parsed predicate onto the base expression.
+// Attribute-pure conjuncts merge into a single spine filter applied
+// first (it is the cheapest: decided at the candidate's start message);
+// the remaining terms become successive qualifiers.
+func lowerPredicate(base Node, e condExpr) (Node, error) {
+	var pred AttrExpr
+	var quals []Node
+	for _, term := range splitAnd(pushNot(e, false)) {
+		n, err := lowerCond(term)
+		if err != nil {
+			return nil, err
+		}
+		if at, ok := n.(*AttrTest); ok {
+			if pred == nil {
+				pred = at.Pred
+			} else {
+				pred = &AttrAnd{Left: pred, Right: at.Pred}
+			}
+			continue
+		}
+		quals = append(quals, n)
+	}
+	out := base
+	if pred != nil {
+		out = concat(out, &AttrTest{Pred: pred})
+	}
+	for _, c := range quals {
+		out = &Qualifier{Base: out, Cond: c}
+	}
+	return out, nil
+}
+
+// lowerCond lowers one normalized condition to a core-tree condition node.
+func lowerCond(e condExpr) (Node, error) {
+	switch e := e.(type) {
+	case condLeaf:
+		return lowerLeaf(e)
+	case condNeg:
+		leaf, ok := e.expr.(condLeaf)
+		if !ok {
+			// pushNot leaves negation on leaves only.
+			return nil, fmt.Errorf("rpeq: internal error: negation not normalized")
+		}
+		n, err := lowerLeaf(leaf)
+		if err != nil {
+			return nil, err
+		}
+		if at, ok := n.(*AttrTest); ok {
+			return &AttrTest{Pred: &AttrNot{Expr: at.Pred}}, nil
+		}
+		if containsQualifier(n) {
+			return nil, fmt.Errorf("rpeq: cannot negate a condition containing a qualifier: not(%s)", n)
+		}
+		return &CondNot{Expr: n}, nil
+	case condAnd:
+		l, err := lowerCond(e.left)
+		if err != nil {
+			return nil, err
+		}
+		r, err := lowerCond(e.right)
+		if err != nil {
+			return nil, err
+		}
+		if la, ok := l.(*AttrTest); ok {
+			if ra, ok := r.(*AttrTest); ok {
+				return &AttrTest{Pred: &AttrAnd{Left: la.Pred, Right: ra.Pred}}, nil
+			}
+		}
+		// Conjunction as nested qualifiers on the context node itself:
+		// ε[l][r] selects the context iff both conditions hold at it.
+		return &Qualifier{Base: &Qualifier{Base: &Empty{}, Cond: l}, Cond: r}, nil
+	case condOr:
+		l, err := lowerCond(e.left)
+		if err != nil {
+			return nil, err
+		}
+		r, err := lowerCond(e.right)
+		if err != nil {
+			return nil, err
+		}
+		if la, ok := l.(*AttrTest); ok {
+			if ra, ok := r.(*AttrTest); ok {
+				return &AttrTest{Pred: &AttrOr{Left: la.Pred, Right: ra.Pred}}, nil
+			}
+		}
+		return &Union{Left: l, Right: r}, nil
+	default:
+		return nil, fmt.Errorf("rpeq: internal error: unknown condition form %T", e)
+	}
+}
+
+// lowerLeaf lowers one condition term. Attribute-tailed paths turn their
+// @name tail into an attribute filter on the element the prefix selects
+// (b/@id tests b children for the attribute); a bare @name tests the
+// context node itself. A comparison operator selects between an attribute
+// comparison and a text test on the path's string value.
+func lowerLeaf(t condLeaf) (Node, error) {
+	if prefix, name, ok := splitAttrTail(t.path); ok {
+		leaf := &AttrLeaf{Name: name, Op: AttrExists}
+		if t.hasCmp {
+			leaf.Op = attrOpFor(t.op)
+			leaf.Value = t.value
+		}
+		return concat(prefix, &AttrTest{Pred: leaf}), nil
+	}
+	if t.hasCmp {
+		return &TextTest{Path: t.path, Op: t.op, Value: t.value}, nil
+	}
+	return t.path, nil
+}
+
+// splitAttrTail splits a condition path ending in an attribute step into
+// its element prefix (nil when the step stands alone) and the attribute
+// name. Paths carrying an attribute step anywhere else are left alone and
+// rejected by the central validation.
+func splitAttrTail(n Node) (Node, string, bool) {
+	switch n := n.(type) {
+	case *AttrStep:
+		return nil, n.Name, true
+	case *Concat:
+		if s, ok := n.Right.(*AttrStep); ok {
+			return n.Left, s.Name, true
+		}
+	}
+	return nil, "", false
+}
+
+// attrOpFor maps a surface comparison operator onto attributes.
+func attrOpFor(op TextOp) AttrOp {
+	switch op {
+	case TextNeq:
+		return AttrNeq
+	case TextContains:
+		return AttrContains
+	default:
+		return AttrEq
+	}
+}
+
+// containsQualifier reports whether the expression contains a qualifier
+// construct. Negation distributes over every other construct in the
+// scope-bound evaluation model, but not over qualifiers, so not(...) over
+// such a condition is rejected at parse time.
+func containsQualifier(n Node) bool {
+	switch n := n.(type) {
+	case *Qualifier:
+		return true
+	case *Concat:
+		return containsQualifier(n.Left) || containsQualifier(n.Right)
+	case *Union:
+		return containsQualifier(n.Left) || containsQualifier(n.Right)
+	case *Optional:
+		return containsQualifier(n.Expr)
+	case *TextTest:
+		return containsQualifier(n.Path)
+	case *CondNot:
+		return containsQualifier(n.Expr)
+	default:
+		return false
+	}
+}
+
+// validateAttrSteps enforces the placement rule for attribute steps: an
+// @name step selects an attribute node, which is a leaf without an element
+// identity, so it may appear only as the final step of the whole query.
+// (Attribute steps inside conditions are lowered to attribute tests before
+// this check; any that remain sit in an unsupported position.)
+func validateAttrSteps(n Node) error {
+	return checkAttrSteps(n, true)
+}
+
+func checkAttrSteps(n Node, tail bool) error {
+	switch n := n.(type) {
+	case *AttrStep:
+		if !tail {
+			return fmt.Errorf("rpeq: attribute step @%s must be the final step of the query", n.Name)
+		}
+		return nil
+	case *Concat:
+		if err := checkAttrSteps(n.Left, false); err != nil {
+			return err
+		}
+		return checkAttrSteps(n.Right, tail)
+	case *Union:
+		if err := checkAttrSteps(n.Left, false); err != nil {
+			return err
+		}
+		return checkAttrSteps(n.Right, false)
+	case *Optional:
+		return checkAttrSteps(n.Expr, false)
+	case *Qualifier:
+		if err := checkAttrSteps(n.Base, false); err != nil {
+			return err
+		}
+		return checkAttrSteps(n.Cond, false)
+	case *CondNot:
+		return checkAttrSteps(n.Expr, false)
+	case *TextTest:
+		return checkAttrSteps(n.Path, false)
+	default:
+		return nil
+	}
+}

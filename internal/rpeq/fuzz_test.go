@@ -8,6 +8,8 @@ func FuzzParse(f *testing.F) {
 	seeds := []string{
 		"a", "_*.a[b].c", "(a|b).c+", "a?.b*", "%e", "a[b[c]][d]",
 		"a..b", "((((", "a[", "|", "a+*", "ε.a",
+		`item[@s="x" and not(@r)]`, "a.@id", "a[not(b)]",
+		"a[(b or c) and d]", "a[b.@x]", "a[@x or b]", "@",
 	}
 	for _, s := range seeds {
 		f.Add(s)
@@ -33,6 +35,8 @@ func FuzzParseXPath(f *testing.F) {
 	seeds := []string{
 		"/a/b", "//a[b]/c", "//a/parent::b", "/a/b/ancestor::*",
 		"a/..", "//*", "/a | //b", "self::a", "////", "[", "/a[../x]",
+		`//item[@s="x" and not(@r)]/sum`, "//a/@id", "a[not(b)]",
+		"a[(b or c) and @x]", "a[b/@x != 'v']", "//a/attribute::id",
 	}
 	for _, s := range seeds {
 		f.Add(s)

@@ -23,6 +23,7 @@ const (
 	tokNeq      // !=
 	tokContains // *=
 	tokNumber   // decimal integer (limit clauses)
+	tokAt       // @ (attribute steps and tests)
 )
 
 func (k tokenKind) String() string {
@@ -61,6 +62,8 @@ func (k tokenKind) String() string {
 		return "'*='"
 	case tokNumber:
 		return "number"
+	case tokAt:
+		return "'@'"
 	default:
 		return "unknown token"
 	}
@@ -145,6 +148,9 @@ func (l *lexer) next() (token, error) {
 	case '[':
 		l.pos++
 		return token{kind: tokLBracket, text: "[", pos: start}, nil
+	case '@':
+		l.pos++
+		return token{kind: tokAt, text: "@", pos: start}, nil
 	case ']':
 		l.pos++
 		return token{kind: tokRBracket, text: "]", pos: start}, nil

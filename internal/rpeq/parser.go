@@ -5,43 +5,10 @@ import (
 	"strconv"
 )
 
-// Parse parses an rpeq expression in the paper's surface syntax, e.g.
-//
-//	a.c            two child steps
-//	a+.c+          positive closure steps
-//	_*.a[b].c      descendant wildcard, qualifier [b] on step a
-//	(a|b).c?       union and optional
-//
-// Operator precedence, tightest first: the postfix operators *, +, ? and
-// [qualifier]; then concatenation '.'; then union '|'. Closure (* and +)
-// applies to labels only, as in the paper's grammar.
-func Parse(src string) (Node, error) {
-	p := &parser{lex: lexer{src: src}}
-	if err := p.advance(); err != nil {
-		return nil, err
-	}
-	n, err := p.parseUnion()
-	if err != nil {
-		return nil, err
-	}
-	if p.tok.kind != tokEOF {
-		return nil, fmt.Errorf("rpeq: unexpected %s at offset %d", p.tok.kind, p.tok.pos)
-	}
-	return n, nil
-}
-
-// ParseWithLimit parses an rpeq expression optionally followed by a trailing
-// answer-limit clause:
-//
-//	_*.item limit 1      stop after the first answer
-//	_*.item first        shorthand for limit 1
-//
-// It returns the expression, the limit (0 when no clause is present,
-// meaning unlimited), and any error. The clause keywords stay valid labels
-// in every other position: `a.limit` is a path, and a bare `limit` query
-// selects children labelled "limit". Plain Parse rejects the clause, so
-// existing call sites are unaffected.
-func ParseWithLimit(src string) (Node, int64, error) {
+// parseRPEQ parses an rpeq expression in the paper's surface syntax (see
+// Parse in options.go for the exported entry point), optionally followed by
+// a trailing answer-limit clause when allowLimit is set.
+func parseRPEQ(src string, allowLimit bool) (Node, int64, error) {
 	p := &parser{lex: lexer{src: src}}
 	if err := p.advance(); err != nil {
 		return nil, 0, err
@@ -50,9 +17,11 @@ func ParseWithLimit(src string) (Node, int64, error) {
 	if err != nil {
 		return nil, 0, err
 	}
-	limit, err := p.parseLimitClause()
-	if err != nil {
-		return nil, 0, err
+	var limit int64
+	if allowLimit {
+		if limit, err = p.parseLimitClause(); err != nil {
+			return nil, 0, err
+		}
 	}
 	if p.tok.kind != tokEOF {
 		return nil, 0, fmt.Errorf("rpeq: unexpected %s at offset %d", p.tok.kind, p.tok.pos)
@@ -173,32 +142,9 @@ func (p *parser) parsePostfix() (Node, error) {
 			if err := p.advance(); err != nil {
 				return nil, err
 			}
-			cond, err := p.parseUnion()
+			cond, err := p.parseCond()
 			if err != nil {
 				return nil, err
-			}
-			// Optional text test: [path = "v"], [path != "v"],
-			// [path *= "v"] (contains). Note that `a* = "v"` (closure
-			// then equality) needs the space; `a*=` lexes as contains.
-			switch p.tok.kind {
-			case tokEq, tokNeq, tokContains:
-				op := TextEq
-				switch p.tok.kind {
-				case tokNeq:
-					op = TextNeq
-				case tokContains:
-					op = TextContains
-				}
-				if err := p.advance(); err != nil {
-					return nil, err
-				}
-				if p.tok.kind != tokString {
-					return nil, fmt.Errorf("rpeq: expected a string literal at offset %d, got %s", p.tok.pos, p.tok.kind)
-				}
-				cond = &TextTest{Path: cond, Op: op, Value: p.tok.text}
-				if err := p.advance(); err != nil {
-					return nil, err
-				}
 			}
 			if p.tok.kind != tokRBracket {
 				return nil, fmt.Errorf("rpeq: expected ']' at offset %d, got %s", p.tok.pos, p.tok.kind)
@@ -206,16 +152,177 @@ func (p *parser) parsePostfix() (Node, error) {
 			if err := p.advance(); err != nil {
 				return nil, err
 			}
-			n = &Qualifier{Base: n, Cond: cond}
+			if n, err = lowerPredicate(n, cond); err != nil {
+				return nil, err
+			}
 		default:
 			return n, nil
 		}
 	}
 }
 
-// parseAtom ::= label | ε | '(' union ')'
+// isKeyword reports whether the current token is the given bare word. The
+// condition keywords stay valid labels in every other position: two names
+// can never be adjacent inside a path (concatenation needs '.'), so a name
+// following a complete term is unambiguously an operator.
+func (p *parser) isKeyword(kw string) bool {
+	return p.tok.kind == tokName && p.tok.text == kw
+}
+
+// parseCond ::= condAnd ('or' condAnd)*
+//
+// Precedence, tightest first: not, and, or. Note that '|' inside a term is
+// path union and binds tighter than the boolean operators: a|b and c means
+// (a|b) and c.
+func (p *parser) parseCond() (condExpr, error) {
+	left, err := p.parseCondAnd()
+	if err != nil {
+		return nil, err
+	}
+	for p.isKeyword("or") {
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		right, err := p.parseCondAnd()
+		if err != nil {
+			return nil, err
+		}
+		left = condOr{left: left, right: right}
+	}
+	return left, nil
+}
+
+// parseCondAnd ::= condTerm ('and' condTerm)*
+func (p *parser) parseCondAnd() (condExpr, error) {
+	left, err := p.parseCondTerm()
+	if err != nil {
+		return nil, err
+	}
+	for p.isKeyword("and") {
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		right, err := p.parseCondTerm()
+		if err != nil {
+			return nil, err
+		}
+		left = condAnd{left: left, right: right}
+	}
+	return left, nil
+}
+
+// parseCondTerm ::= 'not' '(' cond ')' | union (('='|'!='|'*=') string)?
+//
+// The text comparisons read [path = "v"], [path != "v"], [path *= "v"]
+// (contains); note that `a* = "v"` (closure then equality) needs the
+// space, since `a*=` lexes as contains. On a path ending in an attribute
+// step the comparison applies to the attribute value instead.
+func (p *parser) parseCondTerm() (condExpr, error) {
+	if p.tok.kind == tokLParen {
+		// '(' is ambiguous: a boolean group ((a or b) and c) or a grouped
+		// path ((a|b).c). Try the boolean reading and backtrack to the
+		// path reading unless the group is followed by a condition
+		// context (']', ')', 'and', 'or') — a following postfix operator
+		// or comparison means the parentheses belong to a path.
+		save := *p
+		if e, ok := p.tryCondGroup(); ok {
+			return e, nil
+		}
+		*p = save
+	}
+	if p.isKeyword("not") {
+		// `not` is a keyword only when '(' follows; a bare `not` stays a
+		// label ([not] still selects children named "not").
+		save := p.lex
+		nxt, err := p.lex.next()
+		if err == nil && nxt.kind == tokLParen {
+			if err := p.advance(); err != nil {
+				return nil, err
+			}
+			inner, err := p.parseCond()
+			if err != nil {
+				return nil, err
+			}
+			if p.tok.kind != tokRParen {
+				return nil, fmt.Errorf("rpeq: expected ')' closing not(...) at offset %d, got %s", p.tok.pos, p.tok.kind)
+			}
+			if err := p.advance(); err != nil {
+				return nil, err
+			}
+			return condNeg{expr: inner}, nil
+		}
+		p.lex = save
+	}
+	path, err := p.parseUnion()
+	if err != nil {
+		return nil, err
+	}
+	switch p.tok.kind {
+	case tokEq, tokNeq, tokContains:
+		op := TextEq
+		switch p.tok.kind {
+		case tokNeq:
+			op = TextNeq
+		case tokContains:
+			op = TextContains
+		}
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		if p.tok.kind != tokString {
+			return nil, fmt.Errorf("rpeq: expected a string literal at offset %d, got %s", p.tok.pos, p.tok.kind)
+		}
+		leaf := condLeaf{path: path, op: op, value: p.tok.text, hasCmp: true}
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		return leaf, nil
+	}
+	return condLeaf{path: path}, nil
+}
+
+// tryCondGroup attempts to read '(' cond ')' as a boolean group. It
+// reports false (with the parser in an undefined state the caller must
+// restore) when the content does not parse as a condition or when the
+// group is followed by path syntax.
+func (p *parser) tryCondGroup() (condExpr, bool) {
+	if err := p.advance(); err != nil {
+		return nil, false
+	}
+	inner, err := p.parseCond()
+	if err != nil {
+		return nil, false
+	}
+	if p.tok.kind != tokRParen {
+		return nil, false
+	}
+	if err := p.advance(); err != nil {
+		return nil, false
+	}
+	switch {
+	case p.tok.kind == tokRBracket, p.tok.kind == tokRParen,
+		p.isKeyword("and"), p.isKeyword("or"):
+		return inner, true
+	default:
+		return nil, false
+	}
+}
+
+// parseAtom ::= label | ε | '@' name | '(' union ')'
 func (p *parser) parseAtom() (Node, error) {
 	switch p.tok.kind {
+	case tokAt:
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		if p.tok.kind != tokName {
+			return nil, fmt.Errorf("rpeq: expected an attribute name after '@' at offset %d, got %s", p.tok.pos, p.tok.kind)
+		}
+		n := &AttrStep{Name: p.tok.text}
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		return n, nil
 	case tokName:
 		n := &Label{Name: p.tok.text}
 		if err := p.advance(); err != nil {

@@ -299,7 +299,58 @@ func axisName(ancestor, orSelf bool) string {
 	}
 }
 
+// spineFilterToQualifier rewrites attribute filters on the path spine
+// (base.{attrs}) into the equivalent qualifier form (base[{attrs}]): an
+// AttrTest selects its context iff its predicate passes, so as a qualifier
+// condition it is non-empty under exactly the same circumstance. The
+// split-based reverse rewriting decomposes paths along tree edges and
+// carries qualifier conditions opaquely, so this normalization lets
+// attribute-filtered paths take backward steps without special cases.
+func spineFilterToQualifier(n Node) Node {
+	switch n := n.(type) {
+	case *Concat:
+		l := spineFilterToQualifier(n.Left)
+		r := spineFilterToQualifier(n.Right)
+		if at, ok := r.(*AttrTest); ok {
+			return &Qualifier{Base: l, Cond: at}
+		}
+		return &Concat{Left: l, Right: r}
+	case *Union:
+		return &Union{Left: spineFilterToQualifier(n.Left), Right: spineFilterToQualifier(n.Right)}
+	case *Optional:
+		return &Optional{Expr: spineFilterToQualifier(n.Expr)}
+	case *Qualifier:
+		return &Qualifier{Base: spineFilterToQualifier(n.Base), Cond: n.Cond}
+	default:
+		return n
+	}
+}
+
+// hasAttrStep reports whether an attribute step occurs anywhere in the
+// path spine; backward steps after one are not supported (an attribute
+// node's parent is outside the forward fragment's reach).
+func hasAttrStep(n Node) bool {
+	switch n := n.(type) {
+	case *AttrStep:
+		return true
+	case *Concat:
+		return hasAttrStep(n.Left) || hasAttrStep(n.Right)
+	case *Union:
+		return hasAttrStep(n.Left) || hasAttrStep(n.Right)
+	case *Optional:
+		return hasAttrStep(n.Expr)
+	case *Qualifier:
+		return hasAttrStep(n.Base)
+	default:
+		return false
+	}
+}
+
 func rewriteReverse(expr Node, t string, ancestor, relative bool) (Node, error) {
+	if hasAttrStep(expr) {
+		return nil, fmt.Errorf("rpeq: reverse step %s::%s after an attribute step is not supported", axisName(ancestor, false), t)
+	}
+	expr = spineFilterToQualifier(expr)
 	var out Node
 	for _, s := range splits(expr) {
 		if !ancestor && !oneStep(s.suffix) {

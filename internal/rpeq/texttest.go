@@ -107,6 +107,8 @@ func HasTextTest(n Node) bool {
 		return HasTextTest(n.Expr)
 	case *Qualifier:
 		return HasTextTest(n.Base) || HasTextTest(n.Cond)
+	case *CondNot:
+		return HasTextTest(n.Expr)
 	default:
 		return false
 	}

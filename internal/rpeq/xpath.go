@@ -5,15 +5,20 @@ import (
 	"strings"
 )
 
-// ParseXPath translates an expression in the XPath fragment the paper covers
-// (§II.2: forward steps child and descendant, structural qualifiers) into an
-// rpeq tree. Supported syntax:
+// parseXPath translates an expression in the XPath fragment the paper
+// covers (§II.2: forward steps child and descendant, structural
+// qualifiers) into an rpeq tree; Parse in options.go is the exported entry
+// point. Supported syntax:
 //
 //	/a/b             child steps from the root
 //	//a              descendant step ("_*.a")
 //	a//b             descendant between steps
 //	*                wildcard name test
 //	a[b//c]          structural predicate (itself in the same fragment)
+//	a[@s="x"]        attribute predicates: [@a], [@a="v"], [@a!="v"],
+//	                 [@a*="v"] (contains), [b/@a] and comparisons on it
+//	a[x and not(y)]  predicates combined with 'or', 'and', 'not(...)'
+//	//item/@id       trailing attribute selection (@name, attribute::name)
 //	a | //b          union of paths
 //	//a/parent::b    backward steps parent:: and ancestor[-or-self]::,
 //	//a/..           rewritten into the forward fragment (§II.2 via
@@ -22,36 +27,19 @@ import (
 //
 // A leading '/' is implied: paths are evaluated from the document root, as
 // rpeq expressions are. Backward steps inside predicates may not reach
-// above the predicate's context node.
-func ParseXPath(src string) (Node, error) {
-	p := &xpathParser{src: src}
-	n, err := p.parseUnion()
-	if err != nil {
-		return nil, err
-	}
-	p.skipSpace()
-	if p.pos < len(p.src) {
-		return nil, fmt.Errorf("rpeq: xpath: unexpected %q at offset %d", p.src[p.pos], p.pos)
-	}
-	return n, nil
-}
-
-// ParseXPathWithLimit is ParseXPath accepting an optional trailing answer
-// limit, mirroring ParseWithLimit for the rpeq surface syntax:
-//
-//	//item limit 1     stop after the first answer
-//	//item first       shorthand for limit 1
-//
-// It returns the expression, the limit (0 when absent), and any error.
-func ParseXPathWithLimit(src string) (Node, int64, error) {
+// above the predicate's context node. allowLimit additionally accepts a
+// trailing "limit N" / "first" answer-limit clause.
+func parseXPath(src string, allowLimit bool) (Node, int64, error) {
 	p := &xpathParser{src: src}
 	n, err := p.parseUnion()
 	if err != nil {
 		return nil, 0, err
 	}
-	limit, err := p.parseLimitClause()
-	if err != nil {
-		return nil, 0, err
+	var limit int64
+	if allowLimit {
+		if limit, err = p.parseLimitClause(); err != nil {
+			return nil, 0, err
+		}
 	}
 	p.skipSpace()
 	if p.pos < len(p.src) {
@@ -193,6 +181,7 @@ const (
 	axisDescendantOrSelf
 	axisFollowing
 	axisPreceding
+	axisAttribute
 )
 
 var axisNames = []struct {
@@ -205,6 +194,7 @@ var axisNames = []struct {
 	{"descendant", axisDescendant},
 	{"following", axisFollowing},
 	{"preceding", axisPreceding},
+	{"attribute", axisAttribute},
 	{"ancestor", axisAncestor},
 	{"parent", axisParent},
 	{"child", axisChild},
@@ -226,12 +216,18 @@ func (p *xpathParser) parseStep(prev Node, descendant bool) (Node, error) {
 		p.pos++
 		axis, test = axisSelf, Wildcard
 	default:
-		// Optional explicit axis.
-		for _, a := range axisNames {
-			if strings.HasPrefix(p.src[p.pos:], a.name+"::") {
-				p.pos += len(a.name) + 2
-				axis = a.axis
-				break
+		if p.peek() == '@' {
+			// '@name' abbreviates attribute::name.
+			p.pos++
+			axis = axisAttribute
+		} else {
+			// Optional explicit axis.
+			for _, a := range axisNames {
+				if strings.HasPrefix(p.src[p.pos:], a.name+"::") {
+					p.pos += len(a.name) + 2
+					axis = a.axis
+					break
+				}
 			}
 		}
 		switch {
@@ -260,28 +256,126 @@ func (p *xpathParser) parseStep(prev Node, descendant bool) (Node, error) {
 			return expr, nil
 		}
 		p.pos++
-		inner := &xpathParser{src: p.src, pos: p.pos, relative: true}
-		cond, err := inner.parseUnion()
+		cond, err := p.parseCondOr()
 		if err != nil {
 			return nil, err
 		}
-		p.pos = inner.pos
 		p.skipSpace()
-		// Optional text comparison: [path = "v"] / [path != "v"].
-		if op, ok := p.parseTextOp(); ok {
-			value, err := p.parseStringLiteral()
-			if err != nil {
-				return nil, err
-			}
-			cond = &TextTest{Path: cond, Op: op, Value: value}
-			p.skipSpace()
-		}
 		if p.peek() != ']' {
 			return nil, fmt.Errorf("rpeq: xpath: expected ']' at offset %d", p.pos)
 		}
 		p.pos++
-		expr = &Qualifier{Base: expr, Cond: cond}
+		if expr, err = lowerPredicate(expr, cond); err != nil {
+			return nil, err
+		}
 	}
+}
+
+// condKeyword consumes the given bare word if it stands alone (followed by
+// a non-name byte), so name tests like "android" are unaffected.
+func (p *xpathParser) condKeyword(kw string) bool {
+	p.skipSpace()
+	rest := p.src[p.pos:]
+	if strings.HasPrefix(rest, kw) && (len(rest) == len(kw) || !isLabelByte(rest[len(kw)])) {
+		p.pos += len(kw)
+		return true
+	}
+	return false
+}
+
+// parseCondOr ::= condAnd ('or' condAnd)*
+//
+// Precedence, tightest first: not, and, or; '|' inside a term is path
+// union and binds tighter still.
+func (p *xpathParser) parseCondOr() (condExpr, error) {
+	left, err := p.parseCondAnd()
+	if err != nil {
+		return nil, err
+	}
+	for p.condKeyword("or") {
+		right, err := p.parseCondAnd()
+		if err != nil {
+			return nil, err
+		}
+		left = condOr{left: left, right: right}
+	}
+	return left, nil
+}
+
+// parseCondAnd ::= condTerm ('and' condTerm)*
+func (p *xpathParser) parseCondAnd() (condExpr, error) {
+	left, err := p.parseCondTerm()
+	if err != nil {
+		return nil, err
+	}
+	for p.condKeyword("and") {
+		right, err := p.parseCondTerm()
+		if err != nil {
+			return nil, err
+		}
+		left = condAnd{left: left, right: right}
+	}
+	return left, nil
+}
+
+// parseCondTerm ::= 'not' '(' cond ')' | '(' cond ')' | path comparison?
+//
+// where comparison ::= ('=' | '!=' | '*=') string.
+// A parenthesized group is unambiguous: relative paths in this fragment
+// cannot start with '(' . The word `not` is a keyword only when '('
+// follows; [not] still tests for children named "not".
+func (p *xpathParser) parseCondTerm() (condExpr, error) {
+	p.skipSpace()
+	if rest := p.src[p.pos:]; strings.HasPrefix(rest, "not") && (len(rest) == len("not") || !isLabelByte(rest[len("not")])) {
+		save := p.pos
+		p.pos += len("not")
+		p.skipSpace()
+		if p.peek() == '(' {
+			p.pos++
+			inner, err := p.parseCondOr()
+			if err != nil {
+				return nil, err
+			}
+			p.skipSpace()
+			if p.peek() != ')' {
+				return nil, fmt.Errorf("rpeq: xpath: expected ')' closing not(...) at offset %d", p.pos)
+			}
+			p.pos++
+			return condNeg{expr: inner}, nil
+		}
+		p.pos = save
+	}
+	if p.peek() == '(' {
+		p.pos++
+		inner, err := p.parseCondOr()
+		if err != nil {
+			return nil, err
+		}
+		p.skipSpace()
+		if p.peek() != ')' {
+			return nil, fmt.Errorf("rpeq: xpath: expected ')' at offset %d", p.pos)
+		}
+		p.pos++
+		return inner, nil
+	}
+	sub := &xpathParser{src: p.src, pos: p.pos, relative: true}
+	path, err := sub.parseUnion()
+	if err != nil {
+		return nil, err
+	}
+	p.pos = sub.pos
+	p.skipSpace()
+	// Optional comparison: [path = "v"] / [path != "v"] / [path *= "v"],
+	// against text content, or against the attribute value when the path
+	// ends in an attribute step.
+	if op, ok := p.parseTextOp(); ok {
+		value, err := p.parseStringLiteral()
+		if err != nil {
+			return nil, err
+		}
+		return condLeaf{path: path, op: op, value: value, hasCmp: true}, nil
+	}
+	return condLeaf{path: path}, nil
 }
 
 // applyStep folds one axis::test step into the path expression so far.
@@ -365,6 +459,16 @@ func (p *xpathParser) applyStep(prev Node, descendant bool, axis xpathAxis, test
 			return nil, fmt.Errorf("rpeq: xpath: ancestor:: at the path start escapes the %s", p.contextName())
 		}
 		return RewriteAncestor(base, test, axis == axisAncestorOrSelf, p.relative)
+
+	case axisAttribute:
+		if test == Wildcard {
+			return nil, fmt.Errorf("rpeq: xpath: attribute::* is not supported; name the attribute")
+		}
+		step := Node(&AttrStep{Name: test})
+		if descendant {
+			step = &Concat{Left: &Star{Label: &Label{Name: Wildcard}}, Right: step}
+		}
+		return concat(prev, step), nil
 
 	case axisFollowing, axisPreceding:
 		base := prev

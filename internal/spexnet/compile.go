@@ -349,6 +349,9 @@ func (b *builder) compileNew(expr rpeq.Node, in int) (int, []cond.QualID, error)
 		if rpeq.Nullable(n.Cond) {
 			return b.compile(n.Base, in)
 		}
+		if cn, ok := n.Cond.(*rpeq.CondNot); ok {
+			return b.compileNegQualifier(n.Base, cn, in)
+		}
 		base, bq, err := b.compile(n.Base, in)
 		if err != nil {
 			return 0, nil, err
@@ -359,21 +362,9 @@ func (b *builder) compileNew(expr rpeq.Node, in int) (int, []cond.QualID, error)
 		q := b.net.pool.DeclareQualifier(nil)
 		vc := b.addNode(newVC(q, b.net.pool, &b.net.cfg), []int{base}, 1)[0]
 		sp := b.addNode(newSplit(), []int{vc}, 2)
-		condExpr := n.Cond
-		var textTest *rpeq.TextTest
-		if tt, ok := condExpr.(*rpeq.TextTest); ok {
-			// Extended text-test qualifier: the path compiles as usual;
-			// the text-test transducer gates the matches on the string
-			// value before they reach the witness pair.
-			textTest = tt
-			condExpr = tt.Path
-		}
-		inner, cq, err := b.compile(condExpr, sp[1])
+		inner, cq, err := b.compile(n.Cond, sp[1])
 		if err != nil {
 			return 0, nil, err
-		}
-		if textTest != nil {
-			inner = b.addNode(newTextCmp(textTest.Op, textTest.Value, &b.net.cfg), []int{inner}, 1)[0]
 		}
 		b.net.pool.SetNested(q, cq)
 		vf := b.addNode(newVF(q, b.net.pool, true), []int{inner}, 1)[0]
@@ -381,6 +372,32 @@ func (b *builder) compileNew(expr rpeq.Node, in int) (int, []cond.QualID, error)
 		out := b.addNode(newJoin(), []int{sp[0], vd}, 1)[0]
 		quals := append(bq, cq...)
 		return out, append(quals, q), nil
+
+	case *rpeq.TextTest:
+		// The text-test transducer gates the matches of the path on their
+		// string value: activations pass at the end message iff the
+		// comparison holds.
+		mid, quals, err := b.compile(n.Path, in)
+		if err != nil {
+			return 0, nil, err
+		}
+		out := b.addNode(newTextCmp(n.Op, n.Value, &b.net.cfg), []int{mid}, 1)[0]
+		return out, quals, nil
+
+	case *rpeq.AttrTest:
+		// An attribute self-filter is one constant-memory transducer: the
+		// decision falls at the start message, where the attribute list is
+		// complete — no variables, no sub-network.
+		return b.addNode(newAttrTest(n.Pred, &b.net.cfg), []int{in}, 1)[0], nil, nil
+
+	case *rpeq.AttrStep:
+		return b.addNode(newAttrSel(n.Name, &b.net.cfg), []int{in}, 1)[0], nil, nil
+
+	case *rpeq.CondNot:
+		// A bare negated condition (a disjunct of an 'or' lowering) is the
+		// self-qualifier ε[not(expr)]: it selects the context node itself iff
+		// the negated condition matches nothing in its scope.
+		return b.compileNegQualifier(&rpeq.Empty{}, n, in)
 
 	case *rpeq.Following:
 		return b.addNode(newFollowing(n.Test, &b.net.cfg), []int{in}, 1)[0], nil, nil
@@ -397,4 +414,46 @@ func (b *builder) compileNew(expr rpeq.Node, in int) (int, []cond.QualID, error)
 	default:
 		return 0, nil, fmt.Errorf("spexnet: unknown expression node %T", expr)
 	}
+}
+
+// compileNegQualifier translates base[not(cond)]. The topology mirrors the
+// positive qualifier's — variable-creator, split, condition sub-network,
+// variable filter, determinant, join — with the polarity of the witness
+// protocol flipped: the negated variable-creator presumes each instance
+// satisfied and announces {c,true} at scope exit, while the negated
+// determinant nvdT kills {c,false} any instance whose scope cond selects
+// into. The kill arrives no later than the inner match's document message,
+// so rejected candidates drop as early as the positive construction accepts
+// them; candidates whose condition is an attribute test inside not(...) never
+// even reach here — those fold into the attribute formula as AttrNot.
+func (b *builder) compileNegQualifier(baseExpr rpeq.Node, cn *rpeq.CondNot, in int) (int, []cond.QualID, error) {
+	base, bq, err := b.compile(baseExpr, in)
+	if err != nil {
+		return 0, nil, err
+	}
+	if rpeq.Nullable(cn.Expr) {
+		// cond is nullable: the candidate itself witnesses it at the event
+		// opening its scope, so not(cond) is statically false. Earliest
+		// decision: drop base's selections without allocating variables.
+		out := b.addNode(newDropAct(), []int{base}, 1)[0]
+		return out, bq, nil
+	}
+	q := b.net.pool.DeclareQualifier(nil)
+	vc := b.addNode(newNegVC(q, b.net.pool, &b.net.cfg), []int{base}, 1)[0]
+	sp := b.addNode(newSplit(), []int{vc}, 2)
+	inner, cq, err := b.compile(cn.Expr, sp[1])
+	if err != nil {
+		return 0, nil, err
+	}
+	if len(cq) > 0 {
+		// The front ends reject qualifiers under not(...); anything that
+		// still declares condition variables (a nested qualifier or a
+		// preceding step) would make the unconditional kill unsound.
+		return 0, nil, fmt.Errorf("spexnet: cannot negate %s: the condition declares condition variables", cn.Expr)
+	}
+	b.net.pool.SetNested(q, cq)
+	vf := b.addNode(newVF(q, b.net.pool, true), []int{inner}, 1)[0]
+	nvd := b.addNode(newNVD(q, b.net.pool), []int{vf}, 1)[0]
+	out := b.addNode(newJoin(), []int{sp[0], nvd}, 1)[0]
+	return out, append(bq, q), nil
 }

@@ -517,6 +517,18 @@ func (t *outputT) handleDet(m *Message) {
 	if prev, ok := t.bindings[m.Var]; ok {
 		w = t.cfg.or(prev, w)
 	}
+	if w.IsFalse() {
+		// A kill from a negated qualifier's determinant: the instance is
+		// unsatisfiable outright. Resolve it false now — candidates mentioning
+		// it drop immediately — but keep the resolution record until the
+		// scope-exit finalization retires it: the negated variable-creator
+		// still sends its {c,true} witness at scope exit, which the record
+		// absorbs under first-determination-wins (and variable-id recycling
+		// stays safe, since the record lives exactly as long as the id).
+		delete(t.bindings, m.Var)
+		t.resolve(m.Var, cond.False())
+		return
+	}
 	if w.IsTrue() {
 		delete(t.bindings, m.Var)
 		t.resolve(m.Var, cond.True())

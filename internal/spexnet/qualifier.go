@@ -12,6 +12,14 @@ type vcT struct {
 	q    cond.QualID
 	pool *cond.Pool
 	cfg  *netConfig
+	// neg marks the variable-creator of a negated qualifier base[not(cond)]:
+	// its instances are innocent until proven guilty. Surviving to scope exit
+	// with no inner match means not(cond) holds, so the scope-exit messages
+	// are {c,true} followed by the finalization, instead of the positive
+	// construction's bare {c,false} finalization. An inner match kills the
+	// instance earlier through the negated determinant (nvdT); the output
+	// transducer's first-determination-wins rule lets that kill stand.
+	neg bool
 
 	pending *cond.Formula
 	hasPend bool
@@ -27,7 +35,17 @@ func newVC(q cond.QualID, pool *cond.Pool, cfg *netConfig) *vcT {
 	return &vcT{q: q, pool: pool, cfg: cfg}
 }
 
-func (t *vcT) name() string { return "VC(q)" }
+// newNegVC is the variable-creator of a negated qualifier (see vcT.neg).
+func newNegVC(q cond.QualID, pool *cond.Pool, cfg *netConfig) *vcT {
+	return &vcT{q: q, pool: pool, cfg: cfg, neg: true}
+}
+
+func (t *vcT) name() string {
+	if t.neg {
+		return "VC(!q)"
+	}
+	return "VC(q)"
+}
 
 func (t *vcT) stackStats() StackStats {
 	s := t.st
@@ -76,6 +94,12 @@ func (t *vcT) feed(_ int, m *Message, emit emitFn) {
 			emit(0, *m)
 			if n := len(t.vars); n > 0 {
 				if t.has[n-1] {
+					if t.neg {
+						// Negated qualifier: the instance survived its whole
+						// scope without an inner match — not(cond) holds, the
+						// witness is true. It travels before the finalization.
+						emit(0, Message{Kind: MsgDet, Var: t.vars[n-1], Witness: cond.True()})
+					}
 					emit(0, Message{Kind: MsgDet, Var: t.vars[n-1], Final: true})
 					if !t.cfg.retainVars {
 						t.pool.Release(t.vars[n-1])
@@ -200,4 +224,72 @@ func (t *vdT) feed(_ int, m *Message, emit emitFn) {
 	for _, v := range order {
 		emit(0, Message{Kind: MsgDet, Var: v, Witness: witnesses[v]})
 	}
+}
+
+// nvdT is the variable determinant of a negated qualifier base[not(cond)]:
+// the dual of vdT. An activation reaching it proves cond selected a node
+// within some open instances' scopes, which makes not(cond) false there — so
+// for every variable of q the (filtered) formula mentions, it emits the kill
+// {c,false} as a witness determination. The negated variable-creator emits
+// {c,true} at scope exit for instances never killed. Soundness rests on the
+// negated condition being qualifier-free (enforced when predicates are
+// lowered and re-checked at compile time): the activation's q-variables are
+// then conditioned on nothing, and an inner match is a structural fact of
+// the document, killing the instance outright.
+type nvdT struct {
+	q    cond.QualID
+	pool *cond.Pool
+	st   StackStats
+	seen []cond.VarID // scratch: per-activation variable dedupe
+}
+
+func newNVD(q cond.QualID, pool *cond.Pool) *nvdT {
+	return &nvdT{q: q, pool: pool}
+}
+
+func (t *nvdT) name() string { return "VD(!)" }
+
+func (t *nvdT) stackStats() StackStats { return t.st }
+
+func (t *nvdT) feed(_ int, m *Message, emit emitFn) {
+	if m.Kind != MsgActivation {
+		emit(0, *m)
+		return
+	}
+	t.st.noteFormula(m.Formula)
+	seen := t.seen[:0]
+	m.Formula.Visit(func(v cond.VarID) {
+		if !t.pool.BelongsTo(v, t.q) {
+			return
+		}
+		for _, s := range seen {
+			if s == v {
+				return
+			}
+		}
+		seen = append(seen, v)
+	})
+	for _, v := range seen {
+		emit(0, Message{Kind: MsgDet, Var: v, Witness: cond.False()})
+	}
+	t.seen = seen[:0]
+}
+
+// dropActT consumes activation messages and forwards everything else. It
+// implements statically false qualifiers — base[not(cond)] where cond is
+// nullable: the candidate itself witnesses cond at the event that opens it,
+// so not(cond) never holds and base's selections are discarded wholesale.
+type dropActT struct{ st StackStats }
+
+func newDropAct() *dropActT { return &dropActT{} }
+
+func (t *dropActT) name() string { return "DROP" }
+
+func (t *dropActT) stackStats() StackStats { return t.st }
+
+func (t *dropActT) feed(_ int, m *Message, emit emitFn) {
+	if m.Kind == MsgActivation {
+		return
+	}
+	emit(0, *m)
 }

@@ -1,0 +1,177 @@
+package xmlstream
+
+import (
+	"errors"
+	"io"
+	"strings"
+	"testing"
+)
+
+// chunkReader yields at most n bytes per Read, exercising every way a
+// buffer refill can split a token.
+type chunkReader struct {
+	s   string
+	pos int
+	n   int
+}
+
+func (r *chunkReader) Read(p []byte) (int, error) {
+	if r.pos >= len(r.s) {
+		return 0, io.EOF
+	}
+	lim := r.n
+	if lim > len(p) {
+		lim = len(p)
+	}
+	k := copy(p[:lim], r.s[r.pos:])
+	r.pos += k
+	return k, nil
+}
+
+func TestScannerAttributes(t *testing.T) {
+	cases := []struct {
+		doc  string
+		want []Event
+	}{
+		{`<a k="1"/>`, []Event{StartAttrs("a", Attr{Name: "k", Value: "1"}), End("a")}},
+		{`<a k='1'/>`, []Event{StartAttrs("a", Attr{Name: "k", Value: "1"}), End("a")}},
+		{`<a k=""/>`, []Event{StartAttrs("a", Attr{Name: "k", Value: ""}), End("a")}},
+		// Order preserved; whitespace (including newlines) between attributes.
+		{"<a b=\"2\"\n\tc='3' \t d=\"4\"/>", []Event{StartAttrs("a",
+			Attr{Name: "b", Value: "2"}, Attr{Name: "c", Value: "3"}, Attr{Name: "d", Value: "4"}), End("a")}},
+		// Entities and the other quote kind inside values.
+		{`<a k="x&amp;y&lt;z&quot;q"/>`, []Event{StartAttrs("a", Attr{Name: "k", Value: `x&y<z"q`}), End("a")}},
+		{`<a k="it's"/>`, []Event{StartAttrs("a", Attr{Name: "k", Value: "it's"}), End("a")}},
+		{`<a k='say "hi"'/>`, []Event{StartAttrs("a", Attr{Name: "k", Value: `say "hi"`}), End("a")}},
+		// Unrecognized references pass through verbatim, like the text path.
+		{`<a k="&#65;&x;"/>`, []Event{StartAttrs("a", Attr{Name: "k", Value: "&#65;&x;"}), End("a")}},
+	}
+	for _, c := range cases {
+		evs, err := Collect(NewScanner(strings.NewReader(c.doc)))
+		if err != nil {
+			t.Fatalf("%s: %v", c.doc, err)
+		}
+		evs = stripDocBrackets(evs)
+		if len(evs) != len(c.want) {
+			t.Fatalf("%s: got %d events %v, want %d", c.doc, len(evs), evs, len(c.want))
+		}
+		for i, ev := range evs {
+			if !sameEvent(ev, c.want[i]) {
+				t.Errorf("%s: event %d = %v, want %v", c.doc, i, ev, c.want[i])
+			}
+		}
+	}
+}
+
+// TestScannerAttributeBoundaries is the boundary-invariance property for
+// attribute tokenizing: scanning the same document through every chunk size
+// (splitting mid-tag, mid-attribute-name, mid-quote and mid-entity) must
+// produce identical events.
+func TestScannerAttributeBoundaries(t *testing.T) {
+	doc := `<items><item status="closed" resolution='&amp;"x'><s k="&#65;b">t</s></item><item status="open"/></items>`
+	want, err := Collect(NewScanner(strings.NewReader(doc)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for n := 1; n <= len(doc); n++ {
+		got, err := Collect(NewScanner(&chunkReader{s: doc, n: n}))
+		if err != nil {
+			t.Fatalf("chunk size %d: %v", n, err)
+		}
+		if len(got) != len(want) {
+			t.Fatalf("chunk size %d: %d events, want %d", n, len(got), len(want))
+		}
+		for i := range got {
+			if !sameEvent(got[i], want[i]) {
+				t.Fatalf("chunk size %d: event %d = %v, want %v", n, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+func TestScannerDuplicateAttribute(t *testing.T) {
+	_, err := Collect(NewScanner(strings.NewReader(`<a k="1" k="2"/>`)))
+	if !errors.Is(err, ErrDuplicateAttr) {
+		t.Fatalf("duplicate attribute error = %v, want ErrDuplicateAttr", err)
+	}
+	// WithAttributes(false) is the lax fast path: attribute text is skipped
+	// wholesale, so the duplicate goes undetected by design.
+	if _, err := Collect(NewScanner(strings.NewReader(`<a k="1" k="2"/>`), WithAttributes(false))); err != nil {
+		t.Fatalf("attrs-disabled scan: %v", err)
+	}
+}
+
+func TestScannerAttributeErrors(t *testing.T) {
+	for _, doc := range []string{
+		`<a k=1/>`,     // unquoted value
+		`<a k="1/>`,    // unterminated quote
+		`<a k/>`,       // missing value
+		`<a ="1"/>`,    // missing name
+		`<a k="1"b/>`,  // no space before next name
+		`<a k="<x"/> `, // raw '<' in value
+	} {
+		if _, err := Collect(NewScanner(strings.NewReader(doc))); err == nil {
+			t.Errorf("%s: accepted, want error", doc)
+		}
+	}
+}
+
+func TestScannerAttributesDisabled(t *testing.T) {
+	evs, err := Collect(NewScanner(strings.NewReader(`<a k="1" l="2"><b/></a>`), WithAttributes(false)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, ev := range evs {
+		if len(ev.Attrs) != 0 {
+			t.Fatalf("attributes stored with WithAttributes(false): %v", ev)
+		}
+	}
+}
+
+// TestAttrRoundTrip: serializing attribute-bearing events and rescanning
+// reproduces them (the Writer escapes values; the scanner unescapes).
+func TestAttrRoundTrip(t *testing.T) {
+	evs := []Event{
+		StartAttrs("a", Attr{Name: "k", Value: `x&y<z"q'`}, Attr{Name: "empty", Value: ""}),
+		Chars("t"),
+		End("a"),
+	}
+	got, err := Collect(NewScanner(strings.NewReader(Serialize(evs))))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got = stripDocBrackets(got)
+	if len(got) != len(evs) {
+		t.Fatalf("round trip: %d events, want %d (%v)", len(got), len(evs), got)
+	}
+	for i := range evs {
+		if !sameEvent(got[i], evs[i]) {
+			t.Errorf("round trip event %d = %v, want %v", i, got[i], evs[i])
+		}
+	}
+}
+
+// sameEvent compares kind, name, data and the attribute list.
+func sameEvent(a, b Event) bool {
+	if a.Kind != b.Kind || a.Name != b.Name || a.Data != b.Data || len(a.Attrs) != len(b.Attrs) {
+		return false
+	}
+	for i := range a.Attrs {
+		if a.Attrs[i].Name != b.Attrs[i].Name || a.Attrs[i].Value != b.Attrs[i].Value {
+			return false
+		}
+	}
+	return true
+}
+
+// stripDocBrackets drops the StartDocument/EndDocument frame.
+func stripDocBrackets(evs []Event) []Event {
+	var out []Event
+	for _, ev := range evs {
+		if ev.Kind == StartDocument || ev.Kind == EndDocument {
+			continue
+		}
+		out = append(out, ev)
+	}
+	return out
+}

@@ -43,7 +43,21 @@ func (d *Decoder) Next() (Event, error) {
 		switch t := tok.(type) {
 		case xml.StartElement:
 			d.depth++
-			return Event{Kind: StartElement, Name: t.Name.Local}, nil
+			var attrs []Attr
+			if len(t.Attr) > 0 {
+				attrs = make([]Attr, 0, len(t.Attr))
+				for _, a := range t.Attr {
+					// Namespace declarations are not part of this package's
+					// model; the scanner treats them as ordinary attributes,
+					// so keep them (with their prefixed spelling) here too.
+					name := a.Name.Local
+					if a.Name.Space == "xmlns" {
+						name = "xmlns:" + a.Name.Local
+					}
+					attrs = append(attrs, Attr{Name: name, Value: a.Value})
+				}
+			}
+			return Event{Kind: StartElement, Name: t.Name.Local, Attrs: attrs}, nil
 		case xml.EndElement:
 			d.depth--
 			return Event{Kind: EndElement, Name: t.Name.Local}, nil

@@ -4,12 +4,17 @@
 // the start-document message <$> and the end-document message </$>.
 //
 // The package provides a fast byte-level streaming scanner, an adapter over
-// encoding/xml, a serializer, and stream statistics. It deliberately ignores
-// attributes, namespaces, processing instructions and comments, exactly as
-// the paper does; the scanner tolerates and skips them.
+// encoding/xml, a serializer, and stream statistics. Start messages carry the
+// element's attributes (an extension over the paper's model, enabling
+// attribute predicates that decide at the start message); namespaces,
+// processing instructions and comments are still deliberately ignored, as in
+// the paper — the scanner tolerates and skips them.
 package xmlstream
 
-import "fmt"
+import (
+	"fmt"
+	"strings"
+)
 
 // Kind classifies a stream event.
 type Kind uint8
@@ -44,8 +49,19 @@ func (k Kind) String() string {
 	}
 }
 
+// Attr is one attribute of a start-element message. Sym is the attribute
+// name's interned symbol when the producer resolved it against a Symtab
+// (attribute names share the element-label table; values are never interned
+// there, since their cardinality is unbounded).
+type Attr struct {
+	Name  string
+	Sym   Sym
+	Value string
+}
+
 // Event is one document message. Name is the element label for StartElement
-// and EndElement; Data is the character data for Text events.
+// and EndElement; Data is the character data for Text events; Attrs carries
+// the element's attributes, in document order, on StartElement events only.
 //
 // Sym is the label's interned symbol when the producer resolved the event
 // against a Symtab (the scanner does when built WithSymtab); the zero Sym
@@ -53,13 +69,40 @@ func (k Kind) String() string {
 // table. The field fits in the struct's existing padding, so carrying it is
 // free.
 type Event struct {
-	Kind Kind
-	Sym  Sym
-	Name string
-	Data string
+	Kind  Kind
+	Sym   Sym
+	Name  string
+	Data  string
+	Attrs []Attr
 }
 
-// String renders the event in the paper's message notation.
+// Attr returns the value of the named attribute and whether it is present.
+// Lookup is linear: real-world attribute lists are short, and the scanner
+// preserves document order.
+func (e Event) Attr(name string) (string, bool) {
+	for _, a := range e.Attrs {
+		if a.Name == name {
+			return a.Value, true
+		}
+	}
+	return "", false
+}
+
+// AttrSym returns the value of the attribute whose interned name symbol is
+// sym, and whether it is present. It is the allocation-free integer-compare
+// lookup the attribute-test transducer uses when producer and network share
+// a Symtab.
+func (e Event) AttrSym(sym Sym) (string, bool) {
+	for _, a := range e.Attrs {
+		if a.Sym == sym {
+			return a.Value, true
+		}
+	}
+	return "", false
+}
+
+// String renders the event in the paper's message notation; attributes
+// render in document order inside the start message.
 func (e Event) String() string {
 	switch e.Kind {
 	case StartDocument:
@@ -67,7 +110,21 @@ func (e Event) String() string {
 	case EndDocument:
 		return "</$>"
 	case StartElement:
-		return "<" + e.Name + ">"
+		if len(e.Attrs) == 0 {
+			return "<" + e.Name + ">"
+		}
+		var b strings.Builder
+		b.WriteByte('<')
+		b.WriteString(e.Name)
+		for _, a := range e.Attrs {
+			b.WriteByte(' ')
+			b.WriteString(a.Name)
+			b.WriteString(`="`)
+			b.WriteString(EscapeAttr(a.Value))
+			b.WriteByte('"')
+		}
+		b.WriteByte('>')
+		return b.String()
 	case EndElement:
 		return "</" + e.Name + ">"
 	case Text:
@@ -84,6 +141,12 @@ func (e Event) Structural() bool { return e.Kind != Text }
 // Start returns an Event for the start message of an element with the given
 // label.
 func Start(name string) Event { return Event{Kind: StartElement, Name: name} }
+
+// StartAttrs returns an Event for the start message of an element carrying
+// the given attributes, in the given order.
+func StartAttrs(name string, attrs ...Attr) Event {
+	return Event{Kind: StartElement, Name: name, Attrs: attrs}
+}
 
 // End returns an Event for the end message of an element with the given
 // label.

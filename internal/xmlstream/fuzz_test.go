@@ -15,6 +15,8 @@ func FuzzScanner(f *testing.F) {
 		`<a>&lt;&unknown;</a>`,
 		`<a`, `</a>`, `<a></b>`, `<!DOCTYPE r [<!ELEMENT r ANY>]><r/>`,
 		``, `plain`, `<a><b/></a><c/>`, "<\x00>", "<a>\xff</a>",
+		`<a k="1" l='&amp;"'/>`, `<a k="1" k="2"/>`, `<a k=1/>`, `<a k="`,
+		`<items><item status="closed"><summary/></item></items>`,
 	}
 	for _, s := range seeds {
 		f.Add(s)
@@ -51,7 +53,7 @@ func FuzzScanner(f *testing.F) {
 			t.Fatalf("round trip changed event count for %q: %d vs %d", doc, len(a), len(b))
 		}
 		for i := range a {
-			if a[i].Kind != b[i].Kind || a[i].Name != b[i].Name || a[i].Data != b[i].Data {
+			if !sameEvent(a[i], b[i]) {
 				t.Fatalf("round trip changed event %d for %q: %v vs %v", i, doc, a[i], b[i])
 			}
 		}

@@ -60,12 +60,21 @@ var (
 	// open. A reader failing with io.ErrUnexpectedEOF and a stream cut
 	// mid-token both surface as ErrTruncated.
 	ErrTruncated = errors.New("truncated input")
+	// ErrDuplicateAttr marks a start tag carrying the same attribute name
+	// twice — a well-formedness violation (XML 1.0 §3.1) the attribute-aware
+	// scanner rejects rather than silently last-wins resolving.
+	ErrDuplicateAttr = errors.New("duplicate attribute")
 )
+
+// duplicateAttrf builds the typed error for a repeated attribute name.
+func duplicateAttrf(attr string, tag []byte) error {
+	return fmt.Errorf("xmlstream: duplicate attribute %q in <%s>: %w", attr, tag, ErrDuplicateAttr)
+}
 
 // ScanLimitError reports which scanner limit the input exceeded.
 type ScanLimitError struct {
-	// What names the construct: "tag name", "text", "CDATA section",
-	// "nesting".
+	// What names the construct: "tag name", "attribute name", "attribute
+	// value", "text", "CDATA section", "nesting".
 	What string
 	// Limit is the configured cap the input crossed.
 	Limit int

@@ -37,8 +37,15 @@ type Scanner struct {
 	symtab   *Symtab           // shared interner; nil falls back to names
 	nameBuf  []byte
 	emitText bool
-	limits   Limits
-	err      error
+	// emitAttrs selects full attribute tokenization (names interned, values
+	// unescaped, duplicates rejected). When disabled the scanner reverts to
+	// the paper's model and skips attribute text wholesale.
+	emitAttrs   bool
+	attrBuf     []Attr // scratch attribute list, copied out per event
+	attrNameBuf []byte
+	valBuf      []byte
+	limits      Limits
+	err         error
 
 	depth    int
 	maxDepth int
@@ -62,6 +69,17 @@ type ScannerOption func(*Scanner)
 // locating matches) disable it to skip text handling entirely.
 func WithText(emit bool) ScannerOption {
 	return func(s *Scanner) { s.emitText = emit }
+}
+
+// WithAttributes controls whether the scanner tokenizes attribute lists into
+// Event.Attrs. The default is true; structural-only consumers (queries with
+// no attribute tests, count mode) disable it to skip attribute text
+// wholesale, restoring the paper's attribute-free model. When enabled, the
+// scanner is strict: attributes must be name="value" or name='value' pairs,
+// and a duplicated attribute name within one tag is a well-formedness error
+// (ErrDuplicateAttr).
+func WithAttributes(emit bool) ScannerOption {
+	return func(s *Scanner) { s.emitAttrs = emit }
 }
 
 // WithSymtab makes the scanner resolve element labels against the given
@@ -96,10 +114,11 @@ func (s *Scanner) SymtabInUse() *Symtab { return s.symtab }
 // document is well formed, ends with EndDocument followed by io.EOF.
 func NewScanner(r io.Reader, opts ...ScannerOption) *Scanner {
 	s := &Scanner{
-		r:        r,
-		buf:      make([]byte, 1<<16),
-		emitText: true,
-		names:    make(map[string]string, 32),
+		r:         r,
+		buf:       make([]byte, 1<<16),
+		emitText:  true,
+		emitAttrs: true,
+		names:     make(map[string]string, 32),
 	}
 	for _, opt := range opts {
 		opt(s)
@@ -477,8 +496,8 @@ func (s *Scanner) scanCDATA() error {
 	}
 }
 
-// scanStartTag parses a start tag whose name begins with first. Attributes
-// are skipped. A self-closing tag queues the corresponding end event.
+// scanStartTag parses a start tag whose name begins with first, tokenizing
+// its attribute list. A self-closing tag queues the corresponding end event.
 func (s *Scanner) scanStartTag(first byte) (Event, bool, error) {
 	if s.state == scanAfterRoot {
 		return Event{}, false, fmt.Errorf("xmlstream: content after document root")
@@ -486,7 +505,7 @@ func (s *Scanner) scanStartTag(first byte) (Event, bool, error) {
 	if max := s.limits.MaxDepth; max > 0 && len(s.stack) >= max {
 		return Event{}, false, &ScanLimitError{What: "nesting", Limit: max, sentinel: ErrTooDeep}
 	}
-	name, sym, selfClose, err := s.readTagRest(first)
+	name, sym, attrs, selfClose, err := s.readTagRest(first)
 	if err != nil {
 		return Event{}, false, err
 	}
@@ -500,44 +519,202 @@ func (s *Scanner) scanStartTag(first byte) (Event, bool, error) {
 		s.stack = append(s.stack, name)
 		s.stackSyms = append(s.stackSyms, sym)
 	}
-	return Event{Kind: StartElement, Sym: sym, Name: name}, true, nil
+	return Event{Kind: StartElement, Sym: sym, Name: name, Attrs: attrs}, true, nil
 }
 
-// readTagRest reads the remainder of a start tag: name, skipped attributes,
-// and the closing '>' or '/>'.
-func (s *Scanner) readTagRest(first byte) (name string, sym Sym, selfClose bool, err error) {
+// readTagRest reads the remainder of a start tag: name, attribute list, and
+// the closing '>' or '/>'.
+func (s *Scanner) readTagRest(first byte) (name string, sym Sym, attrs []Attr, selfClose bool, err error) {
 	if !isNameStart(first) {
-		return "", 0, false, fmt.Errorf("xmlstream: invalid character %q at start of tag name", first)
+		return "", 0, nil, false, fmt.Errorf("xmlstream: invalid character %q at start of tag name", first)
 	}
 	s.nameBuf = append(s.nameBuf[:0], first)
 	for {
 		c, ok := s.readByte()
 		if !ok {
-			return "", 0, false, truncatedf("unterminated start tag")
+			return "", 0, nil, false, truncatedf("unterminated start tag")
 		}
 		switch {
 		case isNameByte(c):
 			if max := s.limits.MaxTokenBytes; max > 0 && len(s.nameBuf) >= max {
-				return "", 0, false, s.tokenTooLarge("tag name")
+				return "", 0, nil, false, s.tokenTooLarge("tag name")
 			}
 			s.nameBuf = append(s.nameBuf, c)
 		case c == '>':
 			name, sym = s.intern(s.nameBuf)
-			return name, sym, false, nil
+			return name, sym, nil, false, nil
 		case c == '/':
 			if err := s.expect('>'); err != nil {
-				return "", 0, false, err
+				return "", 0, nil, false, err
 			}
 			name, sym = s.intern(s.nameBuf)
-			return name, sym, true, nil
+			return name, sym, nil, true, nil
 		case isSpace(c):
-			selfClose, err := s.skipAttributes()
+			if !s.emitAttrs {
+				selfClose, err := s.skipAttributes()
+				name, sym = s.intern(s.nameBuf)
+				return name, sym, nil, selfClose, err
+			}
+			attrs, selfClose, err := s.readAttributes()
 			name, sym = s.intern(s.nameBuf)
-			return name, sym, selfClose, err
+			return name, sym, attrs, selfClose, err
 		default:
-			return "", 0, false, fmt.Errorf("xmlstream: invalid character %q in tag name %q", c, s.nameBuf)
+			return "", 0, nil, false, fmt.Errorf("xmlstream: invalid character %q in tag name %q", c, s.nameBuf)
 		}
 	}
+}
+
+// readAttributes tokenizes a start tag's attribute list after the first
+// whitespace byte following the tag name. It enforces well-formedness: every
+// attribute is a name="value" (or single-quoted) pair, and a name may occur
+// at most once per tag. Attribute names are interned like element labels;
+// values have the predefined entities resolved and short repeated values are
+// shared, so value-heavy corpora (status flags, enumerations) scan without
+// per-event string allocation.
+func (s *Scanner) readAttributes() (attrs []Attr, selfClose bool, err error) {
+	s.attrBuf = s.attrBuf[:0]
+	for {
+		c, ok := s.readByte()
+		if !ok {
+			return nil, false, truncatedf("unterminated start tag <%s", s.nameBuf)
+		}
+		if isSpace(c) {
+			continue
+		}
+		switch c {
+		case '>':
+			return s.takeAttrs(), false, nil
+		case '/':
+			if err := s.expect('>'); err != nil {
+				return nil, false, err
+			}
+			return s.takeAttrs(), true, nil
+		}
+		if !isNameStart(c) {
+			return nil, false, fmt.Errorf("xmlstream: invalid character %q in attribute list of <%s>", c, s.nameBuf)
+		}
+		name, sym, err := s.readAttrName(c)
+		if err != nil {
+			return nil, false, err
+		}
+		if err := s.expect('='); err != nil {
+			return nil, false, err
+		}
+		val, err := s.readAttrValue(name)
+		if err != nil {
+			return nil, false, err
+		}
+		for _, a := range s.attrBuf {
+			if a.Name == name {
+				return nil, false, duplicateAttrf(name, s.nameBuf)
+			}
+		}
+		s.attrBuf = append(s.attrBuf, Attr{Name: name, Sym: sym, Value: val})
+	}
+}
+
+// takeAttrs copies the scratch attribute list out into a fresh slice: events
+// outlive the scan step (result candidates buffer them), so they cannot
+// alias scanner-owned storage.
+func (s *Scanner) takeAttrs() []Attr {
+	if len(s.attrBuf) == 0 {
+		return nil
+	}
+	attrs := make([]Attr, len(s.attrBuf))
+	copy(attrs, s.attrBuf)
+	return attrs
+}
+
+// readAttrName reads an attribute name beginning with first and interns it.
+func (s *Scanner) readAttrName(first byte) (string, Sym, error) {
+	s.attrNameBuf = append(s.attrNameBuf[:0], first)
+	for {
+		c, ok := s.peekAt(0)
+		if !ok {
+			if s.err != nil {
+				return "", 0, s.err
+			}
+			return "", 0, truncatedf("unterminated start tag <%s", s.nameBuf)
+		}
+		if !isNameByte(c) {
+			break
+		}
+		if max := s.limits.MaxTokenBytes; max > 0 && len(s.attrNameBuf) >= max {
+			return "", 0, s.tokenTooLarge("attribute name")
+		}
+		s.attrNameBuf = append(s.attrNameBuf, c)
+		s.pos++
+	}
+	name, sym := s.intern(s.attrNameBuf)
+	return name, sym, nil
+}
+
+// maxSharedAttrValue caps the length of attribute values cached in the
+// scanner's string-sharing map; longer values are assumed high-cardinality
+// (ids, free text) and allocated directly rather than growing the cache.
+const maxSharedAttrValue = 32
+
+// readAttrValue reads a quoted attribute value for the named attribute,
+// resolving entity references.
+func (s *Scanner) readAttrValue(name string) (string, error) {
+	q, ok := s.readByte()
+	for ok && isSpace(q) {
+		q, ok = s.readByte()
+	}
+	if !ok {
+		if s.err != nil {
+			return "", s.err
+		}
+		return "", truncatedf("unterminated start tag <%s", s.nameBuf)
+	}
+	if q != '"' && q != '\'' {
+		return "", fmt.Errorf("xmlstream: unquoted value for attribute %q in <%s>", name, s.nameBuf)
+	}
+	s.valBuf = s.valBuf[:0]
+	for {
+		if s.pos >= s.end && !s.fill() {
+			if s.err != nil {
+				return "", s.err
+			}
+			return "", truncatedf("unterminated value for attribute %q in <%s>", name, s.nameBuf)
+		}
+		chunk := s.buf[s.pos:s.end]
+		i := indexByte(chunk, q)
+		if i < 0 {
+			s.valBuf = append(s.valBuf, chunk...)
+			s.pos = s.end
+		} else {
+			s.valBuf = append(s.valBuf, chunk[:i]...)
+			s.pos += i + 1
+		}
+		if max := s.limits.MaxTokenBytes; max > 0 && len(s.valBuf) > max {
+			return "", s.tokenTooLarge("attribute value")
+		}
+		if i >= 0 {
+			// Well-formedness: a raw '<' cannot appear in an attribute value
+			// (it must be written &lt;). The check runs on the raw bytes, so
+			// entity-produced '<' passes.
+			if indexByte(s.valBuf, '<') >= 0 {
+				return "", fmt.Errorf("xmlstream: raw '<' in value of attribute %q in <%s>", name, s.nameBuf)
+			}
+			return s.internValue(s.valBuf), nil
+		}
+	}
+}
+
+// internValue converts attribute-value bytes to a string with entities
+// resolved. Short values are cached keyed by their raw bytes (a no-allocation
+// map lookup), so the steady-state cost of repeated values is zero.
+func (s *Scanner) internValue(b []byte) string {
+	if len(b) > maxSharedAttrValue {
+		return unescapeText(string(b))
+	}
+	if v, ok := s.names[string(b)]; ok { // no allocation: map lookup on []byte key
+		return v
+	}
+	v := unescapeText(string(b))
+	s.names[string(b)] = v
+	return v
 }
 
 // skipAttributes consumes attribute text until '>' or '/>', honouring

@@ -41,8 +41,8 @@ func TestScannerBasics(t *testing.T) {
 	tests := []struct{ doc, want string }{
 		{`<r/>`, "<$> <r> </r> </$>"},
 		{`<r></r>`, "<$> <r> </r> </$>"},
-		{`<r a="1" b='2'/>`, "<$> <r> </r> </$>"},
-		{`<r a=">">x</r>`, "<$> <r> x </r> </$>"},
+		{`<r a="1" b='2'/>`, `<$> <r a="1" b="2"> </r> </$>`},
+		{`<r a=">">x</r>`, `<$> <r a=">"> x </r> </$>`},
 		{`<r><!-- c --><x/></r>`, "<$> <r> <x> </x> </r> </$>"},
 		{`<!DOCTYPE r [<!ELEMENT r ANY>]><r/>`, "<$> <r> </r> </$>"},
 		{`<r>a<x/>b</r>`, "<$> <r> a <x> </x> b </r> </$>"},

@@ -7,8 +7,9 @@ import (
 )
 
 // Writer serializes events back to XML text. It is the inverse of Scanner
-// for the feature subset this package models (no attributes); the output
-// transducer uses it to emit result fragments progressively.
+// for the feature subset this package models (attributes round-trip; PIs and
+// comments do not survive scanning); the output transducer uses it to emit
+// result fragments progressively.
 type Writer struct {
 	w   *bufio.Writer
 	err error
@@ -27,7 +28,20 @@ func (w *Writer) WriteEvent(ev Event) error {
 	}
 	switch ev.Kind {
 	case StartElement:
-		w.err = w.writeAll("<", ev.Name, ">")
+		if len(ev.Attrs) == 0 {
+			w.err = w.writeAll("<", ev.Name, ">")
+			break
+		}
+		w.err = w.writeAll("<", ev.Name)
+		for _, a := range ev.Attrs {
+			if w.err != nil {
+				break
+			}
+			w.err = w.writeAll(" ", a.Name, `="`, EscapeAttr(a.Value), `"`)
+		}
+		if w.err == nil {
+			w.err = w.writeAll(">")
+		}
 	case EndElement:
 		w.err = w.writeAll("</", ev.Name, ">")
 	case Text:
@@ -70,6 +84,29 @@ func EscapeText(s string) string {
 			b.WriteString("&gt;")
 		case '&':
 			b.WriteString("&amp;")
+		default:
+			b.WriteByte(s[i])
+		}
+	}
+	return b.String()
+}
+
+// EscapeAttr escapes the characters that are markup-significant inside a
+// double-quoted attribute value.
+func EscapeAttr(s string) string {
+	if !strings.ContainsAny(s, `<&"`) {
+		return s
+	}
+	var b strings.Builder
+	b.Grow(len(s) + 8)
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case '<':
+			b.WriteString("&lt;")
+		case '&':
+			b.WriteString("&amp;")
+		case '"':
+			b.WriteString("&quot;")
 		default:
 			b.WriteByte(s[i])
 		}

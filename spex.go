@@ -309,6 +309,32 @@ func (s *Stream) StartElement(name string) error {
 	return nil
 }
 
+// Attr is one element attribute, in document order.
+type Attr struct {
+	Name  string
+	Value string
+}
+
+// StartElementAttrs feeds an element start event carrying attributes, so
+// push-mode streams can drive @attr axes and predicates. Attribute order is
+// preserved; duplicate names are the caller's responsibility (the pull-mode
+// scanner rejects them at parse time).
+func (s *Stream) StartElementAttrs(name string, attrs ...Attr) error {
+	ev := xmlstream.Start(name)
+	if len(attrs) > 0 {
+		xa := make([]xmlstream.Attr, len(attrs))
+		for i, a := range attrs {
+			xa[i] = xmlstream.Attr{Name: a.Name, Value: a.Value}
+		}
+		ev.Attrs = xa
+	}
+	if err := s.run.Feed(ev); err != nil {
+		return err
+	}
+	s.depth++
+	return nil
+}
+
 // EndElement feeds an element end event; the name is tracked by the
 // evaluator, which validates nesting. The depth bookkeeping changes only
 // when the event is accepted, so a rejected Feed (e.g. on a closed run)

@@ -208,11 +208,15 @@ func (s *Set) EvaluateContext(ctx context.Context, r io.Reader) error {
 		s.counts[i] = 0
 	}
 	withText := false
+	withAttrs := false
 	subs := make([]multi.Subscription, len(s.queries))
 	for i, q := range s.queries {
 		i := i
 		if rpeq.HasTextTest(q.plan.Expr()) {
 			withText = true
+		}
+		if rpeq.HasAttrTest(q.plan.Expr()) {
+			withAttrs = true
 		}
 		subs[i] = multi.Subscription{
 			Name: strconv.Itoa(i),
@@ -262,7 +266,8 @@ func (s *Set) EvaluateContext(ctx context.Context, r io.Reader) error {
 	}
 	// The scanner shares the engine's symbol table, so every event arrives
 	// with its label already resolved to an integer symbol.
-	var src xmlstream.Source = xmlstream.NewScanner(r, xmlstream.WithText(withText), xmlstream.WithSymtab(eng.Symtab()))
+	var src xmlstream.Source = xmlstream.NewScanner(r,
+		xmlstream.WithText(withText), xmlstream.WithAttributes(withAttrs), xmlstream.WithSymtab(eng.Symtab()))
 	if ctx.Done() != nil {
 		src = &ctxSource{ctx: ctx, src: src}
 	}
