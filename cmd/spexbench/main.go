@@ -8,6 +8,11 @@
 //	spexbench -fig 15         # Figure 15 only (DMOZ, SPEX; baselines refuse)
 //	spexbench -fig mem        # the §VI memory table
 //	spexbench -fig sdi        # the multi-query SDI sweep (subs × shards)
+//	spexbench -fig sdi-shared # the overlapping-subscription corpus:
+//	                          # per-query private networks vs the merged
+//	                          # query-set network; -check pins per-query
+//	                          # answer counts equal across the two
+//	                          # (-overlap tunes the corpus)
 //	spexbench -fig adversarial
 //	                          # the governor attack corpus: each shape
 //	                          # count-validated ungoverned, then re-run
@@ -88,7 +93,8 @@ func run(args []string, stdout, stderr io.Writer) error {
 	fs := flag.NewFlagSet("spexbench", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	var (
-		fig      = fs.String("fig", "all", "which experiment: 14, 15, mem, sdi, adversarial, obs-overhead, early-term, value-pred, all")
+		fig      = fs.String("fig", "all", "which experiment: 14, 15, mem, sdi, sdi-shared, adversarial, obs-overhead, early-term, value-pred, all")
+		overlap  = fs.Float64("overlap", bench.SDISharedOverlap, "sdi-shared: probability that a generated subscription derives from an earlier one")
 		scale    = fs.Float64("scale", 0, "document scale; 0 = defaults (1 for Fig. 14, 0.05 for Fig. 15)")
 		verbose  = fs.Bool("v", false, "stream per-measurement progress and a periodic live-metrics line")
 		fullDMOZ = fs.Bool("full-dmoz", false, "run Fig. 15 at the paper's full scale (slow; equivalent to -scale 1)")
@@ -144,6 +150,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 	runFig15 := *fig == "15" || *fig == "all"
 	runMem := *fig == "mem" || *fig == "all"
 	runSDI := *fig == "sdi" || *fig == "all"
+	runSDIShared := *fig == "sdi-shared" || *fig == "all"
 	runAdv := *fig == "adversarial" || *fig == "adv" || *fig == "all"
 	runObs := *fig == "obs-overhead" || *fig == "obs" || *fig == "all"
 	runEarly := *fig == "early-term" || *fig == "early" || *fig == "all"
@@ -234,6 +241,34 @@ func run(args []string, stdout, stderr io.Writer) error {
 				if m.Matches == 0 {
 					return fmt.Errorf("sdi: %s with %d subs, %d shards reported zero answers", m.Mode, m.Subs, m.Shards)
 				}
+			}
+		}
+	}
+	if runSDIShared {
+		s := *scale
+		if s == 0 {
+			s = 0.02
+		}
+		ms, err := figureSDIShared(stdout, progress, s, *overlap, observer)
+		if err != nil {
+			return err
+		}
+		if *jsonDir != "" && len(ms) > 0 {
+			f, err := os.Create(filepath.Join(*jsonDir, "BENCH_sdi_shared.json"))
+			if err != nil {
+				return err
+			}
+			err = bench.WriteSDISharedJSON(f, ms)
+			if cerr := f.Close(); err == nil {
+				err = cerr
+			}
+			if err != nil {
+				return err
+			}
+		}
+		if *check {
+			if err := bench.CheckSDIShared(ms); err != nil {
+				return err
 			}
 		}
 	}
@@ -407,6 +442,20 @@ func figureAdversarial(out, progress io.Writer, scale float64, o *bench.Observer
 	title := fmt.Sprintf("\nAdversarial corpus (scale %g) — governed leg caps: candidates ≤ %d, depth ≤ %d",
 		scale, caps.MaxCandidates, caps.MaxDepth)
 	bench.WriteAdversarialTable(out, title, ms)
+	return ms, nil
+}
+
+// figureSDIShared runs the shared-corpus sweep (EXPERIMENTS.md E21): an
+// overlapping subscription corpus evaluated on per-query private networks,
+// then on the query-set compiler's merged network, per-query counts
+// cross-checked.
+func figureSDIShared(out, progress io.Writer, scale, overlap float64, o *bench.Observer) ([]bench.SDISharedMeasurement, error) {
+	ms, err := bench.RunSDISharedSweep(scale, overlap, bench.SDISharedSubCounts, progress, o)
+	if err != nil {
+		return ms, err
+	}
+	title := fmt.Sprintf("\nSDI shared corpus — dmoz-structure (scale %g), overlap %g: private networks vs merged set", scale, overlap)
+	bench.WriteSDISharedTable(out, title, ms)
 	return ms, nil
 }
 

@@ -16,6 +16,12 @@
 //	spexgen -adversarial deep -n 10000 > deep.xml
 //	spexgen -adversarial fanout-late -n 100000 | spexbench ...
 //	spexgen -adversarial list
+//
+// Subscription corpora (the overlapping query sets the sdi-shared figure
+// and the merged engine consume) are selected with -subs, one query per
+// line; -overlap tunes how often a query derives from an earlier one:
+//
+//	spexgen -subs 256 -overlap 0.6 > corpus.txt
 package main
 
 import (
@@ -48,9 +54,15 @@ func run(args []string, stdout, stderr io.Writer) error {
 		info  = fs.Bool("info", false, "print element count and depth instead of the document")
 		adv   = fs.String("adversarial", "", "adversarial shape: deep, fanout, fanout-late, qualbomb, emptyrun; or list")
 		n     = fs.Int("n", 0, "size of the adversarial shape (0 = the golden-corpus size)")
+		nsubs = fs.Int("subs", 0, "emit an overlapping subscription corpus of this many queries, one per line, instead of a document")
+		ovlp  = fs.Float64("overlap", bench.SDISharedOverlap, "with -subs: probability that a query derives from an earlier one (duplicate, equivalent rephrasing, contained narrowing, or shared spine)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+
+	if *nsubs > 0 {
+		return emitSubs(*nsubs, *ovlp, int64(*seed), *out, stdout)
 	}
 
 	var doc *dataset.Doc
@@ -107,6 +119,30 @@ func adversarialDoc(shape string, n int) (*dataset.Doc, error) {
 	default:
 		return nil, fmt.Errorf("unknown adversarial shape %q (want deep, fanout, fanout-late, qualbomb, emptyrun or list)", shape)
 	}
+}
+
+// emitSubs writes an overlapping subscription corpus, one query per line.
+func emitSubs(n int, overlap float64, seed int64, out string, stdout io.Writer) error {
+	if overlap < 0 || overlap > 1 {
+		return fmt.Errorf("-overlap must be in [0,1], got %g", overlap)
+	}
+	var w io.Writer = stdout
+	if out != "" {
+		f, err := os.Create(out)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		bw := bufio.NewWriter(f)
+		defer bw.Flush()
+		w = bw
+	}
+	for _, q := range bench.SharedSubscriptions(n, overlap, seed) {
+		if _, err := fmt.Fprintln(w, q); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // emit writes the document (or its measurements) to the selected output.

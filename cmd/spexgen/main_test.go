@@ -69,3 +69,33 @@ func TestGenAdversarial(t *testing.T) {
 		t.Fatal("unknown adversarial shape accepted")
 	}
 }
+
+func TestGenSubscriptionCorpus(t *testing.T) {
+	var out, errBuf bytes.Buffer
+	if err := run([]string{"-subs", "20", "-overlap", "0.6"}, &out, &errBuf); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(out.String()), "\n")
+	if len(lines) != 20 {
+		t.Fatalf("got %d queries, want 20: %q", len(lines), out.String())
+	}
+	// Deterministic: the same flags emit the same corpus.
+	var again bytes.Buffer
+	if err := run([]string{"-subs", "20", "-overlap", "0.6"}, &again, &errBuf); err != nil {
+		t.Fatal(err)
+	}
+	if again.String() != out.String() {
+		t.Fatal("corpus not deterministic")
+	}
+	// A different seed emits a different corpus.
+	var other bytes.Buffer
+	if err := run([]string{"-subs", "20", "-overlap", "0.6", "-seed", "99"}, &other, &errBuf); err != nil {
+		t.Fatal(err)
+	}
+	if other.String() == out.String() {
+		t.Fatal("seed has no effect on the corpus")
+	}
+	if err := run([]string{"-subs", "5", "-overlap", "1.5"}, &out, &errBuf); err == nil {
+		t.Fatal("out-of-range overlap accepted")
+	}
+}

@@ -158,6 +158,12 @@ func FuzzEngineEquivalence(f *testing.F) {
 			}, error) {
 				return multi.NewParallelSet(sub(), multi.ParallelOptions{Shards: 2, BatchSize: 3})
 			}},
+			{"merged", func() (interface {
+				Run(src xmlstream.Source) error
+				Matches() map[string]int64
+			}, error) {
+				return multi.NewMergedSet(sub())
+			}},
 		}
 		for _, e := range engines {
 			eng, err := e.mk()

@@ -1,0 +1,312 @@
+package bench
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"text/tabwriter"
+	"time"
+
+	"repro/internal/multi"
+	"repro/internal/xmlstream"
+)
+
+// The shared-SDI experiment: real subscription corpora are not independent —
+// subscribers copy each other's queries, wrap them in extra qualifiers, or
+// phrase the same selection differently. This harness generates such an
+// overlapping corpus and compares per-query private networks (the naive SDI
+// deployment) against the query-set compiler's merged network, checking that
+// the per-query answers stay identical while the per-stream cost grows
+// sublinearly in the subscription count.
+
+// SDISharedMeasurement is one (subscription count, engine) cell of the
+// shared-corpus sweep.
+type SDISharedMeasurement struct {
+	Dataset  string
+	Subs     int
+	Overlap  float64
+	Mode     string // "sequential" (one network per query) or "merged"
+	Elements int64
+	Matches  int64 // total answers over all subscriptions
+	Elapsed  time.Duration
+	// Static pre-pass statistics (merged rows only).
+	NaiveTransducers  int
+	MergedTransducers int
+	Pruned            int
+	Collapsed         int
+	Contained         int
+	// Speedup is sequential elapsed / merged elapsed for merged rows.
+	Speedup float64
+	// counts carries the per-subscription answer tallies for CheckSDIShared.
+	counts map[string]int64
+}
+
+// ElementsPerSec is the measurement's throughput.
+func (m SDISharedMeasurement) ElementsPerSec() float64 {
+	if m.Elapsed <= 0 {
+		return 0
+	}
+	return float64(m.Elements) / m.Elapsed.Seconds()
+}
+
+// SharedSubscriptions returns n subscription queries over the DMOZ structure
+// shape with tunable overlap: with probability `overlap` a query derives
+// from an earlier one — an exact duplicate, an equivalent rephrasing (a
+// nullable qualifier the canonicalizer eliminates), a contained narrowing
+// (an extra structural qualifier), or a shared-spine/divergent-tail sibling.
+// A fixed sprinkle of statically unsatisfiable subscriptions (contradictory
+// attribute predicates) exercises pruning. Deterministic in (n, overlap,
+// seed).
+func SharedSubscriptions(n int, overlap float64, seed int64) []string {
+	if overlap < 0 {
+		overlap = 0
+	}
+	if overlap > 1 {
+		overlap = 1
+	}
+	rng := rand.New(rand.NewSource(seed))
+	fresh := func() string {
+		q := sdiHeads[rng.Intn(len(sdiHeads))]
+		for k := rng.Intn(3); k > 0; k-- {
+			q += "[" + sdiLabels[rng.Intn(len(sdiLabels))] + "]"
+		}
+		return q + "." + sdiLabels[rng.Intn(len(sdiLabels))]
+	}
+	out := make([]string, 0, n)
+	for i := 0; i < n; i++ {
+		if i%13 == 7 {
+			// Statically unsatisfiable: an attribute cannot carry two
+			// different values at once.
+			out = append(out, fresh()+`[@spex="a" and @spex="b"]`)
+			continue
+		}
+		if len(out) > 0 && rng.Float64() < overlap {
+			base := out[rng.Intn(len(out))]
+			switch rng.Intn(4) {
+			case 0: // exact duplicate
+				out = append(out, base)
+			case 1: // equivalent: a nullable qualifier changes nothing
+				out = append(out, base+"["+sdiLabels[rng.Intn(len(sdiLabels))]+"*]")
+			case 2: // contained: one extra structural qualifier narrows it
+				out = append(out, base+"["+sdiLabels[rng.Intn(len(sdiLabels))]+"]")
+			default: // shared spine, divergent tail
+				out = append(out, base+"."+sdiLabels[rng.Intn(len(sdiLabels))])
+			}
+			continue
+		}
+		out = append(out, fresh())
+	}
+	return out
+}
+
+// RunSDIShared measures one shared-corpus configuration over the serialized
+// document: merged selects the query-set compiler's network, otherwise each
+// query runs on its own private network (the naive SDI baseline). Parsing
+// and compilation are inside the timer, as everywhere in this harness.
+func RunSDIShared(queries []string, doc []byte, elements int64, merged bool, o *Observer) (SDISharedMeasurement, error) {
+	m := SDISharedMeasurement{Dataset: "dmoz-structure", Subs: len(queries), Elements: elements}
+	mode := "sequential"
+	if merged {
+		mode = "merged"
+	}
+	m.Mode = mode
+	w := Workload{Dataset: m.Dataset, Query: fmt.Sprintf("sdi-shared %d subs, %s", len(queries), mode)}
+	stopProgress := o.startProgress(w)
+	defer stopProgress()
+	start := time.Now()
+
+	subs, err := sdiSubscriptions(queries)
+	if err != nil {
+		return m, err
+	}
+	// The sdi-shared corpus carries attribute predicates, so the scanner
+	// must deliver attributes for the unsatisfiable members' baselines.
+	if merged {
+		set, err := multi.NewMergedSet(subs)
+		if err != nil {
+			return m, err
+		}
+		src := xmlstream.NewScanner(bytes.NewReader(doc),
+			xmlstream.WithText(false), xmlstream.WithAttributes(true), xmlstream.WithSymtab(set.Symtab()))
+		if err := set.Run(src); err != nil {
+			return m, err
+		}
+		m.counts = set.Matches()
+		st := set.MergeStats()
+		m.NaiveTransducers = st.NaiveTransducers
+		m.MergedTransducers = st.MergedTransducers
+		m.Pruned = st.Pruned
+		m.Collapsed = st.Collapsed
+		m.Contained = st.Contained
+	} else {
+		set, err := multi.NewSet(subs)
+		if err != nil {
+			return m, err
+		}
+		src := xmlstream.NewScanner(bytes.NewReader(doc),
+			xmlstream.WithText(false), xmlstream.WithAttributes(true), xmlstream.WithSymtab(set.Symtab()))
+		if err := set.Run(src); err != nil {
+			return m, err
+		}
+		m.counts = set.Matches()
+	}
+	m.Elapsed = time.Since(start)
+	for _, n := range m.counts {
+		m.Matches += n
+	}
+	return m, nil
+}
+
+// SDISharedSubCounts is the default subscription-count axis of the sweep.
+var SDISharedSubCounts = []int{16, 64, 256}
+
+// SDISharedOverlap is the default corpus overlap probability.
+const SDISharedOverlap = 0.6
+
+// sdiSharedSeed pins the corpus so every run (and the delta gate) measures
+// the same workload.
+const sdiSharedSeed = 2003
+
+// RunSDISharedSweep measures every subscription count twice — per-query
+// private networks, then the merged network — computing each merged row's
+// speedup against its sequential sibling.
+func RunSDISharedSweep(scale, overlap float64, subCounts []int, progress io.Writer, o *Observer) ([]SDISharedMeasurement, error) {
+	doc := Dataset("dmoz-structure", scale).Bytes()
+	info, err := xmlstream.Measure(xmlstream.NewScanner(bytes.NewReader(doc)))
+	if err != nil {
+		return nil, err
+	}
+	var out []SDISharedMeasurement
+	for _, subs := range subCounts {
+		queries := SharedSubscriptions(subs, overlap, sdiSharedSeed)
+		report := func(m SDISharedMeasurement) {
+			if progress != nil {
+				fmt.Fprintf(progress, "  sdi-shared %4d subs %-10s  %9.1f ms  %9d matches  %11.0f elems/s\n",
+					m.Subs, m.Mode, float64(m.Elapsed.Microseconds())/1000, m.Matches, m.ElementsPerSec())
+			}
+		}
+		seq, err := RunSDIShared(queries, doc, info.Elements, false, o)
+		if err != nil {
+			return out, err
+		}
+		seq.Overlap = overlap
+		report(seq)
+		out = append(out, seq)
+		mrg, err := RunSDIShared(queries, doc, info.Elements, true, o)
+		if err != nil {
+			return out, err
+		}
+		mrg.Overlap = overlap
+		if mrg.Elapsed > 0 {
+			mrg.Speedup = seq.Elapsed.Seconds() / mrg.Elapsed.Seconds()
+		}
+		report(mrg)
+		out = append(out, mrg)
+	}
+	return out, nil
+}
+
+// CheckSDIShared validates the sweep: each subscription count's sequential
+// and merged rows must report identical per-query answer counts, answers
+// must exist at all, and the merged network must be strictly smaller than
+// the sum of private networks.
+func CheckSDIShared(ms []SDISharedMeasurement) error {
+	byLevel := make(map[int]map[string]SDISharedMeasurement)
+	for _, m := range ms {
+		if byLevel[m.Subs] == nil {
+			byLevel[m.Subs] = make(map[string]SDISharedMeasurement)
+		}
+		byLevel[m.Subs][m.Mode] = m
+	}
+	for subs, modes := range byLevel {
+		seq, sok := modes["sequential"]
+		mrg, mok := modes["merged"]
+		if !sok || !mok {
+			return fmt.Errorf("sdi-shared: %d subs: missing sequential or merged row", subs)
+		}
+		if seq.Matches == 0 {
+			return fmt.Errorf("sdi-shared: %d subs: sequential baseline reported zero answers", subs)
+		}
+		if len(seq.counts) != len(mrg.counts) {
+			return fmt.Errorf("sdi-shared: %d subs: %d sequential queries vs %d merged", subs, len(seq.counts), len(mrg.counts))
+		}
+		for name, want := range seq.counts {
+			if got := mrg.counts[name]; got != want {
+				return fmt.Errorf("sdi-shared: %d subs: %s: merged counted %d answers, sequential %d", subs, name, got, want)
+			}
+		}
+		if mrg.MergedTransducers >= mrg.NaiveTransducers {
+			return fmt.Errorf("sdi-shared: %d subs: merged network not smaller (naive %d, merged %d)",
+				subs, mrg.NaiveTransducers, mrg.MergedTransducers)
+		}
+	}
+	return nil
+}
+
+// WriteSDISharedTable renders the sweep as a table, one row per engine run.
+func WriteSDISharedTable(w io.Writer, title string, ms []SDISharedMeasurement) {
+	fmt.Fprintf(w, "%s\n", title)
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "subs\tmode\ttransducers\tpruned\tcollapsed\tmatches\telapsed [ms]\telems/s\tspeedup")
+	for _, m := range ms {
+		transducers, pruned, collapsed, speedup := "-", "-", "-", "-"
+		if m.Mode == "merged" {
+			transducers = fmt.Sprintf("%d (naive %d)", m.MergedTransducers, m.NaiveTransducers)
+			pruned = fmt.Sprintf("%d", m.Pruned)
+			collapsed = fmt.Sprintf("%d", m.Collapsed)
+			if m.Speedup > 0 {
+				speedup = fmt.Sprintf("%.2fx", m.Speedup)
+			}
+		}
+		fmt.Fprintf(tw, "%d\t%s\t%s\t%s\t%s\t%d\t%.1f\t%.0f\t%s\n",
+			m.Subs, m.Mode, transducers, pruned, collapsed, m.Matches,
+			float64(m.Elapsed.Microseconds())/1000, m.ElementsPerSec(), speedup)
+	}
+	tw.Flush()
+}
+
+// jsonSDIShared is the machine-readable row of BENCH_sdi_shared.json.
+type jsonSDIShared struct {
+	Dataset           string  `json:"dataset"`
+	Subs              int     `json:"subs"`
+	Overlap           float64 `json:"overlap"`
+	Mode              string  `json:"mode"`
+	Elements          int64   `json:"elements"`
+	Matches           int64   `json:"matches"`
+	ElapsedNs         int64   `json:"elapsed_ns"`
+	ElementsPerSec    float64 `json:"elements_per_sec"`
+	NaiveTransducers  int     `json:"naive_transducers,omitempty"`
+	MergedTransducers int     `json:"merged_transducers,omitempty"`
+	Pruned            int     `json:"pruned,omitempty"`
+	Collapsed         int     `json:"collapsed,omitempty"`
+	Contained         int     `json:"contained,omitempty"`
+	Speedup           float64 `json:"speedup,omitempty"`
+}
+
+// WriteSDISharedJSON renders the sweep as an indented JSON array.
+func WriteSDISharedJSON(w io.Writer, ms []SDISharedMeasurement) error {
+	out := make([]jsonSDIShared, 0, len(ms))
+	for _, m := range ms {
+		out = append(out, jsonSDIShared{
+			Dataset:           m.Dataset,
+			Subs:              m.Subs,
+			Overlap:           m.Overlap,
+			Mode:              m.Mode,
+			Elements:          m.Elements,
+			Matches:           m.Matches,
+			ElapsedNs:         m.Elapsed.Nanoseconds(),
+			ElementsPerSec:    m.ElementsPerSec(),
+			NaiveTransducers:  m.NaiveTransducers,
+			MergedTransducers: m.MergedTransducers,
+			Pruned:            m.Pruned,
+			Collapsed:         m.Collapsed,
+			Contained:         m.Contained,
+			Speedup:           m.Speedup,
+		})
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
+}

@@ -1,0 +1,101 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestSharedSubscriptionsDeterministicAndParseable(t *testing.T) {
+	a := SharedSubscriptions(64, 0.6, sdiSharedSeed)
+	b := SharedSubscriptions(64, 0.6, sdiSharedSeed)
+	if len(a) != 64 {
+		t.Fatalf("len = %d, want 64", len(a))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("not deterministic at %d: %q vs %q", i, a[i], b[i])
+		}
+	}
+	if _, err := sdiSubscriptions(a); err != nil {
+		t.Fatal(err)
+	}
+	// The corpus must actually overlap: duplicates and unsatisfiable
+	// members are both part of the generated shape.
+	seen := map[string]bool{}
+	dups, unsat := 0, 0
+	for _, q := range a {
+		if seen[q] {
+			dups++
+		}
+		seen[q] = true
+		if strings.Contains(q, `@spex="a"`) {
+			unsat++
+		}
+	}
+	if dups == 0 {
+		t.Error("no duplicate queries in a 0.6-overlap corpus")
+	}
+	if unsat == 0 {
+		t.Error("no unsatisfiable queries in the corpus")
+	}
+	// Zero overlap still parses and still sprinkles unsatisfiable members.
+	if _, err := sdiSubscriptions(SharedSubscriptions(32, 0, 1)); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSDISharedSweepCrossChecks(t *testing.T) {
+	ms, err := RunSDISharedSweep(0.001, SDISharedOverlap, []int{8, 24}, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := 2 * 2; len(ms) != want {
+		t.Fatalf("rows: %d, want %d", len(ms), want)
+	}
+	if err := CheckSDIShared(ms); err != nil {
+		t.Fatal(err)
+	}
+	for _, m := range ms {
+		if m.Mode == "merged" {
+			if m.Speedup <= 0 {
+				t.Errorf("merged row without speedup ratio: %+v", m)
+			}
+			if m.MergedTransducers <= 0 || m.NaiveTransducers <= m.MergedTransducers {
+				t.Errorf("merged row without sharing: %+v", m)
+			}
+			if m.Pruned == 0 {
+				t.Errorf("merged row pruned nothing (corpus sprinkles unsatisfiable queries): %+v", m)
+			}
+		}
+	}
+
+	var sb strings.Builder
+	WriteSDISharedTable(&sb, "SDI shared", ms)
+	if !strings.Contains(sb.String(), "merged") {
+		t.Errorf("table missing merged rows:\n%s", sb.String())
+	}
+	sb.Reset()
+	if err := WriteSDISharedJSON(&sb, ms); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{`"mode": "merged"`, `"naive_transducers"`, `"speedup"`} {
+		if !strings.Contains(sb.String(), want) {
+			t.Errorf("json missing %s", want)
+		}
+	}
+}
+
+func TestCheckSDISharedCatchesDivergence(t *testing.T) {
+	seq := SDISharedMeasurement{Subs: 4, Mode: "sequential", Matches: 10,
+		counts: map[string]int64{"a": 6, "b": 4}}
+	mrg := SDISharedMeasurement{Subs: 4, Mode: "merged", Matches: 9,
+		counts: map[string]int64{"a": 6, "b": 3}, NaiveTransducers: 10, MergedTransducers: 5}
+	if err := CheckSDIShared([]SDISharedMeasurement{seq, mrg}); err == nil {
+		t.Fatal("divergent counts not caught")
+	}
+	mrg.counts["b"] = 4
+	mrg.Matches = 10
+	if err := CheckSDIShared([]SDISharedMeasurement{seq, mrg}); err != nil {
+		t.Fatalf("agreeing rows rejected: %v", err)
+	}
+}

@@ -1,0 +1,248 @@
+package multi
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/setcompile"
+	"repro/internal/spexnet"
+	"repro/internal/xmlstream"
+)
+
+// MergedSet evaluates a collection of subscriptions through one network
+// compiled by the query-set compiler (internal/setcompile): subscriptions
+// are canonicalized so equivalent ones become structurally identical,
+// statically unsatisfiable ones are pruned before any transducer exists,
+// and equivalent ones collapse onto one physical sink whose answers are
+// remapped to every member. What remains compiles into a single network
+// whose hash-consing shares the corpus's common prefixes and
+// subexpressions — the YFilter-scale sharing the paper's §IX sketches.
+//
+// Answers are byte-identical to sequential evaluation: only provably
+// equivalent queries share a sink, and each member's deliveries are capped
+// at its own answer limit even when the shared sink runs longer.
+type MergedSet struct {
+	subs   []Subscription
+	prog   *setcompile.Program
+	net    *spexnet.Network // nil when every query is pruned
+	symtab *xmlstream.Symtab
+	open   bool
+	done   bool
+	// memberHits counts deliveries per member (capped at the member's own
+	// limit); repHits counts raw deliveries per representative sink.
+	memberHits []int64
+	repHits    []int64
+}
+
+// NewMergedSet compiles all subscriptions through the set compiler into
+// one merged network.
+func NewMergedSet(subs []Subscription, opts ...Option) (*MergedSet, error) {
+	return newMergedSetSym(subs, xmlstream.NewSymtab(), resolveOptions(opts))
+}
+
+// newMergedSetSym compiles the set against a caller-provided symbol table
+// (see newSetSym).
+func newMergedSetSym(subs []Subscription, symtab *xmlstream.Symtab, cfg engineConfig) (*MergedSet, error) {
+	if len(subs) == 0 {
+		return nil, fmt.Errorf("multi: no subscriptions")
+	}
+	queries := make([]setcompile.Query, len(subs))
+	for i := range subs {
+		queries[i] = setcompile.Query{Name: subs[i].Name, Expr: subs[i].Plan.Expr(), Limit: subs[i].Plan.Limit()}
+	}
+	prog := setcompile.Compile(queries)
+	s := &MergedSet{
+		subs:       subs,
+		prog:       prog,
+		symtab:     symtab,
+		memberHits: make([]int64, len(subs)),
+		repHits:    make([]int64, len(prog.Reps)),
+	}
+	if len(prog.Reps) == 0 {
+		// Every query is statically unsatisfiable: the answer — all
+		// empty — is known before the stream starts and no network exists.
+		return s, nil
+	}
+	specs := make([]spexnet.Spec, len(prog.Reps))
+	for ri := range prog.Reps {
+		rep := prog.Reps[ri]
+		ri := ri
+		members := rep.Members
+		specs[ri] = spexnet.Spec{
+			Expr:  rep.Expr,
+			Mode:  spexnet.ModeNodes,
+			Name:  subs[members[0]].Name,
+			Limit: rep.Limit,
+			Sink: func(r spexnet.Result) {
+				s.repHits[ri]++
+				for _, mi := range members {
+					lim := s.prog.Members[mi].Limit
+					if lim > 0 && s.memberHits[mi] >= lim {
+						// This member's own budget is exhausted; the sink
+						// keeps running for members with larger budgets.
+						continue
+					}
+					s.memberHits[mi]++
+					if sub := &s.subs[mi]; sub.OnHit != nil {
+						sub.OnHit(sub.Name, r)
+					}
+				}
+			},
+		}
+	}
+	net, err := spexnet.BuildSet(specs, spexnet.Options{
+		Symtab:          symtab,
+		Governor:        cfg.gov,
+		GovernorMetrics: cfg.metrics,
+		SinkMetrics:     cfg.metrics,
+		TraceID:         cfg.traceID,
+	})
+	if err != nil {
+		return nil, err
+	}
+	s.net = net
+	return s, nil
+}
+
+// Symtab returns the set-wide symbol table, for feeders that want to share
+// it with their scanner so events arrive pre-resolved.
+func (s *MergedSet) Symtab() *xmlstream.Symtab { return s.symtab }
+
+// Degree returns the number of transducers in the merged network; zero
+// when every query was pruned.
+func (s *MergedSet) Degree() int {
+	if s.net == nil {
+		return 0
+	}
+	return s.net.Degree()
+}
+
+// MergeStats returns the static pre-pass statistics: naive vs merged
+// transducer counts and the pruned/collapsed/contained query tallies.
+func (s *MergedSet) MergeStats() setcompile.MergeStats { return s.prog.Stats }
+
+// Program exposes the compiled set plan, for introspection.
+func (s *MergedSet) Program() *setcompile.Program { return s.prog }
+
+// Feed pushes one event through the merged network, exactly as
+// SharedSet.Feed does.
+func (s *MergedSet) Feed(ev xmlstream.Event) error {
+	if s.done {
+		return fmt.Errorf("multi: merged set already closed")
+	}
+	if s.net == nil || s.net.AnswerDetermined() {
+		if ev.Kind == xmlstream.EndDocument {
+			s.done = true
+		}
+		return nil
+	}
+	if !s.open {
+		s.open = true
+		if ev.Kind != xmlstream.StartDocument {
+			if err := s.net.Step(xmlstream.Event{Kind: xmlstream.StartDocument}); err != nil {
+				return err
+			}
+		}
+	}
+	if err := s.net.Step(ev); err != nil {
+		return err
+	}
+	if s.net.AnswerDetermined() {
+		s.net.Release()
+		return nil
+	}
+	if ev.Kind == xmlstream.EndDocument {
+		s.done = true
+		return s.net.Finish()
+	}
+	return nil
+}
+
+// Determined reports whether every subscription's answer is fixed. Pruned
+// subscriptions are determined from the start — their answer is statically
+// empty — so a set whose every member is pruned is determined before the
+// first event.
+func (s *MergedSet) Determined() bool {
+	if s.net == nil {
+		return true
+	}
+	return s.net.AnswerDetermined()
+}
+
+// Run drains the source and closes the set. When the whole answer is known
+// statically (every query pruned) the stream is not read at all.
+func (s *MergedSet) Run(src xmlstream.Source) error {
+	if s.net == nil {
+		s.done = true
+		return nil
+	}
+	for {
+		ev, err := src.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return err
+		}
+		if err := s.Feed(ev); err != nil {
+			return err
+		}
+		if s.net.AnswerDetermined() {
+			break
+		}
+	}
+	return s.Close()
+}
+
+// Close ends the stream and validates the evaluation.
+func (s *MergedSet) Close() error {
+	if s.done {
+		return nil
+	}
+	s.done = true
+	if s.net == nil {
+		return nil
+	}
+	if s.net.AnswerDetermined() {
+		s.net.Release()
+		return nil
+	}
+	if !s.open {
+		if err := s.net.Step(xmlstream.Event{Kind: xmlstream.StartDocument}); err != nil {
+			return err
+		}
+	}
+	if err := s.net.Step(xmlstream.Event{Kind: xmlstream.EndDocument}); err != nil {
+		return err
+	}
+	return s.net.Finish()
+}
+
+// Matches returns per-subscription answer counts keyed by name. Members of
+// a collapsed sink are attributed individually: each reports the shared
+// sink's deliveries capped at its own answer limit, so a query's count is
+// identical to what its private network would have reported. Sink-side
+// counts (which survive governor degradation) are reconciled with the
+// delivery counts per representative.
+func (s *MergedSet) Matches() map[string]int64 {
+	out := make(map[string]int64, len(s.subs))
+	var sinks []spexnet.OutputStats
+	if s.net != nil {
+		sinks = s.net.SinkStats()
+	}
+	for mi := range s.prog.Members {
+		m := &s.prog.Members[mi]
+		n := s.memberHits[mi]
+		if m.Rep >= 0 && m.Rep < len(sinks) {
+			rep := sinks[m.Rep].Matches
+			if m.Limit > 0 && rep > m.Limit {
+				rep = m.Limit
+			}
+			if rep > n {
+				n = rep
+			}
+		}
+		out[m.Name] = n
+	}
+	return out
+}

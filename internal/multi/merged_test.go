@@ -1,0 +1,208 @@
+package multi
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/spexnet"
+	"repro/internal/xmlstream"
+)
+
+// mergedEngine abstracts the engines cross-validated in this file.
+type mergedEngine interface {
+	Run(xmlstream.Source) error
+	Symtab() *xmlstream.Symtab
+	Matches() map[string]int64
+}
+
+// TestMergedMatchesSequential cross-validates the merged engine against the
+// sequential baseline on a corpus with shared prefixes, an exact duplicate,
+// an equivalent-after-canonicalization pair, a one-way containment and a
+// statically unsatisfiable member.
+func TestMergedMatchesSequential(t *testing.T) {
+	doc := `<feed><msg><sport/><title>x</title></msg><msg><politics/><title>y</title></msg><msg><sport/></msg></feed>`
+	run := func(build func([]Subscription) (mergedEngine, error)) (map[string][]int64, map[string]int64) {
+		t.Helper()
+		hits := map[string][]int64{}
+		subs := []Subscription{
+			{Name: "sport", Plan: plan(t, "feed.msg[sport]")},
+			{Name: "politics", Plan: plan(t, "feed.msg[politics]")},
+			{Name: "titled", Plan: plan(t, "_*.msg[title]")},
+			{Name: "titledstar", Plan: plan(t, "_*.msg[title*]")}, // ≡ _*.msg (nullable condition)
+			{Name: "anymsg", Plan: plan(t, "_*.msg")},
+			{Name: "sport2", Plan: plan(t, "feed.msg[sport]")}, // exact duplicate of sport
+			{Name: "unsat", Plan: plan(t, `feed.msg[@x="1" and @x="2"]`)},
+		}
+		for i := range subs {
+			name := subs[i].Name
+			subs[i].OnHit = func(_ string, r spexnet.Result) {
+				hits[name] = append(hits[name], r.Index)
+			}
+		}
+		eng, err := build(subs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		src := xmlstream.NewScanner(strings.NewReader(doc),
+			xmlstream.WithSymtab(eng.Symtab()), xmlstream.WithAttributes(true))
+		if err := eng.Run(src); err != nil {
+			t.Fatal(err)
+		}
+		return hits, eng.Matches()
+	}
+
+	seqHits, seqCounts := run(func(subs []Subscription) (mergedEngine, error) { return NewSet(subs) })
+	mrgHits, mrgCounts := run(func(subs []Subscription) (mergedEngine, error) { return NewMergedSet(subs) })
+
+	for name, w := range seqHits {
+		got := mrgHits[name]
+		if len(got) != len(w) {
+			t.Fatalf("%s: merged hits %v, sequential %v", name, got, w)
+		}
+		for i := range w {
+			if got[i] != w[i] {
+				t.Fatalf("%s: merged hits %v, sequential %v", name, got, w)
+			}
+		}
+	}
+	for name, w := range seqCounts {
+		if mrgCounts[name] != w {
+			t.Fatalf("%s: merged count %d, sequential %d", name, mrgCounts[name], w)
+		}
+	}
+	if seqCounts["sport"] != 2 || seqCounts["unsat"] != 0 {
+		t.Fatalf("baseline sanity: %v", seqCounts)
+	}
+}
+
+// TestMergedCollapsedLimits checks per-member attribution when equivalent
+// queries with different answer limits collapse onto one sink: each member
+// must report the shared sink's deliveries capped at its own budget, and
+// the shared sink must run to the largest budget.
+func TestMergedCollapsedLimits(t *testing.T) {
+	doc := `<f><m/><m/><m/><m/></f>`
+	hits := map[string]int{}
+	subs := []Subscription{
+		{Name: "one", Plan: plan(t, "f.m").Limited(1)},
+		{Name: "three", Plan: plan(t, "f.m").Limited(3)},
+		{Name: "all", Plan: plan(t, "f.m")},
+	}
+	for i := range subs {
+		name := subs[i].Name
+		subs[i].OnHit = func(string, spexnet.Result) { hits[name]++ }
+	}
+	set, err := NewMergedSet(subs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := set.MergeStats().Collapsed; got != 2 {
+		t.Fatalf("Collapsed = %d, want 2", got)
+	}
+	if err := set.Run(xmlstream.NewScanner(strings.NewReader(doc), xmlstream.WithSymtab(set.Symtab()))); err != nil {
+		t.Fatal(err)
+	}
+	if hits["one"] != 1 || hits["three"] != 3 || hits["all"] != 4 {
+		t.Fatalf("delivery counts: %v", hits)
+	}
+	counts := set.Matches()
+	if counts["one"] != 1 || counts["three"] != 3 || counts["all"] != 4 {
+		t.Fatalf("Matches: %v", counts)
+	}
+}
+
+// TestMergedAllPruned: a set whose every member is statically unsatisfiable
+// is determined before the first event and never reads the stream.
+func TestMergedAllPruned(t *testing.T) {
+	subs := []Subscription{
+		{Name: "a", Plan: plan(t, `f[@x="1" and @x="2"]`)},
+		{Name: "b", Plan: plan(t, `f[@y="v" and not(@y)]`)},
+	}
+	set, err := NewMergedSet(subs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !set.Determined() {
+		t.Fatal("all-pruned set not determined before the stream")
+	}
+	if set.Degree() != 0 {
+		t.Fatalf("Degree = %d, want 0", set.Degree())
+	}
+	if err := set.Run(&failingSource{t: t}); err != nil {
+		t.Fatal(err)
+	}
+	counts := set.Matches()
+	if counts["a"] != 0 || counts["b"] != 0 {
+		t.Fatalf("Matches: %v", counts)
+	}
+	st := set.MergeStats()
+	if st.Pruned != 2 || st.Live != 0 || st.MergedTransducers != 0 {
+		t.Fatalf("stats: %+v", st)
+	}
+}
+
+// failingSource fails the test if the engine reads from it.
+type failingSource struct{ t *testing.T }
+
+func (s *failingSource) Next() (xmlstream.Event, error) {
+	s.t.Fatal("all-pruned merged set read the stream")
+	return xmlstream.Event{}, nil
+}
+
+// TestMergedPrunedMixed: pruned members coexist with live ones; pruned
+// members count zero, live ones match sequential.
+func TestMergedPrunedMixed(t *testing.T) {
+	doc := `<f><m/><m/></f>`
+	subs := []Subscription{
+		{Name: "live", Plan: plan(t, "f.m")},
+		{Name: "dead", Plan: plan(t, `f.m[@x="1" and @x="2"]`)},
+	}
+	set, err := NewMergedSet(subs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := set.Run(xmlstream.NewScanner(strings.NewReader(doc), xmlstream.WithSymtab(set.Symtab()))); err != nil {
+		t.Fatal(err)
+	}
+	counts := set.Matches()
+	if counts["live"] != 2 || counts["dead"] != 0 {
+		t.Fatalf("Matches: %v", counts)
+	}
+	st := set.MergeStats()
+	if st.Pruned != 1 || st.Live != 1 {
+		t.Fatalf("stats: %+v", st)
+	}
+}
+
+// TestMergedSharesPrefixes: the merged network of a prefix-heavy corpus must
+// be smaller than the sum of single-query networks, both in the static
+// estimate and in the built network's actual degree.
+func TestMergedSharesPrefixes(t *testing.T) {
+	exprs := []string{
+		"_*.a.b.c.d",
+		"_*.a.b.c.e",
+		"_*.a.b.c.f",
+		"_*.a.b.g",
+		"_*.a.b.h",
+	}
+	subs := make([]Subscription, len(exprs))
+	naiveDegree := 0
+	for i, e := range exprs {
+		subs[i] = Subscription{Name: e, Plan: plan(t, e)}
+		single, err := NewMergedSet([]Subscription{{Name: e, Plan: plan(t, e)}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		naiveDegree += single.Degree()
+	}
+	set, err := NewMergedSet(subs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := set.MergeStats()
+	if st.MergedTransducers >= st.NaiveTransducers {
+		t.Fatalf("no static sharing: naive %d, merged %d", st.NaiveTransducers, st.MergedTransducers)
+	}
+	if set.Degree() >= naiveDegree {
+		t.Fatalf("merged degree %d not below naive %d", set.Degree(), naiveDegree)
+	}
+}

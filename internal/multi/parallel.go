@@ -46,6 +46,12 @@ type ParallelOptions struct {
 	// default: queries desugared to the same normalized head evaluate the
 	// common chain once per shard behind a fan-out junction.
 	Isolate bool
+	// Merged runs each shard's partition through the query-set compiler
+	// (internal/setcompile): canonicalization, static pruning of
+	// unsatisfiable subscriptions, and collapse of equivalent ones onto
+	// shared sinks, on top of the shared network's prefix factoring.
+	// Merged takes precedence over Isolate.
+	Merged bool
 	// Assign maps a subscription index to a shard in [0, shards); nil means
 	// round-robin. Cross-validation tests shuffle assignments to prove the
 	// partition cannot change answers.
@@ -229,9 +235,12 @@ func NewParallelSet(subs []Subscription, opts ParallelOptions) (*ParallelSet, er
 		}
 		var err error
 		ecfg := engineConfig{gov: opts.Governor, metrics: opts.Metrics, traceID: opts.TraceID}
-		if opts.Isolate {
+		switch {
+		case opts.Merged:
+			w.set, err = newMergedSetSym(wrapped, p.symtab, ecfg)
+		case opts.Isolate:
 			w.set, err = newSetSym(wrapped, p.symtab, ecfg)
-		} else {
+		default:
 			w.set, err = newSharedSetSym(wrapped, p.symtab, ecfg)
 		}
 		if err != nil {

@@ -178,6 +178,12 @@ func WritePrometheus(w io.Writer, s Snapshot) {
 			Label("resource", g.Resource), g.Trips)
 	}
 
+	p.Gauge("spex_setcompile_naive_transducers", "transducers the query set would need without merging", s.SetcompileNaive)
+	p.Gauge("spex_setcompile_merged_transducers", "transducers in the merged query-set network", s.SetcompileMerged)
+	p.Gauge("spex_setcompile_pruned_queries", "queries pruned as statically unsatisfiable", s.SetcompilePruned)
+	p.Gauge("spex_setcompile_collapsed_queries", "queries collapsed onto an equivalent representative's sink", s.SetcompileCollapsed)
+	p.Gauge("spex_setcompile_contained_queries", "one-way query containments detected by the set compiler", s.SetcompileContained)
+
 	p.Histogram("spex_step_messages", "messages delivered per document event", s.StepMessages)
 	p.Histogram("spex_decision_latency_events", "stream events from candidate creation to condition resolution", s.DecisionLatency)
 	p.Histogram("spex_candidate_lifetime_events", "stream events from candidate creation to leaving the sink", s.CandidateLifetime)

@@ -342,6 +342,17 @@ type Metrics struct {
 	GovernorDegrades Counter                        // sinks switched to count-only (PolicyDegrade)
 	GovernorSheds    Counter                        // subscriptions dropped (PolicyShed)
 
+	// Query-set compiler instruments (internal/setcompile): the size of
+	// the registered subscription set's merged compilation against the
+	// naive one-network-per-query baseline, and the static pre-pass
+	// outcomes. Set absolutely by a merged engine at build time, or
+	// aggregated across channels by spexd's subscription lifecycle.
+	SetcompileNaive     Gauge // transducers if each query compiled alone
+	SetcompileMerged    Gauge // transducers in the merged network
+	SetcompilePruned    Gauge // queries statically unsatisfiable, dropped
+	SetcompileCollapsed Gauge // queries collapsed onto an equivalent's sink
+	SetcompileContained Gauge // one-way containments detected between live queries
+
 	mu          sync.RWMutex
 	transducers []*TransducerMetrics
 	shards      []*ShardMetrics
@@ -368,6 +379,18 @@ func (m *Metrics) Transducers() []*TransducerMetrics {
 	out := make([]*TransducerMetrics, len(m.transducers))
 	copy(out, m.transducers)
 	return out
+}
+
+// SetSetcompile publishes the query-set compiler's merge statistics for
+// the subscription set the registry is currently observing: naive vs
+// merged transducer counts and the pruned/collapsed/contained query
+// tallies of the static pre-pass.
+func (m *Metrics) SetSetcompile(naive, merged, pruned, collapsed, contained int) {
+	m.SetcompileNaive.Set(int64(naive))
+	m.SetcompileMerged.Set(int64(merged))
+	m.SetcompilePruned.Set(int64(pruned))
+	m.SetcompileCollapsed.Set(int64(collapsed))
+	m.SetcompileContained.Set(int64(contained))
 }
 
 // SetShards installs the per-shard instruments of the worker pool the

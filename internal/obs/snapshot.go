@@ -77,6 +77,14 @@ type Snapshot struct {
 	GovernorDegrades int64                  `json:"governor_degrades"`
 	GovernorSheds    int64                  `json:"governor_sheds"`
 
+	// Query-set compiler (merged engine) pre-pass results: transducer
+	// counts with and without merging, and the per-query static verdicts.
+	SetcompileNaive     int64 `json:"setcompile_naive_transducers"`
+	SetcompileMerged    int64 `json:"setcompile_merged_transducers"`
+	SetcompilePruned    int64 `json:"setcompile_pruned_queries"`
+	SetcompileCollapsed int64 `json:"setcompile_collapsed_queries"`
+	SetcompileContained int64 `json:"setcompile_contained_queries"`
+
 	Transducers []TransducerSnapshot `json:"transducers,omitempty"`
 
 	// Shards holds the per-shard instruments of a parallel multi-query
@@ -169,6 +177,12 @@ func (m *Metrics) Snapshot() Snapshot {
 		GovernorFails:     m.GovernorFails.Load(),
 		GovernorDegrades:  m.GovernorDegrades.Load(),
 		GovernorSheds:     m.GovernorSheds.Load(),
+
+		SetcompileNaive:     m.SetcompileNaive.Load(),
+		SetcompileMerged:    m.SetcompileMerged.Load(),
+		SetcompilePruned:    m.SetcompilePruned.Load(),
+		SetcompileCollapsed: m.SetcompileCollapsed.Load(),
+		SetcompileContained: m.SetcompileContained.Load(),
 	}
 	if ring := m.TracerRing(); ring != nil {
 		s.TraceTotal = ring.Total()

@@ -7,6 +7,7 @@ import (
 	spex "repro"
 	"repro/internal/governor"
 	"repro/internal/obs"
+	"repro/internal/setcompile"
 )
 
 // DebugInfo is the GET /debug/spex response: the daemon's live internals in
@@ -47,6 +48,32 @@ type DebugChannel struct {
 	Name          string     `json:"name"`
 	Engine        string     `json:"engine"`
 	Subscriptions []DebugSub `json:"subscriptions"`
+	// Merged is the query-set compiler's current plan for a merged-engine
+	// channel; nil for the other engines.
+	Merged *DebugMerged `json:"merged,omitempty"`
+}
+
+// DebugMerged is a merged channel's compiled set plan: how far the static
+// pre-pass shrank the subscription corpus, which queries it pruned or found
+// contained, and the naive-versus-merged transducer counts.
+type DebugMerged struct {
+	Queries           int      `json:"queries"`
+	Live              int      `json:"live"`
+	Pruned            int      `json:"pruned"`
+	Collapsed         int      `json:"collapsed"`
+	NaiveTransducers  int      `json:"naive_transducers"`
+	MergedTransducers int      `json:"merged_transducers"`
+	PrunedQueries     []string `json:"pruned_queries,omitempty"`
+	// Containments lists one-way containments (Query's answers are a subset
+	// of Container's); mutually contained — equivalent — pairs collapse and
+	// are counted above instead.
+	Containments []DebugContainment `json:"containments,omitempty"`
+}
+
+// DebugContainment names one contained-query pair by subscription id.
+type DebugContainment struct {
+	Query     string `json:"query"`
+	Container string `json:"container"`
 }
 
 // DebugSub is one subscription's result-queue state: current depth, the
@@ -150,6 +177,9 @@ func (s *Server) handleDebug(w http.ResponseWriter, r *http.Request) {
 				QueueCapacity: cap(sub.queue.ch),
 			})
 		}
+		if ch.comp != nil {
+			dc.Merged = debugMerged(ch.comp.Program())
+		}
 		info.Channels = append(info.Channels, dc)
 	}
 	sortDebugChannels(info.Channels)
@@ -158,6 +188,27 @@ func (s *Server) handleDebug(w http.ResponseWriter, r *http.Request) {
 		info.Governor = governorHeadroom(s.limits.Governor, snap)
 	}
 	s.writeJSON(w, http.StatusOK, info)
+}
+
+// debugMerged projects a compiled set plan onto the debug surface.
+func debugMerged(p *setcompile.Program) *DebugMerged {
+	dm := &DebugMerged{
+		Queries:           p.Stats.Queries,
+		Live:              p.Stats.Live,
+		Pruned:            p.Stats.Pruned,
+		Collapsed:         p.Stats.Collapsed,
+		NaiveTransducers:  p.Stats.NaiveTransducers,
+		MergedTransducers: p.Stats.MergedTransducers,
+	}
+	for _, m := range p.Members {
+		if m.Status == setcompile.StatusPruned {
+			dm.PrunedQueries = append(dm.PrunedQueries, m.Name)
+		}
+	}
+	for _, c := range p.Containments {
+		dm.Containments = append(dm.Containments, DebugContainment{Query: c.Query, Container: c.Container})
+	}
+	return dm
 }
 
 func sortDebugChannels(chs []DebugChannel) {

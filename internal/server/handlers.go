@@ -15,6 +15,8 @@ import (
 
 	spex "repro"
 	"repro/internal/obs"
+	"repro/internal/rpeq"
+	"repro/internal/setcompile"
 )
 
 // SubscribeRequest is the POST /v1/subscriptions body.
@@ -221,6 +223,9 @@ func (s *Server) handleSubscribe(w http.ResponseWriter, r *http.Request) {
 			engine = reqEngine
 		}
 		ch = &channel{name: req.Channel, engine: engine, cm: s.metrics.Channel(req.Channel)}
+		if engine.Kind == EngineMerged {
+			ch.comp = setcompile.NewCompiler()
+		}
 		s.mgr.channels[req.Channel] = ch
 		s.metrics.ChannelsActive.Add(1)
 	} else if req.Engine != "" && reqEngine != ch.engine {
@@ -252,7 +257,22 @@ func (s *Server) handleSubscribe(w http.ResponseWriter, r *http.Request) {
 	ch.subs = append(ch.subs, sub)
 	ch.cm.Subs.Set(int64(len(ch.subs)))
 	ch.mu.Unlock()
+	if ch.comp != nil {
+		// Maintain the merged channel's incremental query-set plan. The
+		// query re-parses here because the compiled spex.Query does not
+		// expose its expression tree; it already parsed once above, so this
+		// cannot fail.
+		var lim int64
+		popts := []rpeq.ParseOption{rpeq.WithLimit(&lim)}
+		if req.XPath {
+			popts = append(popts, rpeq.WithXPath())
+		}
+		if node, perr := rpeq.Parse(req.Query, popts...); perr == nil {
+			ch.comp.Add(sub.id, node, sub.limit)
+		}
+	}
 	s.mgr.mu.Unlock()
+	s.publishSetcompile()
 
 	s.metrics.SubscriptionsActive.Add(1)
 	s.metrics.SubscriptionsTotal.Inc()
@@ -313,13 +333,46 @@ func (s *Server) retireSubscription(sub *subscription) bool {
 		}
 		ch.cm.Subs.Set(int64(len(ch.subs)))
 		ch.mu.Unlock()
+		if ch.comp != nil {
+			ch.comp.Remove(sub.id)
+		}
 	}
 	s.mgr.mu.Unlock()
+	if ch != nil && ch.comp != nil {
+		s.publishSetcompile()
+	}
 
 	sub.queue.close()
 	s.adm.releaseSubscription()
 	s.metrics.SubscriptionsActive.Add(-1)
 	return true
+}
+
+// publishSetcompile re-aggregates every merged channel's compiler statistics
+// into the engine registry's spex_setcompile_* gauges, so the daemon's
+// /metrics reflects the standing corpus rather than the last session.
+func (s *Server) publishSetcompile() {
+	s.mgr.mu.RLock()
+	var comps []*setcompile.Compiler
+	for _, ch := range s.mgr.channels {
+		if ch.comp != nil {
+			comps = append(comps, ch.comp)
+		}
+	}
+	s.mgr.mu.RUnlock()
+	if len(comps) == 0 {
+		return
+	}
+	var naive, merged, pruned, collapsed, contained int
+	for _, c := range comps {
+		st := c.Stats()
+		naive += st.NaiveTransducers
+		merged += st.MergedTransducers
+		pruned += st.Pruned
+		collapsed += st.Collapsed
+		contained += st.Contained
+	}
+	s.engineMetrics.SetSetcompile(naive, merged, pruned, collapsed, contained)
 }
 
 // completeSubscription retires a subscription whose answer limit has been

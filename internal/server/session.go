@@ -13,6 +13,7 @@ import (
 	"time"
 
 	spex "repro"
+	"repro/internal/setcompile"
 )
 
 // EngineKind selects a channel's multi-query evaluation engine; the kinds
@@ -27,6 +28,12 @@ const (
 	EngineSequential
 	// EngineParallel shards the subscriptions over a worker pool.
 	EngineParallel
+	// EngineMerged runs the query-set compiler first: subscriptions are
+	// canonicalized, statically unsatisfiable ones pruned, equivalent ones
+	// collapsed onto one sink, and the survivors compiled into one merged
+	// network. The channel keeps an incremental compiler, so subscribing
+	// and retiring maintain the merged plan without recompiling the world.
+	EngineMerged
 )
 
 // Engine is a parsed engine selection: the kind plus the parallel engine's
@@ -36,9 +43,10 @@ type Engine struct {
 	Shards int
 }
 
-// ParseEngine parses "sequential", "shared" or "parallel[:shards]" — the
-// selection the server's subscription API and the spex CLI's -engine flag
-// share. The empty string parses as the shared default.
+// ParseEngine parses "sequential", "shared", "merged" or
+// "parallel[:shards]" — the selection the server's subscription API and the
+// spex CLI's -engine flag share. The empty string parses as the shared
+// default.
 func ParseEngine(s string) (Engine, error) {
 	name, arg, hasArg := strings.Cut(s, ":")
 	var e Engine
@@ -49,8 +57,10 @@ func ParseEngine(s string) (Engine, error) {
 		e.Kind = EngineSequential
 	case "parallel":
 		e.Kind = EngineParallel
+	case "merged":
+		e.Kind = EngineMerged
 	default:
-		return Engine{}, fmt.Errorf("server: unknown engine %q (want sequential, shared or parallel[:shards])", s)
+		return Engine{}, fmt.Errorf("server: unknown engine %q (want sequential, shared, merged or parallel[:shards])", s)
 	}
 	if hasArg {
 		if e.Kind != EngineParallel {
@@ -75,6 +85,8 @@ func (e Engine) String() string {
 			return fmt.Sprintf("parallel:%d", e.Shards)
 		}
 		return "parallel"
+	case EngineMerged:
+		return "merged"
 	default:
 		return "shared"
 	}
@@ -87,6 +99,8 @@ func (e Engine) Option() spex.SetOption {
 		return spex.Sequential()
 	case EngineParallel:
 		return spex.Parallel(e.Shards)
+	case EngineMerged:
+		return spex.Merged()
 	default:
 		return spex.Shared()
 	}
@@ -111,6 +125,11 @@ type channel struct {
 	name   string
 	engine Engine
 	cm     *ChannelMetrics
+	// comp is the incremental query-set compiler of a merged-engine channel
+	// (nil otherwise): subscribe and retire maintain the merged plan one
+	// query at a time, and /debug/spex reads the current program from it.
+	// It has its own lock.
+	comp *setcompile.Compiler
 
 	mu   sync.Mutex
 	subs []*subscription

@@ -1,0 +1,172 @@
+package setcompile
+
+import (
+	"sort"
+
+	"repro/internal/rpeq"
+)
+
+// Canonicalize rewrites an expression into a semantics-preserving normal
+// form chosen so that equivalent subscriptions meet structurally and the
+// network builder's hash-consing shares as much as possible:
+//
+//   - qualifiers with a nullable condition are dropped (base[cond] ≡ base
+//     when ε ∈ L(cond); the compiler performs the same elimination, so this
+//     changes nothing about the compiled network — it only makes the
+//     equivalence visible to the set compiler),
+//   - ε disappears from concatenations and concatenations are flattened
+//     into a left-associated spine (prefix-trie shape),
+//   - e? collapses to e when e is already nullable,
+//   - unions are flattened, their branches canonicalized, duplicates
+//     removed, branches absorbed into containing siblings, and the
+//     survivors sorted by canonical rendering (union is commutative,
+//     associative and idempotent over answer sets; the output sink
+//     deduplicates, so branch order does not change answers).
+//
+// The input tree is never mutated; unchanged subtrees may be shared with
+// the output.
+func Canonicalize(n rpeq.Node) rpeq.Node {
+	switch n := n.(type) {
+	case *rpeq.Empty, *rpeq.Label, *rpeq.Plus, *rpeq.Star,
+		*rpeq.Following, *rpeq.Preceding, *rpeq.AttrTest, *rpeq.AttrStep:
+		return n
+
+	case *rpeq.Concat:
+		items := flattenConcat(nil, Canonicalize(n.Left))
+		items = flattenConcat(items, Canonicalize(n.Right))
+		if len(items) == 0 {
+			return &rpeq.Empty{}
+		}
+		out := items[0]
+		for _, it := range items[1:] {
+			out = &rpeq.Concat{Left: out, Right: it}
+		}
+		return out
+
+	case *rpeq.Union:
+		branches := flattenUnion(nil, Canonicalize(n.Left))
+		branches = flattenUnion(branches, Canonicalize(n.Right))
+		branches = dedupeSort(branches)
+		branches = absorb(branches)
+		// An ε branch renders as the optional operator, so (e|ε) and e?
+		// meet at one canonical form.
+		hadEmpty := false
+		kept := branches[:0:0]
+		for _, b := range branches {
+			if _, ok := b.(*rpeq.Empty); ok {
+				hadEmpty = true
+				continue
+			}
+			kept = append(kept, b)
+		}
+		if len(kept) == 0 {
+			return &rpeq.Empty{}
+		}
+		out := kept[0]
+		for _, b := range kept[1:] {
+			out = &rpeq.Union{Left: out, Right: b}
+		}
+		if hadEmpty && !rpeq.Nullable(out) {
+			return &rpeq.Optional{Expr: out}
+		}
+		return out
+
+	case *rpeq.Optional:
+		inner := Canonicalize(n.Expr)
+		if rpeq.Nullable(inner) {
+			return inner
+		}
+		return &rpeq.Optional{Expr: inner}
+
+	case *rpeq.Qualifier:
+		base := Canonicalize(n.Base)
+		cond := Canonicalize(n.Cond)
+		if rpeq.Nullable(cond) {
+			return base
+		}
+		return &rpeq.Qualifier{Base: base, Cond: cond}
+
+	case *rpeq.TextTest:
+		return &rpeq.TextTest{Path: Canonicalize(n.Path), Op: n.Op, Value: n.Value}
+
+	case *rpeq.CondNot:
+		return &rpeq.CondNot{Expr: Canonicalize(n.Expr)}
+
+	default:
+		return n
+	}
+}
+
+// flattenConcat appends the concatenation items of an already canonical
+// subtree, skipping ε.
+func flattenConcat(items []rpeq.Node, n rpeq.Node) []rpeq.Node {
+	switch n := n.(type) {
+	case *rpeq.Concat:
+		items = flattenConcat(items, n.Left)
+		return flattenConcat(items, n.Right)
+	case *rpeq.Empty:
+		return items
+	default:
+		return append(items, n)
+	}
+}
+
+// flattenUnion appends the union branches of an already canonical subtree.
+func flattenUnion(branches []rpeq.Node, n rpeq.Node) []rpeq.Node {
+	if u, ok := n.(*rpeq.Union); ok {
+		branches = flattenUnion(branches, u.Left)
+		return flattenUnion(branches, u.Right)
+	}
+	return append(branches, n)
+}
+
+// dedupeSort removes duplicate branches (by canonical rendering) and sorts
+// the survivors for a deterministic shape.
+func dedupeSort(branches []rpeq.Node) []rpeq.Node {
+	type keyed struct {
+		key string
+		n   rpeq.Node
+	}
+	seen := make(map[string]bool, len(branches))
+	uniq := make([]keyed, 0, len(branches))
+	for _, b := range branches {
+		k := rpeq.Canonical(b)
+		if seen[k] {
+			continue
+		}
+		seen[k] = true
+		uniq = append(uniq, keyed{key: k, n: b})
+	}
+	sort.Slice(uniq, func(i, j int) bool { return uniq[i].key < uniq[j].key })
+	out := make([]rpeq.Node, len(uniq))
+	for i, k := range uniq {
+		out[i] = k.n
+	}
+	return out
+}
+
+// absorb drops every branch contained in a sibling: (a|b) with L(a) ⊇ L(b)
+// answers exactly as a alone. With mutual containment the earlier branch
+// wins, so the result is deterministic.
+func absorb(branches []rpeq.Node) []rpeq.Node {
+	if len(branches) < 2 {
+		return branches
+	}
+	out := branches[:0:0]
+	for i, b := range branches {
+		absorbed := false
+		for j, a := range branches {
+			if i == j {
+				continue
+			}
+			if Contains(a, b) && (!Contains(b, a) || j < i) {
+				absorbed = true
+				break
+			}
+		}
+		if !absorbed {
+			out = append(out, b)
+		}
+	}
+	return out
+}

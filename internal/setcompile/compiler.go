@@ -1,0 +1,194 @@
+package setcompile
+
+import (
+	"sync"
+
+	"repro/internal/rpeq"
+)
+
+// Compiler maintains the static analysis of a mutating query set — the
+// spexd subscription-lifecycle case. Add analyzes only the new query
+// (canonicalization, satisfiability, one containment scan over the current
+// representatives) and Remove only unlinks the departing one: the rest of
+// the corpus is never re-analyzed, so subscription churn costs O(current
+// representatives) per operation instead of recompiling the world.
+//
+// Program and Stats return consistent snapshots; both are cheap when the
+// set has not changed since the last call (the snapshot is cached and
+// invalidated by Add/Remove). Compiler is safe for concurrent use.
+type Compiler struct {
+	mu      sync.Mutex
+	members []cmember
+	reps    map[string]*crep  // canonical key of the representative → rep
+	aliases map[string]string // canonical key → representative key (equivalences found by containment)
+	prog    *Program          // cached snapshot; nil when dirty
+}
+
+type cmember struct {
+	name   string
+	orig   rpeq.Node // as registered (naive-cost accounting)
+	canon  rpeq.Node
+	key    string
+	limit  int64
+	status Status
+	repKey string // "" when pruned
+}
+
+type crep struct {
+	expr  rpeq.Node
+	count int
+}
+
+// NewCompiler returns an empty incremental compiler.
+func NewCompiler() *Compiler {
+	return &Compiler{reps: make(map[string]*crep), aliases: make(map[string]string)}
+}
+
+// Add registers a query under a unique name and returns its fate. Adding a
+// name twice keeps both entries; Remove unlinks the most recent one.
+func (c *Compiler) Add(name string, expr rpeq.Node, limit int64) Member {
+	canon := Canonicalize(expr)
+	key := rpeq.Canonical(canon)
+	m := cmember{name: name, orig: expr, canon: canon, key: key, limit: limit}
+	switch {
+	case Unsatisfiable(canon):
+		m.status = StatusPruned
+	default:
+		repKey, ok := c.resolveRep(key, canon)
+		if !ok {
+			c.mu.Lock()
+			c.reps[key] = &crep{expr: canon}
+			c.mu.Unlock()
+			repKey = key
+			m.status = StatusLive
+		} else {
+			m.status = StatusCollapsed
+		}
+		m.repKey = repKey
+		c.mu.Lock()
+		c.reps[repKey].count++
+		c.mu.Unlock()
+	}
+	c.mu.Lock()
+	c.members = append(c.members, m)
+	c.prog = nil
+	out := Member{Name: m.name, Status: m.status, Rep: -1, Limit: m.limit, Canonical: m.key}
+	c.mu.Unlock()
+	return out
+}
+
+// resolveRep finds the representative an expression belongs to: a direct
+// canonical-key hit, a remembered equivalence, or a fresh containment scan
+// over the current representatives.
+func (c *Compiler) resolveRep(key string, canon rpeq.Node) (string, bool) {
+	c.mu.Lock()
+	if _, ok := c.reps[key]; ok {
+		c.mu.Unlock()
+		return key, true
+	}
+	if rk, ok := c.aliases[key]; ok {
+		if _, live := c.reps[rk]; live {
+			c.mu.Unlock()
+			return rk, true
+		}
+		delete(c.aliases, key)
+	}
+	type cand struct {
+		key  string
+		expr rpeq.Node
+	}
+	cands := make([]cand, 0, len(c.reps))
+	for rk, r := range c.reps {
+		cands = append(cands, cand{key: rk, expr: r.expr})
+	}
+	c.mu.Unlock()
+	for _, r := range cands {
+		if Contains(r.expr, canon) && Contains(canon, r.expr) {
+			c.mu.Lock()
+			if _, live := c.reps[r.key]; live {
+				c.aliases[key] = r.key
+				c.mu.Unlock()
+				return r.key, true
+			}
+			c.mu.Unlock()
+		}
+	}
+	return "", false
+}
+
+// Remove unlinks the most recently added query with the given name and
+// reports whether one was found.
+func (c *Compiler) Remove(name string) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for i := len(c.members) - 1; i >= 0; i-- {
+		m := c.members[i]
+		if m.name != name {
+			continue
+		}
+		c.members = append(c.members[:i], c.members[i+1:]...)
+		if m.repKey != "" {
+			if r := c.reps[m.repKey]; r != nil {
+				r.count--
+				if r.count <= 0 {
+					delete(c.reps, m.repKey)
+				}
+			}
+		}
+		c.prog = nil
+		return true
+	}
+	return false
+}
+
+// Len returns the number of registered queries.
+func (c *Compiler) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.members)
+}
+
+// Program returns a snapshot of the compiled set, equivalent to Compile
+// over the current queries in registration order.
+func (c *Compiler) Program() *Program {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.prog != nil {
+		return c.prog
+	}
+	p := &Program{Members: make([]Member, 0, len(c.members))}
+	queries := make([]Query, 0, len(c.members))
+	repIdx := make(map[string]int, len(c.reps))
+	for _, m := range c.members {
+		queries = append(queries, Query{Name: m.name, Expr: m.orig, Limit: m.limit})
+		out := Member{Name: m.name, Status: m.status, Rep: -1, Limit: m.limit, Canonical: m.key}
+		if m.repKey != "" {
+			ri, ok := repIdx[m.repKey]
+			if !ok {
+				ri = len(p.Reps)
+				repIdx[m.repKey] = ri
+				p.Reps = append(p.Reps, Rep{Expr: c.reps[m.repKey].expr})
+				// Removal may have unlinked the original representative;
+				// the first surviving member takes over.
+				out.Status = StatusLive
+			} else {
+				out.Status = StatusCollapsed
+			}
+			out.Rep = ri
+			p.Reps[ri].Members = append(p.Reps[ri].Members, len(p.Members))
+		}
+		p.Members = append(p.Members, out)
+	}
+	for ri := range p.Reps {
+		p.Reps[ri].Limit = repLimit(p, p.Reps[ri].Members)
+	}
+	p.Containments = containments(p)
+	p.Stats = stats(queries, p)
+	c.prog = p
+	return p
+}
+
+// Stats returns the merge statistics of the current set.
+func (c *Compiler) Stats() MergeStats {
+	return c.Program().Stats
+}

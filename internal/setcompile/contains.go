@@ -1,0 +1,224 @@
+package setcompile
+
+import (
+	"repro/internal/rpeq"
+)
+
+// maxContainsDepth bounds the structural recursion of the containment
+// checker; past it the checker answers "unknown" (false), which is always
+// sound.
+const maxContainsDepth = 64
+
+// Contains reports whether a contains b: on every document, every answer
+// of b is an answer of a (L(a) ⊇ L(b)). The check is sound but incomplete —
+// false means "not provably contained", never "provably not contained".
+// Full containment of regular path expressions with qualifiers is EXPTIME
+// (the µ-calculus machinery of "Logics for XML", PAPERS.md); this checker
+// decides the cheap structural fragment real subscription corpora exercise:
+// wildcard and closure steps covering plain steps, qualifier and attribute
+// filters dropped from the contained side, union branch inclusion, and
+// closure steps absorbing step runs.
+func Contains(a, b rpeq.Node) bool {
+	return contains(rpeq.Desugar(a), rpeq.Desugar(b), 0)
+}
+
+// contains works on desugared kernel trees (no Star, no Optional: both are
+// unions with an ε branch).
+func contains(a, b rpeq.Node, depth int) bool {
+	if depth > maxContainsDepth {
+		return false
+	}
+	if rpeq.Equal(a, b) {
+		return true
+	}
+	// A union on the contained side must be covered branch by branch.
+	if bu, ok := b.(*rpeq.Union); ok {
+		return contains(a, bu.Left, depth+1) && contains(a, bu.Right, depth+1)
+	}
+	// A union on the containing side needs one covering branch.
+	if au, ok := a.(*rpeq.Union); ok {
+		return contains(au.Left, b, depth+1) || contains(au.Right, b, depth+1)
+	}
+	// Dropping a filter from the contained side only enlarges it: if a
+	// covers the unfiltered expression it covers the filtered one.
+	if bq, ok := b.(*rpeq.Qualifier); ok {
+		if contains(a, bq.Base, depth+1) {
+			return true
+		}
+	}
+	// Concatenations align item-wise (closures may absorb step runs).
+	_, aConcat := a.(*rpeq.Concat)
+	_, bConcat := b.(*rpeq.Concat)
+	if aConcat || bConcat {
+		return matchItems(concatItems(nil, a), concatItems(nil, b), depth+1)
+	}
+	switch a := a.(type) {
+	case *rpeq.Label:
+		_, ok := b.(*rpeq.Label)
+		return ok && a.Name == rpeq.Wildcard
+	case *rpeq.Plus:
+		return closureCovers(a.Label.Name, b)
+	case *rpeq.Qualifier:
+		bq, ok := b.(*rpeq.Qualifier)
+		// Base must cover base, and every witness of b's condition must
+		// witness a's: L(aCond) ⊇ L(bCond) suffices.
+		return ok && contains(a.Base, bq.Base, depth+1) && contains(a.Cond, bq.Cond, depth+1)
+	case *rpeq.AttrTest:
+		bt, ok := b.(*rpeq.AttrTest)
+		return ok && attrImplies(bt.Pred, a.Pred)
+	case *rpeq.TextTest:
+		bt, ok := b.(*rpeq.TextTest)
+		return ok && a.Op == bt.Op && a.Value == bt.Value && contains(a.Path, bt.Path, depth+1)
+	case *rpeq.Following:
+		_, ok := b.(*rpeq.Following)
+		return ok && a.Test == rpeq.Wildcard
+	case *rpeq.Preceding:
+		_, ok := b.(*rpeq.Preceding)
+		return ok && a.Test == rpeq.Wildcard
+	}
+	return false
+}
+
+// concatItems flattens a desugared tree into concatenation items, dropping
+// ε items (ε is the concatenation identity).
+func concatItems(items []rpeq.Node, n rpeq.Node) []rpeq.Node {
+	switch n := n.(type) {
+	case *rpeq.Concat:
+		items = concatItems(items, n.Left)
+		return concatItems(items, n.Right)
+	case *rpeq.Empty:
+		return items
+	default:
+		return append(items, n)
+	}
+}
+
+// matchItems decides whether the item sequence as covers the item sequence
+// bs: every document path matching bs in order also matches as. Closure
+// items on the containing side may absorb runs of covered steps; nullable
+// items on the containing side may be skipped; union items on either side
+// branch.
+func matchItems(as, bs []rpeq.Node, depth int) bool {
+	if depth > maxContainsDepth {
+		return false
+	}
+	// A union item on the contained side: both variants must be covered.
+	if len(bs) > 0 {
+		if bu, ok := bs[0].(*rpeq.Union); ok {
+			return matchItems(as, prependItem(bu.Left, bs[1:]), depth+1) &&
+				matchItems(as, prependItem(bu.Right, bs[1:]), depth+1)
+		}
+		// An attribute self-filter on the contained side only shrinks it.
+		if _, ok := bs[0].(*rpeq.AttrTest); ok && matchItems(as, bs[1:], depth+1) {
+			return true
+		}
+	}
+	if len(as) == 0 {
+		return len(bs) == 0
+	}
+	head, rest := as[0], as[1:]
+	// A nullable containing item may match the empty run.
+	if rpeq.Nullable(head) && matchItems(rest, bs, depth+1) {
+		return true
+	}
+	// A union item on the containing side: either variant may cover.
+	if au, ok := head.(*rpeq.Union); ok {
+		return matchItems(prependItem(au.Left, rest), bs, depth+1) ||
+			matchItems(prependItem(au.Right, rest), bs, depth+1)
+	}
+	if len(bs) == 0 {
+		return false
+	}
+	// A closure item absorbs one covered step and may keep absorbing.
+	if label, ok := closureLabel(head); ok {
+		if !closureCovers(label, bs[0]) {
+			return false
+		}
+		if matchItems(as, bs[1:], depth+1) {
+			return true
+		}
+		return matchItems(rest, bs[1:], depth+1)
+	}
+	// Plain item: pairwise containment, then the tails.
+	return contains(head, bs[0], depth+1) && matchItems(rest, bs[1:], depth+1)
+}
+
+// prependItem builds the item list {n} ++ rest, flattening n and dropping ε.
+func prependItem(n rpeq.Node, rest []rpeq.Node) []rpeq.Node {
+	out := concatItems(make([]rpeq.Node, 0, 1+len(rest)), n)
+	return append(out, rest...)
+}
+
+// closureLabel recognizes a closure item: label+ itself, or the desugared
+// label* shape (label+ | ε).
+func closureLabel(n rpeq.Node) (string, bool) {
+	switch n := n.(type) {
+	case *rpeq.Plus:
+		return n.Label.Name, true
+	case *rpeq.Union:
+		if p, ok := n.Left.(*rpeq.Plus); ok {
+			if _, e := n.Right.(*rpeq.Empty); e {
+				return p.Label.Name, true
+			}
+		}
+		if p, ok := n.Right.(*rpeq.Plus); ok {
+			if _, e := n.Left.(*rpeq.Empty); e {
+				return p.Label.Name, true
+			}
+		}
+	}
+	return "", false
+}
+
+// closureCovers reports whether the closure label+ covers one consumed
+// unit: a step (or qualified step) whose every match is a nonempty run of
+// steps matching label.
+func closureCovers(label string, item rpeq.Node) bool {
+	switch item := item.(type) {
+	case *rpeq.Label:
+		return label == rpeq.Wildcard || item.Name == label
+	case *rpeq.Plus:
+		return label == rpeq.Wildcard || item.Label.Name == label
+	case *rpeq.Qualifier:
+		// A qualified step selects a subset of the unqualified one.
+		return closureCovers(label, item.Base)
+	}
+	return false
+}
+
+// attrImplies reports whether attribute predicate p implies q: every
+// attribute list satisfying p satisfies q. Sound and incomplete, like
+// Contains.
+func attrImplies(p, q rpeq.AttrExpr) bool {
+	if p == nil || q == nil {
+		return false
+	}
+	if p.String() == q.String() {
+		return true
+	}
+	switch q := q.(type) {
+	case *rpeq.AttrAnd:
+		return attrImplies(p, q.Left) && attrImplies(p, q.Right)
+	case *rpeq.AttrOr:
+		if attrImplies(p, q.Left) || attrImplies(p, q.Right) {
+			return true
+		}
+	case *rpeq.AttrNot:
+		if pn, ok := p.(*rpeq.AttrNot); ok {
+			return attrImplies(q.Expr, pn.Expr)
+		}
+	}
+	switch p := p.(type) {
+	case *rpeq.AttrAnd:
+		return attrImplies(p.Left, q) || attrImplies(p.Right, q)
+	case *rpeq.AttrOr:
+		return attrImplies(p.Left, q) && attrImplies(p.Right, q)
+	case *rpeq.AttrLeaf:
+		// Every leaf operator requires the attribute to be present, so any
+		// leaf on a name implies bare existence of that name.
+		if ql, ok := q.(*rpeq.AttrLeaf); ok {
+			return ql.Op == rpeq.AttrExists && ql.Name == p.Name
+		}
+	}
+	return false
+}

@@ -1,0 +1,129 @@
+package setcompile
+
+import (
+	"strconv"
+
+	"repro/internal/rpeq"
+)
+
+// nodeCounter is a static dry run of the network builder's compilation
+// arithmetic (spexnet compileNew): it walks expressions allocating synthetic
+// tape numbers and counting the transducers each construct contributes,
+// memoizing on (input tape, canonical form) exactly as the builder's
+// hash-consing does. Counting with one shared counter across a query set
+// therefore predicts the merged network's transducer count, and counting
+// each query with a fresh counter predicts the naive per-query total — no
+// network is instantiated for either. Fan-out junctions (inserted after
+// compilation so every tape has a single reader) are excluded from both
+// sides, so the naive/merged ratio compares like with like.
+type nodeCounter struct {
+	memo  map[string]int // input tape | canonical form → output tape
+	tapes int
+	nodes int
+}
+
+func newNodeCounter() *nodeCounter {
+	return &nodeCounter{memo: make(map[string]int)}
+}
+
+// tape allocates a fresh synthetic tape number.
+func (c *nodeCounter) tape() int {
+	c.tapes++
+	return c.tapes
+}
+
+// count returns the output tape of expr compiled from tape in, adding the
+// transducers of every subexpression not already compiled from that tape.
+func (c *nodeCounter) count(n rpeq.Node, in int) int {
+	key := strconv.Itoa(in) + "|" + rpeq.Canonical(n)
+	if out, ok := c.memo[key]; ok {
+		return out
+	}
+	out := c.countNew(n, in)
+	c.memo[key] = out
+	return out
+}
+
+// countNew mirrors compileNew's per-construct topology.
+func (c *nodeCounter) countNew(n rpeq.Node, in int) int {
+	switch n := n.(type) {
+	case *rpeq.Empty:
+		return in
+	case *rpeq.Label, *rpeq.Plus, *rpeq.AttrTest, *rpeq.AttrStep,
+		*rpeq.Following, *rpeq.Preceding:
+		c.nodes++
+		return c.tape()
+	case *rpeq.Star:
+		c.nodes++ // SP
+		c.tape()  // pass-through branch
+		branch := c.tape()
+		c.count(&rpeq.Plus{Label: n.Label}, branch)
+		c.nodes++ // JO
+		return c.tape()
+	case *rpeq.Optional:
+		c.nodes++ // SP
+		c.tape()
+		branch := c.tape()
+		c.count(n.Expr, branch)
+		c.nodes++ // JO
+		return c.tape()
+	case *rpeq.Concat:
+		mid := c.count(n.Left, in)
+		return c.count(n.Right, mid)
+	case *rpeq.Union:
+		c.nodes++ // SP
+		left := c.tape()
+		right := c.tape()
+		c.count(n.Left, left)
+		c.count(n.Right, right)
+		c.nodes += 2 // JO, UN
+		return c.tape()
+	case *rpeq.Qualifier:
+		if rpeq.Nullable(n.Cond) {
+			return c.count(n.Base, in)
+		}
+		if cn, ok := n.Cond.(*rpeq.CondNot); ok {
+			return c.countNegQualifier(n.Base, cn, in)
+		}
+		base := c.count(n.Base, in)
+		_ = base
+		c.nodes++ // VC
+		c.tape()
+		c.nodes++ // SP
+		c.tape()
+		branch := c.tape()
+		c.count(n.Cond, branch)
+		c.nodes += 3 // VF, VD, JO
+		c.tape()
+		c.tape()
+		return c.tape()
+	case *rpeq.TextTest:
+		c.count(n.Path, in)
+		c.nodes++ // text comparison
+		return c.tape()
+	case *rpeq.CondNot:
+		return c.countNegQualifier(&rpeq.Empty{}, n, in)
+	default:
+		return in
+	}
+}
+
+// countNegQualifier mirrors compileNegQualifier.
+func (c *nodeCounter) countNegQualifier(base rpeq.Node, cn *rpeq.CondNot, in int) int {
+	out := c.count(base, in)
+	_ = out
+	if rpeq.Nullable(cn.Expr) {
+		c.nodes++ // drop node: the condition is statically false
+		return c.tape()
+	}
+	c.nodes++ // negated VC
+	c.tape()
+	c.nodes++ // SP
+	c.tape()
+	branch := c.tape()
+	c.count(cn.Expr, branch)
+	c.nodes += 3 // VF, NVD, JO
+	c.tape()
+	c.tape()
+	return c.tape()
+}

@@ -1,0 +1,270 @@
+// Package setcompile compiles a *query set* into the plan of one merged
+// transducer network: the mass-subscription shared compilation the paper's
+// §IX and the ROADMAP's YFilter-style item call for.
+//
+// The compiler runs three static passes over the subscription corpus before
+// a single transducer is instantiated:
+//
+//  1. Canonicalization (Canonicalize): each expression is rewritten into a
+//     semantics-preserving normal form — nullable qualifiers dropped,
+//     concatenations left-associated with ε eliminated, unions flattened,
+//     deduplicated, sorted and absorbed — so that syntactically different
+//     but equivalent subscriptions become structurally identical and the
+//     network builder's hash-consing can factor their common prefixes and
+//     subexpressions into a shared trie of transducers.
+//  2. Satisfiability pruning (Unsatisfiable): subscriptions that can match
+//     no document — a statically false not(...) qualifier, a contradictory
+//     attribute conjunction — are dropped from the network entirely; their
+//     answer is the empty set, known before the stream starts.
+//  3. Containment analysis (Contains): subscriptions whose canonical forms
+//     are mutually contained (equivalent) collapse onto one representative
+//     sink, with a remap table attributing the shared sink's answers back
+//     to every member. One-way containments are detected and reported (for
+//     introspection and union absorption) but do not collapse sinks:
+//     answers must stay byte-identical to sequential evaluation, and a
+//     strictly contained query's answers are a proper subset of its
+//     container's.
+//
+// The output is a Program: the physical representatives to compile (one
+// spexnet.Spec each, all in ONE network so the builder's memoization shares
+// their common structure), the member table mapping every original query to
+// its fate, and MergeStats comparing the merged transducer count against
+// compiling one network per query.
+package setcompile
+
+import (
+	"sort"
+
+	"repro/internal/rpeq"
+)
+
+// Query is one member of the set to compile.
+type Query struct {
+	// Name identifies the query in the member table and in per-query
+	// answer counts.
+	Name string
+	// Expr is the query as written; the compiler canonicalizes a copy and
+	// never mutates it.
+	Expr rpeq.Node
+	// Limit is the query's answer budget (0 = unlimited), as in
+	// spexnet.Spec.Limit.
+	Limit int64
+}
+
+// Status classifies a query after the static pre-pass.
+type Status uint8
+
+const (
+	// StatusLive queries own a physical sink (they are their
+	// representative's first member).
+	StatusLive Status = iota
+	// StatusCollapsed queries are equivalent to an earlier query and share
+	// its representative's sink.
+	StatusCollapsed
+	// StatusPruned queries are statically unsatisfiable: no transducers are
+	// built for them and their answer count is always zero.
+	StatusPruned
+)
+
+func (s Status) String() string {
+	switch s {
+	case StatusLive:
+		return "live"
+	case StatusCollapsed:
+		return "collapsed"
+	case StatusPruned:
+		return "pruned"
+	}
+	return "unknown"
+}
+
+// Member is the fate of one input query.
+type Member struct {
+	Name   string
+	Status Status
+	// Rep indexes Program.Reps for live and collapsed members; -1 for
+	// pruned ones.
+	Rep int
+	// Limit is the query's own answer budget; a collapsed member's
+	// deliveries are capped at it even though the shared physical sink may
+	// run longer (see Rep.Limit).
+	Limit int64
+	// Canonical is the canonical rendering of the query, the key under
+	// which equivalent queries meet.
+	Canonical string
+}
+
+// Rep is one physical sink of the merged network: a representative
+// canonical expression plus the members that share it.
+type Rep struct {
+	// Expr is the canonicalized expression the network compiles.
+	Expr rpeq.Node
+	// Members indexes Program.Members (equal to the input query indexes).
+	Members []int
+	// Limit is the physical sink's answer budget: zero (unlimited) if any
+	// member is unlimited, otherwise the largest member budget — so the
+	// sink keeps delivering until every member has reached its own limit.
+	Limit int64
+}
+
+// Containment is a detected one-way containment between two live queries:
+// every answer of Query is also an answer of Container. Reported for
+// introspection; it does not change compilation.
+type Containment struct {
+	Query     string
+	Container string
+}
+
+// MergeStats compares the merged compilation against the naive one-network-
+// per-query baseline.
+type MergeStats struct {
+	// Queries is the input set size.
+	Queries int
+	// Live is the number of physical sinks (representatives).
+	Live int
+	// Pruned counts statically unsatisfiable queries (no transducers).
+	Pruned int
+	// Collapsed counts queries sharing another query's sink.
+	Collapsed int
+	// Contained counts detected one-way containments between live queries.
+	Contained int
+	// NaiveTransducers is the transducer count of compiling one network per
+	// query (including each query's output sink).
+	NaiveTransducers int
+	// MergedTransducers is the transducer count of the merged network
+	// (including one output sink per representative).
+	MergedTransducers int
+}
+
+// Program is the compiled plan of a query set.
+type Program struct {
+	Members      []Member
+	Reps         []Rep
+	Containments []Containment
+	Stats        MergeStats
+}
+
+// Compile runs the static pre-pass over the query set and returns the
+// merged program. The member table preserves input order: Members[i]
+// describes queries[i].
+func Compile(queries []Query) *Program {
+	p := &Program{Members: make([]Member, 0, len(queries))}
+	repByKey := make(map[string]int, len(queries))
+	for _, q := range queries {
+		canon := Canonicalize(q.Expr)
+		key := rpeq.Canonical(canon)
+		m := Member{Name: q.Name, Rep: -1, Limit: q.Limit, Canonical: key}
+		switch {
+		case Unsatisfiable(canon):
+			m.Status = StatusPruned
+		default:
+			ri, ok := repByKey[key]
+			if !ok {
+				// Not syntactically identical to any representative; an
+				// equivalent one may still exist under a different
+				// canonical rendering (mutual containment).
+				ri = -1
+				for j := range p.Reps {
+					if Contains(p.Reps[j].Expr, canon) && Contains(canon, p.Reps[j].Expr) {
+						ri = j
+						break
+					}
+				}
+				if ri < 0 {
+					ri = len(p.Reps)
+					p.Reps = append(p.Reps, Rep{Expr: canon})
+					m.Status = StatusLive
+				} else {
+					m.Status = StatusCollapsed
+				}
+				repByKey[key] = ri
+			} else {
+				m.Status = StatusCollapsed
+			}
+			m.Rep = ri
+			p.Reps[ri].Members = append(p.Reps[ri].Members, len(p.Members))
+		}
+		p.Members = append(p.Members, m)
+	}
+	for ri := range p.Reps {
+		p.Reps[ri].Limit = repLimit(p, p.Reps[ri].Members)
+	}
+	p.Containments = containments(p)
+	p.Stats = stats(queries, p)
+	return p
+}
+
+// repLimit derives a representative sink's budget from its members'.
+func repLimit(p *Program, members []int) int64 {
+	var lim int64
+	for _, mi := range members {
+		ml := p.Members[mi].Limit
+		if ml <= 0 {
+			return 0
+		}
+		if ml > lim {
+			lim = ml
+		}
+	}
+	return lim
+}
+
+// containments detects one-way containments between representatives and
+// attributes them to the members' names, sorted for determinism.
+func containments(p *Program) []Containment {
+	var out []Containment
+	for i := range p.Reps {
+		for j := range p.Reps {
+			if i == j {
+				continue
+			}
+			// i strictly contains j (mutual containment collapsed already,
+			// but a differently rendered equivalence may slip through the
+			// incomplete checker; report one direction only then).
+			if Contains(p.Reps[i].Expr, p.Reps[j].Expr) {
+				if i > j && Contains(p.Reps[j].Expr, p.Reps[i].Expr) {
+					continue
+				}
+				container := p.Members[p.Reps[i].Members[0]].Name
+				for _, mi := range p.Reps[j].Members {
+					out = append(out, Containment{Query: p.Members[mi].Name, Container: container})
+				}
+			}
+		}
+	}
+	sort.Slice(out, func(a, b int) bool {
+		if out[a].Query != out[b].Query {
+			return out[a].Query < out[b].Query
+		}
+		return out[a].Container < out[b].Container
+	})
+	return out
+}
+
+// stats fills MergeStats for a compiled program.
+func stats(queries []Query, p *Program) MergeStats {
+	s := MergeStats{Queries: len(queries), Live: len(p.Reps), Contained: len(p.Containments)}
+	for _, m := range p.Members {
+		switch m.Status {
+		case StatusPruned:
+			s.Pruned++
+		case StatusCollapsed:
+			s.Collapsed++
+		}
+	}
+	// Naive: one network per query as written, each with its own sink.
+	for _, q := range queries {
+		c := newNodeCounter()
+		c.count(q.Expr, 0)
+		s.NaiveTransducers += c.nodes + 1
+	}
+	// Merged: all representatives in one network, sharing one counter (and
+	// thus one memo, mirroring the builder's hash-consing), plus one sink
+	// per representative.
+	c := newNodeCounter()
+	for _, r := range p.Reps {
+		c.count(r.Expr, 0)
+	}
+	s.MergedTransducers = c.nodes + len(p.Reps)
+	return s
+}

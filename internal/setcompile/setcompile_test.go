@@ -1,0 +1,339 @@
+package setcompile
+
+import (
+	"testing"
+
+	"repro/internal/rpeq"
+)
+
+func parse(t *testing.T, src string) rpeq.Node {
+	t.Helper()
+	n, err := rpeq.Parse(src)
+	if err != nil {
+		t.Fatalf("parse %q: %v", src, err)
+	}
+	return n
+}
+
+func TestCanonicalize(t *testing.T) {
+	cases := []struct {
+		in, want string
+	}{
+		// Nullable qualifiers disappear.
+		{"a[b*]", "a"},
+		{"a[b?]", "a"},
+		{"a[b*.c?]", "a"},
+		// ε leaves concatenations.
+		{"ε.a", "a"},
+		{"a.ε.b", "a.b"},
+		// Concatenation left-associates (same canonical form both ways).
+		{"a.(b.c)", "a.b.c"},
+		{"(a.b).c", "a.b.c"},
+		// e? collapses when e is nullable.
+		{"(a?)?", "a?"},
+		{"(a*)?", "a*"},
+		// Unions deduplicate, sort and absorb.
+		{"(b|a)", "(a|b)"},
+		{"(a|a)", "a"},
+		{"(a|b|a)", "(a|b)"},
+		{"(_|a)", "_"},
+		{"(a|a[b])", "a"},
+		{"(a+|a)", "a+"},
+		// Nested structure canonicalizes recursively.
+		{"a[(c|b)].d", "a[(b|c)].d"},
+	}
+	for _, c := range cases {
+		got := Canonicalize(parse(t, c.in))
+		want := Canonicalize(parse(t, c.want))
+		if rpeq.Canonical(got) != rpeq.Canonical(want) {
+			t.Errorf("Canonicalize(%q) = %s, want %s", c.in, rpeq.Canonical(got), rpeq.Canonical(want))
+		}
+	}
+}
+
+func TestCanonicalizeEquivalences(t *testing.T) {
+	// Pairs that must meet at the same canonical form.
+	pairs := [][2]string{
+		{"a.b.c", "a.(b.c)"},
+		{"a[b*].c", "a.c"},
+		{"(a|b).c", "(b|a).c"},
+		{"a?", "(a|ε)?"},
+	}
+	for _, p := range pairs {
+		a := rpeq.Canonical(Canonicalize(parse(t, p[0])))
+		b := rpeq.Canonical(Canonicalize(parse(t, p[1])))
+		if a != b {
+			t.Errorf("canonical forms differ: %q → %s, %q → %s", p[0], a, p[1], b)
+		}
+	}
+}
+
+func TestContains(t *testing.T) {
+	cases := []struct {
+		a, b string
+		want bool
+	}{
+		{"a", "a", true},
+		{"_", "a", true},
+		{"a", "_", false},
+		{"a+", "a", true},
+		{"_+", "a", true},
+		{"_+", "a.b", true},
+		{"_*", "ε", true},
+		{"_*.a", "a", true},
+		{"_*.a", "b.a", true},
+		{"_*.a", "b.c.a", true},
+		{"_*.a.b", "a.b", true},
+		{"a.b", "_*.a.b", false},
+		{"a", "a[b]", true},
+		{"a[b]", "a", false},
+		{"a[b]", "a[b.c]", false}, // witness containment, not language containment
+		{"a[_]", "a[b]", true},
+		{"a[_*.b]", "a[b]", true},
+		{"(a|b)", "a", true},
+		{"(a|b)", "(b|a)", true},
+		{"a", "(a|b)", false},
+		{"_*.a", "(b.a|c.a)", true},
+		{"a+", "ε", false},
+		{"a*", "ε", true},
+		{"a.b.c", "a.b", false},
+		{"_._", "a.b", true},
+		{"_._", "a", false},
+		{"a.b*.c", "a.c", true},
+		{"a.b*.c", "a.b.b.c", true},
+		{"a.b+.c", "a.c", false},
+	}
+	for _, c := range cases {
+		got := Contains(parse(t, c.a), parse(t, c.b))
+		if got != c.want {
+			t.Errorf("Contains(%q, %q) = %v, want %v", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestContainsAttributes(t *testing.T) {
+	cases := []struct {
+		a, b string
+		want bool
+	}{
+		{`a[@x]`, `a[@x="1"]`, true},
+		{`a[@x="1"]`, `a[@x]`, false},
+		{`a[@x]`, `a[@x and @y]`, true},
+		{`a[@x and @y]`, `a[@x]`, false},
+		{`a`, `a[@x="1"]`, true},
+	}
+	for _, c := range cases {
+		got := Contains(parse(t, c.a), parse(t, c.b))
+		if got != c.want {
+			t.Errorf("Contains(%q, %q) = %v, want %v", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestUnsatisfiable(t *testing.T) {
+	cases := []struct {
+		in   string
+		want bool
+	}{
+		{"a", false},
+		{"a[b]", false},
+		{"a[not(b)]", false},
+		{"a[not(b*)]", true},
+		{"a[not(b?)]", true},
+		{"a[not(b*)].c", true},
+		{"(a[not(b*)]|c)", false},
+		{"(a[not(b*)]|c[not(d?)])", true},
+		{`a[@x="1" and @x="2"]`, true},
+		{`a[@x="1" and @x!="1"]`, true},
+		{`a[@x="1" and not(@x)]`, true},
+		{`a[@x="1" and @x="1"]`, false},
+		{`a[@x="1" or @x="2"]`, false},
+		{`a[@x="1" and @y="2"]`, false},
+		{`a[@x and not(@y)]`, false},
+	}
+	for _, c := range cases {
+		got := Unsatisfiable(Canonicalize(parse(t, c.in)))
+		if got != c.want {
+			t.Errorf("Unsatisfiable(%q) = %v, want %v", c.in, got, c.want)
+		}
+	}
+}
+
+func TestCompileCollapseAndPrune(t *testing.T) {
+	p := Compile([]Query{
+		{Name: "q0", Expr: parse(t, "a.b.c")},
+		{Name: "q1", Expr: parse(t, "a.(b.c)")},      // same canonical form
+		{Name: "q2", Expr: parse(t, "a.b.c[d*]")},    // nullable qualifier → same
+		{Name: "q3", Expr: parse(t, "a.b.d")},        // distinct
+		{Name: "q4", Expr: parse(t, "a[not(x*)].b")}, // unsatisfiable
+		{Name: "q5", Expr: parse(t, "_*.b.c")},       // contains nothing here, one-way vs none
+	})
+	if got := len(p.Reps); got != 3 {
+		t.Fatalf("reps = %d, want 3", got)
+	}
+	wantStatus := []Status{StatusLive, StatusCollapsed, StatusCollapsed, StatusLive, StatusPruned, StatusLive}
+	for i, w := range wantStatus {
+		if p.Members[i].Status != w {
+			t.Errorf("member %d (%s) status = %v, want %v", i, p.Members[i].Name, p.Members[i].Status, w)
+		}
+	}
+	if p.Members[0].Rep != p.Members[1].Rep || p.Members[0].Rep != p.Members[2].Rep {
+		t.Errorf("collapsed members map to different reps: %d %d %d",
+			p.Members[0].Rep, p.Members[1].Rep, p.Members[2].Rep)
+	}
+	if p.Members[4].Rep != -1 {
+		t.Errorf("pruned member rep = %d, want -1", p.Members[4].Rep)
+	}
+	if p.Stats.Queries != 6 || p.Stats.Pruned != 1 || p.Stats.Collapsed != 2 || p.Stats.Live != 3 {
+		t.Errorf("stats = %+v", p.Stats)
+	}
+	if p.Stats.MergedTransducers >= p.Stats.NaiveTransducers {
+		t.Errorf("merged %d not below naive %d", p.Stats.MergedTransducers, p.Stats.NaiveTransducers)
+	}
+}
+
+func TestCompileContainmentReported(t *testing.T) {
+	p := Compile([]Query{
+		{Name: "wide", Expr: parse(t, "_*.a.b")},
+		{Name: "narrow", Expr: parse(t, "x.a.b")},
+	})
+	if len(p.Reps) != 2 {
+		t.Fatalf("reps = %d, want 2 (one-way containment must not collapse)", len(p.Reps))
+	}
+	if len(p.Containments) != 1 || p.Containments[0].Query != "narrow" || p.Containments[0].Container != "wide" {
+		t.Fatalf("containments = %+v", p.Containments)
+	}
+	if p.Stats.Contained != 1 {
+		t.Errorf("stats.Contained = %d, want 1", p.Stats.Contained)
+	}
+}
+
+func TestRepLimit(t *testing.T) {
+	p := Compile([]Query{
+		{Name: "a", Expr: parse(t, "x.y"), Limit: 2},
+		{Name: "b", Expr: parse(t, "x.y"), Limit: 5},
+	})
+	if len(p.Reps) != 1 || p.Reps[0].Limit != 5 {
+		t.Fatalf("rep limit = %+v, want one rep with limit 5", p.Reps)
+	}
+	p = Compile([]Query{
+		{Name: "a", Expr: parse(t, "x.y"), Limit: 2},
+		{Name: "b", Expr: parse(t, "x.y")},
+	})
+	if p.Reps[0].Limit != 0 {
+		t.Fatalf("rep limit = %d, want 0 (unlimited member)", p.Reps[0].Limit)
+	}
+}
+
+func TestMergedCountsSharePrefixes(t *testing.T) {
+	// Ten queries off one spine: merged cost must grow with the divergent
+	// tails, not with the full corpus.
+	queries := []Query{}
+	tails := []string{"c", "d", "e", "f", "g", "h", "i", "j", "k", "l"}
+	for i, tail := range tails {
+		queries = append(queries, Query{Name: string(rune('a' + i)), Expr: parse(t, "_*.spine.base."+tail)})
+	}
+	p := Compile(queries)
+	if p.Stats.NaiveTransducers < 2*p.Stats.MergedTransducers {
+		t.Errorf("expected ≥2× sharing on a common spine: naive %d, merged %d",
+			p.Stats.NaiveTransducers, p.Stats.MergedTransducers)
+	}
+}
+
+func TestCompilerIncrementalMatchesBatch(t *testing.T) {
+	srcs := []struct {
+		name, src string
+		limit     int64
+	}{
+		{"q0", "a.b.c", 0},
+		{"q1", "a.(b.c)", 3},
+		{"q2", "a.b.d", 0},
+		{"q3", "a[not(x*)]", 0},
+		{"q4", "_*.b", 0},
+		{"q5", "a.b.c[d*]", 1},
+	}
+	c := NewCompiler()
+	var queries []Query
+	for _, s := range srcs {
+		expr := parse(t, s.src)
+		c.Add(s.name, expr, s.limit)
+		queries = append(queries, Query{Name: s.name, Expr: expr, Limit: s.limit})
+	}
+	batch := Compile(queries)
+	inc := c.Program()
+	if len(inc.Members) != len(batch.Members) || len(inc.Reps) != len(batch.Reps) {
+		t.Fatalf("incremental shape %d/%d vs batch %d/%d",
+			len(inc.Members), len(inc.Reps), len(batch.Members), len(batch.Reps))
+	}
+	for i := range batch.Members {
+		if inc.Members[i] != batch.Members[i] {
+			t.Errorf("member %d: incremental %+v, batch %+v", i, inc.Members[i], batch.Members[i])
+		}
+	}
+	if inc.Stats != batch.Stats {
+		t.Errorf("stats: incremental %+v, batch %+v", inc.Stats, batch.Stats)
+	}
+
+	// Removal unlinks and the survivor takes over the representative.
+	if !c.Remove("q0") {
+		t.Fatal("Remove(q0) found nothing")
+	}
+	if c.Remove("q0") {
+		t.Fatal("Remove(q0) twice")
+	}
+	after := c.Program()
+	if after.Stats.Queries != 5 {
+		t.Fatalf("after removal: %+v", after.Stats)
+	}
+	if after.Members[0].Name != "q1" || after.Members[0].Status != StatusLive {
+		t.Errorf("q1 should take over the rep: %+v", after.Members[0])
+	}
+
+	// Removing every member of a rep frees it; re-adding recreates it.
+	c.Remove("q1")
+	c.Remove("q5")
+	p := c.Program()
+	for _, m := range p.Members {
+		if m.Canonical == "((a.b).c)" {
+			t.Errorf("rep should be gone, found member %+v", m)
+		}
+	}
+	c.Add("q6", parse(t, "a.b.c"), 0)
+	p = c.Program()
+	last := p.Members[len(p.Members)-1]
+	if last.Status != StatusLive {
+		t.Errorf("re-added query should be live: %+v", last)
+	}
+}
+
+func TestCompilerEquivalenceAcrossForms(t *testing.T) {
+	c := NewCompiler()
+	c.Add("a", parse(t, "x[y*].z"), 0)
+	m := c.Add("b", parse(t, "x.z"), 0)
+	if m.Status != StatusCollapsed {
+		t.Fatalf("equivalent add should collapse, got %v", m.Status)
+	}
+	if got := c.Stats(); got.Live != 1 || got.Collapsed != 1 {
+		t.Errorf("stats = %+v", got)
+	}
+}
+
+func TestNodeCounterMatchesBuilderSharing(t *testing.T) {
+	// The same expression counted twice from the same tape costs once.
+	c := newNodeCounter()
+	e := parse(t, "a.b[c].d*")
+	c.count(e, 0)
+	n1 := c.nodes
+	c.count(e, 0)
+	if c.nodes != n1 {
+		t.Errorf("recount added nodes: %d → %d", n1, c.nodes)
+	}
+	// A shared prefix costs only the divergent tail.
+	c2 := newNodeCounter()
+	c2.count(parse(t, "a.b.c"), 0)
+	base := c2.nodes
+	c2.count(parse(t, "a.b.d"), 0)
+	if c2.nodes != base+1 {
+		t.Errorf("divergent tail should cost 1 node, cost %d", c2.nodes-base)
+	}
+}

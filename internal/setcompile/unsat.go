@@ -1,0 +1,116 @@
+package setcompile
+
+import (
+	"repro/internal/rpeq"
+)
+
+// Unsatisfiable reports whether the expression can match no node on any
+// document: its answer is statically the empty set, so no transducers need
+// to be built for it. Sound and incomplete — true means provably empty.
+//
+// The detected classes are the two that arise from the front ends' predicate
+// lowering (rpeq/condalgebra.go):
+//
+//   - a statically false negated condition: [not(cond)] with ε ∈ L(cond) —
+//     the candidate itself witnesses cond at the event opening its scope,
+//     so not(cond) never holds (the same analysis compileNegQualifier uses
+//     to compile a drop node; here the whole query is dropped instead),
+//   - a contradictory attribute formula: a conjunction demanding two
+//     different values for one attribute, a value for an absent attribute,
+//     or a term and its negation.
+//
+// A concatenation is empty if any item is; a union if all branches are; a
+// qualifier if its base is empty or its condition can never hold.
+func Unsatisfiable(n rpeq.Node) bool {
+	switch n := n.(type) {
+	case *rpeq.Concat:
+		return Unsatisfiable(n.Left) || Unsatisfiable(n.Right)
+	case *rpeq.Union:
+		return Unsatisfiable(n.Left) && Unsatisfiable(n.Right)
+	case *rpeq.Optional, *rpeq.Star:
+		// Nullable: matches the context node itself at worst.
+		return false
+	case *rpeq.Qualifier:
+		return Unsatisfiable(n.Base) || condFalse(n.Cond)
+	case *rpeq.AttrTest:
+		return attrFalse(n.Pred)
+	case *rpeq.TextTest:
+		return Unsatisfiable(n.Path)
+	case *rpeq.CondNot:
+		// On the spine (a disjunct of an 'or' lowering) this is the
+		// self-qualifier ε[not(expr)]: statically false iff expr is
+		// nullable.
+		return rpeq.Nullable(n.Expr)
+	default:
+		return false
+	}
+}
+
+// condFalse reports whether a qualifier condition can never hold.
+func condFalse(c rpeq.Node) bool {
+	if rpeq.Nullable(c) {
+		// Trivially true, not false (and eliminated by Canonicalize).
+		return false
+	}
+	if cn, ok := c.(*rpeq.CondNot); ok {
+		return rpeq.Nullable(cn.Expr)
+	}
+	// A condition that selects nothing is never witnessed.
+	return Unsatisfiable(c)
+}
+
+// attrFalse reports whether an attribute formula is a contradiction: no
+// attribute list can satisfy it.
+func attrFalse(p rpeq.AttrExpr) bool {
+	switch p := p.(type) {
+	case *rpeq.AttrOr:
+		return attrFalse(p.Left) && attrFalse(p.Right)
+	case *rpeq.AttrAnd:
+		conj := flattenConj(nil, p)
+		for i, a := range conj {
+			if attrFalse(a) {
+				return true
+			}
+			for _, b := range conj[i+1:] {
+				if conjContradicts(a, b) || conjContradicts(b, a) {
+					return true
+				}
+			}
+		}
+	}
+	return false
+}
+
+// flattenConj collects the conjuncts of a nested AttrAnd.
+func flattenConj(out []rpeq.AttrExpr, p rpeq.AttrExpr) []rpeq.AttrExpr {
+	if a, ok := p.(*rpeq.AttrAnd); ok {
+		out = flattenConj(out, a.Left)
+		return flattenConj(out, a.Right)
+	}
+	return append(out, p)
+}
+
+// conjContradicts reports whether conjuncts a and b cannot hold together.
+func conjContradicts(a, b rpeq.AttrExpr) bool {
+	// A term alongside a negation it implies: x ∧ ¬y with x ⇒ y.
+	if nb, ok := b.(*rpeq.AttrNot); ok {
+		if attrImplies(a, nb.Expr) {
+			return true
+		}
+	}
+	al, aok := a.(*rpeq.AttrLeaf)
+	bl, bok := b.(*rpeq.AttrLeaf)
+	if !aok || !bok || al.Name != bl.Name {
+		return false
+	}
+	switch {
+	case al.Op == rpeq.AttrEq && bl.Op == rpeq.AttrEq:
+		// One attribute, two different required values.
+		return al.Value != bl.Value
+	case al.Op == rpeq.AttrEq && bl.Op == rpeq.AttrNeq:
+		return al.Value == bl.Value
+	case al.Op == rpeq.AttrNeq && bl.Op == rpeq.AttrEq:
+		return al.Value == bl.Value
+	}
+	return false
+}

@@ -85,6 +85,7 @@ const (
 
 type setConfig struct {
 	engine  setEngineKind
+	merged  bool
 	shards  int
 	gov     *governor.Config
 	metrics *obs.Metrics
@@ -103,6 +104,18 @@ func Sequential() SetOption {
 // multi-query optimization).
 func Shared() SetOption {
 	return func(c *setConfig) { c.engine = setShared }
+}
+
+// Merged runs the set through the query-set compiler before the network is
+// built: each query is canonicalized (so equivalent subscriptions become
+// structurally identical and share transducers), statically unsatisfiable
+// queries are pruned without compiling a single transducer, and equivalent
+// queries collapse onto one shared sink whose answers are remapped to every
+// member — with per-query counts and answer limits preserved exactly.
+// Answers are byte-identical to the other engines'. Combined with
+// Parallel, each shard evaluates its partition through a merged network.
+func Merged() SetOption {
+	return func(c *setConfig) { c.merged = true }
 }
 
 // Parallel partitions the set's queries over a pool of worker shards fed in
@@ -249,15 +262,24 @@ func (s *Set) EvaluateContext(ctx context.Context, r io.Reader) error {
 	case setParallel:
 		eng, err = multi.NewParallelSet(subs, multi.ParallelOptions{
 			Shards:   s.cfg.shards,
+			Merged:   s.cfg.merged,
 			Governor: s.cfg.gov,
 			Metrics:  s.cfg.metrics,
 			TraceID:  s.cfg.traceID,
 		})
 	default:
-		eng, err = multi.NewSharedSet(subs, engineOpts...)
+		if s.cfg.merged {
+			eng, err = multi.NewMergedSet(subs, engineOpts...)
+		} else {
+			eng, err = multi.NewSharedSet(subs, engineOpts...)
+		}
 	}
 	if err != nil {
 		return err
+	}
+	if ms, ok := eng.(*multi.MergedSet); ok && s.cfg.metrics != nil {
+		st := ms.MergeStats()
+		s.cfg.metrics.SetSetcompile(st.NaiveTransducers, st.MergedTransducers, st.Pruned, st.Collapsed, st.Contained)
 	}
 	if m := s.cfg.metrics; m != nil {
 		// Counting the input here also stamps the last-read timestamp the
