@@ -3,7 +3,7 @@ FUZZTIME ?= 15s
 BENCH_DIR ?= bench-out
 COVER_MIN ?= 78.0
 
-.PHONY: check fmt vet build test race bench cover fuzz-smoke bench-smoke bench-delta serve-smoke metrics-lint vuln
+.PHONY: check fmt vet build test race bench cover fuzz-smoke bench-smoke bench-delta ingest-race serve-smoke metrics-lint vuln
 
 ## check: the full gate — formatting, vet, build, tests under the race
 ## detector, and the metrics-name lint
@@ -60,7 +60,9 @@ bench-smoke:
 	$(GO) run ./cmd/spexbench -fig obs-overhead -scale 0.05 -max-overhead 10 -check -json $(BENCH_DIR)
 	$(GO) run ./cmd/spexbench -fig early-term -scale 0.02 -check -json $(BENCH_DIR)
 	$(GO) run ./cmd/spexbench -fig value-pred -scale 0.1 -check -json $(BENCH_DIR)
+	$(GO) run ./cmd/spexbench -fig ingest -scale 0.05 -check -json $(BENCH_DIR)
 	$(GO) test -run 'TestCountModeZeroAlloc$$' -count 1 .
+	$(GO) test -run 'TestIngestZeroAlloc$$' -count 1 ./internal/xmlstream
 	$(GO) test -run NONE -bench 'BenchmarkAblationInterning$$' -benchtime 1x .
 
 ## bench-delta: benchstat-style comparison of $(BENCH_DIR) against a
@@ -72,6 +74,17 @@ BENCH_PREV ?= bench-prev
 DELTA_MAX ?= 10
 bench-delta:
 	$(GO) run ./cmd/spexbench -json $(BENCH_DIR) -delta $(BENCH_PREV) -delta-max $(DELTA_MAX)
+
+## ingest-race: the ingest lockdown under the race detector — the
+## seed-vs-zerocopy-vs-parallel differential harness, the chunk-scan
+## stitcher (including fuzz seed corpora), accounting parity, and the
+## server's mmap side-load route, all with concurrency checking on
+ingest-race:
+	$(GO) test -race -count 1 \
+		-run 'TestDifferential|TestParallel|TestIngest|TestScannerAccounting|TestOpenFile|FuzzScanner' \
+		./internal/xmlstream
+	$(GO) test -race -count 1 -run 'TestSideload' ./internal/server
+	$(GO) test -race -count 1 -run 'TestEvaluateBytes|TestParallelScan' .
 
 ## serve-smoke: boot a real spexd, drive subscribe → ingest → NDJSON result
 ## with curl against the Fig. 1 document, then check a clean SIGTERM drain

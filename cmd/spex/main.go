@@ -26,6 +26,12 @@
 //	-engine E  evaluate through the multi-query engine the spexd server
 //	           uses: sequential, shared or parallel[:shards] (requires
 //	           -count or -nodes)
+//	-file F    evaluate file F through the mmap + zero-copy ingest fast
+//	           path: the document is mapped read-only and scanned in place,
+//	           with no per-event allocation
+//	-pscan N   with -file: tokenize with the parallel chunk scanner on N
+//	           workers (negative = one per CPU); the stitched event stream
+//	           is identical to a serial scan's
 package main
 
 import (
@@ -70,6 +76,8 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) error {
 		traceID   = fs.String("trace-id", "", "stream trace id stamped on every -trace record (correlates runs in shared logs)")
 		windowN   = fs.Int("window", 0, "evaluate in windows of N top-level records (0 = exact whole-stream evaluation)")
 		engine    = fs.String("engine", "", "evaluate through the multi-query engine: sequential, shared or parallel[:shards] (requires -count or -nodes)")
+		file      = fs.String("file", "", "evaluate this file through the mmap + zero-copy ingest fast path (no positional file or stdin)")
+		pscan     = fs.Int("pscan", 0, "with -file: parallel chunk-scan worker count (0 = serial zero-copy scan, negative = one per CPU)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -81,6 +89,27 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) error {
 	}
 
 	in := stdin
+	// doc is the mmap'd (or slurped) -file document; docSrc builds a fresh
+	// zero-copy or parallel chunk-scan source over it.
+	var doc *xmlstream.Doc
+	docSrc := func(opts ...xmlstream.ScannerOption) xmlstream.Source {
+		if *pscan != 0 {
+			return xmlstream.NewParallelScanner(doc.Data(), *pscan, opts...)
+		}
+		return xmlstream.ScanBytes(doc.Data(), opts...)
+	}
+	if *file != "" {
+		if fs.NArg() > 0 {
+			return fmt.Errorf("-file and a positional input file are mutually exclusive")
+		}
+		doc, err = xmlstream.OpenFile(*file)
+		if err != nil {
+			return err
+		}
+		defer doc.Close()
+	} else if *pscan != 0 {
+		return fmt.Errorf("-pscan requires -file (splitting needs the whole document in memory)")
+	}
 	switch fs.NArg() {
 	case 0:
 	case 1:
@@ -104,11 +133,18 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) error {
 		if !*count && !*nodes {
 			return fmt.Errorf("-engine requires -count or -nodes (the multi-query engines report answer positions, not subtrees)")
 		}
-		return runEngine(*engine, *query, *xpath, in, out, *count)
+		return runEngine(*engine, *query, *xpath, in, doc, *pscan, out, *count)
 	}
 
 	if *windowN > 0 {
-		wstats, err := window.Evaluate(plan, xmlstream.NewScanner(in), *windowN,
+		wsrc := xmlstream.Source(xmlstream.NewScanner(in))
+		if doc != nil {
+			wsrc = docSrc()
+			if st, ok := wsrc.(interface{ Stop() }); ok {
+				defer st.Stop() // release chunk workers if the pass errors out early
+			}
+		}
+		wstats, err := window.Evaluate(plan, wsrc, *windowN,
 			func(widx int, r spexnet.Result) {
 				if !*count {
 					fmt.Fprintf(out, "window %d\t%d\t%s\n", widx, r.Index, r.Name)
@@ -168,7 +204,13 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) error {
 	if err != nil {
 		return err
 	}
-	src := xmlstream.NewScanner(in)
+	var src xmlstream.Source = xmlstream.NewScanner(in)
+	if doc != nil {
+		src = docSrc(xmlstream.WithSymtab(plan.Symtab()))
+		if st, ok := src.(interface{ Stop() }); ok {
+			defer st.Stop() // release chunk workers if the pass errors out early
+		}
+	}
 	for {
 		ev, err := src.Next()
 		if err == io.EOF {
@@ -193,6 +235,11 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) error {
 		fmt.Fprintf(stderr, "events=%d elements=%d depth=%d transducers=%d maxstack=%d maxformula=%d matches=%d candidates=%d dropped=%d\n",
 			st.Events, st.Elements, st.MaxDepth, st.Transducers, st.MaxStack, st.MaxFormula,
 			st.Output.Matches, st.Output.Candidates, st.Output.Dropped)
+		if is, ok := src.(interface{ IngestStats() xmlstream.IngestStats }); ok {
+			ist := is.IngestStats()
+			fmt.Fprintf(stderr, "ingest: mmap=%v chunks=%d arena_bytes=%d arena_blocks=%d arena_attrs=%d buffer_bytes=%d\n",
+				doc != nil && doc.Mapped(), ist.Chunks, ist.ArenaBytes, ist.ArenaBlocks, ist.ArenaAttrs, ist.BufferBytes)
+		}
 		writeTransducerTable(stderr, evalRun.Snapshot())
 	}
 	return nil
@@ -201,7 +248,7 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) error {
 // runEngine evaluates the query through the same engine selection the
 // server's channels use (spex.Set on sequential, shared or parallel), so
 // the CLI can sanity-check an engine against the plain evaluator.
-func runEngine(sel, query string, xpath bool, in io.Reader, out *bufio.Writer, countOnly bool) error {
+func runEngine(sel, query string, xpath bool, in io.Reader, doc *xmlstream.Doc, pscan int, out *bufio.Writer, countOnly bool) error {
 	eng, err := server.ParseEngine(sel)
 	if err != nil {
 		return err
@@ -215,12 +262,21 @@ func runEngine(sel, query string, xpath bool, in io.Reader, out *bufio.Writer, c
 	if err != nil {
 		return err
 	}
+	setOpts := []spex.SetOption{eng.Option()}
+	if pscan != 0 {
+		setOpts = append(setOpts, spex.ParallelScan(pscan))
+	}
 	set := spex.NewSet([]*spex.Query{q}, func(_ int, m spex.Match) {
 		if !countOnly {
 			fmt.Fprintf(out, "%d\t%s\n", m.Index, m.Name)
 		}
-	}, eng.Option())
-	if err := set.Evaluate(in); err != nil {
+	}, setOpts...)
+	if doc != nil {
+		err = set.EvaluateBytes(doc.Data())
+	} else {
+		err = set.Evaluate(in)
+	}
+	if err != nil {
 		return err
 	}
 	if countOnly {

@@ -71,6 +71,7 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 		govDepth     = fs.Int("gov-max-depth", 0, "governor: max document nesting depth (0 = unlimited)")
 		govPolicy    = fs.String("gov-policy", "fail", "governor trip policy: fail (429), degrade (count-only) or shed (drop query)")
 		slowMs       = fs.Int("slow-ms", 0, "record ingests slower than this (ms) in the /debug/spex slow-stream ring (0 = off)")
+		sideload     = fs.String("sideload", "", "enable POST /v1/channels/{channel}/sideload for files under this directory (mmap + zero-copy ingest)")
 		drainTO      = fs.Duration("drain-timeout", 30*time.Second, "graceful shutdown drain deadline")
 		readHeaderTO = fs.Duration("read-header-timeout", 5*time.Second, "http server read-header timeout")
 		idleTO       = fs.Duration("idle-timeout", 120*time.Second, "http server idle-connection timeout")
@@ -107,6 +108,7 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 		EngineMetrics: obs.NewMetrics(),
 		Logf:          logf,
 		SlowThreshold: time.Duration(*slowMs) * time.Millisecond,
+		SideloadDir:   *sideload,
 	})
 	if err != nil {
 		return err

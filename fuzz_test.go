@@ -179,5 +179,34 @@ func FuzzEngineEquivalence(f *testing.F) {
 					e.name, query, doc, got, want)
 			}
 		}
+		// Parallel chunk-scan ingest arm: the stitched event stream must
+		// drive an engine to the oracle's counts too. Split targets are
+		// fuzzed from the program bytes, so boundary choices land inside
+		// tags, attribute values and text runs at the splitter's discretion.
+		if n := len(doc); n > 1 {
+			h := uint64(n) * 0x9E3779B97F4A7C15
+			for _, c := range prog {
+				h = (h ^ uint64(c)) * 0x100000001B3
+			}
+			var targets []int
+			for k := 0; k < 1+int(h%3); k++ {
+				h ^= h >> 12
+				h ^= h << 25
+				h ^= h >> 27
+				targets = append(targets, int((h*0x2545F4914F6CDD1D)%uint64(n)))
+			}
+			eng, err := multi.NewSet(sub())
+			if err != nil {
+				t.Fatalf("parallel-scan: building engine for %q: %v", query, err)
+			}
+			src := xmlstream.NewParallelScannerAt([]byte(doc), targets, xmlstream.WithText(false))
+			if err := eng.Run(src); err != nil {
+				t.Fatalf("parallel-scan: %q over %q at %v: %v", query, doc, targets, err)
+			}
+			if got := eng.Matches()["q"]; got != want {
+				t.Fatalf("parallel-scan ingest diverges from the DOM oracle on %q over %q at %v: %d matches, oracle %d",
+					query, doc, targets, got, want)
+			}
+		}
 	})
 }

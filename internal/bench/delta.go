@@ -60,10 +60,15 @@ func CompareReports(w io.Writer, oldDir, newDir string, maxPct float64) error {
 }
 
 // gated reports whether a row is under the regression gate: SPEX on a DMOZ
-// qualifier query. These are the steady-state streaming rows the reproduction
-// lives on; everything else (baseline engines, tiny documents, prefix reads)
-// is too noisy or too peripheral to fail a build over.
+// qualifier query (the steady-state streaming rows the reproduction lives
+// on), plus the zero-copy scanner's DMOZ ingest rows (the hardware-speed
+// claim). Everything else (baseline engines, tiny documents, prefix reads,
+// the seed and parallel ablation arms) is too noisy or too peripheral to
+// fail a build over.
 func (r deltaRow) gated() bool {
+	if r.Engine == "ingest-zerocopy" && strings.HasPrefix(r.Dataset, "dmoz") {
+		return true
+	}
 	return r.Engine == "spex" &&
 		strings.HasPrefix(r.Dataset, "dmoz") &&
 		strings.Contains(r.Query, "[")

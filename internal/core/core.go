@@ -132,6 +132,14 @@ type EvalOptions struct {
 	// record of this evaluation, correlating it with the request or stream
 	// that started it. Empty leaves trace records unstamped.
 	TraceID string
+	// ParallelScan enables the parallel chunk-scan ingest path for
+	// bytes-fed evaluations (EvaluateBytes): the document is split at safe
+	// byte boundaries, chunks are tokenized concurrently, and the stitched
+	// event stream feeds the network. Positive values pick the worker
+	// count, negative means one worker per CPU, zero (the default) scans
+	// serially on the zero-copy engine. Reader-fed evaluations ignore it —
+	// splitting needs the whole document in memory.
+	ParallelScan int
 	// Limit caps the answer count for this evaluation: positive overrides
 	// the plan's own limit, zero uses the plan's (from a "limit N"/"first"
 	// clause), negative forces unlimited evaluation regardless of the plan.
@@ -188,8 +196,12 @@ func (p *Plan) Evaluate(src xmlstream.Source, opts EvalOptions) (spexnet.Stats, 
 	// A scanner source shares the evaluation's symbol table so events
 	// arrive pre-resolved; a scanner already bound to another table keeps
 	// it and the network compiles against that table instead — symbols
-	// from different tables must never meet.
-	if sc, ok := src.(*xmlstream.Scanner); ok {
+	// from different tables must never meet. The interface admits both the
+	// serial Scanner and the ParallelScanner.
+	if sc, ok := src.(interface {
+		AdoptSymtab(*xmlstream.Symtab) bool
+		SymtabInUse() *xmlstream.Symtab
+	}); ok {
 		if st := opts.symtabFor(p); st != nil && !sc.AdoptSymtab(st) {
 			opts.Symtab = sc.SymtabInUse()
 		}
@@ -198,7 +210,31 @@ func (p *Plan) Evaluate(src xmlstream.Source, opts EvalOptions) (spexnet.Stats, 
 	if err != nil {
 		return spexnet.Stats{}, err
 	}
-	return net.Run(src)
+	stats, err := net.Run(src)
+	publishIngest(opts, src)
+	return stats, err
+}
+
+// publishIngest surfaces the source's arena/buffer accounting on the
+// attached metrics registry after a scan, when the source is one of the
+// xmlstream scanners. Published once per evaluation rather than per event:
+// the arenas only grow monotonically within a scan, so the final reading is
+// the scan's footprint.
+func publishIngest(opts EvalOptions, src xmlstream.Source) {
+	m := opts.Metrics
+	if m == nil {
+		m = opts.SinkMetrics
+	}
+	if m == nil {
+		return
+	}
+	if cs, ok := src.(*ctxSource); ok {
+		src = cs.src
+	}
+	if is, ok := src.(interface{ IngestStats() xmlstream.IngestStats }); ok {
+		st := is.IngestStats()
+		m.SetIngest(st.ArenaBytes, st.ArenaBlocks, st.ArenaAttrs, st.BufferBytes, st.Chunks)
+	}
 }
 
 // EvaluateReader is Evaluate over raw XML bytes. Character data plays no
@@ -239,6 +275,68 @@ func (p *Plan) EvaluateReader(r io.Reader, opts EvalOptions) (spexnet.Stats, err
 		err = opts.Ctx.Err()
 	}
 	return stats, err
+}
+
+// EvaluateBytes is Evaluate over an in-memory document — the mmap/file fast
+// path. The scanner works zero-copy on data (names, text and attribute
+// values are arena-backed views, never per-event allocations), and with
+// opts.ParallelScan non-zero the document is chunk-scanned concurrently and
+// the stitched event stream feeds the network. data must not be mutated
+// while the evaluation runs.
+func (p *Plan) EvaluateBytes(data []byte, opts EvalOptions) (spexnet.Stats, error) {
+	withText := opts.Mode == spexnet.ModeSerialize || opts.Mode == spexnet.ModeStream ||
+		rpeq.HasTextTest(p.expr)
+	withAttrs := opts.Mode == spexnet.ModeSerialize || opts.Mode == spexnet.ModeStream ||
+		rpeq.HasAttrTest(p.expr)
+	scanOpts := []xmlstream.ScannerOption{xmlstream.WithText(withText), xmlstream.WithAttributes(withAttrs)}
+	if st := opts.symtabFor(p); st != nil {
+		scanOpts = append(scanOpts, xmlstream.WithSymtab(st))
+	}
+	var src xmlstream.Source
+	if opts.ParallelScan != 0 {
+		ps := xmlstream.NewParallelScanner(data, opts.ParallelScan, scanOpts...)
+		// A pass that stops before EOF (answer limit, cancellation) abandons
+		// the source; the chunk workers must be released.
+		defer ps.Stop()
+		src = ps
+	} else {
+		src = xmlstream.ScanBytes(data, scanOpts...)
+	}
+	if m := opts.Metrics; m != nil {
+		m.Bytes.Add(int64(len(data)))
+	} else if m := opts.SinkMetrics; m != nil {
+		m.Bytes.Add(int64(len(data)))
+	}
+	if opts.Ctx != nil {
+		src = &ctxSource{ctx: opts.Ctx, src: src}
+	}
+	stats, err := p.Evaluate(src, opts)
+	if err == nil && opts.Ctx != nil {
+		err = opts.Ctx.Err()
+	}
+	return stats, err
+}
+
+// ctxSource threads a context through a bytes-fed event source the way
+// ctxReader does for readers: cancellation is checked on a short stride of
+// events and surfaces as the source's error, unwinding the evaluation.
+type ctxSource struct {
+	ctx context.Context
+	src xmlstream.Source
+	n   int
+}
+
+// ctxSourceStride is how many events flow between context checks.
+const ctxSourceStride = 128
+
+func (c *ctxSource) Next() (xmlstream.Event, error) {
+	if c.n++; c.n >= ctxSourceStride {
+		c.n = 0
+		if err := c.ctx.Err(); err != nil {
+			return xmlstream.Event{}, err
+		}
+	}
+	return c.src.Next()
 }
 
 // ctxReader aborts an evaluation's input at context cancellation: the

@@ -159,6 +159,11 @@ func WritePrometheus(w io.Writer, s Snapshot) {
 	p.Gauge("spex_buffered_events", "buffered answer-content events", s.Buffered)
 	p.Gauge("spex_buffered_events_max", "maximum simultaneously buffered content events", s.MaxBuffered)
 	p.Counter("spex_early_terminations_total", "sinks whose answer became fixed before end of stream (limit reached)", s.EarlyTerms)
+	p.Gauge("spex_ingest_arena_bytes", "arena tape bytes carved by the most recent completed scan", s.IngestArenaBytes)
+	p.Gauge("spex_ingest_arena_blocks", "arena tape blocks in use after the most recent completed scan", s.IngestArenaBlocks)
+	p.Gauge("spex_ingest_arena_attrs", "attribute slots carved from the attr arena by the most recent completed scan", s.IngestArenaAttrs)
+	p.Gauge("spex_ingest_buffer_bytes", "scan buffer size of the most recent completed scan", s.IngestBufferBytes)
+	p.Gauge("spex_ingest_chunks", "chunks of the most recent completed scan (1 = serial, more = parallel chunk-scan)", s.IngestChunks)
 	p.Gauge("spex_symtab_size", "distinct label names interned in the symbol table", s.SymtabSize)
 	p.Counter("spex_symtab_hits_total", "symbol-table lookups answered from the read-mostly snapshot", s.SymtabHits)
 	p.Counter("spex_symtab_misses_total", "symbol-table lookups that inserted a new name", s.SymtabMisses)

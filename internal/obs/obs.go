@@ -321,6 +321,19 @@ type Metrics struct {
 	// governor's live_vars cap.
 	LiveVars Gauge
 
+	// Ingest-path instruments (internal/xmlstream): the arena tape and scan
+	// buffer of the zero-copy scanner that fed the last completed scan, and
+	// the chunk count of a parallel chunk-scan (1 for a serial scan). Set
+	// once per finished scan by whoever owns the scanner (core evaluations,
+	// the query-set engines, spexd sessions), so a scrape mid-service shows
+	// the most recent stream's ingest footprint — the quantities behind the
+	// E22 ablation.
+	IngestArenaBytes  Gauge
+	IngestArenaBlocks Gauge
+	IngestArenaAttrs  Gauge
+	IngestBufferBytes Gauge
+	IngestChunks      Gauge
+
 	// Symbol-interning instruments: size and cumulative hit/miss counts of
 	// the symbol table the observed evaluation resolves labels against.
 	// Tables may be shared across evaluations (a multi-query engine, a
@@ -391,6 +404,23 @@ func (m *Metrics) SetSetcompile(naive, merged, pruned, collapsed, contained int)
 	m.SetcompilePruned.Set(int64(pruned))
 	m.SetcompileCollapsed.Set(int64(collapsed))
 	m.SetcompileContained.Set(int64(contained))
+}
+
+// SetIngest publishes the ingest accounting of a finished scan: arena bytes,
+// blocks and attribute slots carved from the scanner's arenas, the scan
+// buffer size, and the chunk count (1 for a serial scan, the worker chunk
+// count for a parallel chunk-scan). Plain integers rather than the
+// xmlstream.IngestStats struct, so the observability package stays free of
+// scanner imports. Safe on a nil receiver (uninstrumented run).
+func (m *Metrics) SetIngest(arenaBytes, arenaBlocks, arenaAttrs, bufferBytes, chunks int64) {
+	if m == nil {
+		return
+	}
+	m.IngestArenaBytes.Set(arenaBytes)
+	m.IngestArenaBlocks.Set(arenaBlocks)
+	m.IngestArenaAttrs.Set(arenaAttrs)
+	m.IngestBufferBytes.Set(bufferBytes)
+	m.IngestChunks.Set(chunks)
 }
 
 // SetShards installs the per-shard instruments of the worker pool the

@@ -39,6 +39,15 @@ type Snapshot struct {
 	// stream (answer limits reached; earliest query answering).
 	EarlyTerms int64 `json:"early_terminations"`
 
+	// Ingest-path accounting of the most recent completed scan: arena tape
+	// bytes/blocks/attr slots, scan buffer size, and the chunk count (1 for
+	// a serial scan, the worker chunk count for a parallel chunk-scan).
+	IngestArenaBytes  int64 `json:"ingest_arena_bytes"`
+	IngestArenaBlocks int64 `json:"ingest_arena_blocks"`
+	IngestArenaAttrs  int64 `json:"ingest_arena_attrs"`
+	IngestBufferBytes int64 `json:"ingest_buffer_bytes"`
+	IngestChunks      int64 `json:"ingest_chunks"`
+
 	// Symbol-table instruments: interner size and cumulative lookup
 	// hit/miss counts (cumulative for the table, which may outlive the run).
 	SymtabSize   int64 `json:"symtab_size"`
@@ -165,6 +174,12 @@ func (m *Metrics) Snapshot() Snapshot {
 		Buffered:    m.Buffered.Cur(),
 		MaxBuffered: m.Buffered.Max(),
 		EarlyTerms:  m.EarlyTerm.Load(),
+
+		IngestArenaBytes:  m.IngestArenaBytes.Load(),
+		IngestArenaBlocks: m.IngestArenaBlocks.Load(),
+		IngestArenaAttrs:  m.IngestArenaAttrs.Load(),
+		IngestBufferBytes: m.IngestBufferBytes.Load(),
+		IngestChunks:      m.IngestChunks.Load(),
 
 		SymtabSize:        m.SymtabSize.Load(),
 		SymtabHits:        m.SymtabHits.Load(),

@@ -5,6 +5,7 @@ package client
 
 import (
 	"bufio"
+	"bytes"
 	"context"
 	"encoding/json"
 	"fmt"
@@ -165,6 +166,27 @@ func (c *Client) IngestWithTrace(ctx context.Context, channel, trace string, r i
 	if trace != "" {
 		hreq.Header.Set(server.TraceHeader, trace)
 	}
+	var sum server.IngestSummary
+	err = c.doJSON(hreq, http.StatusOK, &sum)
+	return sum, err
+}
+
+// Sideload asks the server to evaluate a document that already sits in its
+// side-load directory: file is a relative path under that directory, and
+// workers selects the ingest mode (0 = serial zero-copy scan, positive =
+// parallel chunk-scan with that many workers, negative = one per CPU). The
+// document never crosses the wire — the server mmaps and scans it in place.
+func (c *Client) Sideload(ctx context.Context, channel, file string, workers int) (server.IngestSummary, error) {
+	body, err := json.Marshal(server.SideloadRequest{File: file, Workers: workers})
+	if err != nil {
+		return server.IngestSummary{}, err
+	}
+	hreq, err := http.NewRequestWithContext(ctx, http.MethodPost,
+		c.base+"/v1/channels/"+channel+"/sideload", bytes.NewReader(body))
+	if err != nil {
+		return server.IngestSummary{}, err
+	}
+	hreq.Header.Set("Content-Type", "application/json")
 	var sum server.IngestSummary
 	err = c.doJSON(hreq, http.StatusOK, &sum)
 	return sum, err

@@ -9,7 +9,9 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"path/filepath"
 	"strconv"
+	"strings"
 	"sync/atomic"
 	"time"
 
@@ -17,6 +19,7 @@ import (
 	"repro/internal/obs"
 	"repro/internal/rpeq"
 	"repro/internal/setcompile"
+	"repro/internal/xmlstream"
 )
 
 // SubscribeRequest is the POST /v1/subscriptions body.
@@ -98,6 +101,7 @@ func (s *Server) routes() *http.ServeMux {
 	mux.HandleFunc("DELETE /v1/subscriptions/{id}", s.gated(s.handleUnsubscribe))
 	mux.HandleFunc("GET /v1/subscriptions/{id}/results", s.gated(s.handleResults))
 	mux.HandleFunc("POST /v1/channels/{channel}/ingest", s.gated(s.handleIngest))
+	mux.HandleFunc("POST /v1/channels/{channel}/sideload", s.gated(s.handleSideload))
 	mux.HandleFunc("GET /v1/channels", s.gated(s.handleChannels))
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /readyz", s.handleReadyz)
@@ -543,6 +547,126 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 		Subscriptions: len(sess.subs),
 		Matches:       matches,
 		Bytes:         read,
+		Trace:         trace,
+		Determined:    sess.determined,
+	})
+}
+
+// SideloadRequest is the POST /v1/channels/{channel}/sideload body.
+type SideloadRequest struct {
+	// File names the document to evaluate, relative to the server's
+	// side-load directory; paths escaping the directory are rejected.
+	File string `json:"file"`
+	// Workers selects the ingest mode: 0 scans serially on the zero-copy
+	// engine, a positive count parallel chunk-scans with that many workers,
+	// negative means one worker per CPU.
+	Workers int `json:"workers,omitempty"`
+}
+
+// handleSideload is ingest without the wire: the client names a file under
+// the configured side-load directory and the server mmaps it and streams it
+// through the channel's subscription set in place — the zero-copy fast path,
+// parallel chunk-scanned when the request asks for workers. The session
+// lifecycle (admission, drain gating, timeout, slow-stream recording,
+// metrics) matches handleIngest; only the document source differs.
+func (s *Server) handleSideload(w http.ResponseWriter, r *http.Request) {
+	if s.sideloadDir == "" {
+		s.writeError(w, http.StatusNotFound, "side-loading is not enabled (no side-load directory configured)", false)
+		return
+	}
+	ch := s.mgr.channelByName(r.PathValue("channel"))
+	if ch == nil {
+		s.writeError(w, http.StatusNotFound, "no such channel (subscribe first)", false)
+		return
+	}
+	var req SideloadRequest
+	if err := readJSON(r, &req); err != nil {
+		s.writeError(w, http.StatusBadRequest, err.Error(), false)
+		return
+	}
+	clean := filepath.Clean(req.File)
+	if req.File == "" || filepath.IsAbs(clean) || clean == ".." || strings.HasPrefix(clean, ".."+string(filepath.Separator)) {
+		s.writeError(w, http.StatusBadRequest, "file must be a relative path inside the side-load directory", false)
+		return
+	}
+	trace := r.Header.Get(TraceHeader)
+	if trace == "" {
+		trace = mintTraceID()
+	}
+	w.Header().Set(TraceHeader, trace)
+	if err := s.adm.admitSession(); err != nil {
+		s.metrics.RejectedTotal.Inc()
+		s.writeError(w, http.StatusTooManyRequests, err.Error(), true)
+		return
+	}
+	defer s.adm.releaseSession()
+
+	s.ingestWG.Add(1)
+	defer s.ingestWG.Done()
+	if s.draining.Load() {
+		s.metrics.DrainRejectedTotal.Inc()
+		s.writeError(w, http.StatusServiceUnavailable, "server is draining", true)
+		return
+	}
+
+	doc, err := xmlstream.OpenFile(filepath.Join(s.sideloadDir, clean))
+	if err != nil {
+		s.writeError(w, http.StatusNotFound, fmt.Sprintf("side-load: %v", err), false)
+		return
+	}
+	defer doc.Close()
+	size := int64(doc.Len())
+	if s.limits.MaxDocumentBytes > 0 && size > s.limits.MaxDocumentBytes {
+		s.writeError(w, http.StatusRequestEntityTooLarge,
+			fmt.Sprintf("side-load: document is %d bytes, limit %d", size, s.limits.MaxDocumentBytes), false)
+		return
+	}
+
+	ctx := r.Context()
+	var cancel context.CancelFunc
+	if s.limits.IngestTimeout > 0 {
+		ctx, cancel = context.WithTimeout(ctx, s.limits.IngestTimeout)
+	} else {
+		ctx, cancel = context.WithCancel(ctx)
+	}
+	defer cancel()
+	stop := context.AfterFunc(s.hardCtx, cancel)
+	defer stop()
+
+	sess := s.newSession(ch, trace)
+	s.metrics.SessionsActive.Add(1)
+	s.metrics.SessionsTotal.Inc()
+	s.metrics.SideloadsTotal.Inc()
+	ch.cm.Sessions.Inc()
+	defer s.metrics.SessionsActive.Add(-1)
+	s.metrics.IngestBytesTotal.Add(size)
+	ch.cm.IngestBytes.Add(size)
+
+	var read atomic.Int64
+	read.Store(size)
+	sess.bytes = &read
+	s.mgr.register(sess)
+	matches, err := sess.runBytes(ctx, doc.Data(), req.Workers)
+	s.mgr.unregister(sess)
+	s.recordSlow(sess, size, matches, err)
+	if err != nil {
+		if cerr := ctx.Err(); cerr != nil {
+			err = cerr
+		}
+		s.metrics.SessionsFailed.Inc()
+		if errors.Is(err, spex.ErrResourceLimit) {
+			s.metrics.GovernorRejected.Inc()
+		}
+		s.logf("server: session %s on %s failed: %v", sess.id, ch.name, err)
+		s.writeError(w, ingestStatus(err), fmt.Sprintf("session %s: %v", sess.id, err), retryableIngest(err))
+		return
+	}
+	s.writeJSON(w, http.StatusOK, IngestSummary{
+		Session:       sess.id,
+		Channel:       ch.name,
+		Subscriptions: len(sess.subs),
+		Matches:       matches,
+		Bytes:         size,
 		Trace:         trace,
 		Determined:    sess.determined,
 	})

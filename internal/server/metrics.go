@@ -27,6 +27,7 @@ type Metrics struct {
 	ChannelsActive         obs.Gauge
 	InflightBytes          obs.Gauge   // in-flight ingest request bytes
 	IngestBytesTotal       obs.Counter // ingest bytes consumed
+	SideloadsTotal         obs.Counter // side-load sessions (mmap'd file ingests)
 	HitsTotal              obs.Counter // answers produced by sessions
 	FramesSent             obs.Counter // frames written to result streams
 	FramesDropped          obs.Counter // frames dropped on closed subscriptions
@@ -91,6 +92,7 @@ func (m *Metrics) WritePrometheus(w io.Writer) {
 	p.Gauge("spex_server_channels_active", "named channels", m.ChannelsActive.Load())
 	p.Gauge("spex_server_inflight_ingest_bytes", "in-flight ingest request bytes", m.InflightBytes.Load())
 	p.Counter("spex_server_ingest_bytes_total", "ingest bytes consumed", m.IngestBytesTotal.Load())
+	p.Counter("spex_server_sideloads_total", "side-load sessions (documents mmap'd from the side-load directory)", m.SideloadsTotal.Load())
 	p.Counter("spex_server_hits_total", "answers produced by ingest sessions", m.HitsTotal.Load())
 	p.Counter("spex_server_frames_sent_total", "result frames written to streams", m.FramesSent.Load())
 	p.Counter("spex_server_frames_dropped_total", "result frames dropped on closed subscriptions", m.FramesDropped.Load())

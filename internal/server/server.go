@@ -56,6 +56,12 @@ type Config struct {
 	SlowThreshold time.Duration
 	// SlowRingSize caps the retained slow-stream records (default 64).
 	SlowRingSize int
+	// SideloadDir, when non-empty, enables POST
+	// /v1/channels/{channel}/sideload: instead of streaming a document over
+	// the wire, a client names a file under this directory and the server
+	// mmaps it and evaluates it in place through the zero-copy ingest path
+	// (optionally parallel chunk-scanned). Empty disables the route.
+	SideloadDir string
 }
 
 // Server is the streaming query service. Create with New, mount Handler on
@@ -67,9 +73,10 @@ type Server struct {
 	engineMetrics *obs.Metrics
 	logf          func(string, ...any)
 
-	adm *admission
-	mgr *sessionManager
-	mux *http.ServeMux
+	adm         *admission
+	mgr         *sessionManager
+	mux         *http.ServeMux
+	sideloadDir string
 
 	// Deep-introspection state: process start (for /debug/spex uptime), the
 	// slow-stream ring, and its recording threshold.
@@ -124,6 +131,7 @@ func New(cfg Config) (*Server, error) {
 		start:         time.Now(),
 		slow:          obs.NewSlowRing(ringSize),
 		slowOver:      cfg.SlowThreshold,
+		sideloadDir:   cfg.SideloadDir,
 	}
 	s.setOpts = append(s.setOpts, spex.SetMetrics(em))
 	if !limits.Governor.Zero() {

@@ -252,6 +252,38 @@ func (sess *session) run(ctx context.Context, r io.Reader) (matches int64, err e
 			err = fmt.Errorf("server: session %s: panic: %v", sess.id, p)
 		}
 	}()
+	set := sess.newSet(ctx)
+	sess.do(ctx, func(ctx context.Context) { err = set.EvaluateContext(ctx, r) })
+	return sess.settle(set, err)
+}
+
+// runBytes is run over an in-memory document — the side-load path: the
+// document is already resident (mmap'd from the side-load directory), so
+// the session evaluates it through the zero-copy scanner, chunk-scanned in
+// parallel when workers is non-zero (negative = one worker per CPU).
+func (sess *session) runBytes(ctx context.Context, data []byte, workers int) (matches int64, err error) {
+	if len(sess.subs) == 0 {
+		return 0, nil
+	}
+	defer func() {
+		if p := recover(); p != nil {
+			sess.srv.metrics.PanicsTotal.Inc()
+			err = fmt.Errorf("server: session %s: panic: %v", sess.id, p)
+		}
+	}()
+	var extra []spex.SetOption
+	if workers != 0 {
+		extra = append(extra, spex.ParallelScan(workers))
+	}
+	set := sess.newSet(ctx, extra...)
+	sess.do(ctx, func(ctx context.Context) { err = set.EvaluateBytesContext(ctx, data) })
+	return sess.settle(set, err)
+}
+
+// newSet compiles the session's subscription snapshot into a spex.Set on
+// the channel's engine, with every hit forwarded as a frame to its
+// subscription's queue.
+func (sess *session) newSet(ctx context.Context, extra ...spex.SetOption) *spex.Set {
 	queries := make([]*spex.Query, len(sess.subs))
 	for i, sub := range sess.subs {
 		queries[i] = sub.q
@@ -289,22 +321,30 @@ func (sess *session) run(ctx context.Context, r io.Reader) (matches int64, err e
 			// network), so no further hits arrive from this session.
 			sess.srv.completeSubscription(sub)
 		}
-	}, append([]spex.SetOption{sess.ch.engine.Option(), spex.SetTraceID(sess.trace)},
-		sess.srv.setOpts...)...)
-	// pprof labels attribute the evaluation's CPU samples to the channel,
-	// session and stream: a profile taken mid-ingest names the stream each
-	// hot path serves, matching the trace id on the result frames.
+	}, append(append([]spex.SetOption{sess.ch.engine.Option(), spex.SetTraceID(sess.trace)},
+		extra...), sess.srv.setOpts...)...)
+	return set
+}
+
+// do runs one evaluation under pprof labels that attribute its CPU samples
+// to the channel, session and stream: a profile taken mid-ingest names the
+// stream each hot path serves, matching the trace id on the result frames.
+func (sess *session) do(ctx context.Context, eval func(context.Context)) {
 	pprof.Do(ctx, pprof.Labels(
 		"spex_channel", sess.ch.name,
 		"spex_session", sess.id,
 		"spex_trace", sess.trace,
-	), func(ctx context.Context) {
-		err = set.EvaluateContext(ctx, r)
-	})
+	), eval)
+}
+
+// settle folds a finished evaluation into the session: the determinedness
+// flag the ingest handler reports, and the total answer count.
+func (sess *session) settle(set *spex.Set, err error) (int64, error) {
 	if err != nil {
 		return 0, err
 	}
 	sess.determined = set.Determined()
+	var matches int64
 	for _, n := range set.Counts() {
 		matches += n
 	}

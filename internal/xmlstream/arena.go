@@ -1,0 +1,191 @@
+package xmlstream
+
+import "unsafe"
+
+// Arena allocation for the ingest hot path. The zero-copy scanner hands out
+// Event.Data strings and Event.Attrs slices that outlive the scan step
+// (candidates buffer them), so they cannot alias the read buffer. Instead of
+// one heap allocation per message the scanner carves them out of per-stream
+// arenas: append-only blocks filled front to back, amortizing the allocation
+// cost to one block per ~64 KiB of event payload.
+//
+// Ownership rules (see DESIGN.md §15):
+//
+//   - While a stream is being scanned, a filled block is never rewritten:
+//     strings carved from it stay valid for as long as anything references
+//     them, exactly like an ordinary heap string. The scanner retires filled
+//     blocks; the garbage collector reclaims a block once the last event
+//     referencing it dies, so scanner memory stays bounded even on unbounded
+//     streams.
+//   - Reset recycles a bounded number of retired blocks for the next stream.
+//     Calling Reset asserts that every event of the previous stream is dead;
+//     this is what makes steady-state re-scanning allocation-free.
+const (
+	arenaBlockBytes = 64 << 10 // payload bytes per byte-arena block
+	arenaBlockAttrs = 512      // Attr entries per attr-arena block
+	arenaMaxRecycle = 16       // retired blocks kept for reuse across Reset
+)
+
+// byteArena carves strings for text runs and attribute values.
+type byteArena struct {
+	cur     []byte   // current block: len = used, cap = block size
+	spare   [][]byte // recycled blocks ready for the next take
+	retired [][]byte // blocks filled during the current stream (bounded)
+
+	blocks int64 // lifetime block allocations
+	bytes  int64 // lifetime payload bytes carved
+}
+
+// take returns n fresh bytes from the arena. The returned slice has full
+// capacity n, so it cannot bleed into later carvings via append.
+func (a *byteArena) take(n int) []byte {
+	if cap(a.cur)-len(a.cur) < n {
+		a.grow(n)
+	}
+	off := len(a.cur)
+	a.cur = a.cur[:off+n]
+	a.bytes += int64(n)
+	return a.cur[off : off+n : off+n]
+}
+
+// str copies b into the arena and returns it as a string. The string aliases
+// arena storage; the block stays alive for as long as the string does, and is
+// only rewritten after a Reset (when the caller has asserted all previous
+// events are dead) — the same write-once discipline strings.Builder relies on.
+func (a *byteArena) str(b []byte) string {
+	if len(b) == 0 {
+		return ""
+	}
+	dst := a.take(len(b))
+	copy(dst, b)
+	return unsafe.String(&dst[0], len(dst))
+}
+
+// grow retires the current block and installs one with room for n bytes.
+func (a *byteArena) grow(n int) {
+	if cap(a.cur) > 0 && len(a.retired) < arenaMaxRecycle {
+		// Keep a bounded tail of filled blocks for recycling at Reset; blocks
+		// beyond the cap are released to the events that reference them.
+		a.retired = append(a.retired, a.cur)
+	}
+	if n <= arenaBlockBytes {
+		if k := len(a.spare); k > 0 {
+			a.cur = a.spare[k-1][:0]
+			a.spare[k-1] = nil
+			a.spare = a.spare[:k-1]
+			return
+		}
+	}
+	size := arenaBlockBytes
+	if n > size {
+		size = n // oversized token: a dedicated block, not recycled
+	}
+	a.cur = make([]byte, 0, size)
+	a.blocks++
+}
+
+// reset recycles the stream's blocks for reuse. Only standard-size blocks are
+// kept (oversized one-token blocks would pin high-water memory forever).
+func (a *byteArena) reset() {
+	for i, b := range a.retired {
+		if len(a.spare) < arenaMaxRecycle && cap(b) == arenaBlockBytes {
+			a.spare = append(a.spare, b[:0])
+		}
+		a.retired[i] = nil
+	}
+	a.retired = a.retired[:0]
+	if cap(a.cur) == arenaBlockBytes {
+		a.spare = append(a.spare, a.cur[:0])
+	}
+	a.cur = nil
+}
+
+// attrArena carves Event.Attrs slices.
+type attrArena struct {
+	cur     []Attr
+	spare   [][]Attr
+	retired [][]Attr
+
+	blocks int64
+	attrs  int64
+}
+
+// take returns a fresh n-entry attribute slice (full capacity n).
+func (a *attrArena) take(n int) []Attr {
+	if cap(a.cur)-len(a.cur) < n {
+		a.grow(n)
+	}
+	off := len(a.cur)
+	a.cur = a.cur[:off+n]
+	a.attrs += int64(n)
+	return a.cur[off : off+n : off+n]
+}
+
+func (a *attrArena) grow(n int) {
+	if cap(a.cur) > 0 && len(a.retired) < arenaMaxRecycle {
+		a.retired = append(a.retired, a.cur)
+	}
+	if n <= arenaBlockAttrs {
+		if k := len(a.spare); k > 0 {
+			a.cur = a.spare[k-1][:0]
+			a.spare[k-1] = nil
+			a.spare = a.spare[:k-1]
+			return
+		}
+	}
+	size := arenaBlockAttrs
+	if n > size {
+		size = n
+	}
+	a.cur = make([]Attr, 0, size)
+	a.blocks++
+}
+
+func (a *attrArena) reset() {
+	for i, b := range a.retired {
+		if len(a.spare) < arenaMaxRecycle && cap(b) == arenaBlockAttrs {
+			// Attr entries hold strings; clear them so recycled blocks do not
+			// pin the previous stream's values until they are overwritten.
+			bb := b[:cap(b)]
+			for j := range bb {
+				bb[j] = Attr{}
+			}
+			a.spare = append(a.spare, b[:0])
+		}
+		a.retired[i] = nil
+	}
+	a.retired = a.retired[:0]
+	if cap(a.cur) == arenaBlockAttrs {
+		bb := a.cur[:cap(a.cur)]
+		for j := range bb {
+			bb[j] = Attr{}
+		}
+		a.spare = append(a.spare, a.cur[:0])
+	}
+	a.cur = nil
+}
+
+// IngestStats reports the ingest path's buffer economy for observability:
+// arena block/byte totals and the scanner's read-buffer size. Chunks is the
+// number of concurrently scanned chunks (1 for a serial scanner).
+type IngestStats struct {
+	ArenaBytes  int64 // payload bytes carved from arenas (text + attr values)
+	ArenaBlocks int64 // arena blocks allocated over the scanner's lifetime
+	ArenaAttrs  int64 // attribute entries carved from the attr arena
+	BufferBytes int64 // read-buffer bytes owned by the scanner
+	Chunks      int64 // concurrently scanned chunks (parallel mode)
+}
+
+// IngestStats returns the scanner's buffer/arena accounting.
+func (s *Scanner) IngestStats() IngestStats {
+	st := IngestStats{
+		ArenaBytes:  s.text.bytes,
+		ArenaBlocks: s.text.blocks + s.attrs.blocks,
+		ArenaAttrs:  s.attrs.attrs,
+		Chunks:      1,
+	}
+	if s.ownBuf != nil {
+		st.BufferBytes = int64(len(s.ownBuf))
+	}
+	return st
+}

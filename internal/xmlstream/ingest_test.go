@@ -1,0 +1,207 @@
+package xmlstream_test
+
+import (
+	"bytes"
+	"io"
+	"os"
+	"testing"
+
+	"repro/internal/dataset"
+	"repro/internal/xmlstream"
+)
+
+// TestIngestZeroAlloc is the ingest-path CI gate, the scanner-level sibling
+// of TestCountModeZeroAlloc: once the scanner is warm, rescanning a document
+// performs zero heap allocations per event, in every configuration — the
+// count-mode structural scan (the paper's model), the full-fidelity scan
+// with text and attributes (arena-backed payloads), and the in-memory
+// ScanBytes path. Reset recycles the arenas, so steady-state ingest cost is
+// pure CPU; a regression that re-introduces per-event allocation fails
+// go test ./..., not just bench review.
+func TestIngestZeroAlloc(t *testing.T) {
+	cases := []struct {
+		name string
+		data []byte
+		opts []xmlstream.ScannerOption
+	}{
+		// The acceptance workload: DMOZ structure in count mode.
+		{"dmoz-count", dataset.DMOZStructure(0.01).Bytes(), []xmlstream.ScannerOption{
+			xmlstream.WithText(false), xmlstream.WithAttributes(false)}},
+		// Text-heavy content with full text fidelity (arena strings).
+		{"dmoz-content-text", dataset.DMOZContent(0.003).Bytes(), nil},
+		// Attribute-heavy corpus (attr arena + value cache).
+		{"tickets-attrs", dataset.Tickets(0.01).Bytes(), nil},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			opts := append([]xmlstream.ScannerOption{xmlstream.WithSymtab(xmlstream.NewSymtab())}, tc.opts...)
+
+			rd := bytes.NewReader(tc.data)
+			sc := xmlstream.NewScanner(rd, opts...)
+			drain := func() {
+				rd.Reset(tc.data)
+				sc.Reset(rd)
+				for {
+					if _, err := sc.Next(); err != nil {
+						if err == io.EOF {
+							return
+						}
+						t.Fatal(err)
+					}
+				}
+			}
+			drain() // warm: grow buffers, arenas, interner to steady state
+			if allocs := testing.AllocsPerRun(5, drain); allocs != 0 {
+				t.Errorf("buffered scan steady state allocates: %.1f allocs per document, want 0", allocs)
+			}
+
+			sb := xmlstream.ScanBytes(tc.data, opts...)
+			drainBytes := func() {
+				sb.ResetBytes(tc.data)
+				for {
+					if _, err := sb.Next(); err != nil {
+						if err == io.EOF {
+							return
+						}
+						t.Fatal(err)
+					}
+				}
+			}
+			drainBytes()
+			if allocs := testing.AllocsPerRun(5, drainBytes); allocs != 0 {
+				t.Errorf("ScanBytes steady state allocates: %.1f allocs per document, want 0", allocs)
+			}
+			if sc.Events() == 0 || sb.Events() == 0 {
+				t.Fatal("zero-alloc run saw no events; workload broken")
+			}
+		})
+	}
+}
+
+// TestScannerAccountingParity pins the offset accounting to ground truth on
+// a document small enough to audit by hand, in every mode (the satellite-4
+// regression: the counters must not assume the byte-at-a-time path). The
+// differential harness then extends the parity claim to the whole corpus.
+func TestScannerAccountingParity(t *testing.T) {
+	doc := []byte(`<r>ab<c/></r>`)
+	//             0123456789012
+	wantOffs := []int64{0, 3, 5, 9, 9, 13, 13} // per-event InputOffset
+	wantKinds := []xmlstream.Kind{
+		xmlstream.StartDocument, xmlstream.StartElement, xmlstream.Text,
+		xmlstream.StartElement, xmlstream.EndElement, xmlstream.EndElement,
+		xmlstream.EndDocument,
+	}
+	check := func(name string, src scanSource) {
+		t.Helper()
+		out := runScan(src)
+		if out.err != nil {
+			t.Fatalf("%s: %v", name, out.err)
+		}
+		if len(out.events) != len(wantOffs) {
+			t.Fatalf("%s: %d events, want %d", name, len(out.events), len(wantOffs))
+		}
+		for i := range out.events {
+			if out.events[i].Kind != wantKinds[i] {
+				t.Fatalf("%s: event %d kind %v, want %v", name, i, out.events[i].Kind, wantKinds[i])
+			}
+			if out.offs[i] != wantOffs[i] {
+				t.Fatalf("%s: event %d InputOffset %d, want %d", name, i, out.offs[i], wantOffs[i])
+			}
+		}
+		if out.total != int64(len(wantOffs)) || out.maxDepth != 2 {
+			t.Fatalf("%s: Events/MaxDepth %d/%d, want %d/2", name, out.total, out.maxDepth, len(wantOffs))
+		}
+	}
+	check("seed", xmlstream.NewScanner(bytes.NewReader(doc), xmlstream.WithSeedScan(true)))
+	check("fast", xmlstream.NewScanner(bytes.NewReader(doc)))
+	check("fast-chunk1", xmlstream.NewScanner(&chunkReader{data: doc, n: 1}))
+	check("bytes", xmlstream.ScanBytes(doc))
+	check("parallel", xmlstream.NewParallelScannerAt(doc, []int{5, 9}))
+
+	// Error offsets: the construct start, identically in every mode.
+	bad := []byte(`<r>xx<a k="1" k="2"/></r>`)
+	//             0123456789...   construct starts at offset 5
+	for name, src := range map[string]scanSource{
+		"seed":     xmlstream.NewScanner(bytes.NewReader(bad), xmlstream.WithSeedScan(true)),
+		"fast":     xmlstream.NewScanner(bytes.NewReader(bad)),
+		"bytes":    xmlstream.ScanBytes(bad),
+		"parallel": xmlstream.NewParallelScannerAt(bad, []int{5}),
+	} {
+		out := runScan(src)
+		if out.err == nil {
+			t.Fatalf("%s: duplicate attribute accepted", name)
+		}
+		if out.errOff != 5 {
+			t.Fatalf("%s: ErrorOffset %d, want 5 (err %v)", name, out.errOff, out.err)
+		}
+	}
+}
+
+// TestIngestStats sanity-checks the arena accounting surfaced to obs: a
+// buffered text-and-attribute scan carves payload from the arenas, a
+// caller-owned-bytes scan serves payloads as views and leaves the text arena
+// empty (the zero-copy claim, pinned here), and the parallel scanner reports
+// its chunk count.
+func TestIngestStats(t *testing.T) {
+	data := dataset.Tickets(0.02).Bytes()
+	sc := xmlstream.NewScanner(bytes.NewReader(data))
+	if _, err := xmlstream.Collect(sc); err != nil {
+		t.Fatal(err)
+	}
+	st := sc.IngestStats()
+	if st.ArenaBytes == 0 || st.ArenaBlocks == 0 || st.ArenaAttrs == 0 {
+		t.Fatalf("buffered arena accounting empty: %+v", st)
+	}
+	if st.Chunks != 1 {
+		t.Fatalf("buffered scanner Chunks = %d, want 1", st.Chunks)
+	}
+
+	sb := xmlstream.ScanBytes(data)
+	if _, err := xmlstream.Collect(sb); err != nil {
+		t.Fatal(err)
+	}
+	bst := sb.IngestStats()
+	if bst.ArenaBytes != 0 {
+		t.Fatalf("stable scan copied payloads into the text arena: %+v", bst)
+	}
+	if bst.ArenaAttrs == 0 {
+		t.Fatalf("stable scan attr-arena accounting empty: %+v", bst)
+	}
+
+	ps := xmlstream.NewParallelScannerAt(data, []int{len(data) / 3, 2 * len(data) / 3})
+	out := runScan(ps)
+	if out.err != nil {
+		t.Fatal(out.err)
+	}
+	pst := ps.IngestStats()
+	if pst.Chunks < 2 {
+		t.Fatalf("parallel scanner Chunks = %d, want >= 2", pst.Chunks)
+	}
+	if pst.ArenaAttrs == 0 {
+		t.Fatalf("parallel attr-arena accounting empty: %+v", pst)
+	}
+}
+
+// TestOpenFile exercises the mmap fast path end to end: a file-backed
+// document scans to the same events as its in-memory bytes.
+func TestOpenFile(t *testing.T) {
+	data := dataset.Mondial(0.01).Bytes()
+	path := t.TempDir() + "/doc.xml"
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	doc, err := xmlstream.OpenFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer doc.Close()
+	if doc.Len() != len(data) {
+		t.Fatalf("OpenFile length %d, want %d", doc.Len(), len(data))
+	}
+	want := runScan(xmlstream.NewScanner(bytes.NewReader(data), seedOpts(nil)...))
+	got := runScan(xmlstream.ScanBytes(doc.Data(), freshOpts(nil)...))
+	compareSerial(t, "mmap", want, got)
+	pgot := runScan(xmlstream.NewParallelScanner(doc.Data(), 4, freshOpts(nil)...))
+	compareParallel(t, "mmap-parallel", want, pgot)
+}

@@ -1,0 +1,17 @@
+//go:build linux
+
+package xmlstream
+
+import (
+	"os"
+	"syscall"
+)
+
+// mmapFile maps size bytes of f read-only.
+func mmapFile(f *os.File, size int) ([]byte, error) {
+	return syscall.Mmap(int(f.Fd()), 0, size, syscall.PROT_READ, syscall.MAP_PRIVATE)
+}
+
+func munmapFile(data []byte) error {
+	return syscall.Munmap(data)
+}

@@ -1,0 +1,15 @@
+//go:build !linux
+
+package xmlstream
+
+import (
+	"errors"
+	"os"
+)
+
+var errNoMmap = errors.New("xmlstream: mmap not supported on this platform")
+
+// mmapFile always fails here; OpenFile falls back to reading the file.
+func mmapFile(*os.File, int) ([]byte, error) { return nil, errNoMmap }
+
+func munmapFile([]byte) error { return nil }

@@ -1,0 +1,563 @@
+package xmlstream
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"runtime"
+	"sort"
+)
+
+// Parallel chunk scan: split an in-memory document at safe byte boundaries,
+// tokenize the chunks concurrently with fragment-mode scanners, and stitch
+// the event streams back together in document order.
+//
+// A safe split point is the first byte of a construct ('<' of a tag, comment,
+// CDATA section, PI or declaration, or the first byte of a character-data
+// run) located outside every other construct — never inside a tag, a quoted
+// attribute value, a comment, CDATA or DOCTYPE extent. A cheap serial
+// pre-scan (findSplits) walks the document construct by construct with
+// bytes.IndexByte to pick such points near the requested offsets and record
+// the element depth at each, so each fragment scanner knows how deep in the
+// document its chunk starts. The pre-scan is conservative: the moment it
+// cannot classify the input it stops emitting boundaries, leaving the rest
+// of the document as one chunk, and the fragment scanners surface whatever
+// error a serial scan would have reported.
+//
+// Workers tokenize their chunk in fragment mode (no document brackets, end
+// tags may close elements opened by earlier chunks, text emission decided
+// against the chunk's start depth); the stitcher replays the per-chunk event
+// streams in order, synthesizes StartDocument/EndDocument, and owns
+// document-level well-formedness: cross-chunk tag matching, content after
+// the root, unclosed elements at end of input.
+//
+// Behavior matches the serial engines event for event, including per-event
+// InputOffset values and the offsets of sentinel errors raised inside a
+// chunk (ErrTokenTooLarge, ErrTooDeep, ErrDuplicateAttr, mid-construct
+// ErrTruncated). Two deliberate, documented divergences: symbols are
+// interned concurrently, so Sym numbering differs from a serial scan over a
+// fresh table (names and the evaluated results do not); and for
+// well-formedness errors the stitcher itself detects (cross-chunk mismatch,
+// content after root) ErrorOffset points at the end of the offending
+// construct rather than its '<'.
+
+// minParallelBytes is the document size below which NewParallelScanner does
+// not bother splitting: one chunk, one worker.
+const minParallelBytes = 64 << 10
+
+// chunkBound is a safe split point: the byte offset of a construct start and
+// the element depth at that point.
+type chunkBound struct {
+	off   int
+	depth int
+}
+
+// ParallelScanner scans an in-memory document with concurrent chunk workers
+// while presenting the ordinary serial Source interface.
+type ParallelScanner struct {
+	data    []byte
+	workers int
+	targets []int // explicit split targets (testing); nil = even spacing
+	opts    []ScannerOption
+	symtab  *Symtab
+
+	started   bool
+	scanners  []*Scanner
+	chunks    []*chunkRun
+	cur       int
+	batch     []stitchEv // the batch being consumed
+	bi        int        // next event in batch
+	quit      chan struct{}
+	stopped   bool
+	startDone bool
+	ended     bool
+	stack     []string
+	afterRoot bool
+	off       int64
+	err       error
+	errOff    int64
+	depth     int
+	maxDepth  int
+	events    int64
+}
+
+// chunkBatchEvents is how many events a chunk worker accumulates before
+// handing the batch to the stitcher, and chunkBatchDepth how many batches may
+// be in flight per chunk. Together they bound the stitcher/worker skew to a
+// few hundred KB per chunk while keeping channel operations amortized to
+// noise — the workers stream, they do not materialize their chunk.
+const (
+	chunkBatchEvents = 512
+	chunkBatchDepth  = 4
+)
+
+// stitchEv is one event in flight from a chunk worker to the stitcher,
+// carrying the absolute input offset just past its construct.
+type stitchEv struct {
+	ev  Event
+	off int64
+}
+
+// chunkRun is one worker's output stream. err (with errOff) is written, if at
+// all, before ch is closed, so the stitcher reads it only after draining ch.
+// done closes when the worker exits, for IngestStats.
+type chunkRun struct {
+	base   int64
+	ch     chan []stitchEv // worker -> stitcher
+	free   chan []stitchEv // stitcher -> worker, recycled batch storage
+	err    error
+	errOff int64
+	done   chan struct{}
+}
+
+// NewParallelScanner returns a scanner over data that tokenizes with up to
+// workers concurrent chunk scanners (workers <= 0 means GOMAXPROCS). Workers
+// are not spawned until the first Next call, so AdoptSymtab can still attach
+// a shared symbol table. data must not be mutated while the scanner is in
+// use.
+func NewParallelScanner(data []byte, workers int, opts ...ScannerOption) *ParallelScanner {
+	probe := newScanner(opts)
+	return &ParallelScanner{data: data, workers: workers, opts: opts, symtab: probe.symtab}
+}
+
+// NewParallelScannerAt is NewParallelScanner with explicit split targets
+// (byte offsets; each is moved forward to the next safe boundary). It exists
+// for the differential harness and the fuzzers, which probe the stitcher
+// with adversarial split choices.
+func NewParallelScannerAt(data []byte, targets []int, opts ...ScannerOption) *ParallelScanner {
+	p := NewParallelScanner(data, 1, opts...)
+	ts := make([]int, 0, len(targets))
+	for _, t := range targets {
+		if t > 0 && t < len(data) {
+			ts = append(ts, t)
+		}
+	}
+	sort.Ints(ts)
+	p.targets = ts
+	return p
+}
+
+// AdoptSymtab attaches a symbol table before scanning starts (see
+// Scanner.AdoptSymtab). After the first Next the table is frozen.
+func (p *ParallelScanner) AdoptSymtab(t *Symtab) bool {
+	if !p.started && p.symtab == nil {
+		p.symtab = t
+	}
+	return p.symtab == t
+}
+
+// SymtabInUse returns the table chunk workers resolve labels against.
+func (p *ParallelScanner) SymtabInUse() *Symtab { return p.symtab }
+
+// Depth returns the number of currently open elements at the stitch point.
+func (p *ParallelScanner) Depth() int { return p.depth }
+
+// MaxDepth returns the maximum element nesting depth seen so far.
+func (p *ParallelScanner) MaxDepth() int { return p.maxDepth }
+
+// Events returns the number of events delivered so far.
+func (p *ParallelScanner) Events() int64 { return p.events }
+
+// InputOffset returns the number of input bytes consumed up to the last
+// delivered event, identical to a serial scan's accounting.
+func (p *ParallelScanner) InputOffset() int64 { return p.off }
+
+// ErrorOffset returns the absolute offset associated with the error that
+// ended the stream (see Scanner.ErrorOffset and the package divergence note
+// above).
+func (p *ParallelScanner) ErrorOffset() int64 { return p.errOff }
+
+// IngestStats sums the buffer/arena accounting of the chunk workers that
+// have finished so far.
+func (p *ParallelScanner) IngestStats() IngestStats {
+	st := IngestStats{Chunks: int64(len(p.chunks))}
+	for k, c := range p.chunks {
+		select {
+		case <-c.done:
+			w := p.scanners[k].IngestStats()
+			st.ArenaBytes += w.ArenaBytes
+			st.ArenaBlocks += w.ArenaBlocks
+			st.ArenaAttrs += w.ArenaAttrs
+			st.BufferBytes += w.BufferBytes
+		default:
+		}
+	}
+	return st
+}
+
+// Stop releases the chunk workers of a scan abandoned before EOF (answer
+// limits, cancellation): workers blocked handing a batch to the stitcher
+// return instead of waiting forever. It is idempotent, safe on a scanner
+// that never started, and called internally on every stitch-level error; a
+// stream drained to EOF needs no Stop (its workers have already exited).
+// The scanner must not be used after Stop.
+func (p *ParallelScanner) Stop() {
+	if p.started && !p.stopped {
+		p.stopped = true
+		close(p.quit)
+	}
+}
+
+// fail records the error that ends the stream and releases the workers.
+func (p *ParallelScanner) fail(err error, off int64) error {
+	p.err = err
+	p.errOff = off
+	p.Stop()
+	return err
+}
+
+func (p *ParallelScanner) start() {
+	p.started = true
+	p.quit = make(chan struct{})
+	targets := p.targets
+	if targets == nil {
+		n := p.workers
+		if n <= 0 {
+			n = runtime.GOMAXPROCS(0)
+		}
+		if n > 1 && len(p.data) >= minParallelBytes {
+			step := len(p.data) / n
+			for k := 1; k < n; k++ {
+				targets = append(targets, k*step)
+			}
+		}
+	}
+	probe := newScanner(p.opts)
+	bounds := findSplits(p.data, targets, probe.emitAttrs)
+	starts := make([]chunkBound, 1, len(bounds)+1)
+	for _, b := range bounds {
+		if b.off > starts[len(starts)-1].off {
+			starts = append(starts, b)
+		}
+	}
+	opts := p.opts
+	if p.symtab != nil {
+		opts = append(opts[:len(opts):len(opts)], WithSymtab(p.symtab))
+	}
+	for k := range starts {
+		lo, hi := starts[k].off, len(p.data)
+		if k+1 < len(starts) {
+			hi = starts[k+1].off
+		}
+		sc := ScanBytes(p.data[lo:hi], opts...)
+		sc.fragment = true
+		sc.baseDepth = starts[k].depth
+		sc.pending = sc.pending[:0] // fragments emit no document brackets
+		run := &chunkRun{
+			base: int64(lo),
+			ch:   make(chan []stitchEv, chunkBatchDepth),
+			free: make(chan []stitchEv, chunkBatchDepth+1),
+			done: make(chan struct{}),
+		}
+		p.scanners = append(p.scanners, sc)
+		p.chunks = append(p.chunks, run)
+		go scanChunk(sc, run, p.quit)
+	}
+}
+
+// scanChunk streams one fragment scanner's events to the stitcher in bounded
+// batches. The deferred close of run.ch is the publication point for run.err:
+// it runs after err is assigned, so the stitcher observes the error only once
+// the channel is drained and closed.
+func scanChunk(sc *Scanner, run *chunkRun, quit <-chan struct{}) {
+	defer close(run.done)
+	defer close(run.ch)
+	var batch []stitchEv
+	send := func() bool {
+		select {
+		case run.ch <- batch:
+			return true
+		case <-quit: // stitcher gone: drop the stream on the floor
+			return false
+		}
+	}
+	for {
+		ev, err := sc.Next()
+		if err == io.EOF {
+			if len(batch) > 0 {
+				send()
+			}
+			return
+		}
+		if err != nil {
+			run.err = err
+			run.errOff = run.base + sc.ErrorOffset()
+			if len(batch) > 0 {
+				send()
+			}
+			return
+		}
+		if batch == nil {
+			select {
+			case b := <-run.free:
+				batch = b[:0]
+			default:
+				batch = make([]stitchEv, 0, chunkBatchEvents)
+			}
+		}
+		batch = append(batch, stitchEv{ev: ev, off: run.base + sc.InputOffset()})
+		if len(batch) == chunkBatchEvents {
+			if !send() {
+				return
+			}
+			batch = nil
+		}
+	}
+}
+
+// Next returns the next stitched event (see Scanner.Next).
+func (p *ParallelScanner) Next() (Event, error) {
+	if p.err != nil {
+		return Event{}, p.err
+	}
+	if !p.started {
+		p.start()
+	}
+	if !p.startDone {
+		p.startDone = true
+		p.events++
+		return Event{Kind: StartDocument}, nil
+	}
+	for {
+		if p.cur >= len(p.chunks) {
+			return p.finishDoc()
+		}
+		c := p.chunks[p.cur]
+		if p.bi >= len(p.batch) {
+			if p.batch != nil {
+				// Hand the drained batch's storage back for reuse; if the
+				// worker's free list is full, let it go to the collector.
+				select {
+				case c.free <- p.batch:
+				default:
+				}
+				p.batch = nil
+			}
+			b, ok := <-c.ch
+			if !ok {
+				if c.err != nil {
+					return Event{}, p.fail(c.err, c.errOff)
+				}
+				p.cur++
+				continue
+			}
+			p.batch, p.bi = b, 0
+			continue
+		}
+		ev := p.batch[p.bi].ev
+		off := p.batch[p.bi].off
+		p.bi++
+		switch ev.Kind {
+		case StartElement:
+			if p.afterRoot {
+				return Event{}, p.fail(fmt.Errorf("xmlstream: content after document root"), off)
+			}
+			p.stack = append(p.stack, ev.Name)
+			p.depth++
+			if p.depth > p.maxDepth {
+				p.maxDepth = p.depth
+			}
+		case EndElement:
+			if len(p.stack) == 0 {
+				return Event{}, p.fail(fmt.Errorf("xmlstream: unexpected end tag </%s> with no open element", ev.Name), off)
+			}
+			if open := p.stack[len(p.stack)-1]; open != ev.Name {
+				return Event{}, p.fail(fmt.Errorf("xmlstream: mismatched end tag: </%s> closes <%s>", ev.Name, open), off)
+			}
+			p.stack = p.stack[:len(p.stack)-1]
+			p.depth--
+			if len(p.stack) == 0 {
+				p.afterRoot = true
+			}
+		}
+		p.off = off
+		p.events++
+		return ev, nil
+	}
+}
+
+// finishDoc handles end of input at the stitch level, mirroring
+// Scanner.finish.
+func (p *ParallelScanner) finishDoc() (Event, error) {
+	p.off = int64(len(p.data))
+	switch {
+	case p.ended:
+		p.err = io.EOF
+		return Event{}, io.EOF
+	case len(p.stack) > 0:
+		p.err = truncatedf("unexpected end of input: %d unclosed element(s), innermost <%s>",
+			len(p.stack), p.stack[len(p.stack)-1])
+		p.errOff = int64(len(p.data))
+		return Event{}, p.err
+	case !p.afterRoot:
+		p.err = fmt.Errorf("xmlstream: empty document: no root element")
+		p.errOff = int64(len(p.data))
+		return Event{}, p.err
+	default:
+		p.ended = true
+		p.events++
+		return Event{Kind: EndDocument}, nil
+	}
+}
+
+// findSplits walks data construct by construct and returns, for each target
+// offset, the next safe boundary at or after it (see the package comment for
+// the definition). emitAttrs selects which of the seed engine's two
+// self-closing-tag interpretations governs depth accounting: with attribute
+// tokenization "/ >" self-closes anywhere in the tag; without it only a '/'
+// immediately before '>' (or straight after the tag name) does.
+func findSplits(data []byte, targets []int, emitAttrs bool) []chunkBound {
+	var bounds []chunkBound
+	t, depth, i := 0, 0, 0
+	for i < len(data) && t < len(targets) {
+		if i >= targets[t] {
+			for t < len(targets) && targets[t] <= i {
+				t++
+			}
+			if i > 0 {
+				bounds = append(bounds, chunkBound{off: i, depth: depth})
+			}
+		}
+		c := data[i]
+		if c != '<' {
+			j := bytes.IndexByte(data[i:], '<')
+			if j < 0 {
+				return bounds
+			}
+			i += j
+			continue
+		}
+		if i+1 >= len(data) {
+			return bounds
+		}
+		switch data[i+1] {
+		case '?':
+			j := bytes.Index(data[i+2:], piEnd)
+			if j < 0 {
+				return bounds
+			}
+			i += 2 + j + 2
+		case '!':
+			ni, ok := declSpan(data, i)
+			if !ok {
+				return bounds
+			}
+			i = ni
+		case '/':
+			j := bytes.IndexByte(data[i+2:], '>')
+			if j < 0 {
+				return bounds
+			}
+			if depth > 0 {
+				depth--
+			}
+			i += 2 + j + 1
+		default:
+			ni, selfClose, ok := startTagSpan(data, i, emitAttrs)
+			if !ok {
+				return bounds
+			}
+			if !selfClose {
+				depth++
+			}
+			i = ni
+		}
+	}
+	return bounds
+}
+
+// declSpan returns the end of the "<!...>" construct starting at i.
+func declSpan(data []byte, i int) (end int, ok bool) {
+	rest := data[i+2:]
+	switch {
+	case len(rest) >= 2 && rest[0] == '-' && rest[1] == '-':
+		j := bytes.Index(rest[2:], commentEnd)
+		if j < 0 {
+			return 0, false
+		}
+		return i + 2 + 2 + j + 3, true
+	case bytes.HasPrefix(rest, []byte("[CDATA[")):
+		j := bytes.Index(rest[7:], cdataEnd)
+		if j < 0 {
+			return 0, false
+		}
+		return i + 2 + 7 + j + 3, true
+	default:
+		d := 0
+		for j := i + 2; j < len(data); j++ {
+			switch data[j] {
+			case '[':
+				d++
+			case ']':
+				d--
+			case '>':
+				if d <= 0 {
+					return j + 1, true
+				}
+			}
+		}
+		return 0, false
+	}
+}
+
+// startTagSpan returns the end of the start tag at i (which holds '<') and
+// whether it self-closes, honouring quoted attribute values so a '>' inside
+// one does not end the tag.
+func startTagSpan(data []byte, i int, emitAttrs bool) (end int, selfClose, ok bool) {
+	j := i + 1
+	for {
+		g := bytes.IndexByte(data[j:], '>')
+		if g < 0 {
+			return 0, false, false
+		}
+		seg := data[j : j+g]
+		q := -1
+		var qc byte
+		if k := bytes.IndexByte(seg, '"'); k >= 0 {
+			q, qc = k, '"'
+		}
+		if k := bytes.IndexByte(seg, '\''); k >= 0 && (q < 0 || k < q) {
+			q, qc = k, '\''
+		}
+		if q < 0 {
+			j += g
+			break
+		}
+		cl := bytes.IndexByte(data[j+q+1:], qc)
+		if cl < 0 {
+			return 0, false, false
+		}
+		j += q + 1 + cl + 1
+	}
+	// j is at the closing '>'.
+	if emitAttrs {
+		k := j - 1
+		for k > i+1 && isSpace(data[k]) {
+			k--
+		}
+		return j + 1, data[k] == '/', true
+	}
+	// Attribute-skipping mode: '/' immediately before '>' self-closes, and so
+	// does "name/ >" when the '/' follows the tag name directly (the bare-name
+	// parse path skips whitespace before '>').
+	if data[j-1] == '/' {
+		return j + 1, true, true
+	}
+	k := i + 1
+	for k < j && nameByteTab[data[k]] {
+		k++
+	}
+	if k < j && data[k] == '/' {
+		sc := true
+		for m := k + 1; m < j; m++ {
+			if !isSpace(data[m]) {
+				sc = false
+				break
+			}
+		}
+		if sc {
+			return j + 1, true, true
+		}
+	}
+	return j + 1, false, true
+}

@@ -18,12 +18,27 @@ import (
 //
 // The implementation manages its own read buffer and interns element names,
 // so steady-state scanning performs no allocation per element.
+//
+// Two scan engines share this struct. The default is the vectorized zero-copy
+// path (fastscan.go): it locates markup with bytes.IndexByte over the buffered
+// window, parses whole constructs in place, and carves event payloads from
+// per-stream arenas (arena.go). WithSeedScan selects the original
+// byte-at-a-time reference engine, kept as the oracle for the differential
+// harness and as the ablation baseline in spexbench -fig ingest.
 type Scanner struct {
-	r         io.Reader
-	buf       []byte
-	pos       int
-	end       int
-	eof       bool
+	r      io.Reader
+	buf    []byte
+	ownBuf []byte // the buffer the scanner allocated; nil when scanning caller bytes
+	pos    int
+	end    int
+	eof    bool
+	// stable marks caller-owned input (ScanBytes/ResetBytes): the window is
+	// the whole document and is never slid or rewritten, so text and
+	// attribute values can be unsafe views into it instead of arena copies.
+	stable bool
+	// base is the absolute input offset of buf[0]: base+pos is the number of
+	// input bytes consumed, maintained across buffer slides by fill.
+	base      int64
 	stack     []string // open element names, for well-formedness
 	stackSyms []Sym    // symbols of the open elements, parallel to stack
 	state     scanState
@@ -33,6 +48,16 @@ type Scanner struct {
 	// capacity once drained, so steady-state scanning never reallocates it.
 	pending  []Event
 	pendHead int
+	// pendOffs carries per-event input offsets for events buffered by the
+	// batch scan loop (fastBatch), index-aligned with pending. Events pushed
+	// onto pending outside the batch loop (document brackets, self-close
+	// pairs, CDATA text) have no entry: their delivery offset is the scan
+	// position, which has not moved since the construct that produced them.
+	pendOffs []int64
+	// off is the input offset of the most recently delivered event — what
+	// InputOffset reports. Batched events restore their own scan positions
+	// from pendOffs; all other deliveries use the live position.
+	off      int64
 	names    map[string]string // interned element names (no Symtab attached)
 	symtab   *Symtab           // shared interner; nil falls back to names
 	nameBuf  []byte
@@ -46,6 +71,29 @@ type Scanner struct {
 	valBuf      []byte
 	limits      Limits
 	err         error
+
+	// seedMode selects the byte-at-a-time reference engine (WithSeedScan).
+	seedMode bool
+	// text and attrs are the per-stream arenas the zero-copy engine carves
+	// event payloads from; the seed engine never touches them.
+	text    byteArena
+	attrs   attrArena
+	textBuf []byte // scratch for runs that straddle a buffer refill
+	scratch []byte // scratch for entity unescaping
+
+	// fragment mode tokenizes a mid-document byte range for the parallel
+	// chunk scanner: no document brackets, end tags may close elements opened
+	// in earlier chunks (underflow), text emission is decided against
+	// baseDepth + local depth, and end-of-input is not a truncation error —
+	// the stitcher owns document-level well-formedness.
+	fragment  bool
+	baseDepth int
+	underflow int // end tags consumed with an empty local stack
+
+	// tokStart is the absolute offset of the construct being scanned; errOff
+	// freezes it when the construct fails (ErrorOffset).
+	tokStart int64
+	errOff   int64
 
 	depth    int
 	maxDepth int
@@ -82,6 +130,15 @@ func WithAttributes(emit bool) ScannerOption {
 	return func(s *Scanner) { s.emitAttrs = emit }
 }
 
+// WithSeedScan selects the original byte-at-a-time scan engine instead of the
+// vectorized zero-copy default. The two engines produce byte-identical event
+// streams, error classes and error offsets (the differential harness enforces
+// this); the seed engine exists as that harness's oracle and as the baseline
+// the ingest ablation measures against.
+func WithSeedScan(on bool) ScannerOption {
+	return func(s *Scanner) { s.seedMode = on }
+}
+
 // WithSymtab makes the scanner resolve element labels against the given
 // symbol table: every StartElement and EndElement event carries the label's
 // Sym, so a network compiled against the same table evaluates label tests as
@@ -113,9 +170,31 @@ func (s *Scanner) SymtabInUse() *Symtab { return s.symtab }
 // read from r. The stream begins with a StartDocument event and, if the
 // document is well formed, ends with EndDocument followed by io.EOF.
 func NewScanner(r io.Reader, opts ...ScannerOption) *Scanner {
+	s := newScanner(opts)
+	s.r = r
+	s.ownBuf = make([]byte, 1<<16)
+	s.buf = s.ownBuf
+	s.pending = append(s.pending, Event{Kind: StartDocument})
+	return s
+}
+
+// ScanBytes returns a Scanner over an in-memory document. The whole input is
+// the read window, so the zero-copy engine parses every construct in place
+// with no buffer slides and no copies; data must not be mutated while the
+// scanner is in use. This is the fast path behind OpenFile (mmap) and the
+// parallel chunk scanner.
+func ScanBytes(data []byte, opts ...ScannerOption) *Scanner {
+	s := newScanner(opts)
+	s.buf = data
+	s.end = len(data)
+	s.eof = true
+	s.stable = true
+	s.pending = append(s.pending, Event{Kind: StartDocument})
+	return s
+}
+
+func newScanner(opts []ScannerOption) *Scanner {
 	s := &Scanner{
-		r:         r,
-		buf:       make([]byte, 1<<16),
 		emitText:  true,
 		emitAttrs: true,
 		names:     make(map[string]string, 32),
@@ -124,8 +203,51 @@ func NewScanner(r io.Reader, opts ...ScannerOption) *Scanner {
 		opt(s)
 	}
 	s.limits = s.limits.withDefaults()
-	s.pending = append(s.pending, Event{Kind: StartDocument})
 	return s
+}
+
+// Reset rewinds the scanner to scan a new document from r, keeping its
+// buffers, interned names and arenas. Calling Reset asserts that every event
+// delivered from the previous document is dead: arena blocks are recycled and
+// their storage will be rewritten. With a warm scanner, Reset plus a full
+// scan performs zero steady-state allocations (the ingest CI gate pins this).
+func (s *Scanner) Reset(r io.Reader) {
+	s.resetState()
+	s.r = r
+	if s.ownBuf == nil {
+		s.ownBuf = make([]byte, 1<<16)
+	}
+	s.buf = s.ownBuf
+	s.pos, s.end = 0, 0
+	s.eof = false
+	s.stable = false
+}
+
+// ResetBytes is Reset over an in-memory document (see ScanBytes).
+func (s *Scanner) ResetBytes(data []byte) {
+	s.resetState()
+	s.r = nil
+	s.buf = data
+	s.pos, s.end = 0, len(data)
+	s.eof = true
+	s.stable = true
+}
+
+func (s *Scanner) resetState() {
+	s.base = 0
+	s.stack = s.stack[:0]
+	s.stackSyms = s.stackSyms[:0]
+	s.state = scanBeforeRoot
+	s.pending = append(s.pending[:0], Event{Kind: StartDocument})
+	s.pendOffs = s.pendOffs[:0]
+	s.pendHead = 0
+	s.off = 0
+	s.err = nil
+	s.underflow = 0
+	s.tokStart, s.errOff = 0, 0
+	s.depth, s.maxDepth, s.events = 0, 0, 0
+	s.text.reset()
+	s.attrs.reset()
 }
 
 // Depth returns the number of currently open elements.
@@ -137,6 +259,20 @@ func (s *Scanner) MaxDepth() int { return s.maxDepth }
 // Events returns the number of events emitted so far.
 func (s *Scanner) Events() int64 { return s.events }
 
+// InputOffset returns the number of input bytes consumed so far. After an
+// event is delivered it points just past the construct that produced it; the
+// value is identical across the seed, zero-copy and parallel engines (the
+// accounting-parity tests enforce this). The batch scan loop tokenizes ahead
+// of delivery, so the offset is tracked per delivered event, not at the raw
+// scan position.
+func (s *Scanner) InputOffset() int64 { return s.off }
+
+// ErrorOffset returns the absolute byte offset of the construct whose scan
+// failed — the position of its opening '<' (or the first byte of a text run),
+// or the input length for end-of-input errors. It is meaningful only after
+// Next returned a non-EOF error, and is identical across scan engines.
+func (s *Scanner) ErrorOffset() int64 { return s.errOff }
+
 // fill slides unread bytes to the front of the buffer and reads more input.
 // It reports whether any new bytes are available.
 func (s *Scanner) fill() bool {
@@ -145,6 +281,7 @@ func (s *Scanner) fill() bool {
 	}
 	if s.pos > 0 {
 		copy(s.buf, s.buf[s.pos:s.end])
+		s.base += int64(s.pos)
 		s.end -= s.pos
 		s.pos = 0
 	}
@@ -223,16 +360,35 @@ func (s *Scanner) Next() (Event, error) {
 	for {
 		if s.pendHead < len(s.pending) {
 			ev := s.pending[s.pendHead]
+			off := s.base + int64(s.pos)
+			if s.pendHead < len(s.pendOffs) {
+				off = s.pendOffs[s.pendHead]
+			}
 			s.pendHead++
 			if s.pendHead == len(s.pending) {
 				// Drained: reuse the full backing array instead of letting
 				// the slice base creep forward and reallocate.
 				s.pending = s.pending[:0]
+				s.pendOffs = s.pendOffs[:0]
 				s.pendHead = 0
 			}
+			s.off = off
 			return s.account(ev), nil
 		}
-		ev, ok, err := s.scan()
+		if s.stable && !s.seedMode && s.err == nil &&
+			(s.state == scanInDocument || (s.fragment && s.state != scanDone)) &&
+			s.fastBatch() {
+			continue
+		}
+		s.tokStart = s.base + int64(s.pos)
+		var ev Event
+		var ok bool
+		var err error
+		if s.seedMode {
+			ev, ok, err = s.scan()
+		} else {
+			ev, ok, err = s.fastScan()
+		}
 		if err != nil {
 			// A failed Read (recorded by fill) is the root cause of any
 			// truncated-markup diagnosis scan produced on top of it;
@@ -242,9 +398,11 @@ func (s *Scanner) Next() (Event, error) {
 			} else {
 				s.err = err
 			}
+			s.errOff = s.tokStart
 			return Event{}, err
 		}
 		if ok {
+			s.off = s.base + int64(s.pos)
 			return s.account(ev), nil
 		}
 	}
@@ -280,7 +438,7 @@ func (s *Scanner) scan() (Event, bool, error) {
 		return s.finish()
 	}
 	if c != '<' {
-		if s.emitText && s.state == scanInDocument {
+		if s.emitText && s.inContent() {
 			text, err := s.readText(c)
 			if err != nil {
 				return Event{}, false, err
@@ -314,6 +472,13 @@ func (s *Scanner) scan() (Event, bool, error) {
 
 // finish handles end of input: valid only when all elements are closed.
 func (s *Scanner) finish() (Event, bool, error) {
+	if s.fragment {
+		// A chunk may legitimately end with elements still open (closed by a
+		// later chunk) and emits no document brackets; the stitcher owns
+		// document-level well-formedness.
+		s.state = scanDone
+		return Event{}, false, io.EOF
+	}
 	switch s.state {
 	case scanBeforeRoot:
 		return Event{}, false, fmt.Errorf("xmlstream: empty document: no root element")
@@ -411,12 +576,21 @@ func (s *Scanner) skipDeclaration() error {
 		s.pos += 7
 		return s.scanCDATA()
 	}
-	// DOCTYPE or other declaration: consume to matching '>' tracking
-	// bracket nesting for internal subsets.
+	return s.skipDoctype()
+}
+
+// skipDoctype consumes a DOCTYPE or other "<!...>" declaration to its
+// matching '>', tracking bracket nesting for internal subsets. Declarations
+// appear at most once per document, so both engines share this byte-at-a-time
+// loop.
+func (s *Scanner) skipDoctype() error {
 	depth := 0
 	for {
 		c, ok := s.readByte()
 		if !ok {
+			if s.err != nil {
+				return s.err
+			}
 			return truncatedf("unterminated declaration")
 		}
 		switch c {
@@ -480,7 +654,7 @@ func (s *Scanner) scanCDATA() error {
 				run = 2
 			}
 		case c == '>' && run >= 2:
-			if s.emitText && s.state == scanInDocument && b.Len() > 0 {
+			if s.emitText && s.inContent() && b.Len() > 0 {
 				s.pending = append(s.pending, Event{Kind: Text, Data: b.String()})
 			}
 			return nil
@@ -502,7 +676,7 @@ func (s *Scanner) scanStartTag(first byte) (Event, bool, error) {
 	if s.state == scanAfterRoot {
 		return Event{}, false, fmt.Errorf("xmlstream: content after document root")
 	}
-	if max := s.limits.MaxDepth; max > 0 && len(s.stack) >= max {
+	if max := s.limits.MaxDepth; max > 0 && s.effDepth() >= max {
 		return Event{}, false, &ScanLimitError{What: "nesting", Limit: max, sentinel: ErrTooDeep}
 	}
 	name, sym, attrs, selfClose, err := s.readTagRest(first)
@@ -512,7 +686,7 @@ func (s *Scanner) scanStartTag(first byte) (Event, bool, error) {
 	s.state = scanInDocument
 	if selfClose {
 		s.pending = append(s.pending, Event{Kind: EndElement, Sym: sym, Name: name})
-		if len(s.stack) == 0 {
+		if len(s.stack) == 0 && !s.fragment {
 			s.state = scanAfterRoot
 		}
 	} else {
@@ -770,20 +944,7 @@ func (s *Scanner) scanEndTag() (Event, bool, error) {
 		}
 		s.nameBuf = append(s.nameBuf, c)
 	}
-	if len(s.stack) == 0 {
-		return Event{}, false, fmt.Errorf("xmlstream: unexpected end tag </%s> with no open element", s.nameBuf)
-	}
-	open := s.stack[len(s.stack)-1]
-	if open != string(s.nameBuf) {
-		return Event{}, false, fmt.Errorf("xmlstream: mismatched end tag: </%s> closes <%s>", s.nameBuf, open)
-	}
-	sym := s.stackSyms[len(s.stackSyms)-1]
-	s.stack = s.stack[:len(s.stack)-1]
-	s.stackSyms = s.stackSyms[:len(s.stackSyms)-1]
-	if len(s.stack) == 0 {
-		s.state = scanAfterRoot
-	}
-	return Event{Kind: EndElement, Sym: sym, Name: open}, true, nil
+	return s.commitEndTag(s.nameBuf, s.pos)
 }
 
 // expect consumes exactly the byte want, skipping leading whitespace.

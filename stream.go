@@ -90,6 +90,10 @@ type setConfig struct {
 	gov     *governor.Config
 	metrics *obs.Metrics
 	traceID string
+	// pscan enables the parallel chunk-scan ingest path for bytes-fed
+	// evaluations; pscanWorkers <= 0 means one worker per CPU.
+	pscan        bool
+	pscanWorkers int
 }
 
 // Sequential evaluates each query of the set on its own transducer network —
@@ -126,6 +130,19 @@ func Parallel(shards int) SetOption {
 	return func(c *setConfig) {
 		c.engine = setParallel
 		c.shards = shards
+	}
+}
+
+// ParallelScan makes EvaluateBytes tokenize the document with the parallel
+// chunk scanner: the input is split at safe byte boundaries, chunks are
+// scanned concurrently, and the stitched event stream — identical to a
+// serial scan's — feeds the set's engine. workers <= 0 selects one worker
+// per CPU. Reader-fed evaluations (Evaluate, EvaluateContext) are
+// unaffected: splitting needs the whole document in memory.
+func ParallelScan(workers int) SetOption {
+	return func(c *setConfig) {
+		c.pscan = true
+		c.pscanWorkers = workers
 	}
 }
 
@@ -217,11 +234,59 @@ func (s *Set) Evaluate(r io.Reader) error {
 // deadline, a disconnected client or a draining server stops the evaluation
 // mid-stream instead of running it to completion.
 func (s *Set) EvaluateContext(ctx context.Context, r io.Reader) error {
+	eng, withText, withAttrs, err := s.newEngine()
+	if err != nil {
+		return err
+	}
+	if m := s.cfg.metrics; m != nil {
+		// Counting the input here also stamps the last-read timestamp the
+		// sink-side stream-latency histogram measures emissions against.
+		r = &obs.CountingReader{R: r, C: &m.Bytes, LastReadNs: &m.LastReadNs}
+	}
+	// The scanner shares the engine's symbol table, so every event arrives
+	// with its label already resolved to an integer symbol.
+	src := xmlstream.NewScanner(r,
+		xmlstream.WithText(withText), xmlstream.WithAttributes(withAttrs), xmlstream.WithSymtab(eng.Symtab()))
+	return s.finish(ctx, eng, src)
+}
+
+// EvaluateBytes evaluates an in-memory document — the mmap/file fast path.
+// The scanner works zero-copy on data (no per-event allocation; payloads are
+// arena-backed views into recycled blocks), and with the ParallelScan option
+// the document is chunk-scanned concurrently. data must not be mutated while
+// the evaluation runs.
+func (s *Set) EvaluateBytes(data []byte) error {
+	return s.EvaluateBytesContext(context.Background(), data)
+}
+
+// EvaluateBytesContext is EvaluateBytes bounded by a context, with the same
+// stride-checked cancellation as EvaluateContext.
+func (s *Set) EvaluateBytesContext(ctx context.Context, data []byte) error {
+	eng, withText, withAttrs, err := s.newEngine()
+	if err != nil {
+		return err
+	}
+	scanOpts := []xmlstream.ScannerOption{
+		xmlstream.WithText(withText), xmlstream.WithAttributes(withAttrs), xmlstream.WithSymtab(eng.Symtab())}
+	var src xmlstream.Source
+	if s.cfg.pscan {
+		src = xmlstream.NewParallelScanner(data, s.cfg.pscanWorkers, scanOpts...)
+	} else {
+		src = xmlstream.ScanBytes(data, scanOpts...)
+	}
+	if m := s.cfg.metrics; m != nil {
+		m.Bytes.Add(int64(len(data)))
+	}
+	return s.finish(ctx, eng, src)
+}
+
+// newEngine resets the counts, compiles the set's queries into the
+// configured engine, and reports whether any member query needs text or
+// attribute events.
+func (s *Set) newEngine() (eng setEngine, withText, withAttrs bool, err error) {
 	for i := range s.counts {
 		s.counts[i] = 0
 	}
-	withText := false
-	withAttrs := false
 	subs := make([]multi.Subscription, len(s.queries))
 	for i, q := range s.queries {
 		i := i
@@ -242,10 +307,6 @@ func (s *Set) EvaluateContext(ctx context.Context, r io.Reader) error {
 			},
 		}
 	}
-	var (
-		eng setEngine
-		err error
-	)
 	var engineOpts []multi.Option
 	if s.cfg.gov != nil {
 		engineOpts = append(engineOpts, multi.WithGovernor(s.cfg.gov))
@@ -275,25 +336,35 @@ func (s *Set) EvaluateContext(ctx context.Context, r io.Reader) error {
 		}
 	}
 	if err != nil {
-		return err
+		return nil, false, false, err
 	}
 	if ms, ok := eng.(*multi.MergedSet); ok && s.cfg.metrics != nil {
 		st := ms.MergeStats()
 		s.cfg.metrics.SetSetcompile(st.NaiveTransducers, st.MergedTransducers, st.Pruned, st.Collapsed, st.Contained)
 	}
-	if m := s.cfg.metrics; m != nil {
-		// Counting the input here also stamps the last-read timestamp the
-		// sink-side stream-latency histogram measures emissions against.
-		r = &obs.CountingReader{R: r, C: &m.Bytes, LastReadNs: &m.LastReadNs}
+	return eng, withText, withAttrs, nil
+}
+
+// finish runs the engine over the source and folds its counters back into
+// the set, publishing the scan's ingest accounting on the attached registry.
+func (s *Set) finish(ctx context.Context, eng setEngine, src xmlstream.Source) error {
+	if st, ok := src.(interface{ Stop() }); ok {
+		// A run that ends before EOF (answer limits, cancellation, engine
+		// error) abandons the source; parallel chunk workers must be released.
+		defer st.Stop()
 	}
-	// The scanner shares the engine's symbol table, so every event arrives
-	// with its label already resolved to an integer symbol.
-	var src xmlstream.Source = xmlstream.NewScanner(r,
-		xmlstream.WithText(withText), xmlstream.WithAttributes(withAttrs), xmlstream.WithSymtab(eng.Symtab()))
+	run := src
 	if ctx.Done() != nil {
-		src = &ctxSource{ctx: ctx, src: src}
+		run = &ctxSource{ctx: ctx, src: src}
 	}
-	if err := eng.Run(src); err != nil {
+	err := eng.Run(run)
+	if m := s.cfg.metrics; m != nil {
+		if is, ok := src.(interface{ IngestStats() xmlstream.IngestStats }); ok {
+			st := is.IngestStats()
+			m.SetIngest(st.ArenaBytes, st.ArenaBlocks, st.ArenaAttrs, st.BufferBytes, st.Chunks)
+		}
+	}
+	if err != nil {
 		return err
 	}
 	s.determined = eng.Determined()
